@@ -1,0 +1,86 @@
+//! Ablation benches for the design choices DESIGN.md §7 calls out.
+//!
+//! Measured on the same uniform m = 7, n = 35 workload as Figure 6:
+//!
+//! * **BioConsert starting points** — inputs (the paper's choice) vs a
+//!   single BordaCount seed vs the all-tied ranking. Reported as runtime;
+//!   the quality side is printed to stderr once per variant.
+//! * **KwikSort tie branch** — the §4.1.2 three-way pivot vs the original
+//!   two-way one.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ragen::UniformSampler;
+use rank_core::algorithms::bioconsert::BioConsert;
+use rank_core::algorithms::borda::BordaCount;
+use rank_core::algorithms::kwiksort::{KwikSort, KwikSortNoTies};
+use rank_core::algorithms::{AlgoContext, ConsensusAlgorithm};
+use rank_core::score::kemeny_score;
+use rank_core::{Element, Ranking};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_ablations(c: &mut Criterion) {
+    let sampler = UniformSampler::new(35);
+    let mut rng = StdRng::seed_from_u64(7);
+    let data = sampler.sample_dataset(35, 7, &mut rng);
+
+    let borda_seed = BordaCount.run(&data, &mut AlgoContext::seeded(0));
+    let all_tied =
+        Ranking::single_bucket((0..35u32).map(Element).collect()).expect("non-empty");
+
+    let variants: Vec<(&str, BioConsert)> = vec![
+        ("bioconsert_input_starts", BioConsert::default()),
+        (
+            "bioconsert_borda_start",
+            BioConsert {
+                extra_starts: vec![borda_seed],
+                only_extra_starts: true,
+            },
+        ),
+        (
+            "bioconsert_all_tied_start",
+            BioConsert {
+                extra_starts: vec![all_tied],
+                only_extra_starts: true,
+            },
+        ),
+    ];
+
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(400));
+
+    for (name, algo) in &variants {
+        let score = kemeny_score(&algo.run(&data, &mut AlgoContext::seeded(1)), &data);
+        eprintln!("[ablation] {name}: kemeny score {score}");
+        g.bench_function(*name, |bch| {
+            bch.iter(|| {
+                let mut ctx = AlgoContext::seeded(1);
+                black_box(algo.run(&data, &mut ctx).n_buckets())
+            })
+        });
+    }
+
+    for (name, algo) in [
+        ("kwiksort_3way", &KwikSort as &dyn ConsensusAlgorithm),
+        ("kwiksort_2way", &KwikSortNoTies as &dyn ConsensusAlgorithm),
+    ] {
+        let score = kemeny_score(&algo.run(&data, &mut AlgoContext::seeded(1)), &data);
+        eprintln!("[ablation] {name}: kemeny score {score}");
+        g.bench_function(name, |bch| {
+            let mut seed = 0u64;
+            bch.iter(|| {
+                seed += 1;
+                let mut ctx = AlgoContext::seeded(seed);
+                black_box(algo.run(&data, &mut ctx).n_buckets())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

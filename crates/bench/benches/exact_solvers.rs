@@ -1,0 +1,52 @@
+//! The three exact solvers head-to-head at toy sizes: brute-force
+//! enumeration of all bucket orders, the native branch-and-bound, and the
+//! §4.2 LPB on the simplex substrate (why the native solver is the
+//! harness default, DESIGN.md §4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ragen::UniformSampler;
+use rank_core::algorithms::exact::{brute_force, ExactAlgorithm, ExactLpb};
+use rank_core::algorithms::AlgoContext;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_exact(c: &mut Criterion) {
+    let sampler = UniformSampler::new(20);
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut g = c.benchmark_group("exact_solvers");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(500));
+
+    for n in [5usize, 6] {
+        let data = sampler.sample_dataset(n, 5, &mut rng);
+        g.bench_with_input(BenchmarkId::new("brute_force", n), &n, |bch, _| {
+            bch.iter(|| black_box(brute_force(&data).0))
+        });
+        g.bench_with_input(BenchmarkId::new("native_bnb", n), &n, |bch, _| {
+            bch.iter(|| {
+                let mut ctx = AlgoContext::seeded(1);
+                black_box(ExactAlgorithm::default().solve(&data, &mut ctx).1)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("lpb_simplex", n), &n, |bch, _| {
+            bch.iter(|| black_box(ExactLpb::default().solve(&data).1))
+        });
+    }
+    // The native solver alone at the sizes the harness actually uses.
+    for n in [12usize, 16] {
+        let data = sampler.sample_dataset(n, 7, &mut rng);
+        g.bench_with_input(BenchmarkId::new("native_bnb", n), &n, |bch, _| {
+            bch.iter(|| {
+                let mut ctx = AlgoContext::seeded(1);
+                black_box(ExactAlgorithm::default().solve(&data, &mut ctx).1)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_exact);
+criterion_main!(benches);

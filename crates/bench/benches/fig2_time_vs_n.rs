@@ -1,0 +1,57 @@
+//! Criterion version of Figure 2: per-algorithm consensus time as the
+//! number of elements grows (m = 7, uniform data).
+//!
+//! The full sweep with the paper's repeat-until-2s methodology lives in
+//! `repro fig2`; this bench covers the panel at a few sizes with
+//! statistically sound criterion sampling. Exact/Ailon are restricted to
+//! the sizes they can finish at (the paper's own finding, §7.1.1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ragen::UniformSampler;
+use rank_core::algorithms::{paper_algorithms, AlgoContext};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_fig2(c: &mut Criterion) {
+    let sizes = [20usize, 50, 100, 200];
+    let sampler = UniformSampler::new(*sizes.iter().max().unwrap());
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut g = c.benchmark_group("fig2");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(400));
+
+    for &n in &sizes {
+        let data = sampler.sample_dataset(n, 7, &mut rng);
+        for algo in paper_algorithms(5) {
+            if algo.name() == "Ailon3/2" && n > 20 {
+                continue; // LP does not scale (§7.1.1)
+            }
+            g.bench_with_input(BenchmarkId::new(algo.name(), n), &n, |bch, _| {
+                let mut seed = 0u64;
+                bch.iter(|| {
+                    seed += 1;
+                    let mut ctx = AlgoContext::seeded(seed);
+                    black_box(algo.run(&data, &mut ctx).n_buckets())
+                })
+            });
+        }
+        if n <= 20 {
+            let exact = rank_core::algorithms::exact_algorithm();
+            g.bench_with_input(BenchmarkId::new("ExactAlgorithm", n), &n, |bch, _| {
+                let mut seed = 0u64;
+                bch.iter(|| {
+                    seed += 1;
+                    let mut ctx = AlgoContext::seeded(seed);
+                    black_box(exact.run(&data, &mut ctx).n_buckets())
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Generator throughput: exact-uniform sampling (bignum-weighted),
+//! Markov-chain walks, unified top-k pipeline, facsimiles.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datasets::realworld;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ragen::{MarkovGen, UnifiedGen, UniformSampler};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("generators");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(400));
+
+    let sampler = UniformSampler::new(500);
+    for n in [35usize, 100, 500] {
+        g.bench_with_input(BenchmarkId::new("uniform_sample", n), &n, |bch, &n| {
+            let mut rng = StdRng::seed_from_u64(1);
+            bch.iter(|| black_box(sampler.sample(n, &mut rng).n_buckets()))
+        });
+    }
+
+    for t in [1_000usize, 50_000] {
+        g.bench_with_input(BenchmarkId::new("markov_walk_n35", t), &t, |bch, &t| {
+            let mut rng = StdRng::seed_from_u64(2);
+            let gen = MarkovGen::identity_seeded(35, t);
+            bch.iter(|| black_box(gen.dataset(7, &mut rng).m()))
+        });
+    }
+
+    g.bench_function("unified_gen_t10k", |bch| {
+        let mut rng = StdRng::seed_from_u64(3);
+        let gen = UnifiedGen {
+            n_full: 100,
+            t: 10_000,
+            target_n: 35,
+        };
+        bch.iter(|| black_box(gen.generate(7, &mut rng).0.n()))
+    });
+
+    g.bench_function("facsimile_websearch", |bch| {
+        let mut rng = StdRng::seed_from_u64(4);
+        let cfg = realworld::websearch::Config::default();
+        bch.iter(|| black_box(realworld::websearch::generate(&cfg, &mut rng).len()))
+    });
+    g.bench_function("facsimile_f1_season", |bch| {
+        let mut rng = StdRng::seed_from_u64(5);
+        let cfg = realworld::f1::Config::default();
+        bch.iter(|| black_box(realworld::f1::generate(&cfg, &mut rng).len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Micro-benchmarks of the library's hot kernels: the O(n log n) vs O(n²)
+//! generalized Kendall-τ, pair-table construction, scoring, similarity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ragen::UniformSampler;
+use rank_core::distance::{pair_counts, pair_counts_naive};
+use rank_core::similarity::dataset_similarity;
+use rank_core::{Dataset, PairTable};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn config(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group("kernels");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(400));
+    g
+}
+
+fn datasets(ns: &[usize]) -> Vec<Dataset> {
+    let sampler = UniformSampler::new(*ns.iter().max().unwrap());
+    let mut rng = StdRng::seed_from_u64(1);
+    ns.iter()
+        .map(|&n| sampler.sample_dataset(n, 7, &mut rng))
+        .collect()
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let sets = datasets(&[100, 500]);
+    let mut g = config(c);
+    for data in &sets {
+        let n = data.n();
+        let (a, b) = (data.ranking(0), data.ranking(1));
+        g.bench_with_input(BenchmarkId::new("generalized_fast", n), &n, |bch, _| {
+            bch.iter(|| black_box(pair_counts(a, b).generalized()))
+        });
+        g.bench_with_input(BenchmarkId::new("generalized_naive", n), &n, |bch, _| {
+            bch.iter(|| black_box(pair_counts_naive(a, b).generalized()))
+        });
+        g.bench_with_input(BenchmarkId::new("pair_table_build", n), &n, |bch, _| {
+            bch.iter(|| black_box(PairTable::build(data).m()))
+        });
+        let pairs = PairTable::build(data);
+        g.bench_with_input(BenchmarkId::new("score_via_pairs", n), &n, |bch, _| {
+            bch.iter(|| black_box(pairs.score(a)))
+        });
+        g.bench_with_input(BenchmarkId::new("dataset_similarity", n), &n, |bch, _| {
+            bch.iter(|| black_box(dataset_similarity(data)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

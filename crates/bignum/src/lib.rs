@@ -1,0 +1,37 @@
+//! Minimal arbitrary-precision unsigned integer arithmetic.
+//!
+//! The exact-uniform generator of rankings with ties (see the `ragen` crate)
+//! samples a bucket order of `[n]` with probability `1 / Fubini(n)`.
+//! `Fubini(500)` has roughly 4 000 bits, so the sampling weights
+//! `C(n, i) * Fubini(n - i)` cannot be represented by any primitive integer
+//! type. The paper used the MuPAD-Combinat package for this; this crate is
+//! the substitute substrate.
+//!
+//! Only the operations actually needed are implemented:
+//! addition, subtraction, multiplication, small-divisor division,
+//! comparison, bit twiddling, decimal formatting and uniform sampling below
+//! a bound ([`Nat::random_below`]).
+//!
+//! ```
+//! use bignum::Nat;
+//! let a = Nat::from(u64::MAX);
+//! let b = &a * &a;
+//! assert_eq!(b.to_string(), "340282366920938463426481119284349108225");
+//! ```
+
+mod nat;
+pub mod combinatorics;
+
+pub use nat::Nat;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn readme_example() {
+        let a = Nat::from(u64::MAX);
+        let b = &a * &a;
+        assert_eq!(b.to_string(), "340282366920938463426481119284349108225");
+    }
+}

@@ -1,0 +1,455 @@
+//! The [`Nat`] type: an arbitrary-precision unsigned integer.
+
+use rand::Rng;
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+/// Arbitrary-precision unsigned integer.
+///
+/// Stored as little-endian `u64` limbs with no trailing zero limbs
+/// (the canonical representation of zero is an empty limb vector).
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct Nat {
+    limbs: Vec<u64>,
+}
+
+impl Nat {
+    /// The value `0`.
+    #[inline]
+    pub fn zero() -> Self {
+        Nat { limbs: Vec::new() }
+    }
+
+    /// The value `1`.
+    #[inline]
+    pub fn one() -> Self {
+        Nat { limbs: vec![1] }
+    }
+
+    /// `true` iff the value is `0`.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Number of significant bits (`0` for the value zero).
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => 64 * (self.limbs.len() - 1) + (64 - top.leading_zeros() as usize),
+        }
+    }
+
+    /// Construct from raw little-endian limbs (normalizing trailing zeros).
+    fn from_limbs(mut limbs: Vec<u64>) -> Self {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        Nat { limbs }
+    }
+
+    /// Lossy conversion to `f64` (infinity if the value exceeds `f64::MAX`).
+    pub fn to_f64(&self) -> f64 {
+        let mut acc = 0.0f64;
+        for &limb in self.limbs.iter().rev() {
+            acc = acc * 1.8446744073709552e19 + limb as f64;
+            if acc.is_infinite() {
+                return f64::INFINITY;
+            }
+        }
+        acc
+    }
+
+    /// Exact conversion to `u128` if the value fits.
+    pub fn to_u128(&self) -> Option<u128> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u128),
+            2 => Some(self.limbs[0] as u128 | ((self.limbs[1] as u128) << 64)),
+            _ => None,
+        }
+    }
+
+    /// `self + other`.
+    pub fn add_nat(&self, other: &Nat) -> Nat {
+        let (long, short) = if self.limbs.len() >= other.limbs.len() {
+            (&self.limbs, &other.limbs)
+        } else {
+            (&other.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..long.len() {
+            let s = short.get(i).copied().unwrap_or(0);
+            let (x, c1) = long[i].overflowing_add(s);
+            let (x, c2) = x.overflowing_add(carry);
+            out.push(x);
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        Nat::from_limbs(out)
+    }
+
+    /// `self - other`, or `None` if the result would be negative.
+    pub fn checked_sub(&self, other: &Nat) -> Option<Nat> {
+        if self < other {
+            return None;
+        }
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let o = other.limbs.get(i).copied().unwrap_or(0);
+            let (x, b1) = self.limbs[i].overflowing_sub(o);
+            let (x, b2) = x.overflowing_sub(borrow);
+            out.push(x);
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        debug_assert_eq!(borrow, 0);
+        Some(Nat::from_limbs(out))
+    }
+
+    /// `self * other` (schoolbook; operand sizes here are ≤ ~70 limbs).
+    pub fn mul_nat(&self, other: &Nat) -> Nat {
+        if self.is_zero() || other.is_zero() {
+            return Nat::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            if a == 0 {
+                continue;
+            }
+            let mut carry = 0u128;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let cur = out[i + j] as u128 + (a as u128) * (b as u128) + carry;
+                out[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut k = i + other.limbs.len();
+            while carry != 0 {
+                let cur = out[k] as u128 + carry;
+                out[k] = cur as u64;
+                carry = cur >> 64;
+                k += 1;
+            }
+        }
+        Nat::from_limbs(out)
+    }
+
+    /// `self * m` for a small multiplier.
+    pub fn mul_small(&self, m: u64) -> Nat {
+        if m == 0 || self.is_zero() {
+            return Nat::zero();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() + 1);
+        let mut carry = 0u128;
+        for &a in &self.limbs {
+            let cur = (a as u128) * (m as u128) + carry;
+            out.push(cur as u64);
+            carry = cur >> 64;
+        }
+        if carry != 0 {
+            out.push(carry as u64);
+        }
+        Nat::from_limbs(out)
+    }
+
+    /// Divide by a small divisor, returning `(quotient, remainder)`.
+    ///
+    /// # Panics
+    /// Panics if `d == 0`.
+    pub fn divmod_small(&self, d: u64) -> (Nat, u64) {
+        assert!(d != 0, "division by zero");
+        let mut out = vec![0u64; self.limbs.len()];
+        let mut rem = 0u128;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = (rem << 64) | self.limbs[i] as u128;
+            out[i] = (cur / d as u128) as u64;
+            rem = cur % d as u128;
+        }
+        (Nat::from_limbs(out), rem as u64)
+    }
+
+    /// Exact division by a small divisor.
+    ///
+    /// # Panics
+    /// Panics if the division leaves a remainder (use only when exactness is
+    /// guaranteed, e.g. the multiplicative binomial recurrence).
+    pub fn divexact_small(&self, d: u64) -> Nat {
+        let (q, r) = self.divmod_small(d);
+        assert_eq!(r, 0, "divexact_small: non-zero remainder");
+        q
+    }
+
+    /// A uniformly random value in `[0, self)`.
+    ///
+    /// Uses rejection sampling on the bit length, so the expected number of
+    /// RNG draws is below 2.
+    ///
+    /// # Panics
+    /// Panics if `self` is zero (the range would be empty).
+    pub fn random_below<R: Rng + ?Sized>(&self, rng: &mut R) -> Nat {
+        assert!(!self.is_zero(), "random_below: empty range");
+        let bits = self.bit_len();
+        let n_limbs = self.limbs.len();
+        let top_mask = if bits % 64 == 0 {
+            u64::MAX
+        } else {
+            (1u64 << (bits % 64)) - 1
+        };
+        loop {
+            let mut limbs: Vec<u64> = (0..n_limbs).map(|_| rng.random::<u64>()).collect();
+            *limbs.last_mut().expect("n_limbs >= 1") &= top_mask;
+            let candidate = Nat::from_limbs(limbs);
+            if &candidate < self {
+                return candidate;
+            }
+        }
+    }
+}
+
+impl From<u64> for Nat {
+    fn from(v: u64) -> Self {
+        Nat::from_limbs(vec![v])
+    }
+}
+
+impl From<u128> for Nat {
+    fn from(v: u128) -> Self {
+        Nat::from_limbs(vec![v as u64, (v >> 64) as u64])
+    }
+}
+
+impl Ord for Nat {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => self.limbs.iter().rev().cmp(other.limbs.iter().rev()),
+            ord => ord,
+        }
+    }
+}
+
+impl PartialOrd for Nat {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Add<&Nat> for &Nat {
+    type Output = Nat;
+    fn add(self, rhs: &Nat) -> Nat {
+        self.add_nat(rhs)
+    }
+}
+
+impl AddAssign<&Nat> for Nat {
+    fn add_assign(&mut self, rhs: &Nat) {
+        *self = self.add_nat(rhs);
+    }
+}
+
+impl Sub<&Nat> for &Nat {
+    type Output = Nat;
+    /// # Panics
+    /// Panics on underflow; use [`Nat::checked_sub`] to handle it.
+    fn sub(self, rhs: &Nat) -> Nat {
+        self.checked_sub(rhs).expect("Nat subtraction underflow")
+    }
+}
+
+impl Mul<&Nat> for &Nat {
+    type Output = Nat;
+    fn mul(self, rhs: &Nat) -> Nat {
+        self.mul_nat(rhs)
+    }
+}
+
+impl fmt::Display for Nat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        // Peel 19 decimal digits at a time (10^19 is the largest power of ten
+        // that fits in a u64).
+        const CHUNK: u64 = 10_000_000_000_000_000_000;
+        let mut chunks = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            let (q, r) = cur.divmod_small(CHUNK);
+            chunks.push(r);
+            cur = q;
+        }
+        let mut s = String::new();
+        s.push_str(&chunks.pop().expect("non-zero value has chunks").to_string());
+        while let Some(c) = chunks.pop() {
+            s.push_str(&format!("{c:019}"));
+        }
+        f.write_str(&s)
+    }
+}
+
+impl fmt::Debug for Nat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Nat({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn nat(v: u128) -> Nat {
+        Nat::from(v)
+    }
+
+    #[test]
+    fn zero_properties() {
+        assert!(Nat::zero().is_zero());
+        assert_eq!(Nat::zero().bit_len(), 0);
+        assert_eq!(Nat::zero().to_string(), "0");
+        assert_eq!(Nat::from(0u64), Nat::zero());
+        assert_eq!(Nat::zero().to_f64(), 0.0);
+    }
+
+    #[test]
+    fn one_and_bit_len() {
+        assert_eq!(Nat::one().bit_len(), 1);
+        assert_eq!(nat(255).bit_len(), 8);
+        assert_eq!(nat(256).bit_len(), 9);
+        assert_eq!(nat(u128::MAX).bit_len(), 128);
+    }
+
+    #[test]
+    fn add_with_carry_across_limbs() {
+        let a = nat(u64::MAX as u128);
+        let b = Nat::one();
+        assert_eq!((&a + &b).to_u128(), Some(1u128 << 64));
+    }
+
+    #[test]
+    fn sub_with_borrow() {
+        let a = nat(1u128 << 64);
+        let b = Nat::one();
+        assert_eq!((&a - &b).to_u128(), Some(u64::MAX as u128));
+        assert_eq!(b.checked_sub(&a), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = &Nat::one() - &nat(2);
+    }
+
+    #[test]
+    fn mul_cross_limb() {
+        let a = nat(u64::MAX as u128);
+        let b = &a * &a;
+        assert_eq!(b.to_u128(), Some((u64::MAX as u128) * (u64::MAX as u128)));
+    }
+
+    #[test]
+    fn mul_small_and_divmod_small_roundtrip() {
+        let a = nat(123_456_789_012_345_678_901_234_567u128);
+        let b = a.mul_small(997);
+        let (q, r) = b.divmod_small(997);
+        assert_eq!(q, a);
+        assert_eq!(r, 0);
+        let (q2, r2) = b.divmod_small(1000);
+        assert_eq!(&q2.mul_small(1000) + &Nat::from(r2 as u64), b);
+    }
+
+    #[test]
+    fn display_large_factorial() {
+        // 30! = 265252859812191058636308480000000
+        let mut f = Nat::one();
+        for i in 2..=30u64 {
+            f = f.mul_small(i);
+        }
+        assert_eq!(f.to_string(), "265252859812191058636308480000000");
+    }
+
+    #[test]
+    fn ordering_across_sizes() {
+        assert!(nat(u128::MAX) > nat(5));
+        assert!(nat(5) < nat(6));
+        assert_eq!(nat(7).cmp(&nat(7)), std::cmp::Ordering::Equal);
+        let big = nat(u128::MAX).mul_small(u64::MAX);
+        assert!(big > nat(u128::MAX));
+    }
+
+    #[test]
+    fn to_f64_approximation() {
+        let v = nat(1u128 << 100);
+        let rel = (v.to_f64() - 2f64.powi(100)).abs() / 2f64.powi(100);
+        assert!(rel < 1e-12);
+    }
+
+    #[test]
+    fn random_below_in_range_and_hits_small_values() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let bound = nat(10);
+        let mut seen = [0u32; 10];
+        for _ in 0..2000 {
+            let v = bound.random_below(&mut rng);
+            let v = v.to_u128().expect("fits") as usize;
+            assert!(v < 10);
+            seen[v] += 1;
+        }
+        // Every value of a 10-way uniform must show up in 2000 draws.
+        assert!(seen.iter().all(|&c| c > 100), "skewed draw counts: {seen:?}");
+    }
+
+    #[test]
+    fn random_below_large_bound() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut bound = Nat::one();
+        for i in 2..=100u64 {
+            bound = bound.mul_small(i); // 100!
+        }
+        for _ in 0..50 {
+            let v = bound.random_below(&mut rng);
+            assert!(v < bound);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn add_matches_u128(a in 0u128..=u128::MAX / 2, b in 0u128..=u128::MAX / 2) {
+            prop_assert_eq!((&nat(a) + &nat(b)).to_u128(), Some(a + b));
+        }
+
+        #[test]
+        fn sub_matches_u128(a in 0u128.., b in 0u128..) {
+            let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+            prop_assert_eq!((&nat(hi) - &nat(lo)).to_u128(), Some(hi - lo));
+        }
+
+        #[test]
+        fn mul_matches_u128(a in 0u64.., b in 0u64..) {
+            prop_assert_eq!((&nat(a as u128) * &nat(b as u128)).to_u128(),
+                            Some(a as u128 * b as u128));
+        }
+
+        #[test]
+        fn divmod_matches_u128(a in 0u128.., d in 1u64..) {
+            let (q, r) = nat(a).divmod_small(d);
+            prop_assert_eq!(q.to_u128(), Some(a / d as u128));
+            prop_assert_eq!(r as u128, a % d as u128);
+        }
+
+        #[test]
+        fn ordering_matches_u128(a in 0u128.., b in 0u128..) {
+            prop_assert_eq!(nat(a).cmp(&nat(b)), a.cmp(&b));
+        }
+
+        #[test]
+        fn display_matches_u128(a in 0u128..) {
+            prop_assert_eq!(nat(a).to_string(), a.to_string());
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! BioConsert (§3.1, [Cohen-Boulakia, Denise, Hamel 2011]).
+//!
+//! The generalized-Kendall-τ local search that the paper finds best in the
+//! very large majority of cases. Starting from a solution (each input
+//! ranking in turn, keeping the best final result), it repeatedly applies
+//! the two edit operations as long as the cost decreases:
+//!
+//! 1. remove an element from its bucket and place it into a **new bucket**
+//!    at any position;
+//! 2. move an element into an **existing bucket**.
+//!
+//! With the pairwise table all `2k+1` destinations for one element are
+//! evaluated in `O(n)` total via prefix/suffix sums, so one sweep over all
+//! elements costs `O(n²)` — and the table itself is the `O(n²)` memory
+//! footprint the paper attributes to BioConsert (§3.1, §7.4).
+
+use super::{AlgoContext, ConsensusAlgorithm};
+use crate::dataset::Dataset;
+use crate::element::Element;
+use crate::pairs::PairTable;
+use crate::ranking::Ranking;
+
+/// BioConsert with configurable starting points.
+#[derive(Debug, Clone, Default)]
+pub struct BioConsert {
+    /// Additional starting rankings beyond the dataset's own inputs
+    /// (used by the ablation bench; normally empty).
+    pub extra_starts: Vec<Ranking>,
+    /// If `true`, skip the input rankings and use only `extra_starts`.
+    pub only_extra_starts: bool,
+}
+
+/// A candidate destination for the element being moved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Move {
+    /// New singleton bucket inserted at slot `j` (before remaining bucket `j`).
+    NewBucket(usize),
+    /// Join remaining bucket `j`.
+    IntoBucket(usize),
+}
+
+/// Steepest-descent local search from `start`; returns the refined ranking
+/// and its score.
+pub(crate) fn local_search(
+    start: &Ranking,
+    pairs: &PairTable,
+    ctx: &mut AlgoContext,
+) -> (u64, Ranking) {
+    let n = pairs.n();
+    let mut buckets: Vec<Vec<Element>> = start.buckets().map(|b| b.to_vec()).collect();
+    let mut pos: Vec<usize> = vec![0; n];
+    for (bi, b) in buckets.iter().enumerate() {
+        for &e in b {
+            pos[e.index()] = bi;
+        }
+    }
+    let mut score = pairs.score(start);
+
+    // Reusable per-sweep buffers (perf-book: keep workhorse collections).
+    let mut ca: Vec<u64> = Vec::new(); // cost if e strictly after bucket i
+    let mut cb: Vec<u64> = Vec::new(); // cost if e strictly before bucket i
+    let mut ct: Vec<u64> = Vec::new(); // cost if e tied with bucket i
+
+    let mut improved = true;
+    while improved && !ctx.expired() {
+        improved = false;
+        for id in 0..n {
+            let e = Element(id as u32);
+            let cur_b = pos[id];
+            let singleton = buckets[cur_b].len() == 1;
+
+            // Per-bucket pair-cost sums with e removed; a singleton bucket
+            // of e itself disappears from the remaining list.
+            ca.clear();
+            cb.clear();
+            ct.clear();
+            for (i, b) in buckets.iter().enumerate() {
+                if i == cur_b && singleton {
+                    continue;
+                }
+                let (mut sa, mut sb, mut st) = (0u64, 0u64, 0u64);
+                for &f in b {
+                    if f == e {
+                        continue;
+                    }
+                    sa += pairs.cost_before(f, e) as u64;
+                    sb += pairs.cost_before(e, f) as u64;
+                    st += pairs.cost_tied(e, f) as u64;
+                }
+                ca.push(sa);
+                cb.push(sb);
+                ct.push(st);
+            }
+            let k = ca.len();
+
+            // cost of a new singleton at slot j:  Σ_{i<j} ca[i] + Σ_{i≥j} cb[i]
+            // cost of joining bucket j:           Σ_{i<j} ca[i] + ct[j] + Σ_{i>j} cb[i]
+            // One left-to-right walk with running prefix/suffix sums.
+            let total_cb: u64 = cb.iter().sum();
+            let mut pre_ca = 0u64;
+            let mut suf_cb = total_cb;
+            // Current placement corresponds to slot/bucket index `cur_b`
+            // in the remaining list (buckets before cur_b are unchanged).
+            let mut current_cost = u64::MAX;
+            let mut best_cost = u64::MAX;
+            let mut best_move = Move::NewBucket(0);
+            for j in 0..=k {
+                let new_cost = pre_ca + suf_cb;
+                if new_cost < best_cost {
+                    best_cost = new_cost;
+                    best_move = Move::NewBucket(j);
+                }
+                if singleton && j == cur_b {
+                    current_cost = new_cost;
+                }
+                if j < k {
+                    let into_cost = pre_ca + ct[j] + (suf_cb - cb[j]);
+                    if into_cost < best_cost {
+                        best_cost = into_cost;
+                        best_move = Move::IntoBucket(j);
+                    }
+                    if !singleton && j == cur_b {
+                        current_cost = into_cost;
+                    }
+                    pre_ca += ca[j];
+                    suf_cb -= cb[j];
+                }
+            }
+            debug_assert_ne!(current_cost, u64::MAX);
+
+            if best_cost < current_cost {
+                // Apply: remove e, then re-insert at the best destination.
+                let b = &mut buckets[cur_b];
+                b.retain(|&f| f != e);
+                if b.is_empty() {
+                    buckets.remove(cur_b);
+                }
+                match best_move {
+                    Move::NewBucket(j) => buckets.insert(j, vec![e]),
+                    Move::IntoBucket(j) => buckets[j].push(e),
+                }
+                for (bi, b) in buckets.iter().enumerate() {
+                    for &f in b {
+                        pos[f.index()] = bi;
+                    }
+                }
+                score -= current_cost - best_cost;
+                improved = true;
+            }
+        }
+    }
+
+    let ranking = Ranking::from_buckets(buckets).expect("moves preserve validity");
+    debug_assert_eq!(score, pairs.score(&ranking));
+    (score, ranking)
+}
+
+impl ConsensusAlgorithm for BioConsert {
+    fn name(&self) -> String {
+        "BioConsert".to_owned()
+    }
+
+    fn produces_ties(&self) -> bool {
+        true
+    }
+
+    fn run(&self, data: &Dataset, ctx: &mut AlgoContext) -> Ranking {
+        let pairs = PairTable::build(data);
+        let mut best: Option<(u64, Ranking)> = None;
+        let inputs = if self.only_extra_starts {
+            &[]
+        } else {
+            data.rankings()
+        };
+        for start in inputs.iter().chain(self.extra_starts.iter()) {
+            let (score, refined) = local_search(start, &pairs, ctx);
+            if best.as_ref().map_or(true, |(s, _)| score < *s) {
+                best = Some((score, refined));
+            }
+            if ctx.expired() {
+                break;
+            }
+        }
+        best.expect("at least one start").1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_ranking;
+    use crate::score::kemeny_score;
+
+    fn data(lines: &[&str]) -> Dataset {
+        Dataset::new(lines.iter().map(|l| parse_ranking(l).unwrap()).collect()).unwrap()
+    }
+
+    fn paper_dataset() -> Dataset {
+        data(&["[{0},{3},{1,2}]", "[{0},{1,2},{3}]", "[{3},{0,2},{1}]"])
+    }
+
+    #[test]
+    fn finds_paper_optimum() {
+        let d = paper_dataset();
+        let r = BioConsert::default().run(&d, &mut AlgoContext::seeded(0));
+        assert_eq!(kemeny_score(&r, &d), 5);
+    }
+
+    #[test]
+    fn never_worse_than_any_input() {
+        let d = data(&["[{0,1},{2,3},{4}]", "[{4},{3},{2},{1},{0}]", "[{2},{0,4},{1,3}]"]);
+        let r = BioConsert::default().run(&d, &mut AlgoContext::seeded(0));
+        let s = kemeny_score(&r, &d);
+        for input in d.rankings() {
+            assert!(s <= kemeny_score(input, &d));
+        }
+        assert!(d.is_complete_ranking(&r));
+    }
+
+    #[test]
+    fn matches_brute_force_on_small_instances() {
+        use crate::algorithms::exact::brute_force;
+        // A handful of fixed small instances; BioConsert (multi-start
+        // steepest descent) should reach the optimum on all of them.
+        let cases: [&[&str]; 3] = [
+            &["[{0},{1,2}]", "[{2},{0},{1}]", "[{1},{2},{0}]"],
+            &["[{0,1,2,3}]", "[{3},{2},{1},{0}]"],
+            &["[{0},{1},{2},{3}]", "[{1},{0},{3},{2}]", "[{0,2},{1,3}]"],
+        ];
+        for lines in cases {
+            let d = data(lines);
+            let (opt, _) = brute_force(&d);
+            let r = BioConsert::default().run(&d, &mut AlgoContext::seeded(0));
+            assert_eq!(kemeny_score(&r, &d), opt, "instance {lines:?}");
+        }
+    }
+
+    #[test]
+    fn local_search_monotone_from_any_start() {
+        let d = data(&["[{0},{1},{2},{3},{4}]", "[{4},{0,1},{2,3}]"]);
+        let pairs = PairTable::build(&d);
+        let start = parse_ranking("[{4},{3},{2},{1},{0}]").unwrap();
+        let before = pairs.score(&start);
+        let (after, r) = local_search(&start, &pairs, &mut AlgoContext::seeded(0));
+        assert!(after <= before);
+        assert_eq!(after, pairs.score(&r));
+    }
+
+    #[test]
+    fn extra_starts_only_mode() {
+        let d = paper_dataset();
+        let algo = BioConsert {
+            extra_starts: vec![parse_ranking("[{0,1,2,3}]").unwrap()],
+            only_extra_starts: true,
+        };
+        let r = algo.run(&d, &mut AlgoContext::seeded(0));
+        assert!(d.is_complete_ranking(&r));
+    }
+
+    #[test]
+    fn single_element_dataset() {
+        let d = data(&["[{0}]"]);
+        let r = BioConsert::default().run(&d, &mut AlgoContext::seeded(0));
+        assert_eq!(r.n_elements(), 1);
+    }
+}

@@ -1,0 +1,324 @@
+//! BnB (§3.2, [Ali & Meilă 2012]) — extension, not part of the paper's
+//! evaluated panel.
+//!
+//! A branch-and-bound over *permutations*: each node at depth `j` fixes the
+//! first `j` elements of the output. The bound adds, to the cost of the
+//! decided pairs, the per-pair minima of everything still open. §4.1.2
+//! notes this algorithm was designed for permutations only — handling ties
+//! would require a fully new algorithm (which is what
+//! [`super::exact::ExactAlgorithm`] is).
+
+use super::{AlgoContext, ConsensusAlgorithm};
+use crate::dataset::Dataset;
+use crate::element::Element;
+use crate::pairs::PairTable;
+use crate::ranking::Ranking;
+
+/// Permutation-space branch-and-bound with a beam-width option (the paper
+/// mentions heuristics "limiting the number of leaves expended").
+#[derive(Debug, Clone)]
+pub struct BranchAndBound {
+    /// Past this size, fall back to the greedy incumbent (and flag the
+    /// run as timed out) instead of searching.
+    pub max_n: usize,
+    /// Optional beam width: at each node expand only the `b` cheapest
+    /// children. `None` = complete search (exact over permutations).
+    pub beam: Option<usize>,
+    /// Deadline check stride, in nodes.
+    pub deadline_stride: u64,
+}
+
+impl Default for BranchAndBound {
+    fn default() -> Self {
+        BranchAndBound {
+            max_n: 18,
+            beam: None,
+            deadline_stride: 4096,
+        }
+    }
+}
+
+struct Search<'a> {
+    pairs: &'a PairTable,
+    n: usize,
+    beam: Option<usize>,
+    best_score: u64,
+    best_perm: Vec<Element>,
+    prefix: Vec<Element>,
+    placed: Vec<bool>,
+    /// forced[e] = Σ_{f placed} cost_before(f, e).
+    forced: Vec<u64>,
+    /// Σ over open pairs of min(cost_before(a,b), cost_before(b,a)).
+    rem: u64,
+    /// Σ of forced[e] over unplaced e.
+    forced_total: u64,
+    g: u64,
+    nodes: u64,
+    stride: u64,
+    aborted: bool,
+}
+
+impl Search<'_> {
+    fn min2(&self, a: Element, b: Element) -> u64 {
+        self.pairs
+            .cost_before(a, b)
+            .min(self.pairs.cost_before(b, a)) as u64
+    }
+
+    fn dfs(&mut self, ctx: &mut AlgoContext) {
+        self.nodes += 1;
+        if self.nodes % self.stride == 0 && ctx.expired() {
+            self.aborted = true;
+        }
+        if self.aborted {
+            return;
+        }
+        if self.prefix.len() == self.n {
+            if self.g < self.best_score {
+                self.best_score = self.g;
+                self.best_perm = self.prefix.clone();
+            }
+            return;
+        }
+        let mut children: Vec<(u64, u32)> = (0..self.n)
+            .filter(|&id| !self.placed[id])
+            .map(|id| (self.forced[id], id as u32))
+            .collect();
+        children.sort_unstable();
+        if let Some(b) = self.beam {
+            children.truncate(b.max(1));
+        }
+        for (delta, id) in children {
+            let e = Element(id);
+            // Place e next: decided pairs (f placed, e) cost forced[e].
+            let mut rem_delta = 0u64;
+            let mut forced_delta = 0u64;
+            for x in 0..self.n {
+                if !self.placed[x] && x != id as usize {
+                    let xe = Element(x as u32);
+                    rem_delta += self.min2(e, xe);
+                    forced_delta += self.pairs.cost_before(e, xe) as u64;
+                }
+            }
+            self.g += delta;
+            self.rem -= rem_delta;
+            self.forced_total -= self.forced[id as usize];
+            self.placed[id as usize] = true;
+            self.prefix.push(e);
+            for x in 0..self.n {
+                if !self.placed[x] {
+                    self.forced[x] += self.pairs.cost_before(e, Element(x as u32)) as u64;
+                }
+            }
+            self.forced_total += forced_delta;
+
+            if self.g + self.rem + self.forced_total < self.best_score {
+                self.dfs(ctx);
+            }
+
+            // Undo.
+            for x in 0..self.n {
+                if !self.placed[x] {
+                    self.forced[x] -= self.pairs.cost_before(e, Element(x as u32)) as u64;
+                }
+            }
+            self.forced_total -= forced_delta;
+            self.prefix.pop();
+            self.placed[id as usize] = false;
+            self.forced_total += self.forced[id as usize];
+            self.rem += rem_delta;
+            self.g -= delta;
+            if self.aborted {
+                return;
+            }
+        }
+    }
+}
+
+/// Greedy incumbent: Borda order (ties broken by id) improved by adjacent
+/// swap passes.
+fn greedy_permutation(data: &Dataset, pairs: &PairTable) -> Vec<Element> {
+    let scores = super::borda::borda_scores(data);
+    let mut perm: Vec<Element> = (0..data.n() as u32).map(Element).collect();
+    perm.sort_by_key(|e| (scores[e.index()], e.0));
+    loop {
+        let mut improved = false;
+        for i in 0..perm.len().saturating_sub(1) {
+            let (a, b) = (perm[i], perm[i + 1]);
+            if pairs.before(b, a) > pairs.before(a, b) {
+                perm.swap(i, i + 1);
+                improved = true;
+            }
+        }
+        if !improved {
+            return perm;
+        }
+    }
+}
+
+fn perm_score(perm: &[Element], pairs: &PairTable) -> u64 {
+    let mut acc = 0u64;
+    for i in 0..perm.len() {
+        for j in (i + 1)..perm.len() {
+            acc += pairs.cost_before(perm[i], perm[j]) as u64;
+        }
+    }
+    acc
+}
+
+impl BranchAndBound {
+    /// Solve; returns the permutation, score and whether the search was
+    /// complete (exact over the permutation space).
+    pub fn solve(&self, data: &Dataset, ctx: &mut AlgoContext) -> (Ranking, u64, bool) {
+        let n = data.n();
+        let pairs = PairTable::build(data);
+        let incumbent = greedy_permutation(data, &pairs);
+        let incumbent_score = perm_score(&incumbent, &pairs);
+        if n > self.max_n {
+            ctx.timed_out = true;
+            return (
+                Ranking::permutation(&incumbent).expect("permutation"),
+                incumbent_score,
+                false,
+            );
+        }
+        let mut rem = 0u64;
+        for a in 0..n {
+            for b in (a + 1)..n {
+                rem += pairs
+                    .cost_before(Element(a as u32), Element(b as u32))
+                    .min(pairs.cost_before(Element(b as u32), Element(a as u32)))
+                    as u64;
+            }
+        }
+        let mut search = Search {
+            pairs: &pairs,
+            n,
+            beam: self.beam,
+            best_score: incumbent_score,
+            best_perm: incumbent,
+            prefix: Vec::with_capacity(n),
+            placed: vec![false; n],
+            forced: vec![0; n],
+            rem,
+            forced_total: 0,
+            g: 0,
+            nodes: 0,
+            stride: self.deadline_stride,
+            aborted: false,
+        };
+        search.dfs(ctx);
+        let complete = !search.aborted && self.beam.is_none();
+        (
+            Ranking::permutation(&search.best_perm).expect("permutation"),
+            search.best_score,
+            complete,
+        )
+    }
+}
+
+impl ConsensusAlgorithm for BranchAndBound {
+    fn name(&self) -> String {
+        match self.beam {
+            None => "BnB".to_owned(),
+            Some(b) => format!("BnB(beam={b})"),
+        }
+    }
+
+    fn produces_ties(&self) -> bool {
+        false
+    }
+
+    fn run(&self, data: &Dataset, ctx: &mut AlgoContext) -> Ranking {
+        let (r, _, complete) = self.solve(data, ctx);
+        ctx.proved_optimal = false; // exact only over permutations, not ties
+        let _ = complete;
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_ranking;
+
+    fn data(lines: &[&str]) -> Dataset {
+        Dataset::new(lines.iter().map(|l| parse_ranking(l).unwrap()).collect()).unwrap()
+    }
+
+    #[test]
+    fn optimal_over_permutations() {
+        // Compare against brute force restricted to permutations via the
+        // exact solver over a permutation-only instance (no tie is ever
+        // cheaper when inputs are permutations and m is odd... not in
+        // general — so instead enumerate permutations directly).
+        let d = data(&["[{0},{1},{2},{3}]", "[{1},{3},{0},{2}]", "[{3},{0},{1},{2}]"]);
+        let pairs = PairTable::build(&d);
+        // Enumerate all 24 permutations.
+        let mut best = u64::MAX;
+        let ids = [0u32, 1, 2, 3];
+        let mut perm = ids;
+        // Heap's algorithm, tiny n.
+        fn heaps(k: usize, arr: &mut [u32; 4], pairs: &PairTable, best: &mut u64) {
+            if k == 1 {
+                let elems: Vec<Element> = arr.iter().map(|&i| Element(i)).collect();
+                let s = perm_score(&elems, pairs);
+                *best = (*best).min(s);
+                return;
+            }
+            for i in 0..k {
+                heaps(k - 1, arr, pairs, best);
+                if k % 2 == 0 {
+                    arr.swap(i, k - 1);
+                } else {
+                    arr.swap(0, k - 1);
+                }
+            }
+        }
+        heaps(4, &mut perm, &pairs, &mut best);
+        let (r, score, complete) =
+            BranchAndBound::default().solve(&d, &mut AlgoContext::seeded(0));
+        assert!(complete);
+        assert_eq!(score, best);
+        assert!(r.is_permutation());
+    }
+
+    #[test]
+    fn beam_search_is_fast_and_valid() {
+        let d = data(&["[{0},{1},{2},{3},{4},{5}]", "[{5},{4},{3},{2},{1},{0}]"]);
+        let algo = BranchAndBound {
+            beam: Some(2),
+            ..BranchAndBound::default()
+        };
+        let (r, _, complete) = algo.solve(&d, &mut AlgoContext::seeded(0));
+        assert!(!complete); // beam search never proves optimality
+        assert!(d.is_complete_ranking(&r));
+        assert_eq!(algo.name(), "BnB(beam=2)");
+    }
+
+    #[test]
+    fn oversize_falls_back_to_greedy() {
+        let lines: Vec<String> = (0..2)
+            .map(|k| {
+                let ids: Vec<String> = (0..25).map(|i| format!("{{{}}}", (i + k) % 25)).collect();
+                format!("[{}]", ids.join(","))
+            })
+            .collect();
+        let refs: Vec<&str> = lines.iter().map(|s| s.as_str()).collect();
+        let d = data(&refs);
+        let mut ctx = AlgoContext::seeded(0);
+        let (r, _, complete) = BranchAndBound::default().solve(&d, &mut ctx);
+        assert!(!complete);
+        assert!(ctx.timed_out);
+        assert!(d.is_complete_ranking(&r));
+    }
+
+    #[test]
+    fn never_worse_than_greedy_incumbent() {
+        let d = data(&["[{2},{0},{3},{1}]", "[{0},{1},{2},{3}]", "[{3},{2},{1},{0}]"]);
+        let pairs = PairTable::build(&d);
+        let greedy = greedy_permutation(&d, &pairs);
+        let (_, score, _) = BranchAndBound::default().solve(&d, &mut AlgoContext::seeded(0));
+        assert!(score <= perm_score(&greedy, &pairs));
+    }
+}

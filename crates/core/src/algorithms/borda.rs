@@ -1,0 +1,107 @@
+//! BordaCount (§3.3, [Borda 1781]), tie-adapted per §4.1.3.
+//!
+//! The position of an element in a ranking with ties is the number of
+//! elements placed strictly before it, plus one — a formulation that
+//! already "encompasses the presence of ties". An element's score is the
+//! sum of its positions over all input rankings; elements are ranked by
+//! ascending score, and (the §4.1.3 slight modification) elements with
+//! *equal* scores are tied in the consensus.
+//!
+//! BordaCount cannot account for the cost of (un)tying: §4.1.3's example —
+//! two elements tied in all but one input — still get distinct scores and
+//! are untied in the consensus. The unification experiments (Figure 5)
+//! show the consequences.
+
+use super::{ranking_from_scores, AlgoContext, ConsensusAlgorithm};
+use crate::dataset::Dataset;
+use crate::ranking::Ranking;
+
+/// The BordaCount positional algorithm. Runs in `O(nm + n log n)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BordaCount;
+
+/// Sum over rankings of (1 + number of elements strictly before `e`).
+pub(crate) fn borda_scores(data: &Dataset) -> Vec<u64> {
+    let mut scores = vec![0u64; data.n()];
+    for r in data.rankings() {
+        let mut before = 0u64;
+        for bucket in r.buckets() {
+            for &e in bucket {
+                scores[e.index()] += before + 1;
+            }
+            before += bucket.len() as u64;
+        }
+    }
+    scores
+}
+
+impl ConsensusAlgorithm for BordaCount {
+    fn name(&self) -> String {
+        "BordaCount".to_owned()
+    }
+
+    fn produces_ties(&self) -> bool {
+        true // via the equal-score adaptation
+    }
+
+    fn run(&self, data: &Dataset, _ctx: &mut AlgoContext) -> Ranking {
+        ranking_from_scores(&borda_scores(data), true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_ranking;
+
+    fn data(lines: &[&str]) -> Dataset {
+        Dataset::new(lines.iter().map(|l| parse_ranking(l).unwrap()).collect()).unwrap()
+    }
+
+    #[test]
+    fn unanimous_permutations() {
+        let d = data(&["[{0},{1},{2}]", "[{0},{1},{2}]"]);
+        let r = BordaCount.run(&d, &mut AlgoContext::seeded(0));
+        assert_eq!(r, parse_ranking("[{0},{1},{2}]").unwrap());
+    }
+
+    #[test]
+    fn positions_count_strictly_before() {
+        // In [{0,1},{2}]: both 0 and 1 have position 1, element 2 position 3.
+        let d = data(&["[{0,1},{2}]"]);
+        assert_eq!(borda_scores(&d), vec![1, 1, 3]);
+    }
+
+    #[test]
+    fn equal_scores_become_ties() {
+        // Two opposite permutations: all scores equal → everything tied.
+        let d = data(&["[{0},{1},{2}]", "[{2},{1},{0}]"]);
+        let r = BordaCount.run(&d, &mut AlgoContext::seeded(0));
+        assert_eq!(r, parse_ranking("[{0,1,2}]").unwrap());
+    }
+
+    #[test]
+    fn section_413_untying_example() {
+        // x=0, y=1 tied in three rankings, untied in one: Borda untied them
+        // although a very large majority ties them (the §4.1.3 weakness).
+        let d = data(&[
+            "[{0,1},{2}]",
+            "[{0,1},{2}]",
+            "[{0,1},{2}]",
+            "[{0},{1},{2}]",
+        ]);
+        let r = BordaCount.run(&d, &mut AlgoContext::seeded(0));
+        assert_ne!(
+            r.bucket_of(crate::Element(0)),
+            r.bucket_of(crate::Element(1)),
+            "BordaCount is expected to untie x and y here"
+        );
+    }
+
+    #[test]
+    fn output_is_complete() {
+        let d = data(&["[{2},{0,3},{1}]", "[{1},{3},{0,2}]"]);
+        let r = BordaCount.run(&d, &mut AlgoContext::seeded(0));
+        assert!(d.is_complete_ranking(&r));
+    }
+}

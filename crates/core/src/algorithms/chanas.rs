@@ -1,0 +1,213 @@
+//! Chanas and ChanasBoth (§3.2, [Chanas & Kobylański 1996],
+//! [Coleman & Wirth 2009]) — extensions, not part of the paper's
+//! evaluated panel (they cannot handle ties at all, §4.1.2).
+//!
+//! Both are greedy local searches over *permutations* whose edit operation
+//! permutes two consecutive elements. `Chanas` follows the original
+//! SORT / REVERSE / SORT scheme: run adjacent-swap passes to a local
+//! optimum, reverse the permutation, re-sort, and keep going while the
+//! cost improves. `ChanasBoth` (our reading of [13]) additionally sweeps
+//! in both directions inside the sort procedure before considering a
+//! reversal.
+//!
+//! Note on costs: for permutation outputs the tie count `t` of a pair
+//! cancels out of every swap delta, so decisions based on the generalized
+//! costs coincide with the classical Kendall-τ ones — these algorithms
+//! simply never pay or save (un)tying cost.
+
+use super::{AlgoContext, ConsensusAlgorithm};
+use crate::dataset::Dataset;
+use crate::element::Element;
+use crate::pairs::PairTable;
+use crate::ranking::Ranking;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// The original Chanas heuristic.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Chanas;
+
+/// The bidirectional variant.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChanasBoth;
+
+/// One forward adjacent-swap pass; returns whether anything improved.
+fn forward_pass(perm: &mut [Element], pairs: &PairTable) -> bool {
+    let mut improved = false;
+    for i in 0..perm.len().saturating_sub(1) {
+        let (a, b) = (perm[i], perm[i + 1]);
+        // Swapping is strictly better iff more rankings prefer b before a.
+        if pairs.before(b, a) > pairs.before(a, b) {
+            perm.swap(i, i + 1);
+            improved = true;
+        }
+    }
+    improved
+}
+
+/// One backward pass (used by ChanasBoth).
+fn backward_pass(perm: &mut [Element], pairs: &PairTable) -> bool {
+    let mut improved = false;
+    for i in (0..perm.len().saturating_sub(1)).rev() {
+        let (a, b) = (perm[i], perm[i + 1]);
+        if pairs.before(b, a) > pairs.before(a, b) {
+            perm.swap(i, i + 1);
+            improved = true;
+        }
+    }
+    improved
+}
+
+/// Run passes to an adjacent-swap local optimum.
+fn sort_to_local_opt(perm: &mut [Element], pairs: &PairTable, both_directions: bool) {
+    loop {
+        let mut improved = forward_pass(perm, pairs);
+        if both_directions {
+            improved |= backward_pass(perm, pairs);
+        }
+        if !improved {
+            return;
+        }
+    }
+}
+
+/// Kemeny score of a permutation given as an element sequence.
+fn perm_score(perm: &[Element], pairs: &PairTable) -> u64 {
+    let mut acc = 0u64;
+    for i in 0..perm.len() {
+        for j in (i + 1)..perm.len() {
+            acc += pairs.cost_before(perm[i], perm[j]) as u64;
+        }
+    }
+    acc
+}
+
+/// Starting permutation: a random input ranking with ties broken at random
+/// (Chanas handles permutations only).
+fn random_start(data: &Dataset, rng: &mut rand::rngs::StdRng) -> Vec<Element> {
+    let r = data.ranking(rng.random_range(0..data.m()));
+    let mut perm = Vec::with_capacity(r.n_elements());
+    for bucket in r.buckets() {
+        let mut b = bucket.to_vec();
+        b.shuffle(rng);
+        perm.extend(b);
+    }
+    perm
+}
+
+fn chanas_core(data: &Dataset, ctx: &mut AlgoContext, both: bool) -> Ranking {
+    let pairs = PairTable::build(data);
+    let mut cur = random_start(data, &mut ctx.rng);
+    sort_to_local_opt(&mut cur, &pairs, both);
+    let mut best_score = perm_score(&cur, &pairs);
+    loop {
+        let mut cand: Vec<Element> = cur.iter().rev().copied().collect();
+        sort_to_local_opt(&mut cand, &pairs, both);
+        let s = perm_score(&cand, &pairs);
+        if s < best_score && !ctx.expired() {
+            cur = cand;
+            best_score = s;
+        } else {
+            break;
+        }
+    }
+    Ranking::permutation(&cur).expect("permutation of the elements")
+}
+
+impl ConsensusAlgorithm for Chanas {
+    fn name(&self) -> String {
+        "Chanas".to_owned()
+    }
+
+    fn produces_ties(&self) -> bool {
+        false
+    }
+
+    fn run(&self, data: &Dataset, ctx: &mut AlgoContext) -> Ranking {
+        chanas_core(data, ctx, false)
+    }
+}
+
+impl ConsensusAlgorithm for ChanasBoth {
+    fn name(&self) -> String {
+        "ChanasBoth".to_owned()
+    }
+
+    fn produces_ties(&self) -> bool {
+        false
+    }
+
+    fn run(&self, data: &Dataset, ctx: &mut AlgoContext) -> Ranking {
+        chanas_core(data, ctx, true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_ranking;
+    use crate::score::classical_kemeny_score;
+
+    fn data(lines: &[&str]) -> Dataset {
+        Dataset::new(lines.iter().map(|l| parse_ranking(l).unwrap()).collect()).unwrap()
+    }
+
+    #[test]
+    fn output_is_permutation() {
+        let d = data(&["[{0,1},{2,3}]", "[{3},{0},{1,2}]"]);
+        for seed in 0..5 {
+            let r = Chanas.run(&d, &mut AlgoContext::seeded(seed));
+            assert!(r.is_permutation());
+            assert!(d.is_complete_ranking(&r));
+            let rb = ChanasBoth.run(&d, &mut AlgoContext::seeded(seed));
+            assert!(rb.is_permutation());
+        }
+    }
+
+    #[test]
+    fn unanimous_permutations_recovered() {
+        let d = data(&["[{2},{0},{1}]", "[{2},{0},{1}]"]);
+        let r = Chanas.run(&d, &mut AlgoContext::seeded(3));
+        assert_eq!(r, parse_ranking("[{2},{0},{1}]").unwrap());
+    }
+
+    #[test]
+    fn local_optimum_beats_start() {
+        let d = data(&[
+            "[{0},{1},{2},{3},{4}]",
+            "[{1},{0},{2},{4},{3}]",
+            "[{0},{2},{1},{3},{4}]",
+        ]);
+        let r = Chanas.run(&d, &mut AlgoContext::seeded(0));
+        // The consensus must be at least as good as every input.
+        let s = classical_kemeny_score(&r, &d);
+        for input in d.rankings() {
+            assert!(s <= classical_kemeny_score(input, &d));
+        }
+    }
+
+    #[test]
+    fn finds_exact_optimum_on_easy_instance() {
+        // Strong majority order 0<1<2<3 with one dissenting ranking.
+        let d = data(&[
+            "[{0},{1},{2},{3}]",
+            "[{0},{1},{2},{3}]",
+            "[{0},{1},{2},{3}]",
+            "[{3},{2},{1},{0}]",
+        ]);
+        for algo_both in [false, true] {
+            let r = chanas_core(&d, &mut AlgoContext::seeded(1), algo_both);
+            assert_eq!(r, parse_ranking("[{0},{1},{2},{3}]").unwrap());
+        }
+    }
+
+    #[test]
+    fn adjacent_swap_pass_is_monotone() {
+        let d = data(&["[{0},{1},{2},{3},{4}]", "[{4},{3},{2},{1},{0}]", "[{2},{0},{4},{1},{3}]"]);
+        let pairs = PairTable::build(&d);
+        let mut perm: Vec<Element> = (0..5).map(Element).collect();
+        let before = perm_score(&perm, &pairs);
+        forward_pass(&mut perm, &pairs);
+        assert!(perm_score(&perm, &pairs) <= before);
+    }
+}

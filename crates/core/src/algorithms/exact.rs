@@ -1,0 +1,775 @@
+//! Exact optimal consensus under the generalized Kendall-τ distance.
+//!
+//! Three independent solvers, cross-validated against each other in the
+//! test suite:
+//!
+//! * [`ExactAlgorithm`] — a native best-first branch-and-bound that builds
+//!   the consensus bucket by bucket with an admissible pairwise lower
+//!   bound, seeded with a BioConsert incumbent. This is the solver the
+//!   benchmark harness uses (the paper used CPLEX; see DESIGN.md §5).
+//! * [`ExactLpb`] — the paper's §4.2 linear pseudo-boolean program,
+//!   verbatim (variables `x_{a<b}`, `x_{a=b}`; constraints (1)–(3)),
+//!   solved with the `lpsolve` substrate. Practical only for small `n`;
+//!   exists to validate the formulation and the native solver.
+//! * [`brute_force`] — enumerate all `Fubini(n)` bucket orders (tests
+//!   only, `n ≤ 9`).
+//!
+//! The problem is NP-hard for `m ≥ 4` even (§4), so all solvers are
+//! deadline-aware: on timeout they return the best incumbent with
+//! [`AlgoContext::timed_out`] set and `proved_optimal` unset.
+
+use super::{bioconsert, AlgoContext, ConsensusAlgorithm};
+use crate::dataset::Dataset;
+use crate::element::Element;
+use crate::pairs::PairTable;
+use crate::ranking::Ranking;
+use lpsolve::{BnbOptions, Cmp, Problem, Var};
+
+/// Native branch-and-bound exact solver.
+#[derive(Debug, Clone)]
+pub struct ExactAlgorithm {
+    /// Hard cap on `n` (the bitmask state limits us to 64; the paper's own
+    /// exact runs stop at n = 60).
+    pub max_n: usize,
+    /// Check the deadline every this many nodes.
+    pub deadline_stride: u64,
+    /// Split the instance into independently-solvable blocks first (§3.2
+    /// mentions the polynomial preprocessing of [Betzler et al.] dividing
+    /// the problem into smaller instances; see [`safe_blocks`]).
+    pub decompose: bool,
+}
+
+impl Default for ExactAlgorithm {
+    fn default() -> Self {
+        ExactAlgorithm {
+            max_n: 64,
+            deadline_stride: 4096,
+            decompose: true,
+        }
+    }
+}
+
+/// Partition the elements into consecutive blocks such that some optimal
+/// consensus orders every earlier-block element strictly before every
+/// later-block element — so each block can be solved independently.
+///
+/// Safety argument: order elements by Borda score; a split between prefix
+/// `P` and suffix `S` is *safe* when, for every cross pair `(a ∈ P, b ∈ S)`,
+/// putting `a` strictly before `b` is weakly cheapest
+/// (`before(a,b) ≥ max(before(b,a), tied(a,b))`). Given any consensus,
+/// moving all of `S` after all of `P` while preserving the within-group
+/// bucket orders changes only cross-pair costs, each to its minimum — so
+/// the transformation never increases the generalized Kemeny score, and an
+/// optimal consensus respecting every safe split exists.
+pub fn safe_blocks(data: &Dataset) -> Vec<Vec<Element>> {
+    let n = data.n();
+    let pairs = PairTable::build(data);
+    let scores = super::borda::borda_scores(data);
+    let mut order: Vec<Element> = (0..n as u32).map(Element).collect();
+    order.sort_by_key(|e| (scores[e.index()], e.0));
+
+    let safe_cross = |a: Element, b: Element| {
+        pairs.before(a, b) >= pairs.before(b, a).max(pairs.tied(a, b))
+    };
+    // ok_after[k] = the split between order[..=k] and order[k+1..] is safe.
+    // Incremental check: a split is safe iff every cross pair is; walk
+    // splits left to right keeping the set of "open" unsafe pairs would be
+    // complex — at the exact solver's n ≤ 64 the direct O(n³) test is
+    // instant and obviously correct.
+    let mut blocks: Vec<Vec<Element>> = Vec::new();
+    let mut start = 0usize;
+    for k in 0..n - 1 {
+        let safe = (start..=k).all(|i| ((k + 1)..n).all(|j| safe_cross(order[i], order[j])));
+        if safe {
+            blocks.push(order[start..=k].to_vec());
+            start = k + 1;
+        }
+    }
+    blocks.push(order[start..].to_vec());
+    blocks
+}
+
+/// Restrict `data` to `block` (sorted by id), remapped to dense ids.
+fn restrict_dataset(data: &Dataset, block: &[Element]) -> Dataset {
+    let rankings: Vec<Ranking> = data
+        .rankings()
+        .iter()
+        .map(|r| {
+            let buckets: Vec<Vec<Element>> = r
+                .buckets()
+                .map(|b| {
+                    b.iter()
+                        .filter_map(|e| {
+                            block
+                                .binary_search(e)
+                                .ok()
+                                .map(|i| Element(i as u32))
+                        })
+                        .collect::<Vec<_>>()
+                })
+                .filter(|b: &Vec<Element>| !b.is_empty())
+                .collect();
+            Ranking::from_buckets(buckets).expect("restriction keeps validity")
+        })
+        .collect();
+    Dataset::new(rankings).expect("same dense support per block")
+}
+
+/// Search state: one node of the bucket-by-bucket construction.
+///
+/// Canonical enumeration: a bucket's elements are added in increasing id
+/// order (an element may only *join* the last bucket if its id exceeds the
+/// bucket's maximum), so every bucket order is generated exactly once.
+#[derive(Clone)]
+struct Node {
+    /// Bitmask of placed elements.
+    placed: u64,
+    /// Highest element id in the open (last) bucket; `u32::MAX` if none.
+    max_last: u32,
+    /// Cost of all decided pairs.
+    g: u64,
+    /// For unplaced `e`: cost against all placed if `e` starts a new
+    /// bucket (everything placed ends up strictly before `e`).
+    cost_new: Vec<u64>,
+    /// For unplaced `e`: cost against all placed if `e` joins the open
+    /// bucket.
+    cost_join: Vec<u64>,
+    /// For unplaced `e`: admissible lower bound on its cost against all
+    /// placed elements (open-bucket members may still tie with `e`).
+    forced: Vec<u64>,
+    /// Σ over unplaced pairs of the per-pair minimum cost.
+    rem: u64,
+    /// Bucket index per element (valid where `placed`).
+    assign: Vec<u32>,
+    /// Next bucket index to open.
+    next_bucket: u32,
+}
+
+impl Node {
+    fn root(pairs: &PairTable) -> Self {
+        let n = pairs.n();
+        let mut rem = 0u64;
+        for a in 0..n {
+            for b in (a + 1)..n {
+                rem += pairs.min_pair_cost(Element(a as u32), Element(b as u32)) as u64;
+            }
+        }
+        Node {
+            placed: 0,
+            max_last: u32::MAX,
+            g: 0,
+            cost_new: vec![0; n],
+            cost_join: vec![0; n],
+            forced: vec![0; n],
+            rem,
+            assign: vec![0; n],
+            next_bucket: 0,
+        }
+    }
+
+    #[inline]
+    fn is_placed(&self, id: usize) -> bool {
+        self.placed >> id & 1 == 1
+    }
+
+    fn lower_bound(&self, n: usize) -> u64 {
+        let mut lb = self.g + self.rem;
+        for id in 0..n {
+            if !self.is_placed(id) {
+                lb += self.forced[id];
+            }
+        }
+        lb
+    }
+
+    /// Child node: `e` starts a new bucket (closing the current one).
+    fn place_new(&self, e: Element, pairs: &PairTable) -> Node {
+        let n = pairs.n();
+        let mut c = self.clone();
+        c.g += self.cost_new[e.index()];
+        c.placed |= 1 << e.index();
+        c.max_last = e.0;
+        c.assign[e.index()] = c.next_bucket;
+        c.next_bucket += 1;
+        for id in 0..n {
+            if c.is_placed(id) {
+                continue;
+            }
+            let x = Element(id as u32);
+            let cb_ex = pairs.cost_before(e, x) as u64;
+            let ct = pairs.cost_tied(x, e) as u64;
+            // All previously placed elements are now strictly earlier.
+            c.cost_join[id] = self.cost_new[id] + ct;
+            c.cost_new[id] = self.cost_new[id] + cb_ex;
+            c.forced[id] = self.cost_new[id] + ct.min(cb_ex);
+            c.rem -= pairs.min_pair_cost(e, x) as u64;
+        }
+        c
+    }
+
+    /// Child node: `e` joins the open bucket (requires `e.0 > max_last`).
+    fn place_join(&self, e: Element, pairs: &PairTable) -> Node {
+        let n = pairs.n();
+        debug_assert!(self.max_last != u32::MAX && e.0 > self.max_last);
+        let mut c = self.clone();
+        c.g += self.cost_join[e.index()];
+        c.placed |= 1 << e.index();
+        c.max_last = e.0;
+        c.assign[e.index()] = c.next_bucket - 1;
+        for id in 0..n {
+            if c.is_placed(id) {
+                continue;
+            }
+            let x = Element(id as u32);
+            let cb_ex = pairs.cost_before(e, x) as u64;
+            let ct = pairs.cost_tied(x, e) as u64;
+            c.cost_new[id] += cb_ex;
+            c.cost_join[id] += ct;
+            c.forced[id] += ct.min(cb_ex);
+            c.rem -= pairs.min_pair_cost(e, x) as u64;
+        }
+        c
+    }
+}
+
+struct Search<'a> {
+    pairs: &'a PairTable,
+    n: usize,
+    best_score: u64,
+    best_assign: Vec<u32>,
+    nodes: u64,
+    stride: u64,
+    aborted: bool,
+}
+
+impl Search<'_> {
+    fn dfs(&mut self, node: &Node, ctx: &mut AlgoContext) {
+        self.nodes += 1;
+        if self.nodes % self.stride == 0 && ctx.expired() {
+            self.aborted = true;
+        }
+        if self.aborted {
+            return;
+        }
+        if node.placed.count_ones() as usize == self.n {
+            if node.g < self.best_score {
+                self.best_score = node.g;
+                self.best_assign = node.assign.clone();
+            }
+            return;
+        }
+        // Children: (delta, element, join?) — cheapest immediate delta first.
+        let mut children: Vec<(u64, u32, bool)> = Vec::new();
+        for id in 0..self.n {
+            if node.is_placed(id) {
+                continue;
+            }
+            children.push((node.cost_new[id], id as u32, false));
+            if node.max_last != u32::MAX && (id as u32) > node.max_last {
+                children.push((node.cost_join[id], id as u32, true));
+            }
+        }
+        children.sort_unstable();
+        for (_, id, join) in children {
+            let e = Element(id);
+            let child = if join {
+                node.place_join(e, self.pairs)
+            } else {
+                node.place_new(e, self.pairs)
+            };
+            if child.lower_bound(self.n) < self.best_score {
+                self.dfs(&child, ctx);
+            }
+            if self.aborted {
+                return;
+            }
+        }
+    }
+}
+
+impl ExactAlgorithm {
+    /// Solve, returning the consensus, its score, and whether optimality
+    /// was proved (false only if the deadline was hit).
+    pub fn solve(&self, data: &Dataset, ctx: &mut AlgoContext) -> (Ranking, u64, bool) {
+        let n = data.n();
+        assert!(
+            n <= self.max_n && n <= 64,
+            "ExactAlgorithm supports up to {} elements (dataset has {n})",
+            self.max_n.min(64)
+        );
+        if !self.decompose {
+            return self.solve_monolithic(data, ctx);
+        }
+        let blocks = safe_blocks(data);
+        if blocks.len() == 1 {
+            return self.solve_monolithic(data, ctx);
+        }
+        // Cross-block pairs are strictly ordered block-before-block — by
+        // construction of the safe split, that is each pair's cheapest
+        // state.
+        let pairs = PairTable::build(data);
+        let mut total = 0u64;
+        for i in 0..blocks.len() {
+            for j in (i + 1)..blocks.len() {
+                for &a in &blocks[i] {
+                    for &b in &blocks[j] {
+                        total += pairs.cost_before(a, b) as u64;
+                    }
+                }
+            }
+        }
+        let mut buckets: Vec<Vec<Element>> = Vec::new();
+        let mut proved = true;
+        for block in &blocks {
+            if block.len() == 1 {
+                buckets.push(block.clone());
+                continue;
+            }
+            let mut sorted = block.clone();
+            sorted.sort_unstable();
+            let sub = restrict_dataset(data, &sorted);
+            let (r, score, p) = self.solve_monolithic(&sub, ctx);
+            proved &= p;
+            total += score;
+            for b in r.buckets() {
+                buckets.push(b.iter().map(|&e| sorted[e.index()]).collect());
+            }
+        }
+        let ranking = Ranking::from_buckets(buckets).expect("blocks partition the elements");
+        debug_assert_eq!(pairs.score(&ranking), total);
+        (ranking, total, proved)
+    }
+
+    /// The branch-and-bound core, without decomposition.
+    fn solve_monolithic(&self, data: &Dataset, ctx: &mut AlgoContext) -> (Ranking, u64, bool) {
+        let n = data.n();
+        let pairs = PairTable::build(data);
+
+        // Incumbent from BioConsert (§7.1: its solutions are optimal in 68%
+        // of uniform datasets, so the B&B mostly proves optimality).
+        let incumbent = bioconsert::BioConsert::default().run(data, ctx);
+        let incumbent_score = pairs.score(&incumbent);
+
+        let root = Node::root(&pairs);
+        let mut search = Search {
+            pairs: &pairs,
+            n,
+            best_score: incumbent_score,
+            best_assign: (0..n)
+                .map(|id| incumbent.bucket_of(Element(id as u32)).expect("complete") as u32)
+                .collect(),
+            nodes: 0,
+            stride: self.deadline_stride,
+            aborted: false,
+        };
+        if root.lower_bound(n) < search.best_score {
+            search.dfs(&root, ctx);
+        }
+
+        let ranking =
+            Ranking::from_bucket_indices(&search.best_assign).expect("assignment is a partition");
+        debug_assert_eq!(pairs.score(&ranking), search.best_score);
+        (ranking, search.best_score, !search.aborted)
+    }
+}
+
+impl ConsensusAlgorithm for ExactAlgorithm {
+    fn name(&self) -> String {
+        "ExactAlgorithm".to_owned()
+    }
+
+    fn produces_ties(&self) -> bool {
+        true
+    }
+
+    fn run(&self, data: &Dataset, ctx: &mut AlgoContext) -> Ranking {
+        let (ranking, _, proved) = self.solve(data, ctx);
+        ctx.proved_optimal = proved;
+        ranking
+    }
+}
+
+/// The §4.2 LPB formulation, verbatim, over the `lpsolve` substrate.
+#[derive(Debug, Clone)]
+pub struct ExactLpb {
+    /// Size guard: the dense simplex B&B is practical only for small `n`.
+    pub max_n: usize,
+}
+
+impl Default for ExactLpb {
+    fn default() -> Self {
+        ExactLpb { max_n: 10 }
+    }
+}
+
+impl ExactLpb {
+    /// Solve the LPB and return the optimal consensus with its score.
+    pub fn solve(&self, data: &Dataset) -> (Ranking, u64) {
+        let n = data.n();
+        assert!(
+            n <= self.max_n,
+            "ExactLpb supports up to {} elements (dataset has {n})",
+            self.max_n
+        );
+        let pairs = PairTable::build(data);
+        let mut p = Problem::new();
+
+        // x_{a<b} for every ordered pair; x_{a=b} for every unordered pair.
+        let mut lt = vec![None::<Var>; n * n];
+        let mut eq = vec![None::<Var>; n * n];
+        for a in 0..n {
+            for b in 0..n {
+                if a == b {
+                    continue;
+                }
+                let (ea, eb) = (Element(a as u32), Element(b as u32));
+                // w_{b≤a}: rankings with b before or tied with a.
+                let w_b_le_a = pairs.before(eb, ea) + pairs.tied(ea, eb);
+                lt[a * n + b] = Some(p.add_var(w_b_le_a as f64, 0.0, 1.0));
+            }
+        }
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let (ea, eb) = (Element(a as u32), Element(b as u32));
+                let w = pairs.before(ea, eb) + pairs.before(eb, ea);
+                eq[a * n + b] = Some(p.add_var(w as f64, 0.0, 1.0));
+            }
+        }
+        let ltv = |a: usize, b: usize| lt[a * n + b].expect("ordered pair var");
+        let eqv = |a: usize, b: usize| eq[a.min(b) * n + a.max(b)].expect("unordered pair var");
+
+        // (1) unique relation per pair.
+        for a in 0..n {
+            for b in (a + 1)..n {
+                p.add_row(
+                    &[(ltv(a, b), 1.0), (ltv(b, a), 1.0), (eqv(a, b), 1.0)],
+                    Cmp::Eq,
+                    1.0,
+                );
+            }
+        }
+        // (2) order transitivity for every ordered triple.
+        for a in 0..n {
+            for b in 0..n {
+                for c in 0..n {
+                    if a == b || b == c || a == c {
+                        continue;
+                    }
+                    p.add_row(
+                        &[(ltv(a, c), 1.0), (ltv(a, b), -1.0), (ltv(b, c), -1.0)],
+                        Cmp::Ge,
+                        -1.0,
+                    );
+                }
+            }
+        }
+        // (3) bucket transitivity: for each unordered triple, each choice of
+        // "middle" element b.
+        for a in 0..n {
+            for b in 0..n {
+                for c in (a + 1)..n {
+                    if b == a || b == c || c <= a {
+                        continue;
+                    }
+                    p.add_row(
+                        &[
+                            (ltv(a, b), 2.0),
+                            (ltv(b, a), 2.0),
+                            (ltv(b, c), 2.0),
+                            (ltv(c, b), 2.0),
+                            (ltv(a, c), -1.0),
+                            (ltv(c, a), -1.0),
+                        ],
+                        Cmp::Ge,
+                        0.0,
+                    );
+                }
+            }
+        }
+
+        let binaries: Vec<Var> = lt
+            .iter()
+            .chain(eq.iter())
+            .filter_map(|v| *v)
+            .collect();
+        let sol = p
+            .solve_binary(&binaries, &BnbOptions::default())
+            .expect("the LPB always has a feasible point (any ranking)");
+
+        // Reconstruct: an element's bucket level is the number of elements
+        // strictly before it.
+        let levels: Vec<u64> = (0..n)
+            .map(|a| {
+                (0..n)
+                    .filter(|&b| b != a && sol.x[ltv(b, a).index()] > 0.5)
+                    .count() as u64
+            })
+            .collect();
+        let ranking = super::ranking_from_scores(&levels, true);
+        let score = pairs.score(&ranking);
+        debug_assert_eq!(score as f64, sol.objective.round());
+        (ranking, score)
+    }
+}
+
+impl ConsensusAlgorithm for ExactLpb {
+    fn name(&self) -> String {
+        "ExactLPB".to_owned()
+    }
+
+    fn produces_ties(&self) -> bool {
+        true
+    }
+
+    fn run(&self, data: &Dataset, ctx: &mut AlgoContext) -> Ranking {
+        let (ranking, _) = self.solve(data);
+        ctx.proved_optimal = true;
+        ranking
+    }
+}
+
+/// Enumerate every bucket order of the dataset's elements and return an
+/// optimum. Test oracle only.
+///
+/// # Panics
+/// Panics for `n > 9` (`Fubini(9) ≈ 7·10⁶` candidates is the practical
+/// limit).
+pub fn brute_force(data: &Dataset) -> (u64, Ranking) {
+    let n = data.n();
+    assert!(n <= 9, "brute force is limited to n <= 9 (got {n})");
+    let pairs = PairTable::build(data);
+    let mut best: Option<(u64, Vec<Vec<Element>>)> = None;
+    let mut buckets: Vec<Vec<Element>> = Vec::new();
+    enumerate(0, n, &mut buckets, &pairs, &mut best);
+    let (score, buckets) = best.expect("n >= 1 has at least one bucket order");
+    (
+        score,
+        Ranking::from_buckets(buckets).expect("enumeration yields valid rankings"),
+    )
+}
+
+fn enumerate(
+    next: usize,
+    n: usize,
+    buckets: &mut Vec<Vec<Element>>,
+    pairs: &PairTable,
+    best: &mut Option<(u64, Vec<Vec<Element>>)>,
+) {
+    if next == n {
+        let r = Ranking::from_buckets(buckets.clone()).expect("valid partial construction");
+        let score = pairs.score(&r);
+        if best.as_ref().map_or(true, |(s, _)| score < *s) {
+            *best = Some((score, buckets.clone()));
+        }
+        return;
+    }
+    let e = Element(next as u32);
+    // Join any existing bucket…
+    for i in 0..buckets.len() {
+        buckets[i].push(e);
+        enumerate(next + 1, n, buckets, pairs, best);
+        buckets[i].pop();
+    }
+    // …or open a new bucket at any position.
+    for i in 0..=buckets.len() {
+        buckets.insert(i, vec![e]);
+        enumerate(next + 1, n, buckets, pairs, best);
+        buckets.remove(i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_ranking;
+    use crate::score::kemeny_score;
+    use rand::Rng;
+
+    fn data(lines: &[&str]) -> Dataset {
+        Dataset::new(lines.iter().map(|l| parse_ranking(l).unwrap()).collect()).unwrap()
+    }
+
+    fn paper_dataset() -> Dataset {
+        data(&["[{0},{3},{1,2}]", "[{0},{1,2},{3}]", "[{3},{0,2},{1}]"])
+    }
+
+    #[test]
+    fn brute_force_finds_paper_optimum() {
+        let (score, r) = brute_force(&paper_dataset());
+        assert_eq!(score, 5);
+        assert_eq!(r, parse_ranking("[{0},{3},{1,2}]").unwrap());
+    }
+
+    #[test]
+    fn brute_force_enumerates_all_bucket_orders() {
+        // Count leaves for n = 3 via a probe dataset: Fubini(3) = 13
+        // distinct rankings; the optimum of identical inputs is the input.
+        let d = data(&["[{0},{1},{2}]"]);
+        let (score, r) = brute_force(&d);
+        assert_eq!(score, 0);
+        assert_eq!(&r, d.ranking(0));
+    }
+
+    #[test]
+    fn native_bnb_matches_brute_force_on_paper_example() {
+        let d = paper_dataset();
+        let mut ctx = AlgoContext::seeded(1);
+        let (r, score, proved) = ExactAlgorithm::default().solve(&d, &mut ctx);
+        assert!(proved);
+        assert_eq!(score, 5);
+        assert_eq!(kemeny_score(&r, &d), 5);
+    }
+
+    #[test]
+    fn lpb_matches_brute_force_on_paper_example() {
+        let d = paper_dataset();
+        let (r, score) = ExactLpb::default().solve(&d);
+        assert_eq!(score, 5);
+        assert_eq!(kemeny_score(&r, &d), 5);
+    }
+
+    #[test]
+    fn three_solvers_agree_on_random_small_instances() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        for trial in 0..8 {
+            let n = rng.random_range(3..=5);
+            let m = rng.random_range(2..=4);
+            let rankings: Vec<Ranking> = (0..m)
+                .map(|_| {
+                    // Random bucket order: random bucket index per element,
+                    // then compacted.
+                    loop {
+                        let idx: Vec<u32> =
+                            (0..n).map(|_| rng.random_range(0..n as u32)).collect();
+                        let mut used: Vec<u32> = idx.clone();
+                        used.sort_unstable();
+                        used.dedup();
+                        let remap: Vec<u32> = idx
+                            .iter()
+                            .map(|v| used.iter().position(|u| u == v).unwrap() as u32)
+                            .collect();
+                        if let Ok(r) = Ranking::from_bucket_indices(&remap) {
+                            return r;
+                        }
+                    }
+                })
+                .collect();
+            let d = Dataset::new(rankings).unwrap();
+            let (bf_score, _) = brute_force(&d);
+            let mut ctx = AlgoContext::seeded(trial);
+            let (_, bnb_score, proved) = ExactAlgorithm::default().solve(&d, &mut ctx);
+            assert!(proved, "trial {trial}");
+            assert_eq!(bnb_score, bf_score, "native vs brute force, trial {trial}");
+            let (_, lpb_score) = ExactLpb::default().solve(&d);
+            assert_eq!(lpb_score, bf_score, "LPB vs brute force, trial {trial}");
+        }
+    }
+
+    #[test]
+    fn exact_beats_or_matches_every_heuristic() {
+        use crate::algorithms::paper_algorithms;
+        let d = data(&["[{0},{1,2},{3},{4}]", "[{4},{1},{0,2,3}]", "[{2},{0},{1},{3,4}]"]);
+        let mut ctx = AlgoContext::seeded(5);
+        let (_, opt, proved) = ExactAlgorithm::default().solve(&d, &mut ctx);
+        assert!(proved);
+        for algo in paper_algorithms(3) {
+            let r = algo.run(&d, &mut ctx);
+            assert!(
+                kemeny_score(&r, &d) >= opt,
+                "{} beat the proven optimum",
+                algo.name()
+            );
+        }
+    }
+
+    #[test]
+    fn handles_unanimous_dataset_with_zero_cost() {
+        let d = data(&["[{1},{0,2}]", "[{1},{0,2}]"]);
+        let mut ctx = AlgoContext::seeded(0);
+        let (r, score, proved) = ExactAlgorithm::default().solve(&d, &mut ctx);
+        assert!(proved);
+        assert_eq!(score, 0);
+        assert_eq!(&r, d.ranking(0));
+    }
+
+    #[test]
+    fn decomposition_matches_monolithic() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(321);
+        for trial in 0..10 {
+            let n = rng.random_range(4..=7);
+            let m = rng.random_range(2..=5);
+            let rankings: Vec<Ranking> = (0..m)
+                .map(|_| {
+                    let idx: Vec<u32> = (0..n).map(|_| rng.random_range(0..n as u32)).collect();
+                    let mut used = idx.clone();
+                    used.sort_unstable();
+                    used.dedup();
+                    let remap: Vec<u32> = idx
+                        .iter()
+                        .map(|v| used.iter().position(|u| u == v).unwrap() as u32)
+                        .collect();
+                    Ranking::from_bucket_indices(&remap).unwrap()
+                })
+                .collect();
+            let d = Dataset::new(rankings).unwrap();
+            let with = ExactAlgorithm::default();
+            let without = ExactAlgorithm {
+                decompose: false,
+                ..ExactAlgorithm::default()
+            };
+            let (_, s1, p1) = with.solve(&d, &mut AlgoContext::seeded(trial));
+            let (_, s2, p2) = without.solve(&d, &mut AlgoContext::seeded(trial));
+            assert!(p1 && p2);
+            assert_eq!(s1, s2, "trial {trial}: decomposition changed the optimum");
+        }
+    }
+
+    #[test]
+    fn safe_blocks_detects_concatenated_instances() {
+        // Two independent sub-instances glued together: {0,1} always
+        // strictly before {2,3} in every ranking.
+        let d = data(&["[{0},{1},{2},{3}]", "[{1},{0},{3},{2}]", "[{0,1},{2,3}]"]);
+        let blocks = safe_blocks(&d);
+        assert!(
+            blocks.len() >= 2,
+            "expected a split between {{0,1}} and {{2,3}}, got {blocks:?}"
+        );
+        let first: Vec<u32> = blocks[0].iter().map(|e| e.0).collect();
+        assert!(first.iter().all(|&id| id <= 1));
+    }
+
+    #[test]
+    fn safe_blocks_refuses_unsafe_splits() {
+        // A Condorcet cycle: every split has a cross pair whose majority
+        // points backwards, so no decomposition is possible.
+        let d = data(&["[{0},{1},{2}]", "[{1},{2},{0}]", "[{2},{0},{1}]"]);
+        assert_eq!(safe_blocks(&d).len(), 1);
+    }
+
+    #[test]
+    fn timeout_returns_incumbent_unproved() {
+        use std::time::Duration;
+        // n = 12 uniform-ish data with a zero deadline: must return the
+        // BioConsert incumbent immediately, unproved.
+        let lines: Vec<String> = (0..4)
+            .map(|k| {
+                let mut ids: Vec<usize> = (0..12).collect();
+                ids.rotate_left(k * 3);
+                let parts: Vec<String> = ids.iter().map(|i| format!("{{{i}}}")).collect();
+                format!("[{}]", parts.join(","))
+            })
+            .collect();
+        let refs: Vec<&str> = lines.iter().map(|s| s.as_str()).collect();
+        let d = data(&refs);
+        let mut ctx = AlgoContext::seeded_with_budget(0, Duration::from_millis(0));
+        let exact = ExactAlgorithm {
+            deadline_stride: 1,
+            ..ExactAlgorithm::default()
+        };
+        let (r, _, proved) = exact.solve(&d, &mut ctx);
+        assert!(!proved);
+        assert!(d.is_complete_ranking(&r));
+    }
+}

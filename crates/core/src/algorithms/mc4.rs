@@ -1,0 +1,166 @@
+//! MC4 (§3.3, [Dwork, Kumar, Naor, Sivakumar 2001]) — the "hybrid"
+//! Markov-chain approach.
+//!
+//! States are the elements. From state `e₁`, the chain moves to `e₂` with
+//! probability `1/n` when a strict majority of the input rankings prefers
+//! `e₂` to `e₁` (mass flows toward preferred elements), and stays otherwise.
+//! An element's score is its stationary probability; elements are ranked by
+//! descending stationary mass, equal masses tied.
+//!
+//! The raw MC4 chain need not be ergodic, so (standard practice) we mix in
+//! a small uniform teleport `ε`; the stationary distribution is found by
+//! power iteration, which dominates the cost — the paper's reason for
+//! calling MC4 "much more time consuming" than CopelandMethod.
+
+use super::{AlgoContext, ConsensusAlgorithm};
+use crate::dataset::Dataset;
+use crate::element::Element;
+use crate::pairs::PairTable;
+use crate::ranking::Ranking;
+
+/// MC4 with configurable teleport and convergence parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Mc4 {
+    /// Uniform teleport probability (ergodicity fix).
+    pub epsilon: f64,
+    /// Power-iteration convergence threshold on the L1 step change.
+    pub tolerance: f64,
+    /// Power-iteration cap.
+    pub max_iterations: usize,
+    /// Stationary probabilities closer than this are considered tied.
+    pub tie_tolerance: f64,
+}
+
+impl Default for Mc4 {
+    fn default() -> Self {
+        Mc4 {
+            epsilon: 0.05,
+            tolerance: 1e-12,
+            max_iterations: 20_000,
+            tie_tolerance: 1e-9,
+        }
+    }
+}
+
+impl ConsensusAlgorithm for Mc4 {
+    fn name(&self) -> String {
+        "MC4".to_owned()
+    }
+
+    fn produces_ties(&self) -> bool {
+        true
+    }
+
+    fn run(&self, data: &Dataset, ctx: &mut AlgoContext) -> Ranking {
+        let n = data.n();
+        if n == 1 {
+            return data.ranking(0).clone();
+        }
+        let pairs = PairTable::build(data);
+        let m = pairs.m();
+
+        // adjacency[a] = elements a strict majority prefers over a.
+        let mut better_than: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for a in 0..n {
+            for b in 0..n {
+                if a != b && 2 * pairs.before(Element(b as u32), Element(a as u32)) > m {
+                    better_than[a].push(b as u32);
+                }
+            }
+        }
+
+        let uniform = 1.0 / n as f64;
+        let mut pi = vec![uniform; n];
+        let mut next = vec![0.0f64; n];
+        for _ in 0..self.max_iterations {
+            // next = pi * P, with P[a][b] = 1/n per majority-preferred b and
+            // the self-loop absorbing the rest.
+            next.fill(0.0);
+            for a in 0..n {
+                let share = pi[a] / n as f64;
+                for &b in &better_than[a] {
+                    next[b as usize] += share;
+                }
+                next[a] += pi[a] - share * better_than[a].len() as f64;
+            }
+            // Teleport mix keeps the chain ergodic.
+            let mut delta = 0.0;
+            for a in 0..n {
+                let v = (1.0 - self.epsilon) * next[a] + self.epsilon * uniform;
+                delta += (v - pi[a]).abs();
+                pi[a] = v;
+            }
+            if delta < self.tolerance || ctx.expired() {
+                break;
+            }
+        }
+
+        // Descending stationary mass, near-equal masses tied.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| pi[b].partial_cmp(&pi[a]).expect("finite probabilities"));
+        let mut buckets: Vec<Vec<Element>> = Vec::new();
+        for &id in &order {
+            let new_bucket = match buckets.last() {
+                None => true,
+                Some(last) => {
+                    let prev = last[last.len() - 1].index();
+                    (pi[prev] - pi[id]).abs() > self.tie_tolerance
+                }
+            };
+            if new_bucket {
+                buckets.push(Vec::new());
+            }
+            buckets.last_mut().expect("just pushed").push(Element(id as u32));
+        }
+        Ranking::from_buckets(buckets).expect("grouping is a valid ranking")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_ranking;
+
+    fn data(lines: &[&str]) -> Dataset {
+        Dataset::new(lines.iter().map(|l| parse_ranking(l).unwrap()).collect()).unwrap()
+    }
+
+    #[test]
+    fn unanimous_order_recovered() {
+        let d = data(&["[{0},{1},{2}]", "[{0},{1},{2}]", "[{0},{1},{2}]"]);
+        let r = Mc4::default().run(&d, &mut AlgoContext::seeded(0));
+        assert_eq!(r, parse_ranking("[{0},{1},{2}]").unwrap());
+    }
+
+    #[test]
+    fn condorcet_winner_ranked_first() {
+        let d = data(&["[{2},{0},{1}]", "[{2},{1},{0}]", "[{0},{2},{1}]"]);
+        let r = Mc4::default().run(&d, &mut AlgoContext::seeded(0));
+        assert_eq!(r.bucket_of(Element(2)), Some(0));
+    }
+
+    #[test]
+    fn symmetric_inputs_tie_everything() {
+        // Two reversed permutations: no strict majority anywhere, the chain
+        // is the teleport-uniform chain → all stationary masses equal.
+        let d = data(&["[{0},{1},{2}]", "[{2},{1},{0}]"]);
+        let r = Mc4::default().run(&d, &mut AlgoContext::seeded(0));
+        assert_eq!(r, parse_ranking("[{0,1,2}]").unwrap());
+    }
+
+    #[test]
+    fn handles_tied_inputs_and_is_complete() {
+        let d = data(&["[{0,1},{2,3}]", "[{1},{0},{2},{3}]", "[{0},{1},{3},{2}]"]);
+        let r = Mc4::default().run(&d, &mut AlgoContext::seeded(0));
+        assert!(d.is_complete_ranking(&r));
+        // {0,1} majority-beat {2,3}: 2 and 3 must not precede 0.
+        assert!(r.bucket_of(Element(0)) < r.bucket_of(Element(2)));
+    }
+
+    #[test]
+    fn single_element() {
+        let d = data(&["[{0}]"]);
+        let r = Mc4::default().run(&d, &mut AlgoContext::seeded(0));
+        assert_eq!(r.n_elements(), 1);
+    }
+}

@@ -1,0 +1,286 @@
+//! The rank-aggregation algorithm suite (Table 1 of the paper).
+//!
+//! Every algorithm the paper re-implemented and evaluated (bold rows of
+//! Table 1) is available through [`paper_algorithms`]; the remaining rows
+//! (Chanas, ChanasBoth, BnB, MC4) plus a classic pairwise Copeland are
+//! implemented as extensions in [`extended_algorithms`].
+//!
+//! | Name | Class | Produces ties | Module |
+//! |------|-------|---------------|--------|
+//! | Ailon 3/2 | \[K\] linear programming | with rounding | [`ailon`] |
+//! | BioConsert | \[G\] local search | yes | [`bioconsert`] |
+//! | BordaCount | \[P\] sort by score | adapted | [`borda`] |
+//! | CopelandMethod | \[P\] sort by score | adapted | [`copeland`] |
+//! | FaginDyn (Small/Large) | \[G\] dynamic programming | yes | [`fagin`] |
+//! | KwikSort (+Min) | \[K\] divide & conquer | adapted (3-way pivot) | [`kwiksort`] |
+//! | MEDRank(h) | \[P\] extract order | adapted | [`medrank`] |
+//! | Pick-a-Perm | \[K\] naive | yes (returns an input) | [`pick_a_perm`] |
+//! | RepeatChoice (+Min) | \[K\] sort by order | adapted | [`repeat_choice`] |
+//! | ExactAlgorithm | branch & bound / LPB (§4.2) | yes | [`exact`] |
+//! | Chanas / ChanasBoth | \[K\] local search | no | [`chanas`] |
+//! | BnB | \[K\] branch & bound | no | [`bnb`] |
+//! | MC4 | \[P\] hybrid (Markov chain) | yes | [`mc4`] |
+
+pub mod ailon;
+pub mod bioconsert;
+pub mod bnb;
+pub mod borda;
+pub mod chanas;
+pub mod copeland;
+pub mod exact;
+pub mod fagin;
+pub mod kwiksort;
+pub mod mc4;
+pub mod medrank;
+pub mod pick_a_perm;
+pub mod repeat_choice;
+
+use crate::dataset::Dataset;
+use crate::element::Element;
+use crate::pairs::PairTable;
+use crate::ranking::Ranking;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+/// Per-run context: seeded randomness, optional deadline, and outcome
+/// flags.
+///
+/// The paper limits every algorithm to two hours per dataset (§6.2.4);
+/// [`AlgoContext::deadline`] plays that role. Algorithms that hit the
+/// deadline return their best effort and set [`AlgoContext::timed_out`].
+#[derive(Debug)]
+pub struct AlgoContext {
+    /// Random source for the randomized algorithms (seeded for
+    /// reproducibility).
+    pub rng: StdRng,
+    /// Absolute wall-clock cutoff, if any.
+    pub deadline: Option<Instant>,
+    /// Set by an algorithm that had to stop early.
+    pub timed_out: bool,
+    /// Set by exact solvers when optimality was *proved* (not just a best
+    /// incumbent found).
+    pub proved_optimal: bool,
+}
+
+impl AlgoContext {
+    /// A context with a seeded RNG and no deadline.
+    pub fn seeded(seed: u64) -> Self {
+        AlgoContext {
+            rng: StdRng::seed_from_u64(seed),
+            deadline: None,
+            timed_out: false,
+            proved_optimal: false,
+        }
+    }
+
+    /// A context with a time budget starting now.
+    pub fn seeded_with_budget(seed: u64, budget: Duration) -> Self {
+        let mut ctx = AlgoContext::seeded(seed);
+        ctx.deadline = Some(Instant::now() + budget);
+        ctx
+    }
+
+    /// `true` (and records the timeout) once the deadline has passed.
+    #[inline]
+    pub fn expired(&mut self) -> bool {
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                self.timed_out = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Clear the per-run outcome flags (harnesses reuse contexts).
+    pub fn reset_flags(&mut self) {
+        self.timed_out = false;
+        self.proved_optimal = false;
+    }
+}
+
+/// A consensus-ranking algorithm.
+///
+/// `run` must return a ranking over exactly the dataset's elements
+/// (checked by `debug_assert`; also enforced by the integration tests for
+/// every registered algorithm).
+pub trait ConsensusAlgorithm: Send + Sync {
+    /// Display name, matching the paper's tables (e.g. `"MEDRank(0.5)"`).
+    fn name(&self) -> String;
+
+    /// Whether the algorithm can place elements in the same bucket
+    /// (Table 1's "can produce ties" column, after adaptation).
+    fn produces_ties(&self) -> bool;
+
+    /// Compute a consensus ranking for `data`.
+    fn run(&self, data: &Dataset, ctx: &mut AlgoContext) -> Ranking;
+}
+
+/// Wrapper running a randomized base algorithm `runs` times and keeping the
+/// best result by generalized Kemeny score — the paper's "Min" variants
+/// (KwikSortMin, RepeatChoiceMin, §6.2.1).
+pub struct BestOf {
+    base: Box<dyn ConsensusAlgorithm>,
+    runs: usize,
+    name: String,
+}
+
+impl BestOf {
+    /// Wrap `base`, running it `runs` times.
+    pub fn new(base: Box<dyn ConsensusAlgorithm>, runs: usize, name: &str) -> Self {
+        assert!(runs >= 1);
+        BestOf {
+            base,
+            runs,
+            name: name.to_owned(),
+        }
+    }
+}
+
+impl ConsensusAlgorithm for BestOf {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn produces_ties(&self) -> bool {
+        self.base.produces_ties()
+    }
+
+    fn run(&self, data: &Dataset, ctx: &mut AlgoContext) -> Ranking {
+        let pairs = PairTable::build(data);
+        let mut best: Option<(u64, Ranking)> = None;
+        for _ in 0..self.runs {
+            let cand = self.base.run(data, ctx);
+            let score = pairs.score(&cand);
+            if best.as_ref().map_or(true, |(s, _)| score < *s) {
+                best = Some((score, cand));
+            }
+            if ctx.expired() {
+                break;
+            }
+        }
+        best.expect("runs >= 1").1
+    }
+}
+
+/// Sort elements by score and group equal scores into buckets — the
+/// paper's §4.1.3 tie adaptation shared by the positional algorithms.
+///
+/// `ascending = true` ranks the smallest score first.
+pub(crate) fn ranking_from_scores<T: Ord + Copy>(scores: &[T], ascending: bool) -> Ranking {
+    let mut order: Vec<u32> = (0..scores.len() as u32).collect();
+    if ascending {
+        order.sort_by_key(|&id| scores[id as usize]);
+    } else {
+        order.sort_by_key(|&id| std::cmp::Reverse(scores[id as usize]));
+    }
+    let mut buckets: Vec<Vec<Element>> = Vec::new();
+    for &id in &order {
+        let start_new = match buckets.last() {
+            None => true,
+            Some(last) => {
+                let prev = last[0].index();
+                scores[prev] != scores[id as usize]
+            }
+        };
+        if start_new {
+            buckets.push(Vec::new());
+        }
+        buckets.last_mut().expect("just pushed").push(Element(id));
+    }
+    Ranking::from_buckets(buckets).expect("scores grouping is a valid ranking")
+}
+
+/// The algorithm set the paper evaluated (Table 4 / Table 5 rows), in the
+/// tables' alphabetical order. `min_runs` configures the "Min" variants'
+/// repeat count (the paper used "a large number of runs"; the harness
+/// default is 20).
+pub fn paper_algorithms(min_runs: usize) -> Vec<Box<dyn ConsensusAlgorithm>> {
+    vec![
+        Box::new(ailon::AilonThreeHalves::default()),
+        Box::new(bioconsert::BioConsert::default()),
+        Box::new(borda::BordaCount),
+        Box::new(copeland::CopelandMethod),
+        Box::new(fagin::FaginDyn::large()),
+        Box::new(fagin::FaginDyn::small()),
+        Box::new(kwiksort::KwikSort),
+        Box::new(BestOf::new(Box::new(kwiksort::KwikSort), min_runs, "KwikSortMin")),
+        Box::new(medrank::MedRank::new(0.5)),
+        Box::new(medrank::MedRank::new(0.7)),
+        Box::new(pick_a_perm::PickAPerm),
+        Box::new(repeat_choice::RepeatChoice),
+        Box::new(BestOf::new(
+            Box::new(repeat_choice::RepeatChoice),
+            min_runs,
+            "RepeatChoiceMin",
+        )),
+    ]
+}
+
+/// The exact solver (reported as "ExactAlgorithm"/"ExactSolution" in the
+/// paper's figures).
+pub fn exact_algorithm() -> Box<dyn ConsensusAlgorithm> {
+    Box::new(exact::ExactAlgorithm::default())
+}
+
+/// Non-bold Table 1 rows, implemented as extensions (see DESIGN.md §7).
+pub fn extended_algorithms() -> Vec<Box<dyn ConsensusAlgorithm>> {
+    vec![
+        Box::new(chanas::Chanas),
+        Box::new(chanas::ChanasBoth),
+        Box::new(bnb::BranchAndBound::default()),
+        Box::new(mc4::Mc4::default()),
+        Box::new(copeland::CopelandPairwise),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranking_from_scores_groups_equal() {
+        // scores: e0=5, e1=2, e2=5, e3=1 → ascending [{3},{1},{0,2}]
+        let r = ranking_from_scores(&[5u64, 2, 5, 1], true);
+        assert_eq!(r, Ranking::from_slices(&[&[3], &[1], &[0, 2]]).unwrap());
+        let d = ranking_from_scores(&[5u64, 2, 5, 1], false);
+        assert_eq!(d, Ranking::from_slices(&[&[0, 2], &[1], &[3]]).unwrap());
+    }
+
+    #[test]
+    fn registry_names_are_unique_and_paper_spelled() {
+        let names: Vec<String> = paper_algorithms(3).iter().map(|a| a.name()).collect();
+        let expected = [
+            "Ailon3/2",
+            "BioConsert",
+            "BordaCount",
+            "CopelandMethod",
+            "FaginLarge",
+            "FaginSmall",
+            "KwikSort",
+            "KwikSortMin",
+            "MEDRank(0.5)",
+            "MEDRank(0.7)",
+            "Pick-a-Perm",
+            "RepeatChoice",
+            "RepeatChoiceMin",
+        ];
+        assert_eq!(names, expected);
+        let mut sorted = names.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), names.len());
+    }
+
+    #[test]
+    fn context_deadline_expiry() {
+        let mut ctx = AlgoContext::seeded_with_budget(0, Duration::from_secs(0));
+        assert!(ctx.expired());
+        assert!(ctx.timed_out);
+        ctx.reset_flags();
+        assert!(!ctx.timed_out);
+        let mut free = AlgoContext::seeded(0);
+        assert!(!free.expired());
+    }
+}

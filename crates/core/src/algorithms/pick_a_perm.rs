@@ -1,0 +1,86 @@
+//! Pick-a-Perm (§3.2, [Ailon, Charikar, Newman 2008]).
+//!
+//! The naive 2-approximation: return one of the input rankings. We
+//! implement the de-randomized version of [Schalekamp & van Zuylen 2009]
+//! that returns an input ranking with minimal generalized Kemeny score —
+//! deterministic, and the variant whose 2-approximation guarantee is
+//! worst-case rather than in expectation.
+//!
+//! Pick-a-Perm trivially "can produce ties" (Table 1): if an input has
+//! ties, so may the output.
+
+use super::{AlgoContext, ConsensusAlgorithm};
+use crate::dataset::Dataset;
+use crate::pairs::PairTable;
+use crate::ranking::Ranking;
+
+/// De-randomized Pick-a-Perm.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PickAPerm;
+
+impl ConsensusAlgorithm for PickAPerm {
+    fn name(&self) -> String {
+        "Pick-a-Perm".to_owned()
+    }
+
+    fn produces_ties(&self) -> bool {
+        true
+    }
+
+    fn run(&self, data: &Dataset, _ctx: &mut AlgoContext) -> Ranking {
+        let pairs = PairTable::build(data);
+        data.rankings()
+            .iter()
+            .min_by_key(|r| pairs.score(r))
+            .expect("datasets are non-empty")
+            .clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_ranking;
+    use crate::score::kemeny_score;
+
+    fn data(lines: &[&str]) -> Dataset {
+        Dataset::new(lines.iter().map(|l| parse_ranking(l).unwrap()).collect()).unwrap()
+    }
+
+    #[test]
+    fn returns_an_input_ranking() {
+        let d = data(&["[{0},{1},{2}]", "[{1},{0},{2}]", "[{2},{1},{0}]"]);
+        let r = PickAPerm.run(&d, &mut AlgoContext::seeded(0));
+        assert!(d.rankings().contains(&r));
+    }
+
+    #[test]
+    fn returns_the_minimal_cost_input() {
+        // r0 and r1 are close; r2 is their reversal — the winner must be
+        // r0 or r1, never r2.
+        let d = data(&["[{0},{1},{2},{3}]", "[{0},{1},{3},{2}]", "[{3},{2},{1},{0}]"]);
+        let r = PickAPerm.run(&d, &mut AlgoContext::seeded(0));
+        let score = kemeny_score(&r, &d);
+        for input in d.rankings() {
+            assert!(score <= kemeny_score(input, &d));
+        }
+        assert_ne!(&r, d.ranking(2));
+    }
+
+    #[test]
+    fn two_approximation_on_small_instances() {
+        // Guarantee: min-cost input ≤ 2 · optimum. Check against brute force.
+        use crate::algorithms::exact::brute_force;
+        let d = data(&["[{0},{1,2}]", "[{2},{0},{1}]", "[{1},{2},{0}]"]);
+        let (opt_score, _) = brute_force(&d);
+        let r = PickAPerm.run(&d, &mut AlgoContext::seeded(0));
+        assert!(kemeny_score(&r, &d) <= 2 * opt_score);
+    }
+
+    #[test]
+    fn propagates_input_ties() {
+        let d = data(&["[{0,1,2}]"]);
+        let r = PickAPerm.run(&d, &mut AlgoContext::seeded(0));
+        assert_eq!(r.n_buckets(), 1);
+    }
+}

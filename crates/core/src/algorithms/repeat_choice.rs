@@ -1,0 +1,137 @@
+//! RepeatChoice (§3.2, [Ailon 2010]; "Ailon2" in [Cohen-Boulakia et al.]).
+//!
+//! A 2-approximation derived from Pick-a-Perm: start from one input
+//! ranking and *refine* its buckets with the order of the elements in the
+//! other input rankings, visited in random order, until all inputs have
+//! been used. The original then breaks any remaining buckets arbitrarily
+//! to output a permutation; §4.1.2 notes that **removing this last step**
+//! makes the algorithm produce rankings with ties — that is the variant
+//! implemented here (elements still tied after all refinements stay tied).
+//!
+//! A simple implementation runs in `O(m · S(n))` per the paper.
+
+use super::{AlgoContext, ConsensusAlgorithm};
+use crate::dataset::Dataset;
+use crate::element::Element;
+use crate::ranking::Ranking;
+use rand::seq::SliceRandom;
+
+/// Tie-keeping RepeatChoice. Randomized: the visit order of the input
+/// rankings comes from the context RNG (wrap in
+/// [`super::BestOf`] for the paper's `RepeatChoiceMin`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RepeatChoice;
+
+/// Refine `buckets` by the bucket order of `by`: each bucket is split into
+/// sub-buckets grouped by the elements' position in `by`, sub-buckets
+/// ordered as `by` orders them. Elements `by` ties stay together.
+fn refine(buckets: Vec<Vec<Element>>, by: &Ranking) -> Vec<Vec<Element>> {
+    let mut out = Vec::with_capacity(buckets.len());
+    for bucket in buckets {
+        if bucket.len() == 1 {
+            out.push(bucket);
+            continue;
+        }
+        // Group by position in `by`, preserving ascending position order.
+        let mut tagged: Vec<(usize, Element)> = bucket
+            .into_iter()
+            .map(|e| (by.bucket_of(e).expect("same support"), e))
+            .collect();
+        tagged.sort_unstable();
+        let mut start = 0;
+        while start < tagged.len() {
+            let mut end = start;
+            while end < tagged.len() && tagged[end].0 == tagged[start].0 {
+                end += 1;
+            }
+            out.push(tagged[start..end].iter().map(|&(_, e)| e).collect());
+            start = end;
+        }
+    }
+    out
+}
+
+impl ConsensusAlgorithm for RepeatChoice {
+    fn name(&self) -> String {
+        "RepeatChoice".to_owned()
+    }
+
+    fn produces_ties(&self) -> bool {
+        true // the §4.1.2 adaptation: the final arbitrary break is removed
+    }
+
+    fn run(&self, data: &Dataset, ctx: &mut AlgoContext) -> Ranking {
+        let mut order: Vec<usize> = (0..data.m()).collect();
+        order.shuffle(&mut ctx.rng);
+        let first = data.ranking(order[0]);
+        let mut buckets: Vec<Vec<Element>> = first.buckets().map(|b| b.to_vec()).collect();
+        for &i in &order[1..] {
+            buckets = refine(buckets, data.ranking(i));
+        }
+        Ranking::from_buckets(buckets).expect("refinement preserves validity")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_ranking;
+    use crate::score::kemeny_score;
+
+    fn data(lines: &[&str]) -> Dataset {
+        Dataset::new(lines.iter().map(|l| parse_ranking(l).unwrap()).collect()).unwrap()
+    }
+
+    #[test]
+    fn single_input_returned_verbatim() {
+        let d = data(&["[{0},{1,2},{3}]"]);
+        let r = RepeatChoice.run(&d, &mut AlgoContext::seeded(1));
+        assert_eq!(&r, d.ranking(0));
+    }
+
+    #[test]
+    fn refinement_splits_by_other_ranking() {
+        // Start [{0,1,2}]; refine by [{2},{0},{1}] → [{2},{0},{1}].
+        let start = vec![vec![Element(0), Element(1), Element(2)]];
+        let by = parse_ranking("[{2},{0},{1}]").unwrap();
+        let refined = refine(start, &by);
+        assert_eq!(
+            Ranking::from_buckets(refined).unwrap(),
+            parse_ranking("[{2},{0},{1}]").unwrap()
+        );
+    }
+
+    #[test]
+    fn refinement_never_merges() {
+        // Refinement can only split buckets: bucket count is monotone.
+        let d = data(&["[{0,1},{2,3}]", "[{3},{0,1,2}]"]);
+        let r = RepeatChoice.run(&d, &mut AlgoContext::seeded(7));
+        // Whatever the visit order, {2,3} or {0,1} splits are the only
+        // possible changes; 0 and 1 are tied in both inputs → stay tied.
+        assert_eq!(r.bucket_of(Element(0)), r.bucket_of(Element(1)));
+        assert!(d.is_complete_ranking(&r));
+    }
+
+    #[test]
+    fn unanimously_tied_elements_stay_tied() {
+        let d = data(&["[{0,1},{2}]", "[{2},{0,1}]", "[{0,1,2}]"]);
+        for seed in 0..10 {
+            let r = RepeatChoice.run(&d, &mut AlgoContext::seeded(seed));
+            assert_eq!(r.bucket_of(Element(0)), r.bucket_of(Element(1)), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn two_approximation_on_small_instance() {
+        use crate::algorithms::exact::brute_force;
+        let d = data(&["[{0},{1,2}]", "[{2},{0},{1}]", "[{1},{2},{0}]"]);
+        let (opt, _) = brute_force(&d);
+        // The 2-approximation holds in expectation; with the best of many
+        // seeds it must comfortably hold.
+        let best = (0..20)
+            .map(|s| kemeny_score(&RepeatChoice.run(&d, &mut AlgoContext::seeded(s)), &d))
+            .min()
+            .unwrap();
+        assert!(best <= 2 * opt, "best {best} > 2 × opt {opt}");
+    }
+}

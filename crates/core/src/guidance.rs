@@ -1,0 +1,183 @@
+//! Algorithm guidance from §7.4, as code.
+//!
+//! The paper closes its analysis with concrete recommendations: which
+//! algorithm to use, given the dataset features that were shown to matter
+//! (size, similarity, ties introduced by normalization) and the user's
+//! quality/time trade-off. This module encodes those rules so downstream
+//! users can ask for a recommendation programmatically.
+
+use crate::dataset::Dataset;
+use crate::similarity::dataset_similarity;
+
+/// Features of a dataset that drive the recommendation (§7).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatasetFeatures {
+    /// Number of elements.
+    pub n: usize,
+    /// Number of input rankings.
+    pub m: usize,
+    /// Intrinsic similarity `s(R)` (§6.2.2); `None` if unknown.
+    pub similarity: Option<f64>,
+    /// Whether the inputs contain large ties — e.g. the ending buckets the
+    /// unification process creates (§7.3.2).
+    pub has_large_ties: bool,
+}
+
+impl DatasetFeatures {
+    /// Measure the features of a dataset directly.
+    pub fn measure(data: &Dataset) -> Self {
+        let large = data
+            .rankings()
+            .iter()
+            .any(|r| r.max_bucket_size() * 4 >= r.n_elements().max(1) && r.max_bucket_size() > 2);
+        DatasetFeatures {
+            n: data.n(),
+            m: data.m(),
+            similarity: Some(dataset_similarity(data)),
+            has_large_ties: large,
+        }
+    }
+}
+
+/// The user's priority in the time/quality trade-off of Figure 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Priority {
+    /// Highest quality results are mandatory.
+    Quality,
+    /// Good quality in reasonable time (the paper's general outcome).
+    Balanced,
+    /// Time is highly important.
+    Speed,
+}
+
+/// A recommendation: the algorithm name (as registered in
+/// [`crate::algorithms::paper_algorithms`]) plus the §7.4 rationale.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Recommendation {
+    /// Registry name of the recommended algorithm.
+    pub algorithm: &'static str,
+    /// Which §7.4 rule fired.
+    pub rationale: &'static str,
+}
+
+/// Default element-count ceiling under which exact resolution is considered
+/// tractable. The paper computed optima up to n = 60 with CPLEX and hours
+/// of budget; our native branch-and-bound is comfortable around 20 on
+/// uniform data (see EXPERIMENTS.md).
+pub const EXACT_TRACTABLE_N: usize = 20;
+
+/// Element count past which BioConsert's `O(n²)` memory becomes the
+/// bottleneck (§7.4: "extremely large datasets, n > 30 000").
+pub const BIOCONSERT_MEMORY_LIMIT_N: usize = 30_000;
+
+/// Apply the §7.4 decision rules.
+pub fn recommend(f: &DatasetFeatures, priority: Priority) -> Recommendation {
+    match priority {
+        Priority::Quality => {
+            if f.n <= EXACT_TRACTABLE_N {
+                Recommendation {
+                    algorithm: "ExactAlgorithm",
+                    rationale: "optimal consensus is tractable at this size (§7.4 first case)",
+                }
+            } else if f.n <= BIOCONSERT_MEMORY_LIMIT_N {
+                Recommendation {
+                    algorithm: "BioConsert",
+                    rationale: "best quality in a very large number of cases; benefits from \
+                                similarity and is independent of the normalization (§7.4)",
+                }
+            } else {
+                Recommendation {
+                    algorithm: "KwikSortMin",
+                    rationale: "BioConsert's O(n²) memory hits physical limits past ~30k \
+                                elements; KwikSort is the best alternative (§7.4 second case)",
+                }
+            }
+        }
+        Priority::Balanced => {
+            if f.n > BIOCONSERT_MEMORY_LIMIT_N {
+                Recommendation {
+                    algorithm: "KwikSort",
+                    rationale: "good quality at any scale, positively influenced by dataset \
+                                similarity (§7.4, Figure 4)",
+                }
+            } else {
+                Recommendation {
+                    algorithm: "BioConsert",
+                    rationale: "the best approach in a very large number of cases (§7.4 \
+                                general outcome)",
+                }
+            }
+        }
+        Priority::Speed => {
+            if f.has_large_ties {
+                Recommendation {
+                    algorithm: "MEDRank(0.5)",
+                    rationale: "with large ties (e.g. unification buckets) MEDRank is an \
+                                excellent candidate (§7.4 last case)",
+                }
+            } else {
+                Recommendation {
+                    algorithm: "BordaCount",
+                    rationale: "with few ties BordaCount is the fast choice (§7.4 last case)",
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_ranking;
+
+    fn features(n: usize, large_ties: bool) -> DatasetFeatures {
+        DatasetFeatures {
+            n,
+            m: 7,
+            similarity: Some(0.0),
+            has_large_ties: large_ties,
+        }
+    }
+
+    #[test]
+    fn quality_small_uses_exact() {
+        assert_eq!(recommend(&features(10, false), Priority::Quality).algorithm, "ExactAlgorithm");
+    }
+
+    #[test]
+    fn quality_medium_uses_bioconsert() {
+        assert_eq!(recommend(&features(500, false), Priority::Quality).algorithm, "BioConsert");
+    }
+
+    #[test]
+    fn quality_huge_uses_kwiksort() {
+        assert_eq!(
+            recommend(&features(50_000, false), Priority::Quality).algorithm,
+            "KwikSortMin"
+        );
+    }
+
+    #[test]
+    fn speed_depends_on_ties() {
+        assert_eq!(recommend(&features(100, true), Priority::Speed).algorithm, "MEDRank(0.5)");
+        assert_eq!(recommend(&features(100, false), Priority::Speed).algorithm, "BordaCount");
+    }
+
+    #[test]
+    fn measure_detects_unification_bucket() {
+        // A ranking whose last bucket holds half the elements (typical
+        // unified dataset).
+        let data = Dataset::new(vec![
+            parse_ranking("[{0},{1},{2,3,4,5}]").unwrap(),
+            parse_ranking("[{5},{4},{0,1,2,3}]").unwrap(),
+        ])
+        .unwrap();
+        let f = DatasetFeatures::measure(&data);
+        assert!(f.has_large_ties);
+        assert_eq!(f.n, 6);
+        assert_eq!(f.m, 2);
+        // A tie-free dataset reports no large ties.
+        let perm = Dataset::new(vec![parse_ranking("[{0},{1},{2}]").unwrap()]).unwrap();
+        assert!(!DatasetFeatures::measure(&perm).has_large_ties);
+    }
+}

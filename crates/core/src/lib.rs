@@ -1,0 +1,55 @@
+//! Rank aggregation with ties.
+//!
+//! This crate implements the data model, distances and the full algorithm
+//! suite of *“Rank aggregation with ties: Experiments and Analysis”*
+//! (Brancotte et al., PVLDB 8(11), 2015):
+//!
+//! * **Data model** — [`Ranking`] (a bucket order: ordered disjoint buckets
+//!   of tied elements), [`Dataset`] (a set of rankings over the same
+//!   elements), [`Universe`] (string-label interner).
+//! * **Distances** — the classical Kendall-τ for permutations, the
+//!   *generalized* Kendall-τ `G` for rankings with ties (§2.2), Spearman's
+//!   footrule, the (generalized) Kemeny score `K`, and the Kendall-τ
+//!   correlation/similarity of §6.2.2.
+//! * **Algorithms** — every approach of the paper's Table 1 that was
+//!   (re-)implemented and evaluated (bold rows), plus the non-bold
+//!   approaches as extensions. See [`algorithms`].
+//! * **Exact solver** — the paper's linear pseudo-boolean formulation (§4.2)
+//!   on top of the `lpsolve` crate, a native branch-and-bound that is much
+//!   faster, and a brute-force enumerator for cross-validation.
+//! * **Guidance** — the §7.4 decision rules, as code.
+//!
+//! # Quick example
+//!
+//! ```
+//! use rank_core::{Ranking, Dataset};
+//! use rank_core::algorithms::{bioconsert::BioConsert, AlgoContext, ConsensusAlgorithm};
+//!
+//! // r1 = [{A}, {D}, {B, C}], r2 = [{A}, {B, C}, {D}], r3 = [{D}, {A, C}, {B}]
+//! // with A=0, B=1, C=2, D=3 (the paper's §2.2 running example).
+//! let r1 = Ranking::from_slices(&[&[0], &[3], &[1, 2]]).unwrap();
+//! let r2 = Ranking::from_slices(&[&[0], &[1, 2], &[3]]).unwrap();
+//! let r3 = Ranking::from_slices(&[&[3], &[0, 2], &[1]]).unwrap();
+//! let data = Dataset::new(vec![r1, r2, r3]).unwrap();
+//!
+//! let mut ctx = AlgoContext::seeded(42);
+//! let consensus = BioConsert::default().run(&data, &mut ctx);
+//! assert_eq!(rank_core::score::kemeny_score(&consensus, &data), 5);
+//! ```
+
+pub mod algorithms;
+pub mod dataset;
+pub mod distance;
+pub mod element;
+pub mod guidance;
+pub mod normalize;
+pub mod pairs;
+pub mod parse;
+pub mod ranking;
+pub mod score;
+pub mod similarity;
+
+pub use dataset::{Dataset, DatasetError};
+pub use element::{Element, Universe};
+pub use pairs::PairTable;
+pub use ranking::{Ranking, RankingError};

@@ -1,0 +1,207 @@
+//! The pairwise disagreement table shared by most algorithms.
+//!
+//! For every ordered pair `(a, b)` the table stores how many input rankings
+//! place `a` strictly before `b` (`before`) and how many tie them (`tied`).
+//! From those two numbers the cost of *any* consensus decision about the
+//! pair follows (the `w` coefficients of the paper's §4.2):
+//!
+//! * putting `a` strictly before `b` costs one per input ranking that
+//!   doesn't, i.e. `m − before(a, b)`;
+//! * tying them costs `m − tied(a, b)`.
+
+use crate::dataset::Dataset;
+use crate::element::Element;
+use crate::ranking::Ranking;
+
+/// Dense `n × n` pairwise counts for a dataset (`O(n²)` memory — the paper
+/// notes the same bound for BioConsert).
+#[derive(Debug, Clone)]
+pub struct PairTable {
+    n: usize,
+    m: u32,
+    /// `before[a * n + b]` = number of rankings with `a` strictly before `b`.
+    before: Vec<u32>,
+    /// `tied[a * n + b]` = number of rankings with `a` and `b` tied
+    /// (symmetric).
+    tied: Vec<u32>,
+}
+
+impl PairTable {
+    /// Build the table in `O(m · n²)`.
+    pub fn build(data: &Dataset) -> Self {
+        let n = data.n();
+        let mut before = vec![0u32; n * n];
+        let mut tied = vec![0u32; n * n];
+        for r in data.rankings() {
+            let pos = r.positions();
+            for a in 0..n {
+                let pa = pos[a];
+                for b in (a + 1)..n {
+                    let pb = pos[b];
+                    if pa < pb {
+                        before[a * n + b] += 1;
+                    } else if pb < pa {
+                        before[b * n + a] += 1;
+                    } else {
+                        tied[a * n + b] += 1;
+                        tied[b * n + a] += 1;
+                    }
+                }
+            }
+        }
+        PairTable {
+            n,
+            m: data.m() as u32,
+            before,
+            tied,
+        }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of input rankings.
+    #[inline]
+    pub fn m(&self) -> u32 {
+        self.m
+    }
+
+    /// Rankings placing `a` strictly before `b`.
+    #[inline]
+    pub fn before(&self, a: Element, b: Element) -> u32 {
+        self.before[a.index() * self.n + b.index()]
+    }
+
+    /// Rankings tying `a` and `b`.
+    #[inline]
+    pub fn tied(&self, a: Element, b: Element) -> u32 {
+        self.tied[a.index() * self.n + b.index()]
+    }
+
+    /// Disagreements incurred by a consensus that puts `a` strictly before
+    /// `b`.
+    #[inline]
+    pub fn cost_before(&self, a: Element, b: Element) -> u32 {
+        self.m - self.before(a, b)
+    }
+
+    /// Disagreements incurred by a consensus that ties `a` and `b`.
+    #[inline]
+    pub fn cost_tied(&self, a: Element, b: Element) -> u32 {
+        self.m - self.tied(a, b)
+    }
+
+    /// The cheapest decision for the pair — the per-pair term of the global
+    /// lower bound used by the exact solver.
+    #[inline]
+    pub fn min_pair_cost(&self, a: Element, b: Element) -> u32 {
+        self.cost_before(a, b)
+            .min(self.cost_before(b, a))
+            .min(self.cost_tied(a, b))
+    }
+
+    /// Sum of [`Self::min_pair_cost`] over all pairs: a lower bound on the
+    /// generalized Kemeny score of *any* consensus.
+    pub fn lower_bound(&self) -> u64 {
+        let mut acc = 0u64;
+        for a in 0..self.n {
+            for b in (a + 1)..self.n {
+                acc += self.min_pair_cost(Element(a as u32), Element(b as u32)) as u64;
+            }
+        }
+        acc
+    }
+
+    /// Generalized Kemeny score of `r` against the dataset this table was
+    /// built from, in `O(n²)` independent of `m`.
+    pub fn score(&self, r: &Ranking) -> u64 {
+        debug_assert_eq!(r.n_elements(), self.n);
+        let pos = r.positions();
+        let mut acc = 0u64;
+        for a in 0..self.n {
+            let pa = pos[a];
+            for b in (a + 1)..self.n {
+                let pb = pos[b];
+                let (ea, eb) = (Element(a as u32), Element(b as u32));
+                acc += if pa == pb {
+                    self.cost_tied(ea, eb)
+                } else if pa < pb {
+                    self.cost_before(ea, eb)
+                } else {
+                    self.cost_before(eb, ea)
+                } as u64;
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_ranking;
+    use crate::score::kemeny_score;
+
+    fn paper_dataset() -> Dataset {
+        Dataset::new(vec![
+            parse_ranking("[{0},{3},{1,2}]").unwrap(),
+            parse_ranking("[{0},{1,2},{3}]").unwrap(),
+            parse_ranking("[{3},{0,2},{1}]").unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn counts_on_paper_example() {
+        let t = PairTable::build(&paper_dataset());
+        let (a, b, c, d) = (Element(0), Element(1), Element(2), Element(3));
+        // A before B in r1, r2; A tied C in r3; D before A in r3 only.
+        assert_eq!(t.before(a, b), 3);
+        assert_eq!(t.before(b, a), 0);
+        assert_eq!(t.tied(a, c), 1);
+        assert_eq!(t.before(d, a), 1);
+        assert_eq!(t.before(a, d), 2);
+        // B and C tied in r1 and r2, C before B in r3.
+        assert_eq!(t.tied(b, c), 2);
+        assert_eq!(t.before(c, b), 1);
+    }
+
+    #[test]
+    fn costs_complement() {
+        let t = PairTable::build(&paper_dataset());
+        let (a, d) = (Element(0), Element(3));
+        // cost(a<d) = rankings not putting a before d = 1 (r3).
+        assert_eq!(t.cost_before(a, d), 1);
+        assert_eq!(t.cost_before(d, a), 2);
+        assert_eq!(t.cost_tied(a, d), 3);
+        assert_eq!(t.min_pair_cost(a, d), 1);
+    }
+
+    #[test]
+    fn score_matches_direct_kemeny() {
+        let data = paper_dataset();
+        let t = PairTable::build(&data);
+        for cand in [
+            "[{0},{3},{1,2}]",
+            "[{0},{1},{2},{3}]",
+            "[{0,1,2,3}]",
+            "[{3},{2},{1},{0}]",
+            "[{1,2},{0,3}]",
+        ] {
+            let r = parse_ranking(cand).unwrap();
+            assert_eq!(t.score(&r), kemeny_score(&r, &data), "candidate {cand}");
+        }
+    }
+
+    #[test]
+    fn optimal_example_score_and_lower_bound() {
+        let data = paper_dataset();
+        let t = PairTable::build(&data);
+        let opt = parse_ranking("[{0},{3},{1,2}]").unwrap();
+        assert_eq!(t.score(&opt), 5);
+        assert!(t.lower_bound() <= 5);
+    }
+}

@@ -1,0 +1,87 @@
+//! Kemeny scores and the gap quality measure (§2, §6.2.3).
+
+use crate::dataset::Dataset;
+use crate::distance::{generalized_kendall_tau, kendall_tau};
+use crate::ranking::Ranking;
+
+/// The generalized Kemeny score `K(r, R) = Σ_s G(r, s)` (§2.2).
+pub fn kemeny_score(r: &Ranking, data: &Dataset) -> u64 {
+    data.rankings()
+        .iter()
+        .map(|s| generalized_kendall_tau(r, s))
+        .sum()
+}
+
+/// The classical Kemeny score `S(π, P) = Σ_σ D(π, σ)` (§2.1) — strict
+/// inversions only.
+pub fn classical_kemeny_score(r: &Ranking, data: &Dataset) -> u64 {
+    data.rankings().iter().map(|s| kendall_tau(r, s)).sum()
+}
+
+/// The *gap* of a consensus (§6.2.3, eq. 6): the fraction of additional
+/// disagreement relative to an optimal consensus. Optimal consensuses have
+/// gap 0.
+///
+/// When the optimum is unknown the same formula applied against the best
+/// score produced by any available algorithm is the paper's *m-gap*.
+///
+/// # Panics
+/// Panics if `reference_score` is 0 but `score` is not (a zero-cost
+/// consensus exists only when all inputs are identical, and then every
+/// other score ≥ 1 would make the gap infinite).
+pub fn gap(score: u64, reference_score: u64) -> f64 {
+    if reference_score == 0 {
+        assert_eq!(
+            score, 0,
+            "gap undefined: reference score 0 but candidate score {score}"
+        );
+        return 0.0;
+    }
+    score as f64 / reference_score as f64 - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_ranking;
+
+    fn paper_dataset() -> Dataset {
+        Dataset::new(vec![
+            parse_ranking("[{0},{3},{1,2}]").unwrap(),
+            parse_ranking("[{0},{1,2},{3}]").unwrap(),
+            parse_ranking("[{3},{0,2},{1}]").unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn paper_optimal_consensus_scores_five() {
+        let data = paper_dataset();
+        let opt = parse_ranking("[{0},{3},{1,2}]").unwrap();
+        assert_eq!(kemeny_score(&opt, &data), 5);
+    }
+
+    #[test]
+    fn all_tied_ranking_gets_free_classical_score() {
+        // The degenerate solution §2.2 warns about: under the classical
+        // distance, tying everything costs nothing.
+        let data = paper_dataset();
+        let degenerate = parse_ranking("[{0,1,2,3}]").unwrap();
+        assert_eq!(classical_kemeny_score(&degenerate, &data), 0);
+        // The generalized score correctly penalizes it.
+        assert!(kemeny_score(&degenerate, &data) > 5);
+    }
+
+    #[test]
+    fn gap_basics() {
+        assert_eq!(gap(5, 5), 0.0);
+        assert!((gap(6, 5) - 0.2).abs() < 1e-12);
+        assert_eq!(gap(0, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "gap undefined")]
+    fn gap_zero_reference_nonzero_score_panics() {
+        let _ = gap(3, 0);
+    }
+}

@@ -1,0 +1,88 @@
+//! Dataset similarity (§6.2.2).
+//!
+//! The Kendall-τ rank correlation coefficient, extended to rankings with
+//! ties through the generalized distance (eq. 4), and its average over all
+//! ranking pairs of a dataset (eq. 5) — the *intrinsic similarity* `s(R)`
+//! that Figure 3 plots and §7.2 analyzes.
+
+use crate::dataset::Dataset;
+use crate::distance::generalized_kendall_tau;
+use crate::ranking::Ranking;
+
+/// Kendall-τ correlation of two rankings with ties (eq. 4):
+/// `τ = (½n(n−1) − 2G) / (½n(n−1))`, in `[-1, 1]`.
+///
+/// # Panics
+/// Panics if the rankings are over different supports or fewer than 2
+/// elements (the coefficient is undefined).
+pub fn tau_correlation(r: &Ranking, s: &Ranking) -> f64 {
+    let n = r.n_elements() as f64;
+    assert!(n >= 2.0, "tau correlation needs at least 2 elements");
+    let total = n * (n - 1.0) / 2.0;
+    let g = generalized_kendall_tau(r, s) as f64;
+    (total - 2.0 * g) / total
+}
+
+/// Intrinsic similarity `s(R)` of a dataset (eq. 5): the average τ over all
+/// `C(m,2)` ranking pairs. Datasets with a single ranking get similarity 1.
+pub fn dataset_similarity(data: &Dataset) -> f64 {
+    let m = data.m();
+    if m < 2 {
+        return 1.0;
+    }
+    let mut acc = 0.0;
+    for i in 0..m {
+        for j in (i + 1)..m {
+            acc += tau_correlation(data.ranking(i), data.ranking(j));
+        }
+    }
+    acc / (m * (m - 1) / 2) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_ranking;
+
+    fn r(text: &str) -> Ranking {
+        parse_ranking(text).unwrap()
+    }
+
+    #[test]
+    fn identical_rankings_have_tau_one() {
+        let a = r("[{0},{1,2},{3}]");
+        assert_eq!(tau_correlation(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn reversed_permutations_have_tau_minus_one() {
+        let a = r("[{0},{1},{2},{3}]");
+        assert_eq!(tau_correlation(&a, &a.reversed()), -1.0);
+    }
+
+    #[test]
+    fn tau_can_go_below_minus_one_never() {
+        // G ≤ C(n,2), so τ ≥ -1 always; spot-check an adversarial pair.
+        let a = r("[{0,1,2,3}]");
+        let b = r("[{3},{2},{1},{0}]");
+        let t = tau_correlation(&a, &b);
+        assert!((-1.0..=1.0).contains(&t));
+        assert_eq!(t, -1.0); // every pair disagrees (tied vs strict)
+    }
+
+    #[test]
+    fn dataset_similarity_averages_pairs() {
+        let a = r("[{0},{1},{2},{3}]");
+        let b = a.clone();
+        let c = a.reversed();
+        // pairs: (a,b)=1, (a,c)=-1, (b,c)=-1 → average = -1/3.
+        let data = Dataset::new(vec![a, b, c]).unwrap();
+        assert!((dataset_similarity(&data) - (-1.0 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_ranking_similarity_is_one() {
+        let data = Dataset::new(vec![r("[{0},{1}]")]).unwrap();
+        assert_eq!(dataset_similarity(&data), 1.0);
+    }
+}

@@ -1,0 +1,29 @@
+//! Real-world dataset facsimiles and normalization re-exports.
+//!
+//! The paper's real datasets (hosted at the now-defunct
+//! `rank-aggregation-with-ties.lri.fr`) are unavailable; this crate builds
+//! *facsimiles* — synthetic generators tuned to the statistics the paper
+//! documents for each collection (sizes before/after projection and
+//! unification in §7.3.1, similarity ranges in Figure 3, presence of ties,
+//! dataset counts in Table 4). DESIGN.md §5 argues why this preserves the
+//! experimental conclusions: the paper itself shows its findings are
+//! driven by exactly these features.
+//!
+//! * [`realworld::websearch`] — top-1000 result lists of several engines
+//!   per query; tiny full intersection (projection removes ≈98.4% of
+//!   elements), union ≈2586±388 with ≈1586-element unification buckets.
+//! * [`realworld::f1`] — Formula 1 seasons: each race ranks the
+//!   participating pilots; projection removes ≈53.4%±25% of pilots
+//!   (including champions), projected ≈15.8 elements vs unified ≈38.7.
+//! * [`realworld::skicross`] — one small, positively-similar competition
+//!   dataset.
+//! * [`realworld::biomedical`] — many small datasets of gene rankings
+//!   *with ties* over moderately overlapping gene sets (the paper's 319
+//!   unified datasets from [Cohen-Boulakia et al. 2011]).
+//!
+//! Normalization (projection/unification/…) lives in
+//! [`rank_core::normalize`] and is re-exported as [`normalize`].
+
+pub mod realworld;
+
+pub use rank_core::normalize;

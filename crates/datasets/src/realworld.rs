@@ -1,0 +1,418 @@
+//! Facsimile generators for the paper's four real-world collections.
+//!
+//! Every generator returns *raw* rankings (over different element subsets,
+//! exactly like the real data) which the caller normalizes with
+//! [`rank_core::normalize`]. All generators are deterministic given the
+//! RNG, and each has a test pinning the §7.3.1 / Figure 3 statistics it
+//! was tuned to.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rank_core::{Element, Ranking};
+
+/// Gaussian sample via Box–Muller (keeps us inside the offline `rand`
+/// feature set — no `rand_distr`).
+fn normal(rng: &mut StdRng, mean: f64, sigma: f64) -> f64 {
+    let u1: f64 = rng.random_range(1e-12..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    mean + sigma * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// A skill-plus-noise permutation of `participants` (lower skill value =
+/// better); used by the sport facsimiles.
+fn noisy_result(participants: &[u32], skill_sigma: f64, rng: &mut StdRng) -> Ranking {
+    let mut scored: Vec<(f64, u32)> = participants
+        .iter()
+        .map(|&p| (normal(rng, p as f64, skill_sigma), p))
+        .collect();
+    scored.sort_by(|a, b| a.partial_cmp(b).expect("finite scores"));
+    Ranking::permutation(&scored.iter().map(|&(_, p)| Element(p)).collect::<Vec<_>>())
+        .expect("distinct participants")
+}
+
+/// WebSearch facsimile (original data: [Dwork et al. 2001], reused by
+/// [Schalekamp & van Zuylen 2009] and [Ali & Meilă 2012]).
+pub mod websearch {
+    use super::*;
+
+    /// Tunables; the defaults reproduce the paper's §7.3.1 statistics at
+    /// `depth = 1000`.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of search engines (rankings).
+        pub engines: usize,
+        /// Result-list length (paper: top-1000).
+        pub depth: usize,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config {
+                engines: 4,
+                depth: 1000,
+            }
+        }
+    }
+
+    /// Generate one query's result lists.
+    ///
+    /// Three relevance tiers drive inclusion: a small head almost every
+    /// engine returns (→ the ≈40-element full intersection), a body of
+    /// partially-agreed results, and a long engine-specific tail (→ the
+    /// ≈2586-element union out of `engines × depth` slots). Each list is
+    /// ordered by relevance plus rank-dependent noise, so heads agree and
+    /// tails scramble.
+    pub fn generate(cfg: &Config, rng: &mut StdRng) -> Vec<Ranking> {
+        let scale = cfg.depth as f64 / 1000.0;
+        let head = (60.0 * scale).round() as u32;
+        let body = (1200.0 * scale).round() as u32;
+        let tail = (6000.0 * scale).round() as u32;
+        let pool = head + body + tail;
+        (0..cfg.engines)
+            .map(|_| {
+                let mut picked: Vec<u32> = Vec::with_capacity(cfg.depth + 64);
+                for u in 0..pool {
+                    let p = if u < head {
+                        0.85
+                    } else if u < head + body {
+                        0.35
+                    } else {
+                        0.088
+                    };
+                    if rng.random_bool(p) {
+                        picked.push(u);
+                    }
+                }
+                // Exactly `depth` results: trim the least relevant picks or
+                // pad with the most relevant unpicked URLs.
+                if picked.len() > cfg.depth {
+                    picked.truncate(cfg.depth);
+                } else {
+                    let mut have: Vec<bool> = vec![false; pool as usize];
+                    for &u in &picked {
+                        have[u as usize] = true;
+                    }
+                    for u in 0..pool {
+                        if picked.len() >= cfg.depth {
+                            break;
+                        }
+                        if !have[u as usize] {
+                            picked.push(u);
+                        }
+                    }
+                }
+                // Rank by relevance + noise growing with relevance rank:
+                // engines agree about the head, diverge in the tail.
+                let mut scored: Vec<(f64, u32)> = picked
+                    .into_iter()
+                    .map(|u| {
+                        let sigma = 2.0 + u as f64 * 0.35;
+                        (normal(rng, u as f64, sigma), u)
+                    })
+                    .collect();
+                scored.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                Ranking::permutation(
+                    &scored.iter().map(|&(_, u)| Element(u)).collect::<Vec<_>>(),
+                )
+                .expect("distinct URLs")
+            })
+            .collect()
+    }
+}
+
+/// Formula 1 season facsimile ([Betzler et al. 2013] used seasons from
+/// 1961 on; the paper's §7.3.1 quotes their projection statistics).
+pub mod f1 {
+    use super::*;
+
+    /// Tunables; defaults reproduce §7.3.1 (projected ≈15.8±8.5 pilots,
+    /// unified ≈38.7±11.4, ≈53% of pilots removed by projection).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Races in the season (rankings).
+        pub races: usize,
+        /// Pilots entering every race (the projection survivors).
+        pub regulars: usize,
+        /// Pilots entering only some races.
+        pub occasionals: usize,
+        /// Per-race participation probability of an occasional pilot.
+        pub occasional_participation: f64,
+        /// Result noise: higher = less similar races (Figure 3: F1
+        /// projected similarity ≈ 0.25–0.5).
+        pub skill_sigma: f64,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config {
+                races: 12,
+                regulars: 16,
+                occasionals: 24,
+                occasional_participation: 0.35,
+                skill_sigma: 9.0,
+            }
+        }
+    }
+
+    /// Generate one season. Pilot ids: `0..regulars` are the regulars.
+    /// Skill is assigned *independently* of regular status — like the real
+    /// seasons, where the 1970 champion did not finish every race and was
+    /// removed by projection (§7.3.1); the same can happen here.
+    pub fn generate(cfg: &Config, rng: &mut StdRng) -> Vec<Ranking> {
+        let n_total = (cfg.regulars + cfg.occasionals) as u32;
+        let mut skill: Vec<u32> = (0..n_total).collect();
+        skill.shuffle(rng);
+        (0..cfg.races)
+            .map(|_| {
+                let mut participants: Vec<u32> = (0..cfg.regulars as u32).collect();
+                for p in cfg.regulars as u32..n_total {
+                    if rng.random_bool(cfg.occasional_participation) {
+                        participants.push(p);
+                    }
+                }
+                // Rank by noisy skill; ids stay the pilot ids.
+                let mut scored: Vec<(f64, u32)> = participants
+                    .iter()
+                    .map(|&p| (normal(rng, skill[p as usize] as f64, cfg.skill_sigma), p))
+                    .collect();
+                scored.sort_by(|a, b| a.partial_cmp(b).expect("finite scores"));
+                Ranking::permutation(
+                    &scored.iter().map(|&(_, p)| Element(p)).collect::<Vec<_>>(),
+                )
+                .expect("distinct pilots")
+            })
+            .collect()
+    }
+}
+
+/// SkiCross facsimile ([Betzler et al. 2013]: a single small competition
+/// dataset; Figure 3 shows clearly positive projected similarity).
+pub mod skicross {
+    use super::*;
+
+    /// Tunables.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of runs/events (rankings).
+        pub runs: usize,
+        /// Athlete pool.
+        pub athletes: usize,
+        /// Per-run participation probability.
+        pub participation: f64,
+        /// Result noise (lower than F1: runs of one event are similar).
+        pub skill_sigma: f64,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config {
+                runs: 4,
+                athletes: 32,
+                participation: 0.85,
+                skill_sigma: 5.0,
+            }
+        }
+    }
+
+    /// Generate the event's runs.
+    pub fn generate(cfg: &Config, rng: &mut StdRng) -> Vec<Ranking> {
+        (0..cfg.runs)
+            .map(|_| {
+                let mut participants: Vec<u32> = (0..cfg.athletes as u32)
+                    .filter(|_| rng.random_bool(cfg.participation))
+                    .collect();
+                if participants.len() < 2 {
+                    participants = vec![0, 1];
+                }
+                noisy_result(&participants, cfg.skill_sigma, rng)
+            })
+            .collect()
+    }
+}
+
+/// BioMedical facsimile ([Cohen-Boulakia, Denise, Hamel 2011]: gene
+/// rankings produced by reformulations of a biomedical query — small
+/// datasets, rankings *with ties*, moderately overlapping gene sets,
+/// positive similarity).
+pub mod biomedical {
+    use super::*;
+
+    /// Tunables.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Minimum/maximum rankings per dataset.
+        pub m_range: (usize, usize),
+        /// Minimum/maximum genes in the underlying set.
+        pub genes_range: (usize, usize),
+        /// Fraction of genes each reformulation misses (uniform draw).
+        pub dropout: (f64, f64),
+        /// Markov steps per ranking relative to n (controls similarity;
+        /// Figure 3 shows BioMedical unified similarity ≈ 0.1–0.4).
+        pub steps_factor: usize,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config {
+                m_range: (3, 8),
+                genes_range: (10, 70),
+                dropout: (0.0, 0.3),
+                steps_factor: 3,
+            }
+        }
+    }
+
+    /// Generate one dataset of gene rankings with ties.
+    ///
+    /// A seed bucket order (bucket sizes 1–4, modelling tied relevance
+    /// scores) is perturbed by short Markov walks — reformulated queries
+    /// return similar but not identical orders — and each reformulation
+    /// then misses a random subset of the genes.
+    pub fn generate(cfg: &Config, rng: &mut StdRng) -> Vec<Ranking> {
+        let n = rng.random_range(cfg.genes_range.0..=cfg.genes_range.1);
+        let m = rng.random_range(cfg.m_range.0..=cfg.m_range.1);
+
+        // Seed: random bucket sizes in 1..=4 over a shuffled gene order.
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.shuffle(rng);
+        let mut seed_buckets: Vec<Vec<Element>> = Vec::new();
+        let mut i = 0;
+        while i < n {
+            let size = rng.random_range(1..=4.min(n - i));
+            seed_buckets.push(order[i..i + size].iter().map(|&g| Element(g)).collect());
+            i += size;
+        }
+        let seed = Ranking::from_buckets(seed_buckets).expect("partition");
+
+        let t = cfg.steps_factor * n;
+        (0..m)
+            .map(|_| {
+                let mut state = ragen::markov::WalkState::from_ranking(&seed);
+                state.walk(t, rng);
+                let full = state.to_ranking();
+                // Random dropout of genes for this reformulation.
+                let keep_frac = 1.0 - rng.random_range(cfg.dropout.0..=cfg.dropout.1);
+                let mut kept: Vec<Element> = (0..n as u32).map(Element).collect();
+                kept.shuffle(rng);
+                kept.truncate(((n as f64 * keep_frac).round() as usize).max(2));
+                kept.sort_unstable();
+                let buckets: Vec<Vec<Element>> = full
+                    .buckets()
+                    .map(|b| {
+                        b.iter()
+                            .filter(|e| kept.binary_search(e).is_ok())
+                            .copied()
+                            .collect::<Vec<_>>()
+                    })
+                    .filter(|b: &Vec<Element>| !b.is_empty())
+                    .collect();
+                Ranking::from_buckets(buckets).expect("dropout keeps ≥2 genes")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rank_core::normalize::{projection, unification};
+    use rank_core::similarity::dataset_similarity;
+
+    #[test]
+    fn websearch_statistics_match_paper() {
+        // §7.3.1: projection removes ≈98.42%±0.89% of elements; projected
+        // ≈40±20 elements; unified ≈2586±388.
+        let mut rng = StdRng::seed_from_u64(20150831);
+        let cfg = websearch::Config::default();
+        let mut proj_sizes = Vec::new();
+        let mut unif_sizes = Vec::new();
+        for _ in 0..6 {
+            let raw = websearch::generate(&cfg, &mut rng);
+            assert!(raw.iter().all(|r| r.n_elements() == 1000));
+            let p = projection(&raw).expect("head URLs shared by all engines");
+            let u = unification(&raw).expect("non-empty");
+            proj_sizes.push(p.dataset.n() as f64);
+            unif_sizes.push(u.dataset.n() as f64);
+        }
+        let proj = proj_sizes.iter().sum::<f64>() / proj_sizes.len() as f64;
+        let unif = unif_sizes.iter().sum::<f64>() / unif_sizes.len() as f64;
+        assert!((15.0..=110.0).contains(&proj), "projected size {proj} (paper 40±20)");
+        assert!((2100.0..=3100.0).contains(&unif), "unified size {unif} (paper 2586±388)");
+        // Removal rate ≈ 98.4%.
+        let removed = 1.0 - proj / unif;
+        assert!(removed > 0.95, "projection removal {removed} (paper 0.984)");
+    }
+
+    #[test]
+    fn f1_statistics_match_paper() {
+        // §7.3.1: projected ≈15.81±8.53 pilots, unified ≈38.73±11.39,
+        // ≈53.42%±25.03% of pilots removed by projection.
+        let mut rng = StdRng::seed_from_u64(1970);
+        let cfg = f1::Config::default();
+        let mut proj = 0.0;
+        let mut unif = 0.0;
+        let runs = 10;
+        for _ in 0..runs {
+            let raw = f1::generate(&cfg, &mut rng);
+            proj += projection(&raw).expect("regulars").dataset.n() as f64;
+            unif += unification(&raw).expect("non-empty").dataset.n() as f64;
+        }
+        proj /= runs as f64;
+        unif /= runs as f64;
+        assert!((10.0..=24.0).contains(&proj), "projected {proj} (paper 15.8±8.5)");
+        assert!((27.0..=50.0).contains(&unif), "unified {unif} (paper 38.7±11.4)");
+        let removed = 1.0 - proj / unif;
+        assert!((0.28..=0.78).contains(&removed), "removal {removed} (paper 0.53±0.25)");
+    }
+
+    #[test]
+    fn f1_projection_is_positively_similar() {
+        // Figure 3: F1 projected similarity is clearly positive.
+        let mut rng = StdRng::seed_from_u64(3);
+        let raw = f1::generate(&f1::Config::default(), &mut rng);
+        let p = projection(&raw).unwrap();
+        let s = dataset_similarity(&p.dataset);
+        assert!(s > 0.1, "F1 projected similarity {s}");
+    }
+
+    #[test]
+    fn skicross_is_small_and_similar() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let raw = skicross::generate(&skicross::Config::default(), &mut rng);
+        let p = projection(&raw).unwrap();
+        assert!(p.dataset.n() >= 4, "projection kept {}", p.dataset.n());
+        let s = dataset_similarity(&p.dataset);
+        assert!(s > 0.3, "SkiCross projected similarity {s} (Figure 3: ≈0.5)");
+        let u = unification(&raw).unwrap();
+        assert!(u.dataset.n() <= 32);
+    }
+
+    #[test]
+    fn biomedical_has_ties_and_positive_similarity() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut with_ties = 0;
+        for _ in 0..10 {
+            let raw = biomedical::generate(&biomedical::Config::default(), &mut rng);
+            assert!(raw.len() >= 3 && raw.len() <= 8);
+            if raw.iter().any(|r| !r.is_permutation()) {
+                with_ties += 1;
+            }
+            let u = unification(&raw).unwrap();
+            assert!((8..=75).contains(&u.dataset.n()), "n = {}", u.dataset.n());
+            let s = dataset_similarity(&u.dataset);
+            assert!(s > -0.2, "biomedical similarity {s} should not be adversarial");
+        }
+        assert!(with_ties >= 8, "gene rankings should typically contain ties");
+    }
+
+    #[test]
+    fn generators_are_deterministic_given_seed() {
+        let a = f1::generate(&f1::Config::default(), &mut StdRng::seed_from_u64(5));
+        let b = f1::generate(&f1::Config::default(), &mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+        let c = f1::generate(&f1::Config::default(), &mut StdRng::seed_from_u64(6));
+        assert_ne!(a, c);
+    }
+}

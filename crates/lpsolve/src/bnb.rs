@@ -1,0 +1,220 @@
+//! Branch-and-bound for 0/1 integer programs on top of the simplex solver.
+
+use crate::{simplex, LpError, Problem, Solution, Var};
+
+/// Knobs for [`Problem::solve_binary`].
+#[derive(Debug, Clone)]
+pub struct BnbOptions {
+    /// Maximum number of explored nodes before giving up.
+    pub max_nodes: usize,
+    /// Simplex pivot budget per node.
+    pub max_pivots_per_node: usize,
+    /// A variable counts as integral when within this distance of 0 or 1.
+    pub int_tol: f64,
+}
+
+impl Default for BnbOptions {
+    fn default() -> Self {
+        BnbOptions {
+            max_nodes: 200_000,
+            max_pivots_per_node: 200_000,
+            int_tol: 1e-6,
+        }
+    }
+}
+
+pub(crate) fn solve_binary(
+    p: &Problem,
+    binaries: &[Var],
+    opts: &BnbOptions,
+) -> Result<Solution, LpError> {
+    let mut incumbent: Option<Solution> = None;
+    let mut nodes = 0usize;
+    let mut truncated = false;
+
+    // DFS stack of bound vectors (the row set is shared, only bounds change).
+    let mut stack: Vec<(Vec<f64>, Vec<f64>)> = vec![(p.lower.clone(), p.upper.clone())];
+
+    while let Some((lower, upper)) = stack.pop() {
+        if nodes >= opts.max_nodes {
+            truncated = true;
+            break;
+        }
+        nodes += 1;
+
+        let relax = match simplex::solve_with_bounds(p, &lower, &upper, opts.max_pivots_per_node)
+        {
+            Ok(s) => s,
+            Err(LpError::Infeasible) => continue,
+            Err(LpError::Unbounded) => return Err(LpError::Unbounded),
+            Err(LpError::IterationLimit) => {
+                truncated = true;
+                continue;
+            }
+        };
+
+        if let Some(best) = &incumbent {
+            if relax.objective >= best.objective - 1e-9 {
+                continue; // bound prune
+            }
+        }
+
+        // Most fractional binary variable.
+        let mut branch_var: Option<Var> = None;
+        let mut worst_frac = opts.int_tol;
+        for &v in binaries {
+            let x = relax.x[v.index()];
+            let frac = (x - x.round()).abs();
+            if frac > worst_frac {
+                worst_frac = frac;
+                branch_var = Some(v);
+            }
+        }
+
+        match branch_var {
+            None => {
+                // Integral: round the binaries exactly and accept.
+                let mut sol = relax;
+                for &v in binaries {
+                    sol.x[v.index()] = sol.x[v.index()].round();
+                }
+                if incumbent
+                    .as_ref()
+                    .map_or(true, |b| sol.objective < b.objective - 1e-9)
+                {
+                    incumbent = Some(sol);
+                }
+            }
+            Some(v) => {
+                let j = v.index();
+                let x = relax.x[j];
+                // Explore the nearer value first (pushed last → popped first).
+                let mut zero = (lower.clone(), upper.clone());
+                zero.1[j] = 0.0;
+                zero.0[j] = 0.0;
+                let mut one = (lower, upper);
+                one.0[j] = 1.0;
+                one.1[j] = 1.0;
+                if x >= 0.5 {
+                    stack.push(zero);
+                    stack.push(one);
+                } else {
+                    stack.push(one);
+                    stack.push(zero);
+                }
+            }
+        }
+    }
+
+    match incumbent {
+        Some(sol) => Ok(sol),
+        None if truncated => Err(LpError::IterationLimit),
+        None => Err(LpError::Infeasible),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{BnbOptions, Cmp, LpError, Problem};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn knapsack_small() {
+        // max 10a + 13b + 7c s.t. 3a + 4b + 2c <= 6  -> a + c (17) vs b + c (20).
+        let mut p = Problem::new();
+        let a = p.add_var(-10.0, 0.0, 1.0);
+        let b = p.add_var(-13.0, 0.0, 1.0);
+        let c = p.add_var(-7.0, 0.0, 1.0);
+        p.add_row(&[(a, 3.0), (b, 4.0), (c, 2.0)], Cmp::Le, 6.0);
+        let s = p.solve_binary(&[a, b, c], &BnbOptions::default()).unwrap();
+        assert_close(s.objective, -20.0);
+        assert_close(s.x[a.index()], 0.0);
+        assert_close(s.x[b.index()], 1.0);
+        assert_close(s.x[c.index()], 1.0);
+    }
+
+    #[test]
+    fn lp_relaxation_fractional_ilp_integral() {
+        // Classic: max x + y s.t. 2x + 2y <= 3 → LP gives 1.5, ILP 1.
+        let mut p = Problem::new();
+        let x = p.add_var(-1.0, 0.0, 1.0);
+        let y = p.add_var(-1.0, 0.0, 1.0);
+        p.add_row(&[(x, 2.0), (y, 2.0)], Cmp::Le, 3.0);
+        let lp = p.solve().unwrap();
+        assert_close(lp.objective, -1.5);
+        let ilp = p.solve_binary(&[x, y], &BnbOptions::default()).unwrap();
+        assert_close(ilp.objective, -1.0);
+    }
+
+    #[test]
+    fn assignment_problem_3x3() {
+        // min cost perfect matching; cost matrix rows: [4,2,8],[4,3,7],[3,1,6]
+        // optimum = 2 + 4 + 6 = 12 (x01, x10, x22) or similar.
+        let costs = [[4.0, 2.0, 8.0], [4.0, 3.0, 7.0], [3.0, 1.0, 6.0]];
+        let mut p = Problem::new();
+        let mut vars = [[None; 3]; 3];
+        for i in 0..3 {
+            for j in 0..3 {
+                vars[i][j] = Some(p.add_var(costs[i][j], 0.0, 1.0));
+            }
+        }
+        for i in 0..3 {
+            let row: Vec<_> = (0..3).map(|j| (vars[i][j].unwrap(), 1.0)).collect();
+            p.add_row(&row, Cmp::Eq, 1.0);
+            let col: Vec<_> = (0..3).map(|j| (vars[j][i].unwrap(), 1.0)).collect();
+            p.add_row(&col, Cmp::Eq, 1.0);
+        }
+        let all: Vec<_> = vars.iter().flatten().map(|v| v.unwrap()).collect();
+        let s = p.solve_binary(&all, &BnbOptions::default()).unwrap();
+        assert_close(s.objective, 12.0);
+    }
+
+    #[test]
+    fn infeasible_ilp() {
+        // x + y = 1 with x = y forced: no binary solution to x + y = 1, x - y = 0.
+        let mut p = Problem::new();
+        let x = p.add_var(1.0, 0.0, 1.0);
+        let y = p.add_var(1.0, 0.0, 1.0);
+        p.add_row(&[(x, 1.0), (y, 1.0)], Cmp::Eq, 1.0);
+        p.add_row(&[(x, 1.0), (y, -1.0)], Cmp::Eq, 0.0);
+        assert_eq!(
+            p.solve_binary(&[x, y], &BnbOptions::default()).unwrap_err(),
+            LpError::Infeasible
+        );
+    }
+
+    #[test]
+    fn mixed_integer_continuous() {
+        // min -y - 0.5 z, y binary, z continuous in [0,1], y + z <= 1.4.
+        // Best: y = 1, z = 0.4 → -1.2.
+        let mut p = Problem::new();
+        let y = p.add_var(-1.0, 0.0, 1.0);
+        let z = p.add_var(-0.5, 0.0, 1.0);
+        p.add_row(&[(y, 1.0), (z, 1.0)], Cmp::Le, 1.4);
+        let s = p.solve_binary(&[y], &BnbOptions::default()).unwrap();
+        assert_close(s.objective, -1.2);
+        assert_close(s.x[y.index()], 1.0);
+        assert_close(s.x[z.index()], 0.4);
+    }
+
+    #[test]
+    fn node_budget_respected() {
+        // A problem that needs branching, with a 1-node budget: the root is
+        // fractional, so no incumbent can exist yet.
+        let mut p = Problem::new();
+        let x = p.add_var(-1.0, 0.0, 1.0);
+        let y = p.add_var(-1.0, 0.0, 1.0);
+        p.add_row(&[(x, 2.0), (y, 2.0)], Cmp::Le, 3.0);
+        let opts = BnbOptions {
+            max_nodes: 1,
+            ..BnbOptions::default()
+        };
+        assert_eq!(
+            p.solve_binary(&[x, y], &opts).unwrap_err(),
+            LpError::IterationLimit
+        );
+    }
+}

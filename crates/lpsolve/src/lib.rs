@@ -1,0 +1,230 @@
+//! A small, dependency-free linear-programming toolkit.
+//!
+//! The paper solves its exact formulation with CPLEX 12.4 and the Ailon 3/2
+//! relaxation with LPSolve 5.5; neither is available here, so this crate is
+//! the substitute substrate (see DESIGN.md §5):
+//!
+//! * [`Problem`] — a minimization LP with per-variable bounds and
+//!   `≤` / `=` / `≥` rows.
+//! * [`Problem::solve`] — dense two-phase primal simplex (Dantzig pricing
+//!   with a Bland anti-cycling fallback).
+//! * [`Problem::solve_binary`] — depth-first branch-and-bound over 0/1
+//!   variables on top of the LP relaxation.
+//!
+//! The solver is deliberately dense and simple: the rank-aggregation LPs it
+//! serves have at most a few thousand rows/columns, where a dense tableau is
+//! entirely adequate and much easier to make robust than a sparse revised
+//! simplex.
+//!
+//! ```
+//! use lpsolve::{Problem, Cmp};
+//! // minimize -x - 2y  s.t.  x + y <= 4, x <= 3, y <= 2
+//! let mut p = Problem::new();
+//! let x = p.add_var(-1.0, 0.0, 3.0);
+//! let y = p.add_var(-2.0, 0.0, 2.0);
+//! p.add_row(&[(x, 1.0), (y, 1.0)], Cmp::Le, 4.0);
+//! let sol = p.solve().unwrap();
+//! assert!((sol.objective - (-6.0)).abs() < 1e-9); // x = 2, y = 2
+//! ```
+
+mod bnb;
+mod simplex;
+
+pub use bnb::BnbOptions;
+
+/// Row comparison operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    /// `Σ aᵢxᵢ ≤ b`
+    Le,
+    /// `Σ aᵢxᵢ = b`
+    Eq,
+    /// `Σ aᵢxᵢ ≥ b`
+    Ge,
+}
+
+/// Handle to a decision variable of a [`Problem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var(pub(crate) usize);
+
+impl Var {
+    /// Index of the variable in [`Solution::x`].
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Row {
+    pub terms: Vec<(usize, f64)>,
+    pub cmp: Cmp,
+    pub rhs: f64,
+}
+
+/// A linear minimization problem.
+#[derive(Debug, Clone, Default)]
+pub struct Problem {
+    pub(crate) obj: Vec<f64>,
+    pub(crate) lower: Vec<f64>,
+    pub(crate) upper: Vec<f64>,
+    pub(crate) rows: Vec<Row>,
+    /// Constant added to the reported objective value (the rank-aggregation
+    /// objectives carry a per-pair constant term).
+    pub obj_constant: f64,
+}
+
+/// Why the solver could not return an optimum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpError {
+    /// The constraint set is empty.
+    Infeasible,
+    /// The objective decreases without bound.
+    Unbounded,
+    /// Pivot or node budget exhausted before proving optimality.
+    IterationLimit,
+}
+
+impl std::fmt::Display for LpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "infeasible"),
+            LpError::Unbounded => write!(f, "unbounded"),
+            LpError::IterationLimit => write!(f, "iteration limit reached"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+/// An optimal (or incumbent, for interrupted branch-and-bound) solution.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// Objective value `c·x + obj_constant`.
+    pub objective: f64,
+    /// One value per variable, in [`Var::index`] order.
+    pub x: Vec<f64>,
+}
+
+impl Problem {
+    /// An empty problem (no variables, no rows).
+    pub fn new() -> Self {
+        Problem::default()
+    }
+
+    /// Add a variable with objective coefficient `obj` and bounds
+    /// `[lower, upper]` (`upper` may be `f64::INFINITY`).
+    ///
+    /// # Panics
+    /// Panics if `lower > upper`, or `lower` is negative or not finite.
+    pub fn add_var(&mut self, obj: f64, lower: f64, upper: f64) -> Var {
+        assert!(
+            lower.is_finite() && lower >= 0.0,
+            "lower bound must be finite and >= 0"
+        );
+        assert!(lower <= upper, "empty variable domain");
+        self.obj.push(obj);
+        self.lower.push(lower);
+        self.upper.push(upper);
+        Var(self.obj.len() - 1)
+    }
+
+    /// Number of variables added so far.
+    pub fn n_vars(&self) -> usize {
+        self.obj.len()
+    }
+
+    /// Number of rows added so far.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Add the row `Σ coef·var  cmp  rhs`.
+    ///
+    /// Repeated variables in `terms` are summed by the tableau builder.
+    pub fn add_row(&mut self, terms: &[(Var, f64)], cmp: Cmp, rhs: f64) {
+        let terms = terms.iter().map(|&(v, c)| (v.0, c)).collect();
+        self.rows.push(Row { terms, cmp, rhs });
+    }
+
+    /// Tighten the bounds of `var` (used by branch-and-bound).
+    pub fn set_bounds(&mut self, var: Var, lower: f64, upper: f64) {
+        assert!(lower <= upper, "empty variable domain");
+        self.lower[var.0] = lower;
+        self.upper[var.0] = upper;
+    }
+
+    /// Solve the LP relaxation with the default pivot budget.
+    pub fn solve(&self) -> Result<Solution, LpError> {
+        simplex::solve(self, simplex::DEFAULT_MAX_PIVOTS)
+    }
+
+    /// Solve the LP relaxation with an explicit pivot budget.
+    pub fn solve_with_limit(&self, max_pivots: usize) -> Result<Solution, LpError> {
+        simplex::solve(self, max_pivots)
+    }
+
+    /// Solve with a pivot budget *and* a wall-clock deadline (checked every
+    /// few hundred pivots; returns [`LpError::IterationLimit`] on expiry).
+    pub fn solve_with_deadline(
+        &self,
+        max_pivots: usize,
+        deadline: Option<std::time::Instant>,
+    ) -> Result<Solution, LpError> {
+        simplex::solve_deadline(self, max_pivots, deadline)
+    }
+
+    /// Solve as a 0/1 integer program: every variable in `binaries` is
+    /// required to take value 0 or 1 in the returned solution.
+    pub fn solve_binary(&self, binaries: &[Var], opts: &BnbOptions) -> Result<Solution, LpError> {
+        bnb::solve_binary(self, binaries, opts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-7, "{a} != {b}");
+    }
+
+    #[test]
+    fn doc_example() {
+        let mut p = Problem::new();
+        let x = p.add_var(-1.0, 0.0, 3.0);
+        let y = p.add_var(-2.0, 0.0, 2.0);
+        p.add_row(&[(x, 1.0), (y, 1.0)], Cmp::Le, 4.0);
+        let sol = p.solve().unwrap();
+        assert_close(sol.objective, -6.0);
+        assert_close(sol.x[x.index()], 2.0);
+        assert_close(sol.x[y.index()], 2.0);
+    }
+
+    #[test]
+    fn trivial_problem_no_rows() {
+        let mut p = Problem::new();
+        let x = p.add_var(5.0, 0.0, 10.0);
+        let sol = p.solve().unwrap();
+        assert_close(sol.objective, 0.0);
+        assert_close(sol.x[x.index()], 0.0);
+    }
+
+    #[test]
+    fn lower_bounds_respected() {
+        let mut p = Problem::new();
+        let x = p.add_var(3.0, 2.0, 10.0);
+        let sol = p.solve().unwrap();
+        assert_close(sol.objective, 6.0);
+        assert_close(sol.x[x.index()], 2.0);
+    }
+
+    #[test]
+    fn objective_constant_reported() {
+        let mut p = Problem::new();
+        let _x = p.add_var(1.0, 0.0, 1.0);
+        p.obj_constant = 41.0;
+        let sol = p.solve().unwrap();
+        assert_close(sol.objective, 41.0);
+    }
+}

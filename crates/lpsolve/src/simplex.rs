@@ -1,0 +1,527 @@
+//! Dense two-phase primal simplex.
+//!
+//! Variables are internally shifted by their lower bound so that every
+//! structural variable lives in `[0, ub-lb]`; finite upper bounds are
+//! materialized as explicit `≤` rows. Rows that need them receive slack,
+//! surplus and artificial columns; a Phase-1 run drives the artificials to
+//! zero, Phase 2 optimizes the true objective.
+//!
+//! Pricing is Dantzig (most negative reduced cost); if the objective stalls
+//! the solver falls back to Bland's rule, which guarantees termination.
+
+use crate::{Cmp, LpError, Problem, Solution};
+use std::time::Instant;
+
+pub(crate) const DEFAULT_MAX_PIVOTS: usize = 500_000;
+const TOL: f64 = 1e-9;
+
+pub(crate) fn solve(p: &Problem, max_pivots: usize) -> Result<Solution, LpError> {
+    solve_with_bounds_deadline(p, &p.lower, &p.upper, max_pivots, None)
+}
+
+pub(crate) fn solve_deadline(
+    p: &Problem,
+    max_pivots: usize,
+    deadline: Option<Instant>,
+) -> Result<Solution, LpError> {
+    solve_with_bounds_deadline(p, &p.lower, &p.upper, max_pivots, deadline)
+}
+
+/// Solve `p` with bound vectors overriding the ones stored in the problem
+/// (used by branch-and-bound to avoid cloning the row set per node).
+pub(crate) fn solve_with_bounds(
+    p: &Problem,
+    lower: &[f64],
+    upper: &[f64],
+    max_pivots: usize,
+) -> Result<Solution, LpError> {
+    solve_with_bounds_deadline(p, lower, upper, max_pivots, None)
+}
+
+/// Like [`solve_with_bounds`] but aborts with `IterationLimit` once the
+/// wall-clock `deadline` passes (checked every few hundred pivots — one
+/// pivot on a large tableau costs milliseconds, so callers with time
+/// budgets need the check *inside* the solve).
+pub(crate) fn solve_with_bounds_deadline(
+    p: &Problem,
+    lower: &[f64],
+    upper: &[f64],
+    max_pivots: usize,
+    deadline: Option<Instant>,
+) -> Result<Solution, LpError> {
+    let n = p.obj.len();
+    debug_assert_eq!(lower.len(), n);
+    debug_assert_eq!(upper.len(), n);
+
+    // A variable is "fixed" when its domain is a point: it contributes a
+    // constant and its (shifted) column must stay at zero.
+    let fixed: Vec<bool> = (0..n).map(|j| upper[j] - lower[j] < TOL).collect();
+
+    // --- Assemble normalized rows over shifted variables ------------------
+    // Each entry: (dense coefficients, cmp, rhs >= 0).
+    struct NormRow {
+        coefs: Vec<f64>,
+        cmp: Cmp,
+        rhs: f64,
+    }
+    let mut norm_rows: Vec<NormRow> = Vec::with_capacity(p.rows.len() + n);
+    for row in &p.rows {
+        let mut coefs = vec![0.0; n];
+        let mut rhs = row.rhs;
+        for &(j, c) in &row.terms {
+            coefs[j] += c;
+        }
+        for j in 0..n {
+            rhs -= coefs[j] * lower[j]; // shift x = y + lb
+            if fixed[j] {
+                coefs[j] = 0.0;
+            }
+        }
+        let mut cmp = row.cmp;
+        if rhs < 0.0 {
+            rhs = -rhs;
+            for c in coefs.iter_mut() {
+                *c = -*c;
+            }
+            cmp = match cmp {
+                Cmp::Le => Cmp::Ge,
+                Cmp::Ge => Cmp::Le,
+                Cmp::Eq => Cmp::Eq,
+            };
+        }
+        norm_rows.push(NormRow { coefs, cmp, rhs });
+    }
+    // Finite upper bounds become `y_j <= ub - lb` rows.
+    for j in 0..n {
+        if fixed[j] || !upper[j].is_finite() {
+            continue;
+        }
+        let mut coefs = vec![0.0; n];
+        coefs[j] = 1.0;
+        norm_rows.push(NormRow {
+            coefs,
+            cmp: Cmp::Le,
+            rhs: upper[j] - lower[j],
+        });
+    }
+
+    let m = norm_rows.len();
+    let n_slack = norm_rows
+        .iter()
+        .filter(|r| matches!(r.cmp, Cmp::Le | Cmp::Ge))
+        .count();
+    let n_art = norm_rows
+        .iter()
+        .filter(|r| matches!(r.cmp, Cmp::Ge | Cmp::Eq))
+        .count();
+
+    // Column layout: [0..n) structural, [n..n+n_slack) slack/surplus,
+    // [n+n_slack..n+n_slack+n_art) artificial, last column = RHS.
+    let w = n + n_slack + n_art + 1;
+    let rhs_col = w - 1;
+    let art_start = n + n_slack;
+    let mut a = vec![0.0f64; m * w];
+    let mut basis = vec![usize::MAX; m];
+    {
+        let mut next_slack = n;
+        let mut next_art = art_start;
+        for (i, row) in norm_rows.iter().enumerate() {
+            let r = &mut a[i * w..(i + 1) * w];
+            r[..n].copy_from_slice(&row.coefs);
+            r[rhs_col] = row.rhs;
+            match row.cmp {
+                Cmp::Le => {
+                    r[next_slack] = 1.0;
+                    basis[i] = next_slack;
+                    next_slack += 1;
+                }
+                Cmp::Ge => {
+                    r[next_slack] = -1.0;
+                    next_slack += 1;
+                    r[next_art] = 1.0;
+                    basis[i] = next_art;
+                    next_art += 1;
+                }
+                Cmp::Eq => {
+                    r[next_art] = 1.0;
+                    basis[i] = next_art;
+                    next_art += 1;
+                }
+            }
+        }
+    }
+
+    let enterable = |j: usize| -> bool {
+        if j >= art_start {
+            return false; // artificials may never (re-)enter
+        }
+        if j < n && fixed[j] {
+            return false; // fixed variables stay at their bound
+        }
+        true
+    };
+
+    let mut pivots_left = max_pivots;
+
+    // --- Phase 1: minimize the sum of artificials --------------------------
+    if n_art > 0 {
+        let mut obj = vec![0.0f64; w];
+        for j in art_start..art_start + n_art {
+            obj[j] = 1.0;
+        }
+        // Price out the basic artificials.
+        for i in 0..m {
+            if basis[i] >= art_start {
+                let row = a[i * w..(i + 1) * w].to_vec();
+                for j in 0..w {
+                    obj[j] -= row[j];
+                }
+            }
+        }
+        run(&mut a, &mut obj, &mut basis, m, w, &enterable, &mut pivots_left, deadline)?;
+        // obj[rhs_col] holds -z; feasible iff z ~ 0.
+        if obj[rhs_col] < -1e-7 {
+            return Err(LpError::Infeasible);
+        }
+        // Drive leftover artificials out of the basis. They sit at value 0,
+        // so pivoting on ANY nonzero enterable coefficient of their row
+        // preserves feasibility; without this step, Phase 2 pivots can push
+        // an artificial positive again and return an infeasible "optimum".
+        for i in 0..m {
+            if basis[i] < art_start {
+                continue;
+            }
+            debug_assert!(a[i * w + rhs_col].abs() <= 1e-7);
+            let col = (0..art_start).find(|&j| enterable(j) && a[i * w + j].abs() > TOL);
+            if let Some(col) = col {
+                pivot(&mut a, &mut obj, m, w, i, col);
+                basis[i] = col;
+            }
+            // else: the row is all-zero on enterable columns and can never
+            // change again (every future pivot column has coefficient 0
+            // here) — it is inert and safe to leave.
+        }
+    }
+
+    // --- Phase 2: the true objective ---------------------------------------
+    let mut obj = vec![0.0f64; w];
+    for (j, &c) in p.obj.iter().enumerate() {
+        if !fixed[j] {
+            obj[j] = c;
+        }
+    }
+    for i in 0..m {
+        let b = basis[i];
+        if b < w - 1 && obj[b].abs() > 0.0 {
+            let c = obj[b];
+            let row = a[i * w..(i + 1) * w].to_vec();
+            for j in 0..w {
+                obj[j] -= c * row[j];
+            }
+        }
+    }
+    run(&mut a, &mut obj, &mut basis, m, w, &enterable, &mut pivots_left, deadline)?;
+
+    // --- Extract ------------------------------------------------------------
+    let mut x = vec![0.0f64; n];
+    for i in 0..m {
+        if basis[i] < n {
+            x[basis[i]] = a[i * w + rhs_col];
+        }
+    }
+    for j in 0..n {
+        x[j] += lower[j];
+    }
+    let objective: f64 =
+        p.obj.iter().zip(&x).map(|(c, v)| c * v).sum::<f64>() + p.obj_constant;
+    Ok(Solution { objective, x })
+}
+
+/// Run the simplex loop until optimality, unboundedness, or pivot exhaustion.
+#[allow(clippy::too_many_arguments)]
+fn run(
+    a: &mut [f64],
+    obj: &mut [f64],
+    basis: &mut [usize],
+    m: usize,
+    w: usize,
+    enterable: &dyn Fn(usize) -> bool,
+    pivots_left: &mut usize,
+    deadline: Option<Instant>,
+) -> Result<(), LpError> {
+    let mut since_check = 0usize;
+    let rhs_col = w - 1;
+    let mut bland = false;
+    let mut stall = 0usize;
+    let stall_limit = 4 * (m + w) + 64;
+    let mut last_z = f64::INFINITY;
+
+    loop {
+        // Entering column.
+        let mut col = usize::MAX;
+        if bland {
+            for j in 0..rhs_col {
+                if enterable(j) && obj[j] < -TOL {
+                    col = j;
+                    break;
+                }
+            }
+        } else {
+            let mut best = -TOL;
+            for j in 0..rhs_col {
+                if enterable(j) && obj[j] < best {
+                    best = obj[j];
+                    col = j;
+                }
+            }
+        }
+        if col == usize::MAX {
+            return Ok(()); // optimal
+        }
+
+        // Ratio test.
+        let mut row = usize::MAX;
+        let mut best_ratio = f64::INFINITY;
+        for i in 0..m {
+            let aij = a[i * w + col];
+            if aij > TOL {
+                let ratio = a[i * w + rhs_col] / aij;
+                let better = ratio < best_ratio - TOL
+                    || (ratio < best_ratio + TOL
+                        && (row == usize::MAX || basis[i] < basis[row]));
+                if better {
+                    best_ratio = ratio;
+                    row = i;
+                }
+            }
+        }
+        if row == usize::MAX {
+            return Err(LpError::Unbounded);
+        }
+
+        if *pivots_left == 0 {
+            return Err(LpError::IterationLimit);
+        }
+        *pivots_left -= 1;
+        since_check += 1;
+        if since_check >= 128 {
+            since_check = 0;
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    return Err(LpError::IterationLimit);
+                }
+            }
+        }
+
+        pivot(a, obj, m, w, row, col);
+        basis[row] = col;
+
+        // Anti-cycling: if the objective stops improving, switch to Bland.
+        let z = -obj[rhs_col];
+        if z < last_z - TOL {
+            stall = 0;
+            bland = false;
+        } else {
+            stall += 1;
+            if stall > stall_limit {
+                bland = true;
+            }
+        }
+        last_z = z;
+    }
+}
+
+#[inline]
+fn pivot(a: &mut [f64], obj: &mut [f64], m: usize, w: usize, row: usize, col: usize) {
+    let piv = a[row * w + col];
+    debug_assert!(piv.abs() > TOL);
+    let inv = 1.0 / piv;
+    for j in 0..w {
+        a[row * w + j] *= inv;
+    }
+    a[row * w + col] = 1.0; // exact
+
+    // Split the slice around the pivot row so we can read it while
+    // updating the others.
+    let (before, rest) = a.split_at_mut(row * w);
+    let (prow, after) = rest.split_at_mut(w);
+    let eliminate = |target: &mut [f64]| {
+        for r in target.chunks_exact_mut(w) {
+            let f = r[col];
+            if f != 0.0 {
+                for j in 0..w {
+                    r[j] -= f * prow[j];
+                }
+                r[col] = 0.0; // exact
+            }
+        }
+    };
+    eliminate(before);
+    eliminate(after);
+    let f = obj[col];
+    if f != 0.0 {
+        for j in 0..w {
+            obj[j] -= f * prow[j];
+        }
+        obj[col] = 0.0;
+    }
+    let _ = m;
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Cmp, LpError, Problem};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn classic_two_var_max() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 (Hillier-Lieberman).
+        // As minimization of -3x - 5y; optimum (2, 6), z = -36.
+        let mut p = Problem::new();
+        let x = p.add_var(-3.0, 0.0, 4.0);
+        let y = p.add_var(-5.0, 0.0, 6.0);
+        p.add_row(&[(x, 3.0), (y, 2.0)], Cmp::Le, 18.0);
+        let s = p.solve().unwrap();
+        assert_close(s.objective, -36.0);
+        assert_close(s.x[x.index()], 2.0);
+        assert_close(s.x[y.index()], 6.0);
+    }
+
+    #[test]
+    fn equality_constraint() {
+        // min x + 2y s.t. x + y = 10, x <= 4  => x = 4, y = 6, z = 16.
+        let mut p = Problem::new();
+        let x = p.add_var(1.0, 0.0, 4.0);
+        let y = p.add_var(2.0, 0.0, f64::INFINITY);
+        p.add_row(&[(x, 1.0), (y, 1.0)], Cmp::Eq, 10.0);
+        let s = p.solve().unwrap();
+        assert_close(s.objective, 16.0);
+        assert_close(s.x[x.index()], 4.0);
+        assert_close(s.x[y.index()], 6.0);
+    }
+
+    #[test]
+    fn ge_constraints_need_phase1() {
+        // min 2x + 3y s.t. x + y >= 10, x - y <= 2 => corner search: optimum
+        // at x = 10, y = 0? check: x - y = 10 > 2 violated. Optimum x = 6,
+        // y = 4: z = 24.
+        let mut p = Problem::new();
+        let x = p.add_var(2.0, 0.0, f64::INFINITY);
+        let y = p.add_var(3.0, 0.0, f64::INFINITY);
+        p.add_row(&[(x, 1.0), (y, 1.0)], Cmp::Ge, 10.0);
+        p.add_row(&[(x, 1.0), (y, -1.0)], Cmp::Le, 2.0);
+        let s = p.solve().unwrap();
+        assert_close(s.objective, 24.0);
+        assert_close(s.x[x.index()], 6.0);
+        assert_close(s.x[y.index()], 4.0);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut p = Problem::new();
+        let x = p.add_var(1.0, 0.0, 1.0);
+        p.add_row(&[(x, 1.0)], Cmp::Ge, 2.0);
+        assert_eq!(p.solve().unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut p = Problem::new();
+        let x = p.add_var(-1.0, 0.0, f64::INFINITY);
+        let y = p.add_var(0.0, 0.0, 1.0);
+        p.add_row(&[(x, -1.0), (y, 1.0)], Cmp::Le, 5.0);
+        assert_eq!(p.solve().unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_is_normalized() {
+        // min x s.t. -x <= -3  (i.e. x >= 3)
+        let mut p = Problem::new();
+        let x = p.add_var(1.0, 0.0, f64::INFINITY);
+        p.add_row(&[(x, -1.0)], Cmp::Le, -3.0);
+        let s = p.solve().unwrap();
+        assert_close(s.objective, 3.0);
+    }
+
+    #[test]
+    fn duplicate_terms_are_summed() {
+        // min -x s.t. x/2 + x/2 <= 7  => x = 7.
+        let mut p = Problem::new();
+        let x = p.add_var(-1.0, 0.0, f64::INFINITY);
+        p.add_row(&[(x, 0.5), (x, 0.5)], Cmp::Le, 7.0);
+        let s = p.solve().unwrap();
+        assert_close(s.x[x.index()], 7.0);
+    }
+
+    #[test]
+    fn fixed_variable_contributes_constant() {
+        // y fixed at 2 by bounds; min x + y s.t. x + y >= 5 => x = 3, z = 5.
+        let mut p = Problem::new();
+        let x = p.add_var(1.0, 0.0, f64::INFINITY);
+        let y = p.add_var(1.0, 2.0, 2.0);
+        p.add_row(&[(x, 1.0), (y, 1.0)], Cmp::Ge, 5.0);
+        let s = p.solve().unwrap();
+        assert_close(s.objective, 5.0);
+        assert_close(s.x[x.index()], 3.0);
+        assert_close(s.x[y.index()], 2.0);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Beale's classic cycling example (needs anti-cycling to finish).
+        let mut p = Problem::new();
+        let x1 = p.add_var(-0.75, 0.0, f64::INFINITY);
+        let x2 = p.add_var(150.0, 0.0, f64::INFINITY);
+        let x3 = p.add_var(-0.02, 0.0, f64::INFINITY);
+        let x4 = p.add_var(6.0, 0.0, f64::INFINITY);
+        p.add_row(&[(x1, 0.25), (x2, -60.0), (x3, -0.04), (x4, 9.0)], Cmp::Le, 0.0);
+        p.add_row(&[(x1, 0.5), (x2, -90.0), (x3, -0.02), (x4, 3.0)], Cmp::Le, 0.0);
+        p.add_row(&[(x3, 1.0)], Cmp::Le, 1.0);
+        let s = p.solve().unwrap();
+        assert_close(s.objective, -0.05);
+    }
+
+    #[test]
+    fn larger_random_feasibility_check() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(1);
+        for trial in 0..20 {
+            let n = 8;
+            let mut p = Problem::new();
+            let vars: Vec<_> = (0..n)
+                .map(|_| p.add_var(rng.random_range(-5.0..5.0), 0.0, 1.0))
+                .collect();
+            for _ in 0..12 {
+                let terms: Vec<_> = vars
+                    .iter()
+                    .map(|&v| (v, rng.random_range(-1.0..2.0)))
+                    .collect();
+                p.add_row(&terms, Cmp::Le, rng.random_range(0.5..4.0));
+            }
+            let s = p.solve().unwrap_or_else(|e| panic!("trial {trial}: {e}"));
+            // Optimal point must satisfy every row and the box bounds.
+            for (ri, row) in p.rows.iter().enumerate() {
+                let lhs: f64 = row.terms.iter().map(|&(j, c)| c * s.x[j]).sum();
+                assert!(lhs <= row.rhs + 1e-6, "trial {trial} row {ri}: {lhs} > {}", row.rhs);
+            }
+            for &v in &s.x {
+                assert!((-1e-9..=1.0 + 1e-9).contains(&v));
+            }
+            // And must be no worse than any random feasible box point.
+            for _ in 0..200 {
+                let pt: Vec<f64> = (0..n).map(|_| rng.random_range(0.0..1.0)).collect();
+                let feasible = p.rows.iter().all(|row| {
+                    row.terms.iter().map(|&(j, c)| c * pt[j]).sum::<f64>() <= row.rhs + 1e-9
+                });
+                if feasible {
+                    let z: f64 = p.obj.iter().zip(&pt).map(|(c, v)| c * v).sum();
+                    assert!(s.objective <= z + 1e-6);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based validation of the simplex and the 0/1 branch-and-bound
+//! against brute-force enumeration.
+
+use lpsolve::{BnbOptions, Cmp, LpError, Problem, Var};
+use proptest::prelude::*;
+
+/// A random small 0/1 program: `n` binary variables, `rows` ≤-constraints
+/// with coefficients in [-3, 3] and a RHS wide enough to be sometimes
+/// feasible.
+#[derive(Debug, Clone)]
+struct BinaryInstance {
+    obj: Vec<f64>,
+    rows: Vec<(Vec<f64>, f64)>,
+}
+
+fn instance_strategy() -> impl Strategy<Value = BinaryInstance> {
+    (1usize..=6, 0usize..=4).prop_flat_map(|(n, m)| {
+        let coef = || prop::collection::vec(-3.0..3.0f64, n);
+        (
+            coef(),
+            prop::collection::vec((coef(), -2.0..6.0f64), m),
+        )
+            .prop_map(|(obj, rows)| BinaryInstance { obj, rows })
+    })
+}
+
+fn build(inst: &BinaryInstance) -> (Problem, Vec<Var>) {
+    let mut p = Problem::new();
+    let vars: Vec<Var> = inst.obj.iter().map(|&c| p.add_var(c, 0.0, 1.0)).collect();
+    for (coefs, rhs) in &inst.rows {
+        let terms: Vec<(Var, f64)> = vars.iter().copied().zip(coefs.iter().copied()).collect();
+        p.add_row(&terms, Cmp::Le, *rhs);
+    }
+    (p, vars)
+}
+
+/// Exhaustive optimum over all 2^n assignments (with a small feasibility
+/// slack matching the solver's tolerance).
+fn brute_force(inst: &BinaryInstance) -> Option<f64> {
+    let n = inst.obj.len();
+    let mut best: Option<f64> = None;
+    for mask in 0u32..(1 << n) {
+        let x: Vec<f64> = (0..n).map(|i| ((mask >> i) & 1) as f64).collect();
+        let feasible = inst.rows.iter().all(|(coefs, rhs)| {
+            coefs.iter().zip(&x).map(|(c, v)| c * v).sum::<f64>() <= rhs + 1e-9
+        });
+        if feasible {
+            let z: f64 = inst.obj.iter().zip(&x).map(|(c, v)| c * v).sum();
+            best = Some(best.map_or(z, |b: f64| b.min(z)));
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn bnb_matches_exhaustive_enumeration(inst in instance_strategy()) {
+        let (p, vars) = build(&inst);
+        let expected = brute_force(&inst);
+        match p.solve_binary(&vars, &BnbOptions::default()) {
+            Ok(sol) => {
+                let expected = expected.expect("solver found a solution, brute force must too");
+                prop_assert!((sol.objective - expected).abs() < 1e-6,
+                             "solver {} vs brute force {expected}", sol.objective);
+                // The reported point must itself be feasible and binary.
+                for &v in &vars {
+                    let x = sol.x[v.index()];
+                    prop_assert!((x - x.round()).abs() < 1e-6);
+                }
+                for (coefs, rhs) in &inst.rows {
+                    let lhs: f64 = coefs.iter().enumerate()
+                        .map(|(i, c)| c * sol.x[i]).sum();
+                    prop_assert!(lhs <= rhs + 1e-6);
+                }
+            }
+            Err(LpError::Infeasible) => {
+                prop_assert!(expected.is_none(),
+                             "solver said infeasible but brute force found {expected:?}");
+            }
+            Err(e) => prop_assert!(false, "unexpected solver error: {e}"),
+        }
+    }
+
+    #[test]
+    fn lp_relaxation_lower_bounds_the_ilp(inst in instance_strategy()) {
+        let (p, vars) = build(&inst);
+        if let (Ok(lp), Ok(ilp)) = (p.solve(), p.solve_binary(&vars, &BnbOptions::default())) {
+            prop_assert!(lp.objective <= ilp.objective + 1e-6,
+                         "relaxation {} above ILP {}", lp.objective, ilp.objective);
+        }
+    }
+
+    #[test]
+    fn lp_solution_is_feasible(inst in instance_strategy()) {
+        let (p, _) = build(&inst);
+        if let Ok(sol) = p.solve() {
+            for (coefs, rhs) in &inst.rows {
+                let lhs: f64 = coefs.iter().enumerate().map(|(i, c)| c * sol.x[i]).sum();
+                prop_assert!(lhs <= rhs + 1e-6);
+            }
+            for &x in &sol.x {
+                prop_assert!((-1e-9..=1.0 + 1e-9).contains(&x));
+            }
+        }
+    }
+}
+
+#[test]
+fn equality_rows_respected_by_bnb() {
+    // x + y + z = 2 with costs 3, 1, 2 → pick y and z (cost 3).
+    let mut p = Problem::new();
+    let x = p.add_var(3.0, 0.0, 1.0);
+    let y = p.add_var(1.0, 0.0, 1.0);
+    let z = p.add_var(2.0, 0.0, 1.0);
+    p.add_row(&[(x, 1.0), (y, 1.0), (z, 1.0)], Cmp::Eq, 2.0);
+    let sol = p.solve_binary(&[x, y, z], &BnbOptions::default()).unwrap();
+    assert!((sol.objective - 3.0).abs() < 1e-6);
+    assert!(sol.x[y.index()] > 0.5 && sol.x[z.index()] > 0.5);
+}

@@ -1,0 +1,22 @@
+//! Synthetic dataset generators (§6.1 of the paper).
+//!
+//! * [`uniform`] — exactly-uniform rankings with ties (§6.1.1): every one
+//!   of the `Fubini(n)` bucket orders is equally likely. The paper used
+//!   MuPAD-Combinat; we sample recursively with exact big-integer weights
+//!   (see the `bignum` crate).
+//! * [`markov`] — the §6.1.2 Markov chain over rankings with ties whose
+//!   four move operators give a symmetric proposal, hence a uniform
+//!   stationary distribution; the number of steps `t` controls how similar
+//!   the generated rankings stay to the seed.
+//! * [`unified`] — the §6.1.3 pipeline (Figure 1): generate with
+//!   similarity, retain top-k, unify.
+
+pub mod markov;
+pub mod models;
+pub mod unified;
+pub mod uniform;
+
+pub use markov::MarkovGen;
+pub use models::{Mallows, PlackettLuce};
+pub use unified::UnifiedGen;
+pub use uniform::UniformSampler;

@@ -1,0 +1,351 @@
+//! Markov-chain generation of increasingly dissimilar datasets (§6.1.2).
+//!
+//! States are rankings with ties; one step picks an element and one of four
+//! operators uniformly (proposal probability `1/(4n)` each):
+//!
+//! 1. move the element into the **previous** bucket;
+//! 2. move it into the **following** bucket;
+//! 3. move it into a **new bucket right before** its current one;
+//! 4. move it into a **new bucket right after** its current one.
+//!
+//! Invalid proposals (no previous/next bucket; or creating a new bucket
+//! from a singleton, which would be a no-op) are rejected — this is the
+//! paper's "restrictions when buckets contain one or two elements". Every
+//! valid move's reverse is another of the four operators with the same
+//! proposal probability, so the chain is symmetric and converges to the
+//! uniform distribution over all bucket orders; `t` small ⇒ rankings stay
+//! similar to the seed, `t → ∞` ⇒ uniform (the paper checks `t = 50 000`
+//! behaves uniformly; our integration tests do the same).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rank_core::{Dataset, Element, Ranking};
+
+/// Mutable chain state: bucket index per element + bucket sizes.
+///
+/// Kept flat so a step is `O(1)` unless a bucket appears/disappears
+/// (then `O(n)` renumbering).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalkState {
+    /// `pos[id]` = bucket index of element `id`.
+    pos: Vec<u32>,
+    /// Number of elements per bucket (all nonzero).
+    sizes: Vec<u32>,
+}
+
+impl WalkState {
+    /// Start from an arbitrary ranking.
+    pub fn from_ranking(r: &Ranking) -> Self {
+        let n = r.n_elements();
+        let mut pos = vec![0u32; n];
+        for id in 0..n as u32 {
+            pos[id as usize] = r
+                .bucket_of(Element(id))
+                .expect("ranking must be dense over 0..n") as u32;
+        }
+        WalkState {
+            pos,
+            sizes: r.buckets().map(|b| b.len() as u32).collect(),
+        }
+    }
+
+    /// The identity permutation seed `[{0},{1},…,{n−1}]` the generator
+    /// starts from.
+    pub fn identity(n: usize) -> Self {
+        WalkState {
+            pos: (0..n as u32).collect(),
+            sizes: vec![1; n],
+        }
+    }
+
+    /// Snapshot as an immutable [`Ranking`].
+    pub fn to_ranking(&self) -> Ranking {
+        Ranking::from_bucket_indices(&self.pos).expect("state invariants hold")
+    }
+
+    fn n(&self) -> usize {
+        self.pos.len()
+    }
+
+    /// Remove bucket `b` (must be empty): renumber positions above it.
+    fn remove_bucket(&mut self, b: u32) {
+        debug_assert_eq!(self.sizes[b as usize], 0);
+        self.sizes.remove(b as usize);
+        for p in self.pos.iter_mut() {
+            if *p > b {
+                *p -= 1;
+            }
+        }
+    }
+
+    /// Insert an empty bucket at index `b`: renumber positions at/above it.
+    fn insert_bucket(&mut self, b: u32) {
+        self.sizes.insert(b as usize, 0);
+        for p in self.pos.iter_mut() {
+            if *p >= b {
+                *p += 1;
+            }
+        }
+    }
+
+    /// Apply one proposal; returns `true` if the move was valid (applied).
+    pub fn try_move(&mut self, e: usize, op: MoveOp) -> bool {
+        let b = self.pos[e];
+        let k = self.sizes.len() as u32;
+        match op {
+            MoveOp::ToPrevious => {
+                if b == 0 {
+                    return false;
+                }
+                self.pos[e] = b - 1;
+                self.sizes[b as usize - 1] += 1;
+                self.sizes[b as usize] -= 1;
+                if self.sizes[b as usize] == 0 {
+                    self.remove_bucket(b);
+                }
+                true
+            }
+            MoveOp::ToNext => {
+                if b + 1 >= k {
+                    return false;
+                }
+                self.pos[e] = b + 1;
+                self.sizes[b as usize + 1] += 1;
+                self.sizes[b as usize] -= 1;
+                if self.sizes[b as usize] == 0 {
+                    self.remove_bucket(b);
+                }
+                true
+            }
+            MoveOp::NewBefore => {
+                if self.sizes[b as usize] < 2 {
+                    return false; // would be a no-op for a singleton
+                }
+                self.insert_bucket(b); // now e's old bucket is b + 1
+                self.sizes[b as usize + 1] -= 1;
+                self.sizes[b as usize] += 1;
+                self.pos[e] = b;
+                true
+            }
+            MoveOp::NewAfter => {
+                if self.sizes[b as usize] < 2 {
+                    return false;
+                }
+                self.insert_bucket(b + 1);
+                self.sizes[b as usize] -= 1;
+                self.sizes[b as usize + 1] += 1;
+                self.pos[e] = b + 1;
+                true
+            }
+        }
+    }
+
+    /// One chain step: uniform (element, operator) proposal, rejected
+    /// proposals are self-loops.
+    pub fn step(&mut self, rng: &mut StdRng) {
+        let e = rng.random_range(0..self.n());
+        let op = MoveOp::ALL[rng.random_range(0..4)];
+        let _ = self.try_move(e, op);
+    }
+
+    /// Walk `t` steps.
+    pub fn walk(&mut self, t: usize, rng: &mut StdRng) {
+        for _ in 0..t {
+            self.step(rng);
+        }
+    }
+
+    #[cfg(test)]
+    fn check_invariants(&self) {
+        let k = self.sizes.len();
+        assert!(self.sizes.iter().all(|&s| s > 0));
+        assert_eq!(self.sizes.iter().sum::<u32>() as usize, self.n());
+        let mut counts = vec![0u32; k];
+        for &p in &self.pos {
+            counts[p as usize] += 1;
+        }
+        assert_eq!(counts, self.sizes);
+    }
+}
+
+/// The four §6.1.2 operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MoveOp {
+    /// Move the element into the previous bucket.
+    ToPrevious,
+    /// Move the element into the following bucket.
+    ToNext,
+    /// Put it in a new bucket right before its current position.
+    NewBefore,
+    /// Put it in a new bucket right after its current position.
+    NewAfter,
+}
+
+impl MoveOp {
+    /// All operators, in a fixed order (indexed by the proposal draw).
+    pub const ALL: [MoveOp; 4] = [
+        MoveOp::ToPrevious,
+        MoveOp::ToNext,
+        MoveOp::NewBefore,
+        MoveOp::NewAfter,
+    ];
+}
+
+/// Dataset generator: `m` independent `t`-step walks from a common seed
+/// ranking (§6.1.2: "a dataset over m rankings consists in starting m
+/// times from r_s … and adding the state currently visited after t
+/// steps").
+#[derive(Debug, Clone)]
+pub struct MarkovGen {
+    /// Seed ranking `r_s`.
+    pub seed: Ranking,
+    /// Steps to walk per ranking.
+    pub t: usize,
+}
+
+impl MarkovGen {
+    /// Generator seeded with the identity permutation of `n` elements.
+    pub fn identity_seeded(n: usize, t: usize) -> Self {
+        MarkovGen {
+            seed: WalkState::identity(n).to_ranking(),
+            t,
+        }
+    }
+
+    /// Generate one dataset of `m` rankings.
+    pub fn dataset(&self, m: usize, rng: &mut StdRng) -> Dataset {
+        let rankings: Vec<Ranking> = (0..m)
+            .map(|_| {
+                let mut state = WalkState::from_ranking(&self.seed);
+                state.walk(self.t, rng);
+                state.to_ranking()
+            })
+            .collect();
+        Dataset::new(rankings).expect("walks preserve the support")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rank_core::similarity::dataset_similarity;
+    use std::collections::HashMap;
+
+    #[test]
+    fn identity_seed_roundtrip() {
+        let s = WalkState::identity(4);
+        assert_eq!(s.to_ranking().to_string(), "[{0},{1},{2},{3}]");
+        let r = rank_core::parse::parse_ranking("[{2},{0,1},{3}]").unwrap();
+        assert_eq!(WalkState::from_ranking(&r).to_ranking(), r);
+    }
+
+    #[test]
+    fn moves_preserve_invariants() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut s = WalkState::identity(6);
+        for _ in 0..5000 {
+            s.step(&mut rng);
+            s.check_invariants();
+        }
+    }
+
+    #[test]
+    fn operator_semantics() {
+        // [{0,1},{2}] — move 2 to previous: [{0,1,2}].
+        let r = rank_core::parse::parse_ranking("[{0,1},{2}]").unwrap();
+        let mut s = WalkState::from_ranking(&r);
+        assert!(s.try_move(2, MoveOp::ToPrevious));
+        assert_eq!(s.to_ranking().to_string(), "[{0,1,2}]");
+        // New-before on 1 (bucket of 3): [{1},{0,2}] order.
+        assert!(s.try_move(1, MoveOp::NewBefore));
+        assert_eq!(s.to_ranking().to_string(), "[{1},{0,2}]");
+        // New-after on 0: [{1},{2},{0}].
+        assert!(s.try_move(0, MoveOp::NewAfter));
+        assert_eq!(s.to_ranking().to_string(), "[{1},{2},{0}]");
+    }
+
+    #[test]
+    fn invalid_moves_rejected() {
+        let r = rank_core::parse::parse_ranking("[{0},{1,2}]").unwrap();
+        let mut s = WalkState::from_ranking(&r);
+        assert!(!s.try_move(0, MoveOp::ToPrevious)); // first bucket
+        assert!(!s.try_move(1, MoveOp::ToNext)); // last bucket
+        assert!(!s.try_move(0, MoveOp::NewBefore)); // singleton no-op
+        assert!(!s.try_move(0, MoveOp::NewAfter)); // singleton no-op
+        assert_eq!(s.to_ranking(), r, "rejected moves must not change state");
+    }
+
+    #[test]
+    fn every_valid_move_has_an_inverse_proposal() {
+        // Symmetry (detailed balance with uniform proposals): applying any
+        // valid move, some single proposal restores the previous state.
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut s = WalkState::identity(5);
+        s.walk(200, &mut rng); // reach a generic state
+        for e in 0..5 {
+            for op in MoveOp::ALL {
+                let before = s.clone();
+                if s.try_move(e, op) {
+                    let mut restored = false;
+                    for rev in MoveOp::ALL {
+                        let mut probe = s.clone();
+                        if probe.try_move(e, rev) && probe.pos == before.pos {
+                            restored = true;
+                            break;
+                        }
+                    }
+                    assert!(restored, "move {op:?} on {e} has no inverse");
+                    s = before; // reset for the next probe
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn long_walks_approach_uniformity_n3() {
+        // After many steps the chain must distribute over all 13 states
+        // of n = 3 roughly uniformly (cf. the paper's 50 000-step check).
+        let mut rng = StdRng::seed_from_u64(123);
+        let mut counts: HashMap<String, u32> = HashMap::new();
+        let walks = 6500;
+        for _ in 0..walks {
+            let mut s = WalkState::identity(3);
+            s.walk(200, &mut rng);
+            *counts.entry(s.to_ranking().to_string()).or_default() += 1;
+        }
+        assert_eq!(counts.len(), 13);
+        for (r, c) in &counts {
+            // expected 500, σ ≈ 21.5; accept ±6σ.
+            assert!((370..=630).contains(c), "{r}: {c}");
+        }
+    }
+
+    #[test]
+    fn similarity_decreases_with_steps() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let sim_at = |t: usize, rng: &mut StdRng| {
+            let gen = MarkovGen::identity_seeded(35, t);
+            let mut acc = 0.0;
+            for _ in 0..5 {
+                acc += dataset_similarity(&gen.dataset(7, rng));
+            }
+            acc / 5.0
+        };
+        let s50 = sim_at(50, &mut rng);
+        let s1000 = sim_at(1000, &mut rng);
+        let s50000 = sim_at(50_000, &mut rng);
+        // Paper: s ≈ 0.88 at 50 steps, 0.55 at 1000, ≈ −0.04 at 50 000.
+        assert!(s50 > 0.7, "t=50 similarity {s50}");
+        assert!(s1000 < s50, "t=1000 {s1000} !< t=50 {s50}");
+        assert!(s50000 < 0.15, "t=50000 similarity {s50000}");
+    }
+
+    #[test]
+    fn dataset_has_right_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let d = MarkovGen::identity_seeded(20, 100).dataset(7, &mut rng);
+        assert_eq!(d.n(), 20);
+        assert_eq!(d.m(), 7);
+    }
+}

@@ -1,0 +1,225 @@
+//! Classical permutation models (Table 2 of the paper).
+//!
+//! Earlier studies ([Ali & Meilă 2012], [Betzler et al. 2013]) evaluated
+//! on datasets drawn from the **Mallows** and **Plackett-Luce** models;
+//! both are provided here so their experiments can be replayed against the
+//! tie-aware panel. Both produce permutations (no ties) — aggregating them
+//! exercises the §4 result that the tie-aware problem strictly generalizes
+//! the classical one.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rank_core::{Dataset, Element, Ranking};
+
+/// The Mallows model: permutations concentrated around a center, with
+/// `P(π) ∝ φ^{D(π, center)}` (Kendall-τ distance).
+///
+/// Sampling uses the repeated-insertion method (RIM), which is exact.
+#[derive(Debug, Clone)]
+pub struct Mallows {
+    /// Number of elements; the center is the identity `0 < 1 < … < n−1`.
+    pub n: usize,
+    /// Dispersion `φ ∈ (0, 1]`: 1 = uniform over permutations, → 0 =
+    /// concentrated on the center.
+    pub phi: f64,
+}
+
+impl Mallows {
+    /// Create a model.
+    ///
+    /// # Panics
+    /// Panics unless `0 < phi <= 1` and `n >= 1`.
+    pub fn new(n: usize, phi: f64) -> Self {
+        assert!(n >= 1, "need at least one element");
+        assert!(phi > 0.0 && phi <= 1.0, "phi must be in (0, 1]");
+        Mallows { n, phi }
+    }
+
+    /// Draw one permutation.
+    pub fn sample(&self, rng: &mut StdRng) -> Ranking {
+        // RIM: insert element i (0-based) into the current prefix; placing
+        // it j slots from the end costs j inversions, weight φ^j.
+        let mut order: Vec<Element> = Vec::with_capacity(self.n);
+        for i in 0..self.n {
+            let slots = i + 1;
+            // weights φ^0 … φ^i over insertion depth from the END.
+            let mut total = 0.0;
+            let mut w = 1.0;
+            for _ in 0..slots {
+                total += w;
+                w *= self.phi;
+            }
+            let mut draw = rng.random_range(0.0..total);
+            let mut depth = 0;
+            let mut w = 1.0;
+            while depth + 1 < slots {
+                if draw < w {
+                    break;
+                }
+                draw -= w;
+                w *= self.phi;
+                depth += 1;
+            }
+            order.insert(i - depth, Element(i as u32));
+        }
+        Ranking::permutation(&order).expect("insertion builds a permutation")
+    }
+
+    /// Draw a dataset of `m` independent permutations.
+    pub fn dataset(&self, m: usize, rng: &mut StdRng) -> Dataset {
+        Dataset::new((0..m).map(|_| self.sample(rng)).collect())
+            .expect("same dense support")
+    }
+}
+
+/// The Plackett-Luce model: sequential choice proportional to positive
+/// element weights.
+#[derive(Debug, Clone)]
+pub struct PlackettLuce {
+    weights: Vec<f64>,
+}
+
+impl PlackettLuce {
+    /// Create a model from per-element weights.
+    ///
+    /// # Panics
+    /// Panics if any weight is not strictly positive and finite.
+    pub fn new(weights: Vec<f64>) -> Self {
+        assert!(!weights.is_empty(), "need at least one element");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w > 0.0),
+            "weights must be positive"
+        );
+        PlackettLuce { weights }
+    }
+
+    /// Geometrically decaying weights `ratio^i` — element 0 strongest.
+    pub fn geometric(n: usize, ratio: f64) -> Self {
+        assert!(ratio > 0.0 && ratio < 1.0, "ratio must be in (0, 1)");
+        PlackettLuce::new((0..n).map(|i| ratio.powi(i as i32)).collect())
+    }
+
+    /// Draw one permutation: repeatedly pick the next element with
+    /// probability proportional to its weight among the remaining ones.
+    pub fn sample(&self, rng: &mut StdRng) -> Ranking {
+        let mut remaining: Vec<(Element, f64)> = self
+            .weights
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| (Element(i as u32), w))
+            .collect();
+        let mut order = Vec::with_capacity(remaining.len());
+        while !remaining.is_empty() {
+            let total: f64 = remaining.iter().map(|&(_, w)| w).sum();
+            let mut draw = rng.random_range(0.0..total);
+            let mut pick = remaining.len() - 1;
+            for (i, &(_, w)) in remaining.iter().enumerate() {
+                if draw < w {
+                    pick = i;
+                    break;
+                }
+                draw -= w;
+            }
+            order.push(remaining.swap_remove(pick).0);
+        }
+        Ranking::permutation(&order).expect("choices build a permutation")
+    }
+
+    /// Draw a dataset of `m` independent permutations.
+    pub fn dataset(&self, m: usize, rng: &mut StdRng) -> Dataset {
+        Dataset::new((0..m).map(|_| self.sample(rng)).collect())
+            .expect("same dense support")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rank_core::distance::kendall_tau;
+
+    #[test]
+    fn mallows_phi_one_is_uniform_over_permutations() {
+        // Mean Kendall distance to the identity under uniformity is
+        // n(n−1)/4.
+        let model = Mallows::new(8, 1.0);
+        let center = model.sample(&mut StdRng::seed_from_u64(0)); // any perm
+        let identity = Ranking::permutation(
+            &(0..8u32).map(Element).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let _ = center;
+        let mut rng = StdRng::seed_from_u64(1);
+        let draws = 4000;
+        let mean: f64 = (0..draws)
+            .map(|_| kendall_tau(&model.sample(&mut rng), &identity) as f64)
+            .sum::<f64>()
+            / draws as f64;
+        let expected = 8.0 * 7.0 / 4.0; // 14
+        assert!((mean - expected).abs() < 0.5, "mean {mean}, expected {expected}");
+    }
+
+    #[test]
+    fn mallows_small_phi_concentrates_on_center() {
+        let model = Mallows::new(10, 0.1);
+        let identity =
+            Ranking::permutation(&(0..10u32).map(Element).collect::<Vec<_>>()).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mean: f64 = (0..500)
+            .map(|_| kendall_tau(&model.sample(&mut rng), &identity) as f64)
+            .sum::<f64>()
+            / 500.0;
+        // E[D] = Σ_i Σ_j j·φ^j / Σ φ^j ≈ n·φ/(1−φ) ≈ 1.1 for φ = 0.1.
+        assert!(mean < 2.5, "mean distance {mean} too large for phi = 0.1");
+    }
+
+    #[test]
+    fn mallows_outputs_are_permutations() {
+        let model = Mallows::new(15, 0.7);
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = model.dataset(6, &mut rng);
+        assert!(d.all_permutations());
+        assert_eq!(d.n(), 15);
+        assert_eq!(d.m(), 6);
+    }
+
+    #[test]
+    fn plackett_luce_orders_by_weight_on_average() {
+        let model = PlackettLuce::geometric(6, 0.3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut first_counts = vec![0u32; 6];
+        for _ in 0..2000 {
+            let r = model.sample(&mut rng);
+            first_counts[r.bucket(0)[0].index()] += 1;
+        }
+        // Element 0 has weight share 1/(Σ 0.3^i) ≈ 70.2%.
+        assert!(
+            first_counts[0] > 1250,
+            "element 0 first only {} times",
+            first_counts[0]
+        );
+        assert!(first_counts[0] > first_counts[1]);
+        assert!(first_counts[1] > first_counts[2]);
+    }
+
+    #[test]
+    fn plackett_luce_valid_datasets() {
+        let model = PlackettLuce::new(vec![1.0, 2.0, 3.0, 4.0]);
+        let mut rng = StdRng::seed_from_u64(5);
+        let d = model.dataset(5, &mut rng);
+        assert!(d.all_permutations());
+        assert_eq!(d.n(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "phi")]
+    fn mallows_rejects_bad_phi() {
+        let _ = Mallows::new(5, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn plackett_luce_rejects_bad_weights() {
+        let _ = PlackettLuce::new(vec![1.0, -1.0]);
+    }
+}

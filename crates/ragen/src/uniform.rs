@@ -1,0 +1,185 @@
+//! Exactly-uniform generation of rankings with ties (§6.1.1).
+//!
+//! The paper carefully ensures "all rankings have the same probability to
+//! be present" using MuPAD-Combinat's recursive-method machinery
+//! [Flajolet, Zimmerman, Van Cutsem 1994]. We reproduce the guarantee
+//! directly: the number of bucket orders of `n` elements whose first
+//! bucket has size `i` is `C(n, i) · Fubini(n − i)`, so sampling the first
+//! bucket size with those exact weights (big-integer arithmetic — the
+//! numbers have thousands of bits at `n = 500`), the bucket's members
+//! uniformly, and recursing yields every bucket order with probability
+//! exactly `1 / Fubini(n)`.
+
+use bignum::combinatorics::{binomial_row, FubiniTable};
+use bignum::Nat;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rank_core::{Dataset, Element, Ranking};
+
+/// Sampler of uniformly random rankings with ties.
+///
+/// Construction precomputes the Fubini numbers up to `max_n` (`O(max_n²)`
+/// big-integer operations, a one-off cost); sampling is then
+/// `O(n² · n/64)` big-integer work per ranking.
+#[derive(Debug, Clone)]
+pub struct UniformSampler {
+    fubini: FubiniTable,
+}
+
+impl UniformSampler {
+    /// Prepare a sampler for rankings of up to `max_n` elements.
+    pub fn new(max_n: usize) -> Self {
+        UniformSampler {
+            fubini: FubiniTable::up_to(max_n),
+        }
+    }
+
+    /// Number of rankings with ties over `n` elements (`Fubini(n)`).
+    pub fn count(&self, n: usize) -> &Nat {
+        self.fubini.get(n)
+    }
+
+    /// Sample one uniformly random ranking with ties over `0..n`.
+    ///
+    /// # Panics
+    /// Panics if `n` is 0 or exceeds the sampler's `max_n`.
+    pub fn sample(&self, n: usize, rng: &mut StdRng) -> Ranking {
+        assert!(n >= 1, "cannot sample an empty ranking");
+        assert!(
+            n <= self.fubini.max_n(),
+            "sampler prepared for n <= {}, got {n}",
+            self.fubini.max_n()
+        );
+        let mut pool: Vec<Element> = (0..n as u32).map(Element).collect();
+        let mut buckets: Vec<Vec<Element>> = Vec::new();
+        let mut k = n;
+        while k > 0 {
+            // First-bucket size i with weight C(k, i) · Fubini(k − i).
+            let row = binomial_row(k);
+            let mut draw = self.fubini.get(k).random_below(rng);
+            let mut size = k;
+            for i in 1..=k {
+                let weight = &row[i] * self.fubini.get(k - i);
+                match draw.checked_sub(&weight) {
+                    None => {
+                        size = i;
+                        break;
+                    }
+                    Some(rest) => draw = rest,
+                }
+            }
+            // Uniform choice of the bucket members: partial Fisher-Yates on
+            // the remaining pool.
+            let len = pool.len();
+            for j in 0..size {
+                let pick = rng.random_range(j..len);
+                pool.swap(j, pick);
+            }
+            let bucket: Vec<Element> = pool.drain(..size).collect();
+            buckets.push(bucket);
+            k -= size;
+        }
+        Ranking::from_buckets(buckets).expect("sampled buckets partition 0..n")
+    }
+
+    /// Sample a dataset of `m` independent uniform rankings over `0..n` —
+    /// the paper's uniformly generated datasets (`m ∈ [3;10]`,
+    /// `n ∈ [5;500]`).
+    pub fn sample_dataset(&self, n: usize, m: usize, rng: &mut StdRng) -> Dataset {
+        let rankings = (0..m).map(|_| self.sample(n, rng)).collect();
+        Dataset::new(rankings).expect("same dense support by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    #[test]
+    fn counts_match_fubini() {
+        let s = UniformSampler::new(10);
+        assert_eq!(s.count(3).to_u128(), Some(13));
+        assert_eq!(s.count(4).to_u128(), Some(75));
+        assert_eq!(s.count(10).to_u128(), Some(102_247_563));
+    }
+
+    #[test]
+    fn samples_are_valid_and_dense() {
+        let s = UniformSampler::new(50);
+        let mut rng = StdRng::seed_from_u64(7);
+        for n in [1usize, 2, 5, 17, 50] {
+            let r = s.sample(n, &mut rng);
+            assert_eq!(r.n_elements(), n);
+            for id in 0..n as u32 {
+                assert!(r.contains(Element(id)), "n={n} missing {id}");
+            }
+        }
+    }
+
+    #[test]
+    fn n3_distribution_is_uniform_over_13_rankings() {
+        // χ²-style smoke test: 13 bucket orders for n = 3, 13_000 draws →
+        // expected 1000 each, σ ≈ 30.4; accept ±5σ.
+        let s = UniformSampler::new(3);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts: HashMap<String, u32> = HashMap::new();
+        for _ in 0..13_000 {
+            *counts.entry(s.sample(3, &mut rng).to_string()).or_default() += 1;
+        }
+        assert_eq!(counts.len(), 13, "must hit all 13 bucket orders");
+        for (r, c) in &counts {
+            assert!((848..=1152).contains(c), "{r}: {c} draws is too skewed");
+        }
+    }
+
+    #[test]
+    fn n4_hits_all_75_rankings() {
+        let s = UniformSampler::new(4);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..7_500 {
+            seen.insert(s.sample(4, &mut rng).to_string());
+        }
+        assert_eq!(seen.len(), 75);
+    }
+
+    #[test]
+    fn first_bucket_size_distribution_n3() {
+        // P(|B1| = 1) = C(3,1)·a(2)/a(3) = 9/13, P(2) = 3/13, P(3) = 1/13.
+        let s = UniformSampler::new(3);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut sizes = [0u32; 4];
+        let draws = 13_000;
+        for _ in 0..draws {
+            sizes[s.sample(3, &mut rng).bucket(0).len()] += 1;
+        }
+        let expect = [0.0, 9.0 / 13.0, 3.0 / 13.0, 1.0 / 13.0];
+        for i in 1..=3 {
+            let freq = sizes[i] as f64 / draws as f64;
+            assert!(
+                (freq - expect[i]).abs() < 0.02,
+                "P(|B1|={i}) = {freq}, expected {}",
+                expect[i]
+            );
+        }
+    }
+
+    #[test]
+    fn dataset_shape() {
+        let s = UniformSampler::new(20);
+        let mut rng = StdRng::seed_from_u64(0);
+        let d = s.sample_dataset(20, 7, &mut rng);
+        assert_eq!(d.n(), 20);
+        assert_eq!(d.m(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "sampler prepared")]
+    fn oversize_panics() {
+        let s = UniformSampler::new(5);
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = s.sample(6, &mut rng);
+    }
+}

@@ -1,0 +1,64 @@
+//! Consensus gene ranking across reformulated biomedical queries.
+//!
+//! The BioConsert use case ([Cohen-Boulakia, Denise, Hamel 2011], the
+//! paper's BioMedical collection): each query reformulation returns a
+//! ranked gene list *with ties* (equal relevance scores) over a slightly
+//! different gene set. We unify, aggregate, and compare the tie-aware
+//! consensus with a positional one.
+//!
+//! Run with: `cargo run --release --example biomedical_genes`
+
+use rank_aggregation_with_ties::datasets::realworld::biomedical;
+use rank_aggregation_with_ties::rank_core::algorithms::bioconsert::BioConsert;
+use rank_aggregation_with_ties::rank_core::algorithms::borda::BordaCount;
+use rank_aggregation_with_ties::rank_core::algorithms::exact::ExactAlgorithm;
+use rank_aggregation_with_ties::rank_core::algorithms::{AlgoContext, ConsensusAlgorithm};
+use rank_aggregation_with_ties::rank_core::normalize::unification;
+use rank_aggregation_with_ties::rank_core::score::kemeny_score;
+use rank_aggregation_with_ties::rank_core::similarity::dataset_similarity;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2011);
+    let cfg = biomedical::Config {
+        genes_range: (12, 18), // small enough to solve exactly
+        ..biomedical::Config::default()
+    };
+    let raw = biomedical::generate(&cfg, &mut rng);
+    println!(
+        "{} query reformulations, gene lists of sizes {:?}",
+        raw.len(),
+        raw.iter().map(|r| r.n_elements()).collect::<Vec<_>>()
+    );
+    println!(
+        "rankings contain ties: {}",
+        raw.iter().any(|r| !r.is_permutation())
+    );
+
+    let unif = unification(&raw).expect("non-empty");
+    let data = &unif.dataset;
+    println!(
+        "unified over {} genes, similarity s(R) = {:.2}",
+        data.n(),
+        dataset_similarity(data)
+    );
+
+    let mut ctx = AlgoContext::seeded(3);
+    let bio = BioConsert::default().run(data, &mut ctx);
+    let borda = BordaCount.run(data, &mut ctx);
+    let (_, optimum, proved) = ExactAlgorithm::default().solve(data, &mut ctx);
+
+    println!("\n                    K score   vs optimum");
+    let gap = |s: u64| rank_aggregation_with_ties::rank_core::score::gap(s, optimum);
+    let s_bio = kemeny_score(&bio, data);
+    let s_borda = kemeny_score(&borda, data);
+    println!("  optimal           {optimum:>6}      (proved: {proved})");
+    println!("  BioConsert        {s_bio:>6}      gap {:.1}%", 100.0 * gap(s_bio));
+    println!("  BordaCount        {s_borda:>6}      gap {:.1}%", 100.0 * gap(s_borda));
+    assert!(s_bio <= s_borda, "tie-aware local search beats positional here");
+
+    // Tied genes in the consensus = "no evidence to separate them".
+    let tied_groups = bio.buckets().filter(|b| b.len() > 1).count();
+    println!("\nBioConsert keeps {tied_groups} tied gene groups (no forced untying)");
+}

@@ -1,0 +1,72 @@
+//! Ranking a Formula 1 season from its race results.
+//!
+//! Shows the §7.3.1 normalization trap: *projection* drops every pilot who
+//! missed a race — in the real 1961/1970 data that included a
+//! vice-champion and a champion. *Unification* keeps everyone and lets a
+//! tie-aware algorithm rank partially-present pilots fairly.
+//!
+//! Run with: `cargo run --release --example f1_championship`
+
+use rank_aggregation_with_ties::datasets::realworld::f1;
+use rank_aggregation_with_ties::rank_core::algorithms::bioconsert::BioConsert;
+use rank_aggregation_with_ties::rank_core::algorithms::{AlgoContext, ConsensusAlgorithm};
+use rank_aggregation_with_ties::rank_core::normalize::{projection, threshold_k, unification};
+use rank_aggregation_with_ties::rank_core::similarity::dataset_similarity;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // Search for a season where projection removes a race winner — the
+    // paper's champion anecdote.
+    let cfg = f1::Config::default();
+    let mut season = None;
+    for seed in 0..200 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let raw = f1::generate(&cfg, &mut rng);
+        let proj = projection(&raw).expect("regulars finish every race");
+        let winner = raw[0].bucket(0)[0]; // winner of the first race
+        if !proj.mapping.contains(&winner) {
+            season = Some((raw, proj, winner));
+            break;
+        }
+    }
+    let (raw, proj, dropped_winner) = season.expect("such a season exists");
+
+    println!("season: {} races over {} pilots total", raw.len(), {
+        let u = unification(&raw).unwrap();
+        u.dataset.n()
+    });
+    println!(
+        "projection keeps only {} pilots — and DROPS pilot #{}, who won race 1!",
+        proj.dataset.n(),
+        dropped_winner.0
+    );
+
+    // Unification keeps everyone.
+    let unif = unification(&raw).expect("non-empty");
+    println!(
+        "unification ranks all {} pilots (season similarity s(R) = {:.2})",
+        unif.dataset.n(),
+        dataset_similarity(&unif.dataset)
+    );
+
+    let mut ctx = AlgoContext::seeded(1);
+    let standings = BioConsert::default().run(&unif.dataset, &mut ctx);
+    let podium: Vec<String> = unif
+        .denormalize(&standings)
+        .elements()
+        .take(3)
+        .map(|e| format!("pilot #{}", e.0))
+        .collect();
+    println!("BioConsert season standings podium: {}", podium.join(", "));
+
+    // The §8 middle ground: require presence in at least half the races.
+    let half = threshold_k(&raw, raw.len() / 2).expect("non-empty");
+    println!(
+        "threshold-k (≥{} races) keeps {} pilots — between projection ({}) and unification ({})",
+        raw.len() / 2,
+        half.dataset.n(),
+        proj.dataset.n(),
+        unif.dataset.n()
+    );
+}

@@ -1,0 +1,72 @@
+//! Meta-search: merge the result lists of several search engines.
+//!
+//! The paper's motivating application ([Dwork et al. 2001]): each engine
+//! returns a top-k list over a different URL subset; unification makes the
+//! lists comparable (projection would discard ~98% of the URLs, §7.3.1),
+//! and a tie-aware aggregation produces the merged ranking. The §7.4
+//! guidance module picks the algorithm.
+//!
+//! Run with: `cargo run --release --example web_metasearch`
+
+use rank_aggregation_with_ties::datasets::realworld::websearch;
+use rank_aggregation_with_ties::rank_core::algorithms::{AlgoContext, ConsensusAlgorithm};
+use rank_aggregation_with_ties::rank_core::algorithms::bioconsert::BioConsert;
+use rank_aggregation_with_ties::rank_core::algorithms::medrank::MedRank;
+use rank_aggregation_with_ties::rank_core::guidance::{recommend, DatasetFeatures, Priority};
+use rank_aggregation_with_ties::rank_core::normalize::{projection, unification};
+use rank_aggregation_with_ties::rank_core::score::kemeny_score;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // A scaled-down query: 4 engines × top-60 results.
+    let mut rng = StdRng::seed_from_u64(2001);
+    let cfg = websearch::Config {
+        engines: 4,
+        depth: 60,
+    };
+    let raw = websearch::generate(&cfg, &mut rng);
+    println!("4 engines returned top-{} lists", raw[0].n_elements());
+
+    let proj = projection(&raw).expect("some URLs shared");
+    let unif = unification(&raw).expect("non-empty");
+    println!(
+        "projection keeps {} URLs; unification ranks all {} URLs",
+        proj.dataset.n(),
+        unif.dataset.n()
+    );
+
+    // What does §7.4 say we should run?
+    let features = DatasetFeatures::measure(&unif.dataset);
+    for prio in [Priority::Quality, Priority::Speed] {
+        let rec = recommend(&features, prio);
+        println!("guidance ({prio:?}): {} — {}", rec.algorithm, rec.rationale);
+    }
+
+    // Quality choice: BioConsert on the unified dataset.
+    let mut ctx = AlgoContext::seeded(7);
+    let consensus = BioConsert::default().run(&unif.dataset, &mut ctx);
+    println!(
+        "\nBioConsert consensus: K = {}, {} buckets (last bucket: {} URLs nobody returned high)",
+        kemeny_score(&consensus, &unif.dataset),
+        consensus.n_buckets(),
+        consensus.bucket(consensus.n_buckets() - 1).len(),
+    );
+
+    // Speed choice: MEDRank with the paper-recommended threshold.
+    let fast = MedRank::new(0.5).run(&unif.dataset, &mut ctx);
+    println!(
+        "MEDRank(0.5) consensus: K = {}, {} buckets",
+        kemeny_score(&fast, &unif.dataset),
+        fast.n_buckets()
+    );
+
+    // Top of the merged ranking, in original URL ids.
+    let merged = unif.denormalize(&consensus);
+    let top: Vec<String> = merged
+        .elements()
+        .take(10)
+        .map(|e| format!("url{}", e.0))
+        .collect();
+    println!("merged top-10: {}", top.join(", "));
+}

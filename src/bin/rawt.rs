@@ -1,0 +1,216 @@
+//! `rawt` — rank aggregation with ties, from the command line.
+//!
+//! ```text
+//! rawt aggregate FILE [--algo NAME] [--seed N] [--normalize unify|project]
+//!     Aggregate a dataset file (one `[{A},{B,C}]` ranking per line,
+//!     `#` comments allowed). Rankings over different elements are
+//!     normalized first (default: unification, §5.1).
+//!
+//! rawt compare FILE [--seed N] [--normalize unify|project]
+//!     Run the whole panel of the paper's algorithms and report scores.
+//!
+//! rawt similarity FILE [--normalize unify|project]
+//!     The dataset's intrinsic similarity s(R) (§6.2.2) and features.
+//!
+//! rawt distance 'RANKING' 'RANKING'
+//!     Generalized Kendall-τ distance between two rankings.
+//!
+//! rawt generate (uniform|markov) --n N --m M [--steps T] [--seed N]
+//!     Print a synthetic dataset (§6.1).
+//! ```
+
+use rank_aggregation_with_ties::prelude::*;
+use rank_aggregation_with_ties::ragen::{MarkovGen, UniformSampler};
+use rank_aggregation_with_ties::rank_core::normalize::Normalized;
+use rank_aggregation_with_ties::rank_core::parse::{parse_dataset_lines, parse_ranking_labeled};
+use std::process::exit;
+
+fn die(msg: &str) -> ! {
+    eprintln!("rawt: {msg}");
+    exit(2);
+}
+
+struct Flags {
+    positional: Vec<String>,
+    algo: Option<String>,
+    seed: u64,
+    normalize: String,
+    n: usize,
+    m: usize,
+    steps: usize,
+}
+
+fn parse_flags(args: &[String]) -> Flags {
+    let mut f = Flags {
+        positional: Vec::new(),
+        algo: None,
+        seed: 42,
+        normalize: "unify".to_owned(),
+        n: 10,
+        m: 5,
+        steps: 1000,
+    };
+    let mut i = 0;
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| die("missing flag value"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--algo" => f.algo = Some(value(&mut i)),
+            "--seed" => f.seed = value(&mut i).parse().unwrap_or_else(|_| die("bad --seed")),
+            "--normalize" => f.normalize = value(&mut i),
+            "--n" => f.n = value(&mut i).parse().unwrap_or_else(|_| die("bad --n")),
+            "--m" => f.m = value(&mut i).parse().unwrap_or_else(|_| die("bad --m")),
+            "--steps" => f.steps = value(&mut i).parse().unwrap_or_else(|_| die("bad --steps")),
+            s if s.starts_with("--") => die(&format!("unknown flag {s}")),
+            s => f.positional.push(s.to_owned()),
+        }
+        i += 1;
+    }
+    f
+}
+
+/// Load + normalize a dataset file; returns the dense dataset, the id
+/// mapping and the universe for display.
+fn load(path: &str, how: &str) -> (Normalized, Universe) {
+    let body = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+    let mut universe = Universe::new();
+    let raw = parse_dataset_lines(&body, &mut universe)
+        .unwrap_or_else(|e| die(&format!("parse error in {path}: {e}")));
+    if raw.is_empty() {
+        die("the file contains no rankings");
+    }
+    let normalized = match how {
+        "unify" => unification(&raw),
+        "project" => projection(&raw),
+        other => die(&format!("unknown normalization {other:?} (use unify|project)")),
+    }
+    .unwrap_or_else(|| die("normalization produced an empty dataset"));
+    (normalized, universe)
+}
+
+fn algorithm_by_name(name: &str, min_runs: usize) -> Box<dyn ConsensusAlgorithm> {
+    let mut panel = paper_algorithms(min_runs);
+    panel.extend(extended_algorithms());
+    panel.push(exact_algorithm());
+    let names: Vec<String> = panel.iter().map(|a| a.name()).collect();
+    panel
+        .into_iter()
+        .find(|a| a.name() == name)
+        .unwrap_or_else(|| {
+            die(&format!(
+                "unknown algorithm {name:?}; available: {}",
+                names.join(", ")
+            ))
+        })
+}
+
+fn cmd_aggregate(f: &Flags) {
+    let path = f.positional.first().unwrap_or_else(|| die("aggregate needs a FILE"));
+    let (norm, universe) = load(path, &f.normalize);
+    let data = &norm.dataset;
+    let algo_name = f.algo.clone().unwrap_or_else(|| {
+        recommend(&DatasetFeatures::measure(data), Priority::Balanced).algorithm.to_owned()
+    });
+    let algo = algorithm_by_name(&algo_name, 20);
+    let mut ctx = AlgoContext::seeded(f.seed);
+    let consensus = algo.run(data, &mut ctx);
+    let score = kemeny_score(&consensus, data);
+    println!("algorithm:  {}", algo.name());
+    println!("elements:   {} (m = {} rankings, {})", data.n(), data.m(), f.normalize);
+    println!("consensus:  {}", norm.denormalize(&consensus).display_with(&universe));
+    println!("K score:    {score}");
+}
+
+fn cmd_compare(f: &Flags) {
+    let path = f.positional.first().unwrap_or_else(|| die("compare needs a FILE"));
+    let (norm, universe) = load(path, &f.normalize);
+    let data = &norm.dataset;
+    println!(
+        "n = {}, m = {}, similarity s(R) = {:.3}",
+        data.n(),
+        data.m(),
+        dataset_similarity(data)
+    );
+    let mut results: Vec<(String, u64, Ranking)> = Vec::new();
+    for algo in paper_algorithms(20) {
+        if algo.name() == "Ailon3/2" && data.n() > 45 {
+            continue;
+        }
+        let mut ctx = AlgoContext::seeded(f.seed);
+        let consensus = algo.run(data, &mut ctx);
+        results.push((algo.name(), kemeny_score(&consensus, data), consensus));
+    }
+    results.sort_by_key(|&(_, s, _)| s);
+    let best = results.first().map(|&(_, s, _)| s).unwrap_or(0);
+    for (name, score, consensus) in &results {
+        println!(
+            "{name:<16} K = {score:<6} m-gap = {:>6.2}%  {}",
+            100.0 * gap(*score, best),
+            norm.denormalize(consensus).display_with(&universe)
+        );
+    }
+}
+
+fn cmd_similarity(f: &Flags) {
+    let path = f.positional.first().unwrap_or_else(|| die("similarity needs a FILE"));
+    let (norm, _) = load(path, &f.normalize);
+    let data = &norm.dataset;
+    let features = DatasetFeatures::measure(data);
+    println!("n = {}, m = {}", features.n, features.m);
+    println!("similarity s(R) = {:.4}", features.similarity.unwrap_or(f64::NAN));
+    println!("large ties present: {}", features.has_large_ties);
+    for p in [Priority::Quality, Priority::Balanced, Priority::Speed] {
+        let rec = recommend(&features, p);
+        println!("recommended ({p:?}): {}", rec.algorithm);
+    }
+}
+
+fn cmd_distance(f: &Flags) {
+    if f.positional.len() != 2 {
+        die("distance needs two 'RANKING' arguments");
+    }
+    let mut universe = Universe::new();
+    let a = parse_ranking_labeled(&f.positional[0], &mut universe)
+        .unwrap_or_else(|e| die(&format!("first ranking: {e}")));
+    let b = parse_ranking_labeled(&f.positional[1], &mut universe)
+        .unwrap_or_else(|e| die(&format!("second ranking: {e}")));
+    if a.n_elements() != b.n_elements() || a.elements().any(|e| !b.contains(e)) {
+        die("the rankings must be over the same elements");
+    }
+    println!("G  (generalized Kendall-τ) = {}", generalized_kendall_tau(&a, &b));
+    println!("D  (classical, ties ignored) = {}", kendall_tau(&a, &b));
+    println!("τ  (correlation, eq. 4) = {:.4}", tau_correlation(&a, &b));
+}
+
+fn cmd_generate(f: &Flags) {
+    let kind = f.positional.first().map(String::as_str).unwrap_or("uniform");
+    let mut rng = rand::SeedableRng::seed_from_u64(f.seed);
+    let data = match kind {
+        "uniform" => UniformSampler::new(f.n).sample_dataset(f.n, f.m, &mut rng),
+        "markov" => MarkovGen::identity_seeded(f.n, f.steps).dataset(f.m, &mut rng),
+        other => die(&format!("unknown generator {other:?} (use uniform|markov)")),
+    };
+    println!("# {kind} dataset: n = {}, m = {}, seed = {}", f.n, f.m, f.seed);
+    for r in data.rankings() {
+        println!("{r}");
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        die("usage: rawt <aggregate|compare|similarity|distance|generate> …");
+    };
+    let flags = parse_flags(rest);
+    match cmd.as_str() {
+        "aggregate" => cmd_aggregate(&flags),
+        "compare" => cmd_compare(&flags),
+        "similarity" => cmd_similarity(&flags),
+        "distance" => cmd_distance(&flags),
+        "generate" => cmd_generate(&flags),
+        other => die(&format!("unknown command {other:?}")),
+    }
+}

@@ -1,0 +1,55 @@
+//! # Rank aggregation with ties
+//!
+//! A Rust reproduction of *“Rank aggregation with ties: Experiments and
+//! Analysis”* (Brancotte, Yang, Blin, Cohen-Boulakia, Denise, Hamel —
+//! PVLDB 8(11), 2015): the complete algorithm suite for aggregating
+//! rankings whose elements may be tied, the first exact solver for the
+//! problem, the paper's synthetic dataset generators, and the full
+//! experimental harness regenerating every table and figure.
+//!
+//! This crate is a facade re-exporting the workspace members:
+//!
+//! * [`rank_core`] — data model ([`rank_core::Ranking`],
+//!   [`rank_core::Dataset`]), generalized Kendall-τ distances, all
+//!   aggregation algorithms, normalization, guidance.
+//! * [`ragen`] — exact-uniform / Markov-chain / unified-top-k dataset
+//!   generators.
+//! * [`datasets`] — real-world dataset facsimiles (WebSearch, F1,
+//!   SkiCross, BioMedical).
+//! * [`bignum`] — arbitrary-precision integers behind the uniform sampler.
+//! * [`lpsolve`] — the simplex + branch-and-bound substrate behind the
+//!   exact LPB formulation and Ailon 3/2.
+//!
+//! ```
+//! use rank_aggregation_with_ties::prelude::*;
+//!
+//! let r1 = Ranking::from_slices(&[&[0], &[3], &[1, 2]]).unwrap();
+//! let r2 = Ranking::from_slices(&[&[0], &[1, 2], &[3]]).unwrap();
+//! let r3 = Ranking::from_slices(&[&[3], &[0, 2], &[1]]).unwrap();
+//! let data = Dataset::new(vec![r1, r2, r3]).unwrap();
+//!
+//! let mut ctx = AlgoContext::seeded(42);
+//! let consensus = BioConsert::default().run(&data, &mut ctx);
+//! assert_eq!(kemeny_score(&consensus, &data), 5);
+//! ```
+
+pub use bignum;
+pub use datasets;
+pub use lpsolve;
+pub use ragen;
+pub use rank_core;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use rank_core::algorithms::bioconsert::BioConsert;
+    pub use rank_core::algorithms::exact::ExactAlgorithm;
+    pub use rank_core::algorithms::{
+        exact_algorithm, extended_algorithms, paper_algorithms, AlgoContext, ConsensusAlgorithm,
+    };
+    pub use rank_core::distance::{generalized_kendall_tau, kendall_tau};
+    pub use rank_core::guidance::{recommend, DatasetFeatures, Priority};
+    pub use rank_core::normalize::{projection, top_k, unification};
+    pub use rank_core::score::{gap, kemeny_score};
+    pub use rank_core::similarity::{dataset_similarity, tau_correlation};
+    pub use rank_core::{Dataset, Element, PairTable, Ranking, Universe};
+}

@@ -1,0 +1,129 @@
+//! Contract tests every registered algorithm must satisfy, on a battery
+//! of adversarial datasets: complete valid output, determinism given the
+//! seed, consistency with the "produces ties" declaration, and never
+//! beating a proven optimum.
+
+use rank_aggregation_with_ties::prelude::*;
+use rank_aggregation_with_ties::ragen::{MarkovGen, UniformSampler};
+use rank_aggregation_with_ties::rank_core::parse::parse_ranking;
+
+fn battery() -> Vec<(String, Dataset)> {
+    let mut out = Vec::new();
+    let mk = |lines: &[&str]| {
+        Dataset::new(lines.iter().map(|l| parse_ranking(l).unwrap()).collect()).unwrap()
+    };
+    out.push(("paper-example".into(), mk(&["[{0},{3},{1,2}]", "[{0},{1,2},{3}]", "[{3},{0,2},{1}]"])));
+    out.push(("single-element".into(), mk(&["[{0}]", "[{0}]"])));
+    out.push(("two-elements-conflict".into(), mk(&["[{0},{1}]", "[{1},{0}]"])));
+    out.push(("all-tied".into(), mk(&["[{0,1,2,3,4}]", "[{0,1,2,3,4}]"])));
+    out.push((
+        "unified-shape".into(),
+        mk(&["[{0},{1},{2,3,4,5}]", "[{4},{5},{0,1,2,3}]", "[{2},{0,1,3,4,5}]"]),
+    ));
+    out.push((
+        "reversal-pair".into(),
+        mk(&["[{0},{1},{2},{3},{4},{5}]", "[{5},{4},{3},{2},{1},{0}]"]),
+    ));
+    let sampler = UniformSampler::new(12);
+    let mut rng = rand::SeedableRng::seed_from_u64(1234);
+    out.push(("uniform-12".into(), sampler.sample_dataset(12, 7, &mut rng)));
+    out.push((
+        "markov-similar".into(),
+        MarkovGen::identity_seeded(10, 30).dataset(5, &mut rng),
+    ));
+    out
+}
+
+fn panel() -> Vec<Box<dyn ConsensusAlgorithm>> {
+    let mut algos = paper_algorithms(3);
+    algos.extend(extended_algorithms());
+    algos.push(exact_algorithm());
+    algos
+}
+
+#[test]
+fn outputs_are_complete_valid_rankings() {
+    for (name, data) in battery() {
+        for algo in panel() {
+            let mut ctx = AlgoContext::seeded(7);
+            let consensus = algo.run(&data, &mut ctx);
+            assert!(
+                data.is_complete_ranking(&consensus),
+                "{} on {name}: incomplete output {consensus}",
+                algo.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn deterministic_given_seed() {
+    for (name, data) in battery() {
+        for algo in panel() {
+            let a = algo.run(&data, &mut AlgoContext::seeded(99));
+            let b = algo.run(&data, &mut AlgoContext::seeded(99));
+            assert_eq!(a, b, "{} on {name} is not seed-deterministic", algo.name());
+        }
+    }
+}
+
+#[test]
+fn tie_free_declarations_hold() {
+    // Algorithms declaring produces_ties = false must output permutations.
+    for (name, data) in battery() {
+        for algo in panel() {
+            if !algo.produces_ties() {
+                let consensus = algo.run(&data, &mut AlgoContext::seeded(5));
+                assert!(
+                    consensus.is_permutation(),
+                    "{} on {name} declared tie-free but tied: {consensus}",
+                    algo.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn nobody_beats_a_proven_optimum() {
+    for (name, data) in battery() {
+        if data.n() > 14 {
+            continue;
+        }
+        let mut ctx = AlgoContext::seeded(1);
+        let (_, optimum, proved) = ExactAlgorithm::default().solve(&data, &mut ctx);
+        assert!(proved, "exact must prove on tiny instance {name}");
+        for algo in panel() {
+            let consensus = algo.run(&data, &mut AlgoContext::seeded(11));
+            let score = kemeny_score(&consensus, &data);
+            assert!(
+                score >= optimum,
+                "{} scored {score} below the optimum {optimum} on {name}",
+                algo.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn unanimous_input_is_reproduced_by_quality_algorithms() {
+    // When all inputs agree, the consensus with score 0 is the input
+    // itself; every quality-oriented algorithm must find it.
+    let r = parse_ranking("[{2},{0,3},{1},{4}]").unwrap();
+    let data = Dataset::new(vec![r.clone(), r.clone(), r.clone()]).unwrap();
+    for algo in panel() {
+        let name = algo.name();
+        let consensus = algo.run(&data, &mut AlgoContext::seeded(3));
+        let score = kemeny_score(&consensus, &data);
+        match name.as_str() {
+            // Permutation-only algorithms must pay for breaking {0,3}.
+            "Chanas" | "ChanasBoth" | "BnB" | "KwikSortNoTies" => {
+                assert!(score >= 3, "{name}: {score}")
+            }
+            // Positional scores may or may not resolve the tie exactly.
+            "BordaCount" | "CopelandMethod" | "CopelandPairwise" | "MC4"
+            | "MEDRank(0.5)" | "MEDRank(0.7)" => {}
+            _ => assert_eq!(score, 0, "{name} must reproduce the unanimous input"),
+        }
+    }
+}

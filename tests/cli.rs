@@ -1,0 +1,121 @@
+//! End-to-end tests of the `rawt` command-line tool.
+
+use std::process::Command;
+
+fn rawt(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_rawt"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+fn write_paper_example() -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("rawt-test-{}.txt", std::process::id()));
+    std::fs::write(
+        &path,
+        "# the paper's 2.2 example\n[{A},{D},{B,C}]\n[{A},{B,C},{D}]\n[{D},{A,C},{B}]\n",
+    )
+    .expect("temp file");
+    path
+}
+
+#[test]
+fn aggregate_finds_the_paper_optimum() {
+    let path = write_paper_example();
+    let (stdout, stderr, ok) = rawt(&[
+        "aggregate",
+        path.to_str().unwrap(),
+        "--algo",
+        "BioConsert",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("K score:    5"), "stdout: {stdout}");
+    assert!(stdout.contains("{B,C}"), "ties preserved: {stdout}");
+}
+
+#[test]
+fn aggregate_with_exact_algorithm() {
+    let path = write_paper_example();
+    let (stdout, _, ok) = rawt(&[
+        "aggregate",
+        path.to_str().unwrap(),
+        "--algo",
+        "ExactAlgorithm",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("K score:    5"), "stdout: {stdout}");
+}
+
+#[test]
+fn aggregate_defaults_to_guidance() {
+    let path = write_paper_example();
+    let (stdout, _, ok) = rawt(&["aggregate", path.to_str().unwrap()]);
+    assert!(ok);
+    assert!(stdout.contains("algorithm:"), "stdout: {stdout}");
+}
+
+#[test]
+fn compare_ranks_algorithms_by_score() {
+    let path = write_paper_example();
+    let (stdout, _, ok) = rawt(&["compare", path.to_str().unwrap()]);
+    assert!(ok);
+    assert!(stdout.contains("BioConsert"));
+    // The first result line is the best: m-gap 0.
+    let first = stdout
+        .lines()
+        .find(|l| l.contains("m-gap"))
+        .expect("has results");
+    assert!(first.contains("0.00%"), "best must have zero m-gap: {first}");
+}
+
+#[test]
+fn similarity_reports_features_and_guidance() {
+    let path = write_paper_example();
+    let (stdout, _, ok) = rawt(&["similarity", path.to_str().unwrap()]);
+    assert!(ok);
+    assert!(stdout.contains("similarity s(R)"));
+    assert!(stdout.contains("recommended (Quality): ExactAlgorithm"));
+}
+
+#[test]
+fn distance_matches_the_paper() {
+    // G(r1, r2) for the paper's r1, r2: count by hand = 2 (D moves across
+    // the {B,C} bucket) — verify the library's value through the CLI.
+    let (stdout, _, ok) = rawt(&["distance", "[{A},{D},{B,C}]", "[{A},{B,C},{D}]"]);
+    assert!(ok);
+    let g_line = stdout.lines().find(|l| l.starts_with("G ")).unwrap();
+    let g: u64 = g_line.rsplit(' ').next().unwrap().parse().unwrap();
+    // D vs B and D vs C are inverted: G = 2.
+    assert_eq!(g, 2, "{stdout}");
+    assert!(stdout.contains("τ"));
+}
+
+#[test]
+fn generate_roundtrips_through_aggregate() {
+    let (stdout, _, ok) = rawt(&["generate", "uniform", "--n", "8", "--m", "4", "--seed", "9"]);
+    assert!(ok);
+    let path = std::env::temp_dir().join("rawt-gen-test.txt");
+    std::fs::write(&path, &stdout).unwrap();
+    let (stdout2, _, ok2) = rawt(&["aggregate", path.to_str().unwrap(), "--algo", "BordaCount"]);
+    assert!(ok2, "{stdout2}");
+    assert!(stdout2.contains("elements:   8"));
+}
+
+#[test]
+fn errors_are_reported_cleanly() {
+    let (_, stderr, ok) = rawt(&["aggregate", "/nonexistent/file.txt"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot read"));
+    let (_, stderr, ok) = rawt(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+    let path = write_paper_example();
+    let (_, stderr, ok) = rawt(&["aggregate", path.to_str().unwrap(), "--algo", "NoSuchAlgo"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown algorithm"));
+}

@@ -1,0 +1,117 @@
+//! Property-based tests of the distance layer (§2.2), with random
+//! rankings-with-ties as inputs.
+
+use proptest::prelude::*;
+use rank_aggregation_with_ties::prelude::*;
+use rank_aggregation_with_ties::rank_core::distance::{
+    generalized_kendall_tau, kendall_tau, pair_counts, pair_counts_naive, spearman_footrule,
+};
+
+/// Random ranking with ties over 0..n: bucket index per element, compacted.
+fn ranking_strategy(n: usize) -> impl Strategy<Value = Ranking> {
+    prop::collection::vec(0..n as u32, n).prop_map(|idx| {
+        let mut used: Vec<u32> = idx.clone();
+        used.sort_unstable();
+        used.dedup();
+        let remap: Vec<u32> = idx
+            .iter()
+            .map(|v| used.iter().position(|u| u == v).unwrap() as u32)
+            .collect();
+        Ranking::from_bucket_indices(&remap).expect("compacted indices")
+    })
+}
+
+fn pair_of_rankings() -> impl Strategy<Value = (Ranking, Ranking)> {
+    (2usize..=24).prop_flat_map(|n| (ranking_strategy(n), ranking_strategy(n)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn fast_matches_naive((r, s) in pair_of_rankings()) {
+        prop_assert_eq!(pair_counts(&r, &s), pair_counts_naive(&r, &s));
+    }
+
+    #[test]
+    fn counts_partition_all_pairs((r, s) in pair_of_rankings()) {
+        let n = r.n_elements() as u64;
+        prop_assert_eq!(pair_counts(&r, &s).total(), n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn identity_of_indiscernibles(r in (2usize..=24).prop_flat_map(ranking_strategy)) {
+        prop_assert_eq!(generalized_kendall_tau(&r, &r), 0);
+    }
+
+    #[test]
+    fn distinct_rankings_have_positive_distance((r, s) in pair_of_rankings()) {
+        if r != s {
+            prop_assert!(generalized_kendall_tau(&r, &s) > 0,
+                         "G must separate distinct bucket orders");
+        }
+    }
+
+    #[test]
+    fn symmetry((r, s) in pair_of_rankings()) {
+        prop_assert_eq!(generalized_kendall_tau(&r, &s), generalized_kendall_tau(&s, &r));
+    }
+
+    #[test]
+    fn triangle_inequality(
+        (r, s, t) in (2usize..=16).prop_flat_map(|n| {
+            (ranking_strategy(n), ranking_strategy(n), ranking_strategy(n))
+        })
+    ) {
+        let rs = generalized_kendall_tau(&r, &s);
+        let st = generalized_kendall_tau(&s, &t);
+        let rt = generalized_kendall_tau(&r, &t);
+        prop_assert!(rt <= rs + st, "triangle violated: {rt} > {rs} + {st}");
+    }
+
+    #[test]
+    fn classical_is_a_lower_bound((r, s) in pair_of_rankings()) {
+        // D counts only strict inversions, a subset of G's disagreements.
+        prop_assert!(kendall_tau(&r, &s) <= generalized_kendall_tau(&r, &s));
+    }
+
+    #[test]
+    fn coincides_with_kendall_on_permutations(
+        (a, b) in (2usize..=20).prop_flat_map(|n| {
+            let perm = Just(n).prop_flat_map(|n| {
+                prop::collection::vec(0..u32::MAX, n).prop_map(move |keys| {
+                    let mut order: Vec<u32> = (0..n as u32).collect();
+                    order.sort_by_key(|&i| keys[i as usize]);
+                    Ranking::permutation(
+                        &order.into_iter().map(Element).collect::<Vec<_>>()
+                    ).unwrap()
+                })
+            });
+            (perm.clone(), perm)
+        })
+    ) {
+        prop_assert_eq!(generalized_kendall_tau(&a, &b), kendall_tau(&a, &b));
+    }
+
+    #[test]
+    fn tau_correlation_in_range((r, s) in pair_of_rankings()) {
+        let t = tau_correlation(&r, &s);
+        prop_assert!((-1.0..=1.0).contains(&t), "τ = {t}");
+    }
+
+    #[test]
+    fn footrule_nonnegative_and_symmetric((r, s) in pair_of_rankings()) {
+        let f = spearman_footrule(&r, &s);
+        prop_assert!(f >= 0.0);
+        prop_assert_eq!(f, spearman_footrule(&s, &r));
+    }
+
+    #[test]
+    fn max_distance_is_all_pairs((r, _s) in pair_of_rankings()) {
+        // G against the reversal of a permutationized version never
+        // exceeds C(n,2).
+        let n = r.n_elements() as u64;
+        let rev = r.reversed();
+        prop_assert!(generalized_kendall_tau(&r, &rev) <= n * (n - 1) / 2);
+    }
+}

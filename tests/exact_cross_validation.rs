@@ -1,0 +1,112 @@
+//! Cross-validation of the three exact solvers on random instances, and
+//! the optimality invariants the rest of the suite relies on.
+
+use proptest::prelude::*;
+use rank_aggregation_with_ties::prelude::*;
+use rank_aggregation_with_ties::ragen::UniformSampler;
+use rank_aggregation_with_ties::rank_core::algorithms::exact::{
+    brute_force, ExactAlgorithm, ExactLpb,
+};
+
+fn dataset_strategy(max_n: usize, max_m: usize) -> impl Strategy<Value = Dataset> {
+    (2usize..=max_n, 2usize..=max_m).prop_flat_map(|(n, m)| {
+        prop::collection::vec(prop::collection::vec(0..n as u32, n), m).prop_map(
+            move |all_idx| {
+                let rankings: Vec<Ranking> = all_idx
+                    .into_iter()
+                    .map(|idx| {
+                        let mut used = idx.clone();
+                        used.sort_unstable();
+                        used.dedup();
+                        let remap: Vec<u32> = idx
+                            .iter()
+                            .map(|v| used.iter().position(|u| u == v).unwrap() as u32)
+                            .collect();
+                        Ranking::from_bucket_indices(&remap).expect("compacted")
+                    })
+                    .collect();
+                Dataset::new(rankings).expect("dense by construction")
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn native_bnb_matches_brute_force(data in dataset_strategy(6, 5)) {
+        let (bf_score, _) = brute_force(&data);
+        let mut ctx = AlgoContext::seeded(9);
+        let (ranking, score, proved) = ExactAlgorithm::default().solve(&data, &mut ctx);
+        prop_assert!(proved);
+        prop_assert_eq!(score, bf_score);
+        prop_assert_eq!(kemeny_score(&ranking, &data), score);
+    }
+
+    #[test]
+    fn lpb_matches_brute_force(data in dataset_strategy(5, 4)) {
+        let (bf_score, _) = brute_force(&data);
+        let (ranking, score) = ExactLpb::default().solve(&data);
+        prop_assert_eq!(score, bf_score);
+        prop_assert_eq!(kemeny_score(&ranking, &data), score);
+    }
+
+    #[test]
+    fn every_heuristic_respects_the_optimum(data in dataset_strategy(6, 5)) {
+        let (opt, _) = brute_force(&data);
+        for algo in paper_algorithms(2) {
+            let r = algo.run(&data, &mut AlgoContext::seeded(17));
+            prop_assert!(kemeny_score(&r, &data) >= opt, "{}", algo.name());
+        }
+    }
+
+    #[test]
+    fn pick_a_perm_two_approximation(data in dataset_strategy(6, 5)) {
+        // The derandomized Pick-a-Perm (min-cost input) is a worst-case
+        // 2-approximation.
+        let (opt, _) = brute_force(&data);
+        let best_input = data
+            .rankings()
+            .iter()
+            .map(|r| kemeny_score(r, &data))
+            .min()
+            .unwrap();
+        prop_assert!(best_input <= 2 * opt, "{best_input} > 2 × {opt}");
+    }
+}
+
+#[test]
+fn exact_on_uniform_data_matches_brute_force() {
+    // Deterministic sweep over exactly-uniform instances (the harness's
+    // actual workload shape).
+    let sampler = UniformSampler::new(7);
+    let mut rng = rand::SeedableRng::seed_from_u64(5);
+    for trial in 0..10 {
+        let data = sampler.sample_dataset(6, 4 + trial % 4, &mut rng);
+        let (bf, _) = brute_force(&data);
+        let mut ctx = AlgoContext::seeded(trial as u64);
+        let (_, score, proved) = ExactAlgorithm::default().solve(&data, &mut ctx);
+        assert!(proved);
+        assert_eq!(score, bf, "trial {trial}");
+    }
+}
+
+#[test]
+fn exact_handles_moderate_n_within_default_budget() {
+    // n = 18 uniform: must prove optimality without a deadline in sane
+    // time (regression guard for the lower bound).
+    let sampler = UniformSampler::new(18);
+    let mut rng = rand::SeedableRng::seed_from_u64(6);
+    let data = sampler.sample_dataset(18, 7, &mut rng);
+    let mut ctx = AlgoContext::seeded(0);
+    let start = std::time::Instant::now();
+    let (_, score, proved) = ExactAlgorithm::default().solve(&data, &mut ctx);
+    assert!(proved, "n=18 must be provable");
+    assert!(score > 0);
+    assert!(
+        start.elapsed().as_secs() < 60,
+        "exact solver too slow: {:?}",
+        start.elapsed()
+    );
+}

@@ -1,0 +1,127 @@
+//! Generator invariants across crates: validity, support preservation,
+//! similarity control, exact-uniformity bookkeeping.
+
+use proptest::prelude::*;
+use rank_aggregation_with_ties::bignum::combinatorics::FubiniTable;
+use rank_aggregation_with_ties::prelude::*;
+use rank_aggregation_with_ties::ragen::markov::{MoveOp, WalkState};
+use rank_aggregation_with_ties::ragen::{MarkovGen, UnifiedGen, UniformSampler};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn uniform_sampler_bucket_statistics() {
+    // E[#buckets] for n = 4 under uniformity: Σ_r buckets(r) / 75.
+    // Bucket orders of 4 elements by bucket count: 1 bucket ×1, 2 ×14,
+    // 3 ×36, 4 ×24 (total 75; weighted sum = 1 + 28 + 108 + 96 = 233).
+    let expected = 233.0 / 75.0;
+    let sampler = UniformSampler::new(4);
+    let mut rng = StdRng::seed_from_u64(0);
+    let draws = 20_000;
+    let total: usize = (0..draws)
+        .map(|_| sampler.sample(4, &mut rng).n_buckets())
+        .sum();
+    let mean = total as f64 / draws as f64;
+    assert!(
+        (mean - expected).abs() < 0.03,
+        "E[buckets] = {mean}, expected {expected}"
+    );
+}
+
+#[test]
+fn fubini_table_agrees_with_sampler_capacity() {
+    let t = FubiniTable::up_to(12);
+    let s = UniformSampler::new(12);
+    for n in 0..=12 {
+        assert_eq!(s.count(n), t.get(n));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn markov_walks_preserve_support(n in 2usize..=30, t in 0usize..=500, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut state = WalkState::identity(n);
+        state.walk(t, &mut rng);
+        let r = state.to_ranking();
+        prop_assert_eq!(r.n_elements(), n);
+        for id in 0..n as u32 {
+            prop_assert!(r.contains(Element(id)));
+        }
+    }
+
+    #[test]
+    fn markov_moves_are_reversible(seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut s = WalkState::identity(6);
+        s.walk(50, &mut rng);
+        let before = s.clone();
+        for e in 0..6 {
+            for op in MoveOp::ALL {
+                let mut probe = before.clone();
+                if probe.try_move(e, op) {
+                    let mut restored = false;
+                    for rev in MoveOp::ALL {
+                        let mut q = probe.clone();
+                        if q.try_move(e, rev) && q == before {
+                            restored = true;
+                            break;
+                        }
+                    }
+                    prop_assert!(restored, "move {op:?} on {e} not reversible");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_datasets_are_valid(n in 2usize..=40, m in 1usize..=10, seed in 0u64..100) {
+        let sampler = UniformSampler::new(40);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = sampler.sample_dataset(n, m, &mut rng);
+        prop_assert_eq!(d.n(), n);
+        prop_assert_eq!(d.m(), m);
+    }
+}
+
+#[test]
+fn markov_similarity_is_monotone_in_expectation() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut means = Vec::new();
+    for &t in &[10usize, 200, 5_000] {
+        let gen = MarkovGen::identity_seeded(25, t);
+        let mean: f64 = (0..8)
+            .map(|_| dataset_similarity(&gen.dataset(5, &mut rng)))
+            .sum::<f64>()
+            / 8.0;
+        means.push(mean);
+    }
+    assert!(
+        means[0] > means[1] && means[1] > means[2],
+        "similarity must decay with steps: {means:?}"
+    );
+}
+
+#[test]
+fn unified_generator_produces_unification_buckets() {
+    let mut rng = StdRng::seed_from_u64(9);
+    let gen = UnifiedGen {
+        n_full: 60,
+        t: 100_000,
+        target_n: 20,
+    };
+    let (data, k, norm) = gen.generate(5, &mut rng);
+    assert!(data.n() >= 20);
+    assert!(k >= 1);
+    assert_eq!(norm.dataset.n(), data.n());
+    // Dissimilar top-k lists → at least one ranking has a big last bucket.
+    let max_last = data
+        .rankings()
+        .iter()
+        .map(|r| r.bucket(r.n_buckets() - 1).len())
+        .max()
+        .unwrap();
+    assert!(max_last > 1, "expected a unification bucket, got {max_last}");
+}

@@ -1,0 +1,138 @@
+//! End-to-end normalization invariants on the real-world facsimiles:
+//! raw → projection/unification/threshold-k → aggregation → denormalize.
+
+use proptest::prelude::*;
+use rank_aggregation_with_ties::datasets::realworld;
+use rank_aggregation_with_ties::prelude::*;
+use rank_aggregation_with_ties::rank_core::normalize::{
+    threshold_k, unification_broken,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn raw_f1(seed: u64) -> Vec<Ranking> {
+    realworld::f1::generate(&realworld::f1::Config::default(), &mut StdRng::seed_from_u64(seed))
+}
+
+#[test]
+fn projection_support_is_intersection() {
+    for seed in 0..5 {
+        let raw = raw_f1(seed);
+        let p = projection(&raw).expect("regulars overlap");
+        for &orig in &p.mapping {
+            assert!(
+                raw.iter().all(|r| r.contains(orig)),
+                "projected element {orig} missing from some ranking"
+            );
+        }
+        // Maximality: every element in all rankings is kept.
+        let all_common = raw[0]
+            .support()
+            .into_iter()
+            .filter(|&e| raw.iter().all(|r| r.contains(e)))
+            .count();
+        assert_eq!(all_common, p.dataset.n());
+    }
+}
+
+#[test]
+fn unification_support_is_union_and_order_preserved() {
+    for seed in 0..5 {
+        let raw = raw_f1(seed);
+        let u = unification(&raw).expect("non-empty");
+        let union: usize = {
+            let mut all: Vec<Element> = raw.iter().flat_map(|r| r.elements()).collect();
+            all.sort_unstable();
+            all.dedup();
+            all.len()
+        };
+        assert_eq!(u.dataset.n(), union);
+        // Order among originally-present elements is untouched.
+        for (ri, r) in raw.iter().enumerate() {
+            let ur = u.dataset.ranking(ri);
+            let back = u.denormalize(ur);
+            for a in r.elements() {
+                for b in r.elements() {
+                    if r.bucket_of(a) < r.bucket_of(b) {
+                        assert!(
+                            back.bucket_of(a) < back.bucket_of(b),
+                            "unification reordered {a} vs {b} in ranking {ri}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn unification_broken_yields_permutations() {
+    let raw = realworld::biomedical::generate(
+        &realworld::biomedical::Config::default(),
+        &mut StdRng::seed_from_u64(3),
+    );
+    let b = unification_broken(&raw).expect("non-empty");
+    assert!(b.dataset.all_permutations());
+    assert_eq!(
+        b.dataset.n(),
+        unification(&raw).unwrap().dataset.n(),
+        "breaking must not change the element set"
+    );
+}
+
+#[test]
+fn threshold_k_monotone_in_k() {
+    let raw = raw_f1(9);
+    let m = raw.len();
+    let mut prev = usize::MAX;
+    for k in 1..=m {
+        let n = threshold_k(&raw, k).map_or(0, |t| t.dataset.n());
+        assert!(n <= prev, "threshold-k must shrink as k grows");
+        prev = n;
+    }
+    assert_eq!(
+        threshold_k(&raw, 1).unwrap().dataset.n(),
+        unification(&raw).unwrap().dataset.n()
+    );
+    assert_eq!(
+        threshold_k(&raw, m).unwrap().dataset.n(),
+        projection(&raw).unwrap().dataset.n()
+    );
+}
+
+#[test]
+fn aggregate_and_denormalize_roundtrip() {
+    let raw = raw_f1(11);
+    let u = unification(&raw).expect("non-empty");
+    let mut ctx = AlgoContext::seeded(0);
+    let consensus = BioConsert::default().run(&u.dataset, &mut ctx);
+    let denorm = u.denormalize(&consensus);
+    assert_eq!(denorm.n_elements(), u.dataset.n());
+    // Every original pilot appears exactly once in the denormalized
+    // standings.
+    for &orig in &u.mapping {
+        assert!(denorm.contains(orig));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn top_k_is_a_prefix(k in 1usize..=12, seed in 0u64..50) {
+        let raw = raw_f1(seed);
+        let r = &raw[0];
+        let t = top_k(r, k);
+        prop_assert!(t.n_elements() >= k.min(r.n_elements()));
+        // Whole buckets only: the cut never splits a bucket.
+        for (i, b) in t.buckets().enumerate() {
+            prop_assert_eq!(b, r.bucket(i));
+        }
+        // Minimality: dropping the last bucket goes below k.
+        if t.n_buckets() > 1 {
+            let without_last: usize =
+                (0..t.n_buckets() - 1).map(|i| t.bucket(i).len()).sum();
+            prop_assert!(without_last < k);
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Properties of the scoring layer and the Min-variant wrapper.
+
+use proptest::prelude::*;
+use rank_aggregation_with_ties::prelude::*;
+use rank_aggregation_with_ties::rank_core::algorithms::kwiksort::KwikSort;
+use rank_aggregation_with_ties::rank_core::algorithms::BestOf;
+use rank_aggregation_with_ties::rank_core::score::classical_kemeny_score;
+
+fn ranking_strategy(n: usize) -> impl Strategy<Value = Ranking> {
+    prop::collection::vec(0..n as u32, n).prop_map(|idx| {
+        let mut used: Vec<u32> = idx.clone();
+        used.sort_unstable();
+        used.dedup();
+        let remap: Vec<u32> = idx
+            .iter()
+            .map(|v| used.iter().position(|u| u == v).unwrap() as u32)
+            .collect();
+        Ranking::from_bucket_indices(&remap).expect("compacted")
+    })
+}
+
+fn dataset_strategy() -> impl Strategy<Value = Dataset> {
+    (2usize..=14, 2usize..=6).prop_flat_map(|(n, m)| {
+        prop::collection::vec(ranking_strategy(n), m)
+            .prop_map(|rs| Dataset::new(rs).expect("dense"))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pair_table_score_equals_direct_kemeny(
+        (data, cand) in dataset_strategy().prop_flat_map(|d| {
+            let n = d.n();
+            (Just(d), ranking_strategy(n))
+        })
+    ) {
+        let pairs = PairTable::build(&data);
+        prop_assert_eq!(pairs.score(&cand), kemeny_score(&cand, &data));
+    }
+
+    #[test]
+    fn classical_score_never_exceeds_generalized(
+        (data, cand) in dataset_strategy().prop_flat_map(|d| {
+            let n = d.n();
+            (Just(d), ranking_strategy(n))
+        })
+    ) {
+        prop_assert!(classical_kemeny_score(&cand, &data) <= kemeny_score(&cand, &data));
+    }
+
+    #[test]
+    fn pair_table_lower_bound_is_admissible(
+        (data, cand) in dataset_strategy().prop_flat_map(|d| {
+            let n = d.n();
+            (Just(d), ranking_strategy(n))
+        })
+    ) {
+        let pairs = PairTable::build(&data);
+        prop_assert!(pairs.lower_bound() <= pairs.score(&cand),
+                     "LB {} above an achievable score {}", pairs.lower_bound(),
+                     pairs.score(&cand));
+    }
+
+    #[test]
+    fn input_rankings_bound_each_other(data in dataset_strategy()) {
+        // Σ over inputs of K(r_i) = Σ over unordered input pairs of
+        // 2·G(r_i, r_j) — a consistency identity between the score and the
+        // distance.
+        let m = data.m();
+        let direct: u64 = data.rankings().iter().map(|r| kemeny_score(r, &data)).sum();
+        let mut pairwise = 0u64;
+        for i in 0..m {
+            for j in 0..m {
+                if i != j {
+                    pairwise += generalized_kendall_tau(data.ranking(i), data.ranking(j));
+                }
+            }
+        }
+        prop_assert_eq!(direct, pairwise);
+    }
+
+    #[test]
+    fn best_of_dominates_single_run(data in dataset_strategy(), runs in 2usize..=8) {
+        let single = KwikSort.run(&data, &mut AlgoContext::seeded(5));
+        let best = BestOf::new(Box::new(KwikSort), runs, "KwikSortMin")
+            .run(&data, &mut AlgoContext::seeded(5));
+        // The wrapper's first inner run uses the same RNG stream, so its
+        // result can never be worse than that first run.
+        prop_assert!(kemeny_score(&best, &data) <= kemeny_score(&single, &data));
+    }
+
+    #[test]
+    fn gap_is_scale_free(score in 1u64..10_000, k in 1u64..5) {
+        // gap(k·s, k·ref) == gap(s, ref).
+        let reference = 100u64;
+        let a = gap(score, reference);
+        let b = gap(score * k, reference * k);
+        prop_assert!((a - b).abs() < 1e-12);
+    }
+}
