@@ -37,6 +37,7 @@ fn bench_ablations(c: &mut Criterion) {
             BioConsert {
                 extra_starts: vec![borda_seed],
                 only_extra_starts: true,
+                ..BioConsert::default()
             },
         ),
         (
@@ -44,6 +45,7 @@ fn bench_ablations(c: &mut Criterion) {
             BioConsert {
                 extra_starts: vec![all_tied],
                 only_extra_starts: true,
+                ..BioConsert::default()
             },
         ),
     ];

@@ -5,6 +5,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use ragen::UniformSampler;
+use rank_core::algorithms::bioconsert::BioConsert;
+use rank_core::algorithms::{AlgoContext, ConsensusAlgorithm};
 use rank_core::distance::{pair_counts, pair_counts_naive};
 use rank_core::similarity::dataset_similarity;
 use rank_core::{Dataset, PairTable};
@@ -39,12 +41,32 @@ fn bench_kernels(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("generalized_naive", n), &n, |bch, _| {
             bch.iter(|| black_box(pair_counts_naive(a, b).generalized()))
         });
-        g.bench_with_input(BenchmarkId::new("pair_table_build", n), &n, |bch, _| {
-            bch.iter(|| black_box(PairTable::build(data).m()))
+        g.bench_with_input(BenchmarkId::new("cost_matrix_build_serial", n), &n, |bch, _| {
+            bch.iter(|| black_box(PairTable::build_with_threads(data, 1).m()))
+        });
+        let threads = rank_core::parallel::num_threads();
+        g.bench_with_input(BenchmarkId::new("cost_matrix_build_parallel", n), &n, |bch, _| {
+            bch.iter(|| black_box(PairTable::build_with_threads(data, threads).m()))
         });
         let pairs = PairTable::build(data);
-        g.bench_with_input(BenchmarkId::new("score_via_pairs", n), &n, |bch, _| {
+        g.bench_with_input(BenchmarkId::new("score_via_cost_matrix", n), &n, |bch, _| {
             bch.iter(|| black_box(pairs.score(a)))
+        });
+        g.bench_with_input(BenchmarkId::new("lower_bound", n), &n, |bch, _| {
+            bch.iter(|| black_box(pairs.lower_bound()))
+        });
+        let sweep = BioConsert {
+            extra_starts: vec![a.clone()],
+            only_extra_starts: true,
+            force_sequential: true,
+        };
+        // One context reused across iterations: the matrix-cache hit makes
+        // this measure the local search itself, not a rebuild per iter
+        // (builds are measured separately above).
+        let mut sweep_ctx = AlgoContext::seeded(3);
+        sweep_ctx.cost_matrix(data);
+        g.bench_with_input(BenchmarkId::new("bioconsert_sweep", n), &n, |bch, _| {
+            bch.iter(|| black_box(sweep.run(data, &mut sweep_ctx)))
         });
         g.bench_with_input(BenchmarkId::new("dataset_similarity", n), &n, |bch, _| {
             bch.iter(|| black_box(dataset_similarity(data)))

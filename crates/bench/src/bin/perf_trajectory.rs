@@ -1,0 +1,160 @@
+//! Perf-trajectory snapshot for the parallel consensus kernel.
+//!
+//! Measures, for `n ∈ {50, 100, 200}` (m = 20, exact-uniform datasets):
+//!
+//! * cost-matrix build time, serial vs parallel, and the matrix footprint;
+//! * one BioConsert local-search sweep (single start, sequential);
+//! * full multi-start BioConsert, sequential vs parallel workers, with a
+//!   consensus-score equality check (the determinism contract).
+//!
+//! Writes the numbers as JSON (hand-rolled; no serde offline) so future
+//! PRs can track the trajectory:
+//!
+//! ```text
+//! cargo run --release -p bench --bin perf_trajectory -- BENCH_1.json
+//! ```
+
+use ragen::UniformSampler;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rank_core::algorithms::bioconsert::BioConsert;
+use rank_core::algorithms::{AlgoContext, ConsensusAlgorithm};
+use rank_core::{CostMatrix, Dataset};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const M: usize = 20;
+const NS: [usize; 3] = [50, 100, 200];
+
+/// Median-of-`reps` seconds for `f`.
+fn time_median<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    samples[samples.len() / 2]
+}
+
+struct SizeReport {
+    n: usize,
+    build_serial_s: f64,
+    build_parallel_s: f64,
+    matrix_bytes: usize,
+    sweep_s: f64,
+    multistart_seq_s: f64,
+    multistart_par_s: f64,
+    score: u64,
+    scores_identical: bool,
+}
+
+fn measure(n: usize, data: &Dataset) -> SizeReport {
+    let threads = rank_core::parallel::num_threads();
+    let reps = if n >= 200 { 3 } else { 5 };
+
+    let build_serial_s = time_median(reps, || {
+        std::hint::black_box(CostMatrix::build_with_threads(data, 1));
+    });
+    let build_parallel_s = time_median(reps, || {
+        std::hint::black_box(CostMatrix::build_with_threads(data, threads));
+    });
+    let matrix_bytes = CostMatrix::build_with_threads(data, 1).bytes();
+
+    // One local-search sweep: a single-start sequential BioConsert run
+    // (start = first input ranking). The context is primed so the matrix
+    // cache hit isolates the sweep from the build measured above.
+    let single_start = BioConsert {
+        extra_starts: vec![data.ranking(0).clone()],
+        only_extra_starts: true,
+        force_sequential: true,
+    };
+    let mut ctx = AlgoContext::seeded(2);
+    ctx.cost_matrix(data);
+    let sweep_s = time_median(reps, || {
+        std::hint::black_box(single_start.run(data, &mut ctx));
+    });
+
+    // Full multi-start (one start per input ranking): sequential seed path
+    // vs parallel workers, both on the primed context (pure search time).
+    let sequential = BioConsert {
+        force_sequential: true,
+        ..BioConsert::default()
+    };
+    let parallel = BioConsert::default();
+    let multistart_seq_s = time_median(reps, || {
+        std::hint::black_box(sequential.run(data, &mut ctx));
+    });
+    let multistart_par_s = time_median(reps, || {
+        std::hint::black_box(parallel.run(data, &mut ctx));
+    });
+
+    let pairs = CostMatrix::build(data);
+    let r_seq = sequential.run(data, &mut ctx);
+    let r_par = parallel.run(data, &mut ctx);
+    let score = pairs.score(&r_par);
+    SizeReport {
+        n,
+        build_serial_s,
+        build_parallel_s,
+        matrix_bytes,
+        sweep_s,
+        multistart_seq_s,
+        multistart_par_s,
+        score,
+        scores_identical: r_seq == r_par && pairs.score(&r_seq) == score,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_1.json".to_owned());
+    let threads = rank_core::parallel::num_threads();
+    let sampler = UniformSampler::new(*NS.iter().max().expect("non-empty"));
+
+    let mut reports = Vec::new();
+    for n in NS {
+        let mut rng = StdRng::seed_from_u64(42 + n as u64);
+        let data = sampler.sample_dataset(n, M, &mut rng);
+        let r = measure(n, &data);
+        eprintln!(
+            "n={:<4} build {:.2}ms→{:.2}ms  sweep {:.2}ms  multistart {:.1}ms→{:.1}ms ({:.2}x, identical={})",
+            r.n,
+            r.build_serial_s * 1e3,
+            r.build_parallel_s * 1e3,
+            r.sweep_s * 1e3,
+            r.multistart_seq_s * 1e3,
+            r.multistart_par_s * 1e3,
+            r.multistart_seq_s / r.multistart_par_s,
+            r.scores_identical,
+        );
+        reports.push(r);
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"parallel consensus kernel (PR 1)\",");
+    let _ = writeln!(json, "  \"m\": {M},");
+    let _ = writeln!(json, "  \"worker_threads\": {threads},");
+    json.push_str("  \"sizes\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        let speedup = r.multistart_seq_s / r.multistart_par_s;
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"n\": {},", r.n);
+        let _ = writeln!(json, "      \"matrix_build_serial_secs\": {:.6},", r.build_serial_s);
+        let _ = writeln!(json, "      \"matrix_build_parallel_secs\": {:.6},", r.build_parallel_s);
+        let _ = writeln!(json, "      \"matrix_peak_bytes\": {},", r.matrix_bytes);
+        let _ = writeln!(json, "      \"local_search_sweep_secs\": {:.6},", r.sweep_s);
+        let _ = writeln!(json, "      \"multistart_sequential_secs\": {:.6},", r.multistart_seq_s);
+        let _ = writeln!(json, "      \"multistart_parallel_secs\": {:.6},", r.multistart_par_s);
+        let _ = writeln!(json, "      \"multistart_speedup\": {speedup:.2},");
+        let _ = writeln!(json, "      \"consensus_score\": {},", r.score);
+        let _ = writeln!(json, "      \"parallel_matches_sequential\": {}", r.scores_identical);
+        let _ = writeln!(json, "    }}{}", if i + 1 < reports.len() { "," } else { "" });
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write bench report");
+    println!("wrote {out_path}");
+}

@@ -30,7 +30,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rank_core::algorithms::exact::ExactAlgorithm;
 use rank_core::algorithms::{
-    extended_algorithms, medrank::MedRank, paper_algorithms, AlgoContext, ConsensusAlgorithm,
+    extended_algorithms, medrank::MedRank, paper_algorithms, paper_algorithms_sequential,
+    AlgoContext, ConsensusAlgorithm,
 };
 use rank_core::normalize::{projection, threshold_k, unification, Normalized};
 use rank_core::similarity::dataset_similarity;
@@ -312,7 +313,11 @@ fn fig2(opts: &Opts) {
     // The panel of Figure 2 (KwikSortMin/RepeatChoiceMin excluded there).
     let algos: Vec<Box<dyn ConsensusAlgorithm>> = vec![
         Box::new(rank_core::algorithms::ailon::AilonThreeHalves::default()),
-        Box::new(rank_core::algorithms::bioconsert::BioConsert::default()),
+        Box::new(rank_core::algorithms::bioconsert::BioConsert {
+            // Timing experiments stay single-threaded (§6.2.4 comparability).
+            force_sequential: true,
+            ..Default::default()
+        }),
         Box::new(rank_core::algorithms::borda::BordaCount),
         Box::new(rank_core::algorithms::copeland::CopelandMethod),
         Box::new(rank_core::algorithms::fagin::FaginDyn::small()),
@@ -546,7 +551,7 @@ fn fig6(opts: &Opts) {
     // Time: §6.2.4 repeated-run measurements on a few datasets,
     // single-threaded. The "Min" variants are included here as in the
     // paper's Figure 6.
-    let mut algos = paper_algorithms(scale.min_runs);
+    let mut algos = paper_algorithms_sequential(scale.min_runs);
     algos.push(rank_core::algorithms::exact_algorithm());
     let mut times: std::collections::BTreeMap<String, Vec<f64>> = Default::default();
     for (i, data) in timing_sets.iter().enumerate() {
@@ -587,8 +592,8 @@ fn sim_time(opts: &Opts) {
     let scale = &opts.scale;
     banner("§7.2 — computing time on similar (t=50) vs dissimilar (t=50 000) data");
     let mut rng = StdRng::seed_from_u64(72);
-    let reps = scale.datasets_per_cell.min(3).max(1);
-    let mut algos = paper_algorithms(scale.min_runs);
+    let reps = scale.datasets_per_cell.clamp(1, 3);
+    let mut algos = paper_algorithms_sequential(scale.min_runs);
     algos.push(rank_core::algorithms::exact_algorithm());
 
     let measure = |t_steps: usize, rng: &mut StdRng| -> std::collections::BTreeMap<String, f64> {

@@ -140,9 +140,17 @@ pub fn evaluate_dataset(
     let mut proved = false;
     let mut reference = u64::MAX;
 
+    // One base context per dataset: every algorithm gets a decorrelated
+    // worker RNG stream from it while sharing the dataset's single
+    // O(m·n²) cost-matrix build through the context cache. Flags are
+    // reset between algorithms so per-algorithm timeouts stay isolated.
+    let base = AlgoContext::seeded(seed);
+    let pairs = base.cost_matrix(data);
+
     if with_exact && data.n() <= scale.n_exact_cap {
         let exact = ExactAlgorithm::default();
-        let mut ctx = AlgoContext::seeded_with_budget(seed ^ 0xE0AC7, scale.exact_budget);
+        let mut ctx = base.worker(0xE0AC7);
+        ctx.deadline = Some(Instant::now() + scale.exact_budget);
         let start = Instant::now();
         let (ranking, score, proof) = exact.solve(data, &mut ctx);
         let seconds = start.elapsed().as_secs_f64();
@@ -155,12 +163,12 @@ pub fn evaluate_dataset(
             seconds,
             timed_out: !proof,
         });
+        base.reset_flags();
     }
 
-    let pairs = rank_core::PairTable::build(data);
     for algo in algos {
-        let mut ctx =
-            AlgoContext::seeded_with_budget(seed ^ hash_name(&algo.name()), scale.algo_budget);
+        let mut ctx = base.worker(hash_name(&algo.name()));
+        ctx.deadline = Some(Instant::now() + scale.algo_budget);
         let start = Instant::now();
         let consensus = algo.run(data, &mut ctx);
         let seconds = start.elapsed().as_secs_f64();
@@ -173,8 +181,9 @@ pub fn evaluate_dataset(
             name: algo.name(),
             score,
             seconds,
-            timed_out: ctx.timed_out,
+            timed_out: ctx.timed_out(),
         });
+        base.reset_flags();
     }
     debug_assert!(results.iter().all(|r| r.score >= reference));
     DatasetEval {
@@ -207,7 +216,7 @@ pub fn time_algorithm(
     let mut ctx = AlgoContext::seeded_with_budget(seed, budget);
     let warm = algo.run(data, &mut ctx);
     let score = rank_core::score::kemeny_score(&warm, data);
-    let timed_out = ctx.timed_out;
+    let timed_out = ctx.timed_out();
     let mut runs = 0u32;
     let start = Instant::now();
     loop {
@@ -329,40 +338,15 @@ impl GapAccumulator {
 }
 
 /// Dataset-parallel map (quality experiments only; timing stays
-/// single-threaded). Preserves input order.
+/// single-threaded). Preserves input order. Thin wrapper over the core
+/// crate's std-thread substrate ([`rank_core::parallel`]).
 pub fn par_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
 where
     T: Send,
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    if threads <= 1 || items.len() <= 1 {
-        return items.into_iter().map(f).collect();
-    }
-    let n = items.len();
-    let work: Vec<parking_lot::Mutex<Option<T>>> = items
-        .into_iter()
-        .map(|t| parking_lot::Mutex::new(Some(t)))
-        .collect();
-    let out: Vec<parking_lot::Mutex<Option<R>>> =
-        (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    crossbeam::thread::scope(|s| {
-        for _ in 0..threads.min(n) {
-            s.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let item = work[i].lock().take().expect("each index taken once");
-                *out[i].lock() = Some(f(item));
-            });
-        }
-    })
-    .expect("worker panicked");
-    out.into_iter()
-        .map(|m| m.into_inner().expect("filled"))
-        .collect()
+    rank_core::parallel::par_map_vec(items, threads, f)
 }
 
 #[cfg(test)]

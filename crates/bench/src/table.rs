@@ -48,7 +48,7 @@ impl Table {
                     out.push_str("  ");
                 }
                 // Right-align numeric-looking cells, left-align the rest.
-                if c.chars().next().map_or(false, |ch| ch.is_ascii_digit() || ch == '-')
+                if c.chars().next().is_some_and(|ch| ch.is_ascii_digit() || ch == '-')
                     && i != 0
                 {
                     let _ = write!(out, "{}{}", " ".repeat(pad), c);

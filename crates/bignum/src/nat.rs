@@ -194,7 +194,7 @@ impl Nat {
         assert!(!self.is_zero(), "random_below: empty range");
         let bits = self.bit_len();
         let n_limbs = self.limbs.len();
-        let top_mask = if bits % 64 == 0 {
+        let top_mask = if bits.is_multiple_of(64) {
             u64::MAX
         } else {
             (1u64 << (bits % 64)) - 1
@@ -360,7 +360,7 @@ mod tests {
         assert_eq!(q, a);
         assert_eq!(r, 0);
         let (q2, r2) = b.divmod_small(1000);
-        assert_eq!(&q2.mul_small(1000) + &Nat::from(r2 as u64), b);
+        assert_eq!(&q2.mul_small(1000) + &Nat::from(r2), b);
     }
 
     #[test]

@@ -9,15 +9,38 @@
 //!    at any position;
 //! 2. move an element into an **existing bucket**.
 //!
-//! With the pairwise table all `2k+1` destinations for one element are
-//! evaluated in `O(n)` total via prefix/suffix sums, so one sweep over all
-//! elements costs `O(n²)` — and the table itself is the `O(n²)` memory
-//! footprint the paper attributes to BioConsert (§3.1, §7.4).
+//! # Kernel notes
+//!
+//! * All `2k+1` destinations for one element are evaluated in `O(n)` via
+//!   prefix/suffix sums over per-bucket cost aggregates; the aggregates
+//!   come from **one sequential walk of the element's cost-matrix row**
+//!   (`[cost_before, cost_tied]` interleaved; the "after" cost is derived
+//!   as `2m − cb − ct`, see [`crate::pairs::row_cost_after`]) — no
+//!   per-pair branching, no second row touched.
+//! * Applying a move updates the `pos` (element → bucket index) map
+//!   **incrementally**: only buckets whose index actually shifted — the
+//!   contiguous range between the source and destination slots — are
+//!   rewritten, instead of the seed's full `O(n)` rebuild per move.
+//! * The multi-start loop (one start per input ranking) runs starts on
+//!   parallel workers. `local_search` is deterministic per start and the
+//!   best result is chosen by `(score, start index)`, so for
+//!   **deadline-free** contexts the parallel run is bit-identical to the
+//!   sequential one for any thread count — the property
+//!   `tests/parallel_kernel_properties.rs` pins down. Under a wall-clock
+//!   deadline both paths are best-effort: which sweeps finish before the
+//!   cutoff depends on timing, so truncated results may differ between
+//!   paths (and between runs), exactly as the seed's sequential
+//!   truncation already depended on wall-clock.
+//!
+//! The cost matrix itself is the `O(n²)` memory footprint the paper
+//! attributes to BioConsert (§3.1, §7.4); it is taken from the context's
+//! shared cache, not rebuilt per start or per wrapper repeat.
 
 use super::{AlgoContext, ConsensusAlgorithm};
 use crate::dataset::Dataset;
 use crate::element::Element;
-use crate::pairs::PairTable;
+use crate::pairs::{row_cost_after, PairTable};
+use crate::parallel;
 use crate::ranking::Ranking;
 
 /// BioConsert with configurable starting points.
@@ -28,6 +51,9 @@ pub struct BioConsert {
     pub extra_starts: Vec<Ranking>,
     /// If `true`, skip the input rankings and use only `extra_starts`.
     pub only_extra_starts: bool,
+    /// Force the sequential multi-start path (the parallel path is
+    /// bit-identical; this exists for tests and timing baselines).
+    pub force_sequential: bool,
 }
 
 /// A candidate destination for the element being moved.
@@ -40,13 +66,15 @@ enum Move {
 }
 
 /// Steepest-descent local search from `start`; returns the refined ranking
-/// and its score.
+/// and its score. Deterministic: uses no randomness, so the result is a
+/// pure function of `(start, pairs)`.
 pub(crate) fn local_search(
     start: &Ranking,
     pairs: &PairTable,
-    ctx: &mut AlgoContext,
+    ctx: &AlgoContext,
 ) -> (u64, Ranking) {
     let n = pairs.n();
+    let m2 = 2 * pairs.m();
     let mut buckets: Vec<Vec<Element>> = start.buckets().map(|b| b.to_vec()).collect();
     let mut pos: Vec<usize> = vec![0; n];
     for (bi, b) in buckets.iter().enumerate() {
@@ -66,11 +94,13 @@ pub(crate) fn local_search(
         improved = false;
         for id in 0..n {
             let e = Element(id as u32);
+            let row = pairs.row(e);
             let cur_b = pos[id];
             let singleton = buckets[cur_b].len() == 1;
 
             // Per-bucket pair-cost sums with e removed; a singleton bucket
-            // of e itself disappears from the remaining list.
+            // of e itself disappears from the remaining list. One pass over
+            // e's interleaved row per bucket member — no other row needed.
             ca.clear();
             cb.clear();
             ct.clear();
@@ -78,14 +108,15 @@ pub(crate) fn local_search(
                 if i == cur_b && singleton {
                     continue;
                 }
-                let (mut sa, mut sb, mut st) = (0u64, 0u64, 0u64);
+                let (mut sb, mut st, mut sa) = (0u64, 0u64, 0u64);
                 for &f in b {
                     if f == e {
                         continue;
                     }
-                    sa += pairs.cost_before(f, e) as u64;
-                    sb += pairs.cost_before(e, f) as u64;
-                    st += pairs.cost_tied(e, f) as u64;
+                    let fi = f.index();
+                    sb += row[2 * fi] as u64;
+                    st += row[2 * fi + 1] as u64;
+                    sa += row_cost_after(row, m2, fi) as u64;
                 }
                 ca.push(sa);
                 cb.push(sb);
@@ -129,21 +160,7 @@ pub(crate) fn local_search(
             debug_assert_ne!(current_cost, u64::MAX);
 
             if best_cost < current_cost {
-                // Apply: remove e, then re-insert at the best destination.
-                let b = &mut buckets[cur_b];
-                b.retain(|&f| f != e);
-                if b.is_empty() {
-                    buckets.remove(cur_b);
-                }
-                match best_move {
-                    Move::NewBucket(j) => buckets.insert(j, vec![e]),
-                    Move::IntoBucket(j) => buckets[j].push(e),
-                }
-                for (bi, b) in buckets.iter().enumerate() {
-                    for &f in b {
-                        pos[f.index()] = bi;
-                    }
-                }
+                apply_move(&mut buckets, &mut pos, e, cur_b, singleton, best_move);
                 score -= current_cost - best_cost;
                 improved = true;
             }
@@ -153,6 +170,83 @@ pub(crate) fn local_search(
     let ranking = Ranking::from_buckets(buckets).expect("moves preserve validity");
     debug_assert_eq!(score, pairs.score(&ranking));
     (score, ranking)
+}
+
+/// Apply `mv` (indices relative to the remaining list, i.e. with `e`'s
+/// singleton bucket removed), updating `pos` incrementally: only the
+/// contiguous range of buckets whose index shifted is rewritten.
+fn apply_move(
+    buckets: &mut Vec<Vec<Element>>,
+    pos: &mut [usize],
+    e: Element,
+    cur_b: usize,
+    singleton: bool,
+    mv: Move,
+) {
+    if singleton {
+        buckets.remove(cur_b);
+    } else {
+        buckets[cur_b].retain(|&f| f != e);
+    }
+    // Buckets whose index changed form one contiguous range [lo, hi]:
+    // the removal (if any) shifts indices above cur_b down by one and the
+    // insertion (if any) shifts indices above the slot up by one, so the
+    // two cancel outside the range between them.
+    let (lo, hi) = match (singleton, mv) {
+        (false, Move::IntoBucket(j)) => {
+            buckets[j].push(e);
+            pos[e.index()] = j;
+            return; // nothing shifted
+        }
+        (false, Move::NewBucket(j)) => {
+            buckets.insert(j, vec![e]);
+            (j, buckets.len() - 1) // everything from j on shifted up
+        }
+        (true, Move::IntoBucket(j)) => {
+            buckets[j].push(e);
+            (cur_b.min(j), buckets.len() - 1) // suffix after cur_b shifted down
+        }
+        (true, Move::NewBucket(j)) => {
+            buckets.insert(j, vec![e]);
+            // Outside [min, max] the −1 of the removal cancels the +1 of
+            // the insertion.
+            (cur_b.min(j), cur_b.max(j).min(buckets.len() - 1))
+        }
+    };
+    for bi in lo..=hi {
+        for &f in &buckets[bi] {
+            pos[f.index()] = bi;
+        }
+    }
+}
+
+impl BioConsert {
+    /// Refine every start on parallel workers and keep the best result by
+    /// `(score, start index)` — deterministic for any thread count.
+    fn best_start(
+        &self,
+        starts: &[&Ranking],
+        pairs: &PairTable,
+        ctx: &AlgoContext,
+    ) -> Option<Ranking> {
+        // One sweep per start is ~n² row reads; below the threshold the
+        // search is microseconds and spawning workers would dominate it
+        // (same gating idea as `CostMatrix::build`). Thresholding doesn't
+        // affect results — both paths are bit-identical.
+        let work = starts.len() * pairs.n() * pairs.n();
+        let threads = if self.force_sequential || work < 1 << 18 {
+            1
+        } else {
+            parallel::num_threads()
+        };
+        let results = parallel::par_map_slice(starts, threads, |_, start| {
+            local_search(start, pairs, ctx)
+        });
+        results
+            .into_iter()
+            .min_by_key(|(score, _)| *score)
+            .map(|(_, ranking)| ranking)
+    }
 }
 
 impl ConsensusAlgorithm for BioConsert {
@@ -165,23 +259,15 @@ impl ConsensusAlgorithm for BioConsert {
     }
 
     fn run(&self, data: &Dataset, ctx: &mut AlgoContext) -> Ranking {
-        let pairs = PairTable::build(data);
-        let mut best: Option<(u64, Ranking)> = None;
+        let pairs = ctx.cost_matrix(data);
         let inputs = if self.only_extra_starts {
             &[]
         } else {
             data.rankings()
         };
-        for start in inputs.iter().chain(self.extra_starts.iter()) {
-            let (score, refined) = local_search(start, &pairs, ctx);
-            if best.as_ref().map_or(true, |(s, _)| score < *s) {
-                best = Some((score, refined));
-            }
-            if ctx.expired() {
-                break;
-            }
-        }
-        best.expect("at least one start").1
+        let starts: Vec<&Ranking> = inputs.iter().chain(self.extra_starts.iter()).collect();
+        self.best_start(&starts, &pairs, ctx)
+            .expect("at least one start")
     }
 }
 
@@ -241,9 +327,29 @@ mod tests {
         let pairs = PairTable::build(&d);
         let start = parse_ranking("[{4},{3},{2},{1},{0}]").unwrap();
         let before = pairs.score(&start);
-        let (after, r) = local_search(&start, &pairs, &mut AlgoContext::seeded(0));
+        let (after, r) = local_search(&start, &pairs, &AlgoContext::seeded(0));
         assert!(after <= before);
         assert_eq!(after, pairs.score(&r));
+    }
+
+    #[test]
+    fn parallel_multi_start_is_bit_identical_to_sequential() {
+        let d = data(&[
+            "[{0},{1,2},{3},{4},{5},{6,7}]",
+            "[{7},{6},{5},{4},{3},{2},{1},{0}]",
+            "[{2},{0,4},{1,3},{5,6,7}]",
+            "[{1,5},{0,2,3},{4,6},{7}]",
+        ]);
+        let par = BioConsert::default();
+        let seq = BioConsert {
+            force_sequential: true,
+            ..BioConsert::default()
+        };
+        for seed in 0..5 {
+            let rp = par.run(&d, &mut AlgoContext::seeded(seed));
+            let rs = seq.run(&d, &mut AlgoContext::seeded(seed));
+            assert_eq!(rp, rs, "seed {seed}");
+        }
     }
 
     #[test]
@@ -252,6 +358,7 @@ mod tests {
         let algo = BioConsert {
             extra_starts: vec![parse_ranking("[{0,1,2,3}]").unwrap()],
             only_extra_starts: true,
+            ..BioConsert::default()
         };
         let r = algo.run(&d, &mut AlgoContext::seeded(0));
         assert!(d.is_complete_ranking(&r));

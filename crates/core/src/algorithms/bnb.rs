@@ -67,7 +67,7 @@ impl Search<'_> {
 
     fn dfs(&mut self, ctx: &mut AlgoContext) {
         self.nodes += 1;
-        if self.nodes % self.stride == 0 && ctx.expired() {
+        if self.nodes.is_multiple_of(self.stride) && ctx.expired() {
             self.aborted = true;
         }
         if self.aborted {
@@ -171,11 +171,11 @@ impl BranchAndBound {
     /// complete (exact over the permutation space).
     pub fn solve(&self, data: &Dataset, ctx: &mut AlgoContext) -> (Ranking, u64, bool) {
         let n = data.n();
-        let pairs = PairTable::build(data);
+        let pairs = ctx.cost_matrix(data);
         let incumbent = greedy_permutation(data, &pairs);
         let incumbent_score = perm_score(&incumbent, &pairs);
         if n > self.max_n {
-            ctx.timed_out = true;
+            ctx.set_timed_out();
             return (
                 Ranking::permutation(&incumbent).expect("permutation"),
                 incumbent_score,
@@ -231,7 +231,7 @@ impl ConsensusAlgorithm for BranchAndBound {
 
     fn run(&self, data: &Dataset, ctx: &mut AlgoContext) -> Ranking {
         let (r, _, complete) = self.solve(data, ctx);
-        ctx.proved_optimal = false; // exact only over permutations, not ties
+        ctx.set_proved_optimal(false); // exact only over permutations, not ties
         let _ = complete;
         r
     }
@@ -268,7 +268,7 @@ mod tests {
             }
             for i in 0..k {
                 heaps(k - 1, arr, pairs, best);
-                if k % 2 == 0 {
+                if k.is_multiple_of(2) {
                     arr.swap(i, k - 1);
                 } else {
                     arr.swap(0, k - 1);
@@ -309,7 +309,7 @@ mod tests {
         let mut ctx = AlgoContext::seeded(0);
         let (r, _, complete) = BranchAndBound::default().solve(&d, &mut ctx);
         assert!(!complete);
-        assert!(ctx.timed_out);
+        assert!(ctx.timed_out());
         assert!(d.is_complete_ranking(&r));
     }
 

@@ -96,7 +96,7 @@ fn random_start(data: &Dataset, rng: &mut rand::rngs::StdRng) -> Vec<Element> {
 }
 
 fn chanas_core(data: &Dataset, ctx: &mut AlgoContext, both: bool) -> Ranking {
-    let pairs = PairTable::build(data);
+    let pairs = ctx.cost_matrix(data);
     let mut cur = random_start(data, &mut ctx.rng);
     sort_to_local_opt(&mut cur, &pairs, both);
     let mut best_score = perm_score(&cur, &pairs);

@@ -15,7 +15,6 @@
 use super::{ranking_from_scores, AlgoContext, ConsensusAlgorithm};
 use crate::dataset::Dataset;
 use crate::element::Element;
-use crate::pairs::PairTable;
 use crate::ranking::Ranking;
 
 /// The paper's positional CopelandMethod.
@@ -60,8 +59,8 @@ impl ConsensusAlgorithm for CopelandPairwise {
         true
     }
 
-    fn run(&self, data: &Dataset, _ctx: &mut AlgoContext) -> Ranking {
-        let pairs = PairTable::build(data);
+    fn run(&self, data: &Dataset, ctx: &mut AlgoContext) -> Ranking {
+        let pairs = ctx.cost_matrix(data);
         let n = data.n();
         let mut scores = vec![0u64; n];
         for a in 0..n {

@@ -62,8 +62,13 @@ impl Default for ExactAlgorithm {
 /// the transformation never increases the generalized Kemeny score, and an
 /// optimal consensus respecting every safe split exists.
 pub fn safe_blocks(data: &Dataset) -> Vec<Vec<Element>> {
+    safe_blocks_with(&PairTable::build(data), data)
+}
+
+/// [`safe_blocks`] over an already-built cost matrix (the solver passes
+/// its context-shared one instead of paying a second `O(m·n²)` build).
+fn safe_blocks_with(pairs: &PairTable, data: &Dataset) -> Vec<Vec<Element>> {
     let n = data.n();
-    let pairs = PairTable::build(data);
     let scores = super::borda::borda_scores(data);
     let mut order: Vec<Element> = (0..n as u32).map(Element).collect();
     order.sort_by_key(|e| (scores[e.index()], e.0));
@@ -245,7 +250,7 @@ struct Search<'a> {
 impl Search<'_> {
     fn dfs(&mut self, node: &Node, ctx: &mut AlgoContext) {
         self.nodes += 1;
-        if self.nodes % self.stride == 0 && ctx.expired() {
+        if self.nodes.is_multiple_of(self.stride) && ctx.expired() {
             self.aborted = true;
         }
         if self.aborted {
@@ -300,14 +305,14 @@ impl ExactAlgorithm {
         if !self.decompose {
             return self.solve_monolithic(data, ctx);
         }
-        let blocks = safe_blocks(data);
+        let pairs = ctx.cost_matrix(data);
+        let blocks = safe_blocks_with(&pairs, data);
         if blocks.len() == 1 {
             return self.solve_monolithic(data, ctx);
         }
         // Cross-block pairs are strictly ordered block-before-block — by
         // construction of the safe split, that is each pair's cheapest
         // state.
-        let pairs = PairTable::build(data);
         let mut total = 0u64;
         for i in 0..blocks.len() {
             for j in (i + 1)..blocks.len() {
@@ -343,11 +348,17 @@ impl ExactAlgorithm {
     /// The branch-and-bound core, without decomposition.
     fn solve_monolithic(&self, data: &Dataset, ctx: &mut AlgoContext) -> (Ranking, u64, bool) {
         let n = data.n();
-        let pairs = PairTable::build(data);
+        let pairs = ctx.cost_matrix(data);
 
         // Incumbent from BioConsert (§7.1: its solutions are optimal in 68%
         // of uniform datasets, so the B&B mostly proves optimality).
-        let incumbent = bioconsert::BioConsert::default().run(data, ctx);
+        // Sequential multi-start: the incumbent is a small fraction of the
+        // solve, and pinning it keeps exact-solver timing host-independent.
+        let incumbent = bioconsert::BioConsert {
+            force_sequential: true,
+            ..bioconsert::BioConsert::default()
+        }
+        .run(data, ctx);
         let incumbent_score = pairs.score(&incumbent);
 
         let root = Node::root(&pairs);
@@ -384,7 +395,7 @@ impl ConsensusAlgorithm for ExactAlgorithm {
 
     fn run(&self, data: &Dataset, ctx: &mut AlgoContext) -> Ranking {
         let (ranking, _, proved) = self.solve(data, ctx);
-        ctx.proved_optimal = proved;
+        ctx.set_proved_optimal(proved);
         ranking
     }
 }
@@ -523,7 +534,7 @@ impl ConsensusAlgorithm for ExactLpb {
 
     fn run(&self, data: &Dataset, ctx: &mut AlgoContext) -> Ranking {
         let (ranking, _) = self.solve(data);
-        ctx.proved_optimal = true;
+        ctx.set_proved_optimal(true);
         ranking
     }
 }
@@ -558,7 +569,7 @@ fn enumerate(
     if next == n {
         let r = Ranking::from_buckets(buckets.clone()).expect("valid partial construction");
         let score = pairs.score(&r);
-        if best.as_ref().map_or(true, |(s, _)| score < *s) {
+        if best.as_ref().is_none_or(|(s, _)| score < *s) {
             *best = Some((score, buckets.clone()));
         }
         return;

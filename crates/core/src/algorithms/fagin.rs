@@ -21,7 +21,6 @@
 use super::{borda::borda_scores, AlgoContext, ConsensusAlgorithm};
 use crate::dataset::Dataset;
 use crate::element::Element;
-use crate::pairs::PairTable;
 use crate::ranking::Ranking;
 
 /// The FaginDyn dynamic-programming aggregator.
@@ -59,7 +58,7 @@ impl ConsensusAlgorithm for FaginDyn {
 
     fn run(&self, data: &Dataset, _ctx: &mut AlgoContext) -> Ranking {
         let n = data.n();
-        let pairs = PairTable::build(data);
+        let pairs = _ctx.cost_matrix(data);
 
         // Fix the element order by Borda score (ascending), ties by id —
         // the positional order the DP refines into buckets.

@@ -80,7 +80,7 @@ impl ConsensusAlgorithm for KwikSort {
     }
 
     fn run(&self, data: &Dataset, ctx: &mut AlgoContext) -> Ranking {
-        let pairs = PairTable::build(data);
+        let pairs = ctx.cost_matrix(data);
         let elems: Vec<Element> = (0..data.n() as u32).map(Element).collect();
         let mut out = Vec::new();
         kwik(elems, &pairs, &mut ctx.rng, &mut out);
@@ -140,7 +140,7 @@ impl ConsensusAlgorithm for KwikSortNoTies {
     }
 
     fn run(&self, data: &Dataset, ctx: &mut AlgoContext) -> Ranking {
-        let pairs = PairTable::build(data);
+        let pairs = ctx.cost_matrix(data);
         let elems: Vec<Element> = (0..data.n() as u32).map(Element).collect();
         let mut out = Vec::new();
         kwik2(elems, &pairs, &mut ctx.rng, &mut out);

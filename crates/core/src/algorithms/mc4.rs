@@ -15,7 +15,6 @@
 use super::{AlgoContext, ConsensusAlgorithm};
 use crate::dataset::Dataset;
 use crate::element::Element;
-use crate::pairs::PairTable;
 use crate::ranking::Ranking;
 
 /// MC4 with configurable teleport and convergence parameters.
@@ -56,7 +55,7 @@ impl ConsensusAlgorithm for Mc4 {
         if n == 1 {
             return data.ranking(0).clone();
         }
-        let pairs = PairTable::build(data);
+        let pairs = ctx.cost_matrix(data);
         let m = pairs.m();
 
         // adjacency[a] = elements a strict majority prefers over a.

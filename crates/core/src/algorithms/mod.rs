@@ -20,6 +20,22 @@
 //! | Chanas / ChanasBoth | \[K\] local search | no | [`chanas`] |
 //! | BnB | \[K\] branch & bound | no | [`bnb`] |
 //! | MC4 | \[P\] hybrid (Markov chain) | yes | [`mc4`] |
+//!
+//! # Contexts, parallelism, determinism
+//!
+//! [`AlgoContext`] is the per-run environment: seeded randomness, an
+//! optional wall-clock deadline, outcome flags, and the shared
+//! [`CostMatrix`] cache. It is designed for multi-threaded use:
+//!
+//! * outcome flags live behind atomics shared by every context cloned
+//!   from the same run ([`AlgoContext::worker`]), so a worker hitting the
+//!   deadline is visible to all its siblings and to the caller;
+//! * [`AlgoContext::worker`]`(i)` derives a child context whose RNG stream
+//!   depends only on the base seed and `i` — **not** on scheduling — which
+//!   is what makes parallel multi-start runs reproducible;
+//! * [`AlgoContext::cost_matrix`] returns the dataset's shared cost
+//!   matrix, building it at most once per dataset per context family (see
+//!   the [`crate::pairs`] module docs for the contract).
 
 pub mod ailon;
 pub mod bioconsert;
@@ -37,18 +53,80 @@ pub mod repeat_choice;
 
 use crate::dataset::Dataset;
 use crate::element::Element;
-use crate::pairs::PairTable;
+use crate::pairs::CostMatrix;
+use crate::parallel;
 use crate::ranking::Ranking;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-/// Per-run context: seeded randomness, optional deadline, and outcome
-/// flags.
+/// Outcome flags + matrix cache shared by a context and all its workers.
+#[derive(Debug, Default)]
+struct SharedCtx {
+    /// Set by an algorithm that had to stop early.
+    timed_out: AtomicBool,
+    /// Set by exact solvers when optimality was *proved* (not just a best
+    /// incumbent found).
+    proved_optimal: AtomicBool,
+    /// Cost matrices built so far, keyed by dataset content fingerprint
+    /// (bounded FIFO; see [`AlgoContext::cost_matrix`]).
+    matrices: Mutex<Vec<(MatrixKey, Arc<CostMatrix>)>>,
+}
+
+/// Cache key: dataset shape plus a 128-bit content fingerprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct MatrixKey {
+    n: usize,
+    m: usize,
+    fp: (u64, u64),
+}
+
+impl MatrixKey {
+    /// `O(m·n)` content fingerprint over every ranking's position vector —
+    /// cheap next to the `O(m·n²)` build it guards against repeating.
+    fn of(data: &Dataset) -> Self {
+        let mut h1 = 0x9E37_79B9_7F4A_7C15u64;
+        let mut h2 = 0xC2B2_AE3D_27D4_EB4Fu64;
+        let mut absorb = |v: u64| {
+            h1 = mix(h1 ^ v);
+            h2 = mix(h2 ^ v.rotate_left(17) ^ 0xA5A5_A5A5_A5A5_A5A5);
+        };
+        absorb(data.n() as u64);
+        absorb(data.m() as u64);
+        for r in data.rankings() {
+            for &p in r.positions() {
+                absorb(p as u64);
+            }
+        }
+        MatrixKey {
+            n: data.n(),
+            m: data.m(),
+            fp: (h1, h2),
+        }
+    }
+}
+
+/// SplitMix64 finalizer — avalanching 64-bit mix.
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Matrices kept per context family before FIFO eviction (the exact
+/// solver's block decomposition touches several small sub-datasets).
+const MATRIX_CACHE_CAP: usize = 8;
+
+/// Per-run context: seeded randomness, optional deadline, outcome flags,
+/// and the shared cost-matrix cache.
 ///
 /// The paper limits every algorithm to two hours per dataset (§6.2.4);
 /// [`AlgoContext::deadline`] plays that role. Algorithms that hit the
-/// deadline return their best effort and set [`AlgoContext::timed_out`].
+/// deadline return their best effort and set the timeout flag (read it
+/// with [`AlgoContext::timed_out`]).
 #[derive(Debug)]
 pub struct AlgoContext {
     /// Random source for the randomized algorithms (seeded for
@@ -56,11 +134,9 @@ pub struct AlgoContext {
     pub rng: StdRng,
     /// Absolute wall-clock cutoff, if any.
     pub deadline: Option<Instant>,
-    /// Set by an algorithm that had to stop early.
-    pub timed_out: bool,
-    /// Set by exact solvers when optimality was *proved* (not just a best
-    /// incumbent found).
-    pub proved_optimal: bool,
+    /// Seed this context's RNG (and its workers' streams) derive from.
+    seed: u64,
+    shared: Arc<SharedCtx>,
 }
 
 impl AlgoContext {
@@ -69,8 +145,8 @@ impl AlgoContext {
         AlgoContext {
             rng: StdRng::seed_from_u64(seed),
             deadline: None,
-            timed_out: false,
-            proved_optimal: false,
+            seed,
+            shared: Arc::new(SharedCtx::default()),
         }
     }
 
@@ -81,22 +157,86 @@ impl AlgoContext {
         ctx
     }
 
+    /// Derive worker `stream`'s context: an independent RNG stream that is
+    /// a pure function of `(base seed, stream)`, sharing this context's
+    /// deadline, outcome flags, and matrix cache.
+    ///
+    /// This is the determinism contract for parallel runs: however work is
+    /// scheduled across threads, worker `i` always sees the same stream,
+    /// so — in a deadline-free context — "best of N parallel workers" is
+    /// reproducible run to run and bit-identical to the sequential
+    /// `for i in 0..N` loop. With a [`Self::deadline`] set, results are
+    /// best-effort and may depend on which workers beat the cutoff.
+    pub fn worker(&self, stream: u64) -> AlgoContext {
+        let worker_seed = mix(self.seed ^ mix(stream.wrapping_add(0x9E37_79B9_7F4A_7C15)));
+        AlgoContext {
+            rng: StdRng::seed_from_u64(worker_seed),
+            deadline: self.deadline,
+            seed: worker_seed,
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// The dataset's shared cost matrix, building it on first use.
+    ///
+    /// Matrices are cached per context *family* (a context and all its
+    /// [`Self::worker`]s), keyed by dataset content, so `BestOf(BioConsert)`
+    /// and the exact solver's incumbent heuristics all reuse one build
+    /// instead of paying `O(m·n²)` per invocation.
+    pub fn cost_matrix(&self, data: &Dataset) -> Arc<CostMatrix> {
+        let key = MatrixKey::of(data);
+        let mut cache = self.shared.matrices.lock().expect("matrix cache poisoned");
+        if let Some((_, matrix)) = cache.iter().find(|(k, _)| *k == key) {
+            return Arc::clone(matrix);
+        }
+        let matrix = Arc::new(CostMatrix::build(data));
+        if cache.len() >= MATRIX_CACHE_CAP {
+            cache.remove(0);
+        }
+        cache.push((key, Arc::clone(&matrix)));
+        matrix
+    }
+
     /// `true` (and records the timeout) once the deadline has passed.
     #[inline]
-    pub fn expired(&mut self) -> bool {
+    pub fn expired(&self) -> bool {
         if let Some(d) = self.deadline {
             if Instant::now() >= d {
-                self.timed_out = true;
+                self.shared.timed_out.store(true, Ordering::Relaxed);
                 return true;
             }
         }
         false
     }
 
+    /// Whether any worker of this run stopped early.
+    #[inline]
+    pub fn timed_out(&self) -> bool {
+        self.shared.timed_out.load(Ordering::Relaxed)
+    }
+
+    /// Record an early stop (deadline, size cap, "no result").
+    #[inline]
+    pub fn set_timed_out(&self) {
+        self.shared.timed_out.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether an exact solver *proved* optimality this run.
+    #[inline]
+    pub fn proved_optimal(&self) -> bool {
+        self.shared.proved_optimal.load(Ordering::Relaxed)
+    }
+
+    /// Record whether optimality was proved.
+    #[inline]
+    pub fn set_proved_optimal(&self, proved: bool) {
+        self.shared.proved_optimal.store(proved, Ordering::Relaxed);
+    }
+
     /// Clear the per-run outcome flags (harnesses reuse contexts).
-    pub fn reset_flags(&mut self) {
-        self.timed_out = false;
-        self.proved_optimal = false;
+    pub fn reset_flags(&self) {
+        self.shared.timed_out.store(false, Ordering::Relaxed);
+        self.shared.proved_optimal.store(false, Ordering::Relaxed);
     }
 }
 
@@ -120,10 +260,17 @@ pub trait ConsensusAlgorithm: Send + Sync {
 /// Wrapper running a randomized base algorithm `runs` times and keeping the
 /// best result by generalized Kemeny score — the paper's "Min" variants
 /// (KwikSortMin, RepeatChoiceMin, §6.2.1).
+///
+/// Repeats execute on parallel workers (one [`AlgoContext::worker`] stream
+/// per repeat, so results are reproducible and thread-count independent)
+/// and share the context's cost matrix instead of building one per repeat.
 pub struct BestOf {
     base: Box<dyn ConsensusAlgorithm>,
     runs: usize,
     name: String,
+    /// Force the sequential path (used by the determinism tests; the
+    /// parallel path is bit-identical by construction).
+    pub force_sequential: bool,
 }
 
 impl BestOf {
@@ -134,6 +281,7 @@ impl BestOf {
             base,
             runs,
             name: name.to_owned(),
+            force_sequential: false,
         }
     }
 }
@@ -148,19 +296,35 @@ impl ConsensusAlgorithm for BestOf {
     }
 
     fn run(&self, data: &Dataset, ctx: &mut AlgoContext) -> Ranking {
-        let pairs = PairTable::build(data);
-        let mut best: Option<(u64, Ranking)> = None;
-        for _ in 0..self.runs {
-            let cand = self.base.run(data, ctx);
+        let pairs = ctx.cost_matrix(data);
+        // A repeat costs at least one n² table scan; below the threshold
+        // worker spawning would dominate the repeats themselves (same
+        // gating idea as `CostMatrix::build`). Results are unaffected —
+        // the two paths are bit-identical.
+        let work = self.runs * data.n() * data.n();
+        let threads = if self.force_sequential || work < 1 << 18 {
+            1
+        } else {
+            parallel::num_threads()
+        };
+        let repeats: Vec<usize> = (0..self.runs).collect();
+        let scored = parallel::par_map_slice(&repeats, threads, |_, &r| {
+            let mut worker = ctx.worker(r as u64);
+            if worker.expired() {
+                return None;
+            }
+            let cand = self.base.run(data, &mut worker);
             let score = pairs.score(&cand);
-            if best.as_ref().map_or(true, |(s, _)| score < *s) {
-                best = Some((score, cand));
-            }
-            if ctx.expired() {
-                break;
-            }
-        }
-        best.expect("runs >= 1").1
+            Some((score, cand))
+        });
+        scored
+            .into_iter()
+            .flatten()
+            .min_by_key(|(score, _)| *score)
+            .map(|(_, cand)| cand)
+            // Every repeat expired before starting: fall back to one
+            // best-effort run so the caller still gets a ranking.
+            .unwrap_or_else(|| self.base.run(data, &mut ctx.worker(0)))
     }
 }
 
@@ -197,24 +361,46 @@ pub(crate) fn ranking_from_scores<T: Ord + Copy>(scores: &[T], ascending: bool) 
 /// repeat count (the paper used "a large number of runs"; the harness
 /// default is 20).
 pub fn paper_algorithms(min_runs: usize) -> Vec<Box<dyn ConsensusAlgorithm>> {
+    paper_panel(min_runs, false)
+}
+
+/// [`paper_algorithms`] with every multi-start member pinned to its
+/// sequential path. Timing experiments use this so measured seconds stay
+/// single-threaded (comparable to the paper's and across hosts); in
+/// deadline-free runs results are bit-identical to the parallel panel's.
+///
+/// Residual caveat: the context's cost-matrix build still auto-parallelizes
+/// past `CostMatrix::build`'s work threshold (`m·n² ≥ 2²²`, i.e. beyond the
+/// harness's current sweep ranges); pre-build with
+/// [`CostMatrix::build_with_threads`]`(data, 1)` if a future experiment
+/// crosses it and needs strictly single-threaded seconds.
+pub fn paper_algorithms_sequential(min_runs: usize) -> Vec<Box<dyn ConsensusAlgorithm>> {
+    paper_panel(min_runs, true)
+}
+
+fn paper_panel(min_runs: usize, sequential: bool) -> Vec<Box<dyn ConsensusAlgorithm>> {
+    let best_of = |base: Box<dyn ConsensusAlgorithm>, name: &str| {
+        let mut wrapper = BestOf::new(base, min_runs, name);
+        wrapper.force_sequential = sequential;
+        Box::new(wrapper)
+    };
     vec![
         Box::new(ailon::AilonThreeHalves::default()),
-        Box::new(bioconsert::BioConsert::default()),
+        Box::new(bioconsert::BioConsert {
+            force_sequential: sequential,
+            ..bioconsert::BioConsert::default()
+        }),
         Box::new(borda::BordaCount),
         Box::new(copeland::CopelandMethod),
         Box::new(fagin::FaginDyn::large()),
         Box::new(fagin::FaginDyn::small()),
         Box::new(kwiksort::KwikSort),
-        Box::new(BestOf::new(Box::new(kwiksort::KwikSort), min_runs, "KwikSortMin")),
+        best_of(Box::new(kwiksort::KwikSort), "KwikSortMin"),
         Box::new(medrank::MedRank::new(0.5)),
         Box::new(medrank::MedRank::new(0.7)),
         Box::new(pick_a_perm::PickAPerm),
         Box::new(repeat_choice::RepeatChoice),
-        Box::new(BestOf::new(
-            Box::new(repeat_choice::RepeatChoice),
-            min_runs,
-            "RepeatChoiceMin",
-        )),
+        best_of(Box::new(repeat_choice::RepeatChoice), "RepeatChoiceMin"),
     ]
 }
 
@@ -275,12 +461,86 @@ mod tests {
 
     #[test]
     fn context_deadline_expiry() {
-        let mut ctx = AlgoContext::seeded_with_budget(0, Duration::from_secs(0));
+        let ctx = AlgoContext::seeded_with_budget(0, Duration::from_secs(0));
         assert!(ctx.expired());
-        assert!(ctx.timed_out);
+        assert!(ctx.timed_out());
         ctx.reset_flags();
-        assert!(!ctx.timed_out);
-        let mut free = AlgoContext::seeded(0);
+        assert!(!ctx.timed_out());
+        let free = AlgoContext::seeded(0);
         assert!(!free.expired());
+    }
+
+    #[test]
+    fn worker_streams_are_deterministic_and_distinct() {
+        use rand::Rng;
+        let base = AlgoContext::seeded(7);
+        let mut a0 = base.worker(0);
+        let mut a0_again = base.worker(0);
+        let mut a1 = base.worker(1);
+        let (x, y, z) = (
+            a0.rng.random::<u64>(),
+            a0_again.rng.random::<u64>(),
+            a1.rng.random::<u64>(),
+        );
+        assert_eq!(x, y, "worker streams must be pure functions of (seed, i)");
+        assert_ne!(x, z, "distinct workers must get distinct streams");
+    }
+
+    #[test]
+    fn worker_flags_propagate_to_the_base_context() {
+        let base = AlgoContext::seeded(3);
+        let w = base.worker(5);
+        assert!(!base.timed_out());
+        w.set_timed_out();
+        assert!(base.timed_out());
+        w.set_proved_optimal(true);
+        assert!(base.proved_optimal());
+    }
+
+    #[test]
+    fn cost_matrix_is_cached_per_dataset_content() {
+        use crate::parse::parse_ranking;
+        let d1 = Dataset::new(vec![
+            parse_ranking("[{0},{1},{2}]").unwrap(),
+            parse_ranking("[{2},{0,1}]").unwrap(),
+        ])
+        .unwrap();
+        // Same content, separate allocation: must hit the cache.
+        let d1_copy = Dataset::new(vec![
+            parse_ranking("[{0},{1},{2}]").unwrap(),
+            parse_ranking("[{2},{0,1}]").unwrap(),
+        ])
+        .unwrap();
+        let d2 = Dataset::new(vec![parse_ranking("[{1},{0},{2}]").unwrap()]).unwrap();
+        let ctx = AlgoContext::seeded(0);
+        let m1 = ctx.cost_matrix(&d1);
+        let m1b = ctx.cost_matrix(&d1_copy);
+        assert!(Arc::ptr_eq(&m1, &m1b), "content-equal datasets share one build");
+        let m2 = ctx.cost_matrix(&d2);
+        assert!(!Arc::ptr_eq(&m1, &m2));
+        // Workers see the same cache.
+        let w = ctx.worker(9);
+        assert!(Arc::ptr_eq(&m1, &w.cost_matrix(&d1)));
+    }
+
+    #[test]
+    fn best_of_parallel_matches_sequential() {
+        use crate::parse::parse_ranking;
+        let d = Dataset::new(vec![
+            parse_ranking("[{0,1},{2,3},{4}]").unwrap(),
+            parse_ranking("[{4},{3},{2},{1},{0}]").unwrap(),
+            parse_ranking("[{2},{0,4},{1,3}]").unwrap(),
+        ])
+        .unwrap();
+        for seed in 0..4 {
+            let par = BestOf::new(Box::new(kwiksort::KwikSort), 8, "KwikSortMin");
+            let seq = BestOf {
+                force_sequential: true,
+                ..BestOf::new(Box::new(kwiksort::KwikSort), 8, "KwikSortMin")
+            };
+            let rp = par.run(&d, &mut AlgoContext::seeded(seed));
+            let rs = seq.run(&d, &mut AlgoContext::seeded(seed));
+            assert_eq!(rp, rs, "seed {seed}");
+        }
     }
 }

@@ -11,7 +11,6 @@
 
 use super::{AlgoContext, ConsensusAlgorithm};
 use crate::dataset::Dataset;
-use crate::pairs::PairTable;
 use crate::ranking::Ranking;
 
 /// De-randomized Pick-a-Perm.
@@ -27,8 +26,8 @@ impl ConsensusAlgorithm for PickAPerm {
         true
     }
 
-    fn run(&self, data: &Dataset, _ctx: &mut AlgoContext) -> Ranking {
-        let pairs = PairTable::build(data);
+    fn run(&self, data: &Dataset, ctx: &mut AlgoContext) -> Ranking {
+        let pairs = ctx.cost_matrix(data);
         data.rankings()
             .iter()
             .min_by_key(|r| pairs.score(r))

@@ -311,7 +311,7 @@ mod tests {
         assert_eq!(c.discordant, 2);
         assert_eq!(c.s_tied_only, 0);
         assert_eq!(c.concordant, 6);
-        assert_eq!(c.generalized(), 2 + 1 + 0);
+        assert_eq!(c.generalized(), (2 + 1));
     }
 
     #[test]

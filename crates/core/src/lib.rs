@@ -44,6 +44,7 @@ pub mod element;
 pub mod guidance;
 pub mod normalize;
 pub mod pairs;
+pub mod parallel;
 pub mod parse;
 pub mod ranking;
 pub mod score;
@@ -51,5 +52,5 @@ pub mod similarity;
 
 pub use dataset::{Dataset, DatasetError};
 pub use element::{Element, Universe};
-pub use pairs::PairTable;
+pub use pairs::{CostMatrix, PairTable};
 pub use ranking::{Ranking, RankingError};

@@ -1,60 +1,157 @@
-//! The pairwise disagreement table shared by most algorithms.
+//! The pairwise cost matrix shared by most algorithms — the hot kernel of
+//! the whole library.
 //!
-//! For every ordered pair `(a, b)` the table stores how many input rankings
-//! place `a` strictly before `b` (`before`) and how many tie them (`tied`).
-//! From those two numbers the cost of *any* consensus decision about the
-//! pair follows (the `w` coefficients of the paper's §4.2):
+//! # Cost matrix layout
+//!
+//! For every ordered pair `(a, b)` a consensus must either put `a` strictly
+//! before `b`, put `b` strictly before `a`, or tie them; the disagreement
+//! cost of each decision follows from how the `m` input rankings voted
+//! (the `w` coefficients of the paper's §4.2):
 //!
 //! * putting `a` strictly before `b` costs one per input ranking that
 //!   doesn't, i.e. `m − before(a, b)`;
 //! * tying them costs `m − tied(a, b)`.
+//!
+//! [`CostMatrix`] stores those two **precomputed costs interleaved** in one
+//! dense row-major `n × n × 2` array of `u32`:
+//!
+//! ```text
+//! cells[2·(a·n + b)]     = cost_before(a, b)   // consensus puts a < b
+//! cells[2·(a·n + b) + 1] = cost_tied(a, b)     // consensus ties a and b
+//! ```
+//!
+//! One pair lookup therefore touches two adjacent words (a single cache
+//! line), and a scan of row `a` — the inner loop of BioConsert's move
+//! evaluation, the exact solver's bound updates, and `score` — is a purely
+//! sequential walk. The third decision's cost is derived without touching
+//! another row: `before(a,b) + before(b,a) + tied(a,b) = m` gives
+//!
+//! ```text
+//! cost_before(b, a) = 2m − cost_before(a, b) − cost_tied(a, b)
+//! ```
+//!
+//! (see [`CostMatrix::row`] and [`row_cost_after`]). The resident matrix
+//! is `8·n²` bytes — the same `O(n²)` bound the paper attributes to
+//! BioConsert (§3.1, §7.4), with both decisions packed where the seed
+//! implementation kept two separate count arrays. A parallel build
+//! transiently holds one private accumulator per worker (`8·n²` bytes
+//! each) until the reduce; size worker counts accordingly on huge `n`.
+//!
+//! # Parallel build
+//!
+//! [`CostMatrix::build`] splits the input rankings across worker threads,
+//! each accumulating pair *counts* into a private matrix, and reduces the
+//! per-thread accumulators at the end (`O(m·n²/p + p·n²)` work, no shared
+//! mutable state). Small instances stay on one thread — see
+//! [`CostMatrix::build_with_threads`].
+//!
+//! # Context-sharing rules
+//!
+//! Building is `O(m·n²)` — far more expensive than most consumers. Within
+//! one [`AlgoContext`](crate::algorithms::AlgoContext) the matrix for a
+//! dataset is built **once** and shared by every algorithm invocation
+//! (including wrapper algorithms such as `BestOf` and multi-start
+//! BioConsert) through
+//! [`AlgoContext::cost_matrix`](crate::algorithms::AlgoContext::cost_matrix),
+//! which caches matrices keyed by a 128-bit content fingerprint of the
+//! dataset. Algorithms must not call [`CostMatrix::build`] directly on the
+//! hot path; take the context's shared `Arc<CostMatrix>` instead.
+//!
+//! `PairTable` remains as an alias of [`CostMatrix`] — the seed's name for
+//! the same information, kept so existing call sites and downstream code
+//! continue to compile.
 
 use crate::dataset::Dataset;
 use crate::element::Element;
+use crate::parallel;
 use crate::ranking::Ranking;
 
-/// Dense `n × n` pairwise counts for a dataset (`O(n²)` memory — the paper
-/// notes the same bound for BioConsert).
-#[derive(Debug, Clone)]
-pub struct PairTable {
+/// Dense interleaved pairwise cost matrix for a dataset (see the module
+/// docs for the layout).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CostMatrix {
     n: usize,
     m: u32,
-    /// `before[a * n + b]` = number of rankings with `a` strictly before `b`.
-    before: Vec<u32>,
-    /// `tied[a * n + b]` = number of rankings with `a` and `b` tied
-    /// (symmetric).
-    tied: Vec<u32>,
+    /// `cells[2·(a·n + b)]` = `cost_before(a, b)`;
+    /// `cells[2·(a·n + b) + 1]` = `cost_tied(a, b)`.
+    cells: Vec<u32>,
 }
 
-impl PairTable {
-    /// Build the table in `O(m · n²)`.
+/// The seed's name for the pairwise information; same type, same API.
+pub type PairTable = CostMatrix;
+
+/// Cost of putting the row element strictly **after** pair-partner `b`,
+/// derived from row-local entries (`2m − cost_before − cost_tied`).
+///
+/// `row` is a [`CostMatrix::row`] slice and `b` the partner's index.
+#[inline]
+pub fn row_cost_after(row: &[u32], m2: u32, b: usize) -> u32 {
+    m2 - row[2 * b] - row[2 * b + 1]
+}
+
+impl CostMatrix {
+    /// Build the matrix in `O(m·n²)`, in parallel for large instances.
     pub fn build(data: &Dataset) -> Self {
+        // Parallelism pays once the count work dwarfs thread startup; the
+        // threshold is deliberately conservative (~4M pair updates).
+        let work = data.m() * data.n() * data.n();
+        let threads = if work >= 1 << 22 {
+            parallel::num_threads()
+        } else {
+            1
+        };
+        Self::build_with_threads(data, threads)
+    }
+
+    /// Build with an explicit worker-thread count (1 = fully serial; used
+    /// by the benches to measure the parallel speedup).
+    pub fn build_with_threads(data: &Dataset, threads: usize) -> Self {
         let n = data.n();
-        let mut before = vec![0u32; n * n];
-        let mut tied = vec![0u32; n * n];
-        for r in data.rankings() {
-            let pos = r.positions();
-            for a in 0..n {
-                let pa = pos[a];
-                for b in (a + 1)..n {
-                    let pb = pos[b];
-                    if pa < pb {
-                        before[a * n + b] += 1;
-                    } else if pb < pa {
-                        before[b * n + a] += 1;
-                    } else {
-                        tied[a * n + b] += 1;
-                        tied[b * n + a] += 1;
+        let m = data.m() as u32;
+        let rankings = data.rankings();
+
+        // Accumulate pair counts (before / tied, interleaved like the final
+        // cells) per thread, then reduce.
+        let mut counts = if threads <= 1 || rankings.len() < 2 {
+            let mut acc = vec![0u32; 2 * n * n];
+            for r in rankings {
+                accumulate_counts(&mut acc, r, n);
+            }
+            acc
+        } else {
+            let threads = threads.min(rankings.len());
+            let chunk = rankings.len().div_ceil(threads);
+            let partials: Vec<Vec<u32>> =
+                parallel::par_map_slice(&rankings.chunks(chunk).collect::<Vec<_>>(), threads, |_, slice| {
+                    let mut acc = vec![0u32; 2 * n * n];
+                    for r in *slice {
+                        accumulate_counts(&mut acc, r, n);
                     }
+                    acc
+                });
+            let mut partials = partials.into_iter();
+            let mut acc = partials.next().expect("at least one chunk");
+            for p in partials {
+                for (dst, src) in acc.iter_mut().zip(&p) {
+                    *dst += src;
                 }
             }
+            acc
+        };
+
+        // Convert counts to costs in place: cost = m − count. The diagonal
+        // stays zero (an element is never compared with itself).
+        for a in 0..n {
+            for b in 0..n {
+                if a == b {
+                    continue;
+                }
+                let i = 2 * (a * n + b);
+                counts[i] = m - counts[i];
+                counts[i + 1] = m - counts[i + 1];
+            }
         }
-        PairTable {
-            n,
-            m: data.m() as u32,
-            before,
-            tied,
-        }
+        CostMatrix { n, m, cells: counts }
     }
 
     /// Number of elements.
@@ -69,29 +166,43 @@ impl PairTable {
         self.m
     }
 
+    /// Heap footprint of the matrix in bytes (the `O(n²)` term).
+    #[inline]
+    pub fn bytes(&self) -> usize {
+        self.cells.len() * std::mem::size_of::<u32>()
+    }
+
+    /// Row `a` as an interleaved `[cost_before(a,0), cost_tied(a,0), …]`
+    /// slice of length `2n` — the unit of sequential access for kernels.
+    #[inline]
+    pub fn row(&self, a: Element) -> &[u32] {
+        let start = 2 * a.index() * self.n;
+        &self.cells[start..start + 2 * self.n]
+    }
+
     /// Rankings placing `a` strictly before `b`.
     #[inline]
     pub fn before(&self, a: Element, b: Element) -> u32 {
-        self.before[a.index() * self.n + b.index()]
+        self.m - self.cost_before(a, b)
     }
 
     /// Rankings tying `a` and `b`.
     #[inline]
     pub fn tied(&self, a: Element, b: Element) -> u32 {
-        self.tied[a.index() * self.n + b.index()]
+        self.m - self.cost_tied(a, b)
     }
 
     /// Disagreements incurred by a consensus that puts `a` strictly before
     /// `b`.
     #[inline]
     pub fn cost_before(&self, a: Element, b: Element) -> u32 {
-        self.m - self.before(a, b)
+        self.cells[2 * (a.index() * self.n + b.index())]
     }
 
     /// Disagreements incurred by a consensus that ties `a` and `b`.
     #[inline]
     pub fn cost_tied(&self, a: Element, b: Element) -> u32 {
-        self.m - self.tied(a, b)
+        self.cells[2 * (a.index() * self.n + b.index()) + 1]
     }
 
     /// The cheapest decision for the pair — the per-pair term of the global
@@ -106,36 +217,61 @@ impl PairTable {
     /// Sum of [`Self::min_pair_cost`] over all pairs: a lower bound on the
     /// generalized Kemeny score of *any* consensus.
     pub fn lower_bound(&self) -> u64 {
+        let m2 = 2 * self.m;
         let mut acc = 0u64;
         for a in 0..self.n {
+            let row = self.row(Element(a as u32));
             for b in (a + 1)..self.n {
-                acc += self.min_pair_cost(Element(a as u32), Element(b as u32)) as u64;
+                let cb = row[2 * b];
+                let ct = row[2 * b + 1];
+                let ca = m2 - cb - ct;
+                acc += cb.min(ct).min(ca) as u64;
             }
         }
         acc
     }
 
-    /// Generalized Kemeny score of `r` against the dataset this table was
+    /// Generalized Kemeny score of `r` against the dataset this matrix was
     /// built from, in `O(n²)` independent of `m`.
     pub fn score(&self, r: &Ranking) -> u64 {
         debug_assert_eq!(r.n_elements(), self.n);
         let pos = r.positions();
+        let m2 = 2 * self.m;
         let mut acc = 0u64;
         for a in 0..self.n {
             let pa = pos[a];
+            let row = self.row(Element(a as u32));
             for b in (a + 1)..self.n {
                 let pb = pos[b];
-                let (ea, eb) = (Element(a as u32), Element(b as u32));
                 acc += if pa == pb {
-                    self.cost_tied(ea, eb)
+                    row[2 * b + 1]
                 } else if pa < pb {
-                    self.cost_before(ea, eb)
+                    row[2 * b]
                 } else {
-                    self.cost_before(eb, ea)
+                    row_cost_after(row, m2, b)
                 } as u64;
             }
         }
         acc
+    }
+}
+
+/// Fold one ranking's pair counts into an interleaved accumulator.
+fn accumulate_counts(acc: &mut [u32], r: &Ranking, n: usize) {
+    let pos = r.positions();
+    for a in 0..n {
+        let pa = pos[a];
+        let row = &mut acc[2 * a * n..2 * (a + 1) * n];
+        for (b, &pb) in pos.iter().enumerate() {
+            if b == a {
+                continue;
+            }
+            if pa < pb {
+                row[2 * b] += 1; // a strictly before b
+            } else if pa == pb {
+                row[2 * b + 1] += 1; // tied
+            }
+        }
     }
 }
 
@@ -181,6 +317,53 @@ mod tests {
     }
 
     #[test]
+    fn row_is_interleaved_and_derives_the_third_cost() {
+        let t = CostMatrix::build(&paper_dataset());
+        let m2 = 2 * t.m();
+        for a in 0..t.n() {
+            let ea = Element(a as u32);
+            let row = t.row(ea);
+            assert_eq!(row.len(), 2 * t.n());
+            for b in 0..t.n() {
+                let eb = Element(b as u32);
+                if a == b {
+                    continue;
+                }
+                assert_eq!(row[2 * b], t.cost_before(ea, eb));
+                assert_eq!(row[2 * b + 1], t.cost_tied(ea, eb));
+                assert_eq!(row_cost_after(row, m2, b), t.cost_before(eb, ea));
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_matches_serial() {
+        // A dataset big enough to split across several workers.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(17);
+        let n = 40;
+        let rankings: Vec<Ranking> = (0..12)
+            .map(|_| {
+                let idx: Vec<u32> = (0..n).map(|_| rng.random_range(0..n as u32 / 2)).collect();
+                let mut used = idx.clone();
+                used.sort_unstable();
+                used.dedup();
+                let remap: Vec<u32> = idx
+                    .iter()
+                    .map(|v| used.iter().position(|u| u == v).unwrap() as u32)
+                    .collect();
+                Ranking::from_bucket_indices(&remap).unwrap()
+            })
+            .collect();
+        let d = Dataset::new(rankings).unwrap();
+        let serial = CostMatrix::build_with_threads(&d, 1);
+        for threads in [2, 3, 8] {
+            assert_eq!(CostMatrix::build_with_threads(&d, threads), serial);
+        }
+    }
+
+    #[test]
     fn score_matches_direct_kemeny() {
         let data = paper_dataset();
         let t = PairTable::build(&data);
@@ -203,5 +386,11 @@ mod tests {
         let opt = parse_ranking("[{0},{3},{1,2}]").unwrap();
         assert_eq!(t.score(&opt), 5);
         assert!(t.lower_bound() <= 5);
+    }
+
+    #[test]
+    fn bytes_reports_the_packed_footprint() {
+        let t = CostMatrix::build(&paper_dataset());
+        assert_eq!(t.bytes(), 2 * 4 * 4 * 4); // 2 u32 per cell, n = 4
     }
 }

@@ -1,0 +1,155 @@
+//! Minimal data-parallel substrate over `std::thread::scope`.
+//!
+//! The build environment has no crates.io access, so rayon is unavailable;
+//! this module provides the rayon-shaped primitive the kernels need — an
+//! order-preserving parallel map with work stealing via a shared atomic
+//! cursor. Callers pass an explicit thread count (usually
+//! [`num_threads`]); `threads <= 1` degrades to a plain sequential map, so
+//! every parallel code path has a trivially equivalent sequential twin —
+//! the property the determinism tests rely on.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+thread_local! {
+    /// `true` on threads spawned by [`par_map_slice`] workers — nested
+    /// parallel maps on such threads degrade to sequential, so one logical
+    /// run never holds more than ~[`num_threads`] OS threads at once
+    /// (e.g. `BestOf(BioConsert)` parallelizes repeats, and each repeat's
+    /// own multi-start and matrix build then stay on its worker).
+    static IN_PARALLEL_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Worker threads to use by default: the machine's available parallelism,
+/// capped to keep oversubscription in check on very wide hosts.
+pub fn num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(16)
+}
+
+/// Parallel indexed map over a slice, preserving input order.
+///
+/// `f(i, &items[i])` runs on one of `threads` workers; indices are handed
+/// out through an atomic cursor, so imbalanced items don't stall the other
+/// workers. Panics in `f` propagate (the scope joins all workers first).
+pub fn par_map_slice<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n <= 1 || IN_PARALLEL_WORKER.get() {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let out: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            scope.spawn(|| {
+                IN_PARALLEL_WORKER.set(true);
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let r = f(i, &items[i]);
+                    *out[i].lock().expect("result slot poisoned") = Some(r);
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every index visited exactly once")
+        })
+        .collect()
+}
+
+/// Parallel map consuming a `Vec`, preserving input order.
+///
+/// Like [`par_map_slice`] but moves each item into its worker — the shape
+/// the bench harness needs for dataset-parallel evaluation.
+pub fn par_map_vec<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results = par_map_slice(&work, threads, |_, slot| {
+        let item = slot
+            .lock()
+            .expect("work slot poisoned")
+            .take()
+            .expect("each index taken exactly once");
+        f(item)
+    });
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_visits_everything() {
+        let items: Vec<u64> = (0..257).collect();
+        for threads in [1, 2, 8] {
+            let out = par_map_slice(&items, threads, |i, &x| {
+                assert_eq!(i as u64, x);
+                x * 3
+            });
+            assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn vec_variant_moves_items() {
+        let items: Vec<String> = (0..40).map(|i| i.to_string()).collect();
+        let out = par_map_vec(items.clone(), 4, |s| s.len());
+        assert_eq!(out, items.iter().map(|s| s.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<u8> = vec![];
+        assert!(par_map_slice(&empty, 8, |_, &x| x).is_empty());
+        assert_eq!(par_map_slice(&[9u8], 8, |_, &x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn nested_parallel_maps_degrade_to_sequential() {
+        let outer: Vec<u32> = (0..8).collect();
+        let results = par_map_slice(&outer, 4, |_, &x| {
+            // Inside a worker the nested map must not spawn further
+            // threads; it still computes the right answer.
+            let inner: Vec<u32> = (0..16).collect();
+            let inner_out = par_map_slice(&inner, 4, |_, &y| y + x);
+            inner_out.iter().sum::<u32>()
+        });
+        let expected: Vec<u32> = (0..8).map(|x| (0..16).map(|y| y + x).sum()).collect();
+        assert_eq!(results, expected);
+    }
+
+    #[test]
+    fn imbalanced_work_still_completes() {
+        let items: Vec<u64> = (0..64).collect();
+        let out = par_map_slice(&items, 8, |_, &x| {
+            if x == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            x
+        });
+        assert_eq!(out, items);
+    }
+}

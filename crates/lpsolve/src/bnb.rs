@@ -80,7 +80,7 @@ pub(crate) fn solve_binary(
                 }
                 if incumbent
                     .as_ref()
-                    .map_or(true, |b| sol.objective < b.objective - 1e-9)
+                    .is_none_or(|b| sol.objective < b.objective - 1e-9)
                 {
                     incumbent = Some(sol);
                 }

@@ -144,7 +144,7 @@ impl WalkState {
     /// proposals are self-loops.
     pub fn step(&mut self, rng: &mut StdRng) {
         let e = rng.random_range(0..self.n());
-        let op = MoveOp::ALL[rng.random_range(0..4)];
+        let op = MoveOp::ALL[rng.random_range(0..4usize)];
         let _ = self.try_move(e, op);
     }
 

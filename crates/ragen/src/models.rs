@@ -187,7 +187,7 @@ mod tests {
     fn plackett_luce_orders_by_weight_on_average() {
         let model = PlackettLuce::geometric(6, 0.3);
         let mut rng = StdRng::seed_from_u64(4);
-        let mut first_counts = vec![0u32; 6];
+        let mut first_counts = [0u32; 6];
         for _ in 0..2000 {
             let r = model.sample(&mut rng);
             first_counts[r.bucket(0)[0].index()] += 1;

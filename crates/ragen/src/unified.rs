@@ -69,7 +69,7 @@ mod tests {
         let (d, k, _) = gen.generate(7, &mut rng);
         assert_eq!(d.m(), 7);
         assert!(d.n() >= 35, "union must reach the target (got {})", d.n());
-        assert!(k >= 1 && k <= 35, "k = {k} out of the paper's range");
+        assert!((1..=35).contains(&k), "k = {k} out of the paper's range");
     }
 
     #[test]
