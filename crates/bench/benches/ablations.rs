@@ -9,9 +9,9 @@
 //!   two-way one.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use ragen::UniformSampler;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use ragen::UniformSampler;
 use rank_core::algorithms::bioconsert::BioConsert;
 use rank_core::algorithms::borda::BordaCount;
 use rank_core::algorithms::kwiksort::{KwikSort, KwikSortNoTies};
@@ -27,8 +27,7 @@ fn bench_ablations(c: &mut Criterion) {
     let data = sampler.sample_dataset(35, 7, &mut rng);
 
     let borda_seed = BordaCount.run(&data, &mut AlgoContext::seeded(0));
-    let all_tied =
-        Ranking::single_bucket((0..35u32).map(Element).collect()).expect("non-empty");
+    let all_tied = Ranking::single_bucket((0..35u32).map(Element).collect()).expect("non-empty");
 
     let variants: Vec<(&str, BioConsert)> = vec![
         ("bioconsert_input_starts", BioConsert::default()),

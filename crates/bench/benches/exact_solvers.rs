@@ -4,9 +4,9 @@
 //! harness default, DESIGN.md §4).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ragen::UniformSampler;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use ragen::UniformSampler;
 use rank_core::algorithms::exact::{brute_force, ExactAlgorithm, ExactLpb};
 use rank_core::algorithms::AlgoContext;
 use std::hint::black_box;

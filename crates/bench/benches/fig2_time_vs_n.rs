@@ -7,10 +7,11 @@
 //! the sizes they can finish at (the paper's own finding, §7.1.1).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ragen::UniformSampler;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use ragen::UniformSampler;
-use rank_core::algorithms::{paper_algorithms, AlgoContext};
+use rank_core::algorithms::AlgoContext;
+use rank_core::engine::{paper_panel, AlgoSpec, ExecPolicy};
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -25,10 +26,11 @@ fn bench_fig2(c: &mut Criterion) {
 
     for &n in &sizes {
         let data = sampler.sample_dataset(n, 7, &mut rng);
-        for algo in paper_algorithms(5) {
-            if algo.name() == "Ailon3/2" && n > 20 {
+        for spec in paper_panel(5) {
+            if spec == AlgoSpec::Ailon && n > 20 {
                 continue; // LP does not scale (§7.1.1)
             }
+            let algo = spec.build(ExecPolicy::default());
             g.bench_with_input(BenchmarkId::new(algo.name(), n), &n, |bch, _| {
                 let mut seed = 0u64;
                 bch.iter(|| {
@@ -39,7 +41,7 @@ fn bench_fig2(c: &mut Criterion) {
             });
         }
         if n <= 20 {
-            let exact = rank_core::algorithms::exact_algorithm();
+            let exact = AlgoSpec::Exact.build(ExecPolicy::default());
             g.bench_with_input(BenchmarkId::new("ExactAlgorithm", n), &n, |bch, _| {
                 let mut seed = 0u64;
                 bch.iter(|| {

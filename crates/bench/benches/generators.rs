@@ -3,9 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use datasets::realworld;
+use ragen::{MarkovGen, UnifiedGen, UniformSampler};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use ragen::{MarkovGen, UnifiedGen, UniformSampler};
 use std::hint::black_box;
 use std::time::Duration;
 

@@ -2,9 +2,9 @@
 //! generalized Kendall-τ, pair-table construction, scoring, similarity.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ragen::UniformSampler;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use ragen::UniformSampler;
 use rank_core::algorithms::bioconsert::BioConsert;
 use rank_core::algorithms::{AlgoContext, ConsensusAlgorithm};
 use rank_core::distance::{pair_counts, pair_counts_naive};
@@ -41,17 +41,23 @@ fn bench_kernels(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("generalized_naive", n), &n, |bch, _| {
             bch.iter(|| black_box(pair_counts_naive(a, b).generalized()))
         });
-        g.bench_with_input(BenchmarkId::new("cost_matrix_build_serial", n), &n, |bch, _| {
-            bch.iter(|| black_box(PairTable::build_with_threads(data, 1).m()))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("cost_matrix_build_serial", n),
+            &n,
+            |bch, _| bch.iter(|| black_box(PairTable::build_with_threads(data, 1).m())),
+        );
         let threads = rank_core::parallel::num_threads();
-        g.bench_with_input(BenchmarkId::new("cost_matrix_build_parallel", n), &n, |bch, _| {
-            bch.iter(|| black_box(PairTable::build_with_threads(data, threads).m()))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("cost_matrix_build_parallel", n),
+            &n,
+            |bch, _| bch.iter(|| black_box(PairTable::build_with_threads(data, threads).m())),
+        );
         let pairs = PairTable::build(data);
-        g.bench_with_input(BenchmarkId::new("score_via_cost_matrix", n), &n, |bch, _| {
-            bch.iter(|| black_box(pairs.score(a)))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("score_via_cost_matrix", n),
+            &n,
+            |bch, _| bch.iter(|| black_box(pairs.score(a))),
+        );
         g.bench_with_input(BenchmarkId::new("lower_bound", n), &n, |bch, _| {
             bch.iter(|| black_box(pairs.lower_bound()))
         });

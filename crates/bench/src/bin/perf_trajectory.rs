@@ -5,7 +5,10 @@
 //! * cost-matrix build time, serial vs parallel, and the matrix footprint;
 //! * one BioConsert local-search sweep (single start, sequential);
 //! * full multi-start BioConsert, sequential vs parallel workers, with a
-//!   consensus-score equality check (the determinism contract).
+//!   consensus-score equality check (the determinism contract);
+//! * an engine batch: the paper panel (minus the LP-bound Ailon) as one
+//!   `Engine::run_batch` request batch, concurrent vs one-worker, with a
+//!   report-equality check and the shared-build counter.
 //!
 //! Writes the numbers as JSON (hand-rolled; no serde offline) so future
 //! PRs can track the trajectory:
@@ -19,6 +22,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rank_core::algorithms::bioconsert::BioConsert;
 use rank_core::algorithms::{AlgoContext, ConsensusAlgorithm};
+use rank_core::engine::{paper_panel, AggregationRequest, AlgoSpec, Engine};
 use rank_core::{CostMatrix, Dataset};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -49,6 +53,10 @@ struct SizeReport {
     multistart_par_s: f64,
     score: u64,
     scores_identical: bool,
+    batch_seq_s: f64,
+    batch_par_s: f64,
+    batch_builds: usize,
+    batch_identical: bool,
 }
 
 fn measure(n: usize, data: &Dataset) -> SizeReport {
@@ -95,6 +103,35 @@ fn measure(n: usize, data: &Dataset) -> SizeReport {
     let r_seq = sequential.run(data, &mut ctx);
     let r_par = parallel.run(data, &mut ctx);
     let score = pairs.score(&r_par);
+
+    // Engine batch: the paper panel at this size (the spec capability
+    // bound sits the LP-based Ailon out at n ≥ 50) as one request batch —
+    // the multi-tenant serving path. A fresh engine per timing keeps the
+    // first-build cost inside the measurement, and the builds counter
+    // proves the batch shared it.
+    let specs: Vec<AlgoSpec> = paper_panel(20)
+        .into_iter()
+        .filter(|s| s.max_n().is_none_or(|cap| n <= cap))
+        .collect();
+    let requests = AggregationRequest::batch(data.clone())
+        .specs(specs)
+        .seed(5)
+        .build();
+    let batch_reps = reps.min(3);
+    let batch_par_s = time_median(batch_reps, || {
+        std::hint::black_box(Engine::new().run_batch(&requests));
+    });
+    let batch_seq_s = time_median(batch_reps, || {
+        std::hint::black_box(Engine::with_workers(1).run_batch(&requests));
+    });
+    let par_engine = Engine::new();
+    let par_reports = par_engine.run_batch(&requests);
+    let seq_reports = Engine::with_workers(1).run_batch(&requests);
+    let batch_identical = par_reports
+        .iter()
+        .zip(&seq_reports)
+        .all(|(a, b)| a.ranking == b.ranking && a.score == b.score && a.outcome == b.outcome);
+
     SizeReport {
         n,
         build_serial_s,
@@ -105,11 +142,17 @@ fn measure(n: usize, data: &Dataset) -> SizeReport {
         multistart_par_s,
         score,
         scores_identical: r_seq == r_par && pairs.score(&r_seq) == score,
+        batch_seq_s,
+        batch_par_s,
+        batch_builds: par_engine.cache().builds(),
+        batch_identical,
     }
 }
 
 fn main() {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_1.json".to_owned());
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_1.json".to_owned());
     let threads = rank_core::parallel::num_threads();
     let sampler = UniformSampler::new(*NS.iter().max().expect("non-empty"));
 
@@ -119,7 +162,7 @@ fn main() {
         let data = sampler.sample_dataset(n, M, &mut rng);
         let r = measure(n, &data);
         eprintln!(
-            "n={:<4} build {:.2}ms→{:.2}ms  sweep {:.2}ms  multistart {:.1}ms→{:.1}ms ({:.2}x, identical={})",
+            "n={:<4} build {:.2}ms→{:.2}ms  sweep {:.2}ms  multistart {:.1}ms→{:.1}ms ({:.2}x, identical={})  batch {:.1}ms→{:.1}ms ({:.2}x, builds={}, identical={})",
             r.n,
             r.build_serial_s * 1e3,
             r.build_parallel_s * 1e3,
@@ -128,13 +171,21 @@ fn main() {
             r.multistart_par_s * 1e3,
             r.multistart_seq_s / r.multistart_par_s,
             r.scores_identical,
+            r.batch_seq_s * 1e3,
+            r.batch_par_s * 1e3,
+            r.batch_seq_s / r.batch_par_s,
+            r.batch_builds,
+            r.batch_identical,
         );
         reports.push(r);
     }
 
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"bench\": \"parallel consensus kernel (PR 1)\",");
+    let _ = writeln!(
+        json,
+        "  \"bench\": \"parallel consensus kernel (PR 1) + engine batch front door (PR 2)\","
+    );
     let _ = writeln!(json, "  \"m\": {M},");
     let _ = writeln!(json, "  \"worker_threads\": {threads},");
     json.push_str("  \"sizes\": [\n");
@@ -142,16 +193,65 @@ fn main() {
         let speedup = r.multistart_seq_s / r.multistart_par_s;
         let _ = writeln!(json, "    {{");
         let _ = writeln!(json, "      \"n\": {},", r.n);
-        let _ = writeln!(json, "      \"matrix_build_serial_secs\": {:.6},", r.build_serial_s);
-        let _ = writeln!(json, "      \"matrix_build_parallel_secs\": {:.6},", r.build_parallel_s);
+        let _ = writeln!(
+            json,
+            "      \"matrix_build_serial_secs\": {:.6},",
+            r.build_serial_s
+        );
+        let _ = writeln!(
+            json,
+            "      \"matrix_build_parallel_secs\": {:.6},",
+            r.build_parallel_s
+        );
         let _ = writeln!(json, "      \"matrix_peak_bytes\": {},", r.matrix_bytes);
         let _ = writeln!(json, "      \"local_search_sweep_secs\": {:.6},", r.sweep_s);
-        let _ = writeln!(json, "      \"multistart_sequential_secs\": {:.6},", r.multistart_seq_s);
-        let _ = writeln!(json, "      \"multistart_parallel_secs\": {:.6},", r.multistart_par_s);
+        let _ = writeln!(
+            json,
+            "      \"multistart_sequential_secs\": {:.6},",
+            r.multistart_seq_s
+        );
+        let _ = writeln!(
+            json,
+            "      \"multistart_parallel_secs\": {:.6},",
+            r.multistart_par_s
+        );
         let _ = writeln!(json, "      \"multistart_speedup\": {speedup:.2},");
         let _ = writeln!(json, "      \"consensus_score\": {},", r.score);
-        let _ = writeln!(json, "      \"parallel_matches_sequential\": {}", r.scores_identical);
-        let _ = writeln!(json, "    }}{}", if i + 1 < reports.len() { "," } else { "" });
+        let _ = writeln!(
+            json,
+            "      \"parallel_matches_sequential\": {},",
+            r.scores_identical
+        );
+        let _ = writeln!(
+            json,
+            "      \"engine_batch_sequential_secs\": {:.6},",
+            r.batch_seq_s
+        );
+        let _ = writeln!(
+            json,
+            "      \"engine_batch_parallel_secs\": {:.6},",
+            r.batch_par_s
+        );
+        let _ = writeln!(
+            json,
+            "      \"engine_batch_speedup\": {:.2},",
+            r.batch_seq_s / r.batch_par_s
+        );
+        let _ = writeln!(
+            json,
+            "      \"engine_batch_matrix_builds\": {},",
+            r.batch_builds
+        );
+        let _ = writeln!(
+            json,
+            "      \"engine_batch_matches_sequential\": {}",
+            r.batch_identical
+        );
+        let _ = writeln!(
+            json,
+            "    }}{}",
+            if i + 1 < reports.len() { "," } else { "" }
+        );
     }
     json.push_str("  ]\n}\n");
 

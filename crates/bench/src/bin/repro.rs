@@ -28,10 +28,9 @@ use datasets::realworld;
 use ragen::{MarkovGen, UnifiedGen, UniformSampler};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rank_core::algorithms::exact::ExactAlgorithm;
-use rank_core::algorithms::{
-    extended_algorithms, medrank::MedRank, paper_algorithms, paper_algorithms_sequential,
-    AlgoContext, ConsensusAlgorithm,
+use rank_core::algorithms::ConsensusAlgorithm;
+use rank_core::engine::{
+    extended_panel, paper_panel, AggregationRequest, AlgoSpec, Engine, ExecPolicy,
 };
 use rank_core::normalize::{projection, threshold_k, unification, Normalized};
 use rank_core::similarity::dataset_similarity;
@@ -90,8 +89,16 @@ fn main() {
             "extra" => extra(&opts),
             "all" => {
                 for s in [
-                    "table5", "table4", "fig2", "fig3", "fig4", "fig5", "fig6", "sim-time",
-                    "norm-stats", "extra",
+                    "table5",
+                    "table4",
+                    "fig2",
+                    "fig3",
+                    "fig4",
+                    "fig5",
+                    "fig6",
+                    "sim-time",
+                    "norm-stats",
+                    "extra",
                 ] {
                     let t = Instant::now();
                     run_one(s, &opts);
@@ -129,6 +136,15 @@ fn banner(title: &str) {
     println!("================================================================");
 }
 
+/// The paper panel built for single-threaded timing (§6.2.4 seconds stay
+/// comparable across hosts).
+fn sequential_panel(min_runs: usize) -> Vec<Box<dyn ConsensusAlgorithm>> {
+    paper_panel(min_runs)
+        .iter()
+        .map(|s| s.build(ExecPolicy::Sequential))
+        .collect()
+}
+
 /// Evaluate many datasets in parallel into one accumulator.
 fn accumulate(
     datasets: Vec<Dataset>,
@@ -142,7 +158,7 @@ fn accumulate(
         |(i, d)| {
             evaluate_dataset(
                 &d,
-                &paper_algorithms(scale.min_runs),
+                &paper_panel(scale.min_runs),
                 with_exact,
                 scale,
                 seed0 + i as u64,
@@ -165,7 +181,14 @@ fn gap_table(title: &str, acc: &GapAccumulator, opts: &Opts, csv: &str) {
         acc.total - acc.proved
     );
     let ranks = acc.ranks();
-    let mut t = Table::new(&["Algorithm", "avg gap", "rank", "%gap=0", "%first", "no result"]);
+    let mut t = Table::new(&[
+        "Algorithm",
+        "avg gap",
+        "rank",
+        "%gap=0",
+        "%first",
+        "no result",
+    ]);
     for (name, s) in acc.stats() {
         t.row(vec![
             name.clone(),
@@ -182,7 +205,7 @@ fn gap_table(title: &str, acc: &GapAccumulator, opts: &Opts, csv: &str) {
 
 // ---------------------------------------------------------------- Table 5
 
-/// Table 5: uniformly generated datasets, m ∈ [3;10], n ≤ 60 — average
+/// Table 5: uniformly generated datasets, m ∈ \[3;10\], n ≤ 60 — average
 /// gap, %optimal, %first per algorithm.
 fn table5(opts: &Opts) {
     let scale = &opts.scale;
@@ -224,7 +247,8 @@ fn table4(opts: &Opts) {
     let mut ws_proj = Vec::new();
     let mut ws_unif = Vec::new();
     for _ in 0..cells.max(2) {
-        let raw = realworld::websearch::generate(&realworld::websearch::Config::default(), &mut rng);
+        let raw =
+            realworld::websearch::generate(&realworld::websearch::Config::default(), &mut rng);
         if let Some(p) = projection(&raw) {
             ws_proj.push(p.dataset);
         }
@@ -253,7 +277,8 @@ fn table4(opts: &Opts) {
 
     let mut bio = Vec::new();
     for _ in 0..(4 * cells).max(6) {
-        let raw = realworld::biomedical::generate(&realworld::biomedical::Config::default(), &mut rng);
+        let raw =
+            realworld::biomedical::generate(&realworld::biomedical::Config::default(), &mut rng);
         bio.push(unification(&raw).expect("non-empty").dataset);
     }
     groups.push(("BioMedical Unif", bio, true));
@@ -294,7 +319,8 @@ fn table4(opts: &Opts) {
         ]);
     }
     print!("{}", tf.render());
-    tf.write_csv(&opts.out.join("table4_first.csv")).expect("csv");
+    tf.write_csv(&opts.out.join("table4_first.csv"))
+        .expect("csv");
 }
 
 // ---------------------------------------------------------------- Figure 2
@@ -311,22 +337,23 @@ fn fig2(opts: &Opts) {
     let mut rng = StdRng::seed_from_u64(2);
 
     // The panel of Figure 2 (KwikSortMin/RepeatChoiceMin excluded there).
-    let algos: Vec<Box<dyn ConsensusAlgorithm>> = vec![
-        Box::new(rank_core::algorithms::ailon::AilonThreeHalves::default()),
-        Box::new(rank_core::algorithms::bioconsert::BioConsert {
-            // Timing experiments stay single-threaded (§6.2.4 comparability).
-            force_sequential: true,
-            ..Default::default()
-        }),
-        Box::new(rank_core::algorithms::borda::BordaCount),
-        Box::new(rank_core::algorithms::copeland::CopelandMethod),
-        Box::new(rank_core::algorithms::fagin::FaginDyn::small()),
-        Box::new(rank_core::algorithms::fagin::FaginDyn::large()),
-        Box::new(rank_core::algorithms::kwiksort::KwikSort),
-        Box::new(MedRank::new(0.5)),
-        Box::new(rank_core::algorithms::pick_a_perm::PickAPerm),
-        Box::new(rank_core::algorithms::repeat_choice::RepeatChoice),
-    ];
+    // Timing experiments stay single-threaded (§6.2.4 comparability), so
+    // every spec is built under the sequential execution policy.
+    let algos: Vec<Box<dyn ConsensusAlgorithm>> = [
+        AlgoSpec::Ailon,
+        AlgoSpec::BioConsert,
+        AlgoSpec::Borda,
+        AlgoSpec::Copeland,
+        AlgoSpec::FaginSmall,
+        AlgoSpec::FaginLarge,
+        AlgoSpec::KwikSort,
+        AlgoSpec::MedRank(0.5),
+        AlgoSpec::PickAPerm,
+        AlgoSpec::RepeatChoice,
+    ]
+    .iter()
+    .map(|s| s.build(ExecPolicy::Sequential))
+    .collect();
     let exact_timing_cap = scale.n_exact_cap.min(20);
     let ailon_timing_cap = 25;
 
@@ -342,9 +369,19 @@ fn fig2(opts: &Opts) {
         let mut cells = vec![n.to_string()];
         // ExactSolution first (as the paper's legend lists it).
         if n <= exact_timing_cap {
-            let exact = ExactAlgorithm::default();
-            let r = time_algorithm(&exact, &data, 77, scale.timing_floor, scale.exact_budget);
-            cells.push(if r.timed_out { "—".into() } else { secs(r.seconds) });
+            let exact = AlgoSpec::Exact.build(ExecPolicy::Sequential);
+            let r = time_algorithm(
+                exact.as_ref(),
+                &data,
+                77,
+                scale.timing_floor,
+                scale.exact_budget,
+            );
+            cells.push(if r.timed_out {
+                "—".into()
+            } else {
+                secs(r.seconds)
+            });
         } else {
             cells.push("—".into());
         }
@@ -356,8 +393,18 @@ fn fig2(opts: &Opts) {
                 cells.push("—".into());
                 continue;
             }
-            let r = time_algorithm(algo.as_ref(), &data, 77, scale.timing_floor, scale.algo_budget);
-            cells.push(if r.timed_out { "—".into() } else { secs(r.seconds) });
+            let r = time_algorithm(
+                algo.as_ref(),
+                &data,
+                77,
+                scale.timing_floor,
+                scale.algo_budget,
+            );
+            cells.push(if r.timed_out {
+                "—".into()
+            } else {
+                secs(r.seconds)
+            });
         }
         t.row(cells);
         eprintln!("  fig2: n = {n} done");
@@ -379,7 +426,8 @@ fn fig3(opts: &Opts) {
     let mut ws_p = Vec::new();
     let mut ws_u = Vec::new();
     for _ in 0..cells {
-        let raw = realworld::websearch::generate(&realworld::websearch::Config::default(), &mut rng);
+        let raw =
+            realworld::websearch::generate(&realworld::websearch::Config::default(), &mut rng);
         if let Some(p) = projection(&raw) {
             ws_p.push(dataset_similarity(&p.dataset));
         }
@@ -414,7 +462,8 @@ fn fig3(opts: &Opts) {
 
     let mut bio = Vec::new();
     for _ in 0..cells * 2 {
-        let raw = realworld::biomedical::generate(&realworld::biomedical::Config::default(), &mut rng);
+        let raw =
+            realworld::biomedical::generate(&realworld::biomedical::Config::default(), &mut rng);
         bio.push(dataset_similarity(&unification(&raw).expect("ok").dataset));
     }
     groups.push(("BioMedical Unif".into(), bio));
@@ -458,7 +507,9 @@ fn fig4(opts: &Opts) {
     banner("Figure 4 — gap vs generation steps (m = 7, n = 35)");
     series_over_steps(
         opts,
-        &[50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000],
+        &[
+            50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000,
+        ],
         |t_steps, rng| MarkovGen::identity_seeded(35, t_steps).dataset(7, rng),
         "fig4.csv",
         scale,
@@ -510,7 +561,10 @@ fn series_over_steps(
         if all_names.is_empty() {
             all_names = acc.stats().keys().cloned().collect();
         }
-        eprintln!("  steps = {t_steps}: optimum proved on {}/{}", acc.proved, acc.total);
+        eprintln!(
+            "  steps = {t_steps}: optimum proved on {}/{}",
+            acc.proved, acc.total
+        );
         rows.push((t_steps, acc));
     }
     let mut header: Vec<&str> = vec!["steps"];
@@ -551,8 +605,8 @@ fn fig6(opts: &Opts) {
     // Time: §6.2.4 repeated-run measurements on a few datasets,
     // single-threaded. The "Min" variants are included here as in the
     // paper's Figure 6.
-    let mut algos = paper_algorithms_sequential(scale.min_runs);
-    algos.push(rank_core::algorithms::exact_algorithm());
+    let mut algos = sequential_panel(scale.min_runs);
+    algos.push(AlgoSpec::Exact.build(ExecPolicy::Sequential));
     let mut times: std::collections::BTreeMap<String, Vec<f64>> = Default::default();
     for (i, data) in timing_sets.iter().enumerate() {
         for algo in &algos {
@@ -561,7 +615,13 @@ fn fig6(opts: &Opts) {
             } else {
                 scale.algo_budget
             };
-            let r = time_algorithm(algo.as_ref(), data, 600 + i as u64, scale.timing_floor, budget);
+            let r = time_algorithm(
+                algo.as_ref(),
+                data,
+                600 + i as u64,
+                scale.timing_floor,
+                budget,
+            );
             if !r.timed_out {
                 times.entry(r.name).or_default().push(r.seconds);
             }
@@ -593,8 +653,8 @@ fn sim_time(opts: &Opts) {
     banner("§7.2 — computing time on similar (t=50) vs dissimilar (t=50 000) data");
     let mut rng = StdRng::seed_from_u64(72);
     let reps = scale.datasets_per_cell.clamp(1, 3);
-    let mut algos = paper_algorithms_sequential(scale.min_runs);
-    algos.push(rank_core::algorithms::exact_algorithm());
+    let mut algos = sequential_panel(scale.min_runs);
+    algos.push(AlgoSpec::Exact.build(ExecPolicy::Sequential));
 
     let measure = |t_steps: usize, rng: &mut StdRng| -> std::collections::BTreeMap<String, f64> {
         let mut acc: std::collections::BTreeMap<String, Vec<f64>> = Default::default();
@@ -606,8 +666,13 @@ fn sim_time(opts: &Opts) {
                 } else {
                     scale.algo_budget
                 };
-                let r =
-                    time_algorithm(algo.as_ref(), &data, 700 + i as u64, scale.timing_floor, budget);
+                let r = time_algorithm(
+                    algo.as_ref(),
+                    &data,
+                    700 + i as u64,
+                    scale.timing_floor,
+                    budget,
+                );
                 if !r.timed_out {
                     acc.entry(r.name).or_default().push(r.seconds);
                 }
@@ -620,7 +685,12 @@ fn sim_time(opts: &Opts) {
 
     let similar = measure(50, &mut rng);
     let dissimilar = measure(50_000, &mut rng);
-    let mut t = Table::new(&["Algorithm", "t=50 (similar)", "t=50000", "speed-up on similar"]);
+    let mut t = Table::new(&[
+        "Algorithm",
+        "t=50 (similar)",
+        "t=50000",
+        "speed-up on similar",
+    ]);
     for (name, &slow) in &dissimilar {
         if let Some(&fast) = similar.get(name) {
             t.row(vec![
@@ -749,9 +819,9 @@ fn extra(opts: &Opts) {
         datasets.into_iter().enumerate().collect::<Vec<_>>(),
         scale.threads,
         |(i, d)| {
-            let mut algos = extended_algorithms();
-            algos.push(Box::new(rank_core::algorithms::bioconsert::BioConsert::default()));
-            evaluate_dataset(&d, &algos, true, scale, 800 + i as u64)
+            let mut specs = extended_panel();
+            specs.push(AlgoSpec::BioConsert);
+            evaluate_dataset(&d, &specs, true, scale, 800 + i as u64)
         },
     );
     let mut acc = GapAccumulator::new();
@@ -768,13 +838,13 @@ fn extra(opts: &Opts) {
         datasets.into_iter().enumerate().collect::<Vec<_>>(),
         scale.threads,
         |(i, d)| {
-            let algos: Vec<Box<dyn ConsensusAlgorithm>> = vec![
-                Box::new(MedRank::new(0.3)),
-                Box::new(MedRank::new(0.5)),
-                Box::new(MedRank::new(0.7)),
-                Box::new(MedRank::new(0.9)),
+            let specs = vec![
+                AlgoSpec::MedRank(0.3),
+                AlgoSpec::MedRank(0.5),
+                AlgoSpec::MedRank(0.7),
+                AlgoSpec::MedRank(0.9),
             ];
-            evaluate_dataset(&d, &algos, true, scale, 900 + i as u64)
+            evaluate_dataset(&d, &specs, true, scale, 900 + i as u64)
         },
     );
     let mut acc = GapAccumulator::new();
@@ -789,16 +859,18 @@ fn extra(opts: &Opts) {
     let mut t = Table::new(&["k (min rankings)", "elements kept", "consensus scored over"]);
     for k in [1, m / 2, m] {
         if let Some(Normalized { dataset, .. }) = threshold_k(&raw, k.max(1)) {
-            let mut ctx = AlgoContext::seeded(1);
-            let consensus =
-                rank_core::algorithms::bioconsert::BioConsert::default().run(&dataset, &mut ctx);
+            let engine = Engine::new();
+            let n = dataset.n();
+            let report =
+                engine.run(&AggregationRequest::new(dataset, AlgoSpec::BioConsert).with_seed(1));
             t.row(vec![
                 k.max(1).to_string(),
-                dataset.n().to_string(),
-                format!("score {}", rank_core::score::kemeny_score(&consensus, &dataset)),
+                n.to_string(),
+                format!("score {}", report.score),
             ]);
         }
     }
     print!("{}", t.render());
-    t.write_csv(&opts.out.join("extra_threshold_k.csv")).expect("csv");
+    t.write_csv(&opts.out.join("extra_threshold_k.csv"))
+        .expect("csv");
 }

@@ -17,8 +17,8 @@
 //! The `repro` binary (see `src/bin/repro.rs`) maps one subcommand to each
 //! table/figure of the paper.
 
-use rank_core::algorithms::exact::ExactAlgorithm;
 use rank_core::algorithms::{AlgoContext, ConsensusAlgorithm};
+use rank_core::engine::{AggregationRequest, AlgoSpec, Engine, Outcome};
 use rank_core::Dataset;
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
@@ -106,7 +106,9 @@ pub struct AlgoResult {
     /// Generalized Kemeny score of the returned consensus.
     pub score: u64,
     /// Wall-clock seconds (one evaluation run, or the §6.2.4 average for
-    /// timing experiments).
+    /// timing experiments). [`evaluate_dataset`] measures these under
+    /// concurrent batch execution — indicative only; publishable timings
+    /// come from [`time_algorithm`], which runs alone and sequential.
     pub seconds: f64,
     /// The algorithm hit its budget (reported "no result" in the paper).
     pub timed_out: bool,
@@ -124,83 +126,65 @@ pub struct DatasetEval {
     pub proved: bool,
 }
 
-/// Run `algos` (and optionally the exact solver) on `data`.
+/// Run a panel of `specs` (and optionally the exact solver) on `data` as
+/// one engine batch.
 ///
-/// The exact solver's proven optimum becomes the gap reference; if it
-/// cannot prove within budget (or `n` exceeds the cap) the best score seen
-/// becomes the m-gap reference, mirroring §6.2.3.
+/// Each spec becomes one [`AggregationRequest`] with its own budget and
+/// outcome flags, so a timeout in one algorithm can never be
+/// mis-attributed to its neighbours (the engine's per-request [`Outcome`]
+/// replaces the shared-flag + `reset_flags` discipline earlier revisions
+/// needed). The exact solver's proven optimum becomes the gap reference;
+/// if it cannot prove within budget (or `n` exceeds the cap) the best
+/// score seen becomes the m-gap reference, mirroring §6.2.3.
+///
+/// The batch runs concurrently (degrading to sequential inside nested
+/// harness parallelism), so per-result `seconds` include scheduler
+/// contention and the wall-clock budgets assume comfortable headroom —
+/// quality experiments only. Timing experiments use [`time_algorithm`].
 pub fn evaluate_dataset(
     data: &Dataset,
-    algos: &[Box<dyn ConsensusAlgorithm>],
+    specs: &[AlgoSpec],
     with_exact: bool,
     scale: &Scale,
     seed: u64,
 ) -> DatasetEval {
-    let mut results = Vec::with_capacity(algos.len() + 1);
-    let mut proved = false;
-    let mut reference = u64::MAX;
-
-    // One base context per dataset: every algorithm gets a decorrelated
-    // worker RNG stream from it while sharing the dataset's single
-    // O(m·n²) cost-matrix build through the context cache. Flags are
-    // reset between algorithms so per-algorithm timeouts stay isolated.
-    let base = AlgoContext::seeded(seed);
-    let pairs = base.cost_matrix(data);
-
+    let mut batch = AggregationRequest::batch(data.clone()).seed(seed);
     if with_exact && data.n() <= scale.n_exact_cap {
-        let exact = ExactAlgorithm::default();
-        let mut ctx = base.worker(0xE0AC7);
-        ctx.deadline = Some(Instant::now() + scale.exact_budget);
-        let start = Instant::now();
-        let (ranking, score, proof) = exact.solve(data, &mut ctx);
-        let seconds = start.elapsed().as_secs_f64();
-        debug_assert!(data.is_complete_ranking(&ranking));
-        proved = proof;
-        reference = reference.min(score);
-        results.push(AlgoResult {
-            name: "ExactAlgorithm".to_owned(),
-            score,
-            seconds,
-            timed_out: !proof,
-        });
-        base.reset_flags();
+        batch = batch.spec(AlgoSpec::Exact);
     }
+    let mut requests = batch.specs(specs.iter().cloned()).build();
+    for req in &mut requests {
+        req.budget = Some(if req.spec == AlgoSpec::Exact {
+            scale.exact_budget
+        } else {
+            scale.algo_budget
+        });
+    }
+    let engine = Engine::with_workers(scale.threads);
+    let reports = engine.run_batch(&requests);
 
-    for algo in algos {
-        let mut ctx = base.worker(hash_name(&algo.name()));
-        ctx.deadline = Some(Instant::now() + scale.algo_budget);
-        let start = Instant::now();
-        let consensus = algo.run(data, &mut ctx);
-        let seconds = start.elapsed().as_secs_f64();
-        debug_assert!(data.is_complete_ranking(&consensus));
-        let score = pairs.score(&consensus);
-        if !proved {
-            reference = reference.min(score);
-        }
-        results.push(AlgoResult {
-            name: algo.name(),
-            score,
-            seconds,
-            timed_out: ctx.timed_out(),
-        });
-        base.reset_flags();
-    }
+    let proved = reports.iter().any(|r| r.outcome == Outcome::Optimal);
+    let reference = reports
+        .iter()
+        .filter(|r| !proved || r.outcome == Outcome::Optimal)
+        .map(|r| r.score)
+        .min()
+        .unwrap_or(u64::MAX);
+    let results: Vec<AlgoResult> = reports
+        .iter()
+        .map(|r| AlgoResult {
+            name: r.algorithm(),
+            score: r.score,
+            seconds: r.elapsed.as_secs_f64(),
+            timed_out: r.outcome == Outcome::TimedOut,
+        })
+        .collect();
     debug_assert!(results.iter().all(|r| r.score >= reference));
     DatasetEval {
         results,
         reference,
         proved,
     }
-}
-
-fn hash_name(name: &str) -> u64 {
-    // FNV-1a; just decorrelates per-algorithm RNG streams.
-    let mut h = 0xcbf29ce484222325u64;
-    for b in name.bytes() {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100000001b3);
-    }
-    h
 }
 
 /// §6.2.4 timing: run `algo` repeatedly until the cumulative time exceeds
@@ -352,7 +336,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rank_core::algorithms::paper_algorithms;
+    use rank_core::engine::paper_panel;
     use rank_core::parse::parse_ranking;
 
     fn paper_dataset() -> Dataset {
@@ -367,7 +351,7 @@ mod tests {
     #[test]
     fn evaluate_dataset_with_exact_reference() {
         let data = paper_dataset();
-        let eval = evaluate_dataset(&data, &paper_algorithms(3), true, &Scale::quick(), 1);
+        let eval = evaluate_dataset(&data, &paper_panel(3), true, &Scale::quick(), 1);
         assert!(eval.proved);
         assert_eq!(eval.reference, 5);
         assert_eq!(eval.results.len(), 14); // exact + 13 panel algorithms
@@ -384,7 +368,7 @@ mod tests {
         for seed in 0..3 {
             acc.add(&evaluate_dataset(
                 &data,
-                &paper_algorithms(3),
+                &paper_panel(3),
                 true,
                 &Scale::quick(),
                 seed,

@@ -48,7 +48,9 @@ impl Table {
                     out.push_str("  ");
                 }
                 // Right-align numeric-looking cells, left-align the rest.
-                if c.chars().next().is_some_and(|ch| ch.is_ascii_digit() || ch == '-')
+                if c.chars()
+                    .next()
+                    .is_some_and(|ch| ch.is_ascii_digit() || ch == '-')
                     && i != 0
                 {
                     let _ = write!(out, "{}{}", " ".repeat(pad), c);
@@ -84,7 +86,11 @@ impl Table {
         writeln!(
             f,
             "{}",
-            self.header.iter().map(|s| esc(s)).collect::<Vec<_>>().join(",")
+            self.header
+                .iter()
+                .map(|s| esc(s))
+                .collect::<Vec<_>>()
+                .join(",")
         )?;
         for row in &self.rows {
             writeln!(

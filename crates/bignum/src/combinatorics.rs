@@ -15,7 +15,9 @@ pub fn binomial_row(n: usize) -> Vec<Nat> {
     let mut row = Vec::with_capacity(n + 1);
     row.push(Nat::one());
     for k in 0..n {
-        let next = row[k].mul_small((n - k) as u64).divexact_small((k + 1) as u64);
+        let next = row[k]
+            .mul_small((n - k) as u64)
+            .divexact_small((k + 1) as u64);
         row.push(next);
     }
     row
@@ -69,11 +71,20 @@ mod tests {
 
     #[test]
     fn binomial_small_rows() {
-        let row0: Vec<u128> = binomial_row(0).iter().map(|x| x.to_u128().unwrap()).collect();
+        let row0: Vec<u128> = binomial_row(0)
+            .iter()
+            .map(|x| x.to_u128().unwrap())
+            .collect();
         assert_eq!(row0, vec![1]);
-        let row5: Vec<u128> = binomial_row(5).iter().map(|x| x.to_u128().unwrap()).collect();
+        let row5: Vec<u128> = binomial_row(5)
+            .iter()
+            .map(|x| x.to_u128().unwrap())
+            .collect();
         assert_eq!(row5, vec![1, 5, 10, 10, 5, 1]);
-        let row10: Vec<u128> = binomial_row(10).iter().map(|x| x.to_u128().unwrap()).collect();
+        let row10: Vec<u128> = binomial_row(10)
+            .iter()
+            .map(|x| x.to_u128().unwrap())
+            .collect();
         assert_eq!(row10[5], 252);
     }
 
@@ -98,8 +109,9 @@ mod tests {
     #[test]
     fn fubini_known_values() {
         // OEIS A000670.
-        let expected: [u128; 11] =
-            [1, 1, 3, 13, 75, 541, 4683, 47293, 545835, 7087261, 102247563];
+        let expected: [u128; 11] = [
+            1, 1, 3, 13, 75, 541, 4683, 47293, 545835, 7087261, 102247563,
+        ];
         let table = FubiniTable::up_to(10);
         for (n, &e) in expected.iter().enumerate() {
             assert_eq!(table.get(n).to_u128(), Some(e), "a({n})");

@@ -19,8 +19,8 @@
 //! assert_eq!(b.to_string(), "340282366920938463426481119284349108225");
 //! ```
 
-mod nat;
 pub mod combinatorics;
+mod nat;
 
 pub use nat::Nat;
 

@@ -401,7 +401,10 @@ mod tests {
             seen[v] += 1;
         }
         // Every value of a 10-way uniform must show up in 2000 draws.
-        assert!(seen.iter().all(|&c| c > 100), "skewed draw counts: {seen:?}");
+        assert!(
+            seen.iter().all(|&c| c > 100),
+            "skewed draw counts: {seen:?}"
+        );
     }
 
     #[test]

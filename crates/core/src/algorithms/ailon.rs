@@ -97,11 +97,7 @@ enum Cut {
 }
 
 impl AilonThreeHalves {
-    fn solve_lp(
-        &self,
-        pairs: &PairTable,
-        ctx: &mut AlgoContext,
-    ) -> Option<Relaxation> {
+    fn solve_lp(&self, pairs: &PairTable, ctx: &mut AlgoContext) -> Option<Relaxation> {
         let n = pairs.n();
         let mut problem = Problem::new();
         let mut pv = vec![None::<Var>; n * n];
@@ -179,10 +175,8 @@ impl AilonThreeHalves {
                         ] {
                             let lhs = r.lt(i, k) - r.lt(i, j) - r.lt(j, k);
                             if lhs < -1.0 - TOL {
-                                violated.push((
-                                    -1.0 - lhs,
-                                    Cut::Order(i as u32, j as u32, k as u32),
-                                ));
+                                violated
+                                    .push((-1.0 - lhs, Cut::Order(i as u32, j as u32, k as u32)));
                             }
                         }
                         // (3): each middle choice, in tie variables only.
@@ -195,10 +189,8 @@ impl AilonThreeHalves {
                             };
                             let lhs = 2.0 * r.eq(x, y) + 2.0 * r.eq(y, z) - r.eq(x, z);
                             if lhs > 3.0 + TOL {
-                                violated.push((
-                                    lhs - 3.0,
-                                    Cut::Bucket(x as u32, y as u32, z as u32),
-                                ));
+                                violated
+                                    .push((lhs - 3.0, Cut::Bucket(x as u32, y as u32, z as u32)));
                             }
                         }
                     }
@@ -244,7 +236,12 @@ impl AilonThreeHalves {
     }
 
     /// KwikSort-style pivot rounding of the fractional relation.
-    fn round(relax: &Relaxation, mut elems: Vec<u32>, rng: &mut rand::rngs::StdRng, out: &mut Vec<Vec<Element>>) {
+    fn round(
+        relax: &Relaxation,
+        mut elems: Vec<u32>,
+        rng: &mut rand::rngs::StdRng,
+        out: &mut Vec<Vec<Element>>,
+    ) {
         match elems.len() {
             0 => return,
             1 => {
@@ -346,7 +343,11 @@ mod tests {
 
     #[test]
     fn within_factor_two_of_optimum_small() {
-        let d = data(&["[{0},{1,2},{3},{4}]", "[{4},{1},{0,2,3}]", "[{2},{0},{1},{3,4}]"]);
+        let d = data(&[
+            "[{0},{1,2},{3},{4}]",
+            "[{4},{1},{0,2,3}]",
+            "[{2},{0},{1},{3,4}]",
+        ]);
         let (opt, _) = brute_force(&d);
         let r = AilonThreeHalves::default().run(&d, &mut AlgoContext::seeded(1));
         let s = kemeny_score(&r, &d);
@@ -376,7 +377,11 @@ mod tests {
 
     #[test]
     fn output_complete_on_adversarial_ties() {
-        let d = data(&["[{0,1,2,3,4}]", "[{4},{3},{2},{1},{0}]", "[{0},{1,2,3},{4}]"]);
+        let d = data(&[
+            "[{0,1,2,3,4}]",
+            "[{4},{3},{2},{1},{0}]",
+            "[{0},{1,2,3},{4}]",
+        ]);
         let r = AilonThreeHalves::default().run(&d, &mut AlgoContext::seeded(3));
         assert!(d.is_complete_ranking(&r));
     }

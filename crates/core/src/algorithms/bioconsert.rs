@@ -239,9 +239,8 @@ impl BioConsert {
         } else {
             parallel::num_threads()
         };
-        let results = parallel::par_map_slice(starts, threads, |_, start| {
-            local_search(start, pairs, ctx)
-        });
+        let results =
+            parallel::par_map_slice(starts, threads, |_, start| local_search(start, pairs, ctx));
         results
             .into_iter()
             .min_by_key(|(score, _)| *score)
@@ -294,7 +293,11 @@ mod tests {
 
     #[test]
     fn never_worse_than_any_input() {
-        let d = data(&["[{0,1},{2,3},{4}]", "[{4},{3},{2},{1},{0}]", "[{2},{0,4},{1,3}]"]);
+        let d = data(&[
+            "[{0,1},{2,3},{4}]",
+            "[{4},{3},{2},{1},{0}]",
+            "[{2},{0,4},{1,3}]",
+        ]);
         let r = BioConsert::default().run(&d, &mut AlgoContext::seeded(0));
         let s = kemeny_score(&r, &d);
         for input in d.rankings() {

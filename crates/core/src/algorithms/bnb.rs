@@ -252,7 +252,11 @@ mod tests {
         // exact solver over a permutation-only instance (no tie is ever
         // cheaper when inputs are permutations and m is odd... not in
         // general — so instead enumerate permutations directly).
-        let d = data(&["[{0},{1},{2},{3}]", "[{1},{3},{0},{2}]", "[{3},{0},{1},{2}]"]);
+        let d = data(&[
+            "[{0},{1},{2},{3}]",
+            "[{1},{3},{0},{2}]",
+            "[{3},{0},{1},{2}]",
+        ]);
         let pairs = PairTable::build(&d);
         // Enumerate all 24 permutations.
         let mut best = u64::MAX;
@@ -276,8 +280,7 @@ mod tests {
             }
         }
         heaps(4, &mut perm, &pairs, &mut best);
-        let (r, score, complete) =
-            BranchAndBound::default().solve(&d, &mut AlgoContext::seeded(0));
+        let (r, score, complete) = BranchAndBound::default().solve(&d, &mut AlgoContext::seeded(0));
         assert!(complete);
         assert_eq!(score, best);
         assert!(r.is_permutation());
@@ -315,7 +318,11 @@ mod tests {
 
     #[test]
     fn never_worse_than_greedy_incumbent() {
-        let d = data(&["[{2},{0},{3},{1}]", "[{0},{1},{2},{3}]", "[{3},{2},{1},{0}]"]);
+        let d = data(&[
+            "[{2},{0},{3},{1}]",
+            "[{0},{1},{2},{3}]",
+            "[{3},{2},{1},{0}]",
+        ]);
         let pairs = PairTable::build(&d);
         let greedy = greedy_permutation(&d, &pairs);
         let (_, score, _) = BranchAndBound::default().solve(&d, &mut AlgoContext::seeded(0));

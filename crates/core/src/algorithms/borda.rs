@@ -84,12 +84,7 @@ mod tests {
     fn section_413_untying_example() {
         // x=0, y=1 tied in three rankings, untied in one: Borda untied them
         // although a very large majority ties them (the §4.1.3 weakness).
-        let d = data(&[
-            "[{0,1},{2}]",
-            "[{0,1},{2}]",
-            "[{0,1},{2}]",
-            "[{0},{1},{2}]",
-        ]);
+        let d = data(&["[{0,1},{2}]", "[{0,1},{2}]", "[{0,1},{2}]", "[{0},{1},{2}]"]);
         let r = BordaCount.run(&d, &mut AlgoContext::seeded(0));
         assert_ne!(
             r.bucket_of(crate::Element(0)),

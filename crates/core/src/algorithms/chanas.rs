@@ -6,7 +6,7 @@
 //! permutes two consecutive elements. `Chanas` follows the original
 //! SORT / REVERSE / SORT scheme: run adjacent-swap passes to a local
 //! optimum, reverse the permutation, re-sort, and keep going while the
-//! cost improves. `ChanasBoth` (our reading of [13]) additionally sweeps
+//! cost improves. `ChanasBoth` (our reading of \[13\]) additionally sweeps
 //! in both directions inside the sort procedure before considering a
 //! reversal.
 //!
@@ -203,7 +203,11 @@ mod tests {
 
     #[test]
     fn adjacent_swap_pass_is_monotone() {
-        let d = data(&["[{0},{1},{2},{3},{4}]", "[{4},{3},{2},{1},{0}]", "[{2},{0},{4},{1},{3}]"]);
+        let d = data(&[
+            "[{0},{1},{2},{3},{4}]",
+            "[{4},{3},{2},{1},{0}]",
+            "[{2},{0},{4},{1},{3}]",
+        ]);
         let pairs = PairTable::build(&d);
         let mut perm: Vec<Element> = (0..5).map(Element).collect();
         let before = perm_score(&perm, &pairs);

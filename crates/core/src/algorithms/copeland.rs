@@ -101,9 +101,16 @@ mod tests {
     #[test]
     fn agrees_with_borda_on_permutations() {
         // On tie-free inputs the two positional scores are complementary.
-        let d = data(&["[{0},{1},{2},{3}]", "[{2},{0},{3},{1}]", "[{1},{3},{0},{2}]"]);
+        let d = data(&[
+            "[{0},{1},{2},{3}]",
+            "[{2},{0},{3},{1}]",
+            "[{1},{3},{0},{2}]",
+        ]);
         let mut ctx = AlgoContext::seeded(0);
-        assert_eq!(CopelandMethod.run(&d, &mut ctx), BordaCount.run(&d, &mut ctx));
+        assert_eq!(
+            CopelandMethod.run(&d, &mut ctx),
+            BordaCount.run(&d, &mut ctx)
+        );
     }
 
     #[test]

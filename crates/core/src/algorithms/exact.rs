@@ -73,9 +73,8 @@ fn safe_blocks_with(pairs: &PairTable, data: &Dataset) -> Vec<Vec<Element>> {
     let mut order: Vec<Element> = (0..n as u32).map(Element).collect();
     order.sort_by_key(|e| (scores[e.index()], e.0));
 
-    let safe_cross = |a: Element, b: Element| {
-        pairs.before(a, b) >= pairs.before(b, a).max(pairs.tied(a, b))
-    };
+    let safe_cross =
+        |a: Element, b: Element| pairs.before(a, b) >= pairs.before(b, a).max(pairs.tied(a, b));
     // ok_after[k] = the split between order[..=k] and order[k+1..] is safe.
     // Incremental check: a split is safe iff every cross pair is; walk
     // splits left to right keeping the set of "open" unsafe pairs would be
@@ -104,12 +103,7 @@ fn restrict_dataset(data: &Dataset, block: &[Element]) -> Dataset {
                 .buckets()
                 .map(|b| {
                     b.iter()
-                        .filter_map(|e| {
-                            block
-                                .binary_search(e)
-                                .ok()
-                                .map(|i| Element(i as u32))
-                        })
+                        .filter_map(|e| block.binary_search(e).ok().map(|i| Element(i as u32)))
                         .collect::<Vec<_>>()
                 })
                 .filter(|b: &Vec<Element>| !b.is_empty())
@@ -498,11 +492,7 @@ impl ExactLpb {
             }
         }
 
-        let binaries: Vec<Var> = lt
-            .iter()
-            .chain(eq.iter())
-            .filter_map(|v| *v)
-            .collect();
+        let binaries: Vec<Var> = lt.iter().chain(eq.iter()).filter_map(|v| *v).collect();
         let sol = p
             .solve_binary(&binaries, &BnbOptions::default())
             .expect("the LPB always has a feasible point (any ranking)");
@@ -651,8 +641,7 @@ mod tests {
                     // Random bucket order: random bucket index per element,
                     // then compacted.
                     loop {
-                        let idx: Vec<u32> =
-                            (0..n).map(|_| rng.random_range(0..n as u32)).collect();
+                        let idx: Vec<u32> = (0..n).map(|_| rng.random_range(0..n as u32)).collect();
                         let mut used: Vec<u32> = idx.clone();
                         used.sort_unstable();
                         used.dedup();
@@ -680,7 +669,11 @@ mod tests {
     #[test]
     fn exact_beats_or_matches_every_heuristic() {
         use crate::algorithms::paper_algorithms;
-        let d = data(&["[{0},{1,2},{3},{4}]", "[{4},{1},{0,2,3}]", "[{2},{0},{1},{3,4}]"]);
+        let d = data(&[
+            "[{0},{1,2},{3},{4}]",
+            "[{4},{1},{0,2,3}]",
+            "[{2},{0},{1},{3,4}]",
+        ]);
         let mut ctx = AlgoContext::seeded(5);
         let (_, opt, proved) = ExactAlgorithm::default().solve(&d, &mut ctx);
         assert!(proved);

@@ -177,14 +177,12 @@ mod tests {
         let small = FaginDyn::small().run(&d, &mut AlgoContext::seeded(0));
         let perm: Vec<Element> = small.elements().collect();
         assert!(
-            kemeny_score(&small, &d)
-                <= kemeny_score(&Ranking::permutation(&perm).unwrap(), &d)
+            kemeny_score(&small, &d) <= kemeny_score(&Ranking::permutation(&perm).unwrap(), &d)
         );
         let large = FaginDyn::large().run(&d, &mut AlgoContext::seeded(0));
         let elems: Vec<Element> = large.elements().collect();
         assert!(
-            kemeny_score(&large, &d)
-                <= kemeny_score(&Ranking::single_bucket(elems).unwrap(), &d)
+            kemeny_score(&large, &d) <= kemeny_score(&Ranking::single_bucket(elems).unwrap(), &d)
         );
         // And Large never uses more buckets than Small on the same data.
         assert!(large.n_buckets() <= small.n_buckets());

@@ -163,7 +163,11 @@ mod tests {
         let d = data(&["[{3},{1},{0},{2}]", "[{3},{1},{0},{2}]"]);
         for seed in 0..5 {
             let r = KwikSort.run(&d, &mut AlgoContext::seeded(seed));
-            assert_eq!(r, parse_ranking("[{3},{1},{0},{2}]").unwrap(), "seed {seed}");
+            assert_eq!(
+                r,
+                parse_ranking("[{3},{1},{0},{2}]").unwrap(),
+                "seed {seed}"
+            );
         }
     }
 

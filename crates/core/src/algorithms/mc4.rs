@@ -109,7 +109,10 @@ impl ConsensusAlgorithm for Mc4 {
             if new_bucket {
                 buckets.push(Vec::new());
             }
-            buckets.last_mut().expect("just pushed").push(Element(id as u32));
+            buckets
+                .last_mut()
+                .expect("just pushed")
+                .push(Element(id as u32));
         }
         Ranking::from_buckets(buckets).expect("grouping is a valid ranking")
     }

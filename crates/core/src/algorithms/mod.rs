@@ -3,7 +3,11 @@
 //! Every algorithm the paper re-implemented and evaluated (bold rows of
 //! Table 1) is available through [`paper_algorithms`]; the remaining rows
 //! (Chanas, ChanasBoth, BnB, MC4) plus a classic pairwise Copeland are
-//! implemented as extensions in [`extended_algorithms`].
+//! implemented as extensions in [`extended_algorithms`]. Both panels are
+//! thin named presets over the typed [`crate::engine`] registry
+//! ([`crate::engine::AlgoSpec`]); new callers should prefer the engine's
+//! request/report API and treat [`ConsensusAlgorithm`] as the internal
+//! kernel trait it now is.
 //!
 //! | Name | Class | Produces ties | Module |
 //! |------|-------|---------------|--------|
@@ -53,31 +57,32 @@ pub mod repeat_choice;
 
 use crate::dataset::Dataset;
 use crate::element::Element;
+use crate::engine::{AlgoSpec, ExecPolicy};
 use crate::pairs::CostMatrix;
 use crate::parallel;
 use crate::ranking::Ranking;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-/// Outcome flags + matrix cache shared by a context and all its workers.
+/// Outcome flags shared by a context and all its workers — but, unlike
+/// the pre-engine `SharedCtx`, *not* by sibling requests: the engine gives
+/// every request its own flags while sharing only the [`MatrixCache`], so
+/// one request's timeout can never be mis-attributed to a neighbour.
 #[derive(Debug, Default)]
-struct SharedCtx {
+struct OutcomeFlags {
     /// Set by an algorithm that had to stop early.
     timed_out: AtomicBool,
     /// Set by exact solvers when optimality was *proved* (not just a best
     /// incumbent found).
     proved_optimal: AtomicBool,
-    /// Cost matrices built so far, keyed by dataset content fingerprint
-    /// (bounded FIFO; see [`AlgoContext::cost_matrix`]).
-    matrices: Mutex<Vec<(MatrixKey, Arc<CostMatrix>)>>,
 }
 
 /// Cache key: dataset shape plus a 128-bit content fingerprint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct MatrixKey {
+pub(crate) struct MatrixKey {
     n: usize,
     m: usize,
     fp: (u64, u64),
@@ -86,7 +91,7 @@ struct MatrixKey {
 impl MatrixKey {
     /// `O(m·n)` content fingerprint over every ranking's position vector —
     /// cheap next to the `O(m·n²)` build it guards against repeating.
-    fn of(data: &Dataset) -> Self {
+    pub(crate) fn of(data: &Dataset) -> Self {
         let mut h1 = 0x9E37_79B9_7F4A_7C15u64;
         let mut h2 = 0xC2B2_AE3D_27D4_EB4Fu64;
         let mut absorb = |v: u64| {
@@ -116,9 +121,74 @@ fn mix(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Matrices kept per context family before FIFO eviction (the exact
-/// solver's block decomposition touches several small sub-datasets).
+/// Matrices kept per cache before FIFO eviction (the exact solver's block
+/// decomposition touches several small sub-datasets; the engine's serving
+/// traffic rotates through recent datasets).
 const MATRIX_CACHE_CAP: usize = 8;
+
+/// A fingerprint-keyed cache of built [`CostMatrix`]es, shareable across
+/// contexts.
+///
+/// Every [`AlgoContext`] owns (an `Arc` to) one of these; a context and
+/// all its [`AlgoContext::worker`]s share it, and the engine
+/// ([`crate::engine::Engine`]) threads a single cache through *every*
+/// request it serves, so concurrent requests over the same dataset pay for
+/// at most one `O(m·n²)` build between them. Bounded FIFO eviction (8
+/// entries).
+#[derive(Debug, Default)]
+pub struct MatrixCache {
+    matrices: Mutex<Vec<(MatrixKey, Arc<CostMatrix>)>>,
+    /// Builds actually performed (observability: cache hits don't count).
+    builds: AtomicUsize,
+}
+
+impl MatrixCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        MatrixCache::default()
+    }
+
+    /// The dataset's cost matrix, building it on first use.
+    ///
+    /// The cache lock is held across the build on purpose: when many
+    /// concurrent requests ask for the same dataset, exactly one pays the
+    /// `O(m·n²)` build and the rest block briefly and then share it.
+    pub fn get(&self, data: &Dataset) -> Arc<CostMatrix> {
+        let key = MatrixKey::of(data);
+        let mut cache = self.matrices.lock().expect("matrix cache poisoned");
+        if let Some((_, matrix)) = cache.iter().find(|(k, _)| *k == key) {
+            return Arc::clone(matrix);
+        }
+        let matrix = Arc::new(CostMatrix::build(data));
+        self.builds.fetch_add(1, Ordering::Relaxed);
+        if cache.len() >= MATRIX_CACHE_CAP {
+            cache.remove(0);
+        }
+        cache.push((key, Arc::clone(&matrix)));
+        matrix
+    }
+
+    /// How many `O(m·n²)` builds this cache has actually performed.
+    pub fn builds(&self) -> usize {
+        self.builds.load(Ordering::Relaxed)
+    }
+
+    /// Matrices currently resident.
+    pub fn len(&self) -> usize {
+        self.matrices.lock().expect("matrix cache poisoned").len()
+    }
+
+    /// Whether the cache holds no matrices yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The cache key for `data` (dataset shape + content fingerprint) —
+    /// what the engine groups batch requests by.
+    pub(crate) fn fingerprint(data: &Dataset) -> MatrixKey {
+        MatrixKey::of(data)
+    }
+}
 
 /// Per-run context: seeded randomness, optional deadline, outcome flags,
 /// and the shared cost-matrix cache.
@@ -136,17 +206,29 @@ pub struct AlgoContext {
     pub deadline: Option<Instant>,
     /// Seed this context's RNG (and its workers' streams) derive from.
     seed: u64,
-    shared: Arc<SharedCtx>,
+    /// Outcome flags shared with this context's workers only.
+    flags: Arc<OutcomeFlags>,
+    /// Cost-matrix cache — possibly shared much wider (engine-wide).
+    cache: Arc<MatrixCache>,
 }
 
 impl AlgoContext {
-    /// A context with a seeded RNG and no deadline.
+    /// A context with a seeded RNG, no deadline, and a private matrix
+    /// cache.
     pub fn seeded(seed: u64) -> Self {
+        AlgoContext::with_cache(seed, Arc::new(MatrixCache::new()))
+    }
+
+    /// A context with a seeded RNG and an externally shared matrix cache —
+    /// how the engine gives every request its own outcome flags while all
+    /// requests reuse one set of cost-matrix builds.
+    pub fn with_cache(seed: u64, cache: Arc<MatrixCache>) -> Self {
         AlgoContext {
             rng: StdRng::seed_from_u64(seed),
             deadline: None,
             seed,
-            shared: Arc::new(SharedCtx::default()),
+            flags: Arc::new(OutcomeFlags::default()),
+            cache,
         }
     }
 
@@ -173,28 +255,20 @@ impl AlgoContext {
             rng: StdRng::seed_from_u64(worker_seed),
             deadline: self.deadline,
             seed: worker_seed,
-            shared: Arc::clone(&self.shared),
+            flags: Arc::clone(&self.flags),
+            cache: Arc::clone(&self.cache),
         }
     }
 
     /// The dataset's shared cost matrix, building it on first use.
     ///
-    /// Matrices are cached per context *family* (a context and all its
-    /// [`Self::worker`]s), keyed by dataset content, so `BestOf(BioConsert)`
-    /// and the exact solver's incumbent heuristics all reuse one build
-    /// instead of paying `O(m·n²)` per invocation.
+    /// Matrices are cached in this context's [`MatrixCache`] — shared by
+    /// its whole [`Self::worker`] family, and (under the engine) by every
+    /// concurrent request — so `BestOf(BioConsert)` and the exact solver's
+    /// incumbent heuristics all reuse one build instead of paying
+    /// `O(m·n²)` per invocation.
     pub fn cost_matrix(&self, data: &Dataset) -> Arc<CostMatrix> {
-        let key = MatrixKey::of(data);
-        let mut cache = self.shared.matrices.lock().expect("matrix cache poisoned");
-        if let Some((_, matrix)) = cache.iter().find(|(k, _)| *k == key) {
-            return Arc::clone(matrix);
-        }
-        let matrix = Arc::new(CostMatrix::build(data));
-        if cache.len() >= MATRIX_CACHE_CAP {
-            cache.remove(0);
-        }
-        cache.push((key, Arc::clone(&matrix)));
-        matrix
+        self.cache.get(data)
     }
 
     /// `true` (and records the timeout) once the deadline has passed.
@@ -202,7 +276,7 @@ impl AlgoContext {
     pub fn expired(&self) -> bool {
         if let Some(d) = self.deadline {
             if Instant::now() >= d {
-                self.shared.timed_out.store(true, Ordering::Relaxed);
+                self.flags.timed_out.store(true, Ordering::Relaxed);
                 return true;
             }
         }
@@ -212,31 +286,31 @@ impl AlgoContext {
     /// Whether any worker of this run stopped early.
     #[inline]
     pub fn timed_out(&self) -> bool {
-        self.shared.timed_out.load(Ordering::Relaxed)
+        self.flags.timed_out.load(Ordering::Relaxed)
     }
 
     /// Record an early stop (deadline, size cap, "no result").
     #[inline]
     pub fn set_timed_out(&self) {
-        self.shared.timed_out.store(true, Ordering::Relaxed);
+        self.flags.timed_out.store(true, Ordering::Relaxed);
     }
 
     /// Whether an exact solver *proved* optimality this run.
     #[inline]
     pub fn proved_optimal(&self) -> bool {
-        self.shared.proved_optimal.load(Ordering::Relaxed)
+        self.flags.proved_optimal.load(Ordering::Relaxed)
     }
 
     /// Record whether optimality was proved.
     #[inline]
     pub fn set_proved_optimal(&self, proved: bool) {
-        self.shared.proved_optimal.store(proved, Ordering::Relaxed);
+        self.flags.proved_optimal.store(proved, Ordering::Relaxed);
     }
 
     /// Clear the per-run outcome flags (harnesses reuse contexts).
     pub fn reset_flags(&self) {
-        self.shared.timed_out.store(false, Ordering::Relaxed);
-        self.shared.proved_optimal.store(false, Ordering::Relaxed);
+        self.flags.timed_out.store(false, Ordering::Relaxed);
+        self.flags.proved_optimal.store(false, Ordering::Relaxed);
     }
 }
 
@@ -361,7 +435,7 @@ pub(crate) fn ranking_from_scores<T: Ord + Copy>(scores: &[T], ascending: bool) 
 /// repeat count (the paper used "a large number of runs"; the harness
 /// default is 20).
 pub fn paper_algorithms(min_runs: usize) -> Vec<Box<dyn ConsensusAlgorithm>> {
-    paper_panel(min_runs, false)
+    build_panel(crate::engine::paper_panel(min_runs), ExecPolicy::Parallel)
 }
 
 /// [`paper_algorithms`] with every multi-start member pinned to its
@@ -375,50 +449,23 @@ pub fn paper_algorithms(min_runs: usize) -> Vec<Box<dyn ConsensusAlgorithm>> {
 /// [`CostMatrix::build_with_threads`]`(data, 1)` if a future experiment
 /// crosses it and needs strictly single-threaded seconds.
 pub fn paper_algorithms_sequential(min_runs: usize) -> Vec<Box<dyn ConsensusAlgorithm>> {
-    paper_panel(min_runs, true)
+    build_panel(crate::engine::paper_panel(min_runs), ExecPolicy::Sequential)
 }
 
-fn paper_panel(min_runs: usize, sequential: bool) -> Vec<Box<dyn ConsensusAlgorithm>> {
-    let best_of = |base: Box<dyn ConsensusAlgorithm>, name: &str| {
-        let mut wrapper = BestOf::new(base, min_runs, name);
-        wrapper.force_sequential = sequential;
-        Box::new(wrapper)
-    };
-    vec![
-        Box::new(ailon::AilonThreeHalves::default()),
-        Box::new(bioconsert::BioConsert {
-            force_sequential: sequential,
-            ..bioconsert::BioConsert::default()
-        }),
-        Box::new(borda::BordaCount),
-        Box::new(copeland::CopelandMethod),
-        Box::new(fagin::FaginDyn::large()),
-        Box::new(fagin::FaginDyn::small()),
-        Box::new(kwiksort::KwikSort),
-        best_of(Box::new(kwiksort::KwikSort), "KwikSortMin"),
-        Box::new(medrank::MedRank::new(0.5)),
-        Box::new(medrank::MedRank::new(0.7)),
-        Box::new(pick_a_perm::PickAPerm),
-        Box::new(repeat_choice::RepeatChoice),
-        best_of(Box::new(repeat_choice::RepeatChoice), "RepeatChoiceMin"),
-    ]
+/// Instantiate every spec of a panel under one execution policy.
+fn build_panel(specs: Vec<AlgoSpec>, policy: ExecPolicy) -> Vec<Box<dyn ConsensusAlgorithm>> {
+    specs.iter().map(|s| s.build(policy)).collect()
 }
 
 /// The exact solver (reported as "ExactAlgorithm"/"ExactSolution" in the
 /// paper's figures).
 pub fn exact_algorithm() -> Box<dyn ConsensusAlgorithm> {
-    Box::new(exact::ExactAlgorithm::default())
+    AlgoSpec::Exact.build(ExecPolicy::Parallel)
 }
 
 /// Non-bold Table 1 rows, implemented as extensions (see DESIGN.md §7).
 pub fn extended_algorithms() -> Vec<Box<dyn ConsensusAlgorithm>> {
-    vec![
-        Box::new(chanas::Chanas),
-        Box::new(chanas::ChanasBoth),
-        Box::new(bnb::BranchAndBound::default()),
-        Box::new(mc4::Mc4::default()),
-        Box::new(copeland::CopelandPairwise),
-    ]
+    build_panel(crate::engine::extended_panel(), ExecPolicy::Parallel)
 }
 
 #[cfg(test)]
@@ -515,7 +562,10 @@ mod tests {
         let ctx = AlgoContext::seeded(0);
         let m1 = ctx.cost_matrix(&d1);
         let m1b = ctx.cost_matrix(&d1_copy);
-        assert!(Arc::ptr_eq(&m1, &m1b), "content-equal datasets share one build");
+        assert!(
+            Arc::ptr_eq(&m1, &m1b),
+            "content-equal datasets share one build"
+        );
         let m2 = ctx.cost_matrix(&d2);
         assert!(!Arc::ptr_eq(&m1, &m2));
         // Workers see the same cache.

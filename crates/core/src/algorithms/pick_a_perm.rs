@@ -57,7 +57,11 @@ mod tests {
     fn returns_the_minimal_cost_input() {
         // r0 and r1 are close; r2 is their reversal — the winner must be
         // r0 or r1, never r2.
-        let d = data(&["[{0},{1},{2},{3}]", "[{0},{1},{3},{2}]", "[{3},{2},{1},{0}]"]);
+        let d = data(&[
+            "[{0},{1},{2},{3}]",
+            "[{0},{1},{3},{2}]",
+            "[{3},{2},{1},{0}]",
+        ]);
         let r = PickAPerm.run(&d, &mut AlgoContext::seeded(0));
         let score = kemeny_score(&r, &d);
         for input in d.rankings() {

@@ -117,7 +117,11 @@ mod tests {
         let d = data(&["[{0,1},{2}]", "[{2},{0,1}]", "[{0,1,2}]"]);
         for seed in 0..10 {
             let r = RepeatChoice.run(&d, &mut AlgoContext::seeded(seed));
-            assert_eq!(r.bucket_of(Element(0)), r.bucket_of(Element(1)), "seed {seed}");
+            assert_eq!(
+                r.bucket_of(Element(0)),
+                r.bucket_of(Element(1)),
+                "seed {seed}"
+            );
         }
     }
 

@@ -131,7 +131,11 @@ pub fn pair_counts(r: &Ranking, s: &Ranking) -> PairCounts {
         // Cross pairs against all previously inserted (strictly smaller pr).
         for &(_, ps) in &items[i..j] {
             let le = bit.prefix(ps as usize);
-            let lt = if ps == 0 { 0 } else { bit.prefix(ps as usize - 1) };
+            let lt = if ps == 0 {
+                0
+            } else {
+                bit.prefix(ps as usize - 1)
+            };
             let eq = le - lt;
             c.concordant += lt;
             c.s_tied_only += eq;
@@ -307,7 +311,7 @@ mod tests {
         assert_eq!(c.total(), 10);
         assert_eq!(c.both_tied, 1); // {3,4}
         assert_eq!(c.r_tied_only, 1); // {0,1}
-        // {0,2} and {1,2} are inverted.
+                                      // {0,2} and {1,2} are inverted.
         assert_eq!(c.discordant, 2);
         assert_eq!(c.s_tied_only, 0);
         assert_eq!(c.concordant, 6);
@@ -321,7 +325,10 @@ mod tests {
         let g = generalized_kendall_tau(&a, &b);
         assert_eq!(weighted_generalized(&a, &b, 1.0, 1.0), g as f64);
         // Zero tie cost = classical distance.
-        assert_eq!(weighted_generalized(&a, &b, 1.0, 0.0), kendall_tau(&a, &b) as f64);
+        assert_eq!(
+            weighted_generalized(&a, &b, 1.0, 0.0),
+            kendall_tau(&a, &b) as f64
+        );
     }
 
     #[test]

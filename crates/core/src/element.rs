@@ -105,8 +105,14 @@ mod tests {
     #[test]
     fn intern_is_idempotent_and_dense() {
         let mut u = Universe::new();
-        let ids: Vec<Element> = ["x", "y", "z", "y", "x"].iter().map(|s| u.intern(s)).collect();
-        assert_eq!(ids, vec![Element(0), Element(1), Element(2), Element(1), Element(0)]);
+        let ids: Vec<Element> = ["x", "y", "z", "y", "x"]
+            .iter()
+            .map(|s| u.intern(s))
+            .collect();
+        assert_eq!(
+            ids,
+            vec![Element(0), Element(1), Element(2), Element(1), Element(0)]
+        );
         assert_eq!(u.len(), 3);
     }
 

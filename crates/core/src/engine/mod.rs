@@ -1,0 +1,265 @@
+//! The aggregation engine: a request/report serving layer over the
+//! consensus kernels.
+//!
+//! Earlier revisions exposed the algorithm suite as research-script
+//! plumbing: callers string-matched
+//! [`ConsensusAlgorithm::name`](crate::algorithms::ConsensusAlgorithm::name)
+//! against hard-coded panel vectors and read outcomes back out of shared
+//! atomic flags on [`AlgoContext`] — which mis-attributed timeouts whenever
+//! several algorithms shared one context family. This module is the
+//! production front door replacing that (DESIGN.md §8):
+//!
+//! * [`AlgoSpec`] — typed, parse/display round-trippable algorithm names
+//!   backed by a constructor [`registry`];
+//! * [`AggregationRequest`] / [`ConsensusReport`] — everything a run needs
+//!   in, everything it learned out (ranking, Kemeny score, gap, elapsed
+//!   time, a per-request [`Outcome`], the spec and seed for provenance);
+//! * [`Engine`] — [`Engine::run`] for one request, [`Engine::run_batch`]
+//!   for concurrent execution of many requests over one shared
+//!   fingerprint-keyed cost-matrix cache and a bounded worker pool.
+//!
+//! # Quick example
+//!
+//! ```
+//! use rank_core::engine::{AggregationRequest, AlgoSpec, Engine, Outcome};
+//! use rank_core::{Dataset, Ranking};
+//!
+//! // The paper's §2.2 running example; its optimal consensus scores 5.
+//! let data = Dataset::new(vec![
+//!     Ranking::from_slices(&[&[0], &[3], &[1, 2]]).unwrap(),
+//!     Ranking::from_slices(&[&[0], &[1, 2], &[3]]).unwrap(),
+//!     Ranking::from_slices(&[&[3], &[0, 2], &[1]]).unwrap(),
+//! ])
+//! .unwrap();
+//!
+//! let engine = Engine::new();
+//! let report = engine.run(&AggregationRequest::new(data, AlgoSpec::Exact));
+//! assert_eq!(report.score, 5);
+//! assert_eq!(report.outcome, Outcome::Optimal);
+//! ```
+
+pub mod request;
+pub mod spec;
+
+pub use request::{AggregationRequest, BatchBuilder, Normalization};
+pub use spec::{
+    extended_panel, full_panel, paper_panel, registry, suggest, AlgoEntry, AlgoSpec, ExecPolicy,
+    SpecErrorKind, SpecParseError, DEFAULT_MIN_RUNS,
+};
+
+use crate::algorithms::{AlgoContext, MatrixCache};
+use crate::parallel;
+use crate::ranking::Ranking;
+use crate::score;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How a request ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// The result was *proved* optimal (exact solver within budget).
+    Optimal,
+    /// A best-effort heuristic result, completed within budget.
+    Heuristic,
+    /// The run hit its budget (or an internal cap) and returned its best
+    /// incumbent — the paper reports these as "no result".
+    TimedOut,
+}
+
+impl Outcome {
+    /// Whether the run produced a within-budget result (the paper's
+    /// tables count `TimedOut` as "no result").
+    pub fn completed(&self) -> bool {
+        !matches!(self, Outcome::TimedOut)
+    }
+}
+
+impl std::fmt::Display for Outcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Outcome::Optimal => write!(f, "optimal"),
+            Outcome::Heuristic => write!(f, "heuristic"),
+            Outcome::TimedOut => write!(f, "timed out"),
+        }
+    }
+}
+
+/// Everything one request's run produced.
+#[derive(Debug, Clone)]
+pub struct ConsensusReport {
+    /// The spec that ran (provenance).
+    pub spec: AlgoSpec,
+    /// The consensus ranking.
+    pub ranking: Ranking,
+    /// Generalized Kemeny score of `ranking` against the request dataset.
+    pub score: u64,
+    /// Gap to the batch's reference score (proven optimum when one exists
+    /// in the batch, otherwise the best score any batch member achieved —
+    /// the paper's m-gap, §6.2.3). `None` for a lone [`Engine::run`] with
+    /// nothing to compare against.
+    pub gap: Option<f64>,
+    /// Wall-clock time of this run.
+    pub elapsed: Duration,
+    /// Per-request outcome — never contaminated by sibling requests.
+    pub outcome: Outcome,
+    /// Seed the run used (provenance; same seed + spec ⇒ same report).
+    pub seed: u64,
+}
+
+impl ConsensusReport {
+    /// The algorithm's display name as the paper's tables spell it.
+    pub fn algorithm(&self) -> String {
+        self.spec.paper_name()
+    }
+}
+
+/// FNV-1a over a spec name; decorrelates per-algorithm RNG streams within
+/// a batch that shares one seed.
+fn hash_name(name: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// A long-lived aggregation engine: a shared fingerprint-keyed cost-matrix
+/// cache plus a bounded worker pool for batches.
+///
+/// The engine is the multi-tenant serving path: many requests — over the
+/// same dataset or different ones — run concurrently, each with its *own*
+/// outcome flags (so one request's timeout can never leak into a
+/// neighbour's report) while `O(m·n²)` cost-matrix builds are shared
+/// through [`MatrixCache`], at most one build per distinct dataset.
+#[derive(Debug, Default)]
+pub struct Engine {
+    cache: Arc<MatrixCache>,
+    workers: usize,
+}
+
+impl Engine {
+    /// An engine with the default worker-pool width
+    /// ([`parallel::num_threads`]).
+    pub fn new() -> Self {
+        Engine::with_workers(parallel::num_threads())
+    }
+
+    /// An engine whose batches use at most `workers` concurrent requests
+    /// (`0` and `1` both mean sequential).
+    pub fn with_workers(workers: usize) -> Self {
+        Engine {
+            cache: Arc::new(MatrixCache::new()),
+            workers: workers.max(1),
+        }
+    }
+
+    /// The engine's shared cost-matrix cache (observability: its
+    /// [`MatrixCache::builds`] counter tells how many `O(m·n²)` builds the
+    /// traffic so far has actually paid for).
+    pub fn cache(&self) -> &MatrixCache {
+        &self.cache
+    }
+
+    /// Execute one request.
+    ///
+    /// The run gets fresh outcome flags and a worker RNG stream derived
+    /// from `(request seed, spec paper name)`, so — without a budget — the
+    /// report is a pure function of the request, bit-identical however
+    /// many other requests run concurrently.
+    pub fn run(&self, request: &AggregationRequest) -> ConsensusReport {
+        let base = AlgoContext::with_cache(request.seed, Arc::clone(&self.cache));
+        let mut ctx = base.worker(hash_name(&request.spec.paper_name()));
+        let matrix = ctx.cost_matrix(&request.dataset);
+        let algo = request.spec.build(request.policy);
+        if let Some(budget) = request.budget {
+            ctx.deadline = Some(Instant::now() + budget);
+        }
+        let start = Instant::now();
+        let ranking = algo.run(&request.dataset, &mut ctx);
+        let elapsed = start.elapsed();
+        debug_assert!(request.dataset.is_complete_ranking(&ranking));
+        let score = matrix.score(&ranking);
+        let outcome = if ctx.timed_out() {
+            Outcome::TimedOut
+        } else if ctx.proved_optimal() {
+            Outcome::Optimal
+        } else {
+            Outcome::Heuristic
+        };
+        ConsensusReport {
+            spec: request.spec.clone(),
+            ranking,
+            score,
+            gap: if outcome == Outcome::Optimal {
+                Some(0.0)
+            } else {
+                None
+            },
+            elapsed,
+            outcome,
+            seed: request.seed,
+        }
+    }
+
+    /// Execute a batch of requests concurrently on the bounded worker
+    /// pool, one [`ConsensusReport`] per request, in request order.
+    ///
+    /// Requests over the same dataset share a single cost-matrix build
+    /// through the engine cache. After the runs, each report's
+    /// [`ConsensusReport::gap`] is filled in against its dataset's
+    /// reference score: a proven optimum when some batch member proved
+    /// one, otherwise the best score achieved (m-gap).
+    pub fn run_batch(&self, requests: &[AggregationRequest]) -> Vec<ConsensusReport> {
+        let mut reports =
+            parallel::par_map_slice(requests, self.workers.min(requests.len()), |_, req| {
+                self.run(req)
+            });
+        // Gap pass: group requests by dataset content fingerprint (the
+        // same key the matrix cache uses), so a mixed-dataset batch gets
+        // one reference per dataset.
+        let keys: Vec<_> = requests
+            .iter()
+            .map(|r| MatrixCache::fingerprint(&r.dataset))
+            .collect();
+        let mut seen: Vec<_> = Vec::new();
+        for key in &keys {
+            if seen.contains(key) {
+                continue;
+            }
+            seen.push(*key);
+            let members: Vec<usize> = (0..keys.len()).filter(|&i| keys[i] == *key).collect();
+            let proved = members
+                .iter()
+                .filter(|&&i| reports[i].outcome == Outcome::Optimal)
+                .map(|&i| reports[i].score)
+                .min();
+            // Without a proven optimum, the m-gap reference is the best
+            // score any member achieved — *including* timed-out
+            // incumbents, so the reference is a true lower bound of the
+            // group and no gap can come out negative.
+            let reference = proved.unwrap_or_else(|| {
+                members
+                    .iter()
+                    .map(|&i| reports[i].score)
+                    .min()
+                    .expect("group is non-empty")
+            });
+            for &i in &members {
+                let report = &mut reports[i];
+                // The paper counts timed-out runs as "no result": their
+                // incumbent score is reported but not gap-ranked. A zero
+                // reference with a nonzero score would make the gap
+                // infinite; leave it undefined instead of panicking.
+                report.gap = if !report.outcome.completed() {
+                    None
+                } else if reference == 0 {
+                    (report.score == 0).then_some(0.0)
+                } else {
+                    Some(score::gap(report.score, reference))
+                };
+            }
+        }
+        reports
+    }
+}

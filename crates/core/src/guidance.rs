@@ -141,12 +141,18 @@ mod tests {
 
     #[test]
     fn quality_small_uses_exact() {
-        assert_eq!(recommend(&features(10, false), Priority::Quality).algorithm, "ExactAlgorithm");
+        assert_eq!(
+            recommend(&features(10, false), Priority::Quality).algorithm,
+            "ExactAlgorithm"
+        );
     }
 
     #[test]
     fn quality_medium_uses_bioconsert() {
-        assert_eq!(recommend(&features(500, false), Priority::Quality).algorithm, "BioConsert");
+        assert_eq!(
+            recommend(&features(500, false), Priority::Quality).algorithm,
+            "BioConsert"
+        );
     }
 
     #[test]
@@ -159,8 +165,14 @@ mod tests {
 
     #[test]
     fn speed_depends_on_ties() {
-        assert_eq!(recommend(&features(100, true), Priority::Speed).algorithm, "MEDRank(0.5)");
-        assert_eq!(recommend(&features(100, false), Priority::Speed).algorithm, "BordaCount");
+        assert_eq!(
+            recommend(&features(100, true), Priority::Speed).algorithm,
+            "MEDRank(0.5)"
+        );
+        assert_eq!(
+            recommend(&features(100, false), Priority::Speed).algorithm,
+            "BordaCount"
+        );
     }
 
     #[test]

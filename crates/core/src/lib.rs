@@ -17,13 +17,18 @@
 //! * **Exact solver** — the paper's linear pseudo-boolean formulation (§4.2)
 //!   on top of the `lpsolve` crate, a native branch-and-bound that is much
 //!   faster, and a brute-force enumerator for cross-validation.
+//! * **Engine** — the serving front door ([`engine`]): typed algorithm
+//!   specs ([`engine::AlgoSpec`]), an [`engine::AggregationRequest`] /
+//!   [`engine::ConsensusReport`] API with per-request outcomes, and
+//!   concurrent batches over a shared cost-matrix cache
+//!   ([`engine::Engine::run_batch`]).
 //! * **Guidance** — the §7.4 decision rules, as code.
 //!
 //! # Quick example
 //!
 //! ```
-//! use rank_core::{Ranking, Dataset};
-//! use rank_core::algorithms::{bioconsert::BioConsert, AlgoContext, ConsensusAlgorithm};
+//! use rank_core::engine::{AggregationRequest, AlgoSpec, Engine, Outcome};
+//! use rank_core::{Dataset, Ranking};
 //!
 //! // r1 = [{A}, {D}, {B, C}], r2 = [{A}, {B, C}, {D}], r3 = [{D}, {A, C}, {B}]
 //! // with A=0, B=1, C=2, D=3 (the paper's §2.2 running example).
@@ -32,15 +37,22 @@
 //! let r3 = Ranking::from_slices(&[&[3], &[0, 2], &[1]]).unwrap();
 //! let data = Dataset::new(vec![r1, r2, r3]).unwrap();
 //!
-//! let mut ctx = AlgoContext::seeded(42);
-//! let consensus = BioConsert::default().run(&data, &mut ctx);
-//! assert_eq!(rank_core::score::kemeny_score(&consensus, &data), 5);
+//! let engine = Engine::new();
+//! let request = AggregationRequest::new(data, AlgoSpec::BioConsert).with_seed(42);
+//! let report = engine.run(&request);
+//! assert_eq!(report.score, 5);
+//! assert_eq!(report.outcome, Outcome::Heuristic);
 //! ```
+//!
+//! The algorithm kernels remain directly accessible through
+//! [`algorithms::ConsensusAlgorithm`] for callers that need to bypass the
+//! engine (the timing harness does, §6.2.4).
 
 pub mod algorithms;
 pub mod dataset;
 pub mod distance;
 pub mod element;
+pub mod engine;
 pub mod guidance;
 pub mod normalize;
 pub mod pairs;

@@ -216,14 +216,10 @@ mod tests {
     /// The paper's Table 3 raw dataset d_r.
     fn table3() -> (Vec<Ranking>, Universe) {
         let mut u = Universe::new();
-        let raw = [
-            "[{A},{D},{B}]",
-            "[{B},{E,A}]",
-            "[{D},{A,B},{C}]",
-        ]
-        .iter()
-        .map(|l| parse_ranking_labeled(l, &mut u).unwrap())
-        .collect();
+        let raw = ["[{A},{D},{B}]", "[{B},{E,A}]", "[{D},{A,B},{C}]"]
+            .iter()
+            .map(|l| parse_ranking_labeled(l, &mut u).unwrap())
+            .collect();
         (raw, u)
     }
 
@@ -312,9 +308,7 @@ mod tests {
         let denorm = n.denormalize(&consensus);
         assert_eq!(denorm.n_elements(), consensus.n_elements());
         // Re-normalizing the denormalized ranking gives back the original.
-        let back = denorm.map_elements(|e| {
-            Element(n.mapping.binary_search(&e).unwrap() as u32)
-        });
+        let back = denorm.map_elements(|e| Element(n.mapping.binary_search(&e).unwrap() as u32));
         assert_eq!(back.unwrap(), consensus);
     }
 }

@@ -121,14 +121,17 @@ impl CostMatrix {
         } else {
             let threads = threads.min(rankings.len());
             let chunk = rankings.len().div_ceil(threads);
-            let partials: Vec<Vec<u32>> =
-                parallel::par_map_slice(&rankings.chunks(chunk).collect::<Vec<_>>(), threads, |_, slice| {
+            let partials: Vec<Vec<u32>> = parallel::par_map_slice(
+                &rankings.chunks(chunk).collect::<Vec<_>>(),
+                threads,
+                |_, slice| {
                     let mut acc = vec![0u32; 2 * n * n];
                     for r in *slice {
                         accumulate_counts(&mut acc, r, n);
                     }
                     acc
-                });
+                },
+            );
             let mut partials = partials.into_iter();
             let mut acc = partials.next().expect("at least one chunk");
             for p in partials {
@@ -151,7 +154,11 @@ impl CostMatrix {
                 counts[i + 1] = m - counts[i + 1];
             }
         }
-        CostMatrix { n, m, cells: counts }
+        CostMatrix {
+            n,
+            m,
+            cells: counts,
+        }
     }
 
     /// Number of elements.

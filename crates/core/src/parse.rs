@@ -181,10 +181,22 @@ mod tests {
 
     #[test]
     fn syntax_errors_reported() {
-        assert!(matches!(parse_ranking("{0}"), Err(ParseError::Syntax { .. })));
-        assert!(matches!(parse_ranking("[{0}"), Err(ParseError::Syntax { .. })));
-        assert!(matches!(parse_ranking("[{}]"), Err(ParseError::Syntax { .. })));
-        assert!(matches!(parse_ranking("[{0}{1}]"), Err(ParseError::Syntax { .. })));
+        assert!(matches!(
+            parse_ranking("{0}"),
+            Err(ParseError::Syntax { .. })
+        ));
+        assert!(matches!(
+            parse_ranking("[{0}"),
+            Err(ParseError::Syntax { .. })
+        ));
+        assert!(matches!(
+            parse_ranking("[{}]"),
+            Err(ParseError::Syntax { .. })
+        ));
+        assert!(matches!(
+            parse_ranking("[{0}{1}]"),
+            Err(ParseError::Syntax { .. })
+        ));
         assert!(matches!(
             parse_ranking("[{x}]"),
             Err(ParseError::BadNumber { .. })

@@ -64,7 +64,14 @@ impl Ranking {
                 max_id = max_id.max(e.0);
             }
         }
-        let mut pos = vec![ABSENT; if n_elements == 0 { 0 } else { max_id as usize + 1 }];
+        let mut pos = vec![
+            ABSENT;
+            if n_elements == 0 {
+                0
+            } else {
+                max_id as usize + 1
+            }
+        ];
         let mut buckets = buckets;
         for (bi, b) in buckets.iter_mut().enumerate() {
             b.sort_unstable();
@@ -196,7 +203,10 @@ impl Ranking {
     /// # Panics
     /// Panics (returns the constructor error) if `f` maps two elements to
     /// the same id.
-    pub fn map_elements(&self, mut f: impl FnMut(Element) -> Element) -> Result<Ranking, RankingError> {
+    pub fn map_elements(
+        &self,
+        mut f: impl FnMut(Element) -> Element,
+    ) -> Result<Ranking, RankingError> {
         Ranking::from_buckets(
             self.buckets
                 .iter()
@@ -295,11 +305,15 @@ mod tests {
     fn duplicate_rejected_within_and_across_buckets() {
         assert_eq!(
             Ranking::from_slices(&[&[0, 0]]).unwrap_err(),
-            RankingError::DuplicateElement { element: Element(0) }
+            RankingError::DuplicateElement {
+                element: Element(0)
+            }
         );
         assert_eq!(
             Ranking::from_slices(&[&[0], &[1, 0]]).unwrap_err(),
-            RankingError::DuplicateElement { element: Element(0) }
+            RankingError::DuplicateElement {
+                element: Element(0)
+            }
         );
     }
 
@@ -324,7 +338,9 @@ mod tests {
     #[test]
     fn from_bucket_indices_roundtrip() {
         let r = Ranking::from_slices(&[&[1], &[0, 3], &[2]]).unwrap();
-        let indices: Vec<u32> = (0..4).map(|id| r.bucket_of(Element(id)).unwrap() as u32).collect();
+        let indices: Vec<u32> = (0..4)
+            .map(|id| r.bucket_of(Element(id)).unwrap() as u32)
+            .collect();
         let r2 = Ranking::from_bucket_indices(&indices).unwrap();
         assert_eq!(r, r2);
     }
@@ -366,7 +382,10 @@ mod tests {
         let r = Ranking::from_slices(&[&[3], &[0, 2], &[1]]).unwrap();
         let order: Vec<u32> = r.elements().map(|e| e.0).collect();
         assert_eq!(order, vec![3, 0, 2, 1]);
-        assert_eq!(r.support(), vec![Element(0), Element(1), Element(2), Element(3)]);
+        assert_eq!(
+            r.support(),
+            vec![Element(0), Element(1), Element(2), Element(3)]
+        );
     }
 
     #[test]

@@ -112,10 +112,8 @@ pub mod websearch {
                     })
                     .collect();
                 scored.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-                Ranking::permutation(
-                    &scored.iter().map(|&(_, u)| Element(u)).collect::<Vec<_>>(),
-                )
-                .expect("distinct URLs")
+                Ranking::permutation(&scored.iter().map(|&(_, u)| Element(u)).collect::<Vec<_>>())
+                    .expect("distinct URLs")
             })
             .collect()
     }
@@ -177,10 +175,8 @@ pub mod f1 {
                     .map(|&p| (normal(rng, skill[p as usize] as f64, cfg.skill_sigma), p))
                     .collect();
                 scored.sort_by(|a, b| a.partial_cmp(b).expect("finite scores"));
-                Ranking::permutation(
-                    &scored.iter().map(|&(_, p)| Element(p)).collect::<Vec<_>>(),
-                )
-                .expect("distinct pilots")
+                Ranking::permutation(&scored.iter().map(|&(_, p)| Element(p)).collect::<Vec<_>>())
+                    .expect("distinct pilots")
             })
             .collect()
     }
@@ -338,8 +334,14 @@ mod tests {
         }
         let proj = proj_sizes.iter().sum::<f64>() / proj_sizes.len() as f64;
         let unif = unif_sizes.iter().sum::<f64>() / unif_sizes.len() as f64;
-        assert!((15.0..=110.0).contains(&proj), "projected size {proj} (paper 40±20)");
-        assert!((2100.0..=3100.0).contains(&unif), "unified size {unif} (paper 2586±388)");
+        assert!(
+            (15.0..=110.0).contains(&proj),
+            "projected size {proj} (paper 40±20)"
+        );
+        assert!(
+            (2100.0..=3100.0).contains(&unif),
+            "unified size {unif} (paper 2586±388)"
+        );
         // Removal rate ≈ 98.4%.
         let removed = 1.0 - proj / unif;
         assert!(removed > 0.95, "projection removal {removed} (paper 0.984)");
@@ -361,10 +363,19 @@ mod tests {
         }
         proj /= runs as f64;
         unif /= runs as f64;
-        assert!((10.0..=24.0).contains(&proj), "projected {proj} (paper 15.8±8.5)");
-        assert!((27.0..=50.0).contains(&unif), "unified {unif} (paper 38.7±11.4)");
+        assert!(
+            (10.0..=24.0).contains(&proj),
+            "projected {proj} (paper 15.8±8.5)"
+        );
+        assert!(
+            (27.0..=50.0).contains(&unif),
+            "unified {unif} (paper 38.7±11.4)"
+        );
         let removed = 1.0 - proj / unif;
-        assert!((0.28..=0.78).contains(&removed), "removal {removed} (paper 0.53±0.25)");
+        assert!(
+            (0.28..=0.78).contains(&removed),
+            "removal {removed} (paper 0.53±0.25)"
+        );
     }
 
     #[test]
@@ -384,7 +395,10 @@ mod tests {
         let p = projection(&raw).unwrap();
         assert!(p.dataset.n() >= 4, "projection kept {}", p.dataset.n());
         let s = dataset_similarity(&p.dataset);
-        assert!(s > 0.3, "SkiCross projected similarity {s} (Figure 3: ≈0.5)");
+        assert!(
+            s > 0.3,
+            "SkiCross projected similarity {s} (Figure 3: ≈0.5)"
+        );
         let u = unification(&raw).unwrap();
         assert!(u.dataset.n() <= 32);
     }
@@ -402,9 +416,15 @@ mod tests {
             let u = unification(&raw).unwrap();
             assert!((8..=75).contains(&u.dataset.n()), "n = {}", u.dataset.n());
             let s = dataset_similarity(&u.dataset);
-            assert!(s > -0.2, "biomedical similarity {s} should not be adversarial");
+            assert!(
+                s > -0.2,
+                "biomedical similarity {s} should not be adversarial"
+            );
         }
-        assert!(with_ties >= 8, "gene rankings should typically contain ties");
+        assert!(
+            with_ties >= 8,
+            "gene rankings should typically contain ties"
+        );
     }
 
     #[test]

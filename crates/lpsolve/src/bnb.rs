@@ -42,8 +42,7 @@ pub(crate) fn solve_binary(
         }
         nodes += 1;
 
-        let relax = match simplex::solve_with_bounds(p, &lower, &upper, opts.max_pivots_per_node)
-        {
+        let relax = match simplex::solve_with_bounds(p, &lower, &upper, opts.max_pivots_per_node) {
             Ok(s) => s,
             Err(LpError::Infeasible) => continue,
             Err(LpError::Unbounded) => return Err(LpError::Unbounded),

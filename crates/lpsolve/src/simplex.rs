@@ -178,7 +178,16 @@ pub(crate) fn solve_with_bounds_deadline(
                 }
             }
         }
-        run(&mut a, &mut obj, &mut basis, m, w, &enterable, &mut pivots_left, deadline)?;
+        run(
+            &mut a,
+            &mut obj,
+            &mut basis,
+            m,
+            w,
+            &enterable,
+            &mut pivots_left,
+            deadline,
+        )?;
         // obj[rhs_col] holds -z; feasible iff z ~ 0.
         if obj[rhs_col] < -1e-7 {
             return Err(LpError::Infeasible);
@@ -220,7 +229,16 @@ pub(crate) fn solve_with_bounds_deadline(
             }
         }
     }
-    run(&mut a, &mut obj, &mut basis, m, w, &enterable, &mut pivots_left, deadline)?;
+    run(
+        &mut a,
+        &mut obj,
+        &mut basis,
+        m,
+        w,
+        &enterable,
+        &mut pivots_left,
+        deadline,
+    )?;
 
     // --- Extract ------------------------------------------------------------
     let mut x = vec![0.0f64; n];
@@ -232,8 +250,7 @@ pub(crate) fn solve_with_bounds_deadline(
     for j in 0..n {
         x[j] += lower[j];
     }
-    let objective: f64 =
-        p.obj.iter().zip(&x).map(|(c, v)| c * v).sum::<f64>() + p.obj_constant;
+    let objective: f64 = p.obj.iter().zip(&x).map(|(c, v)| c * v).sum::<f64>() + p.obj_constant;
     Ok(Solution { objective, x })
 }
 
@@ -287,8 +304,7 @@ fn run(
             if aij > TOL {
                 let ratio = a[i * w + rhs_col] / aij;
                 let better = ratio < best_ratio - TOL
-                    || (ratio < best_ratio + TOL
-                        && (row == usize::MAX || basis[i] < basis[row]));
+                    || (ratio < best_ratio + TOL && (row == usize::MAX || basis[i] < basis[row]));
                 if better {
                     best_ratio = ratio;
                     row = i;
@@ -477,8 +493,16 @@ mod tests {
         let x2 = p.add_var(150.0, 0.0, f64::INFINITY);
         let x3 = p.add_var(-0.02, 0.0, f64::INFINITY);
         let x4 = p.add_var(6.0, 0.0, f64::INFINITY);
-        p.add_row(&[(x1, 0.25), (x2, -60.0), (x3, -0.04), (x4, 9.0)], Cmp::Le, 0.0);
-        p.add_row(&[(x1, 0.5), (x2, -90.0), (x3, -0.02), (x4, 3.0)], Cmp::Le, 0.0);
+        p.add_row(
+            &[(x1, 0.25), (x2, -60.0), (x3, -0.04), (x4, 9.0)],
+            Cmp::Le,
+            0.0,
+        );
+        p.add_row(
+            &[(x1, 0.5), (x2, -90.0), (x3, -0.02), (x4, 3.0)],
+            Cmp::Le,
+            0.0,
+        );
         p.add_row(&[(x3, 1.0)], Cmp::Le, 1.0);
         let s = p.solve().unwrap();
         assert_close(s.objective, -0.05);
@@ -506,7 +530,11 @@ mod tests {
             // Optimal point must satisfy every row and the box bounds.
             for (ri, row) in p.rows.iter().enumerate() {
                 let lhs: f64 = row.terms.iter().map(|&(j, c)| c * s.x[j]).sum();
-                assert!(lhs <= row.rhs + 1e-6, "trial {trial} row {ri}: {lhs} > {}", row.rhs);
+                assert!(
+                    lhs <= row.rhs + 1e-6,
+                    "trial {trial} row {ri}: {lhs} > {}",
+                    row.rhs
+                );
             }
             for &v in &s.x {
                 assert!((-1e-9..=1.0 + 1e-9).contains(&v));

@@ -16,10 +16,7 @@ struct BinaryInstance {
 fn instance_strategy() -> impl Strategy<Value = BinaryInstance> {
     (1usize..=6, 0usize..=4).prop_flat_map(|(n, m)| {
         let coef = || prop::collection::vec(-3.0..3.0f64, n);
-        (
-            coef(),
-            prop::collection::vec((coef(), -2.0..6.0f64), m),
-        )
+        (coef(), prop::collection::vec((coef(), -2.0..6.0f64), m))
             .prop_map(|(obj, rows)| BinaryInstance { obj, rows })
     })
 }

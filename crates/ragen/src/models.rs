@@ -67,8 +67,7 @@ impl Mallows {
 
     /// Draw a dataset of `m` independent permutations.
     pub fn dataset(&self, m: usize, rng: &mut StdRng) -> Dataset {
-        Dataset::new((0..m).map(|_| self.sample(rng)).collect())
-            .expect("same dense support")
+        Dataset::new((0..m).map(|_| self.sample(rng)).collect()).expect("same dense support")
     }
 }
 
@@ -127,8 +126,7 @@ impl PlackettLuce {
 
     /// Draw a dataset of `m` independent permutations.
     pub fn dataset(&self, m: usize, rng: &mut StdRng) -> Dataset {
-        Dataset::new((0..m).map(|_| self.sample(rng)).collect())
-            .expect("same dense support")
+        Dataset::new((0..m).map(|_| self.sample(rng)).collect()).expect("same dense support")
     }
 }
 
@@ -144,10 +142,7 @@ mod tests {
         // n(n−1)/4.
         let model = Mallows::new(8, 1.0);
         let center = model.sample(&mut StdRng::seed_from_u64(0)); // any perm
-        let identity = Ranking::permutation(
-            &(0..8u32).map(Element).collect::<Vec<_>>(),
-        )
-        .unwrap();
+        let identity = Ranking::permutation(&(0..8u32).map(Element).collect::<Vec<_>>()).unwrap();
         let _ = center;
         let mut rng = StdRng::seed_from_u64(1);
         let draws = 4000;
@@ -156,14 +151,16 @@ mod tests {
             .sum::<f64>()
             / draws as f64;
         let expected = 8.0 * 7.0 / 4.0; // 14
-        assert!((mean - expected).abs() < 0.5, "mean {mean}, expected {expected}");
+        assert!(
+            (mean - expected).abs() < 0.5,
+            "mean {mean}, expected {expected}"
+        );
     }
 
     #[test]
     fn mallows_small_phi_concentrates_on_center() {
         let model = Mallows::new(10, 0.1);
-        let identity =
-            Ranking::permutation(&(0..10u32).map(Element).collect::<Vec<_>>()).unwrap();
+        let identity = Ranking::permutation(&(0..10u32).map(Element).collect::<Vec<_>>()).unwrap();
         let mut rng = StdRng::seed_from_u64(2);
         let mean: f64 = (0..500)
             .map(|_| kendall_tau(&model.sample(&mut rng), &identity) as f64)

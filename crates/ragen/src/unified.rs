@@ -120,6 +120,9 @@ mod tests {
         };
         let s_lo = sim(1_000, &mut rng);
         let s_hi = sim(1_000_000, &mut rng);
-        assert!(s_lo > s_hi, "similarity must decay with t: {s_lo} vs {s_hi}");
+        assert!(
+            s_lo > s_hi,
+            "similarity must decay with t: {s_lo} vs {s_hi}"
+        );
     }
 }

@@ -215,7 +215,7 @@ pub mod collection {
         VecStrategy { element, len }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`](fn@vec).
     #[derive(Clone)]
     pub struct VecStrategy<S> {
         element: S,

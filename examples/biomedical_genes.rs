@@ -8,16 +8,10 @@
 //!
 //! Run with: `cargo run --release --example biomedical_genes`
 
-use rank_aggregation_with_ties::datasets::realworld::biomedical;
-use rank_aggregation_with_ties::rank_core::algorithms::bioconsert::BioConsert;
-use rank_aggregation_with_ties::rank_core::algorithms::borda::BordaCount;
-use rank_aggregation_with_ties::rank_core::algorithms::exact::ExactAlgorithm;
-use rank_aggregation_with_ties::rank_core::algorithms::{AlgoContext, ConsensusAlgorithm};
-use rank_aggregation_with_ties::rank_core::normalize::unification;
-use rank_aggregation_with_ties::rank_core::score::kemeny_score;
-use rank_aggregation_with_ties::rank_core::similarity::dataset_similarity;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rank_aggregation_with_ties::datasets::realworld::biomedical;
+use rank_aggregation_with_ties::prelude::*;
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(2011);
@@ -44,21 +38,39 @@ fn main() {
         dataset_similarity(data)
     );
 
-    let mut ctx = AlgoContext::seeded(3);
-    let bio = BioConsert::default().run(data, &mut ctx);
-    let borda = BordaCount.run(data, &mut ctx);
-    let (_, optimum, proved) = ExactAlgorithm::default().solve(data, &mut ctx);
+    // One batch: the exact optimum as reference, the tie-aware local
+    // search, and a positional baseline. The engine fills every report's
+    // gap against the proven optimum.
+    let reports = Engine::new().run_batch(
+        &AggregationRequest::batch(data.clone())
+            .spec(AlgoSpec::Exact)
+            .spec(AlgoSpec::BioConsert)
+            .spec(AlgoSpec::Borda)
+            .seed(3)
+            .build(),
+    );
+    let (exact, bio, borda) = (&reports[0], &reports[1], &reports[2]);
 
     println!("\n                    K score   vs optimum");
-    let gap = |s: u64| rank_aggregation_with_ties::rank_core::score::gap(s, optimum);
-    let s_bio = kemeny_score(&bio, data);
-    let s_borda = kemeny_score(&borda, data);
-    println!("  optimal           {optimum:>6}      (proved: {proved})");
-    println!("  BioConsert        {s_bio:>6}      gap {:.1}%", 100.0 * gap(s_bio));
-    println!("  BordaCount        {s_borda:>6}      gap {:.1}%", 100.0 * gap(s_borda));
-    assert!(s_bio <= s_borda, "tie-aware local search beats positional here");
+    println!(
+        "  optimal           {:>6}      (proved: {})",
+        exact.score,
+        exact.outcome == Outcome::Optimal
+    );
+    for r in [bio, borda] {
+        println!(
+            "  {:<16}  {:>6}      gap {:.1}%",
+            r.algorithm(),
+            r.score,
+            100.0 * r.gap.unwrap_or(f64::NAN)
+        );
+    }
+    assert!(
+        bio.score <= borda.score,
+        "tie-aware local search beats positional here"
+    );
 
     // Tied genes in the consensus = "no evidence to separate them".
-    let tied_groups = bio.buckets().filter(|b| b.len() > 1).count();
+    let tied_groups = bio.ranking.buckets().filter(|b| b.len() > 1).count();
     println!("\nBioConsert keeps {tied_groups} tied gene groups (no forced untying)");
 }

@@ -7,13 +7,11 @@
 //!
 //! Run with: `cargo run --release --example f1_championship`
 
-use rank_aggregation_with_ties::datasets::realworld::f1;
-use rank_aggregation_with_ties::rank_core::algorithms::bioconsert::BioConsert;
-use rank_aggregation_with_ties::rank_core::algorithms::{AlgoContext, ConsensusAlgorithm};
-use rank_aggregation_with_ties::rank_core::normalize::{projection, threshold_k, unification};
-use rank_aggregation_with_ties::rank_core::similarity::dataset_similarity;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rank_aggregation_with_ties::datasets::realworld::f1;
+use rank_aggregation_with_ties::prelude::*;
+use rank_aggregation_with_ties::rank_core::normalize::threshold_k;
 
 fn main() {
     // Search for a season where projection removes a race winner — the
@@ -50,10 +48,11 @@ fn main() {
         dataset_similarity(&unif.dataset)
     );
 
-    let mut ctx = AlgoContext::seeded(1);
-    let standings = BioConsert::default().run(&unif.dataset, &mut ctx);
+    let engine = Engine::new();
+    let report = engine
+        .run(&AggregationRequest::new(unif.dataset.clone(), AlgoSpec::BioConsert).with_seed(1));
     let podium: Vec<String> = unif
-        .denormalize(&standings)
+        .denormalize(&report.ranking)
         .elements()
         .take(3)
         .map(|e| format!("pilot #{}", e.0))

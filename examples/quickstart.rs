@@ -5,13 +5,13 @@
 //! the optimal consensus is [{A},{D},{B,C}] with generalized Kemeny
 //! score 5.
 //!
+//! The engine API in one screen: build a dataset, submit a request batch
+//! (the exact solver plus the paper's whole panel), read the reports.
+//!
 //! Run with: `cargo run --release --example quickstart`
 
-use rank_aggregation_with_ties::rank_core::algorithms::exact::ExactAlgorithm;
-use rank_aggregation_with_ties::rank_core::algorithms::{paper_algorithms, AlgoContext};
+use rank_aggregation_with_ties::prelude::*;
 use rank_aggregation_with_ties::rank_core::parse::parse_ranking_labeled;
-use rank_aggregation_with_ties::rank_core::score::kemeny_score;
-use rank_aggregation_with_ties::rank_core::{Dataset, Universe};
 
 fn main() {
     let mut universe = Universe::new();
@@ -27,24 +27,40 @@ fn main() {
         println!("  r{} = {}", i + 1, r.display_with(&universe));
     }
 
-    // The exact optimum (branch-and-bound over all bucket orders).
-    let mut ctx = AlgoContext::seeded(42);
-    let (optimal, score, proved) = ExactAlgorithm::default().solve(&data, &mut ctx);
-    println!(
-        "\noptimal consensus: {}   K = {score}   (optimality proved: {proved})",
-        optimal.display_with(&universe)
-    );
-    assert_eq!(score, 5, "the paper's example scores 5");
+    // One request batch: the exact solver first, then the paper's panel.
+    // The engine runs them concurrently over a single cost-matrix build
+    // and returns one report per request, in request order.
+    let engine = Engine::new();
+    let requests = AggregationRequest::batch(data)
+        .spec(AlgoSpec::Exact)
+        .specs(paper_panel(10))
+        .seed(42)
+        .build();
+    let reports = engine.run_batch(&requests);
 
-    // Every algorithm of the paper's panel on the same input.
+    let optimal = &reports[0];
+    assert_eq!(optimal.outcome, Outcome::Optimal, "n = 4 solves instantly");
+    assert_eq!(optimal.score, 5, "the paper's example scores 5");
+    println!(
+        "\noptimal consensus: {}   K = {}   ({})",
+        optimal.ranking.display_with(&universe),
+        optimal.score,
+        optimal.outcome
+    );
+
     println!("\nalgorithm panel:");
-    for algo in paper_algorithms(10) {
-        let consensus = algo.run(&data, &mut ctx);
+    for report in &reports[1..] {
         println!(
-            "  {:<16} {}  (K = {})",
-            algo.name(),
-            consensus.display_with(&universe),
-            kemeny_score(&consensus, &data)
+            "  {:<16} {}  (K = {}, gap = {:.1}%, {:.0?})",
+            report.algorithm(),
+            report.ranking.display_with(&universe),
+            report.score,
+            100.0 * report.gap.unwrap_or(f64::NAN),
+            report.elapsed,
         );
     }
+    println!(
+        "\ncost-matrix builds for the whole batch: {}",
+        engine.cache().builds()
+    );
 }

@@ -8,15 +8,11 @@
 //!
 //! Run with: `cargo run --release --example web_metasearch`
 
-use rank_aggregation_with_ties::datasets::realworld::websearch;
-use rank_aggregation_with_ties::rank_core::algorithms::{AlgoContext, ConsensusAlgorithm};
-use rank_aggregation_with_ties::rank_core::algorithms::bioconsert::BioConsert;
-use rank_aggregation_with_ties::rank_core::algorithms::medrank::MedRank;
-use rank_aggregation_with_ties::rank_core::guidance::{recommend, DatasetFeatures, Priority};
-use rank_aggregation_with_ties::rank_core::normalize::{projection, unification};
-use rank_aggregation_with_ties::rank_core::score::kemeny_score;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rank_aggregation_with_ties::datasets::realworld::websearch;
+use rank_aggregation_with_ties::prelude::*;
+use rank_aggregation_with_ties::rank_core::engine::BatchBuilder;
 
 fn main() {
     // A scaled-down query: 4 engines × top-60 results.
@@ -28,41 +24,52 @@ fn main() {
     let raw = websearch::generate(&cfg, &mut rng);
     println!("4 engines returned top-{} lists", raw[0].n_elements());
 
+    // The batch builder normalizes the raw top-k lists itself and hands
+    // back the element mapping for later display.
+    let (builder, unif) =
+        BatchBuilder::normalized(&raw, Normalization::Unification).expect("non-empty");
     let proj = projection(&raw).expect("some URLs shared");
-    let unif = unification(&raw).expect("non-empty");
     println!(
         "projection keeps {} URLs; unification ranks all {} URLs",
         proj.dataset.n(),
         unif.dataset.n()
     );
 
-    // What does §7.4 say we should run?
+    // What does §7.4 say we should run? Guidance names parse straight
+    // into typed specs.
     let features = DatasetFeatures::measure(&unif.dataset);
-    for prio in [Priority::Quality, Priority::Speed] {
-        let rec = recommend(&features, prio);
-        println!("guidance ({prio:?}): {} — {}", rec.algorithm, rec.rationale);
-    }
+    let specs: Vec<AlgoSpec> = [Priority::Quality, Priority::Speed]
+        .iter()
+        .map(|&prio| {
+            let rec = recommend(&features, prio);
+            println!("guidance ({prio:?}): {} — {}", rec.algorithm, rec.rationale);
+            AlgoSpec::parse(rec.algorithm).expect("guidance names are registered")
+        })
+        .collect();
 
-    // Quality choice: BioConsert on the unified dataset.
-    let mut ctx = AlgoContext::seeded(7);
-    let consensus = BioConsert::default().run(&unif.dataset, &mut ctx);
+    let reports = Engine::new().run_batch(&builder.specs(specs).seed(7).build());
+
+    let quality = &reports[0];
+    let consensus = &quality.ranking;
     println!(
-        "\nBioConsert consensus: K = {}, {} buckets (last bucket: {} URLs nobody returned high)",
-        kemeny_score(&consensus, &unif.dataset),
+        "\n{} consensus: K = {}, {} buckets (last bucket: {} URLs nobody returned high)",
+        quality.algorithm(),
+        quality.score,
         consensus.n_buckets(),
         consensus.bucket(consensus.n_buckets() - 1).len(),
     );
-
-    // Speed choice: MEDRank with the paper-recommended threshold.
-    let fast = MedRank::new(0.5).run(&unif.dataset, &mut ctx);
+    let fast = &reports[1];
     println!(
-        "MEDRank(0.5) consensus: K = {}, {} buckets",
-        kemeny_score(&fast, &unif.dataset),
-        fast.n_buckets()
+        "{} consensus: K = {}, {} buckets (m-gap {:.1}% in {:.0?})",
+        fast.algorithm(),
+        fast.score,
+        fast.ranking.n_buckets(),
+        100.0 * fast.gap.unwrap_or(f64::NAN),
+        fast.elapsed,
     );
 
     // Top of the merged ranking, in original URL ids.
-    let merged = unif.denormalize(&consensus);
+    let merged = unif.denormalize(consensus);
     let top: Vec<String> = merged
         .elements()
         .take(10)

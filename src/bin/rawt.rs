@@ -1,13 +1,24 @@
 //! `rawt` — rank aggregation with ties, from the command line.
 //!
+//! The CLI is a thin shell over the engine API
+//! ([`rank_core::engine::Engine`]): subcommands build
+//! [`AggregationRequest`]s and print the resulting [`ConsensusReport`]s.
+//!
 //! ```text
-//! rawt aggregate FILE [--algo NAME] [--seed N] [--normalize unify|project]
+//! rawt aggregate FILE [--algo SPEC] [--seed N] [--budget SECS]
+//!                     [--normalize unify|project]
 //!     Aggregate a dataset file (one `[{A},{B,C}]` ranking per line,
 //!     `#` comments allowed). Rankings over different elements are
-//!     normalized first (default: unification, §5.1).
+//!     normalized first (default: unification, §5.1). Without --algo the
+//!     §7.4 guidance picks the algorithm. SPEC is case-insensitive:
+//!     `BioConsert`, `bestof(kwiksort,20)`, `MedRank(0.7)`, `Exact`, …
 //!
-//! rawt compare FILE [--seed N] [--normalize unify|project]
-//!     Run the whole panel of the paper's algorithms and report scores.
+//! rawt compare FILE [--seed N] [--budget SECS] [--normalize unify|project]
+//!     Run the paper's whole panel as one concurrent engine batch and
+//!     report per-algorithm score, gap and outcome.
+//!
+//! rawt list
+//!     The algorithm registry: canonical spec names, aliases, classes.
 //!
 //! rawt similarity FILE [--normalize unify|project]
 //!     The dataset's intrinsic similarity s(R) (§6.2.2) and features.
@@ -21,9 +32,11 @@
 
 use rank_aggregation_with_ties::prelude::*;
 use rank_aggregation_with_ties::ragen::{MarkovGen, UniformSampler};
+use rank_aggregation_with_ties::rank_core::engine::{paper_panel, registry};
 use rank_aggregation_with_ties::rank_core::normalize::Normalized;
 use rank_aggregation_with_ties::rank_core::parse::{parse_dataset_lines, parse_ranking_labeled};
 use std::process::exit;
+use std::time::Duration;
 
 fn die(msg: &str) -> ! {
     eprintln!("rawt: {msg}");
@@ -34,7 +47,8 @@ struct Flags {
     positional: Vec<String>,
     algo: Option<String>,
     seed: u64,
-    normalize: String,
+    budget: Option<Duration>,
+    normalize: Normalization,
     n: usize,
     m: usize,
     steps: usize,
@@ -45,7 +59,8 @@ fn parse_flags(args: &[String]) -> Flags {
         positional: Vec::new(),
         algo: None,
         seed: 42,
-        normalize: "unify".to_owned(),
+        budget: None,
+        normalize: Normalization::Unification,
         n: 10,
         m: 5,
         steps: 1000,
@@ -53,13 +68,26 @@ fn parse_flags(args: &[String]) -> Flags {
     let mut i = 0;
     let value = |i: &mut usize| -> String {
         *i += 1;
-        args.get(*i).cloned().unwrap_or_else(|| die("missing flag value"))
+        args.get(*i)
+            .cloned()
+            .unwrap_or_else(|| die("missing flag value"))
     };
     while i < args.len() {
         match args[i].as_str() {
             "--algo" => f.algo = Some(value(&mut i)),
             "--seed" => f.seed = value(&mut i).parse().unwrap_or_else(|_| die("bad --seed")),
-            "--normalize" => f.normalize = value(&mut i),
+            "--budget" => {
+                let secs: f64 = value(&mut i)
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --budget"));
+                if secs <= 0.0 || !secs.is_finite() {
+                    die("--budget must be positive seconds");
+                }
+                f.budget = Some(Duration::from_secs_f64(secs));
+            }
+            "--normalize" => {
+                f.normalize = value(&mut i).parse().unwrap_or_else(|e: String| die(&e))
+            }
             "--n" => f.n = value(&mut i).parse().unwrap_or_else(|_| die("bad --n")),
             "--m" => f.m = value(&mut i).parse().unwrap_or_else(|_| die("bad --m")),
             "--steps" => f.steps = value(&mut i).parse().unwrap_or_else(|_| die("bad --steps")),
@@ -73,60 +101,75 @@ fn parse_flags(args: &[String]) -> Flags {
 
 /// Load + normalize a dataset file; returns the dense dataset, the id
 /// mapping and the universe for display.
-fn load(path: &str, how: &str) -> (Normalized, Universe) {
-    let body = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+fn load(path: &str, how: Normalization) -> (Normalized, Universe) {
+    let body =
+        std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
     let mut universe = Universe::new();
     let raw = parse_dataset_lines(&body, &mut universe)
         .unwrap_or_else(|e| die(&format!("parse error in {path}: {e}")));
     if raw.is_empty() {
         die("the file contains no rankings");
     }
-    let normalized = match how {
-        "unify" => unification(&raw),
-        "project" => projection(&raw),
-        other => die(&format!("unknown normalization {other:?} (use unify|project)")),
-    }
-    .unwrap_or_else(|| die("normalization produced an empty dataset"));
+    let normalized = how
+        .apply(&raw)
+        .unwrap_or_else(|| die("normalization produced an empty dataset"));
     (normalized, universe)
 }
 
-fn algorithm_by_name(name: &str, min_runs: usize) -> Box<dyn ConsensusAlgorithm> {
-    let mut panel = paper_algorithms(min_runs);
-    panel.extend(extended_algorithms());
-    panel.push(exact_algorithm());
-    let names: Vec<String> = panel.iter().map(|a| a.name()).collect();
-    panel
-        .into_iter()
-        .find(|a| a.name() == name)
-        .unwrap_or_else(|| {
-            die(&format!(
-                "unknown algorithm {name:?}; available: {}",
-                names.join(", ")
-            ))
-        })
+/// Parse a user-supplied algorithm spec, case-insensitively, dying with a
+/// "did you mean" suggestion on unknown names.
+fn parse_spec(name: &str) -> AlgoSpec {
+    AlgoSpec::parse(name).unwrap_or_else(|e| die(&format!("{e}; run `rawt list` for the registry")))
 }
 
 fn cmd_aggregate(f: &Flags) {
-    let path = f.positional.first().unwrap_or_else(|| die("aggregate needs a FILE"));
-    let (norm, universe) = load(path, &f.normalize);
+    let path = f
+        .positional
+        .first()
+        .unwrap_or_else(|| die("aggregate needs a FILE"));
+    let (norm, universe) = load(path, f.normalize);
     let data = &norm.dataset;
-    let algo_name = f.algo.clone().unwrap_or_else(|| {
-        recommend(&DatasetFeatures::measure(data), Priority::Balanced).algorithm.to_owned()
-    });
-    let algo = algorithm_by_name(&algo_name, 20);
-    let mut ctx = AlgoContext::seeded(f.seed);
-    let consensus = algo.run(data, &mut ctx);
-    let score = kemeny_score(&consensus, data);
-    println!("algorithm:  {}", algo.name());
-    println!("elements:   {} (m = {} rankings, {})", data.n(), data.m(), f.normalize);
-    println!("consensus:  {}", norm.denormalize(&consensus).display_with(&universe));
-    println!("K score:    {score}");
+    let spec = match &f.algo {
+        Some(name) => parse_spec(name),
+        None => {
+            let rec = recommend(&DatasetFeatures::measure(data), Priority::Balanced);
+            AlgoSpec::parse(rec.algorithm).expect("guidance names are registered")
+        }
+    };
+    if let Some(cap) = spec.max_n() {
+        if data.n() > cap {
+            die(&format!(
+                "{spec} handles at most n = {cap} elements; this dataset has {} (try another algorithm, see `rawt list`)",
+                data.n()
+            ));
+        }
+    }
+    let mut request = AggregationRequest::new(data.clone(), spec).with_seed(f.seed);
+    if let Some(budget) = f.budget {
+        request = request.with_budget(budget);
+    }
+    let report = Engine::new().run(&request);
+    println!("algorithm:  {} (spec: {})", report.algorithm(), report.spec);
+    println!(
+        "elements:   {} (m = {} rankings, {})",
+        data.n(),
+        data.m(),
+        f.normalize
+    );
+    println!(
+        "consensus:  {}",
+        norm.denormalize(&report.ranking).display_with(&universe)
+    );
+    println!("K score:    {}", report.score);
+    println!("outcome:    {} in {:.1?}", report.outcome, report.elapsed);
 }
 
 fn cmd_compare(f: &Flags) {
-    let path = f.positional.first().unwrap_or_else(|| die("compare needs a FILE"));
-    let (norm, universe) = load(path, &f.normalize);
+    let path = f
+        .positional
+        .first()
+        .unwrap_or_else(|| die("compare needs a FILE"));
+    let (norm, universe) = load(path, f.normalize);
     let data = &norm.dataset;
     println!(
         "n = {}, m = {}, similarity s(R) = {:.3}",
@@ -134,33 +177,75 @@ fn cmd_compare(f: &Flags) {
         data.m(),
         dataset_similarity(data)
     );
-    let mut results: Vec<(String, u64, Ranking)> = Vec::new();
-    for algo in paper_algorithms(20) {
-        if algo.name() == "Ailon3/2" && data.n() > 45 {
-            continue;
-        }
-        let mut ctx = AlgoContext::seeded(f.seed);
-        let consensus = algo.run(data, &mut ctx);
-        results.push((algo.name(), kemeny_score(&consensus, data), consensus));
+    // The paper's panel as one engine batch; size-bounded members (the
+    // LP-based Ailon) sit instances beyond their cap out.
+    let specs = paper_panel(20)
+        .into_iter()
+        .filter(|s| s.max_n().is_none_or(|cap| data.n() <= cap));
+    let mut batch = AggregationRequest::batch(data.clone())
+        .specs(specs)
+        .seed(f.seed);
+    if let Some(budget) = f.budget {
+        batch = batch.budget(budget);
     }
-    results.sort_by_key(|&(_, s, _)| s);
-    let best = results.first().map(|&(_, s, _)| s).unwrap_or(0);
-    for (name, score, consensus) in &results {
+    let mut reports = Engine::new().run_batch(&batch.build());
+    reports.sort_by_key(|r| r.score);
+    for r in &reports {
+        let gap = r.gap.unwrap_or(f64::NAN);
+        let flag = if r.outcome.completed() {
+            ""
+        } else {
+            "  (timed out)"
+        };
         println!(
-            "{name:<16} K = {score:<6} m-gap = {:>6.2}%  {}",
-            100.0 * gap(*score, best),
-            norm.denormalize(consensus).display_with(&universe)
+            "{:<16} K = {:<6} m-gap = {:>6.2}%  {}{flag}",
+            r.algorithm(),
+            r.score,
+            100.0 * gap,
+            norm.denormalize(&r.ranking).display_with(&universe)
         );
     }
 }
 
+fn cmd_list() {
+    println!("registered algorithms (case-insensitive; see `rawt aggregate --algo`):");
+    println!();
+    for e in registry() {
+        let example = (e.example)();
+        let ties = if example.produces_ties() {
+            "ties"
+        } else {
+            "no ties"
+        };
+        println!("{:<18} {:<24} {}", e.canonical, e.class, e.summary);
+        println!(
+            "{:<18} {:<24} example: {example}  paper name: {}  ({ties})",
+            "",
+            "",
+            example.paper_name()
+        );
+        if !e.aliases.is_empty() {
+            println!("{:<18} {:<24} aliases: {}", "", "", e.aliases.join(", "));
+        }
+    }
+    println!();
+    println!("presets: the paper panel is `rawt compare`'s batch; BestOf(base,runs)");
+    println!("wraps any randomized base, e.g. BestOf(KwikSort,20) = KwikSortMin.");
+}
+
 fn cmd_similarity(f: &Flags) {
-    let path = f.positional.first().unwrap_or_else(|| die("similarity needs a FILE"));
-    let (norm, _) = load(path, &f.normalize);
+    let path = f
+        .positional
+        .first()
+        .unwrap_or_else(|| die("similarity needs a FILE"));
+    let (norm, _) = load(path, f.normalize);
     let data = &norm.dataset;
     let features = DatasetFeatures::measure(data);
     println!("n = {}, m = {}", features.n, features.m);
-    println!("similarity s(R) = {:.4}", features.similarity.unwrap_or(f64::NAN));
+    println!(
+        "similarity s(R) = {:.4}",
+        features.similarity.unwrap_or(f64::NAN)
+    );
     println!("large ties present: {}", features.has_large_ties);
     for p in [Priority::Quality, Priority::Balanced, Priority::Speed] {
         let rec = recommend(&features, p);
@@ -180,20 +265,30 @@ fn cmd_distance(f: &Flags) {
     if a.n_elements() != b.n_elements() || a.elements().any(|e| !b.contains(e)) {
         die("the rankings must be over the same elements");
     }
-    println!("G  (generalized Kendall-τ) = {}", generalized_kendall_tau(&a, &b));
+    println!(
+        "G  (generalized Kendall-τ) = {}",
+        generalized_kendall_tau(&a, &b)
+    );
     println!("D  (classical, ties ignored) = {}", kendall_tau(&a, &b));
     println!("τ  (correlation, eq. 4) = {:.4}", tau_correlation(&a, &b));
 }
 
 fn cmd_generate(f: &Flags) {
-    let kind = f.positional.first().map(String::as_str).unwrap_or("uniform");
+    let kind = f
+        .positional
+        .first()
+        .map(String::as_str)
+        .unwrap_or("uniform");
     let mut rng = rand::SeedableRng::seed_from_u64(f.seed);
     let data = match kind {
         "uniform" => UniformSampler::new(f.n).sample_dataset(f.n, f.m, &mut rng),
         "markov" => MarkovGen::identity_seeded(f.n, f.steps).dataset(f.m, &mut rng),
         other => die(&format!("unknown generator {other:?} (use uniform|markov)")),
     };
-    println!("# {kind} dataset: n = {}, m = {}, seed = {}", f.n, f.m, f.seed);
+    println!(
+        "# {kind} dataset: n = {}, m = {}, seed = {}",
+        f.n, f.m, f.seed
+    );
     for r in data.rankings() {
         println!("{r}");
     }
@@ -202,12 +297,13 @@ fn cmd_generate(f: &Flags) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
-        die("usage: rawt <aggregate|compare|similarity|distance|generate> …");
+        die("usage: rawt <aggregate|compare|list|similarity|distance|generate> …");
     };
     let flags = parse_flags(rest);
     match cmd.as_str() {
         "aggregate" => cmd_aggregate(&flags),
         "compare" => cmd_compare(&flags),
+        "list" => cmd_list(),
         "similarity" => cmd_similarity(&flags),
         "distance" => cmd_distance(&flags),
         "generate" => cmd_generate(&flags),

@@ -20,17 +20,50 @@
 //! * [`lpsolve`] — the simplex + branch-and-bound substrate behind the
 //!   exact LPB formulation and Ailon 3/2.
 //!
+//! The front door is the engine API: describe *what* to aggregate with a
+//! typed [`rank_core::engine::AlgoSpec`], submit
+//! [`rank_core::engine::AggregationRequest`]s to a long-lived
+//! [`rank_core::engine::Engine`], and read the ranking, Kemeny score,
+//! elapsed time and per-request outcome back out of the
+//! [`rank_core::engine::ConsensusReport`]:
+//!
 //! ```
 //! use rank_aggregation_with_ties::prelude::*;
 //!
+//! // The paper's §2.2 running example (A=0, B=1, C=2, D=3).
 //! let r1 = Ranking::from_slices(&[&[0], &[3], &[1, 2]]).unwrap();
 //! let r2 = Ranking::from_slices(&[&[0], &[1, 2], &[3]]).unwrap();
 //! let r3 = Ranking::from_slices(&[&[3], &[0, 2], &[1]]).unwrap();
 //! let data = Dataset::new(vec![r1, r2, r3]).unwrap();
 //!
-//! let mut ctx = AlgoContext::seeded(42);
-//! let consensus = BioConsert::default().run(&data, &mut ctx);
-//! assert_eq!(kemeny_score(&consensus, &data), 5);
+//! let engine = Engine::new();
+//! let request = AggregationRequest::new(data, AlgoSpec::parse("BioConsert").unwrap())
+//!     .with_seed(42);
+//! let report = engine.run(&request);
+//! assert_eq!(report.score, 5);
+//! assert_eq!(report.outcome, Outcome::Heuristic); // heuristics never *prove*
+//! ```
+//!
+//! Batches run concurrently over one shared cost-matrix cache:
+//!
+//! ```
+//! # use rank_aggregation_with_ties::prelude::*;
+//! # let r1 = Ranking::from_slices(&[&[0], &[3], &[1, 2]]).unwrap();
+//! # let r2 = Ranking::from_slices(&[&[0], &[1, 2], &[3]]).unwrap();
+//! # let r3 = Ranking::from_slices(&[&[3], &[0, 2], &[1]]).unwrap();
+//! # let data = Dataset::new(vec![r1, r2, r3]).unwrap();
+//! let engine = Engine::new();
+//! let requests = AggregationRequest::batch(data)
+//!     .specs(paper_panel(10))
+//!     .spec(AlgoSpec::Exact)
+//!     .seed(42)
+//!     .build();
+//! let reports = engine.run_batch(&requests);
+//! assert_eq!(reports.len(), 14);
+//! assert!(reports.iter().any(|r| r.outcome == Outcome::Optimal));
+//! // The heuristic panel shared ONE cost-matrix build; the second one is
+//! // the exact solver's block decomposition building a sub-instance.
+//! assert!(engine.cache().builds() <= 2);
 //! ```
 
 pub use bignum;
@@ -47,6 +80,10 @@ pub mod prelude {
         exact_algorithm, extended_algorithms, paper_algorithms, AlgoContext, ConsensusAlgorithm,
     };
     pub use rank_core::distance::{generalized_kendall_tau, kendall_tau};
+    pub use rank_core::engine::{
+        extended_panel, full_panel, paper_panel, AggregationRequest, AlgoSpec, BatchBuilder,
+        ConsensusReport, Engine, ExecPolicy, Normalization, Outcome, SpecErrorKind, SpecParseError,
+    };
     pub use rank_core::guidance::{recommend, DatasetFeatures, Priority};
     pub use rank_core::normalize::{projection, top_k, unification};
     pub use rank_core::score::{gap, kemeny_score};

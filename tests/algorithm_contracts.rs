@@ -12,13 +12,23 @@ fn battery() -> Vec<(String, Dataset)> {
     let mk = |lines: &[&str]| {
         Dataset::new(lines.iter().map(|l| parse_ranking(l).unwrap()).collect()).unwrap()
     };
-    out.push(("paper-example".into(), mk(&["[{0},{3},{1,2}]", "[{0},{1,2},{3}]", "[{3},{0,2},{1}]"])));
+    out.push((
+        "paper-example".into(),
+        mk(&["[{0},{3},{1,2}]", "[{0},{1,2},{3}]", "[{3},{0,2},{1}]"]),
+    ));
     out.push(("single-element".into(), mk(&["[{0}]", "[{0}]"])));
-    out.push(("two-elements-conflict".into(), mk(&["[{0},{1}]", "[{1},{0}]"])));
+    out.push((
+        "two-elements-conflict".into(),
+        mk(&["[{0},{1}]", "[{1},{0}]"]),
+    ));
     out.push(("all-tied".into(), mk(&["[{0,1,2,3,4}]", "[{0,1,2,3,4}]"])));
     out.push((
         "unified-shape".into(),
-        mk(&["[{0},{1},{2,3,4,5}]", "[{4},{5},{0,1,2,3}]", "[{2},{0,1,3,4,5}]"]),
+        mk(&[
+            "[{0},{1},{2,3,4,5}]",
+            "[{4},{5},{0,1,2,3}]",
+            "[{2},{0,1,3,4,5}]",
+        ]),
     ));
     out.push((
         "reversal-pair".into(),
@@ -121,8 +131,8 @@ fn unanimous_input_is_reproduced_by_quality_algorithms() {
                 assert!(score >= 3, "{name}: {score}")
             }
             // Positional scores may or may not resolve the tie exactly.
-            "BordaCount" | "CopelandMethod" | "CopelandPairwise" | "MC4"
-            | "MEDRank(0.5)" | "MEDRank(0.7)" => {}
+            "BordaCount" | "CopelandMethod" | "CopelandPairwise" | "MC4" | "MEDRank(0.5)"
+            | "MEDRank(0.7)" => {}
             _ => assert_eq!(score, 0, "{name} must reproduce the unanimous input"),
         }
     }

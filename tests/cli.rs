@@ -27,12 +27,7 @@ fn write_paper_example() -> std::path::PathBuf {
 #[test]
 fn aggregate_finds_the_paper_optimum() {
     let path = write_paper_example();
-    let (stdout, stderr, ok) = rawt(&[
-        "aggregate",
-        path.to_str().unwrap(),
-        "--algo",
-        "BioConsert",
-    ]);
+    let (stdout, stderr, ok) = rawt(&["aggregate", path.to_str().unwrap(), "--algo", "BioConsert"]);
     assert!(ok, "stderr: {stderr}");
     assert!(stdout.contains("K score:    5"), "stdout: {stdout}");
     assert!(stdout.contains("{B,C}"), "ties preserved: {stdout}");
@@ -70,7 +65,10 @@ fn compare_ranks_algorithms_by_score() {
         .lines()
         .find(|l| l.contains("m-gap"))
         .expect("has results");
-    assert!(first.contains("0.00%"), "best must have zero m-gap: {first}");
+    assert!(
+        first.contains("0.00%"),
+        "best must have zero m-gap: {first}"
+    );
 }
 
 #[test]
@@ -118,4 +116,57 @@ fn errors_are_reported_cleanly() {
     let (_, stderr, ok) = rawt(&["aggregate", path.to_str().unwrap(), "--algo", "NoSuchAlgo"]);
     assert!(!ok);
     assert!(stderr.contains("unknown algorithm"));
+}
+
+#[test]
+fn algo_specs_are_case_insensitive() {
+    let path = write_paper_example();
+    for spec in [
+        "bioconsert",
+        "BIOCONSERT",
+        "bordacount",
+        "bestof(kwiksort,5)",
+        "exact",
+    ] {
+        let (stdout, stderr, ok) = rawt(&["aggregate", path.to_str().unwrap(), "--algo", spec]);
+        assert!(ok, "spec {spec}: {stderr}");
+        assert!(stdout.contains("K score:"), "spec {spec}: {stdout}");
+    }
+}
+
+#[test]
+fn typo_gets_a_did_you_mean_suggestion() {
+    let path = write_paper_example();
+    let (_, stderr, ok) = rawt(&["aggregate", path.to_str().unwrap(), "--algo", "KwikSrt"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown algorithm"), "{stderr}");
+    assert!(stderr.contains("did you mean"), "{stderr}");
+    assert!(stderr.contains("KwikSort"), "{stderr}");
+    // Nothing is close to this one: no suggestion, but still a clean error.
+    let (_, stderr, ok) = rawt(&["aggregate", path.to_str().unwrap(), "--algo", "Zebra12345"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown algorithm"), "{stderr}");
+    assert!(!stderr.contains("did you mean"), "{stderr}");
+}
+
+#[test]
+fn list_shows_the_registry() {
+    let (stdout, _, ok) = rawt(&["list"]);
+    assert!(ok);
+    for name in ["BioConsert", "KwikSort", "MedRank", "Exact", "BestOf"] {
+        assert!(stdout.contains(name), "missing {name}: {stdout}");
+    }
+    assert!(stdout.contains("aliases"), "{stdout}");
+    assert!(stdout.contains("BestOf(KwikSort,20)"), "{stdout}");
+}
+
+#[test]
+fn aggregate_reports_outcome_and_exact_proves_optimality() {
+    let path = write_paper_example();
+    let (stdout, _, ok) = rawt(&["aggregate", path.to_str().unwrap(), "--algo", "Exact"]);
+    assert!(ok);
+    assert!(stdout.contains("outcome:    optimal"), "{stdout}");
+    let (stdout, _, ok) = rawt(&["aggregate", path.to_str().unwrap(), "--algo", "BordaCount"]);
+    assert!(ok);
+    assert!(stdout.contains("outcome:    heuristic"), "{stdout}");
 }

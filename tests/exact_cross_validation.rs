@@ -10,24 +10,22 @@ use rank_aggregation_with_ties::rank_core::algorithms::exact::{
 
 fn dataset_strategy(max_n: usize, max_m: usize) -> impl Strategy<Value = Dataset> {
     (2usize..=max_n, 2usize..=max_m).prop_flat_map(|(n, m)| {
-        prop::collection::vec(prop::collection::vec(0..n as u32, n), m).prop_map(
-            move |all_idx| {
-                let rankings: Vec<Ranking> = all_idx
-                    .into_iter()
-                    .map(|idx| {
-                        let mut used = idx.clone();
-                        used.sort_unstable();
-                        used.dedup();
-                        let remap: Vec<u32> = idx
-                            .iter()
-                            .map(|v| used.iter().position(|u| u == v).unwrap() as u32)
-                            .collect();
-                        Ranking::from_bucket_indices(&remap).expect("compacted")
-                    })
-                    .collect();
-                Dataset::new(rankings).expect("dense by construction")
-            },
-        )
+        prop::collection::vec(prop::collection::vec(0..n as u32, n), m).prop_map(move |all_idx| {
+            let rankings: Vec<Ranking> = all_idx
+                .into_iter()
+                .map(|idx| {
+                    let mut used = idx.clone();
+                    used.sort_unstable();
+                    used.dedup();
+                    let remap: Vec<u32> = idx
+                        .iter()
+                        .map(|v| used.iter().position(|u| u == v).unwrap() as u32)
+                        .collect();
+                    Ranking::from_bucket_indices(&remap).expect("compacted")
+                })
+                .collect();
+            Dataset::new(rankings).expect("dense by construction")
+        })
     })
 }
 

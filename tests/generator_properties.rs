@@ -2,12 +2,12 @@
 //! similarity control, exact-uniformity bookkeeping.
 
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use rank_aggregation_with_ties::bignum::combinatorics::FubiniTable;
 use rank_aggregation_with_ties::prelude::*;
 use rank_aggregation_with_ties::ragen::markov::{MoveOp, WalkState};
 use rank_aggregation_with_ties::ragen::{MarkovGen, UnifiedGen, UniformSampler};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 #[test]
 fn uniform_sampler_bucket_statistics() {
@@ -123,5 +123,8 @@ fn unified_generator_produces_unification_buckets() {
         .map(|r| r.bucket(r.n_buckets() - 1).len())
         .max()
         .unwrap();
-    assert!(max_last > 1, "expected a unification bucket, got {max_last}");
+    assert!(
+        max_last > 1,
+        "expected a unification bucket, got {max_last}"
+    );
 }

@@ -13,7 +13,13 @@ fn uniform_accumulator(n: usize, count: usize) -> GapAccumulator {
     let mut acc = GapAccumulator::new();
     for i in 0..count {
         let data = sampler.sample_dataset(n, 5 + i % 4, &mut rng);
-        acc.add(&evaluate_dataset(&data, &paper_algorithms(5), true, &scale, i as u64));
+        acc.add(&evaluate_dataset(
+            &data,
+            &paper_panel(5),
+            true,
+            &scale,
+            i as u64,
+        ));
     }
     acc
 }
@@ -26,7 +32,11 @@ fn table5_shape_bioconsert_wins() {
     assert_eq!(acc.proved, acc.total, "n=10 must always prove optimality");
     let s = acc.stats();
     let gap = |name: &str| s[name].mean_gap();
-    assert!(gap("BioConsert") <= 0.01, "BioConsert gap {}", gap("BioConsert"));
+    assert!(
+        gap("BioConsert") <= 0.01,
+        "BioConsert gap {}",
+        gap("BioConsert")
+    );
     assert!(gap("BioConsert") <= gap("BordaCount"));
     assert!(gap("KwikSortMin") <= gap("KwikSort") + 1e-12);
     assert!(gap("RepeatChoiceMin") <= gap("RepeatChoice") + 1e-12);
@@ -54,7 +64,7 @@ fn figure4_shape_similarity_helps_kwiksort() {
         let mut acc = GapAccumulator::new();
         for i in 0..4 {
             let data = MarkovGen::identity_seeded(12, t).dataset(7, rng);
-            acc.add(&evaluate_dataset(&data, &paper_algorithms(5), true, &scale, i));
+            acc.add(&evaluate_dataset(&data, &paper_panel(5), true, &scale, i));
         }
         acc.stats()["KwikSort"].mean_gap()
     };
@@ -64,7 +74,10 @@ fn figure4_shape_similarity_helps_kwiksort() {
         similar <= dissimilar + 1e-9,
         "KwikSort: similar {similar} vs dissimilar {dissimilar}"
     );
-    assert!(similar < 0.02, "KwikSort should be near-optimal on similar data");
+    assert!(
+        similar < 0.02,
+        "KwikSort should be near-optimal on similar data"
+    );
 }
 
 #[test]
@@ -82,7 +95,7 @@ fn unification_hurts_positional_algorithms() {
     let mut acc = GapAccumulator::new();
     for i in 0..4 {
         let (data, _, _) = gen.generate(7, &mut rng);
-        acc.add(&evaluate_dataset(&data, &paper_algorithms(5), true, &scale, i));
+        acc.add(&evaluate_dataset(&data, &paper_panel(5), true, &scale, i));
     }
     let s = acc.stats();
     assert!(

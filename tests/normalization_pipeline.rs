@@ -2,16 +2,17 @@
 //! raw → projection/unification/threshold-k → aggregation → denormalize.
 
 use proptest::prelude::*;
-use rank_aggregation_with_ties::datasets::realworld;
-use rank_aggregation_with_ties::prelude::*;
-use rank_aggregation_with_ties::rank_core::normalize::{
-    threshold_k, unification_broken,
-};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rank_aggregation_with_ties::datasets::realworld;
+use rank_aggregation_with_ties::prelude::*;
+use rank_aggregation_with_ties::rank_core::normalize::{threshold_k, unification_broken};
 
 fn raw_f1(seed: u64) -> Vec<Ranking> {
-    realworld::f1::generate(&realworld::f1::Config::default(), &mut StdRng::seed_from_u64(seed))
+    realworld::f1::generate(
+        &realworld::f1::Config::default(),
+        &mut StdRng::seed_from_u64(seed),
+    )
 }
 
 #[test]
