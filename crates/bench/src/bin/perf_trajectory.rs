@@ -8,13 +8,18 @@
 //!   consensus-score equality check (the determinism contract);
 //! * an engine batch: the paper panel (minus the LP-bound Ailon) as one
 //!   `Engine::run_batch` request batch, concurrent vs one-worker, with a
-//!   report-equality check and the shared-build counter.
+//!   report-equality check and the shared-build counter;
+//! * an **anytime** section: per algorithm, the time to the *first*
+//!   incumbent and to the *final* (best) incumbent plus the trace length,
+//!   read off each report's incumbent trace — responsiveness, not just
+//!   throughput, so future PRs can see when a kernel goes quiet for too
+//!   long before its first answer.
 //!
 //! Writes the numbers as JSON (hand-rolled; no serde offline) so future
 //! PRs can track the trajectory:
 //!
 //! ```text
-//! cargo run --release -p bench --bin perf_trajectory -- BENCH_1.json
+//! cargo run --release -p bench --bin perf_trajectory -- BENCH_3.json
 //! ```
 
 use ragen::UniformSampler;
@@ -43,6 +48,15 @@ fn time_median<F: FnMut()>(reps: usize, mut f: F) -> f64 {
     samples[samples.len() / 2]
 }
 
+/// Per-algorithm anytime responsiveness, read off one report's trace.
+struct AnytimeRow {
+    name: String,
+    first_incumbent_s: f64,
+    final_incumbent_s: f64,
+    incumbents: usize,
+    score: u64,
+}
+
 struct SizeReport {
     n: usize,
     build_serial_s: f64,
@@ -57,6 +71,7 @@ struct SizeReport {
     batch_par_s: f64,
     batch_builds: usize,
     batch_identical: bool,
+    anytime: Vec<AnytimeRow>,
 }
 
 fn measure(n: usize, data: &Dataset) -> SizeReport {
@@ -132,6 +147,24 @@ fn measure(n: usize, data: &Dataset) -> SizeReport {
         .zip(&seq_reports)
         .all(|(a, b)| a.ranking == b.ranking && a.score == b.score && a.outcome == b.outcome);
 
+    // Anytime responsiveness per algorithm: when did the first/last
+    // incumbent land? Read from the *sequential* batch's traces so the
+    // numbers are not skewed by batch-level scheduler contention.
+    let anytime: Vec<AnytimeRow> = seq_reports
+        .iter()
+        .map(|r| AnytimeRow {
+            name: r.algorithm(),
+            first_incumbent_s: r
+                .time_to_first_incumbent()
+                .map_or(f64::NAN, |d| d.as_secs_f64()),
+            final_incumbent_s: r
+                .time_to_final_incumbent()
+                .map_or(f64::NAN, |d| d.as_secs_f64()),
+            incumbents: r.trace.len(),
+            score: r.score,
+        })
+        .collect();
+
     SizeReport {
         n,
         build_serial_s,
@@ -146,13 +179,14 @@ fn measure(n: usize, data: &Dataset) -> SizeReport {
         batch_par_s,
         batch_builds: par_engine.cache().builds(),
         batch_identical,
+        anytime,
     }
 }
 
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_1.json".to_owned());
+        .unwrap_or_else(|| "BENCH_3.json".to_owned());
     let threads = rank_core::parallel::num_threads();
     let sampler = UniformSampler::new(*NS.iter().max().expect("non-empty"));
 
@@ -161,6 +195,21 @@ fn main() {
         let mut rng = StdRng::seed_from_u64(42 + n as u64);
         let data = sampler.sample_dataset(n, M, &mut rng);
         let r = measure(n, &data);
+        let slowest_first = r
+            .anytime
+            .iter()
+            .max_by(|a, b| {
+                a.first_incumbent_s
+                    .partial_cmp(&b.first_incumbent_s)
+                    .expect("finite times")
+            })
+            .expect("non-empty panel");
+        eprintln!(
+            "n={:<4} slowest first incumbent: {} at {:.1}ms",
+            r.n,
+            slowest_first.name,
+            slowest_first.first_incumbent_s * 1e3
+        );
         eprintln!(
             "n={:<4} build {:.2}ms→{:.2}ms  sweep {:.2}ms  multistart {:.1}ms→{:.1}ms ({:.2}x, identical={})  batch {:.1}ms→{:.1}ms ({:.2}x, builds={}, identical={})",
             r.n,
@@ -184,7 +233,7 @@ fn main() {
     json.push_str("{\n");
     let _ = writeln!(
         json,
-        "  \"bench\": \"parallel consensus kernel (PR 1) + engine batch front door (PR 2)\","
+        "  \"bench\": \"parallel consensus kernel (PR 1) + engine batch front door (PR 2) + anytime incumbent traces (PR 3)\","
     );
     let _ = writeln!(json, "  \"m\": {M},");
     let _ = writeln!(json, "  \"worker_threads\": {threads},");
@@ -244,9 +293,23 @@ fn main() {
         );
         let _ = writeln!(
             json,
-            "      \"engine_batch_matches_sequential\": {}",
+            "      \"engine_batch_matches_sequential\": {},",
             r.batch_identical
         );
+        json.push_str("      \"anytime\": [\n");
+        for (j, a) in r.anytime.iter().enumerate() {
+            let _ = writeln!(
+                json,
+                "        {{\"algorithm\": \"{}\", \"time_to_first_incumbent_secs\": {:.6}, \"time_to_final_incumbent_secs\": {:.6}, \"incumbents\": {}, \"score\": {}}}{}",
+                a.name,
+                a.first_incumbent_s,
+                a.final_incumbent_s,
+                a.incumbents,
+                a.score,
+                if j + 1 < r.anytime.len() { "," } else { "" }
+            );
+        }
+        json.push_str("      ]\n");
         let _ = writeln!(
             json,
             "    }}{}",

@@ -228,7 +228,7 @@ impl AilonThreeHalves {
                     }
                 }
             }
-            if ctx.expired() {
+            if ctx.checkpoint().is_stop() {
                 return relax;
             }
         }
@@ -300,6 +300,17 @@ impl ConsensusAlgorithm for AilonThreeHalves {
         }
         if n == 1 {
             return data.ranking(0).clone();
+        }
+        // The best input ranking is the run's immediate incumbent (what
+        // Pick-a-Perm would return), so a job cancelled inside the LP —
+        // whose rounds are checkpointed but not preemptible — still has a
+        // harvestable consensus from the first milliseconds. Subscriber-
+        // gated: a blocking `Engine::run` must not pay the O(m·n²) input
+        // scan just for an extra trace point nobody streams.
+        if ctx.has_subscriber() {
+            if let Some(best_input) = data.rankings().iter().min_by_key(|r| pairs.score(r)) {
+                ctx.offer_incumbent(best_input, pairs.score(best_input));
+            }
         }
         match self.solve_lp(&pairs, ctx) {
             None => fallback(ctx),

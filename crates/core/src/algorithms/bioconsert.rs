@@ -83,6 +83,9 @@ pub(crate) fn local_search(
         }
     }
     let mut score = pairs.score(start);
+    // The start itself is the run's first incumbent: a job cancelled
+    // before any sweep completes still has a harvestable consensus.
+    ctx.offer_incumbent(start, score);
 
     // Reusable per-sweep buffers (perf-book: keep workhorse collections).
     let mut ca: Vec<u64> = Vec::new(); // cost if e strictly after bucket i
@@ -90,7 +93,7 @@ pub(crate) fn local_search(
     let mut ct: Vec<u64> = Vec::new(); // cost if e tied with bucket i
 
     let mut improved = true;
-    while improved && !ctx.expired() {
+    while improved && ctx.checkpoint().is_continue() {
         improved = false;
         for id in 0..n {
             let e = Element(id as u32);
@@ -164,6 +167,12 @@ pub(crate) fn local_search(
                 score -= current_cost - best_cost;
                 improved = true;
             }
+        }
+        // Publish each improving sweep's state: the per-start quality
+        // curve the anytime API streams (snapshot only when listened to).
+        if improved && ctx.has_sink() {
+            let snapshot = Ranking::from_buckets(buckets.clone()).expect("moves preserve validity");
+            ctx.offer_incumbent(&snapshot, score);
         }
     }
 

@@ -67,7 +67,7 @@ impl Search<'_> {
 
     fn dfs(&mut self, ctx: &mut AlgoContext) {
         self.nodes += 1;
-        if self.nodes.is_multiple_of(self.stride) && ctx.expired() {
+        if self.nodes.is_multiple_of(self.stride) && ctx.checkpoint().is_stop() {
             self.aborted = true;
         }
         if self.aborted {
@@ -77,6 +77,12 @@ impl Search<'_> {
             if self.g < self.best_score {
                 self.best_score = self.g;
                 self.best_perm = self.prefix.clone();
+                if ctx.has_sink() {
+                    ctx.offer_incumbent(
+                        &Ranking::permutation(&self.best_perm).expect("permutation"),
+                        self.best_score,
+                    );
+                }
             }
             return;
         }
@@ -174,6 +180,12 @@ impl BranchAndBound {
         let pairs = ctx.cost_matrix(data);
         let incumbent = greedy_permutation(data, &pairs);
         let incumbent_score = perm_score(&incumbent, &pairs);
+        if ctx.has_sink() {
+            ctx.offer_incumbent(
+                &Ranking::permutation(&incumbent).expect("permutation"),
+                incumbent_score,
+            );
+        }
         if n > self.max_n {
             ctx.set_timed_out();
             return (

@@ -44,7 +44,10 @@ impl ConsensusAlgorithm for BordaCount {
         true // via the equal-score adaptation
     }
 
-    fn run(&self, data: &Dataset, _ctx: &mut AlgoContext) -> Ranking {
+    fn run(&self, data: &Dataset, ctx: &mut AlgoContext) -> Ranking {
+        // One-shot kernel: the checkpoint records a pre-expired deadline
+        // or pending cancel so the report's outcome is honest.
+        let _ = ctx.checkpoint();
         ranking_from_scores(&borda_scores(data), true)
     }
 }

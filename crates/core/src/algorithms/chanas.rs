@@ -100,13 +100,25 @@ fn chanas_core(data: &Dataset, ctx: &mut AlgoContext, both: bool) -> Ranking {
     let mut cur = random_start(data, &mut ctx.rng);
     sort_to_local_opt(&mut cur, &pairs, both);
     let mut best_score = perm_score(&cur, &pairs);
+    if ctx.has_sink() {
+        ctx.offer_incumbent(
+            &Ranking::permutation(&cur).expect("permutation of the elements"),
+            best_score,
+        );
+    }
     loop {
         let mut cand: Vec<Element> = cur.iter().rev().copied().collect();
         sort_to_local_opt(&mut cand, &pairs, both);
         let s = perm_score(&cand, &pairs);
-        if s < best_score && !ctx.expired() {
+        if s < best_score && ctx.checkpoint().is_continue() {
             cur = cand;
             best_score = s;
+            if ctx.has_sink() {
+                ctx.offer_incumbent(
+                    &Ranking::permutation(&cur).expect("permutation of the elements"),
+                    best_score,
+                );
+            }
         } else {
             break;
         }

@@ -30,7 +30,10 @@ impl ConsensusAlgorithm for CopelandMethod {
         true // via the equal-score adaptation
     }
 
-    fn run(&self, data: &Dataset, _ctx: &mut AlgoContext) -> Ranking {
+    fn run(&self, data: &Dataset, ctx: &mut AlgoContext) -> Ranking {
+        // One-shot kernel: the checkpoint records a pre-expired deadline
+        // or pending cancel so the report's outcome is honest.
+        let _ = ctx.checkpoint();
         let mut scores = vec![0u64; data.n()];
         for r in data.rankings() {
             let mut after = r.n_elements() as u64;
@@ -60,6 +63,7 @@ impl ConsensusAlgorithm for CopelandPairwise {
     }
 
     fn run(&self, data: &Dataset, ctx: &mut AlgoContext) -> Ranking {
+        let _ = ctx.checkpoint();
         let pairs = ctx.cost_matrix(data);
         let n = data.n();
         let mut scores = vec![0u64; n];

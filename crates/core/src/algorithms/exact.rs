@@ -244,7 +244,7 @@ struct Search<'a> {
 impl Search<'_> {
     fn dfs(&mut self, node: &Node, ctx: &mut AlgoContext) {
         self.nodes += 1;
-        if self.nodes.is_multiple_of(self.stride) && ctx.expired() {
+        if self.nodes.is_multiple_of(self.stride) && ctx.checkpoint().is_stop() {
             self.aborted = true;
         }
         if self.aborted {
@@ -254,6 +254,16 @@ impl Search<'_> {
             if node.g < self.best_score {
                 self.best_score = node.g;
                 self.best_assign = node.assign.clone();
+                // Snapshot only when a sink listens (it is muted during
+                // block decomposition — no dead allocations in the hot
+                // search loop).
+                if ctx.has_sink() {
+                    ctx.offer_incumbent(
+                        &Ranking::from_bucket_indices(&self.best_assign)
+                            .expect("assignment is a partition"),
+                        self.best_score,
+                    );
+                }
             }
             return;
         }
@@ -304,6 +314,24 @@ impl ExactAlgorithm {
         if blocks.len() == 1 {
             return self.solve_monolithic(data, ctx);
         }
+        // Sub-instance incumbents live in each block's remapped element
+        // space — publishing them to the whole-dataset job would be
+        // nonsense, so mute the sink for the decomposed solves and offer
+        // only the assembled consensus below. So that a decomposed job is
+        // still anytime (streams a harvestable consensus before the full
+        // proof lands), first publish a whole-dataset heuristic incumbent —
+        // but only when someone is actually streaming: a blocking
+        // `Engine::run` has no subscriber and must not pay an extra
+        // whole-dataset local search just for an early trace point.
+        if ctx.has_subscriber() {
+            let incumbent = bioconsert::BioConsert {
+                force_sequential: true,
+                ..bioconsert::BioConsert::default()
+            }
+            .run(data, ctx);
+            ctx.offer_incumbent(&incumbent, pairs.score(&incumbent));
+        }
+        let sink = ctx.take_sink();
         // Cross-block pairs are strictly ordered block-before-block — by
         // construction of the safe split, that is each pair's cheapest
         // state.
@@ -336,6 +364,8 @@ impl ExactAlgorithm {
         }
         let ranking = Ranking::from_buckets(buckets).expect("blocks partition the elements");
         debug_assert_eq!(pairs.score(&ranking), total);
+        ctx.set_sink(sink);
+        ctx.offer_incumbent(&ranking, total);
         (ranking, total, proved)
     }
 

@@ -56,9 +56,13 @@ impl ConsensusAlgorithm for FaginDyn {
         true
     }
 
-    fn run(&self, data: &Dataset, _ctx: &mut AlgoContext) -> Ranking {
+    fn run(&self, data: &Dataset, ctx: &mut AlgoContext) -> Ranking {
+        // One-shot DP (no valid early exit mid-table): the checkpoint
+        // records a pre-expired deadline or pending cancel so the
+        // report's outcome is honest.
+        let _ = ctx.checkpoint();
         let n = data.n();
-        let pairs = _ctx.cost_matrix(data);
+        let pairs = ctx.cost_matrix(data);
 
         // Fix the element order by Borda score (ascending), ties by id —
         // the positional order the DP refines into buckets.

@@ -80,6 +80,10 @@ impl ConsensusAlgorithm for KwikSort {
     }
 
     fn run(&self, data: &Dataset, ctx: &mut AlgoContext) -> Ranking {
+        // One-shot kernel: too fast to stop midway, but the checkpoint
+        // still records a pre-expired deadline or pending cancel so the
+        // report's outcome is honest.
+        let _ = ctx.checkpoint();
         let pairs = ctx.cost_matrix(data);
         let elems: Vec<Element> = (0..data.n() as u32).map(Element).collect();
         let mut out = Vec::new();

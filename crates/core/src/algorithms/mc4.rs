@@ -89,7 +89,7 @@ impl ConsensusAlgorithm for Mc4 {
                 delta += (v - pi[a]).abs();
                 pi[a] = v;
             }
-            if delta < self.tolerance || ctx.expired() {
+            if delta < self.tolerance || ctx.checkpoint().is_stop() {
                 break;
             }
         }

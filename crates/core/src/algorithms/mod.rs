@@ -40,6 +40,17 @@
 //! * [`AlgoContext::cost_matrix`] returns the dataset's shared cost
 //!   matrix, building it at most once per dataset per context family (see
 //!   the [`crate::pairs`] module docs for the contract).
+//!
+//! # Anytime execution
+//!
+//! Every iterative algorithm polls [`AlgoContext::checkpoint`] at its
+//! natural stopping points — one call that observes both the wall-clock
+//! deadline and cooperative cancellation — and publishes improving
+//! solutions through [`AlgoContext::offer_incumbent`]. The engine's job
+//! API ([`crate::engine::Engine::submit`]) builds on exactly this surface:
+//! streaming incumbents, harvestable best-so-far, prompt cancellation.
+//! Offers are observational — they never influence the computation — so
+//! the determinism contract above is unaffected.
 
 pub mod ailon;
 pub mod bioconsert;
@@ -57,6 +68,7 @@ pub mod repeat_choice;
 
 use crate::dataset::Dataset;
 use crate::element::Element;
+use crate::engine::job::{CancelToken, IncumbentSink};
 use crate::engine::{AlgoSpec, ExecPolicy};
 use crate::pairs::CostMatrix;
 use crate::parallel;
@@ -78,6 +90,43 @@ struct OutcomeFlags {
     /// Set by exact solvers when optimality was *proved* (not just a best
     /// incumbent found).
     proved_optimal: AtomicBool,
+    /// Set when a [`AlgoContext::checkpoint`] observed a cancellation
+    /// request — the run stopped because the caller asked, not because
+    /// time ran out.
+    cancelled: AtomicBool,
+}
+
+/// What an algorithm should do after a [`AlgoContext::checkpoint`].
+///
+/// The checkpoint folds the two early-stop sources — the wall-clock
+/// deadline and cooperative cancellation
+/// ([`crate::engine::job::CancelToken`]) — into one answer, replacing the
+/// earlier ad-hoc `expired()`/`set_timed_out()` discipline. `#[must_use]`:
+/// ignoring a `Stop` keeps the run burning budget after the caller asked
+/// it to stop.
+#[must_use]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Control {
+    /// Keep computing.
+    Continue,
+    /// Stop at the nearest consistent point and return the best incumbent
+    /// published so far (the checkpoint already recorded *why* in the
+    /// outcome flags).
+    Stop,
+}
+
+impl Control {
+    /// `true` when the algorithm should stop now.
+    #[inline]
+    pub fn is_stop(self) -> bool {
+        self == Control::Stop
+    }
+
+    /// `true` when the algorithm may keep computing.
+    #[inline]
+    pub fn is_continue(self) -> bool {
+        self == Control::Continue
+    }
 }
 
 /// Cache key: dataset shape plus a 128-bit content fingerprint.
@@ -210,6 +259,10 @@ pub struct AlgoContext {
     flags: Arc<OutcomeFlags>,
     /// Cost-matrix cache — possibly shared much wider (engine-wide).
     cache: Arc<MatrixCache>,
+    /// Where this run publishes improving incumbents, if anyone listens.
+    sink: Option<Arc<IncumbentSink>>,
+    /// Cooperative cancellation flag shared with the job's handle.
+    cancel: CancelToken,
 }
 
 impl AlgoContext {
@@ -229,6 +282,8 @@ impl AlgoContext {
             seed,
             flags: Arc::new(OutcomeFlags::default()),
             cache,
+            sink: None,
+            cancel: CancelToken::new(),
         }
     }
 
@@ -257,6 +312,8 @@ impl AlgoContext {
             seed: worker_seed,
             flags: Arc::clone(&self.flags),
             cache: Arc::clone(&self.cache),
+            sink: self.sink.clone(),
+            cancel: self.cancel.clone(),
         }
     }
 
@@ -271,7 +328,106 @@ impl AlgoContext {
         self.cache.get(data)
     }
 
+    /// The cooperative control checkpoint every iterative algorithm polls
+    /// at its natural stopping points (per sweep, per node-expansion
+    /// stride, per cutting-plane round, per repeat).
+    ///
+    /// One call folds both early-stop sources together and records which
+    /// one fired: a pending cancellation ([`Self::cancel_token`]) sets the
+    /// cancelled flag, an expired [`Self::deadline`] sets the timed-out
+    /// flag. On [`Control::Stop`] the algorithm should stop at the nearest
+    /// consistent point and return its best incumbent. Cancellation takes
+    /// precedence over the deadline (a cancelled run reports
+    /// [`crate::engine::Outcome::Cancelled`], not `TimedOut`).
+    #[inline]
+    pub fn checkpoint(&self) -> Control {
+        if self.cancel.is_cancelled() {
+            self.flags.cancelled.store(true, Ordering::Relaxed);
+            return Control::Stop;
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                self.flags.timed_out.store(true, Ordering::Relaxed);
+                return Control::Stop;
+            }
+        }
+        Control::Continue
+    }
+
+    /// Publish a candidate consensus to this run's incumbent sink, if one
+    /// is attached. Only strict score improvements are recorded, so
+    /// algorithms can offer freely (per sweep, per repeat, per
+    /// branch-and-bound improvement) without checking the best themselves.
+    /// A no-op — in particular, no clone — when nobody listens.
+    #[inline]
+    pub fn offer_incumbent(&self, ranking: &Ranking, score: u64) {
+        if let Some(sink) = &self.sink {
+            sink.offer(ranking, score);
+        }
+    }
+
+    /// Whether an incumbent sink is attached — lets algorithms skip
+    /// building a snapshot `Ranking` for [`Self::offer_incumbent`] when
+    /// nobody is listening.
+    #[inline]
+    pub fn has_sink(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Whether the attached sink is being live-streamed (a
+    /// [`crate::engine::JobHandle`] holds its event channel). Blocking
+    /// `run`/`run_batch` record traces through a subscriber-less sink;
+    /// algorithms gate work whose *only* value is an early streamed
+    /// incumbent (not a better result) on this instead of [`Self::has_sink`].
+    #[inline]
+    pub fn has_subscriber(&self) -> bool {
+        self.sink.as_ref().is_some_and(|s| s.has_subscriber())
+    }
+
+    /// Attach the incumbent sink this run should publish to. Workers
+    /// derived *afterwards* share it; the engine attaches one per request.
+    pub fn attach_sink(&mut self, sink: Arc<IncumbentSink>) {
+        self.sink = Some(sink);
+    }
+
+    /// Detach the sink (returning it), muting [`Self::offer_incumbent`].
+    ///
+    /// The exact solver uses this around its block decomposition:
+    /// sub-instance incumbents live in a remapped element space, so
+    /// publishing them to the whole-dataset job would be wrong.
+    pub fn take_sink(&mut self) -> Option<Arc<IncumbentSink>> {
+        self.sink.take()
+    }
+
+    /// Restore a sink previously taken with [`Self::take_sink`].
+    pub fn set_sink(&mut self, sink: Option<Arc<IncumbentSink>>) {
+        self.sink = sink;
+    }
+
+    /// The cancellation token [`Self::checkpoint`] observes. Clone it and
+    /// call [`CancelToken::cancel`] from any thread to stop the run
+    /// cooperatively.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Replace the cancellation token (the engine wires the job handle's
+    /// token in before the run starts).
+    pub fn set_cancel_token(&mut self, token: CancelToken) {
+        self.cancel = token;
+    }
+
+    /// Whether a checkpoint of this run observed a cancellation request.
+    #[inline]
+    pub fn cancelled(&self) -> bool {
+        self.flags.cancelled.load(Ordering::Relaxed)
+    }
+
     /// `true` (and records the timeout) once the deadline has passed.
+    ///
+    /// Prefer [`Self::checkpoint`] in algorithm loops — it also observes
+    /// cancellation; `expired` remains for deadline-only call sites and
+    /// tests.
     #[inline]
     pub fn expired(&self) -> bool {
         if let Some(d) = self.deadline {
@@ -311,6 +467,7 @@ impl AlgoContext {
     pub fn reset_flags(&self) {
         self.flags.timed_out.store(false, Ordering::Relaxed);
         self.flags.proved_optimal.store(false, Ordering::Relaxed);
+        self.flags.cancelled.store(false, Ordering::Relaxed);
     }
 }
 
@@ -384,11 +541,15 @@ impl ConsensusAlgorithm for BestOf {
         let repeats: Vec<usize> = (0..self.runs).collect();
         let scored = parallel::par_map_slice(&repeats, threads, |_, &r| {
             let mut worker = ctx.worker(r as u64);
-            if worker.expired() {
+            if worker.checkpoint().is_stop() {
                 return None;
             }
             let cand = self.base.run(data, &mut worker);
             let score = pairs.score(&cand);
+            // Each finished repeat is an anytime incumbent: a cancelled or
+            // timed-out BestOf job still hands back the best repeat that
+            // beat the cutoff.
+            worker.offer_incumbent(&cand, score);
             Some((score, cand))
         });
         scored

@@ -27,6 +27,9 @@ impl ConsensusAlgorithm for PickAPerm {
     }
 
     fn run(&self, data: &Dataset, ctx: &mut AlgoContext) -> Ranking {
+        // One-shot kernel: the checkpoint records a pre-expired deadline
+        // or pending cancel so the report's outcome is honest.
+        let _ = ctx.checkpoint();
         let pairs = ctx.cost_matrix(data);
         data.rankings()
             .iter()

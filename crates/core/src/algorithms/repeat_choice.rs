@@ -66,6 +66,11 @@ impl ConsensusAlgorithm for RepeatChoice {
         let first = data.ranking(order[0]);
         let mut buckets: Vec<Vec<Element>> = first.buckets().map(|b| b.to_vec()).collect();
         for &i in &order[1..] {
+            // A prefix of the refinement chain is itself a valid (merely
+            // coarser) consensus, so the loop is a legitimate stop point.
+            if ctx.checkpoint().is_stop() {
+                break;
+            }
             buckets = refine(buckets, data.ranking(i));
         }
         Ranking::from_buckets(buckets).expect("refinement preserves validity")

@@ -1,0 +1,305 @@
+//! Anytime jobs: streaming incumbents, cooperative cancellation, and the
+//! [`JobHandle`] a caller holds while the engine thinks.
+//!
+//! The paper's central experiment is quality under a wall-clock budget
+//! (§6: heuristics vs. the exact solver cut off at a time limit). A
+//! serving system needs the *live* version of that story: observe the
+//! best-so-far consensus while a request runs, harvest it at any moment,
+//! and cancel a runaway job without losing the work already done. This
+//! module is that surface (DESIGN.md §9):
+//!
+//! * [`IncumbentSink`] — where algorithms publish monotonically improving
+//!   consensus candidates via
+//!   [`AlgoContext::offer_incumbent`](crate::algorithms::AlgoContext::offer_incumbent).
+//!   The sink keeps the best ranking, the full time-to-score [`TracePoint`]
+//!   curve, and streams an [`Event`] per improvement.
+//! * [`CancelToken`] — a clonable flag observed by every algorithm's
+//!   [`AlgoContext::checkpoint`](crate::algorithms::AlgoContext::checkpoint).
+//! * [`JobHandle`] — returned by [`Engine::submit`](super::Engine::submit):
+//!   subscribe to [`JobHandle::events`], peek [`JobHandle::best_so_far`],
+//!   [`JobHandle::cancel`], and [`JobHandle::wait`] for the final
+//!   [`ConsensusReport`].
+//!
+//! # Event ordering guarantees
+//!
+//! Per job: exactly one [`Event::Started`] first and one
+//! [`Event::Finished`] last; between them, [`Event::Incumbent`] scores are
+//! **strictly decreasing** (improvements are recorded and emitted under
+//! one lock, so no stale incumbent can be published out of order). For
+//! every stopped (cancelled / timed-out) job, and for every completed job
+//! except one documented case, the final report's score equals the last
+//! `Incumbent` event's score. The exception: a *completed* Ailon run may
+//! report its LP-rounding result even when that is worse than the
+//! best-input incumbent it streamed early — completed runs always keep
+//! the kernel's own result, the bit-identical contract with the
+//! pre-anytime engine (DESIGN.md §9.3).
+
+use super::{ConsensusReport, Outcome};
+use crate::engine::AlgoSpec;
+use crate::ranking::Ranking;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// One point of a job's quality-vs-time curve: the job had found a
+/// consensus of `score` after `elapsed` of wall clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TracePoint {
+    /// Wall-clock time since the job was submitted — the serving view,
+    /// which includes context setup and the cost-matrix build, so
+    /// "time to first incumbent" means what a waiting caller experiences.
+    pub elapsed: Duration,
+    /// Generalized Kemeny score of the incumbent at that moment.
+    pub score: u64,
+}
+
+/// What a running job tells its subscribers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// The job began executing (after any queueing).
+    Started {
+        /// The spec about to run.
+        spec: AlgoSpec,
+        /// The seed its RNG streams derive from.
+        seed: u64,
+    },
+    /// A strictly better consensus was found.
+    Incumbent {
+        /// Generalized Kemeny score of the new incumbent.
+        score: u64,
+        /// Fractional improvement over the previous incumbent
+        /// (`(prev − score) / prev`); `None` for the first incumbent or
+        /// when the previous score was 0.
+        gap: Option<f64>,
+        /// Wall-clock time since the job was submitted (see
+        /// [`TracePoint::elapsed`]).
+        elapsed: Duration,
+    },
+    /// The job ended; [`JobHandle::wait`] returns the full report.
+    Finished(Outcome),
+}
+
+/// Cooperative cancellation flag, shared between a [`JobHandle`] and every
+/// worker context of its run. Cancelling is a request, not preemption: the
+/// run stops at its next
+/// [`checkpoint`](crate::algorithms::AlgoContext::checkpoint) and returns
+/// its best incumbent.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Request cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Best incumbent + trace + event sender, guarded by one lock so
+/// improvements are recorded and emitted atomically (the strict-decrease
+/// guarantee of the module docs).
+#[derive(Debug, Default)]
+struct SinkState {
+    best: Option<(u64, Ranking)>,
+    trace: Vec<TracePoint>,
+    sender: Option<Sender<Event>>,
+}
+
+/// Where a run publishes monotonically improving incumbents.
+///
+/// Shared by an [`AlgoContext`](crate::algorithms::AlgoContext) and all
+/// its workers; the engine attaches one per request, so every
+/// [`ConsensusReport`] carries the run's time-to-score
+/// [`ConsensusReport::trace`](super::ConsensusReport::trace) even for the
+/// blocking `run`/`run_batch` paths. Offers that do not strictly improve
+/// on the best so far are ignored, so the recorded curve is always
+/// strictly decreasing regardless of how many parallel workers offer.
+#[derive(Debug)]
+pub struct IncumbentSink {
+    started: Instant,
+    state: Mutex<SinkState>,
+}
+
+impl Default for IncumbentSink {
+    fn default() -> Self {
+        IncumbentSink::new()
+    }
+}
+
+impl IncumbentSink {
+    /// A sink with no subscriber; the clock starts now.
+    pub fn new() -> Self {
+        IncumbentSink {
+            started: Instant::now(),
+            state: Mutex::new(SinkState::default()),
+        }
+    }
+
+    /// A sink streaming events to `sender` (what [`Engine::submit`]
+    /// wires to the [`JobHandle`]'s receiver).
+    ///
+    /// [`Engine::submit`]: super::Engine::submit
+    pub(crate) fn with_sender(sender: Sender<Event>) -> Self {
+        IncumbentSink {
+            started: Instant::now(),
+            state: Mutex::new(SinkState {
+                sender: Some(sender),
+                ..SinkState::default()
+            }),
+        }
+    }
+
+    /// Offer a candidate consensus. Records it (and emits
+    /// [`Event::Incumbent`]) only when `score` strictly improves on the
+    /// best so far; returns whether it did. The ranking is cloned only on
+    /// improvement.
+    pub fn offer(&self, ranking: &Ranking, score: u64) -> bool {
+        let mut state = self.state.lock().expect("incumbent sink poisoned");
+        let prev = state.best.as_ref().map(|(s, _)| *s);
+        if prev.is_some_and(|p| p <= score) {
+            return false;
+        }
+        let elapsed = self.started.elapsed();
+        state.best = Some((score, ranking.clone()));
+        state.trace.push(TracePoint { elapsed, score });
+        let gap = prev
+            .filter(|&p| p > 0)
+            .map(|p| (p - score) as f64 / p as f64);
+        if let Some(sender) = &state.sender {
+            // A dropped receiver just means nobody is watching.
+            let _ = sender.send(Event::Incumbent {
+                score,
+                gap,
+                elapsed,
+            });
+        }
+        true
+    }
+
+    /// The best `(score, ranking)` offered so far.
+    pub fn best_so_far(&self) -> Option<(u64, Ranking)> {
+        self.state
+            .lock()
+            .expect("incumbent sink poisoned")
+            .best
+            .clone()
+    }
+
+    /// The time-to-score curve so far (strictly decreasing scores).
+    pub fn trace(&self) -> Vec<TracePoint> {
+        self.state
+            .lock()
+            .expect("incumbent sink poisoned")
+            .trace
+            .clone()
+    }
+
+    /// Whether anyone is live-streaming this sink's events (a
+    /// [`JobHandle`] holds the receiving end). Blocking `run`/`run_batch`
+    /// attach a *senderless* sink — the trace is still recorded, but
+    /// algorithms use this to skip extra work whose only value is an
+    /// early streamed incumbent (e.g. the exact solver's pre-decomposition
+    /// heuristic, Ailon's best-input scan).
+    pub fn has_subscriber(&self) -> bool {
+        self.state
+            .lock()
+            .expect("incumbent sink poisoned")
+            .sender
+            .is_some()
+    }
+
+    /// Stream a lifecycle event ([`Event::Started`] / [`Event::Finished`])
+    /// to the subscriber, if any.
+    pub(crate) fn emit(&self, event: Event) {
+        let state = self.state.lock().expect("incumbent sink poisoned");
+        if let Some(sender) = &state.sender {
+            let _ = sender.send(event);
+        }
+    }
+
+    /// Drop the event sender so a draining receiver sees the stream end
+    /// (called once, after [`Event::Finished`]).
+    pub(crate) fn close(&self) {
+        self.state.lock().expect("incumbent sink poisoned").sender = None;
+    }
+}
+
+/// A handle on one submitted aggregation job
+/// ([`Engine::submit`](super::Engine::submit)).
+///
+/// The job runs on its own thread; the handle observes and steers it:
+///
+/// * [`JobHandle::events`] — blocking iterator over the job's [`Event`]
+///   stream (ends after [`Event::Finished`]);
+/// * [`JobHandle::try_events`] / [`JobHandle::next_event`] — non-blocking
+///   and bounded-wait variants for poll loops;
+/// * [`JobHandle::best_so_far`] — the current incumbent, harvestable at
+///   any moment without disturbing the run;
+/// * [`JobHandle::cancel`] — cooperative cancellation; the job returns its
+///   best incumbent with [`Outcome::Cancelled`];
+/// * [`JobHandle::wait`] — join the job and take its [`ConsensusReport`].
+#[derive(Debug)]
+pub struct JobHandle {
+    pub(crate) sink: Arc<IncumbentSink>,
+    pub(crate) cancel: CancelToken,
+    pub(crate) events: Receiver<Event>,
+    pub(crate) thread: JoinHandle<ConsensusReport>,
+}
+
+impl JobHandle {
+    /// Blocking iterator over the job's events, in emission order. Ends
+    /// once the job has finished and all events are drained.
+    pub fn events(&self) -> impl Iterator<Item = Event> + '_ {
+        self.events.iter()
+    }
+
+    /// Drain the events available right now, without blocking.
+    pub fn try_events(&self) -> impl Iterator<Item = Event> + '_ {
+        self.events.try_iter()
+    }
+
+    /// The next event, waiting at most `timeout`. `None` on timeout or
+    /// once the stream has ended.
+    pub fn next_event(&self, timeout: Duration) -> Option<Event> {
+        self.events.recv_timeout(timeout).ok()
+    }
+
+    /// The best `(score, ranking)` the job has found so far, if any.
+    pub fn best_so_far(&self) -> Option<(u64, Ranking)> {
+        self.sink.best_so_far()
+    }
+
+    /// Request cooperative cancellation: the run stops at its next
+    /// checkpoint and [`JobHandle::wait`] returns a report whose outcome
+    /// is [`Outcome::Cancelled`] and whose ranking is the last published
+    /// incumbent. Idempotent; cancelling a finished job has no effect.
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+
+    /// Whether the job's thread has finished executing (its report may
+    /// still be waiting to be collected with [`JobHandle::wait`]).
+    pub fn is_finished(&self) -> bool {
+        self.thread.is_finished()
+    }
+
+    /// Join the job and return its report. Propagates a panic from the
+    /// job thread, if any.
+    pub fn wait(self) -> ConsensusReport {
+        match self.thread.join() {
+            Ok(report) => report,
+            Err(panic) => std::panic::resume_unwind(panic),
+        }
+    }
+}

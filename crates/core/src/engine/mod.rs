@@ -16,7 +16,12 @@
 //!   time, a per-request [`Outcome`], the spec and seed for provenance);
 //! * [`Engine`] — [`Engine::run`] for one request, [`Engine::run_batch`]
 //!   for concurrent execution of many requests over one shared
-//!   fingerprint-keyed cost-matrix cache and a bounded worker pool.
+//!   fingerprint-keyed cost-matrix cache and a bounded worker pool;
+//! * [`Engine::submit`] — the **anytime** path ([`job`], DESIGN.md §9):
+//!   a [`JobHandle`] streaming [`Event`]s (started / strictly improving
+//!   incumbents / finished), a harvestable best-so-far, cooperative
+//!   cancellation, and a time-to-score [`ConsensusReport::trace`] in every
+//!   report. `run`/`run_batch` are thin wrappers over submit + wait.
 //!
 //! # Quick example
 //!
@@ -38,9 +43,11 @@
 //! assert_eq!(report.outcome, Outcome::Optimal);
 //! ```
 
+pub mod job;
 pub mod request;
 pub mod spec;
 
+pub use job::{CancelToken, Event, IncumbentSink, JobHandle, TracePoint};
 pub use request::{AggregationRequest, BatchBuilder, Normalization};
 pub use spec::{
     extended_panel, full_panel, paper_panel, registry, suggest, AlgoEntry, AlgoSpec, ExecPolicy,
@@ -51,6 +58,7 @@ use crate::algorithms::{AlgoContext, MatrixCache};
 use crate::parallel;
 use crate::ranking::Ranking;
 use crate::score;
+use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -64,13 +72,17 @@ pub enum Outcome {
     /// The run hit its budget (or an internal cap) and returned its best
     /// incumbent — the paper reports these as "no result".
     TimedOut,
+    /// The caller cancelled the job ([`JobHandle::cancel`]); the report
+    /// carries the best incumbent published before the run stopped.
+    Cancelled,
 }
 
 impl Outcome {
     /// Whether the run produced a within-budget result (the paper's
-    /// tables count `TimedOut` as "no result").
+    /// tables count `TimedOut` as "no result"; a cancelled run is the
+    /// caller's own cut, also not a completed result).
     pub fn completed(&self) -> bool {
-        !matches!(self, Outcome::TimedOut)
+        !matches!(self, Outcome::TimedOut | Outcome::Cancelled)
     }
 }
 
@@ -80,6 +92,7 @@ impl std::fmt::Display for Outcome {
             Outcome::Optimal => write!(f, "optimal"),
             Outcome::Heuristic => write!(f, "heuristic"),
             Outcome::TimedOut => write!(f, "timed out"),
+            Outcome::Cancelled => write!(f, "cancelled"),
         }
     }
 }
@@ -104,12 +117,35 @@ pub struct ConsensusReport {
     pub outcome: Outcome,
     /// Seed the run used (provenance; same seed + spec ⇒ same report).
     pub seed: u64,
+    /// The run's incumbent trace: the time-to-score curve of every strict
+    /// improvement the algorithm published (strictly decreasing scores,
+    /// ending at [`ConsensusReport::score`] — except for a completed
+    /// Ailon run, whose LP-rounding result may legitimately end worse
+    /// than the best-input incumbent it published early; see
+    /// DESIGN.md §9.3). This is the paper's §6 quality-vs-time story per
+    /// run, not just its endpoint. Observational: under parallel
+    /// execution the *timings* may vary run to run even though
+    /// ranking/score/outcome stay bit-identical for a fixed seed.
+    pub trace: Vec<TracePoint>,
 }
 
 impl ConsensusReport {
     /// The algorithm's display name as the paper's tables spell it.
     pub fn algorithm(&self) -> String {
         self.spec.paper_name()
+    }
+
+    /// Wall-clock time to the run's *first* incumbent — the anytime
+    /// responsiveness metric (`None` for an empty trace).
+    pub fn time_to_first_incumbent(&self) -> Option<Duration> {
+        self.trace.first().map(|p| p.elapsed)
+    }
+
+    /// Wall-clock time to the run's *final* (best) incumbent — when the
+    /// quality curve went flat, which can be far before
+    /// [`ConsensusReport::elapsed`] for solvers that then only prove.
+    pub fn time_to_final_incumbent(&self) -> Option<Duration> {
+        self.trace.last().map(|p| p.elapsed)
     }
 }
 
@@ -161,15 +197,78 @@ impl Engine {
         &self.cache
     }
 
-    /// Execute one request.
+    /// Submit one request as an **anytime job** on its own thread and
+    /// return immediately with a [`JobHandle`].
+    ///
+    /// The handle streams a typed [`Event`] sequence (`Started`, one
+    /// `Incumbent` per strict improvement, `Finished`), exposes the
+    /// harvestable [`JobHandle::best_so_far`], and supports cooperative
+    /// [`JobHandle::cancel`] — the run stops at its next
+    /// [`checkpoint`](crate::algorithms::AlgoContext::checkpoint) and
+    /// reports [`Outcome::Cancelled`] with the last published incumbent.
+    /// `submit` + [`JobHandle::wait`] is bit-identical to [`Engine::run`]
+    /// for a fixed seed (both drive the same execution core;
+    /// property-tested).
+    pub fn submit(&self, request: AggregationRequest) -> JobHandle {
+        let (sender, events) = mpsc::channel();
+        let sink = Arc::new(IncumbentSink::with_sender(sender));
+        let cancel = CancelToken::new();
+        let cache = Arc::clone(&self.cache);
+        let job_sink = Arc::clone(&sink);
+        let job_cancel = cancel.clone();
+        // The job thread logically occupies its spawner's pool position:
+        // a batch worker's job must not fan out again (thread-count
+        // parity with the pre-job direct-call path).
+        let in_worker = parallel::in_worker();
+        let thread = std::thread::Builder::new()
+            .name(format!("rank-job-{}", request.spec))
+            .spawn(move || {
+                if in_worker {
+                    parallel::mark_worker();
+                }
+                Engine::execute(&request, &cache, &job_sink, job_cancel)
+            })
+            .expect("spawn job thread");
+        JobHandle {
+            sink,
+            cancel,
+            events,
+            thread,
+        }
+    }
+
+    /// Execute one request, blocking until done.
     ///
     /// The run gets fresh outcome flags and a worker RNG stream derived
     /// from `(request seed, spec paper name)`, so — without a budget — the
     /// report is a pure function of the request, bit-identical however
-    /// many other requests run concurrently.
+    /// many other requests run concurrently. Semantically identical to
+    /// [`Engine::submit`] + [`JobHandle::wait`] (property-tested), but
+    /// executes inline on the calling thread with a subscriber-less sink:
+    /// no per-request thread, no event channel — the report still carries
+    /// the full incumbent [`ConsensusReport::trace`].
     pub fn run(&self, request: &AggregationRequest) -> ConsensusReport {
-        let base = AlgoContext::with_cache(request.seed, Arc::clone(&self.cache));
+        let sink = Arc::new(IncumbentSink::new());
+        Engine::execute(request, &self.cache, &sink, CancelToken::new())
+    }
+
+    /// The synchronous core every job runs: build context + matrix, run
+    /// the kernel, reconcile the result with the incumbent sink, emit
+    /// lifecycle events, produce the report.
+    fn execute(
+        request: &AggregationRequest,
+        cache: &Arc<MatrixCache>,
+        sink: &Arc<IncumbentSink>,
+        cancel: CancelToken,
+    ) -> ConsensusReport {
+        sink.emit(Event::Started {
+            spec: request.spec.clone(),
+            seed: request.seed,
+        });
+        let base = AlgoContext::with_cache(request.seed, Arc::clone(cache));
         let mut ctx = base.worker(hash_name(&request.spec.paper_name()));
+        ctx.attach_sink(Arc::clone(sink));
+        ctx.set_cancel_token(cancel);
         let matrix = ctx.cost_matrix(&request.dataset);
         let algo = request.spec.build(request.policy);
         if let Some(budget) = request.budget {
@@ -180,14 +279,30 @@ impl Engine {
         let elapsed = start.elapsed();
         debug_assert!(request.dataset.is_complete_ranking(&ranking));
         let score = matrix.score(&ranking);
-        let outcome = if ctx.timed_out() {
+        // Publish the final result too, so one-shot algorithms (Borda,
+        // MEDRank, …) still yield a one-point trace and every trace ends
+        // at the reported score.
+        ctx.offer_incumbent(&ranking, score);
+        let outcome = if ctx.cancelled() {
+            Outcome::Cancelled
+        } else if ctx.timed_out() {
             Outcome::TimedOut
         } else if ctx.proved_optimal() {
             Outcome::Optimal
         } else {
             Outcome::Heuristic
         };
-        ConsensusReport {
+        // A stopped run may hand back a weaker state than the best
+        // incumbent it already published (e.g. cancel lands between two
+        // BioConsert starts): such reports carry the best known, so a
+        // cancelled job's score always equals its last `Incumbent` event.
+        // Completed runs keep the kernel's own result untouched — that is
+        // the bit-identical contract with the pre-anytime engine.
+        let (ranking, score) = match sink.best_so_far() {
+            Some((best, incumbent)) if !outcome.completed() && best < score => (incumbent, best),
+            _ => (ranking, score),
+        };
+        let report = ConsensusReport {
             spec: request.spec.clone(),
             ranking,
             score,
@@ -199,7 +314,11 @@ impl Engine {
             elapsed,
             outcome,
             seed: request.seed,
-        }
+            trace: sink.trace(),
+        };
+        sink.emit(Event::Finished(outcome));
+        sink.close();
+        report
     }
 
     /// Execute a batch of requests concurrently on the bounded worker

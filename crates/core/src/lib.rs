@@ -22,6 +22,11 @@
 //!   [`engine::ConsensusReport`] API with per-request outcomes, and
 //!   concurrent batches over a shared cost-matrix cache
 //!   ([`engine::Engine::run_batch`]).
+//! * **Anytime jobs** — [`engine::Engine::submit`] returns an
+//!   [`engine::JobHandle`] streaming typed [`engine::Event`]s (started /
+//!   strictly improving incumbents / finished), with a harvestable
+//!   best-so-far, cooperative cancellation, and a time-to-score
+//!   [`engine::ConsensusReport::trace`] in every report.
 //! * **Guidance** — the §7.4 decision rules, as code.
 //!
 //! # Quick example

@@ -6,19 +6,26 @@
 //!
 //! ```text
 //! rawt aggregate FILE [--algo SPEC] [--seed N] [--budget SECS]
-//!                     [--normalize unify|project]
+//!                     [--normalize unify|project] [--progress] [--json]
 //!     Aggregate a dataset file (one `[{A},{B,C}]` ranking per line,
 //!     `#` comments allowed). Rankings over different elements are
 //!     normalized first (default: unification, §5.1). Without --algo the
 //!     §7.4 guidance picks the algorithm. SPEC is case-insensitive:
 //!     `BioConsert`, `bestof(kwiksort,20)`, `MedRank(0.7)`, `Exact`, …
+//!     --progress streams live incumbents to stderr while the job runs;
+//!     Ctrl-C cancels cooperatively and returns the best-so-far ranking
+//!     (outcome "cancelled"). --json emits the machine-readable report,
+//!     including the outcome and the incumbent time-to-score trace.
 //!
 //! rawt compare FILE [--seed N] [--budget SECS] [--normalize unify|project]
+//!              [--json]
 //!     Run the paper's whole panel as one concurrent engine batch and
-//!     report per-algorithm score, gap and outcome.
+//!     report per-algorithm score, gap and outcome (--json for the full
+//!     report array, traces included).
 //!
 //! rawt list
-//!     The algorithm registry: canonical spec names, aliases, classes.
+//!     The algorithm registry as Table 1 of the paper: canonical spec
+//!     name, class tag ([K]/[G]/[P]), produces-ties column, aliases.
 //!
 //! rawt similarity FILE [--normalize unify|project]
 //!     The dataset's intrinsic similarity s(R) (§6.2.2) and features.
@@ -32,7 +39,7 @@
 
 use rank_aggregation_with_ties::prelude::*;
 use rank_aggregation_with_ties::ragen::{MarkovGen, UniformSampler};
-use rank_aggregation_with_ties::rank_core::engine::{paper_panel, registry};
+use rank_aggregation_with_ties::rank_core::engine::{paper_panel, registry, Event};
 use rank_aggregation_with_ties::rank_core::normalize::Normalized;
 use rank_aggregation_with_ties::rank_core::parse::{parse_dataset_lines, parse_ranking_labeled};
 use std::process::exit;
@@ -43,12 +50,46 @@ fn die(msg: &str) -> ! {
     exit(2);
 }
 
+/// Cooperative Ctrl-C: the handler only flips an atomic; the `--progress`
+/// event loop observes it and cancels the job through its [`JobHandle`],
+/// so the process still exits through the normal best-so-far path.
+mod sigint {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static PRESSED: AtomicBool = AtomicBool::new(false);
+
+    pub fn pressed() -> bool {
+        PRESSED.load(Ordering::SeqCst)
+    }
+
+    #[cfg(unix)]
+    pub fn install() {
+        unsafe extern "C" fn on_sigint(_signum: i32) {
+            PRESSED.store(true, Ordering::SeqCst);
+        }
+        extern "C" {
+            // libc's signal(2); the previous handler return value is not
+            // needed, so it is declared as an opaque word.
+            fn signal(signum: i32, handler: unsafe extern "C" fn(i32)) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        unsafe {
+            signal(SIGINT, on_sigint);
+        }
+    }
+
+    #[cfg(not(unix))]
+    pub fn install() {}
+}
+
 struct Flags {
     positional: Vec<String>,
     algo: Option<String>,
     seed: u64,
     budget: Option<Duration>,
     normalize: Normalization,
+    json: bool,
+    progress: bool,
     n: usize,
     m: usize,
     steps: usize,
@@ -61,6 +102,8 @@ fn parse_flags(args: &[String]) -> Flags {
         seed: 42,
         budget: None,
         normalize: Normalization::Unification,
+        json: false,
+        progress: false,
         n: 10,
         m: 5,
         steps: 1000,
@@ -88,6 +131,8 @@ fn parse_flags(args: &[String]) -> Flags {
             "--normalize" => {
                 f.normalize = value(&mut i).parse().unwrap_or_else(|e: String| die(&e))
             }
+            "--json" => f.json = true,
+            "--progress" => f.progress = true,
             "--n" => f.n = value(&mut i).parse().unwrap_or_else(|_| die("bad --n")),
             "--m" => f.m = value(&mut i).parse().unwrap_or_else(|_| die("bad --m")),
             "--steps" => f.steps = value(&mut i).parse().unwrap_or_else(|_| die("bad --steps")),
@@ -97,6 +142,72 @@ fn parse_flags(args: &[String]) -> Flags {
         i += 1;
     }
     f
+}
+
+// ------------------------------------------------------------- JSON output
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A (denormalized) ranking as nested label arrays: `[["A"],["B","C"]]`.
+fn ranking_json(r: &Ranking, universe: &Universe) -> String {
+    let buckets: Vec<String> = r
+        .buckets()
+        .map(|b| {
+            let labels: Vec<String> = b
+                .iter()
+                .map(|&e| format!("\"{}\"", json_escape(universe.name(e))))
+                .collect();
+            format!("[{}]", labels.join(","))
+        })
+        .collect();
+    format!("[{}]", buckets.join(","))
+}
+
+/// One [`ConsensusReport`] as a JSON object (outcome + incumbent trace
+/// included), with the ranking denormalized back to input labels.
+fn report_json(report: &ConsensusReport, norm: &Normalized, universe: &Universe) -> String {
+    let gap = report.gap.map_or("null".to_owned(), |g| format!("{g:.6}"));
+    let trace: Vec<String> = report
+        .trace
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"elapsed_secs\":{:.6},\"score\":{}}}",
+                p.elapsed.as_secs_f64(),
+                p.score
+            )
+        })
+        .collect();
+    format!(
+        concat!(
+            "{{\"algorithm\":\"{}\",\"spec\":\"{}\",\"seed\":{},",
+            "\"score\":{},\"gap\":{},\"outcome\":\"{}\",",
+            "\"elapsed_secs\":{:.6},\"ranking\":{},\"trace\":[{}]}}"
+        ),
+        json_escape(&report.algorithm()),
+        json_escape(&report.spec.to_string()),
+        report.seed,
+        report.score,
+        gap,
+        report.outcome,
+        report.elapsed.as_secs_f64(),
+        ranking_json(&norm.denormalize(&report.ranking), universe),
+        trace.join(",")
+    )
 }
 
 /// Load + normalize a dataset file; returns the dense dataset, the id
@@ -148,7 +259,22 @@ fn cmd_aggregate(f: &Flags) {
     if let Some(budget) = f.budget {
         request = request.with_budget(budget);
     }
-    let report = Engine::new().run(&request);
+    let engine = Engine::new();
+    let report = if f.progress {
+        run_with_progress(&engine, request)
+    } else {
+        engine.run(&request)
+    };
+    if f.json {
+        println!(
+            "{{\"n\":{},\"m\":{},\"normalization\":\"{}\",\"report\":{}}}",
+            data.n(),
+            data.m(),
+            f.normalize,
+            report_json(&report, &norm, &universe)
+        );
+        return;
+    }
     println!("algorithm:  {} (spec: {})", report.algorithm(), report.spec);
     println!(
         "elements:   {} (m = {} rankings, {})",
@@ -164,6 +290,48 @@ fn cmd_aggregate(f: &Flags) {
     println!("outcome:    {} in {:.1?}", report.outcome, report.elapsed);
 }
 
+/// Submit the request as an anytime job, stream its incumbents to stderr,
+/// and translate Ctrl-C into a cooperative cancel whose result is the
+/// best-so-far consensus (outcome "cancelled").
+fn run_with_progress(engine: &Engine, request: AggregationRequest) -> ConsensusReport {
+    sigint::install();
+    let handle = engine.submit(request);
+    let mut cancelled = false;
+    loop {
+        if sigint::pressed() && !cancelled {
+            eprintln!("rawt: Ctrl-C — cancelling, returning the best-so-far consensus");
+            handle.cancel();
+            cancelled = true;
+        }
+        match handle.next_event(Duration::from_millis(50)) {
+            Some(Event::Started { spec, seed }) => {
+                eprintln!("started:    {spec} (seed {seed})");
+            }
+            Some(Event::Incumbent {
+                score,
+                gap,
+                elapsed,
+            }) => {
+                let improvement = gap.map_or(String::new(), |g| format!("  (-{:.1}%)", 100.0 * g));
+                eprintln!(
+                    "incumbent:  K = {score} at {:.3}s{improvement}",
+                    elapsed.as_secs_f64()
+                );
+            }
+            Some(Event::Finished(outcome)) => {
+                eprintln!("finished:   {outcome}");
+                break;
+            }
+            None => {
+                if handle.is_finished() {
+                    break;
+                }
+            }
+        }
+    }
+    handle.wait()
+}
+
 fn cmd_compare(f: &Flags) {
     let path = f
         .positional
@@ -171,12 +339,14 @@ fn cmd_compare(f: &Flags) {
         .unwrap_or_else(|| die("compare needs a FILE"));
     let (norm, universe) = load(path, f.normalize);
     let data = &norm.dataset;
-    println!(
-        "n = {}, m = {}, similarity s(R) = {:.3}",
-        data.n(),
-        data.m(),
-        dataset_similarity(data)
-    );
+    if !f.json {
+        println!(
+            "n = {}, m = {}, similarity s(R) = {:.3}",
+            data.n(),
+            data.m(),
+            dataset_similarity(data)
+        );
+    }
     // The paper's panel as one engine batch; size-bounded members (the
     // LP-based Ailon) sit instances beyond their cap out.
     let specs = paper_panel(20)
@@ -190,6 +360,21 @@ fn cmd_compare(f: &Flags) {
     }
     let mut reports = Engine::new().run_batch(&batch.build());
     reports.sort_by_key(|r| r.score);
+    if f.json {
+        let objects: Vec<String> = reports
+            .iter()
+            .map(|r| report_json(r, &norm, &universe))
+            .collect();
+        println!(
+            "{{\"n\":{},\"m\":{},\"similarity\":{:.6},\"normalization\":\"{}\",\"reports\":[{}]}}",
+            data.n(),
+            data.m(),
+            dataset_similarity(data),
+            f.normalize,
+            objects.join(",")
+        );
+        return;
+    }
     for r in &reports {
         let gap = r.gap.unwrap_or(f64::NAN);
         let flag = if r.outcome.completed() {
@@ -210,22 +395,36 @@ fn cmd_compare(f: &Flags) {
 fn cmd_list() {
     println!("registered algorithms (case-insensitive; see `rawt aggregate --algo`):");
     println!();
+    // Table 1 of the paper: name, class tag ([K] Kemeny-style / [G]
+    // generalized / [P] positional), whether the (adapted) algorithm can
+    // produce ties, and the method family.
+    println!("{:<18} {:<6} {:<6} METHOD", "NAME", "CLASS", "TIES");
     for e in registry() {
         let example = (e.example)();
-        let ties = if example.produces_ties() {
-            "ties"
-        } else {
-            "no ties"
+        let ties = if example.produces_ties() { "yes" } else { "no" };
+        // Entry classes read "[K] linear programming"; split the Table 1
+        // tag off the family text (the exact solver has no tag).
+        let (tag, family) = match e.class.split_once(' ') {
+            Some((tag, rest)) if tag.starts_with('[') => (tag, rest),
+            _ => ("-", e.class),
         };
-        println!("{:<18} {:<24} {}", e.canonical, e.class, e.summary);
+        println!("{:<18} {:<6} {:<6} {}", e.canonical, tag, ties, family);
+        println!("{:<18} {:<6} {:<6} {}", "", "", "", e.summary);
         println!(
-            "{:<18} {:<24} example: {example}  paper name: {}  ({ties})",
+            "{:<18} {:<6} {:<6} example: {example}  paper name: {}",
+            "",
             "",
             "",
             example.paper_name()
         );
         if !e.aliases.is_empty() {
-            println!("{:<18} {:<24} aliases: {}", "", "", e.aliases.join(", "));
+            println!(
+                "{:<18} {:<6} {:<6} aliases: {}",
+                "",
+                "",
+                "",
+                e.aliases.join(", ")
+            );
         }
     }
     println!();

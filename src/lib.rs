@@ -65,6 +65,33 @@
 //! // the exact solver's block decomposition building a sub-instance.
 //! assert!(engine.cache().builds() <= 2);
 //! ```
+//!
+//! Long-running requests are **anytime jobs** (DESIGN.md §9): submit one,
+//! stream its improving incumbents, harvest the best-so-far at any
+//! moment, or cancel cooperatively — the job returns its best incumbent
+//! with `Outcome::Cancelled`:
+//!
+//! ```
+//! # use rank_aggregation_with_ties::prelude::*;
+//! # let r1 = Ranking::from_slices(&[&[0], &[3], &[1, 2]]).unwrap();
+//! # let r2 = Ranking::from_slices(&[&[0], &[1, 2], &[3]]).unwrap();
+//! # let r3 = Ranking::from_slices(&[&[3], &[0, 2], &[1]]).unwrap();
+//! # let data = Dataset::new(vec![r1, r2, r3]).unwrap();
+//! let engine = Engine::new();
+//! let handle = engine.submit(AggregationRequest::new(data, AlgoSpec::Exact));
+//! let mut incumbents = 0;
+//! for event in handle.events() {
+//!     match event {
+//!         Event::Started { spec, .. } => assert_eq!(spec, AlgoSpec::Exact),
+//!         Event::Incumbent { .. } => incumbents += 1, // strictly improving scores
+//!         Event::Finished(outcome) => assert_eq!(outcome, Outcome::Optimal),
+//!     }
+//! }
+//! let report = handle.wait();
+//! assert!(incumbents >= 1);
+//! // Every report carries its quality-vs-time curve, ending at the score.
+//! assert_eq!(report.trace.last().unwrap().score, report.score);
+//! ```
 
 pub use bignum;
 pub use datasets;
@@ -78,11 +105,13 @@ pub mod prelude {
     pub use rank_core::algorithms::exact::ExactAlgorithm;
     pub use rank_core::algorithms::{
         exact_algorithm, extended_algorithms, paper_algorithms, AlgoContext, ConsensusAlgorithm,
+        Control,
     };
     pub use rank_core::distance::{generalized_kendall_tau, kendall_tau};
     pub use rank_core::engine::{
         extended_panel, full_panel, paper_panel, AggregationRequest, AlgoSpec, BatchBuilder,
-        ConsensusReport, Engine, ExecPolicy, Normalization, Outcome, SpecErrorKind, SpecParseError,
+        CancelToken, ConsensusReport, Engine, Event, ExecPolicy, IncumbentSink, JobHandle,
+        Normalization, Outcome, SpecErrorKind, SpecParseError, TracePoint,
     };
     pub use rank_core::guidance::{recommend, DatasetFeatures, Priority};
     pub use rank_core::normalize::{projection, top_k, unification};

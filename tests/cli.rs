@@ -161,6 +161,98 @@ fn list_shows_the_registry() {
 }
 
 #[test]
+fn list_shows_table1_class_tags_and_ties_column() {
+    let (stdout, _, ok) = rawt(&["list"]);
+    assert!(ok);
+    // Header with the Table 1 columns.
+    let header = stdout
+        .lines()
+        .find(|l| l.contains("NAME"))
+        .expect("table header");
+    assert!(header.contains("CLASS"), "{header}");
+    assert!(header.contains("TIES"), "{header}");
+    // Every class tag of Table 1 appears.
+    for tag in ["[K]", "[G]", "[P]"] {
+        assert!(stdout.contains(tag), "missing class tag {tag}: {stdout}");
+    }
+    // BioConsert produces ties; Chanas cannot (Table 1).
+    let bio = stdout
+        .lines()
+        .find(|l| l.starts_with("BioConsert"))
+        .expect("BioConsert row");
+    assert!(bio.contains("[G]") && bio.contains("yes"), "{bio}");
+    let chanas = stdout
+        .lines()
+        .find(|l| l.starts_with("Chanas "))
+        .expect("Chanas row");
+    assert!(chanas.contains("[K]") && chanas.contains("no"), "{chanas}");
+}
+
+#[test]
+fn aggregate_json_is_machine_consumable() {
+    let path = write_paper_example();
+    let (stdout, stderr, ok) = rawt(&[
+        "aggregate",
+        path.to_str().unwrap(),
+        "--algo",
+        "Exact",
+        "--json",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    let line = stdout.trim();
+    assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+    for needle in [
+        "\"algorithm\":\"ExactAlgorithm\"",
+        "\"spec\":\"Exact\"",
+        "\"score\":5",
+        "\"outcome\":\"optimal\"",
+        "\"ranking\":[[\"A\"],[\"D\"],[\"B\",\"C\"]]",
+        "\"trace\":[",
+        "\"elapsed_secs\":",
+        "\"normalization\":\"unify\"",
+    ] {
+        assert!(line.contains(needle), "missing {needle} in {line}");
+    }
+    // No human-readable noise on stdout in JSON mode.
+    assert_eq!(stdout.lines().count(), 1, "{stdout}");
+}
+
+#[test]
+fn compare_json_reports_the_whole_panel_with_traces() {
+    let path = write_paper_example();
+    let (stdout, stderr, ok) = rawt(&["compare", path.to_str().unwrap(), "--json"]);
+    assert!(ok, "stderr: {stderr}");
+    let line = stdout.trim();
+    assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+    assert!(line.contains("\"reports\":["), "{line}");
+    assert!(line.contains("\"similarity\":"), "{line}");
+    // One report object per panel member (13 paper algorithms fit n = 4).
+    assert_eq!(line.matches("\"algorithm\":").count(), 13, "{line}");
+    assert_eq!(line.matches("\"trace\":[").count(), 13, "{line}");
+    // The sorted-best report leads with m-gap 0.
+    assert!(line.contains("\"gap\":0.000000"), "{line}");
+}
+
+#[test]
+fn aggregate_progress_streams_incumbents_to_stderr() {
+    let path = write_paper_example();
+    let (stdout, stderr, ok) = rawt(&[
+        "aggregate",
+        path.to_str().unwrap(),
+        "--algo",
+        "BioConsert",
+        "--progress",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    // The normal report still lands on stdout…
+    assert!(stdout.contains("K score:    5"), "{stdout}");
+    // …while the live job lifecycle streams on stderr.
+    assert!(stderr.contains("started:"), "{stderr}");
+    assert!(stderr.contains("incumbent:  K ="), "{stderr}");
+    assert!(stderr.contains("finished:   heuristic"), "{stderr}");
+}
+
+#[test]
 fn aggregate_reports_outcome_and_exact_proves_optimality() {
     let path = write_paper_example();
     let (stdout, _, ok) = rawt(&["aggregate", path.to_str().unwrap(), "--algo", "Exact"]);
