@@ -13,13 +13,22 @@
 //!   incumbent and to the *final* (best) incumbent plus the trace length,
 //!   read off each report's incumbent trace — responsiveness, not just
 //!   throughput, so future PRs can see when a kernel goes quiet for too
-//!   long before its first answer.
+//!   long before its first answer;
+//! * a **service** section: an in-process `service::Server` under
+//!   concurrent remote clients, measuring submit-to-first-incumbent
+//!   latency (what a waiting *network* caller experiences: HTTP framing +
+//!   admission queue + job startup + first streamed event) and
+//!   submit-to-finished time.
+//!
+//! The header records the host's available parallelism and a timestamp,
+//! so committed BENCH files stay interpretable (PR 1's single-core
+//! container numbers were only explained in a ROADMAP footnote).
 //!
 //! Writes the numbers as JSON (hand-rolled; no serde offline) so future
 //! PRs can track the trajectory:
 //!
 //! ```text
-//! cargo run --release -p bench --bin perf_trajectory -- BENCH_3.json
+//! cargo run --release -p bench --bin perf_trajectory -- BENCH_4.json
 //! ```
 
 use ragen::UniformSampler;
@@ -29,11 +38,18 @@ use rank_core::algorithms::bioconsert::BioConsert;
 use rank_core::algorithms::{AlgoContext, ConsensusAlgorithm};
 use rank_core::engine::{paper_panel, AggregationRequest, AlgoSpec, Engine};
 use rank_core::{CostMatrix, Dataset};
+use service::client::Client;
+use service::json::Json;
+use service::proto::JobSubmission;
+use service::server::{Server, ServerConfig};
 use std::fmt::Write as _;
 use std::time::Instant;
 
 const M: usize = 20;
 const NS: [usize; 3] = [50, 100, 200];
+
+/// Concurrent remote clients in the service section.
+const SERVICE_CLIENTS: usize = 8;
 
 /// Median-of-`reps` seconds for `f`.
 fn time_median<F: FnMut()>(reps: usize, mut f: F) -> f64 {
@@ -183,11 +199,105 @@ fn measure(n: usize, data: &Dataset) -> SizeReport {
     }
 }
 
+/// One remote client's latencies, in seconds.
+struct ClientLatency {
+    submit_to_first_incumbent_s: f64,
+    submit_to_finished_s: f64,
+}
+
+/// The service section: an in-process server, [`SERVICE_CLIENTS`]
+/// concurrent clients each submitting one BioConsert job (n = 50) and
+/// timing its own submit → first-incumbent → finished path over the wire.
+struct ServiceReport {
+    clients: usize,
+    max_jobs: usize,
+    first_incumbent_median_s: f64,
+    first_incumbent_max_s: f64,
+    finished_median_s: f64,
+    finished_max_s: f64,
+}
+
+fn measure_service(data: &Dataset) -> ServiceReport {
+    let mut text = String::new();
+    for r in data.rankings() {
+        text.push_str(&r.to_string());
+        text.push('\n');
+    }
+    let config = ServerConfig::default();
+    let max_jobs = config.max_jobs;
+    let server = Server::bind("127.0.0.1:0", config).expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let shutdown = server.shutdown_handle().expect("shutdown handle");
+    std::thread::spawn(move || server.serve());
+
+    let latencies: Vec<ClientLatency> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..SERVICE_CLIENTS)
+            .map(|i| {
+                let addr = addr.clone();
+                let text = text.clone();
+                scope.spawn(move || {
+                    let client = Client::new(&addr);
+                    let start = Instant::now();
+                    let job = client
+                        .submit(&JobSubmission {
+                            algo: Some("BioConsert".to_owned()),
+                            seed: 100 + i as u64,
+                            ..JobSubmission::new(text)
+                        })
+                        .expect("submit");
+                    let mut first_incumbent_s = f64::NAN;
+                    for event in client.events(job.id).expect("stream") {
+                        let event = event.expect("well-formed event");
+                        if first_incumbent_s.is_nan()
+                            && event.get("event").and_then(Json::as_str) == Some("incumbent")
+                        {
+                            first_incumbent_s = start.elapsed().as_secs_f64();
+                        }
+                    }
+                    ClientLatency {
+                        submit_to_first_incumbent_s: first_incumbent_s,
+                        submit_to_finished_s: start.elapsed().as_secs_f64(),
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    shutdown.shutdown();
+
+    let stats = |values: &mut Vec<f64>| -> (f64, f64) {
+        values.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        (values[values.len() / 2], *values.last().expect("non-empty"))
+    };
+    let mut first: Vec<f64> = latencies
+        .iter()
+        .map(|l| l.submit_to_first_incumbent_s)
+        .collect();
+    let mut finished: Vec<f64> = latencies.iter().map(|l| l.submit_to_finished_s).collect();
+    let (first_incumbent_median_s, first_incumbent_max_s) = stats(&mut first);
+    let (finished_median_s, finished_max_s) = stats(&mut finished);
+    ServiceReport {
+        clients: SERVICE_CLIENTS,
+        max_jobs,
+        first_incumbent_median_s,
+        first_incumbent_max_s,
+        finished_median_s,
+        finished_max_s,
+    }
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_3.json".to_owned());
+        .unwrap_or_else(|| "BENCH_4.json".to_owned());
     let threads = rank_core::parallel::num_threads();
+    let host_parallelism = std::thread::available_parallelism().map_or(0, |n| n.get());
+    let timestamp_unix_secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
     let sampler = UniformSampler::new(*NS.iter().max().expect("non-empty"));
 
     let mut reports = Vec::new();
@@ -229,14 +339,56 @@ fn main() {
         reports.push(r);
     }
 
+    // Service section: submit-to-first-incumbent over the wire, under
+    // concurrent clients, on the smallest size (latency, not throughput).
+    let mut rng = StdRng::seed_from_u64(42 + NS[0] as u64);
+    let service_data = sampler.sample_dataset(NS[0], M, &mut rng);
+    let service = measure_service(&service_data);
+    eprintln!(
+        "service: {} clients (max-jobs {}): first incumbent {:.1}ms median / {:.1}ms max, finished {:.1}ms median / {:.1}ms max",
+        service.clients,
+        service.max_jobs,
+        service.first_incumbent_median_s * 1e3,
+        service.first_incumbent_max_s * 1e3,
+        service.finished_median_s * 1e3,
+        service.finished_max_s * 1e3,
+    );
+
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(
         json,
-        "  \"bench\": \"parallel consensus kernel (PR 1) + engine batch front door (PR 2) + anytime incumbent traces (PR 3)\","
+        "  \"bench\": \"parallel consensus kernel (PR 1) + engine batch front door (PR 2) + anytime incumbent traces (PR 3) + network service latency (PR 4)\","
     );
     let _ = writeln!(json, "  \"m\": {M},");
     let _ = writeln!(json, "  \"worker_threads\": {threads},");
+    let _ = writeln!(json, "  \"host_parallelism\": {host_parallelism},");
+    let _ = writeln!(json, "  \"timestamp_unix_secs\": {timestamp_unix_secs},");
+    json.push_str("  \"service\": {\n");
+    let _ = writeln!(json, "    \"n\": {},", NS[0]);
+    let _ = writeln!(json, "    \"concurrent_clients\": {},", service.clients);
+    let _ = writeln!(json, "    \"max_jobs\": {},", service.max_jobs);
+    let _ = writeln!(
+        json,
+        "    \"submit_to_first_incumbent_median_secs\": {:.6},",
+        service.first_incumbent_median_s
+    );
+    let _ = writeln!(
+        json,
+        "    \"submit_to_first_incumbent_max_secs\": {:.6},",
+        service.first_incumbent_max_s
+    );
+    let _ = writeln!(
+        json,
+        "    \"submit_to_finished_median_secs\": {:.6},",
+        service.finished_median_s
+    );
+    let _ = writeln!(
+        json,
+        "    \"submit_to_finished_max_secs\": {:.6}",
+        service.finished_max_s
+    );
+    json.push_str("  },\n");
     json.push_str("  \"sizes\": [\n");
     for (i, r) in reports.iter().enumerate() {
         let speedup = r.multistart_seq_s / r.multistart_par_s;

@@ -40,7 +40,6 @@ use crate::ranking::Ranking;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Mutex};
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// One point of a job's quality-vs-time curve: the job had found a
@@ -238,7 +237,9 @@ impl IncumbentSink {
 /// A handle on one submitted aggregation job
 /// ([`Engine::submit`](super::Engine::submit)).
 ///
-/// The job runs on its own thread; the handle observes and steers it:
+/// The job runs on the engine's scheduler pool (queued behind the
+/// admission queue until a worker is free — see
+/// [`scheduler`](super::scheduler)); the handle observes and steers it:
 ///
 /// * [`JobHandle::events`] — blocking iterator over the job's [`Event`]
 ///   stream (ends after [`Event::Finished`]);
@@ -247,17 +248,44 @@ impl IncumbentSink {
 /// * [`JobHandle::best_so_far`] — the current incumbent, harvestable at
 ///   any moment without disturbing the run;
 /// * [`JobHandle::cancel`] — cooperative cancellation; the job returns its
-///   best incumbent with [`Outcome::Cancelled`];
-/// * [`JobHandle::wait`] — join the job and take its [`ConsensusReport`].
+///   best incumbent with [`Outcome::Cancelled`] (cancelling while still
+///   queued makes it stop at its first checkpoint once a worker picks it
+///   up — an accepted job always produces a report);
+/// * [`JobHandle::wait`] — block for the final [`ConsensusReport`].
 #[derive(Debug)]
 pub struct JobHandle {
-    pub(crate) sink: Arc<IncumbentSink>,
-    pub(crate) cancel: CancelToken,
-    pub(crate) events: Receiver<Event>,
-    pub(crate) thread: JoinHandle<ConsensusReport>,
+    sink: Arc<IncumbentSink>,
+    cancel: CancelToken,
+    events: Receiver<Event>,
+    /// One-shot channel the scheduler worker sends the finished report
+    /// (or the panic payload of a crashed kernel) through.
+    report: Receiver<std::thread::Result<ConsensusReport>>,
+    /// Set by the worker *after* sending the report, so observing `true`
+    /// guarantees the report is collectable without blocking.
+    done: Arc<AtomicBool>,
+    /// The report once received, so [`JobHandle::try_report`] can hand out
+    /// clones while [`JobHandle::wait`] still consumes the handle.
+    collected: Mutex<Option<std::thread::Result<ConsensusReport>>>,
 }
 
 impl JobHandle {
+    pub(crate) fn new(
+        sink: Arc<IncumbentSink>,
+        cancel: CancelToken,
+        events: Receiver<Event>,
+        report: Receiver<std::thread::Result<ConsensusReport>>,
+        done: Arc<AtomicBool>,
+    ) -> Self {
+        JobHandle {
+            sink,
+            cancel,
+            events,
+            report,
+            done,
+            collected: Mutex::new(None),
+        }
+    }
+
     /// Blocking iterator over the job's events, in emission order. Ends
     /// once the job has finished and all events are drained.
     pub fn events(&self) -> impl Iterator<Item = Event> + '_ {
@@ -280,6 +308,21 @@ impl JobHandle {
         self.sink.best_so_far()
     }
 
+    /// The job's incumbent sink — shared observability for callers (like
+    /// the network service) that hand the events receiver to one consumer
+    /// but still want [`IncumbentSink::best_so_far`] and
+    /// [`IncumbentSink::trace`] from elsewhere.
+    pub fn sink(&self) -> &Arc<IncumbentSink> {
+        &self.sink
+    }
+
+    /// A clone of the job's cancel token, so cancellation stays possible
+    /// after the handle itself moves into a consumer (e.g. the service's
+    /// per-job event collector).
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
     /// Request cooperative cancellation: the run stops at its next
     /// checkpoint and [`JobHandle::wait`] returns a report whose outcome
     /// is [`Outcome::Cancelled`] and whose ranking is the last published
@@ -288,16 +331,49 @@ impl JobHandle {
         self.cancel.cancel();
     }
 
-    /// Whether the job's thread has finished executing (its report may
-    /// still be waiting to be collected with [`JobHandle::wait`]).
+    /// Whether the job has finished executing (its report may still be
+    /// waiting to be collected with [`JobHandle::wait`]).
     pub fn is_finished(&self) -> bool {
-        self.thread.is_finished()
+        self.done.load(Ordering::Acquire)
+            || self
+                .collected
+                .lock()
+                .expect("job handle poisoned")
+                .is_some()
     }
 
-    /// Join the job and return its report. Propagates a panic from the
-    /// job thread, if any.
+    /// The final report if the job has finished, without consuming the
+    /// handle (clones; `None` while queued or running). Propagates a
+    /// panic from the job's kernel, if any.
+    pub fn try_report(&self) -> Option<ConsensusReport> {
+        let mut collected = self.collected.lock().expect("job handle poisoned");
+        if collected.is_none() {
+            if let Ok(result) = self.report.try_recv() {
+                *collected = Some(result);
+            }
+        }
+        match collected.as_ref() {
+            None => None,
+            Some(Ok(report)) => Some(report.clone()),
+            Some(Err(_)) => {
+                let panic = collected.take().expect("checked above").unwrap_err();
+                std::panic::resume_unwind(panic)
+            }
+        }
+    }
+
+    /// Block for the job's report and return it. Propagates a panic from
+    /// the job's kernel, if any.
     pub fn wait(self) -> ConsensusReport {
-        match self.thread.join() {
+        let collected = self.collected.into_inner().expect("job handle poisoned");
+        let result = match collected {
+            Some(result) => result,
+            None => self
+                .report
+                .recv()
+                .expect("scheduler worker always sends a report"),
+        };
+        match result {
             Ok(report) => report,
             Err(panic) => std::panic::resume_unwind(panic),
         }

@@ -45,10 +45,12 @@
 
 pub mod job;
 pub mod request;
+pub mod scheduler;
 pub mod spec;
 
 pub use job::{CancelToken, Event, IncumbentSink, JobHandle, TracePoint};
 pub use request::{AggregationRequest, BatchBuilder, Normalization};
+pub use scheduler::{AdmissionError, SchedulerConfig, SchedulerStats, DEFAULT_QUEUE_CAPACITY};
 pub use spec::{
     extended_panel, full_panel, paper_panel, registry, suggest, AlgoEntry, AlgoSpec, ExecPolicy,
     SpecErrorKind, SpecParseError, DEFAULT_MIN_RUNS,
@@ -58,8 +60,8 @@ use crate::algorithms::{AlgoContext, MatrixCache};
 use crate::parallel;
 use crate::ranking::Ranking;
 use crate::score;
-use std::sync::mpsc;
-use std::sync::Arc;
+use scheduler::Scheduler;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// How a request ended.
@@ -172,6 +174,11 @@ fn hash_name(name: &str) -> u64 {
 pub struct Engine {
     cache: Arc<MatrixCache>,
     workers: usize,
+    /// Shape of the job scheduler ([`Engine::submit`] /
+    /// [`Engine::try_submit`]); the scheduler itself is built lazily on
+    /// the first submission so engines that only ever `run` pay nothing.
+    sched_config: SchedulerConfig,
+    sched: OnceLock<Scheduler>,
 }
 
 impl Engine {
@@ -182,11 +189,63 @@ impl Engine {
     }
 
     /// An engine whose batches use at most `workers` concurrent requests
-    /// (`0` and `1` both mean sequential).
+    /// (`0` and `1` both mean sequential). The job scheduler's concurrency
+    /// cap follows the same width (queue bound:
+    /// [`DEFAULT_QUEUE_CAPACITY`]); use [`Engine::with_scheduler`] to
+    /// shape it independently.
     pub fn with_workers(workers: usize) -> Self {
+        Engine::with_scheduler(
+            workers,
+            SchedulerConfig {
+                max_concurrent: workers.max(1),
+                queue_capacity: DEFAULT_QUEUE_CAPACITY,
+            },
+        )
+    }
+
+    /// An engine with an explicitly shaped job scheduler — the serving
+    /// configuration (`rawt serve --max-jobs --queue` ends up here).
+    /// Zero bounds are clamped to 1 up front, so the configuration read
+    /// back is the one the scheduler will actually run with.
+    pub fn with_scheduler(workers: usize, config: SchedulerConfig) -> Self {
         Engine {
             cache: Arc::new(MatrixCache::new()),
             workers: workers.max(1),
+            sched_config: config.normalized(),
+            sched: OnceLock::new(),
+        }
+    }
+
+    /// The scheduler, created on first use.
+    fn scheduler(&self) -> &Scheduler {
+        self.sched
+            .get_or_init(|| Scheduler::new(self.sched_config, Arc::clone(&self.cache)))
+    }
+
+    /// Queue/running counts and the scheduler's bounds, for observability
+    /// (the service's `/healthz`). Reports zeros against the configured
+    /// bounds while no job was ever submitted.
+    pub fn scheduler_stats(&self) -> SchedulerStats {
+        match self.sched.get() {
+            Some(sched) => sched.stats(),
+            None => SchedulerStats {
+                queued: 0,
+                running: 0,
+                queue_capacity: self.sched_config.queue_capacity,
+                max_concurrent: self.sched_config.max_concurrent,
+            },
+        }
+    }
+
+    /// Stop accepting submissions, cooperatively cancel every queued and
+    /// running job, and block until the scheduler's workers have drained —
+    /// the serving shutdown path (`rawt serve` on SIGINT). Blocking
+    /// [`Engine::run`]/[`Engine::run_batch`] callers are unaffected; every
+    /// outstanding [`JobHandle`] still resolves (with
+    /// [`Outcome::Cancelled`] unless its job finished first).
+    pub fn shutdown_drain(&self) {
+        if let Some(sched) = self.sched.get() {
+            sched.shutdown_drain();
         }
     }
 
@@ -197,8 +256,8 @@ impl Engine {
         &self.cache
     }
 
-    /// Submit one request as an **anytime job** on its own thread and
-    /// return immediately with a [`JobHandle`].
+    /// Submit one request as an **anytime job** on the engine's scheduler
+    /// pool and return immediately with a [`JobHandle`].
     ///
     /// The handle streams a typed [`Event`] sequence (`Started`, one
     /// `Incumbent` per strict improvement, `Finished`), exposes the
@@ -209,31 +268,30 @@ impl Engine {
     /// `submit` + [`JobHandle::wait`] is bit-identical to [`Engine::run`]
     /// for a fixed seed (both drive the same execution core;
     /// property-tested).
+    ///
+    /// Jobs execute at most [`SchedulerConfig::max_concurrent`] at a time,
+    /// shortest declared budget first (see [`scheduler`]); `Started` is
+    /// emitted when the job leaves the queue. If the admission queue is
+    /// full this call **blocks** until space frees up — load-shedding
+    /// callers (the network service) use [`Engine::try_submit`] instead.
     pub fn submit(&self, request: AggregationRequest) -> JobHandle {
-        let (sender, events) = mpsc::channel();
-        let sink = Arc::new(IncumbentSink::with_sender(sender));
-        let cancel = CancelToken::new();
-        let cache = Arc::clone(&self.cache);
-        let job_sink = Arc::clone(&sink);
-        let job_cancel = cancel.clone();
-        // The job thread logically occupies its spawner's pool position:
-        // a batch worker's job must not fan out again (thread-count
-        // parity with the pre-job direct-call path).
-        let in_worker = parallel::in_worker();
-        let thread = std::thread::Builder::new()
-            .name(format!("rank-job-{}", request.spec))
-            .spawn(move || {
-                if in_worker {
-                    parallel::mark_worker();
-                }
-                Engine::execute(&request, &cache, &job_sink, job_cancel)
-            })
-            .expect("spawn job thread");
-        JobHandle {
-            sink,
-            cancel,
-            events,
-            thread,
+        self.scheduler().submit(request)
+    }
+
+    /// [`Engine::submit`] with load shedding: if the scheduler's admission
+    /// queue is at capacity, the request is refused with
+    /// [`AdmissionError::QueueFull`] (carrying a retry hint) instead of
+    /// blocking. Running jobs are never affected by shed submissions.
+    pub fn try_submit(&self, request: AggregationRequest) -> Result<JobHandle, AdmissionError> {
+        self.scheduler().try_submit(request)
+    }
+
+    /// The scheduler's shape (configured bounds, whether or not the
+    /// scheduler has been instantiated yet).
+    pub fn scheduler_config(&self) -> SchedulerConfig {
+        match self.sched.get() {
+            Some(sched) => sched.config(),
+            None => self.sched_config,
         }
     }
 
@@ -255,7 +313,7 @@ impl Engine {
     /// The synchronous core every job runs: build context + matrix, run
     /// the kernel, reconcile the result with the incumbent sink, emit
     /// lifecycle events, produce the report.
-    fn execute(
+    pub(crate) fn execute(
         request: &AggregationRequest,
         cache: &Arc<MatrixCache>,
         sink: &Arc<IncumbentSink>,

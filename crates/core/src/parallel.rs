@@ -21,21 +21,6 @@ thread_local! {
     static IN_PARALLEL_WORKER: Cell<bool> = const { Cell::new(false) };
 }
 
-/// Whether the current thread is one of [`par_map_slice`]'s workers (or
-/// was [`mark_worker`]-ed as logically belonging to one).
-pub fn in_worker() -> bool {
-    IN_PARALLEL_WORKER.get()
-}
-
-/// Mark the current thread as a logical parallel worker, so nested
-/// parallel maps on it degrade to sequential. The engine uses this when a
-/// batch's pool worker hands a request to a dedicated job thread: the job
-/// thread inherits the pool position, keeping one batch at ~[`num_threads`]
-/// OS threads just like the pre-job direct-call path.
-pub fn mark_worker() {
-    IN_PARALLEL_WORKER.set(true);
-}
-
 /// Worker threads to use by default: the machine's available parallelism,
 /// capped to keep oversubscription in check on very wide hosts.
 pub fn num_threads() -> usize {

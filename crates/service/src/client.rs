@@ -1,0 +1,263 @@
+//! A minimal blocking client for the aggregation service — what
+//! `rawt aggregate --remote` and the service tests speak.
+//!
+//! One TCP connection per exchange (the server's `Connection: close`
+//! contract): submit, then open a second connection to stream events,
+//! then a third for the final status. The client never interprets
+//! reports beyond parsing them as [`Json`]; rendering stays with the
+//! caller so the CLI can reuse its local formatting.
+
+use crate::http::{self, ClientResponse, HttpError, NdjsonLines};
+use crate::json::Json;
+use crate::proto::JobSubmission;
+use std::fmt;
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Could not reach or speak to the server.
+    Transport(HttpError),
+    /// The server answered with a non-2xx status. `retry_after_secs` is
+    /// filled from the `Retry-After` header when present (429 shedding).
+    Status {
+        /// The HTTP status code.
+        status: u16,
+        /// The response body (usually an [`error_json`] object).
+        ///
+        /// [`error_json`]: crate::proto::error_json
+        body: String,
+        /// Parsed `Retry-After` header, if the server sent one.
+        retry_after_secs: Option<u64>,
+    },
+    /// A 2xx response that did not parse as the expected JSON.
+    Malformed(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Transport(e) => write!(f, "{e}"),
+            ClientError::Status {
+                status,
+                body,
+                retry_after_secs,
+            } => {
+                let message = Json::parse(body)
+                    .ok()
+                    .and_then(|v| v.get("error").and_then(Json::as_str).map(str::to_owned))
+                    .unwrap_or_else(|| body.clone());
+                write!(f, "server returned {status}: {message}")?;
+                if let Some(secs) = retry_after_secs {
+                    write!(f, " (retry after {secs}s)")?;
+                }
+                Ok(())
+            }
+            ClientError::Malformed(m) => write!(f, "unexpected server response: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<HttpError> for ClientError {
+    fn from(e: HttpError) -> Self {
+        ClientError::Transport(e)
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Transport(HttpError::Io(e))
+    }
+}
+
+/// A submitted job's identity, as returned by `POST /v1/jobs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Submitted {
+    /// The job id; all other endpoints key on it.
+    pub id: u64,
+    /// The spec the server resolved (echoes the request's, or the
+    /// guidance pick when none was given).
+    pub spec: String,
+    /// Elements after normalization.
+    pub n: usize,
+    /// Rankings after normalization.
+    pub m: usize,
+}
+
+/// A blocking client bound to one server address.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: String,
+}
+
+impl Client {
+    /// A client for `addr` — `host:port`, with or without an `http://`
+    /// prefix (trailing slashes are ignored).
+    pub fn new(addr: &str) -> Self {
+        let addr = addr
+            .trim()
+            .trim_start_matches("http://")
+            .trim_end_matches('/')
+            .to_owned();
+        Client { addr }
+    }
+
+    fn connect(&self) -> Result<TcpStream, ClientError> {
+        let stream = TcpStream::connect(&self.addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(600)))?;
+        Ok(stream)
+    }
+
+    fn exchange(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<ClientResponse, ClientError> {
+        let mut stream = self.connect()?;
+        http::write_request(
+            &mut stream,
+            method,
+            path,
+            &self.addr,
+            body.map(|b| ("application/json", b.as_bytes())),
+        )?;
+        Ok(ClientResponse::read(stream)?)
+    }
+
+    /// One non-streaming exchange, JSON in / JSON out; non-2xx statuses
+    /// become [`ClientError::Status`].
+    fn json_exchange(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<Json, ClientError> {
+        let response = self.exchange(method, path, body)?;
+        let status = response.status;
+        let retry_after_secs = response.header("retry-after").and_then(|v| v.parse().ok());
+        let text = response.body_string()?;
+        if !(200..300).contains(&status) {
+            return Err(ClientError::Status {
+                status,
+                body: text,
+                retry_after_secs,
+            });
+        }
+        Json::parse(&text).map_err(|e| ClientError::Malformed(e.to_string()))
+    }
+
+    /// `POST /v1/jobs`.
+    pub fn submit(&self, submission: &JobSubmission) -> Result<Submitted, ClientError> {
+        let doc = self.json_exchange("POST", "/v1/jobs", Some(&submission.to_json()))?;
+        let field = |key: &str| {
+            doc.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| ClientError::Malformed(format!("missing {key:?} in {doc}")))
+        };
+        Ok(Submitted {
+            id: field("id")?,
+            spec: doc
+                .get("spec")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_owned(),
+            n: field("n")? as usize,
+            m: field("m")? as usize,
+        })
+    }
+
+    /// `GET /v1/jobs/{id}/events`: the streamed NDJSON lines, parsed,
+    /// in emission order, live until the job finishes.
+    pub fn events(&self, id: u64) -> Result<EventStream, ClientError> {
+        let response = self.exchange("GET", &format!("/v1/jobs/{id}/events"), None)?;
+        if response.status != 200 {
+            let status = response.status;
+            let body = response.body_string()?;
+            return Err(ClientError::Status {
+                status,
+                body,
+                retry_after_secs: None,
+            });
+        }
+        Ok(EventStream {
+            lines: response.lines(),
+        })
+    }
+
+    /// `GET /v1/jobs/{id}`: the status document (state, best-so-far,
+    /// trace, final report once done).
+    pub fn status(&self, id: u64) -> Result<Json, ClientError> {
+        self.json_exchange("GET", &format!("/v1/jobs/{id}"), None)
+    }
+
+    /// [`Client::status`], but the raw response body — for callers that
+    /// must preserve the server's exact serialization (the CLI's remote
+    /// `--json` splices the report out of it byte-for-byte, so local and
+    /// remote output run through one serializer).
+    pub fn status_raw(&self, id: u64) -> Result<String, ClientError> {
+        let response = self.exchange("GET", &format!("/v1/jobs/{id}"), None)?;
+        let status = response.status;
+        let text = response.body_string()?;
+        if !(200..300).contains(&status) {
+            return Err(ClientError::Status {
+                status,
+                body: text,
+                retry_after_secs: None,
+            });
+        }
+        Ok(text)
+    }
+
+    /// `DELETE /v1/jobs/{id}`: request cooperative cancellation.
+    pub fn cancel(&self, id: u64) -> Result<Json, ClientError> {
+        self.json_exchange("DELETE", &format!("/v1/jobs/{id}"), None)
+    }
+
+    /// `GET /v1/algorithms`.
+    pub fn algorithms(&self) -> Result<Json, ClientError> {
+        self.json_exchange("GET", "/v1/algorithms", None)
+    }
+
+    /// `GET /healthz`.
+    pub fn healthz(&self) -> Result<Json, ClientError> {
+        self.json_exchange("GET", "/healthz", None)
+    }
+
+    /// Block until the job is done and return its status document (poll +
+    /// event-follow free: this just streams events to completion, then
+    /// fetches the final status).
+    pub fn wait(&self, id: u64) -> Result<Json, ClientError> {
+        for event in self.events(id)? {
+            let _ = event?;
+        }
+        let status = self.status(id)?;
+        if status.get("state").and_then(Json::as_str) == Some("done") {
+            Ok(status)
+        } else {
+            Err(ClientError::Malformed(format!(
+                "event stream ended but job {id} is not done: {status}"
+            )))
+        }
+    }
+}
+
+/// Iterator over a job's streamed events, each parsed as [`Json`].
+pub struct EventStream {
+    lines: NdjsonLines,
+}
+
+impl Iterator for EventStream {
+    type Item = Result<Json, ClientError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let line = match self.lines.next()? {
+            Ok(line) => line,
+            Err(e) => return Some(Err(e.into())),
+        };
+        Some(Json::parse(&line).map_err(|e| ClientError::Malformed(format!("{e} in {line:?}"))))
+    }
+}

@@ -1,0 +1,431 @@
+//! A deliberately small HTTP/1.1 layer over `std::net`: request parsing,
+//! response writing, and chunked transfer encoding for NDJSON streams.
+//!
+//! No crates.io access means no hyper/axum (the `crates/shims` offline
+//! discipline); the service speaks just enough HTTP/1.1 for its own
+//! protocol, strictly: `GET`/`POST`/`DELETE`, `Content-Length` bodies
+//! with a hard size cap, `Connection: close` semantics (one exchange per
+//! connection), and chunked responses for event streams. Anything outside
+//! that — oversized bodies, truncated requests, unknown methods — maps to
+//! a typed [`HttpError`] the server turns into a 4xx, never a panic.
+
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Largest accepted request body (1 MiB — datasets at the service's
+/// target sizes are a few hundred KiB of text at most).
+pub const MAX_BODY_BYTES: usize = 1 << 20;
+
+/// Largest accepted request head (request line + headers).
+pub const MAX_HEAD_BYTES: usize = 16 << 10;
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The connection died or timed out mid-request.
+    Io(io::Error),
+    /// The bytes did not form a valid HTTP/1.1 request.
+    Malformed(String),
+    /// The declared `Content-Length` exceeds [`MAX_BODY_BYTES`].
+    BodyTooLarge(usize),
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "connection error: {e}"),
+            HttpError::Malformed(m) => write!(f, "malformed request: {m}"),
+            HttpError::BodyTooLarge(n) => {
+                write!(f, "request body of {n} bytes exceeds {MAX_BODY_BYTES}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// `GET` / `POST` / `DELETE` / … (uppercased as received).
+    pub method: String,
+    /// The path, query string stripped (the protocol uses none).
+    pub path: String,
+    /// Header name/value pairs, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty unless `Content-Length` was given).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Read one request from `reader` (a buffered connection).
+pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, HttpError> {
+    let mut head = String::new();
+    // Request line + headers, CRLF-terminated, blank line ends the head.
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(HttpError::Malformed("connection closed mid-head".into()));
+        }
+        if head.len() + line.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::Malformed("request head too large".into()));
+        }
+        if line == "\r\n" || line == "\n" {
+            break;
+        }
+        head.push_str(&line);
+        if head.lines().count() == 1 && !head.contains("HTTP/") {
+            // Keep reading: the request line may span reads only via the
+            // BufReader, which read_line already handles; this guard is
+            // about plainly non-HTTP openings.
+            if head.len() > 256 {
+                return Err(HttpError::Malformed("not an HTTP request".into()));
+            }
+        }
+    }
+    let mut lines = head.lines();
+    let request_line = lines
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty request".into()))?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing method".into()))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing request target".into()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing HTTP version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!(
+            "unsupported version {version:?}"
+        )));
+    }
+    let path = target.split('?').next().unwrap_or(target).to_owned();
+    let mut headers = Vec::new();
+    for line in lines {
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Malformed(format!("bad header line {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| HttpError::Malformed(format!("bad Content-Length {v:?}")))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::BodyTooLarge(content_length));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(|_| {
+        // A short body is a *truncated* request — the declared length
+        // never arrived — which the server reports as a client error.
+        HttpError::Malformed(format!(
+            "body shorter than the declared Content-Length of {content_length}"
+        ))
+    })?;
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+    })
+}
+
+/// Standard reason phrase for the status codes the protocol uses.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Write one complete (non-streamed) response and flush. `extra_headers`
+/// are emitted verbatim (e.g. `("Retry-After", "2")`).
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    body: &[u8],
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        reason(status),
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// A chunked-transfer response writer for NDJSON event streams: one
+/// chunk per line, flushed immediately so subscribers see incumbents as
+/// they land, closed with the zero-length terminator.
+pub struct ChunkedWriter<'a> {
+    stream: &'a mut TcpStream,
+}
+
+impl<'a> ChunkedWriter<'a> {
+    /// Write the response head (status 200, `Transfer-Encoding: chunked`)
+    /// and return the chunk writer.
+    pub fn begin(stream: &'a mut TcpStream, content_type: &str) -> io::Result<Self> {
+        let head = format!(
+            "HTTP/1.1 200 OK\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\nCache-Control: no-store\r\n\r\n"
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.flush()?;
+        Ok(ChunkedWriter { stream })
+    }
+
+    /// Write one NDJSON line (the newline is appended here) as a chunk.
+    pub fn write_line(&mut self, line: &str) -> io::Result<()> {
+        let payload_len = line.len() + 1;
+        write!(self.stream, "{payload_len:x}\r\n{line}\n\r\n")?;
+        self.stream.flush()
+    }
+
+    /// Terminate the chunk stream.
+    pub fn finish(self) -> io::Result<()> {
+        self.stream.write_all(b"0\r\n\r\n")?;
+        self.stream.flush()
+    }
+}
+
+/// Client side: write one request (used by the CLI's `--remote` path and
+/// the tests). `body` is sent with a `Content-Length`; `None` sends none.
+pub fn write_request(
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    host: &str,
+    body: Option<(&str, &[u8])>,
+) -> io::Result<()> {
+    let mut head = format!("{method} {path} HTTP/1.1\r\nHost: {host}\r\nConnection: close\r\n");
+    if let Some((content_type, payload)) = body {
+        head.push_str(&format!(
+            "Content-Type: {content_type}\r\nContent-Length: {}\r\n",
+            payload.len()
+        ));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    if let Some((_, payload)) = body {
+        stream.write_all(payload)?;
+    }
+    stream.flush()
+}
+
+/// Client side: a parsed response head plus a reader positioned at the
+/// body. The body is either sized (`Content-Length`) or chunked.
+pub struct ClientResponse {
+    /// The status code.
+    pub status: u16,
+    /// Headers, names lowercased.
+    pub headers: Vec<(String, String)>,
+    reader: BufReader<TcpStream>,
+    chunked: bool,
+    content_length: Option<usize>,
+}
+
+impl ClientResponse {
+    /// Read the status line and headers from `stream`.
+    pub fn read(stream: TcpStream) -> Result<Self, HttpError> {
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let mut parts = line.split_whitespace();
+        let version = parts
+            .next()
+            .ok_or_else(|| HttpError::Malformed("empty response".into()))?;
+        if !version.starts_with("HTTP/1.") {
+            return Err(HttpError::Malformed(format!("bad version {version:?}")));
+        }
+        let status: u16 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| HttpError::Malformed("bad status code".into()))?;
+        let mut headers = Vec::new();
+        loop {
+            let mut header_line = String::new();
+            let n = reader.read_line(&mut header_line)?;
+            if n == 0 {
+                return Err(HttpError::Malformed("connection closed mid-head".into()));
+            }
+            if header_line == "\r\n" || header_line == "\n" {
+                break;
+            }
+            if let Some((name, value)) = header_line.split_once(':') {
+                headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+            }
+        }
+        let chunked = headers
+            .iter()
+            .any(|(k, v)| k == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
+        let content_length = headers
+            .iter()
+            .find(|(k, _)| k == "content-length")
+            .and_then(|(_, v)| v.parse().ok());
+        Ok(ClientResponse {
+            status,
+            headers,
+            reader,
+            chunked,
+            content_length,
+        })
+    }
+
+    /// First value of `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Read the entire body as text (sized, chunked, or read-to-end).
+    pub fn body_string(mut self) -> Result<String, HttpError> {
+        let mut bytes = Vec::new();
+        if self.chunked {
+            while let Some(chunk) = read_chunk(&mut self.reader)? {
+                bytes.extend_from_slice(&chunk);
+            }
+        } else if let Some(n) = self.content_length {
+            bytes.resize(n, 0);
+            self.reader.read_exact(&mut bytes)?;
+        } else {
+            self.reader.read_to_end(&mut bytes)?;
+        }
+        String::from_utf8(bytes).map_err(|_| HttpError::Malformed("body is not UTF-8".into()))
+    }
+
+    /// Iterate the NDJSON lines of a chunked body as they arrive. Ends on
+    /// the chunk terminator (or connection close).
+    pub fn lines(self) -> NdjsonLines {
+        NdjsonLines {
+            reader: self.reader,
+            chunked: self.chunked,
+            buffer: Vec::new(),
+            done: false,
+        }
+    }
+}
+
+/// Read one chunk; `Ok(None)` on the zero-length terminator.
+fn read_chunk(reader: &mut BufReader<TcpStream>) -> Result<Option<Vec<u8>>, HttpError> {
+    let mut size_line = String::new();
+    if reader.read_line(&mut size_line)? == 0 {
+        return Ok(None); // connection closed: treat as end of stream
+    }
+    let size = usize::from_str_radix(size_line.trim(), 16)
+        .map_err(|_| HttpError::Malformed(format!("bad chunk size {size_line:?}")))?;
+    if size == 0 {
+        // Consume the trailing CRLF after the terminator, if present.
+        let mut crlf = String::new();
+        let _ = reader.read_line(&mut crlf);
+        return Ok(None);
+    }
+    let mut chunk = vec![0u8; size];
+    reader.read_exact(&mut chunk)?;
+    let mut crlf = [0u8; 2];
+    reader.read_exact(&mut crlf)?;
+    Ok(Some(chunk))
+}
+
+/// Streaming line iterator over a chunked NDJSON body.
+pub struct NdjsonLines {
+    reader: BufReader<TcpStream>,
+    chunked: bool,
+    buffer: Vec<u8>,
+    done: bool,
+}
+
+impl Iterator for NdjsonLines {
+    type Item = Result<String, HttpError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            // A complete line already buffered?
+            if let Some(nl) = self.buffer.iter().position(|&b| b == b'\n') {
+                let line: Vec<u8> = self.buffer.drain(..=nl).collect();
+                let text = String::from_utf8_lossy(&line).trim_end().to_owned();
+                if text.is_empty() {
+                    continue;
+                }
+                return Some(Ok(text));
+            }
+            if self.done {
+                // Flush a trailing unterminated line, if any.
+                if self.buffer.is_empty() {
+                    return None;
+                }
+                let text = String::from_utf8_lossy(&self.buffer).trim_end().to_owned();
+                self.buffer.clear();
+                if text.is_empty() {
+                    return None;
+                }
+                return Some(Ok(text));
+            }
+            if self.chunked {
+                match read_chunk(&mut self.reader) {
+                    Ok(Some(chunk)) => self.buffer.extend_from_slice(&chunk),
+                    Ok(None) => self.done = true,
+                    Err(e) => {
+                        self.done = true;
+                        return Some(Err(e));
+                    }
+                }
+            } else {
+                let mut byte_buf = [0u8; 4096];
+                match self.reader.read(&mut byte_buf) {
+                    Ok(0) => self.done = true,
+                    Ok(n) => self.buffer.extend_from_slice(&byte_buf[..n]),
+                    Err(e) => {
+                        self.done = true;
+                        return Some(Err(e.into()));
+                    }
+                }
+            }
+        }
+    }
+}

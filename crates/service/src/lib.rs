@@ -1,0 +1,64 @@
+//! Network aggregation service: the engine's anytime jobs, served over
+//! the wire (DESIGN.md §10).
+//!
+//! The paper's product is a panel of consensus algorithms whose
+//! quality-vs-time tradeoff only matters if callers can consume it; this
+//! crate makes the [`Engine`](rank_core::engine::Engine) a remote API. A
+//! dependency-free HTTP/1.1 [`Server`] over `std::net` (no crates.io
+//! access — the same offline discipline as `crates/shims/`) exposes:
+//!
+//! * `POST /v1/jobs` — dataset text + [`AlgoSpec`] + seed + budget, admitted
+//!   through the engine's budget-aware scheduler (full queue ⇒ **429** +
+//!   `Retry-After`; running jobs are never shed);
+//! * `GET /v1/jobs/{id}/events` — the job's `started` / strictly-improving
+//!   `incumbent` / `finished` lifecycle as chunked NDJSON, replayable for
+//!   late subscribers;
+//! * `GET /v1/jobs/{id}` — status with the best-so-far consensus, the live
+//!   incumbent trace, and the full report once done;
+//! * `DELETE /v1/jobs/{id}` — cooperative cancel over the wire;
+//! * `GET /v1/algorithms` — the registry (the serializer `rawt list --json`
+//!   shares);
+//! * `GET /healthz` — liveness + scheduler stats.
+//!
+//! [`client::Client`] is the matching blocking client —
+//! `rawt aggregate --remote ADDR` is a thin shell over it, rendering the
+//! same report as the local path, bit-identically for fixed seeds
+//! (pinned by `tests/service_api.rs`).
+//!
+//! [`AlgoSpec`]: rank_core::engine::AlgoSpec
+//!
+//! # In-process quickstart
+//!
+//! ```
+//! use service::client::Client;
+//! use service::proto::JobSubmission;
+//! use service::server::{Server, ServerConfig};
+//!
+//! let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+//! let addr = server.local_addr().unwrap().to_string();
+//! let shutdown = server.shutdown_handle().unwrap();
+//! std::thread::spawn(move || server.serve());
+//!
+//! let client = Client::new(&addr);
+//! let job = client
+//!     .submit(&JobSubmission {
+//!         algo: Some("Exact".into()),
+//!         ..JobSubmission::new("[{A},{D},{B,C}]\n[{A},{B,C},{D}]\n[{D},{A,C},{B}]")
+//!     })
+//!     .unwrap();
+//! let done = client.wait(job.id).unwrap();
+//! let report = done.get("report").unwrap();
+//! assert_eq!(report.get("score").and_then(|s| s.as_u64()), Some(5));
+//! shutdown.shutdown();
+//! ```
+
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod proto;
+pub mod server;
+
+pub use client::{Client, ClientError, Submitted};
+pub use json::Json;
+pub use proto::JobSubmission;
+pub use server::{Server, ServerConfig, ShutdownHandle};

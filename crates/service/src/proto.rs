@@ -1,0 +1,354 @@
+//! The service protocol: the JSON shapes shared by the HTTP server, the
+//! remote client, and the CLI's local `--json` output.
+//!
+//! One serializer per shape, used by every front end, so `rawt list
+//! --json` and `GET /v1/algorithms` can never drift apart, and a remote
+//! `rawt aggregate` renders bit-identically to the local path (the
+//! service-api test pins that).
+//!
+//! * [`registry_json`] — the algorithm registry dump;
+//! * [`report_json`] / [`ranking_json`] — a [`ConsensusReport`] with its
+//!   ranking denormalized back to input labels, trace included;
+//! * [`event_json`] — one NDJSON line per anytime [`Event`];
+//! * [`JobSubmission`] — the `POST /v1/jobs` body, parsed and validated
+//!   ([`JobSubmission::from_json`]) with typed, suggestion-carrying
+//!   errors (HTTP 400 material, never a panicking thread).
+
+use crate::json::{escape, Json};
+use rank_core::engine::{registry, ConsensusReport, Event, Normalization, TracePoint};
+use rank_core::normalize::Normalized;
+use rank_core::{Ranking, Universe};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// The algorithm registry as a JSON array — the single serializer behind
+/// both `GET /v1/algorithms` and `rawt list --json`.
+pub fn registry_json() -> String {
+    let mut out = String::from("[");
+    for (i, entry) in registry().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let example = (entry.example)();
+        let aliases: Vec<String> = entry
+            .aliases
+            .iter()
+            .map(|a| format!("\"{}\"", escape(a)))
+            .collect();
+        let _ = write!(
+            out,
+            concat!(
+                "{{\"name\":\"{}\",\"class\":\"{}\",\"produces_ties\":{},",
+                "\"summary\":\"{}\",\"example\":\"{}\",\"paper_name\":\"{}\",",
+                "\"aliases\":[{}]}}"
+            ),
+            escape(entry.canonical),
+            escape(entry.class),
+            example.produces_ties(),
+            escape(entry.summary),
+            escape(&example.to_string()),
+            escape(&example.paper_name()),
+            aliases.join(",")
+        );
+    }
+    out.push(']');
+    out
+}
+
+/// A (denormalized) ranking as nested label arrays: `[["A"],["B","C"]]`.
+pub fn ranking_json(r: &Ranking, universe: &Universe) -> String {
+    let buckets: Vec<String> = r
+        .buckets()
+        .map(|b| {
+            let labels: Vec<String> = b
+                .iter()
+                .map(|&e| format!("\"{}\"", escape(universe.name(e))))
+                .collect();
+            format!("[{}]", labels.join(","))
+        })
+        .collect();
+    format!("[{}]", buckets.join(","))
+}
+
+/// One incumbent [`TracePoint`] as a JSON object — used by the final
+/// report's trace and the live trace of the server's job-status document,
+/// so the two can never drift apart.
+pub fn trace_point_json(p: &TracePoint) -> String {
+    format!(
+        "{{\"elapsed_secs\":{:.6},\"score\":{}}}",
+        p.elapsed.as_secs_f64(),
+        p.score
+    )
+}
+
+/// One [`ConsensusReport`] as a JSON object (outcome + incumbent trace
+/// included), with the ranking denormalized back to input labels. This is
+/// the exact shape `rawt aggregate --json` has emitted since the anytime
+/// PR; the server's job reports reuse it verbatim.
+pub fn report_json(report: &ConsensusReport, norm: &Normalized, universe: &Universe) -> String {
+    let gap = report.gap.map_or("null".to_owned(), |g| format!("{g:.6}"));
+    let trace: Vec<String> = report.trace.iter().map(trace_point_json).collect();
+    format!(
+        concat!(
+            "{{\"algorithm\":\"{}\",\"spec\":\"{}\",\"seed\":{},",
+            "\"score\":{},\"gap\":{},\"outcome\":\"{}\",",
+            "\"elapsed_secs\":{:.6},\"ranking\":{},\"trace\":[{}]}}"
+        ),
+        escape(&report.algorithm()),
+        escape(&report.spec.to_string()),
+        report.seed,
+        report.score,
+        gap,
+        report.outcome,
+        report.elapsed.as_secs_f64(),
+        ranking_json(&norm.denormalize(&report.ranking), universe),
+        trace.join(",")
+    )
+}
+
+/// One anytime [`Event`] as an NDJSON line (no trailing newline — the
+/// chunked writer appends it).
+pub fn event_json(event: &Event) -> String {
+    match event {
+        Event::Started { spec, seed } => {
+            format!(
+                "{{\"event\":\"started\",\"spec\":\"{}\",\"seed\":{seed}}}",
+                escape(&spec.to_string())
+            )
+        }
+        Event::Incumbent {
+            score,
+            gap,
+            elapsed,
+        } => {
+            let gap = gap.map_or("null".to_owned(), |g| format!("{g:.6}"));
+            format!(
+                "{{\"event\":\"incumbent\",\"score\":{score},\"gap\":{gap},\"elapsed_secs\":{:.6}}}",
+                elapsed.as_secs_f64()
+            )
+        }
+        Event::Finished(outcome) => {
+            format!("{{\"event\":\"finished\",\"outcome\":\"{outcome}\"}}")
+        }
+    }
+}
+
+/// An error-response body: `{"error":"...","suggestion":...}`.
+pub fn error_json(message: &str, suggestion: Option<&str>) -> String {
+    let suggestion = suggestion.map_or("null".to_owned(), |s| format!("\"{}\"", escape(s)));
+    format!(
+        "{{\"error\":\"{}\",\"suggestion\":{suggestion}}}",
+        escape(message)
+    )
+}
+
+/// A validated `POST /v1/jobs` body.
+///
+/// The dataset travels as the repo's text format (one `[{A},{B,C}]`
+/// ranking per line, `#` comments allowed) — the same bytes a dataset
+/// file holds, so `rawt aggregate --remote FILE` is a straight
+/// read-and-post.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSubmission {
+    /// Dataset text (see above).
+    pub dataset: String,
+    /// Algorithm spec string; `None` lets the server's §7.4 guidance pick.
+    pub algo: Option<String>,
+    /// RNG seed (default 42, matching the CLI).
+    pub seed: u64,
+    /// Wall-clock budget; also the scheduler's ordering key.
+    pub budget: Option<Duration>,
+    /// Normalization policy (default unification, §5.1).
+    pub normalize: Normalization,
+}
+
+/// Rejection of a submission body, with an optional "did you mean"-style
+/// suggestion (the server sends both as a 400 [`error_json`] body).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubmissionError {
+    /// What was wrong.
+    pub message: String,
+    /// A close valid alternative, when one exists.
+    pub suggestion: Option<String>,
+}
+
+impl SubmissionError {
+    fn new(message: impl Into<String>) -> Self {
+        SubmissionError {
+            message: message.into(),
+            suggestion: None,
+        }
+    }
+}
+
+impl std::fmt::Display for SubmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)?;
+        if let Some(s) = &self.suggestion {
+            write!(f, " (did you mean {s:?}?)")?;
+        }
+        Ok(())
+    }
+}
+
+impl JobSubmission {
+    /// A submission with the defaults the CLI uses (seed 42, no budget,
+    /// unification, guidance-picked algorithm).
+    pub fn new(dataset: impl Into<String>) -> Self {
+        JobSubmission {
+            dataset: dataset.into(),
+            algo: None,
+            seed: 42,
+            budget: None,
+            normalize: Normalization::Unification,
+        }
+    }
+
+    /// Parse and validate a request body. Every rejection is typed: bad
+    /// JSON, a missing/empty dataset, an unparseable budget (zero,
+    /// negative, non-finite), or an unknown normalization. The algorithm
+    /// spec itself is validated later against the registry (so its
+    /// rejection carries the registry's own suggestion).
+    pub fn from_json(body: &str) -> Result<JobSubmission, SubmissionError> {
+        let doc =
+            Json::parse(body).map_err(|e| SubmissionError::new(format!("request body: {e}")))?;
+        if !matches!(doc, Json::Obj(_)) {
+            return Err(SubmissionError::new("request body must be a JSON object"));
+        }
+        let dataset = doc
+            .get("dataset")
+            .ok_or_else(|| SubmissionError::new("missing required field \"dataset\""))?
+            .as_str()
+            .ok_or_else(|| SubmissionError::new("\"dataset\" must be a string"))?
+            .to_owned();
+        if dataset.trim().is_empty() {
+            return Err(SubmissionError::new("\"dataset\" is empty"));
+        }
+        let algo = match doc.get("algo") {
+            None => None,
+            Some(v) if v.is_null() => None,
+            Some(v) => Some(
+                v.as_str()
+                    .ok_or_else(|| SubmissionError::new("\"algo\" must be a string"))?
+                    .to_owned(),
+            ),
+        };
+        let seed = match doc.get("seed") {
+            None => 42,
+            Some(v) => v
+                .as_u64()
+                .ok_or_else(|| SubmissionError::new("\"seed\" must be a non-negative integer"))?,
+        };
+        let budget = match doc.get("budget_secs") {
+            None => None,
+            Some(v) if v.is_null() => None,
+            Some(v) => {
+                let secs = v
+                    .as_f64()
+                    .ok_or_else(|| SubmissionError::new("\"budget_secs\" must be a number"))?;
+                if !(secs.is_finite() && secs > 0.0) {
+                    return Err(SubmissionError::new(format!(
+                        "\"budget_secs\" must be positive, got {secs}"
+                    )));
+                }
+                // try_from: an absurdly large value must be a 400, not a
+                // Duration-overflow panic in the connection thread.
+                Some(Duration::try_from_secs_f64(secs).map_err(|_| {
+                    SubmissionError::new(format!("\"budget_secs\" {secs} is out of range"))
+                })?)
+            }
+        };
+        let normalize = match doc.get("normalize") {
+            None => Normalization::Unification,
+            Some(v) => {
+                let text = v
+                    .as_str()
+                    .ok_or_else(|| SubmissionError::new("\"normalize\" must be a string"))?;
+                text.parse().map_err(|e: String| SubmissionError {
+                    message: e,
+                    suggestion: None,
+                })?
+            }
+        };
+        Ok(JobSubmission {
+            dataset,
+            algo,
+            seed,
+            budget,
+            normalize,
+        })
+    }
+
+    /// Serialize for `POST /v1/jobs` (the client side).
+    pub fn to_json(&self) -> String {
+        let mut out = format!("{{\"dataset\":\"{}\"", escape(&self.dataset));
+        if let Some(algo) = &self.algo {
+            let _ = write!(out, ",\"algo\":\"{}\"", escape(algo));
+        }
+        let _ = write!(out, ",\"seed\":{}", self.seed);
+        if let Some(budget) = self.budget {
+            let _ = write!(out, ",\"budget_secs\":{}", budget.as_secs_f64());
+        }
+        let _ = write!(out, ",\"normalize\":\"{}\"}}", self.normalize);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submission_roundtrips() {
+        let sub = JobSubmission {
+            dataset: "[{A},{B,C}]\n[{B},{A,C}]".to_owned(),
+            algo: Some("BestOf(KwikSort,20)".to_owned()),
+            seed: 7,
+            budget: Some(Duration::from_millis(1500)),
+            normalize: Normalization::Projection,
+        };
+        assert_eq!(JobSubmission::from_json(&sub.to_json()), Ok(sub));
+    }
+
+    #[test]
+    fn defaults_match_the_cli() {
+        let sub = JobSubmission::from_json(r#"{"dataset":"[{A},{B}]"}"#).unwrap();
+        assert_eq!(sub.seed, 42);
+        assert_eq!(sub.budget, None);
+        assert_eq!(sub.normalize, Normalization::Unification);
+        assert_eq!(sub.algo, None);
+    }
+
+    #[test]
+    fn rejects_bad_budgets_and_truncated_bodies() {
+        for (body, needle) in [
+            (r#"{"dataset":"[{A}]","budget_secs":0}"#, "positive"),
+            (r#"{"dataset":"[{A}]","budget_secs":-3}"#, "positive"),
+            (r#"{"dataset":"[{A}]","budget_secs":1e20}"#, "out of range"),
+            (r#"{"dataset":"[{A}]","budget_secs":"x"}"#, "number"),
+            (r#"{"dataset":"[{A}]""#, "request body"),
+            (r#"{"algo":"Borda"}"#, "dataset"),
+            (r#"{"dataset":""}"#, "empty"),
+            (r#"{"dataset":"[{A}]","normalize":"sideways"}"#, "unknown"),
+            (r#"{"dataset":"[{A}]","seed":-1}"#, "non-negative"),
+        ] {
+            let err = JobSubmission::from_json(body).expect_err(body);
+            assert!(
+                err.message.contains(needle),
+                "{body}: {} should mention {needle:?}",
+                err.message
+            );
+        }
+    }
+
+    #[test]
+    fn registry_json_is_valid_and_complete() {
+        let doc = Json::parse(&registry_json()).unwrap();
+        let entries = doc.as_array().unwrap();
+        assert_eq!(entries.len(), registry().len());
+        assert!(entries.iter().any(|e| {
+            e.get("name").and_then(Json::as_str) == Some("BioConsert")
+                && e.get("produces_ties").and_then(Json::as_bool) == Some(true)
+        }));
+    }
+}

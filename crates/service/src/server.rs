@@ -1,0 +1,625 @@
+//! The HTTP server: anytime aggregation jobs over the wire.
+//!
+//! Endpoint surface (DESIGN.md §10.1):
+//!
+//! | Method   | Path                   | Meaning                                        |
+//! |----------|------------------------|------------------------------------------------|
+//! | `POST`   | `/v1/jobs`             | submit a job (dataset + spec + seed + budget)  |
+//! | `GET`    | `/v1/jobs/{id}/events` | stream NDJSON lifecycle events (chunked)       |
+//! | `GET`    | `/v1/jobs/{id}`        | job status + best-so-far report incl. trace    |
+//! | `DELETE` | `/v1/jobs/{id}`        | cooperative cancel                             |
+//! | `GET`    | `/v1/algorithms`       | the algorithm registry                         |
+//! | `GET`    | `/healthz`             | liveness + scheduler stats                     |
+//!
+//! Submissions flow through [`Engine::try_submit`]: when the scheduler's
+//! admission queue is full the server sheds the request with **429** and
+//! a `Retry-After` header — running jobs are never affected. Each accepted
+//! job gets a collector thread that drains the
+//! [`JobHandle`](rank_core::engine::JobHandle)'s event
+//! stream into a replayable per-job log (so `GET …/events` works for
+//! late and repeated subscribers, streaming live past the replay point)
+//! and stores the final report. Connection handling is
+//! thread-per-connection with `Connection: close` semantics — the
+//! protocol is one exchange per connection, which keeps the server free
+//! of any read-multiplexing machinery while still serving streams of
+//! concurrent clients (the bench's service section measures exactly
+//! that).
+
+use crate::http::{self, ChunkedWriter, HttpError, Request};
+use crate::proto::{self, JobSubmission};
+use rank_core::engine::{
+    AdmissionError, AggregationRequest, AlgoSpec, Engine, Event, SchedulerConfig,
+};
+use rank_core::guidance::{recommend, DatasetFeatures, Priority};
+use rank_core::normalize::Normalized;
+use rank_core::parse::parse_dataset_lines;
+use rank_core::Universe;
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// How the server is shaped.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Concurrent-job cap (the scheduler's worker-pool width).
+    pub max_jobs: usize,
+    /// Admission-queue bound; beyond it, submissions get 429.
+    pub queue_capacity: usize,
+    /// Completed jobs retained for status queries before the oldest are
+    /// evicted.
+    pub retain_done: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_jobs: rank_core::parallel::num_threads().max(2),
+            queue_capacity: rank_core::engine::DEFAULT_QUEUE_CAPACITY,
+            retain_done: 256,
+        }
+    }
+}
+
+/// Everything one served job carries: identity, the pieces needed to
+/// serialize its results back to input labels, a cancel token usable
+/// while another thread streams its events, and the replayable event log.
+struct JobRecord {
+    id: u64,
+    spec: AlgoSpec,
+    seed: u64,
+    n: usize,
+    m: usize,
+    normalize: rank_core::engine::Normalization,
+    universe: Universe,
+    norm: Normalized,
+    cancel: rank_core::engine::CancelToken,
+    sink: Arc<rank_core::engine::IncumbentSink>,
+    state: Mutex<JobProgress>,
+    advanced: Condvar,
+}
+
+#[derive(Default)]
+struct JobProgress {
+    /// Serialized NDJSON event lines, in emission order (the replay log).
+    events: Vec<String>,
+    /// Whether the job has started executing (left the admission queue).
+    started: bool,
+    /// The final report as a JSON object, once the job finished.
+    report_json: Option<String>,
+    /// The final outcome's display form, once finished.
+    outcome: Option<String>,
+    done: bool,
+}
+
+/// The three-way lifecycle label every status-bearing response uses.
+fn state_name(progress: &JobProgress) -> &'static str {
+    if progress.done {
+        "done"
+    } else if progress.started {
+        "running"
+    } else {
+        "queued"
+    }
+}
+
+impl JobRecord {
+    fn queue_state(&self) -> &'static str {
+        state_name(&self.state.lock().expect("job state poisoned"))
+    }
+}
+
+struct ServerState {
+    engine: Engine,
+    jobs: Mutex<JobTable>,
+    started: Instant,
+    accepted_total: AtomicU64,
+    shutting_down: AtomicBool,
+    config: ServerConfig,
+}
+
+#[derive(Default)]
+struct JobTable {
+    next_id: u64,
+    /// Insertion-ordered so eviction drops the oldest finished job.
+    order: Vec<u64>,
+    records: HashMap<u64, Arc<JobRecord>>,
+}
+
+/// The aggregation service over one TCP listener.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+}
+
+/// A handle for stopping a running server from another thread.
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    state: Arc<ServerState>,
+    addr: std::net::SocketAddr,
+}
+
+impl ShutdownHandle {
+    /// Drain the server: stop accepting, cooperatively cancel every
+    /// queued and running job, and make [`Server::serve`] return. Event
+    /// streams end naturally (each cancelled job still emits `Finished`).
+    pub fn shutdown(&self) {
+        self.state.shutting_down.store(true, Ordering::SeqCst);
+        self.state.engine.shutdown_drain();
+        // Unblock the accept loop with a no-op connection to ourselves.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+impl Server {
+    /// Bind to `addr` (use port 0 for an ephemeral port; read the actual
+    /// one back with [`Server::local_addr`]).
+    pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let engine = Engine::with_scheduler(
+            rank_core::parallel::num_threads(),
+            SchedulerConfig {
+                max_concurrent: config.max_jobs,
+                queue_capacity: config.queue_capacity,
+            },
+        );
+        Ok(Server {
+            listener,
+            state: Arc::new(ServerState {
+                engine,
+                jobs: Mutex::new(JobTable::default()),
+                started: Instant::now(),
+                accepted_total: AtomicU64::new(0),
+                shutting_down: AtomicBool::new(false),
+                config,
+            }),
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that can stop [`Server::serve`] from another thread (or a
+    /// signal handler's polling loop).
+    pub fn shutdown_handle(&self) -> std::io::Result<ShutdownHandle> {
+        Ok(ShutdownHandle {
+            state: Arc::clone(&self.state),
+            addr: self.local_addr()?,
+        })
+    }
+
+    /// Accept connections until [`ShutdownHandle::shutdown`] is called.
+    /// Each connection is served on its own thread; a handler panic kills
+    /// only that connection (and is answered with a 500 when possible).
+    pub fn serve(self) -> std::io::Result<()> {
+        for connection in self.listener.incoming() {
+            if self.state.shutting_down.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match connection {
+                Ok(stream) => stream,
+                Err(_) => continue,
+            };
+            let state = Arc::clone(&self.state);
+            let _ = std::thread::Builder::new()
+                .name("rank-conn".to_owned())
+                .spawn(move || {
+                    // Belt and braces: handlers map bad input to 4xx
+                    // themselves; catch_unwind turns an unexpected panic
+                    // into a dropped connection instead of a dead server.
+                    let _ = catch_unwind(AssertUnwindSafe(|| handle_connection(stream, &state)));
+                });
+        }
+        Ok(())
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, state: &Arc<ServerState>) {
+    // A stuck or silent client may hold the socket, but not forever.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let mut reader = match stream.try_clone() {
+        Ok(clone) => BufReader::new(clone),
+        Err(_) => return,
+    };
+    let request = match http::read_request(&mut reader) {
+        Ok(request) => request,
+        Err(HttpError::BodyTooLarge(_)) => {
+            respond_error(&mut stream, 413, "request body too large", None);
+            return;
+        }
+        Err(HttpError::Malformed(message)) => {
+            respond_error(&mut stream, 400, &message, None);
+            return;
+        }
+        Err(HttpError::Io(_)) => return,
+    };
+    route(&mut stream, &request, state);
+}
+
+fn respond_error(stream: &mut TcpStream, status: u16, message: &str, suggestion: Option<&str>) {
+    let body = proto::error_json(message, suggestion);
+    let _ = http::write_response(stream, status, "application/json", &[], body.as_bytes());
+}
+
+fn respond_json(stream: &mut TcpStream, status: u16, body: &str) {
+    let _ = http::write_response(stream, status, "application/json", &[], body.as_bytes());
+}
+
+fn route(stream: &mut TcpStream, request: &Request, state: &Arc<ServerState>) {
+    let path = request.path.trim_end_matches('/');
+    match (request.method.as_str(), path) {
+        ("GET", "/healthz") => healthz(stream, state),
+        ("GET", "/v1/algorithms") => respond_json(stream, 200, &proto::registry_json()),
+        ("POST", "/v1/jobs") => submit_job(stream, request, state),
+        (method, path) if path.starts_with("/v1/jobs/") => {
+            let rest = &path["/v1/jobs/".len()..];
+            let (id_text, tail) = match rest.split_once('/') {
+                None => (rest, None),
+                Some((id, tail)) => (id, Some(tail)),
+            };
+            let Ok(id) = id_text.parse::<u64>() else {
+                respond_error(stream, 400, &format!("bad job id {id_text:?}"), None);
+                return;
+            };
+            let record = state
+                .jobs
+                .lock()
+                .expect("job table poisoned")
+                .records
+                .get(&id)
+                .cloned();
+            let Some(record) = record else {
+                respond_error(stream, 404, &format!("no such job {id}"), None);
+                return;
+            };
+            match (method, tail) {
+                ("GET", None) => job_status(stream, &record),
+                ("DELETE", None) => {
+                    record.cancel.cancel();
+                    respond_json(
+                        stream,
+                        202,
+                        &format!(
+                            "{{\"id\":{id},\"cancelling\":true,\"state\":\"{}\"}}",
+                            record.queue_state()
+                        ),
+                    );
+                }
+                ("GET", Some("events")) => stream_events(stream, &record),
+                _ => respond_error(stream, 405, "unsupported method for this path", None),
+            }
+        }
+        ("POST", _) | ("GET", _) | ("DELETE", _) => {
+            respond_error(stream, 404, &format!("no such endpoint {path:?}"), None)
+        }
+        (method, _) => respond_error(stream, 405, &format!("unsupported method {method}"), None),
+    }
+}
+
+fn healthz(stream: &mut TcpStream, state: &Arc<ServerState>) {
+    let stats = state.engine.scheduler_stats();
+    let body = format!(
+        concat!(
+            "{{\"status\":\"ok\",\"uptime_secs\":{:.1},\"jobs_accepted\":{},",
+            "\"jobs_queued\":{},\"jobs_running\":{},",
+            "\"max_jobs\":{},\"queue_capacity\":{}}}"
+        ),
+        state.started.elapsed().as_secs_f64(),
+        state.accepted_total.load(Ordering::Relaxed),
+        stats.queued,
+        stats.running,
+        stats.max_concurrent,
+        stats.queue_capacity,
+    );
+    respond_json(stream, 200, &body);
+}
+
+/// `POST /v1/jobs`: parse, validate, normalize, admit, record.
+fn submit_job(stream: &mut TcpStream, request: &Request, state: &Arc<ServerState>) {
+    if state.shutting_down.load(Ordering::SeqCst) {
+        respond_error(stream, 503, "server is draining", None);
+        return;
+    }
+    let Ok(body) = std::str::from_utf8(&request.body) else {
+        respond_error(stream, 400, "request body is not UTF-8", None);
+        return;
+    };
+    let submission = match JobSubmission::from_json(body) {
+        Ok(submission) => submission,
+        Err(e) => {
+            respond_error(stream, 400, &e.message, e.suggestion.as_deref());
+            return;
+        }
+    };
+    // Dataset text → raw rankings → normalized dense dataset. Parse and
+    // structural errors are the client's: typed 400s, never a panic.
+    let mut universe = Universe::new();
+    let raw = match parse_dataset_lines(&submission.dataset, &mut universe) {
+        Ok(raw) => raw,
+        Err(e) => {
+            respond_error(stream, 400, &format!("dataset: {e}"), None);
+            return;
+        }
+    };
+    if raw.is_empty() {
+        respond_error(stream, 400, "dataset contains no rankings", None);
+        return;
+    }
+    let Some(norm) = submission.normalize.apply(&raw) else {
+        respond_error(stream, 400, "normalization produced an empty dataset", None);
+        return;
+    };
+    // One copy of the dense dataset, shared by the request (Arc) and
+    // readable for the n/m/guidance checks below.
+    let data = std::sync::Arc::new(norm.dataset.clone());
+    let spec = match &submission.algo {
+        Some(name) => match AlgoSpec::parse(name) {
+            Ok(spec) => spec,
+            Err(e) => {
+                respond_error(stream, 400, &e.to_string(), e.suggestion.as_deref());
+                return;
+            }
+        },
+        None => {
+            let rec = recommend(&DatasetFeatures::measure(&data), Priority::Balanced);
+            AlgoSpec::parse(rec.algorithm).expect("guidance names are registered")
+        }
+    };
+    if let Some(cap) = spec.max_n() {
+        if data.n() > cap {
+            respond_error(
+                stream,
+                400,
+                &format!(
+                    "{spec} handles at most n = {cap} elements; this dataset has {}",
+                    data.n()
+                ),
+                None,
+            );
+            return;
+        }
+    }
+    let mut agg_request =
+        AggregationRequest::new(Arc::clone(&data), spec.clone()).with_seed(submission.seed);
+    if let Some(budget) = submission.budget {
+        agg_request = agg_request.with_budget(budget);
+    }
+    let handle = match state.engine.try_submit(agg_request) {
+        Ok(handle) => handle,
+        Err(AdmissionError::QueueFull {
+            queued,
+            capacity,
+            retry_after,
+        }) => {
+            let secs = retry_after.as_secs().max(1);
+            let body = format!(
+                "{{\"error\":\"admission queue full ({queued}/{capacity})\",\"retry_after_secs\":{secs}}}"
+            );
+            let _ = http::write_response(
+                stream,
+                429,
+                "application/json",
+                &[("Retry-After", secs.to_string())],
+                body.as_bytes(),
+            );
+            return;
+        }
+        Err(AdmissionError::ShuttingDown) => {
+            respond_error(stream, 503, "server is draining", None);
+            return;
+        }
+    };
+    let record = {
+        let mut table = state.jobs.lock().expect("job table poisoned");
+        let id = table.next_id;
+        table.next_id += 1;
+        let record = Arc::new(JobRecord {
+            id,
+            spec,
+            seed: submission.seed,
+            n: data.n(),
+            m: data.m(),
+            normalize: submission.normalize,
+            universe,
+            norm,
+            cancel: handle.cancel_token(),
+            sink: Arc::clone(handle.sink()),
+            state: Mutex::new(JobProgress::default()),
+            advanced: Condvar::new(),
+        });
+        table.order.push(id);
+        table.records.insert(id, Arc::clone(&record));
+        evict_done(&mut table, state.config.retain_done);
+        record
+    };
+    state.accepted_total.fetch_add(1, Ordering::Relaxed);
+    // The collector owns the handle: it drains the event stream into the
+    // replay log and stores the final report. It is the only consumer of
+    // the raw event channel; HTTP subscribers read the log.
+    {
+        let record = Arc::clone(&record);
+        let _ = std::thread::Builder::new()
+            .name(format!("rank-collect-{}", record.id))
+            .spawn(move || collect(&record, handle));
+    }
+    let body = format!(
+        concat!(
+            "{{\"id\":{},\"spec\":\"{}\",\"seed\":{},\"n\":{},\"m\":{},",
+            "\"events\":\"/v1/jobs/{}/events\",\"status\":\"/v1/jobs/{}\"}}"
+        ),
+        record.id,
+        crate::json::escape(&record.spec.to_string()),
+        record.seed,
+        record.n,
+        record.m,
+        record.id,
+        record.id,
+    );
+    respond_json(stream, 202, &body);
+}
+
+/// Drop the oldest *finished* records beyond the retention bound (live
+/// jobs are never evicted — their handles and collectors are running).
+fn evict_done(table: &mut JobTable, retain_done: usize) {
+    let done_ids: Vec<u64> = table
+        .order
+        .iter()
+        .copied()
+        .filter(|id| {
+            table
+                .records
+                .get(id)
+                .is_some_and(|r| r.state.lock().expect("job state poisoned").done)
+        })
+        .collect();
+    if done_ids.len() <= retain_done {
+        return;
+    }
+    let drop_count = done_ids.len() - retain_done;
+    for id in &done_ids[..drop_count] {
+        table.records.remove(id);
+        table.order.retain(|o| o != id);
+    }
+}
+
+/// Drain one job's event stream into its replay log, then collect and
+/// serialize the final report.
+fn collect(record: &Arc<JobRecord>, handle: rank_core::engine::JobHandle) {
+    for event in handle.events() {
+        let line = proto::event_json(&event);
+        let mut progress = record.state.lock().expect("job state poisoned");
+        if matches!(event, Event::Started { .. }) {
+            progress.started = true;
+        }
+        progress.events.push(line);
+        drop(progress);
+        record.advanced.notify_all();
+    }
+    // The stream has ended; the report is ready (or the kernel panicked).
+    let report = catch_unwind(AssertUnwindSafe(|| handle.wait()));
+    let mut progress = record.state.lock().expect("job state poisoned");
+    match report {
+        Ok(report) => {
+            progress.outcome = Some(report.outcome.to_string());
+            progress.report_json =
+                Some(proto::report_json(&report, &record.norm, &record.universe));
+        }
+        Err(_) => {
+            progress.outcome = Some("failed".to_owned());
+            progress
+                .events
+                .push("{\"event\":\"failed\",\"error\":\"internal kernel panic\"}".to_owned());
+        }
+    }
+    progress.done = true;
+    drop(progress);
+    record.advanced.notify_all();
+}
+
+/// `GET /v1/jobs/{id}`: status + best-so-far (trace from the sink, full
+/// report once done).
+fn job_status(stream: &mut TcpStream, record: &Arc<JobRecord>) {
+    let trace: Vec<String> = record
+        .sink
+        .trace()
+        .iter()
+        .map(proto::trace_point_json)
+        .collect();
+    let best = match record.sink.best_so_far() {
+        None => "null".to_owned(),
+        Some((score, ranking)) => format!(
+            "{{\"score\":{score},\"ranking\":{}}}",
+            proto::ranking_json(&record.norm.denormalize(&ranking), &record.universe)
+        ),
+    };
+    let progress = record.state.lock().expect("job state poisoned");
+    let state_name = state_name(&progress);
+    let report = progress
+        .report_json
+        .clone()
+        .unwrap_or_else(|| "null".to_owned());
+    let outcome = progress
+        .outcome
+        .clone()
+        .map_or("null".to_owned(), |o| format!("\"{o}\""));
+    drop(progress);
+    let body = format!(
+        concat!(
+            "{{\"id\":{},\"spec\":\"{}\",\"seed\":{},\"n\":{},\"m\":{},",
+            "\"normalization\":\"{}\",\"state\":\"{state}\",\"outcome\":{outcome},",
+            "\"best\":{best},\"trace\":[{trace}],\"report\":{report}}}"
+        ),
+        record.id,
+        crate::json::escape(&record.spec.to_string()),
+        record.seed,
+        record.n,
+        record.m,
+        record.normalize,
+        state = state_name,
+        outcome = outcome,
+        best = best,
+        trace = trace.join(","),
+        report = report,
+    );
+    respond_json(stream, 200, &body);
+}
+
+/// Seconds of event silence before an `…/events` stream emits a
+/// keepalive line, so quiet long-running jobs stay distinguishable from
+/// dead connections under client read timeouts.
+const HEARTBEAT_SECS: u32 = 15;
+
+/// `GET /v1/jobs/{id}/events`: replay the log from the start, then follow
+/// live until the job is done — chunked NDJSON, one event per line.
+/// Quiet stretches are bridged with `{"event":"heartbeat"}` lines
+/// (streamed only, never recorded in the replay log).
+fn stream_events(stream: &mut TcpStream, record: &Arc<JobRecord>) {
+    let mut writer = match ChunkedWriter::begin(stream, "application/x-ndjson") {
+        Ok(writer) => writer,
+        Err(_) => return,
+    };
+    let mut cursor = 0usize;
+    loop {
+        let (batch, done) = {
+            let mut progress = record.state.lock().expect("job state poisoned");
+            let mut quiet = 0u32;
+            while progress.events.len() == cursor && !progress.done && quiet < HEARTBEAT_SECS {
+                let (next, timeout) = record
+                    .advanced
+                    .wait_timeout(progress, Duration::from_secs(1))
+                    .expect("job state poisoned");
+                progress = next;
+                if timeout.timed_out() {
+                    quiet += 1;
+                }
+            }
+            (progress.events[cursor..].to_vec(), progress.done)
+        };
+        if batch.is_empty() && !done {
+            // A long-quiet solver (e.g. an unbudgeted exact proof): send
+            // a keepalive so the subscriber's read timeout does not
+            // mistake the silence for a dead server.
+            if writer.write_line("{\"event\":\"heartbeat\"}").is_err() {
+                return;
+            }
+            continue;
+        }
+        for line in &batch {
+            if writer.write_line(line).is_err() {
+                return; // subscriber went away; the job keeps running
+            }
+        }
+        cursor += batch.len();
+        if done {
+            // Nothing is appended after `done` is set (the collector's
+            // final line lands before it), so the batch was complete.
+            let _ = writer.finish();
+            return;
+        }
+    }
+}

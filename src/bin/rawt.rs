@@ -7,6 +7,7 @@
 //! ```text
 //! rawt aggregate FILE [--algo SPEC] [--seed N] [--budget SECS]
 //!                     [--normalize unify|project] [--progress] [--json]
+//!                     [--remote ADDR]
 //!     Aggregate a dataset file (one `[{A},{B,C}]` ranking per line,
 //!     `#` comments allowed). Rankings over different elements are
 //!     normalized first (default: unification, §5.1). Without --algo the
@@ -16,6 +17,9 @@
 //!     Ctrl-C cancels cooperatively and returns the best-so-far ranking
 //!     (outcome "cancelled"). --json emits the machine-readable report,
 //!     including the outcome and the incumbent time-to-score trace.
+//!     --remote submits the job to a `rawt serve` instance instead of
+//!     running locally — same flags, same report, same rendering
+//!     (bit-identical results for a fixed seed).
 //!
 //! rawt compare FILE [--seed N] [--budget SECS] [--normalize unify|project]
 //!              [--json]
@@ -23,9 +27,17 @@
 //!     report per-algorithm score, gap and outcome (--json for the full
 //!     report array, traces included).
 //!
-//! rawt list
+//! rawt list [--json]
 //!     The algorithm registry as Table 1 of the paper: canonical spec
 //!     name, class tag ([K]/[G]/[P]), produces-ties column, aliases.
+//!     --json emits the same registry dump `GET /v1/algorithms` serves.
+//!
+//! rawt serve [--addr HOST:PORT] [--max-jobs N] [--queue N]
+//!     Run the aggregation service (see crates/service): anytime jobs
+//!     over HTTP with streamed NDJSON incumbents, budget-aware
+//!     scheduling, and 429 load shedding. SIGINT drains via cooperative
+//!     cancel. --addr defaults to 127.0.0.1:7878 (port 0 picks an
+//!     ephemeral port, printed on startup).
 //!
 //! rawt similarity FILE [--normalize unify|project]
 //!     The dataset's intrinsic similarity s(R) (§6.2.2) and features.
@@ -42,6 +54,10 @@ use rank_aggregation_with_ties::ragen::{MarkovGen, UniformSampler};
 use rank_aggregation_with_ties::rank_core::engine::{paper_panel, registry, Event};
 use rank_aggregation_with_ties::rank_core::normalize::Normalized;
 use rank_aggregation_with_ties::rank_core::parse::{parse_dataset_lines, parse_ranking_labeled};
+use service::client::Client;
+use service::json::Json;
+use service::proto::{self, JobSubmission};
+use service::server::{Server, ServerConfig};
 use std::process::exit;
 use std::time::Duration;
 
@@ -90,6 +106,10 @@ struct Flags {
     normalize: Normalization,
     json: bool,
     progress: bool,
+    remote: Option<String>,
+    addr: String,
+    max_jobs: usize,
+    queue: usize,
     n: usize,
     m: usize,
     steps: usize,
@@ -104,6 +124,10 @@ fn parse_flags(args: &[String]) -> Flags {
         normalize: Normalization::Unification,
         json: false,
         progress: false,
+        remote: None,
+        addr: "127.0.0.1:7878".to_owned(),
+        max_jobs: ServerConfig::default().max_jobs,
+        queue: ServerConfig::default().queue_capacity,
         n: 10,
         m: 5,
         steps: 1000,
@@ -126,13 +150,32 @@ fn parse_flags(args: &[String]) -> Flags {
                 if secs <= 0.0 || !secs.is_finite() {
                     die("--budget must be positive seconds");
                 }
-                f.budget = Some(Duration::from_secs_f64(secs));
+                f.budget = Some(
+                    Duration::try_from_secs_f64(secs)
+                        .unwrap_or_else(|_| die("--budget is out of range")),
+                );
             }
             "--normalize" => {
                 f.normalize = value(&mut i).parse().unwrap_or_else(|e: String| die(&e))
             }
             "--json" => f.json = true,
             "--progress" => f.progress = true,
+            "--remote" => f.remote = Some(value(&mut i)),
+            "--addr" => f.addr = value(&mut i),
+            "--max-jobs" => {
+                f.max_jobs = value(&mut i)
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --max-jobs"));
+                if f.max_jobs == 0 {
+                    die("--max-jobs must be at least 1");
+                }
+            }
+            "--queue" => {
+                f.queue = value(&mut i).parse().unwrap_or_else(|_| die("bad --queue"));
+                if f.queue == 0 {
+                    die("--queue must be at least 1");
+                }
+            }
             "--n" => f.n = value(&mut i).parse().unwrap_or_else(|_| die("bad --n")),
             "--m" => f.m = value(&mut i).parse().unwrap_or_else(|_| die("bad --m")),
             "--steps" => f.steps = value(&mut i).parse().unwrap_or_else(|_| die("bad --steps")),
@@ -145,70 +188,11 @@ fn parse_flags(args: &[String]) -> Flags {
 }
 
 // ------------------------------------------------------------- JSON output
+//
+// The serializers live in `service::proto`, shared with the HTTP server
+// so the CLI's --json output and the wire protocol cannot drift apart.
 
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-/// A (denormalized) ranking as nested label arrays: `[["A"],["B","C"]]`.
-fn ranking_json(r: &Ranking, universe: &Universe) -> String {
-    let buckets: Vec<String> = r
-        .buckets()
-        .map(|b| {
-            let labels: Vec<String> = b
-                .iter()
-                .map(|&e| format!("\"{}\"", json_escape(universe.name(e))))
-                .collect();
-            format!("[{}]", labels.join(","))
-        })
-        .collect();
-    format!("[{}]", buckets.join(","))
-}
-
-/// One [`ConsensusReport`] as a JSON object (outcome + incumbent trace
-/// included), with the ranking denormalized back to input labels.
-fn report_json(report: &ConsensusReport, norm: &Normalized, universe: &Universe) -> String {
-    let gap = report.gap.map_or("null".to_owned(), |g| format!("{g:.6}"));
-    let trace: Vec<String> = report
-        .trace
-        .iter()
-        .map(|p| {
-            format!(
-                "{{\"elapsed_secs\":{:.6},\"score\":{}}}",
-                p.elapsed.as_secs_f64(),
-                p.score
-            )
-        })
-        .collect();
-    format!(
-        concat!(
-            "{{\"algorithm\":\"{}\",\"spec\":\"{}\",\"seed\":{},",
-            "\"score\":{},\"gap\":{},\"outcome\":\"{}\",",
-            "\"elapsed_secs\":{:.6},\"ranking\":{},\"trace\":[{}]}}"
-        ),
-        json_escape(&report.algorithm()),
-        json_escape(&report.spec.to_string()),
-        report.seed,
-        report.score,
-        gap,
-        report.outcome,
-        report.elapsed.as_secs_f64(),
-        ranking_json(&norm.denormalize(&report.ranking), universe),
-        trace.join(",")
-    )
-}
+use proto::report_json;
 
 /// Load + normalize a dataset file; returns the dense dataset, the id
 /// mapping and the universe for display.
@@ -238,6 +222,10 @@ fn cmd_aggregate(f: &Flags) {
         .positional
         .first()
         .unwrap_or_else(|| die("aggregate needs a FILE"));
+    if let Some(addr) = &f.remote {
+        cmd_aggregate_remote(f, path, addr);
+        return;
+    }
     let (norm, universe) = load(path, f.normalize);
     let data = &norm.dataset;
     let spec = match &f.algo {
@@ -332,6 +320,225 @@ fn run_with_progress(engine: &Engine, request: AggregationRequest) -> ConsensusR
     handle.wait()
 }
 
+// --------------------------------------------------------- remote client
+
+/// `aggregate --remote ADDR`: submit the dataset file to a `rawt serve`
+/// instance, optionally stream its incumbents, and render the final
+/// report exactly like the local path (the engine underneath is the same
+/// code, so a fixed seed yields a bit-identical report).
+fn cmd_aggregate_remote(f: &Flags, path: &str, addr: &str) {
+    let body =
+        std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+    let client = Client::new(addr);
+    let submission = JobSubmission {
+        dataset: body,
+        algo: f.algo.clone(),
+        seed: f.seed,
+        budget: f.budget,
+        normalize: f.normalize,
+    };
+    let job = client
+        .submit(&submission)
+        .unwrap_or_else(|e| die(&format!("submit to {addr}: {e}")));
+    let status = if f.progress {
+        stream_remote_progress(&client, job.id);
+        client
+            .status(job.id)
+            .unwrap_or_else(|e| die(&format!("fetching job {}: {e}", job.id)))
+    } else {
+        // wait() already returns the final status document.
+        client
+            .wait(job.id)
+            .unwrap_or_else(|e| die(&format!("waiting on job {}: {e}", job.id)))
+    };
+    let report = status
+        .get("report")
+        .filter(|r| !r.is_null())
+        .unwrap_or_else(|| die(&format!("job {} ended without a report: {status}", job.id)));
+    if f.json {
+        // The same envelope as the local path. The report is spliced out
+        // of the raw response, byte-for-byte as the server's shared
+        // serializer produced it — re-serializing the parsed tree would
+        // reorder keys and reformat floats, drifting from local --json.
+        let raw = client
+            .status_raw(job.id)
+            .unwrap_or_else(|e| die(&format!("fetching job {}: {e}", job.id)));
+        let report_raw = raw
+            .rfind("\"report\":")
+            // "report" is the status document's final field; its value
+            // runs to the envelope's closing brace.
+            .map(|i| &raw[i + "\"report\":".len()..raw.len() - 1])
+            .unwrap_or_else(|| die(&format!("job {} status has no report: {raw}", job.id)));
+        println!(
+            "{{\"n\":{},\"m\":{},\"normalization\":\"{}\",\"report\":{report_raw}}}",
+            job.n, job.m, f.normalize
+        );
+        return;
+    }
+    let text = |key: &str| {
+        report
+            .get(key)
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| die(&format!("report is missing {key:?}: {report}")))
+    };
+    let num = |key: &str| {
+        report
+            .get(key)
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| die(&format!("report is missing {key:?}: {report}")))
+    };
+    println!("algorithm:  {} (spec: {})", text("algorithm"), text("spec"));
+    println!(
+        "elements:   {} (m = {} rankings, {})",
+        job.n, job.m, f.normalize
+    );
+    println!(
+        "consensus:  {}",
+        render_label_ranking(report.get("ranking"))
+    );
+    println!("K score:    {}", num("score") as u64);
+    println!(
+        "outcome:    {} in {:.1?}",
+        text("outcome"),
+        Duration::from_secs_f64(num("elapsed_secs"))
+    );
+}
+
+/// Render the wire form of a ranking (nested label arrays,
+/// `[["A"],["B","C"]]`) back to the paper's `[{A},{B,C}]` notation —
+/// the same text the local path prints.
+fn render_label_ranking(ranking: Option<&Json>) -> String {
+    let buckets = ranking
+        .and_then(Json::as_array)
+        .unwrap_or_else(|| die("report carries no ranking"));
+    let rendered: Vec<String> = buckets
+        .iter()
+        .map(|bucket| {
+            let labels: Vec<&str> = bucket
+                .as_array()
+                .unwrap_or_default()
+                .iter()
+                .filter_map(Json::as_str)
+                .collect();
+            format!("{{{}}}", labels.join(","))
+        })
+        .collect();
+    format!("[{}]", rendered.join(","))
+}
+
+/// Stream a remote job's events to stderr with the same rendering as the
+/// local `--progress` loop; Ctrl-C becomes a `DELETE` (cooperative
+/// cancel over the wire) and the loop keeps draining until `finished`.
+///
+/// The event stream can sit in a blocking socket read while the job is
+/// quiet, so Ctrl-C is watched from a side thread polling every 100ms —
+/// the same latency the local path gets from its 50ms event poll —
+/// instead of being checked only when an event happens to arrive.
+fn stream_remote_progress(client: &Client, id: u64) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    sigint::install();
+    let drained = Arc::new(AtomicBool::new(false));
+    let watcher = {
+        let client = client.clone();
+        let drained = Arc::clone(&drained);
+        std::thread::spawn(move || {
+            let mut cancelled = false;
+            while !drained.load(Ordering::Relaxed) {
+                if sigint::pressed() && !cancelled {
+                    eprintln!("rawt: Ctrl-C — cancelling, returning the best-so-far consensus");
+                    let _ = client.cancel(id);
+                    cancelled = true;
+                }
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        })
+    };
+    let events = client
+        .events(id)
+        .unwrap_or_else(|e| die(&format!("streaming job {id}: {e}")));
+    for event in events {
+        let event = event.unwrap_or_else(|e| die(&format!("event stream for job {id}: {e}")));
+        match event.get("event").and_then(Json::as_str) {
+            Some("started") => {
+                eprintln!(
+                    "started:    {} (seed {})",
+                    event.get("spec").and_then(Json::as_str).unwrap_or("?"),
+                    event.get("seed").and_then(Json::as_u64).unwrap_or(0)
+                );
+            }
+            Some("incumbent") => {
+                let improvement = event
+                    .get("gap")
+                    .and_then(Json::as_f64)
+                    .map_or(String::new(), |g| format!("  (-{:.1}%)", 100.0 * g));
+                eprintln!(
+                    "incumbent:  K = {} at {:.3}s{improvement}",
+                    event.get("score").and_then(Json::as_u64).unwrap_or(0),
+                    event
+                        .get("elapsed_secs")
+                        .and_then(Json::as_f64)
+                        .unwrap_or(0.0)
+                );
+            }
+            Some("finished") => {
+                eprintln!(
+                    "finished:   {}",
+                    event.get("outcome").and_then(Json::as_str).unwrap_or("?")
+                );
+            }
+            _ => {}
+        }
+    }
+    drained.store(true, Ordering::Relaxed);
+    let _ = watcher.join();
+}
+
+/// `rawt serve`: run the aggregation service until SIGINT, then drain
+/// via cooperative cancel.
+fn cmd_serve(f: &Flags) {
+    let config = ServerConfig {
+        max_jobs: f.max_jobs,
+        queue_capacity: f.queue,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(f.addr.as_str(), config)
+        .unwrap_or_else(|e| die(&format!("cannot bind {}: {e}", f.addr)));
+    let addr = server
+        .local_addr()
+        .unwrap_or_else(|e| die(&format!("no local address: {e}")));
+    let shutdown = server
+        .shutdown_handle()
+        .unwrap_or_else(|e| die(&format!("no shutdown handle: {e}")));
+    println!(
+        "rawt: serving on http://{addr} (max-jobs {}, queue {})",
+        config.max_jobs, config.queue_capacity
+    );
+    // The startup line is the machine-readable contract for wrappers
+    // (tests, CI) that need the ephemeral port; make sure it is visible
+    // before any request lands.
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    sigint::install();
+    let serve_thread = std::thread::spawn(move || server.serve());
+    loop {
+        std::thread::sleep(Duration::from_millis(100));
+        if sigint::pressed() {
+            eprintln!("rawt: SIGINT — draining (cancelling live jobs)");
+            shutdown.shutdown();
+            break;
+        }
+        if serve_thread.is_finished() {
+            break;
+        }
+    }
+    match serve_thread.join() {
+        Ok(Ok(())) => eprintln!("rawt: drained, bye"),
+        Ok(Err(e)) => die(&format!("serve loop failed: {e}")),
+        Err(_) => die("serve loop panicked"),
+    }
+}
+
 fn cmd_compare(f: &Flags) {
     let path = f
         .positional
@@ -392,7 +599,12 @@ fn cmd_compare(f: &Flags) {
     }
 }
 
-fn cmd_list() {
+fn cmd_list(f: &Flags) {
+    if f.json {
+        // The exact payload `GET /v1/algorithms` serves (same serializer).
+        println!("{}", proto::registry_json());
+        return;
+    }
     println!("registered algorithms (case-insensitive; see `rawt aggregate --algo`):");
     println!();
     // Table 1 of the paper: name, class tag ([K] Kemeny-style / [G]
@@ -496,13 +708,14 @@ fn cmd_generate(f: &Flags) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
-        die("usage: rawt <aggregate|compare|list|similarity|distance|generate> …");
+        die("usage: rawt <aggregate|compare|list|serve|similarity|distance|generate> …");
     };
     let flags = parse_flags(rest);
     match cmd.as_str() {
         "aggregate" => cmd_aggregate(&flags),
         "compare" => cmd_compare(&flags),
-        "list" => cmd_list(),
+        "list" => cmd_list(&flags),
+        "serve" => cmd_serve(&flags),
         "similarity" => cmd_similarity(&flags),
         "distance" => cmd_distance(&flags),
         "generate" => cmd_generate(&flags),

@@ -19,6 +19,10 @@
 //! * [`bignum`] — arbitrary-precision integers behind the uniform sampler.
 //! * [`lpsolve`] — the simplex + branch-and-bound substrate behind the
 //!   exact LPB formulation and Ailon 3/2.
+//! * [`service`] — the network front door (DESIGN.md §10): a
+//!   dependency-free HTTP server streaming anytime jobs as NDJSON over
+//!   the engine's budget-aware scheduler, plus the matching client
+//!   (`rawt serve` / `rawt aggregate --remote`).
 //!
 //! The front door is the engine API: describe *what* to aggregate with a
 //! typed [`rank_core::engine::AlgoSpec`], submit
@@ -98,6 +102,7 @@ pub use datasets;
 pub use lpsolve;
 pub use ragen;
 pub use rank_core;
+pub use service;
 
 /// The most common imports in one place.
 pub mod prelude {

@@ -253,6 +253,112 @@ fn aggregate_progress_streams_incumbents_to_stderr() {
 }
 
 #[test]
+fn list_json_shares_the_service_registry_serializer() {
+    let (stdout, _, ok) = rawt(&["list", "--json"]);
+    assert!(ok);
+    let line = stdout.trim();
+    // One machine-readable line, and byte-identical to the serializer
+    // behind `GET /v1/algorithms` — one dump, two front ends.
+    assert_eq!(stdout.lines().count(), 1, "{stdout}");
+    assert_eq!(line, service::proto::registry_json());
+    let doc = service::json::Json::parse(line).expect("valid JSON");
+    let entries = doc.as_array().expect("array");
+    assert!(entries.len() >= 17, "whole registry: {}", entries.len());
+    assert!(entries
+        .iter()
+        .any(|e| { e.get("name").and_then(service::json::Json::as_str) == Some("BioConsert") }));
+}
+
+/// Spawn `rawt serve` on an ephemeral port and return (child, addr).
+fn spawn_server() -> (std::process::Child, String) {
+    use std::io::BufRead;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_rawt"))
+        .args(["serve", "--addr", "127.0.0.1:0"])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("server spawns");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut reader = std::io::BufReader::new(stdout);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("startup line");
+    let addr = line
+        .split_whitespace()
+        .find(|w| w.starts_with("http://"))
+        .unwrap_or_else(|| panic!("no address in startup line {line:?}"))
+        .to_owned();
+    (child, addr)
+}
+
+#[test]
+fn serve_and_remote_aggregate_render_identically_and_drain_on_sigint() {
+    let path = write_paper_example();
+    let (mut child, addr) = spawn_server();
+    let (local, _, ok) = rawt(&["aggregate", path.to_str().unwrap(), "--algo", "Exact"]);
+    assert!(ok);
+    let (remote, stderr, ok) = rawt(&[
+        "aggregate",
+        path.to_str().unwrap(),
+        "--algo",
+        "Exact",
+        "--remote",
+        &addr,
+    ]);
+    assert!(ok, "remote aggregate failed: {stderr}");
+    // Everything except the wall-clock outcome line renders identically.
+    let stable = |out: &str| -> Vec<String> {
+        out.lines()
+            .filter(|l| !l.starts_with("outcome:"))
+            .map(str::to_owned)
+            .collect()
+    };
+    assert_eq!(
+        stable(&remote),
+        stable(&local),
+        "remote: {remote}\nlocal: {local}"
+    );
+    assert!(remote.contains("outcome:    optimal"), "{remote}");
+    // The remote --json envelope carries the same fields as the local one.
+    let (remote_json, _, ok) = rawt(&[
+        "aggregate",
+        path.to_str().unwrap(),
+        "--algo",
+        "Exact",
+        "--json",
+        "--remote",
+        &addr,
+    ]);
+    assert!(ok);
+    // The report bytes are spliced from the server's shared serializer —
+    // including its key order and {:.6} float formatting — so the remote
+    // envelope matches the local one's shape, not a re-serialized tree.
+    for needle in [
+        "\"score\":5",
+        "\"outcome\":\"optimal\"",
+        "\"trace\":[",
+        "\"gap\":0.000000",
+        "\"algorithm\":\"ExactAlgorithm\",\"spec\":\"Exact\"",
+    ] {
+        assert!(
+            remote_json.contains(needle),
+            "missing {needle}: {remote_json}"
+        );
+    }
+    // SIGINT drains the server cleanly (exit status 0).
+    let pid = child.id().to_string();
+    let sent = Command::new("kill")
+        .args(["-INT", &pid])
+        .status()
+        .expect("kill runs");
+    assert!(sent.success());
+    let status = child.wait().expect("server exits");
+    assert!(
+        status.success(),
+        "serve must drain cleanly on SIGINT: {status:?}"
+    );
+}
+
+#[test]
 fn aggregate_reports_outcome_and_exact_proves_optimality() {
     let path = write_paper_example();
     let (stdout, _, ok) = rawt(&["aggregate", path.to_str().unwrap(), "--algo", "Exact"]);

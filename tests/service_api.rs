@@ -1,0 +1,451 @@
+//! End-to-end tests of the network aggregation service (DESIGN.md §10):
+//! wire-level parity with the in-process engine, streamed incumbent
+//! ordering, cancellation over the wire, load shedding, and the
+//! malformed-input paths that must 400 instead of panicking a thread.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rank_aggregation_with_ties::prelude::*;
+use rank_aggregation_with_ties::ragen::UniformSampler;
+use rank_aggregation_with_ties::rank_core::parse::parse_dataset_lines;
+use rank_aggregation_with_ties::rank_core::Universe;
+use service::client::{Client, ClientError};
+use service::http::{write_request, ClientResponse};
+use service::json::Json;
+use service::proto::{ranking_json, JobSubmission};
+use service::server::{Server, ServerConfig, ShutdownHandle};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Bind an in-process server on an ephemeral port and serve it on a
+/// background thread.
+fn start_server(config: ServerConfig) -> (Client, ShutdownHandle, String) {
+    let server = Server::bind("127.0.0.1:0", config).expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let shutdown = server.shutdown_handle().expect("shutdown handle");
+    std::thread::spawn(move || server.serve());
+    (Client::new(&addr), shutdown, addr)
+}
+
+fn default_server() -> (Client, ShutdownHandle, String) {
+    start_server(ServerConfig::default())
+}
+
+const PAPER_EXAMPLE: &str =
+    "# the paper's §2.2 example\n[{A},{D},{B,C}]\n[{A},{B,C},{D}]\n[{D},{A,C},{B}]\n";
+
+/// A dataset big enough that BioConsert cannot finish before a cancel
+/// issued right after its first incumbent lands, serialized to the wire
+/// text format.
+fn big_dataset_text(n: usize, m: usize, seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data = UniformSampler::new(n).sample_dataset(n, m, &mut rng);
+    let mut text = String::new();
+    for r in data.rankings() {
+        text.push_str(&r.to_string());
+        text.push('\n');
+    }
+    text
+}
+
+/// Send a raw request body (possibly malformed) and return status + body.
+fn raw_post(addr: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write_request(
+        &mut stream,
+        "POST",
+        path,
+        addr,
+        Some(("application/json", body.as_bytes())),
+    )
+    .expect("send");
+    let response = ClientResponse::read(stream).expect("response head");
+    let status = response.status;
+    (status, response.body_string().expect("response body"))
+}
+
+// ------------------------------------------------------------ wire parity
+
+/// The acceptance bar: a remote aggregation is bit-identical to the
+/// in-process engine for the same dataset/spec/seed — ranking, score,
+/// and trace (scores; timings are wall clock).
+#[test]
+fn remote_report_is_bit_identical_to_local_engine_run() {
+    let (client, shutdown, _) = default_server();
+    for (spec_text, spec) in [
+        ("BioConsert", AlgoSpec::BioConsert),
+        ("Exact", AlgoSpec::Exact),
+        (
+            "BestOf(KwikSort,7)",
+            AlgoSpec::BestOf {
+                base: Box::new(AlgoSpec::KwikSort),
+                runs: 7,
+            },
+        ),
+    ] {
+        // Local: parse + normalize exactly as the server does.
+        let mut universe = Universe::new();
+        let raw = parse_dataset_lines(PAPER_EXAMPLE, &mut universe).expect("parse");
+        let norm = Normalization::Unification.apply(&raw).expect("normalize");
+        let local = Engine::new()
+            .run(&AggregationRequest::new(norm.dataset.clone(), spec.clone()).with_seed(99));
+
+        // Remote: same text over the wire.
+        let job = client
+            .submit(&JobSubmission {
+                algo: Some(spec_text.to_owned()),
+                seed: 99,
+                ..JobSubmission::new(PAPER_EXAMPLE)
+            })
+            .expect("submit");
+        let status = client.wait(job.id).expect("wait");
+        let report = status.get("report").expect("report present");
+
+        assert_eq!(
+            report.get("score").and_then(Json::as_u64),
+            Some(local.score),
+            "{spec_text}: scores must match"
+        );
+        assert_eq!(
+            report.get("outcome").and_then(Json::as_str),
+            Some(local.outcome.to_string().as_str()),
+            "{spec_text}: outcomes must match"
+        );
+        assert_eq!(
+            report.get("seed").and_then(Json::as_u64),
+            Some(99),
+            "{spec_text}: seed provenance"
+        );
+        // Ranking: compare through the shared serializer, as JSON trees.
+        let local_ranking =
+            Json::parse(&ranking_json(&norm.denormalize(&local.ranking), &universe))
+                .expect("local ranking serializes");
+        assert_eq!(
+            report.get("ranking"),
+            Some(&local_ranking),
+            "{spec_text}: rankings must match"
+        );
+        // Trace: the same strictly-decreasing score sequence.
+        let remote_scores: Vec<u64> = report
+            .get("trace")
+            .and_then(Json::as_array)
+            .expect("trace present")
+            .iter()
+            .filter_map(|p| p.get("score").and_then(Json::as_u64))
+            .collect();
+        let local_scores: Vec<u64> = local.trace.iter().map(|p| p.score).collect();
+        assert_eq!(
+            remote_scores, local_scores,
+            "{spec_text}: traces must match"
+        );
+    }
+    shutdown.shutdown();
+}
+
+// --------------------------------------------------------- event streaming
+
+#[test]
+fn streamed_incumbents_strictly_decrease_and_end_at_the_report_score() {
+    let (client, shutdown, _) = default_server();
+    let job = client
+        .submit(&JobSubmission {
+            algo: Some("BioConsert".to_owned()),
+            ..JobSubmission::new(big_dataset_text(60, 8, 3))
+        })
+        .expect("submit");
+    let events: Vec<Json> = client
+        .events(job.id)
+        .expect("stream")
+        .collect::<Result<_, _>>()
+        .expect("well-formed events");
+    let kind = |e: &Json| e.get("event").and_then(Json::as_str).unwrap().to_owned();
+    assert_eq!(kind(&events[0]), "started", "{events:?}");
+    assert_eq!(kind(events.last().unwrap()), "finished", "{events:?}");
+    let incumbents: Vec<u64> = events
+        .iter()
+        .filter(|e| kind(e) == "incumbent")
+        .map(|e| e.get("score").and_then(Json::as_u64).unwrap())
+        .collect();
+    assert!(!incumbents.is_empty(), "at least the final incumbent");
+    assert!(
+        incumbents.windows(2).all(|w| w[1] < w[0]),
+        "incumbent scores must strictly decrease: {incumbents:?}"
+    );
+    let report_score = client
+        .status(job.id)
+        .expect("status")
+        .get("report")
+        .and_then(|r| r.get("score"))
+        .and_then(Json::as_u64)
+        .expect("final score");
+    assert_eq!(
+        *incumbents.last().unwrap(),
+        report_score,
+        "the last streamed incumbent is the reported consensus"
+    );
+    // The replay log serves late subscribers identically.
+    let replay: Vec<Json> = client
+        .events(job.id)
+        .expect("replay stream")
+        .collect::<Result<_, _>>()
+        .expect("well-formed replay");
+    assert_eq!(replay, events, "replay must match the live stream");
+    shutdown.shutdown();
+}
+
+// ------------------------------------------------------------ cancellation
+
+#[test]
+fn delete_mid_run_cancels_with_the_last_streamed_incumbent() {
+    let (client, shutdown, _) = default_server();
+    let job = client
+        .submit(&JobSubmission {
+            algo: Some("BioConsert".to_owned()),
+            ..JobSubmission::new(big_dataset_text(200, 20, 9))
+        })
+        .expect("submit");
+    let mut last_incumbent = None;
+    let mut finished_outcome = None;
+    for event in client.events(job.id).expect("stream") {
+        let event = event.expect("well-formed event");
+        match event.get("event").and_then(Json::as_str) {
+            Some("incumbent") => {
+                let score = event.get("score").and_then(Json::as_u64).unwrap();
+                if last_incumbent.is_none() {
+                    // First incumbent: cancel over the wire, keep draining.
+                    let ack = client.cancel(job.id).expect("cancel");
+                    assert_eq!(ack.get("cancelling").and_then(Json::as_bool), Some(true));
+                }
+                last_incumbent = Some(score);
+            }
+            Some("finished") => {
+                finished_outcome = event
+                    .get("outcome")
+                    .and_then(Json::as_str)
+                    .map(str::to_owned);
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(
+        finished_outcome.as_deref(),
+        Some("cancelled"),
+        "a cancel at the first of many sweeps must win"
+    );
+    let status = client.status(job.id).expect("status");
+    let report = status.get("report").expect("report present");
+    assert_eq!(
+        report.get("outcome").and_then(Json::as_str),
+        Some("cancelled")
+    );
+    assert_eq!(
+        report.get("score").and_then(Json::as_u64),
+        last_incumbent,
+        "the cancelled report's score equals its last streamed incumbent"
+    );
+    // Cancelling an already-finished job is a harmless no-op.
+    assert!(client.cancel(job.id).is_ok());
+    shutdown.shutdown();
+}
+
+// ------------------------------------------------------------ load shedding
+
+#[test]
+fn saturating_the_admission_queue_sheds_with_429_without_dropping_running_jobs() {
+    let (client, shutdown, _) = start_server(ServerConfig {
+        max_jobs: 1,
+        queue_capacity: 1,
+        ..ServerConfig::default()
+    });
+    // Occupy the single worker…
+    let running = client
+        .submit(&JobSubmission {
+            algo: Some("BioConsert".to_owned()),
+            ..JobSubmission::new(big_dataset_text(200, 20, 5))
+        })
+        .expect("submit the long job");
+    loop {
+        let state = client.status(running.id).expect("status");
+        if state.get("state").and_then(Json::as_str) == Some("running") {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    // …fill the queue…
+    let queued = client
+        .submit(&JobSubmission {
+            algo: Some("Exact".to_owned()),
+            ..JobSubmission::new(PAPER_EXAMPLE)
+        })
+        .expect("queue has room for one");
+    // …and watch the third submission shed.
+    let shed = client.submit(&JobSubmission {
+        algo: Some("Borda".to_owned()),
+        ..JobSubmission::new(PAPER_EXAMPLE)
+    });
+    match shed {
+        Err(ClientError::Status {
+            status,
+            body,
+            retry_after_secs,
+        }) => {
+            assert_eq!(status, 429, "{body}");
+            assert!(
+                retry_after_secs.is_some_and(|s| s >= 1),
+                "Retry-After header expected, got {retry_after_secs:?}"
+            );
+            assert!(body.contains("queue full"), "{body}");
+        }
+        other => panic!("expected a 429 shed, got {other:?}"),
+    }
+    // The running job was untouched: cancel it and it finishes its
+    // protocol (cancelled, with a valid report); the queued job then runs.
+    client.cancel(running.id).expect("cancel the long job");
+    let long_status = client.wait(running.id).expect("long job resolves");
+    assert_eq!(
+        long_status
+            .get("report")
+            .and_then(|r| r.get("outcome"))
+            .and_then(Json::as_str),
+        Some("cancelled")
+    );
+    let queued_status = client.wait(queued.id).expect("queued job resolves");
+    assert_eq!(
+        queued_status
+            .get("report")
+            .and_then(|r| r.get("score"))
+            .and_then(Json::as_u64),
+        Some(5),
+        "the queued job ran to completion after the worker freed up"
+    );
+    shutdown.shutdown();
+}
+
+// -------------------------------------------------------- malformed inputs
+
+#[test]
+fn malformed_submissions_get_typed_400s_and_never_kill_the_server() {
+    let (client, shutdown, addr) = default_server();
+    let cases: &[(&str, &str)] = &[
+        // Unknown algorithm: the registry's did-you-mean flows through.
+        (
+            r#"{"dataset":"[{A},{B}]\n[{B},{A}]","algo":"KwikSrt"}"#,
+            "did you mean",
+        ),
+        // Registered head, bad arguments.
+        (
+            r#"{"dataset":"[{A},{B}]","algo":"MedRank(2.5)"}"#,
+            "outside [0,1]",
+        ),
+        // Zero, negative, and Duration-overflowing budgets.
+        (r#"{"dataset":"[{A},{B}]","budget_secs":0}"#, "positive"),
+        (r#"{"dataset":"[{A},{B}]","budget_secs":-1.5}"#, "positive"),
+        (
+            r#"{"dataset":"[{A},{B}]","budget_secs":1e20}"#,
+            "out of range",
+        ),
+        // Truncated dataset body (mid-ranking).
+        (r#"{"dataset":"[{A},{B"}"#, "dataset:"),
+        // Truncated JSON document.
+        (r#"{"dataset":"[{A},{B}]""#, "request body"),
+        // No rankings at all.
+        ("{\"dataset\":\"# only a comment\\n\"}", "no rankings"),
+        // Structurally invalid ranking (duplicate element).
+        (r#"{"dataset":"[{A},{A}]"}"#, "dataset:"),
+        // Over the size cap (Ailon's n ≤ 45 bound, paper §6).
+        // Built below because it needs a generated dataset.
+    ];
+    for (body, needle) in cases {
+        let (status, response) = raw_post(&addr, "/v1/jobs", body);
+        assert_eq!(status, 400, "{body} → {response}");
+        assert!(
+            response.contains(needle),
+            "{body}: response {response:?} should mention {needle:?}"
+        );
+    }
+    // Algorithm size cap: Ailon refuses n > 45 with a clear 400.
+    let over_cap = JobSubmission {
+        algo: Some("Ailon".to_owned()),
+        ..JobSubmission::new(big_dataset_text(60, 4, 1))
+    };
+    let (status, response) = raw_post(&addr, "/v1/jobs", &over_cap.to_json());
+    assert_eq!(status, 400, "{response}");
+    assert!(response.contains("at most n = 45"), "{response}");
+    // The suggestion field is structured, not only embedded in the text.
+    let (_, response) = raw_post(
+        &addr,
+        "/v1/jobs",
+        r#"{"dataset":"[{A},{B}]\n[{B},{A}]","algo":"KwikSrt"}"#,
+    );
+    let doc = Json::parse(&response).expect("error body is JSON");
+    assert_eq!(
+        doc.get("suggestion").and_then(Json::as_str),
+        Some("KwikSort")
+    );
+    // After all of that abuse the server still serves.
+    let health = client.healthz().expect("healthz");
+    assert_eq!(health.get("status").and_then(Json::as_str), Some("ok"));
+    let job = client
+        .submit(&JobSubmission {
+            algo: Some("Exact".to_owned()),
+            ..JobSubmission::new(PAPER_EXAMPLE)
+        })
+        .expect("a good job still runs");
+    let done = client.wait(job.id).expect("and completes");
+    assert_eq!(
+        done.get("report")
+            .and_then(|r| r.get("score"))
+            .and_then(Json::as_u64),
+        Some(5)
+    );
+    shutdown.shutdown();
+}
+
+#[test]
+fn unknown_jobs_paths_and_methods_get_clean_errors() {
+    let (client, shutdown, addr) = default_server();
+    match client.status(12345) {
+        Err(ClientError::Status { status, .. }) => assert_eq!(status, 404),
+        other => panic!("expected 404, got {other:?}"),
+    }
+    match client.cancel(12345) {
+        Err(ClientError::Status { status, .. }) => assert_eq!(status, 404),
+        other => panic!("expected 404, got {other:?}"),
+    }
+    let (status, _) = raw_post(&addr, "/v1/nope", "{}");
+    assert_eq!(status, 404);
+    // An unsupported method on a real path.
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    write_request(&mut stream, "PUT", "/v1/jobs", &addr, None).expect("send");
+    let response = ClientResponse::read(stream).expect("head");
+    assert_eq!(response.status, 405);
+    shutdown.shutdown();
+}
+
+// ------------------------------------------------------------ registry etc.
+
+#[test]
+fn algorithms_endpoint_serves_the_shared_registry_dump() {
+    let (client, shutdown, _) = default_server();
+    let remote = client.algorithms().expect("algorithms");
+    let local = Json::parse(&service::proto::registry_json()).expect("local dump parses");
+    assert_eq!(remote, local, "one serializer, two front ends");
+    shutdown.shutdown();
+}
+
+#[test]
+fn healthz_reports_scheduler_shape() {
+    let (client, shutdown, _) = start_server(ServerConfig {
+        max_jobs: 3,
+        queue_capacity: 17,
+        ..ServerConfig::default()
+    });
+    let health = client.healthz().expect("healthz");
+    assert_eq!(health.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(health.get("max_jobs").and_then(Json::as_u64), Some(3));
+    assert_eq!(
+        health.get("queue_capacity").and_then(Json::as_u64),
+        Some(17)
+    );
+    shutdown.shutdown();
+}
