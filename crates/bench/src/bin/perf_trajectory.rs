@@ -18,7 +18,14 @@
 //!   concurrent remote clients, measuring submit-to-first-incumbent
 //!   latency (what a waiting *network* caller experiences: HTTP framing +
 //!   admission queue + job startup + first streamed event) and
-//!   submit-to-finished time.
+//!   submit-to-finished time;
+//! * an **exact** section: the parallel proof search (DESIGN.md §11.1)
+//!   sequential vs parallel over a family of uniform instances at the
+//!   hardness knee (n = 21 explodes past ~n = 22), with a
+//!   result-equality check (the bit-identical contract) and — through a
+//!   submitted anytime job — the **time to certified optimal**: the
+//!   elapsed moment the streamed `gap` hit 0 and a waiting caller could
+//!   have stopped.
 //!
 //! The header records the host's available parallelism and a timestamp,
 //! so committed BENCH files stay interpretable (PR 1's single-core
@@ -28,28 +35,39 @@
 //! PRs can track the trajectory:
 //!
 //! ```text
-//! cargo run --release -p bench --bin perf_trajectory -- BENCH_4.json
+//! cargo run --release -p bench --bin perf_trajectory -- BENCH_5.json
 //! ```
 
 use ragen::UniformSampler;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rank_core::algorithms::bioconsert::BioConsert;
+use rank_core::algorithms::exact::ExactAlgorithm;
 use rank_core::algorithms::{AlgoContext, ConsensusAlgorithm};
-use rank_core::engine::{paper_panel, AggregationRequest, AlgoSpec, Engine};
+use rank_core::engine::{paper_panel, AggregationRequest, AlgoSpec, Engine, Event};
 use rank_core::{CostMatrix, Dataset};
 use service::client::Client;
 use service::json::Json;
 use service::proto::JobSubmission;
 use service::server::{Server, ServerConfig};
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 const M: usize = 20;
 const NS: [usize; 3] = [50, 100, 200];
 
 /// Concurrent remote clients in the service section.
 const SERVICE_CLIENTS: usize = 8;
+
+/// The exact section's instance family: n = 21 sits at the hardness knee
+/// of uniform data (proof searches run milliseconds to ~1 s; n = 22+ can
+/// explode), m = 8 voters keeps real disagreement in play.
+const EXACT_N: usize = 21;
+const EXACT_M: usize = 8;
+const EXACT_SEEDS: [u64; 5] = [2, 3, 4, 5, 6];
+/// Safety net so one pathological host/seed can never hang the bench;
+/// a timed-out instance is recorded `proved: false`, not discarded.
+const EXACT_BUDGET: Duration = Duration::from_secs(60);
 
 /// Median-of-`reps` seconds for `f`.
 fn time_median<F: FnMut()>(reps: usize, mut f: F) -> f64 {
@@ -199,6 +217,90 @@ fn measure(n: usize, data: &Dataset) -> SizeReport {
     }
 }
 
+/// One exact instance's numbers: the proof search sequential vs parallel
+/// plus the anytime view of the same job.
+struct ExactInstance {
+    seed: u64,
+    score: u64,
+    proved: bool,
+    sequential_s: f64,
+    parallel_s: f64,
+    identical: bool,
+    /// Submit-to-certified over the anytime API: the streamed `gap` hit 0
+    /// at this elapsed moment (NaN if the job never certified).
+    certified_optimal_s: f64,
+}
+
+struct ExactReport {
+    workers: usize,
+    instances: Vec<ExactInstance>,
+}
+
+/// The exact section: per instance, one sequential and one parallel
+/// proof search (fresh contexts; the `O(m·n²)` matrix build is noise at
+/// n = 21) with a result-equality check, then the same request as a
+/// submitted job to read the time-to-certified-optimal off its events.
+fn measure_exact() -> ExactReport {
+    let workers = rank_core::parallel::num_threads();
+    let sampler = UniformSampler::new(EXACT_N);
+    let instances = EXACT_SEEDS
+        .iter()
+        .map(|&seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let data = sampler.sample_dataset(EXACT_N, EXACT_M, &mut rng);
+
+            let solve = |algo: &ExactAlgorithm| {
+                let mut ctx = AlgoContext::seeded(7);
+                ctx.deadline = Some(Instant::now() + EXACT_BUDGET);
+                let t = Instant::now();
+                let (ranking, score, proved) = algo.solve(&data, &mut ctx);
+                (t.elapsed().as_secs_f64(), ranking, score, proved)
+            };
+            let sequential = ExactAlgorithm {
+                force_sequential: true,
+                ..ExactAlgorithm::default()
+            };
+            let parallel = ExactAlgorithm {
+                threads: Some(workers),
+                ..ExactAlgorithm::default()
+            };
+            let (sequential_s, r_seq, score, proved) = solve(&sequential);
+            let (parallel_s, r_par, score_par, proved_par) = solve(&parallel);
+
+            // Anytime view: when did the streamed gap certify?
+            let engine = Engine::new();
+            let handle = engine.submit(
+                AggregationRequest::new(data.clone(), AlgoSpec::Exact)
+                    .with_seed(7)
+                    .with_budget(EXACT_BUDGET),
+            );
+            let mut certified_optimal_s = f64::NAN;
+            for event in handle.events() {
+                let (gap, elapsed) = match event {
+                    Event::Incumbent { gap, elapsed, .. } => (gap, elapsed),
+                    Event::LowerBound { gap, elapsed, .. } => (gap, elapsed),
+                    _ => continue,
+                };
+                if certified_optimal_s.is_nan() && gap == Some(0) {
+                    certified_optimal_s = elapsed.as_secs_f64();
+                }
+            }
+            let _ = handle.wait();
+
+            ExactInstance {
+                seed,
+                score,
+                proved: proved && proved_par,
+                sequential_s,
+                parallel_s,
+                identical: r_seq == r_par && score == score_par,
+                certified_optimal_s,
+            }
+        })
+        .collect();
+    ExactReport { workers, instances }
+}
+
 /// One remote client's latencies, in seconds.
 struct ClientLatency {
     submit_to_first_incumbent_s: f64,
@@ -292,7 +394,7 @@ fn measure_service(data: &Dataset) -> ServiceReport {
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_4.json".to_owned());
+        .unwrap_or_else(|| "BENCH_5.json".to_owned());
     let threads = rank_core::parallel::num_threads();
     let host_parallelism = std::thread::available_parallelism().map_or(0, |n| n.get());
     let timestamp_unix_secs = std::time::SystemTime::now()
@@ -354,11 +456,27 @@ fn main() {
         service.finished_max_s * 1e3,
     );
 
+    // Exact section: the parallel proof search and the certified-gap
+    // channel (PR 5).
+    let exact = measure_exact();
+    let exact_seq_total: f64 = exact.instances.iter().map(|i| i.sequential_s).sum();
+    let exact_par_total: f64 = exact.instances.iter().map(|i| i.parallel_s).sum();
+    eprintln!(
+        "exact: n={EXACT_N} m={EXACT_M} × {} instances ({} workers): dfs {:.1}ms→{:.1}ms ({:.2}x, identical={}, proved={})",
+        exact.instances.len(),
+        exact.workers,
+        exact_seq_total * 1e3,
+        exact_par_total * 1e3,
+        exact_seq_total / exact_par_total,
+        exact.instances.iter().all(|i| i.identical),
+        exact.instances.iter().all(|i| i.proved),
+    );
+
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(
         json,
-        "  \"bench\": \"parallel consensus kernel (PR 1) + engine batch front door (PR 2) + anytime incumbent traces (PR 3) + network service latency (PR 4)\","
+        "  \"bench\": \"parallel consensus kernel (PR 1) + engine batch front door (PR 2) + anytime incumbent traces (PR 3) + network service latency (PR 4) + parallel exact proof search with certified gaps (PR 5)\","
     );
     let _ = writeln!(json, "  \"m\": {M},");
     let _ = writeln!(json, "  \"worker_threads\": {threads},");
@@ -388,6 +506,56 @@ fn main() {
         "    \"submit_to_finished_max_secs\": {:.6}",
         service.finished_max_s
     );
+    json.push_str("  },\n");
+    json.push_str("  \"exact\": {\n");
+    let _ = writeln!(json, "    \"n\": {EXACT_N},");
+    let _ = writeln!(json, "    \"m\": {EXACT_M},");
+    let _ = writeln!(json, "    \"workers\": {},", exact.workers);
+    let _ = writeln!(
+        json,
+        "    \"dfs_sequential_total_secs\": {exact_seq_total:.6},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"dfs_parallel_total_secs\": {exact_par_total:.6},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"dfs_speedup\": {:.2},",
+        exact_seq_total / exact_par_total
+    );
+    let _ = writeln!(
+        json,
+        "    \"parallel_matches_sequential\": {},",
+        exact.instances.iter().all(|i| i.identical)
+    );
+    let _ = writeln!(
+        json,
+        "    \"all_proved_optimal\": {},",
+        exact.instances.iter().all(|i| i.proved)
+    );
+    json.push_str("    \"instances\": [\n");
+    for (i, inst) in exact.instances.iter().enumerate() {
+        // A job that hit the safety budget never certified: emit null,
+        // not a bare NaN token that would corrupt the whole JSON file.
+        let certified = if inst.certified_optimal_s.is_nan() {
+            "null".to_owned()
+        } else {
+            format!("{:.6}", inst.certified_optimal_s)
+        };
+        let _ = writeln!(
+            json,
+            "      {{\"seed\": {}, \"score\": {}, \"proved\": {}, \"dfs_sequential_secs\": {:.6}, \"dfs_parallel_secs\": {:.6}, \"identical\": {}, \"time_to_certified_optimal_secs\": {certified}}}{}",
+            inst.seed,
+            inst.score,
+            inst.proved,
+            inst.sequential_s,
+            inst.parallel_s,
+            inst.identical,
+            if i + 1 < exact.instances.len() { "," } else { "" }
+        );
+    }
+    json.push_str("    ]\n");
     json.push_str("  },\n");
     json.push_str("  \"sizes\": [\n");
     for (i, r) in reports.iter().enumerate() {

@@ -147,6 +147,16 @@ impl AilonThreeHalves {
                 Ok(s) => s,
                 Err(_) => return relax, // best fractional solution so far, if any
             };
+            // A solved relaxation is a certified lower bound on the
+            // optimal (integral) Kemeny score: dropping integrality and
+            // any still-missing transitivity cuts only enlarges the
+            // feasible region, so the true optimum — an integer — is
+            // ≥ ⌈objective⌉. The epsilon absorbs simplex round-off; the
+            // sink's clamp-to-incumbent catches anything worse.
+            let certified = (sol.objective - 1e-6 * sol.objective.abs().max(1.0)).ceil();
+            if certified >= 0.0 && certified.is_finite() {
+                ctx.offer_lower_bound(certified as u64);
+            }
             let r = Relaxation {
                 n,
                 p: (0..n * n)

@@ -185,6 +185,15 @@ impl BranchAndBound {
                 &Ranking::permutation(&incumbent).expect("permutation"),
                 incumbent_score,
             );
+            // This search's own bounds (`min2`, over before/after only)
+            // are valid for *permutations* but not for the generalized
+            // problem — a tie can be cheaper than either order — so the
+            // search never feeds the lower-bound channel and a completed
+            // BnB never certifies optimality. The one bound that does
+            // hold for bucket orders is the root's per-pair minima over
+            // all three states ([`PairTable::lower_bound`]); offer it so
+            // a BnB job still reports an honest (if coarse) gap.
+            ctx.offer_lower_bound(pairs.lower_bound());
         }
         if n > self.max_n {
             ctx.set_timed_out();

@@ -22,21 +22,44 @@ use super::{bioconsert, AlgoContext, ConsensusAlgorithm};
 use crate::dataset::Dataset;
 use crate::element::Element;
 use crate::pairs::PairTable;
+use crate::parallel;
 use crate::ranking::Ranking;
 use lpsolve::{BnbOptions, Cmp, Problem, Var};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// Native branch-and-bound exact solver.
+///
+/// The proof search runs **in parallel** (DESIGN.md §11.1): the tree is
+/// split at shallow depth into a DFS-ordered frontier of subtree roots,
+/// workers steal subtrees through the parallel substrate's shared cursor,
+/// one shared atomic incumbent bound prunes across all of them, and a
+/// deterministic merge keeps the result **bit-identical** to the
+/// sequential search for a fixed seed
+/// (`tests/parallel_kernel_properties.rs`). While it searches, it feeds
+/// the anytime lower-bound channel
+/// ([`AlgoContext::offer_lower_bound`]): the root bound immediately, then
+/// the frontier minimum every time a subtree completes, so a streaming
+/// caller watches `Incumbent.gap` close toward a certified optimum.
 #[derive(Debug, Clone)]
 pub struct ExactAlgorithm {
     /// Hard cap on `n` (the bitmask state limits us to 64; the paper's own
     /// exact runs stop at n = 60).
     pub max_n: usize,
-    /// Check the deadline every this many nodes.
+    /// Check the deadline every this many nodes (per worker).
     pub deadline_stride: u64,
     /// Split the instance into independently-solvable blocks first (§3.2
     /// mentions the polynomial preprocessing of [Betzler et al.] dividing
     /// the problem into smaller instances; see [`safe_blocks`]).
     pub decompose: bool,
+    /// Pin the proof search to one worker (used by the determinism tests
+    /// and the timing harness; the parallel path is bit-identical by
+    /// construction, so only seconds change).
+    pub force_sequential: bool,
+    /// Explicit worker count for the subtree search; `None` sizes it from
+    /// [`parallel::num_threads`]. The bench harness and the determinism
+    /// tests set it so parallel-vs-sequential comparisons are meaningful
+    /// even on narrow CI hosts.
+    pub threads: Option<usize>,
 }
 
 impl Default for ExactAlgorithm {
@@ -45,9 +68,19 @@ impl Default for ExactAlgorithm {
             max_n: 64,
             deadline_stride: 4096,
             decompose: true,
+            force_sequential: false,
+            threads: None,
         }
     }
 }
+
+/// Below this `n` the search tree is too small for a frontier split to
+/// pay for its node clones; the solver runs the plain sequential path.
+const SPLIT_MIN_N: usize = 10;
+
+/// Subtree roots per worker the frontier split aims for — slack for the
+/// work-stealing cursor to balance lopsided subtrees.
+const SUBTREES_PER_WORKER: usize = 8;
 
 /// Partition the elements into consecutive blocks such that some optimal
 /// consensus orders every earlier-block element strictly before every
@@ -231,69 +264,157 @@ impl Node {
     }
 }
 
-struct Search<'a> {
-    pairs: &'a PairTable,
-    n: usize,
-    best_score: u64,
-    best_assign: Vec<u32>,
-    nodes: u64,
-    stride: u64,
-    aborted: bool,
+/// The canonical child order of a node: `(immediate delta, element id,
+/// join?)`, cheapest first — identical for the frontier split and the
+/// in-subtree DFS, which is what makes the global exploration order (and
+/// therefore the returned optimum among ties) a pure function of the
+/// instance, independent of worker count and scheduling.
+fn ordered_children(node: &Node, n: usize) -> Vec<(u64, u32, bool)> {
+    let mut children: Vec<(u64, u32, bool)> = Vec::new();
+    for id in 0..n {
+        if node.is_placed(id) {
+            continue;
+        }
+        children.push((node.cost_new[id], id as u32, false));
+        if node.max_last != u32::MAX && (id as u32) > node.max_last {
+            children.push((node.cost_join[id], id as u32, true));
+        }
+    }
+    children.sort_unstable();
+    children
 }
 
-impl Search<'_> {
-    fn dfs(&mut self, node: &Node, ctx: &mut AlgoContext) {
-        self.nodes += 1;
-        if self.nodes.is_multiple_of(self.stride) && ctx.checkpoint().is_stop() {
-            self.aborted = true;
+/// Split the tree below `root` into a DFS-ordered frontier of subtree
+/// roots, at most `target`-ish wide: repeatedly replace the shallowest
+/// (leftmost-first) node by its ordered children, pruning children whose
+/// lower bound cannot beat `bound`. Replacing a node by its in-order
+/// children in place preserves global DFS order, so `frontier[i]` comes
+/// strictly before `frontier[j]` in the sequential exploration whenever
+/// `i < j` — the property the deterministic merge relies on. Returns an
+/// empty frontier when everything prunes (the incumbent is optimal).
+fn build_frontier(root: Node, pairs: &PairTable, n: usize, bound: u64, target: usize) -> Vec<Node> {
+    let mut frontier = vec![root];
+    // Heavy pruning can keep the frontier narrow forever; cap the work.
+    let mut expansions = 4 * target;
+    while frontier.len() < target && expansions > 0 {
+        let Some(pick) = (0..frontier.len())
+            .filter(|&i| (frontier[i].placed.count_ones() as usize) < n)
+            .min_by_key(|&i| frontier[i].placed.count_ones())
+        else {
+            break; // every subtree root is already a leaf
+        };
+        expansions -= 1;
+        let node = frontier.remove(pick);
+        let mut at = pick;
+        for (_, id, join) in ordered_children(&node, n) {
+            let e = Element(id);
+            let child = if join {
+                node.place_join(e, pairs)
+            } else {
+                node.place_new(e, pairs)
+            };
+            if child.lower_bound(n) < bound {
+                frontier.insert(at, child);
+                at += 1;
+            }
         }
-        if self.aborted {
+        if frontier.is_empty() {
+            break;
+        }
+    }
+    frontier
+}
+
+/// One worker's exhaustive DFS over a single frontier subtree.
+///
+/// Pruning uses two bounds: `local_best` — this worker's own best within
+/// the subtree, seeded with the heuristic incumbent, exactly the
+/// sequential rule — and the shared atomic `global` bound, which other
+/// workers tighten concurrently. The global prune is *non-strict*
+/// (`lb > global` prunes) so it can never cut the path to the subtree's
+/// first optimal leaf, which is what keeps the merged result bit-identical
+/// to the sequential search (DESIGN.md §11.1 gives the argument).
+struct SubtreeSearch<'a> {
+    pairs: &'a PairTable,
+    n: usize,
+    /// Best score proved by *any* worker (plus the heuristic incumbent) —
+    /// the one shared pruning bound of the parallel search.
+    global: &'a AtomicU64,
+    /// Set by whichever worker's checkpoint fires first; everyone else
+    /// observes it at their stride and unwinds.
+    aborted: &'a AtomicBool,
+    local_best: u64,
+    local_assign: Option<Vec<u32>>,
+    nodes: u64,
+    stride: u64,
+    stop: bool,
+}
+
+impl SubtreeSearch<'_> {
+    fn dfs(&mut self, node: &Node, ctx: &AlgoContext) {
+        self.nodes += 1;
+        if self.nodes.is_multiple_of(self.stride)
+            && (self.aborted.load(Ordering::Relaxed) || ctx.checkpoint().is_stop())
+        {
+            self.aborted.store(true, Ordering::Relaxed);
+            self.stop = true;
+        }
+        if self.stop {
             return;
         }
         if node.placed.count_ones() as usize == self.n {
-            if node.g < self.best_score {
-                self.best_score = node.g;
-                self.best_assign = node.assign.clone();
-                // Snapshot only when a sink listens (it is muted during
-                // block decomposition — no dead allocations in the hot
-                // search loop).
-                if ctx.has_sink() {
+            if node.g < self.local_best {
+                self.local_best = node.g;
+                self.local_assign = Some(node.assign.clone());
+                let prev = self.global.fetch_min(node.g, Ordering::Relaxed);
+                // Snapshot only on a *global* improvement with a listening
+                // sink (it is muted during block decomposition — no dead
+                // allocations in the hot search loop; the sink dedups
+                // under its own lock, so racing workers stay monotone).
+                if node.g < prev && ctx.has_sink() {
                     ctx.offer_incumbent(
-                        &Ranking::from_bucket_indices(&self.best_assign)
+                        &Ranking::from_bucket_indices(node.assign.as_slice())
                             .expect("assignment is a partition"),
-                        self.best_score,
+                        node.g,
                     );
                 }
             }
             return;
         }
-        // Children: (delta, element, join?) — cheapest immediate delta first.
-        let mut children: Vec<(u64, u32, bool)> = Vec::new();
-        for id in 0..self.n {
-            if node.is_placed(id) {
-                continue;
-            }
-            children.push((node.cost_new[id], id as u32, false));
-            if node.max_last != u32::MAX && (id as u32) > node.max_last {
-                children.push((node.cost_join[id], id as u32, true));
-            }
-        }
-        children.sort_unstable();
-        for (_, id, join) in children {
+        let global_bound = self.global.load(Ordering::Relaxed);
+        for (_, id, join) in ordered_children(node, self.n) {
             let e = Element(id);
             let child = if join {
                 node.place_join(e, self.pairs)
             } else {
                 node.place_new(e, self.pairs)
             };
-            if child.lower_bound(self.n) < self.best_score {
+            let lb = child.lower_bound(self.n);
+            if lb < self.local_best && lb <= global_bound {
                 self.dfs(&child, ctx);
             }
-            if self.aborted {
+            if self.stop {
                 return;
             }
         }
     }
+}
+
+/// The whole-search lower bound at this moment: every unexplored leaf
+/// lives under some not-yet-completed frontier subtree, so the optimum
+/// is ≥ `min(best found, min over open subtree root bounds)` — the "max
+/// over frontier minima" channel, made monotone by the sink. The single
+/// source of this expression: both the running offers and the final
+/// reported bound go through here, so the report can never desynchronize
+/// from the event stream.
+fn frontier_bound(best: u64, frontier_lbs: &[u64], done: &[AtomicBool]) -> u64 {
+    let open = frontier_lbs
+        .iter()
+        .zip(done)
+        .filter(|(_, d)| !d.load(Ordering::Relaxed))
+        .map(|(lb, _)| *lb)
+        .min();
+    open.map_or(best, |m| m.min(best))
 }
 
 impl ExactAlgorithm {
@@ -307,12 +428,14 @@ impl ExactAlgorithm {
             self.max_n.min(64)
         );
         if !self.decompose {
-            return self.solve_monolithic(data, ctx);
+            let (r, score, proved, _) = self.solve_monolithic(data, ctx);
+            return (r, score, proved);
         }
         let pairs = ctx.cost_matrix(data);
         let blocks = safe_blocks_with(&pairs, data);
         if blocks.len() == 1 {
-            return self.solve_monolithic(data, ctx);
+            let (r, score, proved, _) = self.solve_monolithic(data, ctx);
+            return (r, score, proved);
         }
         // Sub-instance incumbents live in each block's remapped element
         // space — publishing them to the whole-dataset job would be
@@ -345,9 +468,36 @@ impl ExactAlgorithm {
                 }
             }
         }
+        // Whole-dataset lower bound across the decomposition: the optimum
+        // equals `cross-block total + Σ block optima` (the safe split is
+        // optimum-preserving), so `cross total + Σ per-block bounds` is a
+        // certified bound — each block floor starts at its root bound
+        // (Σ per-pair minima; restriction preserves pairwise counts, so
+        // the whole-dataset matrix prices it) and is replaced by the
+        // block's own certified bound as its solve lands. Offered through
+        // the *taken* sink directly: a block solve's `offer_lower_bound`
+        // calls are muted with the rest of its context exactly so its
+        // sub-instance bounds can never masquerade as whole-dataset ones
+        // (the bogus-gap bug this sum replaces).
+        let block_floor: Vec<u64> = blocks
+            .iter()
+            .map(|block| {
+                let mut floor = 0u64;
+                for (i, &a) in block.iter().enumerate() {
+                    for &b in &block[i + 1..] {
+                        floor += pairs.min_pair_cost(a, b) as u64;
+                    }
+                }
+                floor
+            })
+            .collect();
+        let mut lb_running: u64 = total + block_floor.iter().sum::<u64>();
+        if let Some(s) = &sink {
+            s.offer_lower_bound(lb_running);
+        }
         let mut buckets: Vec<Vec<Element>> = Vec::new();
         let mut proved = true;
-        for block in &blocks {
+        for (bi, block) in blocks.iter().enumerate() {
             if block.len() == 1 {
                 buckets.push(block.clone());
                 continue;
@@ -355,9 +505,15 @@ impl ExactAlgorithm {
             let mut sorted = block.clone();
             sorted.sort_unstable();
             let sub = restrict_dataset(data, &sorted);
-            let (r, score, p) = self.solve_monolithic(&sub, ctx);
+            let (r, score, p, sub_lb) = self.solve_monolithic(&sub, ctx);
             proved &= p;
             total += score;
+            // `sub_lb ≥ block_floor[bi]` (both sit above the block's root
+            // bound), so the floor-to-certified swap never underflows.
+            lb_running += sub_lb - block_floor[bi];
+            if let Some(s) = &sink {
+                s.offer_lower_bound(lb_running);
+            }
             for b in r.buckets() {
                 buckets.push(b.iter().map(|&e| sorted[e.index()]).collect());
             }
@@ -369,42 +525,131 @@ impl ExactAlgorithm {
         (ranking, total, proved)
     }
 
-    /// The branch-and-bound core, without decomposition.
-    fn solve_monolithic(&self, data: &Dataset, ctx: &mut AlgoContext) -> (Ranking, u64, bool) {
+    /// The branch-and-bound core, without decomposition: parallel
+    /// work-stealing subtree exploration over a deterministic frontier
+    /// split (DESIGN.md §11.1). Returns `(consensus, score, proved, lb)`
+    /// where `lb` is the certified lower bound the search established —
+    /// equal to `score` exactly when `proved`.
+    fn solve_monolithic(&self, data: &Dataset, ctx: &mut AlgoContext) -> (Ranking, u64, bool, u64) {
         let n = data.n();
         let pairs = ctx.cost_matrix(data);
 
         // Incumbent from BioConsert (§7.1: its solutions are optimal in 68%
         // of uniform datasets, so the B&B mostly proves optimality).
         // Sequential multi-start: the incumbent is a small fraction of the
-        // solve, and pinning it keeps exact-solver timing host-independent.
+        // solve, and pinning it keeps the search's own parallelism the only
+        // thread-count-dependent part.
         let incumbent = bioconsert::BioConsert {
             force_sequential: true,
             ..bioconsert::BioConsert::default()
         }
         .run(data, ctx);
         let incumbent_score = pairs.score(&incumbent);
+        let incumbent_assign: Vec<u32> = (0..n)
+            .map(|id| incumbent.bucket_of(Element(id as u32)).expect("complete") as u32)
+            .collect();
 
         let root = Node::root(&pairs);
-        let mut search = Search {
-            pairs: &pairs,
-            n,
-            best_score: incumbent_score,
-            best_assign: (0..n)
-                .map(|id| incumbent.bucket_of(Element(id as u32)).expect("complete") as u32)
-                .collect(),
-            nodes: 0,
-            stride: self.deadline_stride,
-            aborted: false,
-        };
-        if root.lower_bound(n) < search.best_score {
-            search.dfs(&root, ctx);
+        let root_lb = root.lower_bound(n);
+        // The root bound is live before the first node expands: a
+        // streaming subscriber gets a (coarse) certified gap immediately.
+        ctx.offer_lower_bound(root_lb);
+        if root_lb >= incumbent_score {
+            // Every leaf scores ≥ the incumbent: it is optimal, no search.
+            let ranking =
+                Ranking::from_bucket_indices(&incumbent_assign).expect("assignment is a partition");
+            return (ranking, incumbent_score, true, incumbent_score);
+        }
+        if ctx.checkpoint().is_stop() {
+            let ranking =
+                Ranking::from_bucket_indices(&incumbent_assign).expect("assignment is a partition");
+            return (ranking, incumbent_score, false, root_lb);
         }
 
+        let threads = if self.force_sequential {
+            1
+        } else {
+            self.threads.unwrap_or_else(|| {
+                if n < SPLIT_MIN_N {
+                    1
+                } else {
+                    parallel::num_threads()
+                }
+            })
+        };
+        let target = if threads <= 1 {
+            1
+        } else {
+            threads * SUBTREES_PER_WORKER
+        };
+        let frontier = build_frontier(root, &pairs, n, incumbent_score, target);
+        if frontier.is_empty() {
+            // Every subtree pruned against the incumbent: it is optimal.
+            let ranking =
+                Ranking::from_bucket_indices(&incumbent_assign).expect("assignment is a partition");
+            return (ranking, incumbent_score, true, incumbent_score);
+        }
+        let frontier_lbs: Vec<u64> = frontier.iter().map(|nd| nd.lower_bound(n)).collect();
+        let done: Vec<AtomicBool> = frontier.iter().map(|_| AtomicBool::new(false)).collect();
+        let global = AtomicU64::new(incumbent_score);
+        let aborted = AtomicBool::new(false);
+        let shared_ctx: &AlgoContext = ctx;
+        let results = parallel::par_map_slice(&frontier, threads, |i, subtree| {
+            // A stop observed by any worker abandons the subtrees still
+            // queued behind the cursor outright — without this, each of
+            // them would expand up to `deadline_stride` nodes before its
+            // own first checkpoint noticed, stretching cancellation
+            // latency by frontier-width × stride.
+            if aborted.load(Ordering::Relaxed) {
+                return (incumbent_score, None);
+            }
+            let mut search = SubtreeSearch {
+                pairs: &pairs,
+                n,
+                global: &global,
+                aborted: &aborted,
+                local_best: incumbent_score,
+                local_assign: None,
+                nodes: 0,
+                stride: self.deadline_stride,
+                stop: false,
+            };
+            search.dfs(subtree, shared_ctx);
+            if !search.stop {
+                // Fully explored: this subtree's leaves can no longer pull
+                // the optimum below the shared bound — tighten the
+                // whole-search lower bound.
+                done[i].store(true, Ordering::Relaxed);
+                shared_ctx.offer_lower_bound(frontier_bound(
+                    global.load(Ordering::Relaxed),
+                    &frontier_lbs,
+                    &done,
+                ));
+            }
+            (search.local_best, search.local_assign)
+        });
+
+        // Deterministic merge: walk subtrees in DFS order with the same
+        // strict-improvement rule the sequential search applies, so the
+        // earliest subtree achieving the final best supplies the answer —
+        // the very leaf the sequential DFS would have kept.
+        let mut best_score = incumbent_score;
+        let mut best_assign = incumbent_assign;
+        for (score, assign) in results {
+            if score < best_score {
+                best_score = score;
+                best_assign = assign.expect("improvement recorded with its assignment");
+            }
+        }
+        let proved = !aborted.load(Ordering::Relaxed);
+        let lb = frontier_bound(best_score, &frontier_lbs, &done);
+        ctx.offer_lower_bound(lb);
+        debug_assert!(!proved || lb == best_score);
+
         let ranking =
-            Ranking::from_bucket_indices(&search.best_assign).expect("assignment is a partition");
-        debug_assert_eq!(pairs.score(&ranking), search.best_score);
-        (ranking, search.best_score, !search.aborted)
+            Ranking::from_bucket_indices(&best_assign).expect("assignment is a partition");
+        debug_assert_eq!(pairs.score(&ranking), best_score);
+        (ranking, best_score, proved, lb)
     }
 }
 
@@ -553,8 +798,12 @@ impl ConsensusAlgorithm for ExactLpb {
     }
 
     fn run(&self, data: &Dataset, ctx: &mut AlgoContext) -> Ranking {
-        let (ranking, _) = self.solve(data);
+        let (ranking, score) = self.solve(data);
         ctx.set_proved_optimal(true);
+        // The LPB solves to proven optimality in one shot: its score is
+        // simultaneously the incumbent and the certified lower bound.
+        ctx.offer_incumbent(&ranking, score);
+        ctx.offer_lower_bound(score);
         ranking
     }
 }
@@ -772,6 +1021,70 @@ mod tests {
         );
         let first: Vec<u32> = blocks[0].iter().map(|e| e.0).collect();
         assert!(first.iter().all(|&id| id <= 1));
+    }
+
+    #[test]
+    fn decomposed_solve_streams_whole_dataset_bounds_only() {
+        use crate::engine::job::IncumbentSink;
+        use crate::engine::Event;
+        use std::sync::mpsc;
+        use std::sync::Arc;
+
+        // Two glued sub-instances (a guaranteed safe split) with real
+        // disagreement inside each block, so both block solves do work.
+        let d = data(&[
+            "[{0},{1},{2},{3},{4},{5}]",
+            "[{2},{1},{0},{4},{5},{3}]",
+            "[{1},{0,2},{3},{5},{4}]",
+            "[{0,1,2},{3,4,5}]",
+        ]);
+        assert!(safe_blocks(&d).len() >= 2, "the split must actually fire");
+        let whole_floor = PairTable::build(&d).lower_bound();
+
+        let (tx, rx) = mpsc::channel();
+        let sink = Arc::new(IncumbentSink::with_sender(tx));
+        let mut ctx = AlgoContext::seeded(4);
+        ctx.attach_sink(Arc::clone(&sink));
+        let (_, score, proved) = ExactAlgorithm::default().solve(&d, &mut ctx);
+        assert!(proved);
+        drop(ctx);
+        sink.close();
+
+        let mut bounds: Vec<u64> = Vec::new();
+        let mut scores: Vec<u64> = Vec::new();
+        for event in rx.try_iter() {
+            match event {
+                Event::LowerBound { lower_bound, .. } => bounds.push(lower_bound),
+                Event::Incumbent { score, .. } => scores.push(score),
+                _ => {}
+            }
+        }
+        assert!(!bounds.is_empty(), "decomposed solves must stream bounds");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "bounds must strictly increase: {bounds:?}"
+        );
+        // The audit this test pins: every streamed bound is a valid
+        // *whole-dataset* bound — at least the all-pairs floor — never a
+        // per-block bound leaked out of a muted sub-solve (those sit far
+        // below the floor because they ignore every cross-block pair).
+        assert!(
+            bounds.iter().all(|&lb| lb >= whole_floor),
+            "a sub-instance bound leaked: {bounds:?} (floor {whole_floor})"
+        );
+        assert!(
+            bounds.iter().all(|&lb| lb <= score),
+            "a bound exceeded the optimum: {bounds:?} (optimum {score})"
+        );
+        assert_eq!(
+            sink.lower_bound(),
+            Some(score),
+            "a fully proved decomposition ends with lb == optimum"
+        );
+        assert!(
+            scores.iter().all(|&s| s >= *bounds.last().unwrap()),
+            "no incumbent may undercut a certified bound"
+        );
     }
 
     #[test]

@@ -366,6 +366,24 @@ impl AlgoContext {
         }
     }
 
+    /// Publish a certified lower bound on the optimal Kemeny score to
+    /// this run's incumbent sink, if one is attached. Only strict
+    /// improvements (a *larger* bound) are recorded, so bounding solvers
+    /// can offer freely — per branch-and-bound frontier update, per LP
+    /// cutting-plane round — without tracking the best themselves. The
+    /// caller vouches that **every** consensus of the run's dataset
+    /// scores at least `lb`; bounds that are only valid for a
+    /// sub-problem (a decomposition block, a permutation-only search
+    /// space) must not be offered (see [`exact`] for how block bounds
+    /// are summed into a whole-dataset bound instead). A no-op when
+    /// nobody listens.
+    #[inline]
+    pub fn offer_lower_bound(&self, lb: u64) {
+        if let Some(sink) = &self.sink {
+            sink.offer_lower_bound(lb);
+        }
+    }
+
     /// Whether an incumbent sink is attached — lets algorithms skip
     /// building a snapshot `Ranking` for [`Self::offer_incumbent`] when
     /// nobody is listening.

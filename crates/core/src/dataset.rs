@@ -26,7 +26,10 @@ pub enum DatasetError {
     /// At least one ranking is required.
     Empty,
     /// Ranking `index` does not cover exactly the elements `0..n`.
-    NotOverSameElements { index: usize },
+    NotOverSameElements {
+        /// Index of the offending ranking within the input.
+        index: usize,
+    },
 }
 
 impl fmt::Display for DatasetError {

@@ -10,9 +10,12 @@
 //!
 //! * [`IncumbentSink`] — where algorithms publish monotonically improving
 //!   consensus candidates via
-//!   [`AlgoContext::offer_incumbent`](crate::algorithms::AlgoContext::offer_incumbent).
-//!   The sink keeps the best ranking, the full time-to-score [`TracePoint`]
-//!   curve, and streams an [`Event`] per improvement.
+//!   [`AlgoContext::offer_incumbent`](crate::algorithms::AlgoContext::offer_incumbent)
+//!   and certified lower bounds via
+//!   [`AlgoContext::offer_lower_bound`](crate::algorithms::AlgoContext::offer_lower_bound).
+//!   The sink keeps the best ranking, the best proven lower bound, the
+//!   full time-to-score [`TracePoint`] curve, and streams an [`Event`]
+//!   per improvement of either side.
 //! * [`CancelToken`] — a clonable flag observed by every algorithm's
 //!   [`AlgoContext::checkpoint`](crate::algorithms::AlgoContext::checkpoint).
 //! * [`JobHandle`] — returned by [`Engine::submit`](super::Engine::submit):
@@ -24,9 +27,17 @@
 //!
 //! Per job: exactly one [`Event::Started`] first and one
 //! [`Event::Finished`] last; between them, [`Event::Incumbent`] scores are
-//! **strictly decreasing** (improvements are recorded and emitted under
-//! one lock, so no stale incumbent can be published out of order). For
-//! every stopped (cancelled / timed-out) job, and for every completed job
+//! **strictly decreasing** and [`Event::LowerBound`] bounds are **strictly
+//! increasing** (improvements are recorded and emitted under one lock, so
+//! no stale incumbent or bound can be published out of order). The two
+//! monotone sequences squeeze the optimum from both sides: every emitted
+//! lower bound is ≤ every incumbent score, and
+//! [`Event::Incumbent::gap`] = `score − lower_bound` is a **certified
+//! optimality gap** — the incumbent is provably within `gap` of the
+//! optimal Kemeny score (DESIGN.md §11.2). A gap of `Some(0)` proves
+//! optimality. `None` means no solver has published a bound yet
+//! (heuristics never do), in which case nothing is certified. For every
+//! stopped (cancelled / timed-out) job, and for every completed job
 //! except one documented case, the final report's score equals the last
 //! `Incumbent` event's score. The exception: a *completed* Ailon run may
 //! report its LP-rounding result even when that is worse than the
@@ -52,6 +63,11 @@ pub struct TracePoint {
     pub elapsed: Duration,
     /// Generalized Kemeny score of the incumbent at that moment.
     pub score: u64,
+    /// Best certified lower bound on the optimal score known at that
+    /// moment (`None` until a bounding solver publishes one). Invariant:
+    /// non-decreasing along a trace and never above the point's `score`,
+    /// so `score − lower_bound` is a true optimality gap (DESIGN.md §11.2).
+    pub lower_bound: Option<u64>,
 }
 
 /// What a running job tells its subscribers.
@@ -68,12 +84,25 @@ pub enum Event {
     Incumbent {
         /// Generalized Kemeny score of the new incumbent.
         score: u64,
-        /// Fractional improvement over the previous incumbent
-        /// (`(prev − score) / prev`); `None` for the first incumbent or
-        /// when the previous score was 0.
-        gap: Option<f64>,
+        /// Certified optimality gap: `score − lower_bound` against the
+        /// best lower bound proved so far, `None` while no bound exists.
+        /// `Some(0)` certifies this incumbent optimal. (Before the
+        /// lower-bound channel this field reported improvement over the
+        /// previous incumbent; DESIGN.md §11.2 documents the change.)
+        gap: Option<u64>,
         /// Wall-clock time since the job was submitted (see
         /// [`TracePoint::elapsed`]).
+        elapsed: Duration,
+    },
+    /// A strictly better certified lower bound on the optimum was proved
+    /// (exact branch-and-bound frontier minima, Ailon's LP relaxation).
+    LowerBound {
+        /// The new bound: every consensus of this dataset scores ≥ this.
+        lower_bound: u64,
+        /// `best incumbent score − lower_bound`, `None` while no
+        /// incumbent exists yet.
+        gap: Option<u64>,
+        /// Wall-clock time since the job was submitted.
         elapsed: Duration,
     },
     /// The job ended; [`JobHandle::wait`] returns the full report.
@@ -105,17 +134,20 @@ impl CancelToken {
     }
 }
 
-/// Best incumbent + trace + event sender, guarded by one lock so
-/// improvements are recorded and emitted atomically (the strict-decrease
-/// guarantee of the module docs).
+/// Best incumbent + best lower bound + trace + event sender, guarded by
+/// one lock so improvements are recorded and emitted atomically (the
+/// strict-decrease / strict-increase guarantees of the module docs).
 #[derive(Debug, Default)]
 struct SinkState {
     best: Option<(u64, Ranking)>,
+    /// Best certified lower bound on the optimal score offered so far.
+    lower_bound: Option<u64>,
     trace: Vec<TracePoint>,
     sender: Option<Sender<Event>>,
 }
 
-/// Where a run publishes monotonically improving incumbents.
+/// Where a run publishes monotonically improving incumbents and
+/// monotonically tightening lower bounds.
 ///
 /// Shared by an [`AlgoContext`](crate::algorithms::AlgoContext) and all
 /// its workers; the engine attaches one per request, so every
@@ -123,7 +155,8 @@ struct SinkState {
 /// [`ConsensusReport::trace`](super::ConsensusReport::trace) even for the
 /// blocking `run`/`run_batch` paths. Offers that do not strictly improve
 /// on the best so far are ignored, so the recorded curve is always
-/// strictly decreasing regardless of how many parallel workers offer.
+/// strictly decreasing (and the bound curve strictly increasing)
+/// regardless of how many parallel workers offer.
 #[derive(Debug)]
 pub struct IncumbentSink {
     started: Instant,
@@ -170,15 +203,62 @@ impl IncumbentSink {
             return false;
         }
         let elapsed = self.started.elapsed();
+        // A bound can only have been recorded ahead of the incumbent it
+        // now caps (the clamp in `offer_lower_bound` needs an incumbent
+        // to clamp against); re-clamp here so the per-point invariant
+        // `lower_bound ≤ score` holds even then.
+        let lower_bound = state.lower_bound.map(|lb| lb.min(score));
+        state.lower_bound = lower_bound;
         state.best = Some((score, ranking.clone()));
-        state.trace.push(TracePoint { elapsed, score });
-        let gap = prev
-            .filter(|&p| p > 0)
-            .map(|p| (p - score) as f64 / p as f64);
+        state.trace.push(TracePoint {
+            elapsed,
+            score,
+            lower_bound,
+        });
+        let gap = lower_bound.map(|lb| score - lb);
         if let Some(sender) = &state.sender {
             // A dropped receiver just means nobody is watching.
             let _ = sender.send(Event::Incumbent {
                 score,
+                gap,
+                elapsed,
+            });
+        }
+        true
+    }
+
+    /// Offer a certified lower bound on the optimal Kemeny score. Records
+    /// it (and emits [`Event::LowerBound`]) only when it strictly
+    /// improves on the best bound so far; returns whether it did.
+    ///
+    /// Two invariants are enforced here, under the same lock as
+    /// [`IncumbentSink::offer`], so subscribers can rely on them without
+    /// trusting individual solvers:
+    ///
+    /// * the recorded bound is **non-decreasing** (a looser bound than
+    ///   one already proved adds no information and is dropped);
+    /// * the recorded bound never exceeds the best incumbent score — a
+    ///   valid bound cannot (the incumbent is a real consensus), so an
+    ///   offer above it is clamped to the incumbent, which both keeps
+    ///   `gap = score − lower_bound` from underflowing and caps the
+    ///   damage of a numerically overshooting LP bound at "certifies the
+    ///   incumbent" instead of "certifies nonsense".
+    pub fn offer_lower_bound(&self, lb: u64) -> bool {
+        let mut state = self.state.lock().expect("incumbent sink poisoned");
+        let best = state.best.as_ref().map(|(s, _)| *s);
+        let lb = match best {
+            Some(score) => lb.min(score),
+            None => lb,
+        };
+        if state.lower_bound.is_some_and(|prev| prev >= lb) {
+            return false;
+        }
+        let elapsed = self.started.elapsed();
+        state.lower_bound = Some(lb);
+        let gap = best.map(|score| score - lb);
+        if let Some(sender) = &state.sender {
+            let _ = sender.send(Event::LowerBound {
+                lower_bound: lb,
                 gap,
                 elapsed,
             });
@@ -193,6 +273,15 @@ impl IncumbentSink {
             .expect("incumbent sink poisoned")
             .best
             .clone()
+    }
+
+    /// The best certified lower bound offered so far (`None` until a
+    /// bounding solver publishes one). Always ≤ the best incumbent score.
+    pub fn lower_bound(&self) -> Option<u64> {
+        self.state
+            .lock()
+            .expect("incumbent sink poisoned")
+            .lower_bound
     }
 
     /// The time-to-score curve so far (strictly decreasing scores).

@@ -67,7 +67,10 @@ use std::time::{Duration, Instant};
 /// How a request ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Outcome {
-    /// The result was *proved* optimal (exact solver within budget).
+    /// The result was *proved* optimal: either the exact search completed
+    /// within budget, or a certified lower bound met the incumbent score
+    /// (`score == lower_bound` — the bound squeeze of DESIGN.md §11.2,
+    /// which can certify even a timed-out run).
     Optimal,
     /// A best-effort heuristic result, completed within budget.
     Heuristic,
@@ -111,8 +114,19 @@ pub struct ConsensusReport {
     /// Gap to the batch's reference score (proven optimum when one exists
     /// in the batch, otherwise the best score any batch member achieved —
     /// the paper's m-gap, §6.2.3). `None` for a lone [`Engine::run`] with
-    /// nothing to compare against.
+    /// nothing to compare against. Distinct from the *certified*
+    /// per-event optimality gap `score − lower_bound`
+    /// ([`Event::Incumbent`], [`ConsensusReport::lower_bound`]): the
+    /// m-gap is relative to what the batch happened to find, the
+    /// certified gap is an absolute proof.
     pub gap: Option<f64>,
+    /// Best certified lower bound on the dataset's optimal Kemeny score
+    /// the run proved (branch-and-bound frontier minima, Ailon's LP
+    /// relaxation; `None` for heuristics, which prove nothing).
+    /// Invariants, pinned by `tests/anytime_api.rs`: never above
+    /// [`ConsensusReport::score`], and equal to it whenever
+    /// [`ConsensusReport::outcome`] is [`Outcome::Optimal`].
+    pub lower_bound: Option<u64>,
     /// Wall-clock time of this run.
     pub elapsed: Duration,
     /// Per-request outcome — never contaminated by sibling requests.
@@ -148,6 +162,14 @@ impl ConsensusReport {
     /// [`ConsensusReport::elapsed`] for solvers that then only prove.
     pub fn time_to_final_incumbent(&self) -> Option<Duration> {
         self.trace.last().map(|p| p.elapsed)
+    }
+
+    /// The certified optimality gap `score − lower_bound`: the reported
+    /// consensus is provably within this many cost units of optimal.
+    /// `Some(0)` is a proof of optimality; `None` means the run proved no
+    /// bound (every heuristic).
+    pub fn certified_gap(&self) -> Option<u64> {
+        self.lower_bound.map(|lb| self.score - lb)
     }
 }
 
@@ -341,25 +363,40 @@ impl Engine {
         // MEDRank, …) still yield a one-point trace and every trace ends
         // at the reported score.
         ctx.offer_incumbent(&ranking, score);
-        let outcome = if ctx.cancelled() {
-            Outcome::Cancelled
-        } else if ctx.timed_out() {
-            Outcome::TimedOut
-        } else if ctx.proved_optimal() {
-            Outcome::Optimal
-        } else {
-            Outcome::Heuristic
-        };
         // A stopped run may hand back a weaker state than the best
         // incumbent it already published (e.g. cancel lands between two
         // BioConsert starts): such reports carry the best known, so a
         // cancelled job's score always equals its last `Incumbent` event.
         // Completed runs keep the kernel's own result untouched — that is
         // the bit-identical contract with the pre-anytime engine.
+        let stopped = ctx.cancelled() || ctx.timed_out();
         let (ranking, score) = match sink.best_so_far() {
-            Some((best, incumbent)) if !outcome.completed() && best < score => (incumbent, best),
+            Some((best, incumbent)) if stopped && best < score => (incumbent, best),
             _ => (ranking, score),
         };
+        // The bound squeeze (DESIGN.md §11.2): a certified lower bound
+        // meeting the reported score proves optimality even when the
+        // search itself was cut off — the honest upgrade a timed-out
+        // exact run earns when only its *proof*, not its answer, was
+        // incomplete. A cancelled run stays `Cancelled`: the caller asked
+        // for the cut and outcome precedence reports their intent.
+        let certified = sink.lower_bound() == Some(score);
+        let outcome = if ctx.cancelled() {
+            Outcome::Cancelled
+        } else if ctx.proved_optimal() || certified {
+            Outcome::Optimal
+        } else if ctx.timed_out() {
+            Outcome::TimedOut
+        } else {
+            Outcome::Heuristic
+        };
+        // Proof of optimality *is* a lower bound of `score`: publish it,
+        // so the report, the trace's subscribers, and the wire stream all
+        // agree that optimal ⇒ lower_bound == score (even for solvers
+        // that prove by exhaustion without ever offering a bound).
+        if outcome == Outcome::Optimal {
+            sink.offer_lower_bound(score);
+        }
         let report = ConsensusReport {
             spec: request.spec.clone(),
             ranking,
@@ -369,6 +406,7 @@ impl Engine {
             } else {
                 None
             },
+            lower_bound: sink.lower_bound(),
             elapsed,
             outcome,
             seed: request.seed,

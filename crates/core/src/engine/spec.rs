@@ -546,7 +546,10 @@ impl AlgoSpec {
                 ..bnb::BranchAndBound::default()
             }),
             AlgoSpec::Mc4 => Box::new(mc4::Mc4::default()),
-            AlgoSpec::Exact => Box::new(exact::ExactAlgorithm::default()),
+            AlgoSpec::Exact => Box::new(exact::ExactAlgorithm {
+                force_sequential: sequential,
+                ..exact::ExactAlgorithm::default()
+            }),
             AlgoSpec::BestOf { base, runs } => {
                 let mut wrapper = BestOf::new(base.build(policy), *runs, &self.paper_name());
                 wrapper.force_sequential = sequential;

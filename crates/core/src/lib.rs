@@ -53,6 +53,11 @@
 //! [`algorithms::ConsensusAlgorithm`] for callers that need to bypass the
 //! engine (the timing harness does, §6.2.4).
 
+// Keep every public item documented: the docs CI job runs rustdoc with
+// `-D warnings`, so an undocumented addition fails the build instead of
+// rotting silently.
+#![warn(missing_docs)]
+
 pub mod algorithms;
 pub mod dataset;
 pub mod distance;

@@ -19,9 +19,17 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ParseError {
     /// The input did not follow the `[{..},{..}]` grammar.
-    Syntax { offset: usize, message: String },
+    Syntax {
+        /// Byte offset of the offending character.
+        offset: usize,
+        /// What the parser expected there.
+        message: String,
+    },
     /// A numeric label did not fit in `u32`.
-    BadNumber { token: String },
+    BadNumber {
+        /// The offending token, verbatim.
+        token: String,
+    },
     /// Structurally invalid ranking (empty/duplicate buckets).
     Invalid(RankingError),
 }

@@ -32,9 +32,15 @@ pub struct Ranking {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RankingError {
     /// A bucket with no elements was supplied.
-    EmptyBucket { bucket: usize },
+    EmptyBucket {
+        /// Index of the empty bucket.
+        bucket: usize,
+    },
     /// The same element appeared twice (in one bucket or across buckets).
-    DuplicateElement { element: Element },
+    DuplicateElement {
+        /// The repeated element.
+        element: Element,
+    },
 }
 
 impl fmt::Display for RankingError {

@@ -10,9 +10,11 @@
 //! * `POST /v1/jobs` — dataset text + [`AlgoSpec`] + seed + budget, admitted
 //!   through the engine's budget-aware scheduler (full queue ⇒ **429** +
 //!   `Retry-After`; running jobs are never shed);
-//! * `GET /v1/jobs/{id}/events` — the job's `started` / strictly-improving
-//!   `incumbent` / `finished` lifecycle as chunked NDJSON, replayable for
-//!   late subscribers;
+//! * `GET /v1/jobs/{id}/events` — the job's `started` /
+//!   strictly-improving `incumbent` / strictly-tightening `lower_bound`
+//!   / `finished` lifecycle as chunked NDJSON, replayable for late
+//!   subscribers; each `gap` field is the certified optimality gap
+//!   `score − lower_bound` (DESIGN.md §11.2);
 //! * `GET /v1/jobs/{id}` — status with the best-so-far consensus, the live
 //!   incumbent trace, and the full report once done;
 //! * `DELETE /v1/jobs/{id}` — cooperative cancel over the wire;
@@ -51,6 +53,11 @@
 //! assert_eq!(report.get("score").and_then(|s| s.as_u64()), Some(5));
 //! shutdown.shutdown();
 //! ```
+
+// Keep every public item documented: the docs CI job runs rustdoc with
+// `-D warnings`, so an undocumented addition fails the build instead of
+// rotting silently.
+#![warn(missing_docs)]
 
 pub mod client;
 pub mod http;

@@ -72,10 +72,13 @@ pub fn ranking_json(r: &Ranking, universe: &Universe) -> String {
 
 /// One incumbent [`TracePoint`] as a JSON object — used by the final
 /// report's trace and the live trace of the server's job-status document,
-/// so the two can never drift apart.
+/// so the two can never drift apart. `lower_bound` is the certified
+/// bound known at that moment (`null` until a bounding solver proves
+/// one); `score − lower_bound` is a true optimality gap.
 pub fn trace_point_json(p: &TracePoint) -> String {
+    let lb = p.lower_bound.map_or("null".to_owned(), |lb| lb.to_string());
     format!(
-        "{{\"elapsed_secs\":{:.6},\"score\":{}}}",
+        "{{\"elapsed_secs\":{:.6},\"score\":{},\"lower_bound\":{lb}}}",
         p.elapsed.as_secs_f64(),
         p.score
     )
@@ -87,11 +90,14 @@ pub fn trace_point_json(p: &TracePoint) -> String {
 /// PR; the server's job reports reuse it verbatim.
 pub fn report_json(report: &ConsensusReport, norm: &Normalized, universe: &Universe) -> String {
     let gap = report.gap.map_or("null".to_owned(), |g| format!("{g:.6}"));
+    let lower_bound = report
+        .lower_bound
+        .map_or("null".to_owned(), |lb| lb.to_string());
     let trace: Vec<String> = report.trace.iter().map(trace_point_json).collect();
     format!(
         concat!(
             "{{\"algorithm\":\"{}\",\"spec\":\"{}\",\"seed\":{},",
-            "\"score\":{},\"gap\":{},\"outcome\":\"{}\",",
+            "\"score\":{},\"gap\":{},\"lower_bound\":{},\"outcome\":\"{}\",",
             "\"elapsed_secs\":{:.6},\"ranking\":{},\"trace\":[{}]}}"
         ),
         escape(&report.algorithm()),
@@ -99,6 +105,7 @@ pub fn report_json(report: &ConsensusReport, norm: &Normalized, universe: &Unive
         report.seed,
         report.score,
         gap,
+        lower_bound,
         report.outcome,
         report.elapsed.as_secs_f64(),
         ranking_json(&norm.denormalize(&report.ranking), universe),
@@ -107,7 +114,10 @@ pub fn report_json(report: &ConsensusReport, norm: &Normalized, universe: &Unive
 }
 
 /// One anytime [`Event`] as an NDJSON line (no trailing newline — the
-/// chunked writer appends it).
+/// chunked writer appends it). Incumbent scores strictly decrease and
+/// `lower_bound` values strictly increase along a stream; every `gap`
+/// field is the certified optimality gap `score − lower_bound`
+/// (DESIGN.md §11.2), `null` until a bounding solver proves one.
 pub fn event_json(event: &Event) -> String {
     match event {
         Event::Started { spec, seed } => {
@@ -121,9 +131,22 @@ pub fn event_json(event: &Event) -> String {
             gap,
             elapsed,
         } => {
-            let gap = gap.map_or("null".to_owned(), |g| format!("{g:.6}"));
+            // `gap` is the certified optimality gap `score − lower_bound`
+            // (integer cost units), null until a solver proves a bound.
+            let gap = gap.map_or("null".to_owned(), |g| g.to_string());
             format!(
                 "{{\"event\":\"incumbent\",\"score\":{score},\"gap\":{gap},\"elapsed_secs\":{:.6}}}",
+                elapsed.as_secs_f64()
+            )
+        }
+        Event::LowerBound {
+            lower_bound,
+            gap,
+            elapsed,
+        } => {
+            let gap = gap.map_or("null".to_owned(), |g| g.to_string());
+            format!(
+                "{{\"event\":\"lower_bound\",\"lower_bound\":{lower_bound},\"gap\":{gap},\"elapsed_secs\":{:.6}}}",
                 elapsed.as_secs_f64()
             )
         }

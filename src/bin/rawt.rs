@@ -278,9 +278,22 @@ fn cmd_aggregate(f: &Flags) {
     println!("outcome:    {} in {:.1?}", report.outcome, report.elapsed);
 }
 
-/// Submit the request as an anytime job, stream its incumbents to stderr,
-/// and translate Ctrl-C into a cooperative cancel whose result is the
-/// best-so-far consensus (outcome "cancelled").
+/// Render a certified optimality gap for the `--progress` stream: the
+/// live "how far from provably optimal" readout (empty until a bounding
+/// solver publishes a lower bound; see DESIGN.md §11.2).
+fn render_gap(gap: Option<u64>, score: u64) -> String {
+    match gap {
+        Some(0) => "  (gap 0 — optimal)".to_owned(),
+        Some(g) if score > 0 => format!("  (gap {g}, {:.1}%)", 100.0 * g as f64 / score as f64),
+        Some(g) => format!("  (gap {g})"),
+        None => String::new(),
+    }
+}
+
+/// Submit the request as an anytime job, stream its incumbents and
+/// certified bounds to stderr, and translate Ctrl-C into a cooperative
+/// cancel whose result is the best-so-far consensus (outcome
+/// "cancelled").
 fn run_with_progress(engine: &Engine, request: AggregationRequest) -> ConsensusReport {
     sigint::install();
     let handle = engine.submit(request);
@@ -300,10 +313,22 @@ fn run_with_progress(engine: &Engine, request: AggregationRequest) -> ConsensusR
                 gap,
                 elapsed,
             }) => {
-                let improvement = gap.map_or(String::new(), |g| format!("  (-{:.1}%)", 100.0 * g));
                 eprintln!(
-                    "incumbent:  K = {score} at {:.3}s{improvement}",
-                    elapsed.as_secs_f64()
+                    "incumbent:  K = {score} at {:.3}s{}",
+                    elapsed.as_secs_f64(),
+                    render_gap(gap, score)
+                );
+            }
+            Some(Event::LowerBound {
+                lower_bound,
+                gap,
+                elapsed,
+            }) => {
+                let against = gap.map(|g| lower_bound + g);
+                eprintln!(
+                    "bound:      K >= {lower_bound} at {:.3}s{}",
+                    elapsed.as_secs_f64(),
+                    against.map_or(String::new(), |s| render_gap(gap, s))
                 );
             }
             Some(Event::Finished(outcome)) => {
@@ -468,17 +493,26 @@ fn stream_remote_progress(client: &Client, id: u64) {
                 );
             }
             Some("incumbent") => {
-                let improvement = event
-                    .get("gap")
-                    .and_then(Json::as_f64)
-                    .map_or(String::new(), |g| format!("  (-{:.1}%)", 100.0 * g));
+                let score = event.get("score").and_then(Json::as_u64).unwrap_or(0);
                 eprintln!(
-                    "incumbent:  K = {} at {:.3}s{improvement}",
-                    event.get("score").and_then(Json::as_u64).unwrap_or(0),
+                    "incumbent:  K = {score} at {:.3}s{}",
                     event
                         .get("elapsed_secs")
                         .and_then(Json::as_f64)
-                        .unwrap_or(0.0)
+                        .unwrap_or(0.0),
+                    render_gap(event.get("gap").and_then(Json::as_u64), score)
+                );
+            }
+            Some("lower_bound") => {
+                let lower_bound = event.get("lower_bound").and_then(Json::as_u64).unwrap_or(0);
+                let gap = event.get("gap").and_then(Json::as_u64);
+                eprintln!(
+                    "bound:      K >= {lower_bound} at {:.3}s{}",
+                    event
+                        .get("elapsed_secs")
+                        .and_then(Json::as_f64)
+                        .unwrap_or(0.0),
+                    gap.map_or(String::new(), |g| render_gap(Some(g), lower_bound + g))
                 );
             }
             Some("finished") => {

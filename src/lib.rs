@@ -71,9 +71,10 @@
 //! ```
 //!
 //! Long-running requests are **anytime jobs** (DESIGN.md §9): submit one,
-//! stream its improving incumbents, harvest the best-so-far at any
-//! moment, or cancel cooperatively — the job returns its best incumbent
-//! with `Outcome::Cancelled`:
+//! stream its improving incumbents and tightening certified lower bounds
+//! (DESIGN.md §11), harvest the best-so-far at any moment, or cancel
+//! cooperatively — the job returns its best incumbent with
+//! `Outcome::Cancelled`:
 //!
 //! ```
 //! # use rank_aggregation_with_ties::prelude::*;
@@ -88,13 +89,17 @@
 //!     match event {
 //!         Event::Started { spec, .. } => assert_eq!(spec, AlgoSpec::Exact),
 //!         Event::Incumbent { .. } => incumbents += 1, // strictly improving scores
+//!         Event::LowerBound { .. } => {} // strictly tightening certified bounds
 //!         Event::Finished(outcome) => assert_eq!(outcome, Outcome::Optimal),
 //!     }
 //! }
 //! let report = handle.wait();
 //! assert!(incumbents >= 1);
-//! // Every report carries its quality-vs-time curve, ending at the score.
+//! // Every report carries its quality-vs-time curve, ending at the score;
+//! // a proved-optimal run's certified bound meets its score (gap 0).
 //! assert_eq!(report.trace.last().unwrap().score, report.score);
+//! assert_eq!(report.lower_bound, Some(report.score));
+//! assert_eq!(report.certified_gap(), Some(0));
 //! ```
 
 pub use bignum;

@@ -122,6 +122,132 @@ fn every_report_carries_a_monotone_trace_ending_at_its_score() {
     }
 }
 
+// ------------------------------------------------------- lower-bound channel
+
+/// Replay a drained event stream, checking every invariant the
+/// lower-bound channel guarantees (DESIGN.md §11.2): bounds strictly
+/// increase, no bound ever exceeds any incumbent score, and every
+/// event's `gap` is exactly `score − lower_bound` against the state at
+/// emission time.
+fn check_bound_invariants(events: &[Event]) -> (Vec<u64>, Vec<u64>) {
+    let mut bounds: Vec<u64> = Vec::new();
+    let mut scores: Vec<u64> = Vec::new();
+    let mut last_bound: Option<u64> = None;
+    let mut best_score: Option<u64> = None;
+    for event in events {
+        match event {
+            Event::Incumbent { score, gap, .. } => {
+                assert_eq!(
+                    *gap,
+                    last_bound.map(|lb| score - lb),
+                    "incumbent gap must be score − lower_bound: {events:?}"
+                );
+                best_score = Some(*score);
+                scores.push(*score);
+            }
+            Event::LowerBound {
+                lower_bound, gap, ..
+            } => {
+                assert!(
+                    last_bound.is_none_or(|prev| prev < *lower_bound),
+                    "streamed lower bounds must strictly increase: {events:?}"
+                );
+                assert_eq!(
+                    *gap,
+                    best_score.map(|s| s - lower_bound),
+                    "bound gap must be best score − lower_bound: {events:?}"
+                );
+                last_bound = Some(*lower_bound);
+                bounds.push(*lower_bound);
+            }
+            _ => {}
+        }
+    }
+    (scores, bounds)
+}
+
+#[test]
+fn exact_jobs_stream_a_monotone_lower_bound_meeting_the_score() {
+    // Disagreeing-enough data that the proof search actually explores
+    // (a rotation family has no safe split and no trivial optimum).
+    let data = big_uniform(14, 4, 31);
+    let engine = Engine::new();
+    let handle = engine.submit(AggregationRequest::new(data, AlgoSpec::Exact).with_seed(5));
+    let events: Vec<Event> = handle.events().collect();
+    let report = handle.wait();
+
+    let (scores, bounds) = check_bound_invariants(&events);
+    assert!(
+        !bounds.is_empty(),
+        "the exact solver must publish lower bounds: {events:?}"
+    );
+    // Every certified bound is ≤ the optimum ≤ every incumbent score —
+    // across the whole stream, not just pointwise in time.
+    let max_bound = *bounds.iter().max().unwrap();
+    let min_score = *scores.iter().min().unwrap();
+    assert!(
+        max_bound <= min_score,
+        "a lower bound exceeded an incumbent: bounds {bounds:?} scores {scores:?}"
+    );
+    assert_eq!(report.outcome, Outcome::Optimal);
+    assert_eq!(
+        report.lower_bound,
+        Some(report.score),
+        "a proved-optimal report's bound meets its score"
+    );
+    assert_eq!(report.certified_gap(), Some(0));
+    assert_eq!(max_bound, report.score, "the stream ends certified");
+}
+
+#[test]
+fn report_traces_carry_monotone_lower_bounds_below_their_scores() {
+    let engine = Engine::new();
+    for spec in [
+        AlgoSpec::Exact,
+        AlgoSpec::Ailon,
+        AlgoSpec::BnB { beam: None },
+        AlgoSpec::BioConsert,
+    ] {
+        let report =
+            engine.run(&AggregationRequest::new(wider_dataset(), spec.clone()).with_seed(3));
+        let bounds: Vec<Option<u64>> = report.trace.iter().map(|p| p.lower_bound).collect();
+        for (p, lb) in report.trace.iter().zip(&bounds) {
+            if let Some(lb) = lb {
+                assert!(*lb <= p.score, "{spec}: trace point bound above its score");
+            }
+        }
+        assert!(
+            bounds
+                .windows(2)
+                .all(|w| w[0].unwrap_or(0) <= w[1].unwrap_or(u64::MAX)),
+            "{spec}: trace bounds must be non-decreasing: {bounds:?}"
+        );
+        if let Some(lb) = report.lower_bound {
+            assert!(lb <= report.score, "{spec}: report bound above score");
+        }
+        match report.outcome {
+            Outcome::Optimal => assert_eq!(report.lower_bound, Some(report.score), "{spec}"),
+            _ => assert_eq!(report.spec, spec),
+        }
+        // Heuristics prove nothing and must not pretend to.
+        if matches!(report.spec, AlgoSpec::BioConsert) {
+            assert_eq!(report.lower_bound, None);
+            assert_eq!(report.certified_gap(), None);
+        }
+    }
+}
+
+#[test]
+fn blocking_run_records_bounds_without_a_subscriber() {
+    // `Engine::run` attaches a subscriber-less sink: the lower bound must
+    // still land in the report (the satellite audit: nothing about the
+    // channel may depend on someone streaming).
+    let data = big_uniform(12, 5, 7);
+    let report = Engine::new().run(&AggregationRequest::new(data, AlgoSpec::Exact).with_seed(2));
+    assert_eq!(report.outcome, Outcome::Optimal);
+    assert_eq!(report.lower_bound, Some(report.score));
+}
+
 // ------------------------------------------------------------ cancellation
 
 #[test]

@@ -135,4 +135,51 @@ proptest! {
         let rs = sequential.run(&data, &mut AlgoContext::seeded(seed));
         prop_assert_eq!(rp, rs);
     }
+
+    /// The parallel exact DFS (work-stealing subtree exploration over a
+    /// shared atomic bound, DESIGN.md §11.1) must return the *same
+    /// ranking* as the sequential search — not just the same score: among
+    /// equally-scoring optima, the deterministic merge must pick exactly
+    /// the leaf the sequential DFS-order would have kept. `threads` is
+    /// pinned explicitly so real worker threads spawn even on a one-core
+    /// CI host.
+    #[test]
+    fn parallel_exact_dfs_is_bit_identical_to_sequential(data in dataset_strategy(), seed in 0u64..1000) {
+        let sequential = ExactAlgorithm {
+            force_sequential: true,
+            ..ExactAlgorithm::default()
+        };
+        let (rs, ss, ps) = sequential.solve(&data, &mut AlgoContext::seeded(seed));
+        for threads in [2usize, 4, 8] {
+            let parallel = ExactAlgorithm {
+                threads: Some(threads),
+                ..ExactAlgorithm::default()
+            };
+            let (rp, sp, pp) = parallel.solve(&data, &mut AlgoContext::seeded(seed));
+            prop_assert_eq!(&rp, &rs, "threads {}", threads);
+            prop_assert_eq!(sp, ss);
+            prop_assert_eq!(pp, ps);
+        }
+    }
+
+    /// Same property through the engine (the serving path): an `Exact`
+    /// report under the parallel policy is bit-identical to the
+    /// sequential policy, and both certify `lower_bound == score`.
+    #[test]
+    fn exact_reports_identical_across_policies(data in dataset_strategy(), seed in 0u64..200) {
+        let engine = Engine::new();
+        let par = engine.run(
+            &AggregationRequest::new(data.clone(), AlgoSpec::Exact).with_seed(seed),
+        );
+        let seq = engine.run(
+            &AggregationRequest::new(data, AlgoSpec::Exact)
+                .with_seed(seed)
+                .with_policy(ExecPolicy::Sequential),
+        );
+        prop_assert_eq!(&par.ranking, &seq.ranking);
+        prop_assert_eq!(par.score, seq.score);
+        prop_assert_eq!(par.outcome, Outcome::Optimal);
+        prop_assert_eq!(par.lower_bound, Some(par.score));
+        prop_assert_eq!(seq.lower_bound, Some(seq.score));
+    }
 }

@@ -193,6 +193,97 @@ fn streamed_incumbents_strictly_decrease_and_end_at_the_report_score() {
     shutdown.shutdown();
 }
 
+/// The lower-bound channel over the wire (DESIGN.md §11.2): an exact job's
+/// NDJSON stream carries strictly increasing `lower_bound` events that
+/// never exceed any incumbent, `gap` fields equal `score − lower_bound`,
+/// and a proved-optimal job ends with `lower_bound == score` in both the
+/// stream and the final report.
+#[test]
+fn exact_jobs_stream_certified_lower_bounds_over_the_wire() {
+    let (client, shutdown, _) = default_server();
+    let job = client
+        .submit(&JobSubmission {
+            algo: Some("Exact".to_owned()),
+            seed: 5,
+            ..JobSubmission::new(big_dataset_text(14, 4, 31))
+        })
+        .expect("submit");
+    let events: Vec<Json> = client
+        .events(job.id)
+        .expect("stream")
+        .collect::<Result<_, _>>()
+        .expect("well-formed events");
+    let mut bounds: Vec<u64> = Vec::new();
+    let mut scores: Vec<u64> = Vec::new();
+    let mut last_bound: Option<u64> = None;
+    let mut best_score: Option<u64> = None;
+    for event in &events {
+        match event.get("event").and_then(Json::as_str) {
+            Some("incumbent") => {
+                let score = event.get("score").and_then(Json::as_u64).unwrap();
+                assert_eq!(
+                    event.get("gap").and_then(Json::as_u64),
+                    last_bound.map(|lb| score - lb),
+                    "wire incumbent gap must be score − lower_bound: {event}"
+                );
+                best_score = Some(score);
+                scores.push(score);
+            }
+            Some("lower_bound") => {
+                let lb = event.get("lower_bound").and_then(Json::as_u64).unwrap();
+                assert!(
+                    last_bound.is_none_or(|prev| prev < lb),
+                    "wire bounds must strictly increase: {events:?}"
+                );
+                assert_eq!(
+                    event.get("gap").and_then(Json::as_u64),
+                    best_score.map(|s| s - lb),
+                    "wire bound gap must be best score − lower_bound: {event}"
+                );
+                last_bound = Some(lb);
+                bounds.push(lb);
+            }
+            _ => {}
+        }
+    }
+    assert!(
+        !bounds.is_empty(),
+        "exact jobs must stream bounds over the wire"
+    );
+    assert!(
+        bounds.iter().max() <= scores.iter().min(),
+        "a wire bound exceeded an incumbent: {bounds:?} vs {scores:?}"
+    );
+    let status = client.status(job.id).expect("status");
+    let report = status.get("report").expect("report present");
+    assert_eq!(
+        report.get("outcome").and_then(Json::as_str),
+        Some("optimal")
+    );
+    let score = report.get("score").and_then(Json::as_u64).unwrap();
+    assert_eq!(
+        report.get("lower_bound").and_then(Json::as_u64),
+        Some(score),
+        "a proved-optimal wire report carries lower_bound == score"
+    );
+    assert_eq!(bounds.last(), Some(&score), "the stream ends certified");
+    // The status document's live trace carries the bound per point too.
+    let trace_bounds: Vec<Option<u64>> = status
+        .get("trace")
+        .and_then(Json::as_array)
+        .expect("live trace")
+        .iter()
+        .map(|p| p.get("lower_bound").and_then(Json::as_u64))
+        .collect();
+    assert!(
+        trace_bounds
+            .windows(2)
+            .all(|w| w[0].unwrap_or(0) <= w[1].unwrap_or(u64::MAX)),
+        "trace bounds must be non-decreasing: {trace_bounds:?}"
+    );
+    shutdown.shutdown();
+}
+
 // ------------------------------------------------------------ cancellation
 
 #[test]
