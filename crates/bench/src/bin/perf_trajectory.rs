@@ -25,7 +25,12 @@
 //!   result-equality check (the bit-identical contract) and — through a
 //!   submitted anytime job — the **time to certified optimal**: the
 //!   elapsed moment the streamed `gap` hit 0 and a waiting caller could
-//!   have stopped.
+//!   have stopped;
+//! * a **recovery** section (DESIGN.md §12): a pre-populated journal
+//!   directory of finished jobs, measuring raw replay throughput
+//!   (framed-and-checksummed lines per second) and restart-to-ready time
+//!   — the full `Server::bind` on that directory, i.e. how long a crashed
+//!   server's jobs stay unavailable after the process is back.
 //!
 //! The header records the host's available parallelism and a timestamp,
 //! so committed BENCH files stay interpretable (PR 1's single-core
@@ -35,7 +40,7 @@
 //! PRs can track the trajectory:
 //!
 //! ```text
-//! cargo run --release -p bench --bin perf_trajectory -- BENCH_5.json
+//! cargo run --release -p bench --bin perf_trajectory -- BENCH_6.json
 //! ```
 
 use ragen::UniformSampler;
@@ -47,6 +52,7 @@ use rank_core::algorithms::{AlgoContext, ConsensusAlgorithm};
 use rank_core::engine::{paper_panel, AggregationRequest, AlgoSpec, Engine, Event};
 use rank_core::{CostMatrix, Dataset};
 use service::client::Client;
+use service::journal::{FsyncPolicy, Journal};
 use service::json::Json;
 use service::proto::JobSubmission;
 use service::server::{Server, ServerConfig};
@@ -391,10 +397,91 @@ fn measure_service(data: &Dataset) -> ServiceReport {
     }
 }
 
+/// The recovery section's journal shape: enough finished jobs with long
+/// event replays that the replay scan dominates setup noise.
+const RECOVERY_JOBS: u64 = 64;
+const RECOVERY_EVENTS_PER_JOB: usize = 128;
+
+struct RecoveryReport {
+    jobs: u64,
+    events_per_job: usize,
+    journal_lines: usize,
+    journal_bytes: u64,
+    replay_median_s: f64,
+    replay_lines_per_sec: f64,
+    restart_to_ready_median_s: f64,
+}
+
+/// The recovery section: fabricate a journal directory of
+/// [`RECOVERY_JOBS`] finished jobs (the exact bytes an interrupted
+/// server leaves), then time the raw [`Journal::replay`] scan and the
+/// full restart — `Server::bind` with that journal, which validates
+/// every CRC, re-prepares every submission, and rebuilds the job table
+/// before the listener answers its first request.
+fn measure_recovery() -> RecoveryReport {
+    let dir = std::env::temp_dir().join(format!("rawt-bench-recovery-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let journal = Journal::open(&dir, FsyncPolicy::Never).expect("open journal");
+    let submission = JobSubmission {
+        algo: Some("BioConsert".to_owned()),
+        ..JobSubmission::new("[{A},{D},{B,C}]\n[{A},{B,C},{D}]\n[{D},{A,C},{B}]\n")
+    };
+    let report = r#"{"algorithm":"BioConsert","spec":"BioConsert","seed":42,"score":5,"gap":null,"outcome":"heuristic","elapsed_secs":0.010000,"ranking":[["A"],["D"],["B","C"]],"trace":[]}"#;
+    for id in 0..RECOVERY_JOBS {
+        let mut writer = journal
+            .begin_job(id, 0, &submission.to_json())
+            .expect("begin journal segment");
+        writer.append_event(r#"{"event":"started","spec":"BioConsert","seed":42}"#);
+        for e in 0..RECOVERY_EVENTS_PER_JOB {
+            writer.append_event(&format!(
+                r#"{{"event":"incumbent","score":{},"gap":null,"elapsed_secs":0.00{e}}}"#,
+                RECOVERY_EVENTS_PER_JOB - e
+            ));
+        }
+        writer.finish("heuristic", Some(report));
+    }
+    let journal_bytes: u64 = std::fs::read_dir(&dir)
+        .expect("journal dir")
+        .filter_map(Result::ok)
+        .filter_map(|e| e.metadata().ok())
+        .map(|m| m.len())
+        .sum();
+
+    let replay_median_s = time_median(5, || {
+        std::hint::black_box(journal.replay().expect("replay"));
+    });
+    let replay = journal.replay().expect("replay");
+    assert_eq!(replay.jobs.len(), RECOVERY_JOBS as usize, "all jobs replay");
+    let journal_lines = replay.lines_read;
+
+    let restart_to_ready_median_s = time_median(5, || {
+        let server = Server::bind(
+            "127.0.0.1:0",
+            ServerConfig {
+                journal_dir: Some(dir.clone()),
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind with journal");
+        std::hint::black_box(&server);
+    });
+
+    let _ = std::fs::remove_dir_all(&dir);
+    RecoveryReport {
+        jobs: RECOVERY_JOBS,
+        events_per_job: RECOVERY_EVENTS_PER_JOB,
+        journal_lines,
+        journal_bytes,
+        replay_median_s,
+        replay_lines_per_sec: journal_lines as f64 / replay_median_s,
+        restart_to_ready_median_s,
+    }
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_5.json".to_owned());
+        .unwrap_or_else(|| "BENCH_6.json".to_owned());
     let threads = rank_core::parallel::num_threads();
     let host_parallelism = std::thread::available_parallelism().map_or(0, |n| n.get());
     let timestamp_unix_secs = std::time::SystemTime::now()
@@ -472,11 +559,22 @@ fn main() {
         exact.instances.iter().all(|i| i.proved),
     );
 
+    // Recovery section: how fast does a crashed server's state come back?
+    let recovery = measure_recovery();
+    eprintln!(
+        "recovery: {} jobs × {} events: replay {:.1}ms ({:.0}k lines/s), restart-to-ready {:.1}ms",
+        recovery.jobs,
+        recovery.events_per_job,
+        recovery.replay_median_s * 1e3,
+        recovery.replay_lines_per_sec / 1e3,
+        recovery.restart_to_ready_median_s * 1e3,
+    );
+
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(
         json,
-        "  \"bench\": \"parallel consensus kernel (PR 1) + engine batch front door (PR 2) + anytime incumbent traces (PR 3) + network service latency (PR 4) + parallel exact proof search with certified gaps (PR 5)\","
+        "  \"bench\": \"parallel consensus kernel (PR 1) + engine batch front door (PR 2) + anytime incumbent traces (PR 3) + network service latency (PR 4) + parallel exact proof search with certified gaps (PR 5) + durable journal recovery (PR 6)\","
     );
     let _ = writeln!(json, "  \"m\": {M},");
     let _ = writeln!(json, "  \"worker_threads\": {threads},");
@@ -505,6 +603,27 @@ fn main() {
         json,
         "    \"submit_to_finished_max_secs\": {:.6}",
         service.finished_max_s
+    );
+    json.push_str("  },\n");
+    json.push_str("  \"recovery\": {\n");
+    let _ = writeln!(json, "    \"jobs\": {},", recovery.jobs);
+    let _ = writeln!(json, "    \"events_per_job\": {},", recovery.events_per_job);
+    let _ = writeln!(json, "    \"journal_lines\": {},", recovery.journal_lines);
+    let _ = writeln!(json, "    \"journal_bytes\": {},", recovery.journal_bytes);
+    let _ = writeln!(
+        json,
+        "    \"replay_median_secs\": {:.6},",
+        recovery.replay_median_s
+    );
+    let _ = writeln!(
+        json,
+        "    \"replay_lines_per_sec\": {:.0},",
+        recovery.replay_lines_per_sec
+    );
+    let _ = writeln!(
+        json,
+        "    \"restart_to_ready_median_secs\": {:.6}",
+        recovery.restart_to_ready_median_s
     );
     json.push_str("  },\n");
     json.push_str("  \"exact\": {\n");

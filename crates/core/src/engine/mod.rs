@@ -308,6 +308,19 @@ impl Engine {
         self.scheduler().try_submit(request)
     }
 
+    /// [`Engine::submit`] into the scheduler's **recovered** class: the
+    /// job runs before every fresh submission, FIFO among recovered jobs
+    /// regardless of declared budgets. This is the restart-recovery path —
+    /// a service replaying a durable journal re-admits interrupted jobs
+    /// with it (in ascending journal order), so the post-restart execution
+    /// order is a deterministic function of the journal and fresh traffic
+    /// can never starve the work the restart promised to finish. Blocks
+    /// when the queue is full (recovery must not drop jobs); panics if the
+    /// engine is shut down while waiting, like [`Engine::submit`].
+    pub fn submit_recovered(&self, request: AggregationRequest) -> JobHandle {
+        self.scheduler().submit_recovered(request)
+    }
+
     /// The scheduler's shape (configured bounds, whether or not the
     /// scheduler has been instantiated yet).
     pub fn scheduler_config(&self) -> SchedulerConfig {

@@ -19,6 +19,15 @@
 //!   budget is the caller's own statement of how long the job may take, so
 //!   it doubles as a size estimate: letting short jobs overtake long ones
 //!   bounds queueing delay for exactly the callers that asked to be quick.
+//! * **Recovered-first re-admission** — jobs re-admitted from a durable
+//!   journal after a restart ([`Scheduler::submit_recovered`]) form a
+//!   strictly higher admission class: they run before every fresh
+//!   submission, in plain re-admission (FIFO) order, ignoring their
+//!   declared budgets. Recovery replays the journal in ascending job-id
+//!   order, so the execution order of interrupted work is a deterministic
+//!   function of the journal alone — budget-based overtaking by new
+//!   traffic could otherwise reorder (and starve) the very jobs the
+//!   restart promised to finish.
 //!
 //! Running jobs are never shed and never preempted — cancellation stays
 //! cooperative through each job's [`CancelToken`], exactly as in the
@@ -129,13 +138,22 @@ struct QueuedJob {
     report_tx: Sender<std::thread::Result<ConsensusReport>>,
     done: Arc<AtomicBool>,
     seq: u64,
+    /// Re-admitted from a journal after a restart: runs ahead of every
+    /// fresh submission, FIFO within the recovered class.
+    recovered: bool,
 }
 
 impl QueuedJob {
-    /// Priority key: ascending declared budget, FIFO within a budget
-    /// class; budget-less jobs sort after every bounded one.
-    fn key(&self) -> (Duration, u64) {
-        (self.request.budget.unwrap_or(Duration::MAX), self.seq)
+    /// Priority key: recovered jobs first (FIFO among themselves — their
+    /// budget is ignored so re-admission order is the journal's order),
+    /// then ascending declared budget, FIFO within a budget class;
+    /// budget-less jobs sort after every bounded one.
+    fn key(&self) -> (u8, Duration, u64) {
+        if self.recovered {
+            (0, Duration::ZERO, self.seq)
+        } else {
+            (1, self.request.budget.unwrap_or(Duration::MAX), self.seq)
+        }
     }
 }
 
@@ -206,7 +224,7 @@ impl Scheduler {
 
     /// Admit `request` if the queue has room; otherwise shed it.
     pub fn try_submit(&self, request: AggregationRequest) -> Result<JobHandle, AdmissionError> {
-        self.admit(request).map_err(|(_, e)| e)
+        self.admit(request, false).map_err(|(_, e)| e)
     }
 
     /// [`Scheduler::try_submit`], returning the request on rejection so
@@ -214,6 +232,7 @@ impl Scheduler {
     fn admit(
         &self,
         request: AggregationRequest,
+        recovered: bool,
     ) -> Result<JobHandle, (AggregationRequest, AdmissionError)> {
         let (event_tx, events) = mpsc::channel();
         let (report_tx, report_rx) = mpsc::channel();
@@ -241,6 +260,7 @@ impl Scheduler {
             report_tx,
             done: Arc::clone(&done),
             seq,
+            recovered,
         });
         drop(state);
         self.shared.work_ready.notify_one();
@@ -256,9 +276,31 @@ impl Scheduler {
     /// Panics if the scheduler is shut down while waiting — submitting to
     /// an engine being torn down is a caller bug.
     pub fn submit(&self, request: AggregationRequest) -> JobHandle {
+        self.submit_class(request, false)
+    }
+
+    /// Blocking admission into the **recovered** class: the job runs
+    /// before every fresh submission, FIFO among recovered jobs (see the
+    /// module docs). This is the restart-recovery path — the service
+    /// re-admits journaled jobs with it in ascending job-id order, which
+    /// makes the post-restart execution order a deterministic function of
+    /// the journal. Blocking (rather than shedding) is deliberate:
+    /// recovery happens before the server starts accepting traffic, and a
+    /// journal holding more interrupted jobs than the queue bound must
+    /// wait for room, not drop work it promised to finish.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scheduler is shut down while waiting, exactly like
+    /// [`Scheduler::submit`].
+    pub fn submit_recovered(&self, request: AggregationRequest) -> JobHandle {
+        self.submit_class(request, true)
+    }
+
+    fn submit_class(&self, request: AggregationRequest, recovered: bool) -> JobHandle {
         let mut request = request;
         loop {
-            match self.admit(request) {
+            match self.admit(request, recovered) {
                 Ok(handle) => return handle,
                 Err((_, AdmissionError::ShuttingDown)) => {
                     panic!("Engine::submit on a shut-down engine")
@@ -387,7 +429,8 @@ fn worker_loop(shared: &Shared, cache: &Arc<MatrixCache>) {
     }
 }
 
-/// Index of the queued job with the smallest (budget, seq) key. Linear
+/// Index of the queued job with the smallest (class, budget, seq) key.
+/// Linear
 /// scan: the queue is bounded and small, and pops are rare relative to
 /// the work each job represents.
 fn next_index(queue: &[QueuedJob]) -> Option<usize> {
@@ -514,13 +557,60 @@ mod tests {
             let order: Vec<u64> = {
                 let mut q: Vec<_> = state.queue.iter().map(|j| j.key()).collect();
                 q.sort();
-                q.into_iter().map(|(_, seq)| seq).collect()
+                q.into_iter().map(|(_, _, seq)| seq).collect()
             };
             assert_eq!(order, vec![3, 2, 1], "short budget first, FIFO last");
         }
         blocker.cancel();
         let _ = blocker.wait();
         for h in [short, long, unbounded] {
+            assert_eq!(h.wait().score, 5);
+        }
+    }
+
+    #[test]
+    fn recovered_jobs_run_before_fresh_ones_in_fifo_order() {
+        let s = sched(1, 8);
+        let blocker = s
+            .try_submit(AggregationRequest::new(
+                tiny_dataset(),
+                AlgoSpec::BestOf {
+                    base: Box::new(AlgoSpec::KwikSort),
+                    runs: 200_000,
+                },
+            ))
+            .expect("admitted");
+        while s.stats().running == 0 {
+            std::thread::yield_now();
+        }
+        // A fresh short-budget job would normally overtake everything;
+        // recovered jobs (even budget-less ones, admitted later) must
+        // still come first, in their own admission order.
+        let fresh = s
+            .try_submit(
+                AggregationRequest::new(tiny_dataset(), AlgoSpec::Exact)
+                    .with_budget(Duration::from_secs(1)),
+            )
+            .expect("admitted");
+        let recovered_a = s.submit_recovered(
+            AggregationRequest::new(tiny_dataset(), AlgoSpec::Exact)
+                .with_budget(Duration::from_secs(600)),
+        );
+        let recovered_b =
+            s.submit_recovered(AggregationRequest::new(tiny_dataset(), AlgoSpec::Exact));
+        {
+            let state = s.shared.state.lock().unwrap();
+            let order: Vec<u64> = {
+                let mut q: Vec<_> = state.queue.iter().map(|j| j.key()).collect();
+                q.sort();
+                q.into_iter().map(|(_, _, seq)| seq).collect()
+            };
+            // seqs: blocker=0 (running), fresh=1, recovered_a=2, recovered_b=3.
+            assert_eq!(order, vec![2, 3, 1], "recovered FIFO first, then fresh");
+        }
+        blocker.cancel();
+        let _ = blocker.wait();
+        for h in [recovered_a, recovered_b, fresh] {
             assert_eq!(h.wait().score, 5);
         }
     }

@@ -6,6 +6,24 @@
 //! then a third for the final status. The client never interprets
 //! reports beyond parsing them as [`Json`]; rendering stays with the
 //! caller so the CLI can reuse its local formatting.
+//!
+//! # Retries (DESIGN.md §12.4)
+//!
+//! Transient failures — a refused or dropped connection, a 429 from the
+//! admission queue, a 503 from a draining server — are worth retrying;
+//! anything else (400s, parse errors) is not. [`RetryPolicy`] encodes
+//! when and how long to wait: the server's `Retry-After` hint when one
+//! came, otherwise jittered exponential backoff (deterministic for a
+//! fixed seed, like everything else in this codebase).
+//! [`Client::submit_with_retry`] retries `POST /v1/jobs` under a policy;
+//! pair it with a [`JobSubmission::idempotency_key`] so a retry that
+//! races a crash can never duplicate the job — the server answers the
+//! second attempt with the job the first one created, even across a
+//! restart. [`Client::follow_events`] is the streaming analogue: an
+//! event iterator that survives dropped connections by reconnecting and
+//! skipping the lines it has already delivered (the server's replay log
+//! re-serves every stream from the start, which is what makes the skip
+//! count sufficient).
 
 use crate::http::{self, ClientResponse, HttpError, NdjsonLines};
 use crate::json::Json;
@@ -73,6 +91,106 @@ impl From<std::io::Error> for ClientError {
     }
 }
 
+/// When and for how long to retry transient failures (connection loss,
+/// 429 shedding, 503 draining). Delays follow the server's `Retry-After`
+/// hint when one was sent, otherwise jittered exponential backoff —
+/// deterministic for a fixed `seed`, so tests can assert exact schedules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, the first one included (`1` = never retry).
+    pub max_attempts: u32,
+    /// Backoff for the first retry; doubles per further attempt.
+    pub base_delay: Duration,
+    /// Ceiling for any single delay, hinted or computed.
+    pub max_delay: Duration,
+    /// Seed for the jitter (xorshift; no RNG dependency).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    /// Five attempts, 250 ms base, 10 s cap — a few seconds of patience
+    /// against a restarting server without stalling interactive use.
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 5,
+            base_delay: Duration::from_millis(250),
+            max_delay: Duration::from_secs(10),
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The single-attempt policy: fail on the first transient error,
+    /// exactly like the plain [`Client::submit`] path.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The delay before retry number `attempt` (1-based). A server hint
+    /// wins (clamped to [`RetryPolicy::max_delay`]); otherwise
+    /// exponential backoff with deterministic jitter in the upper half
+    /// of the window, so concurrent clients spread out.
+    pub fn delay(&self, attempt: u32, hint_secs: Option<u64>) -> Duration {
+        if let Some(secs) = hint_secs {
+            return Duration::from_secs(secs.max(1)).min(self.max_delay);
+        }
+        let window = self
+            .base_delay
+            .saturating_mul(1u32 << attempt.saturating_sub(1).min(16))
+            .min(self.max_delay);
+        let half = window / 2;
+        // xorshift64 on (seed, attempt): stable across runs, different
+        // across attempts and differently-seeded clients.
+        let mut x = (self.seed ^ u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15)) | 1;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let jitter_nanos = x % (u128::min(half.as_nanos(), u128::from(u64::MAX)) as u64 + 1);
+        half + Duration::from_nanos(jitter_nanos)
+    }
+}
+
+/// One retry about to happen — handed to the caller's notifier so a CLI
+/// can print "server busy, retrying in 2s (attempt 2/5)" instead of
+/// dying silently or invisibly stalling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryNotice {
+    /// Which retry this is (1-based; attempt 1 already failed).
+    pub attempt: u32,
+    /// The policy's total attempt budget.
+    pub max_attempts: u32,
+    /// How long the client is about to sleep.
+    pub delay: Duration,
+    /// Why: `"server busy"` (429/503) or `"server unreachable"`.
+    pub reason: &'static str,
+}
+
+/// Classify an error: `Some(reason)` if retrying can help, `None` if it
+/// cannot (4xx validation errors, malformed responses).
+fn retry_reason(error: &ClientError) -> Option<&'static str> {
+    match error {
+        ClientError::Transport(HttpError::Io(_)) => Some("server unreachable"),
+        ClientError::Status { status, .. } if *status == 429 || *status == 503 => {
+            Some("server busy")
+        }
+        _ => None,
+    }
+}
+
+/// The server's `Retry-After` hint, when the error carried one.
+fn retry_hint(error: &ClientError) -> Option<u64> {
+    match error {
+        ClientError::Status {
+            retry_after_secs, ..
+        } => *retry_after_secs,
+        _ => None,
+    }
+}
+
 /// A submitted job's identity, as returned by `POST /v1/jobs`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Submitted {
@@ -85,6 +203,10 @@ pub struct Submitted {
     pub n: usize,
     /// Rankings after normalization.
     pub m: usize,
+    /// `true` when the server matched this submission's idempotency key
+    /// to an existing job and returned that instead of admitting a new
+    /// one (HTTP 200 rather than 202).
+    pub deduplicated: bool,
 }
 
 /// A blocking client bound to one server address.
@@ -167,7 +289,51 @@ impl Client {
                 .to_owned(),
             n: field("n")? as usize,
             m: field("m")? as usize,
+            deduplicated: doc
+                .get("deduplicated")
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
         })
+    }
+
+    /// [`Client::submit`] under a [`RetryPolicy`]: transient failures
+    /// (connection loss, 429, 503) are retried with backoff, anything
+    /// else returns immediately. `notify` fires before each sleep so the
+    /// caller can surface progress ("server busy, retrying in 2s…").
+    ///
+    /// A retried `POST` is only crash-safe when the submission carries an
+    /// [`JobSubmission::idempotency_key`]: without one, a request the
+    /// server accepted but never answered (connection cut mid-response)
+    /// would be duplicated by the retry.
+    pub fn submit_with_retry(
+        &self,
+        submission: &JobSubmission,
+        policy: &RetryPolicy,
+        mut notify: impl FnMut(&RetryNotice),
+    ) -> Result<Submitted, ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            match self.submit(submission) {
+                Ok(submitted) => return Ok(submitted),
+                Err(error) => {
+                    attempt += 1;
+                    let Some(reason) = retry_reason(&error) else {
+                        return Err(error);
+                    };
+                    if attempt >= policy.max_attempts {
+                        return Err(error);
+                    }
+                    let delay = policy.delay(attempt, retry_hint(&error));
+                    notify(&RetryNotice {
+                        attempt,
+                        max_attempts: policy.max_attempts,
+                        delay,
+                        reason,
+                    });
+                    std::thread::sleep(delay);
+                }
+            }
+        }
     }
 
     /// `GET /v1/jobs/{id}/events`: the streamed NDJSON lines, parsed,
@@ -227,6 +393,32 @@ impl Client {
         self.json_exchange("GET", "/healthz", None)
     }
 
+    /// [`Client::events`] that survives dropped connections: on transport
+    /// loss — or a stream that ends before a terminal event, which is
+    /// what a crashing server looks like — the iterator reconnects under
+    /// `policy`, lets the server's replay log re-serve the stream, and
+    /// skips the non-heartbeat lines it already delivered. Callers see
+    /// each event exactly once, in order, across any number of
+    /// reconnects; the retry budget resets whenever a fresh line arrives.
+    pub fn follow_events<F: FnMut(&RetryNotice)>(
+        &self,
+        id: u64,
+        policy: RetryPolicy,
+        notify: F,
+    ) -> FollowedEvents<F> {
+        FollowedEvents {
+            client: self.clone(),
+            id,
+            policy,
+            notify,
+            stream: None,
+            delivered: 0,
+            skip: 0,
+            attempts: 0,
+            finished: false,
+        }
+    }
+
     /// Block until the job is done and return its status document (poll +
     /// event-follow free: this just streams events to completion, then
     /// fetches the final status).
@@ -259,5 +451,182 @@ impl Iterator for EventStream {
             Err(e) => return Some(Err(e.into())),
         };
         Some(Json::parse(&line).map_err(|e| ClientError::Malformed(format!("{e} in {line:?}"))))
+    }
+}
+
+/// A reconnecting [`EventStream`] (see [`Client::follow_events`]).
+///
+/// Terminal events (`finished`, `failed`) end the iteration; a stream
+/// that dies before one triggers a reconnect under the policy, with
+/// already-delivered non-heartbeat lines skipped out of the server's
+/// replay. Heartbeats are passed through live but never counted — they
+/// are stream padding, not replayable history.
+pub struct FollowedEvents<F> {
+    client: Client,
+    id: u64,
+    policy: RetryPolicy,
+    notify: F,
+    stream: Option<EventStream>,
+    /// Non-heartbeat lines handed to the caller so far.
+    delivered: usize,
+    /// Replayed lines still to swallow after a reconnect.
+    skip: usize,
+    /// Consecutive failed attempts (reset by any fresh line).
+    attempts: u32,
+    finished: bool,
+}
+
+impl<F: FnMut(&RetryNotice)> FollowedEvents<F> {
+    /// Back off before the next reconnect, or give up by returning the
+    /// error that exhausted the budget (non-retryable errors short out).
+    fn backoff_or_fail(&mut self, error: ClientError) -> Option<Result<Json, ClientError>> {
+        self.attempts += 1;
+        let Some(reason) = retry_reason(&error) else {
+            self.finished = true;
+            return Some(Err(error));
+        };
+        if self.attempts >= self.policy.max_attempts {
+            self.finished = true;
+            return Some(Err(error));
+        }
+        let delay = self.policy.delay(self.attempts, retry_hint(&error));
+        (self.notify)(&RetryNotice {
+            attempt: self.attempts,
+            max_attempts: self.policy.max_attempts,
+            delay,
+            reason,
+        });
+        std::thread::sleep(delay);
+        None
+    }
+}
+
+impl<F: FnMut(&RetryNotice)> Iterator for FollowedEvents<F> {
+    type Item = Result<Json, ClientError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if self.finished {
+                return None;
+            }
+            if self.stream.is_none() {
+                match self.client.events(self.id) {
+                    Ok(stream) => {
+                        self.stream = Some(stream);
+                        self.skip = self.delivered;
+                    }
+                    Err(error) => {
+                        if let Some(item) = self.backoff_or_fail(error) {
+                            return Some(item);
+                        }
+                        continue;
+                    }
+                }
+            }
+            match self.stream.as_mut().expect("stream just ensured").next() {
+                Some(Ok(event)) => {
+                    let kind = event.get("event").and_then(Json::as_str).unwrap_or("");
+                    if kind == "heartbeat" {
+                        // Live padding; replay does not re-serve it, so
+                        // it neither counts nor skips. During a replay
+                        // catch-up it would predate our position — drop.
+                        if self.skip > 0 {
+                            continue;
+                        }
+                        return Some(Ok(event));
+                    }
+                    if self.skip > 0 {
+                        self.skip -= 1;
+                        continue;
+                    }
+                    self.delivered += 1;
+                    self.attempts = 0;
+                    if kind == "finished" || kind == "failed" {
+                        self.finished = true;
+                    }
+                    return Some(Ok(event));
+                }
+                Some(Err(error @ ClientError::Malformed(_))) => {
+                    // A line that failed to parse is a protocol bug, not
+                    // connection loss; reconnecting would replay it.
+                    self.finished = true;
+                    return Some(Err(error));
+                }
+                Some(Err(error)) => {
+                    self.stream = None;
+                    if let Some(item) = self.backoff_or_fail(error) {
+                        return Some(item);
+                    }
+                }
+                None => {
+                    // Clean close without a terminal event: the server
+                    // went away mid-job. Reconnect; after a restart the
+                    // replay log (or the re-run) continues the story.
+                    self.stream = None;
+                    let error = ClientError::Transport(HttpError::Io(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "event stream ended before the job finished",
+                    )));
+                    if let Some(item) = self.backoff_or_fail(error) {
+                        return Some(item);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_delay_is_deterministic_and_bounded() {
+        let policy = RetryPolicy::default();
+        for attempt in 1..=8 {
+            let a = policy.delay(attempt, None);
+            let b = policy.delay(attempt, None);
+            assert_eq!(a, b, "jitter must be deterministic");
+            let window = policy
+                .base_delay
+                .saturating_mul(1 << (attempt - 1).min(16))
+                .min(policy.max_delay);
+            assert!(a >= window / 2, "delay {a:?} below half-window {window:?}");
+            assert!(a <= window, "delay {a:?} above window {window:?}");
+        }
+    }
+
+    #[test]
+    fn retry_delay_honors_server_hint() {
+        let policy = RetryPolicy::default();
+        assert_eq!(policy.delay(1, Some(3)), Duration::from_secs(3));
+        // Hints are clamped to the cap; zero hints round up to a second.
+        assert_eq!(policy.delay(1, Some(3600)), policy.max_delay);
+        assert_eq!(policy.delay(1, Some(0)), Duration::from_secs(1));
+    }
+
+    #[test]
+    fn retry_classification() {
+        let io = ClientError::Transport(HttpError::Io(std::io::Error::new(
+            std::io::ErrorKind::ConnectionRefused,
+            "refused",
+        )));
+        assert_eq!(retry_reason(&io), Some("server unreachable"));
+        for status in [429u16, 503] {
+            let e = ClientError::Status {
+                status,
+                body: String::new(),
+                retry_after_secs: Some(2),
+            };
+            assert_eq!(retry_reason(&e), Some("server busy"));
+            assert_eq!(retry_hint(&e), Some(2));
+        }
+        let bad = ClientError::Status {
+            status: 400,
+            body: String::new(),
+            retry_after_secs: None,
+        };
+        assert_eq!(retry_reason(&bad), None);
+        assert_eq!(retry_reason(&ClientError::Malformed("x".into())), None);
     }
 }

@@ -1,0 +1,129 @@
+//! Fault injection for crash-safety testing (DESIGN.md §12.5).
+//!
+//! A [`FaultPlan`] is a set of switchable failure hooks compiled into the
+//! journal writer and the server's accept loop. In production every hook
+//! is off and each check is one relaxed atomic load; the recovery tests
+//! (`tests/recovery_api.rs`) and the CI crash smoke turn individual hooks
+//! on to manufacture the failures a real deployment only sees rarely:
+//!
+//! * **torn terminal line** — the journal writer emits only a prefix of a
+//!   job's terminal record and stops, simulating a crash mid-`write(2)`
+//!   (the torn-tail case the CRC framing exists to detect);
+//! * **fsync error** — the first fsync attempt reports failure, driving
+//!   the degraded-mode path (journal off, server stays up, `/healthz`
+//!   flips to `"degraded"`);
+//! * **dropped connections** — the accept loop closes every *k*-th
+//!   connection without reading it, exercising the client's retry and
+//!   event-stream-reconnect paths against connection loss.
+//!
+//! In-process tests construct plans programmatically and hand them to
+//! [`ServerConfig`](crate::server::ServerConfig); external processes (the
+//! CI smoke driving the real `rawt serve` binary) switch the same hooks
+//! through the `RAWT_FAULTS` environment variable, a comma-separated list
+//! of `torn-terminal`, `fsync-error`, and `drop-accept=K` tokens. SIGKILL
+//! needs no hook — it is delivered for real, from outside.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Switchable failure hooks for the journal writer and the accept loop.
+/// The default plan has every fault off; see the module docs for what
+/// each hook simulates.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    /// Tear the next terminal journal record: write only half its bytes,
+    /// skip the fsync, and disable the writer (as a crash would).
+    pub torn_terminal: bool,
+    /// Make the first fsync attempt fail, triggering degraded mode.
+    pub fsync_error: bool,
+    /// Drop (close unanswered) every `k`-th accepted connection, `0` = off.
+    pub drop_accept_every: u32,
+    /// Counter behind [`FaultPlan::should_drop_accept`].
+    accepted: AtomicU32,
+}
+
+impl FaultPlan {
+    /// A plan with every fault off (what [`Default`] also returns).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Arm the torn-terminal-record hook (chainable).
+    pub fn with_torn_terminal(mut self) -> Self {
+        self.torn_terminal = true;
+        self
+    }
+
+    /// Arm the failing-fsync hook (chainable).
+    pub fn with_fsync_error(mut self) -> Self {
+        self.fsync_error = true;
+        self
+    }
+
+    /// Arm the dropped-connection hook for every `k`-th accept (chainable).
+    pub fn with_drop_accept(mut self, k: u32) -> Self {
+        self.drop_accept_every = k;
+        self
+    }
+
+    /// Parse the `RAWT_FAULTS` environment variable: a comma-separated
+    /// list of `torn-terminal`, `fsync-error`, `drop-accept=K`. Unknown
+    /// tokens are ignored (a fault harness must never take the server
+    /// down by itself); an unset or empty variable yields the off plan.
+    pub fn from_env() -> Self {
+        let mut plan = FaultPlan::default();
+        let Ok(spec) = std::env::var("RAWT_FAULTS") else {
+            return plan;
+        };
+        for token in spec.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+            match token.split_once('=') {
+                None if token == "torn-terminal" => plan.torn_terminal = true,
+                None if token == "fsync-error" => plan.fsync_error = true,
+                Some(("drop-accept", k)) => {
+                    plan.drop_accept_every = k.parse().unwrap_or(0);
+                }
+                _ => {}
+            }
+        }
+        plan
+    }
+
+    /// Whether any hook is armed (used to log a loud warning on startup —
+    /// a fault plan in production would be an accident).
+    pub fn any(&self) -> bool {
+        self.torn_terminal || self.fsync_error || self.drop_accept_every > 0
+    }
+
+    /// Accept-loop hook: count this connection and say whether to drop it
+    /// (every `drop_accept_every`-th one; never when the hook is off).
+    pub fn should_drop_accept(&self) -> bool {
+        if self.drop_accept_every == 0 {
+            return false;
+        }
+        let n = self.accepted.fetch_add(1, Ordering::Relaxed) + 1;
+        n.is_multiple_of(self.drop_accept_every)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_plan_never_fires() {
+        let plan = FaultPlan::none();
+        assert!(!plan.any());
+        for _ in 0..100 {
+            assert!(!plan.should_drop_accept());
+        }
+    }
+
+    #[test]
+    fn drop_accept_fires_every_kth() {
+        let plan = FaultPlan {
+            drop_accept_every: 3,
+            ..FaultPlan::default()
+        };
+        let pattern: Vec<bool> = (0..6).map(|_| plan.should_drop_accept()).collect();
+        assert_eq!(pattern, vec![false, false, true, false, false, true]);
+    }
+}

@@ -273,7 +273,15 @@ impl ClientResponse {
     pub fn read(stream: TcpStream) -> Result<Self, HttpError> {
         let mut reader = BufReader::new(stream);
         let mut line = String::new();
-        reader.read_line(&mut line)?;
+        if reader.read_line(&mut line)? == 0 {
+            // The server closed without answering (crash, drop-accept
+            // fault). An I/O error, not a protocol one: this is the
+            // retryable "connection dropped" case for the client.
+            return Err(HttpError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed before a response arrived",
+            )));
+        }
         let mut parts = line.split_whitespace();
         let version = parts
             .next()

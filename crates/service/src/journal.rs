@@ -1,0 +1,633 @@
+//! Durable job journal: an append-only, CRC-framed NDJSON log per job,
+//! replayed on startup for crash recovery (DESIGN.md §12).
+//!
+//! Every accepted job gets one file per *segment* (`job-<id>-s<seg>.ndjson`)
+//! holding, in order:
+//!
+//! 1. a **submission record** — `{"rec":"submit","id":…,"segment":…,
+//!    "submission":{…}}` carrying the full resolved [`JobSubmission`]
+//!    (algorithm spec filled in even when guidance picked it, idempotency
+//!    key included) plus the assigned job id;
+//! 2. the job's **event lines**, byte-for-byte the
+//!    [`event_json`](crate::proto::event_json) NDJSON the server streams
+//!    to subscribers (heartbeats are streamed-only and never journaled);
+//! 3. a **terminal record** — `{"rec":"done","outcome":…,"report":…}`
+//!    with the final report's exact serialization (spliced back out on
+//!    replay, so a restarted server serves byte-identical reports).
+//!
+//! Each line is framed as `crc32hex8 SP json LF`. On replay, a segment is
+//! read up to the first line whose CRC or JSON fails to check — a torn
+//! tail (the half-written line of a crash mid-`write`) or mid-file
+//! corruption silently truncates the segment rather than poisoning it.
+//! A job whose chosen segment ends without a terminal record is
+//! *unfinished*: the server re-admits it from the journaled submission
+//! (every algorithm is bit-identical for a fixed (spec, seed), so the
+//! re-run provably converges to the same report) and records the re-run
+//! into the next segment number, leaving the truncated segment in place
+//! as evidence. A job with a terminal record is served as finished —
+//! status, report, and event replay all survive the restart.
+//!
+//! Durability is configurable via [`FsyncPolicy`]; write failures never
+//! take the server down — they flip a shared degraded flag (surfaced as
+//! `/healthz` `"status":"degraded"`) and the server continues in-memory,
+//! exactly as it ran before journalling existed.
+
+use crate::fault::FaultPlan;
+use crate::json::Json;
+use crate::proto::JobSubmission;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// When the journal calls fsync.
+///
+/// The journal is an *append-only redo log*: losing its tail can only
+/// turn a finished job back into an unfinished one, which recovery then
+/// re-runs to the same answer. That makes relaxed policies safe in a way
+/// they would not be for a general database log — the trade is restart
+/// work, not correctness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsyncPolicy {
+    /// fsync after every record — maximal durability, one `fdatasync`
+    /// per incumbent.
+    Always,
+    /// fsync at milestones only (the submission and terminal records):
+    /// a crash can lose intermediate incumbents but never an accepted
+    /// job or a completed report that the fsync returned for. The
+    /// default.
+    #[default]
+    Milestones,
+    /// Never fsync — leave flushing to the OS. Cheapest; a crash may
+    /// lose recently finished work (it is re-run on restart).
+    Never,
+}
+
+impl std::fmt::Display for FsyncPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FsyncPolicy::Always => "always",
+            FsyncPolicy::Milestones => "milestones",
+            FsyncPolicy::Never => "never",
+        })
+    }
+}
+
+impl std::str::FromStr for FsyncPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "always" => Ok(FsyncPolicy::Always),
+            "milestones" => Ok(FsyncPolicy::Milestones),
+            "never" => Ok(FsyncPolicy::Never),
+            other => Err(format!(
+                "unknown fsync policy {other:?} (use always|milestones|never)"
+            )),
+        }
+    }
+}
+
+/// CRC-32 (IEEE, the zlib polynomial) over the JSON payload of each
+/// journal line — torn-tail detection, not cryptography.
+fn crc32(bytes: &[u8]) -> u32 {
+    const fn table() -> [u32; 256] {
+        let mut t = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            t[i] = c;
+            i += 1;
+        }
+        t
+    }
+    static TABLE: [u32; 256] = table();
+    let mut c = !0u32;
+    for &b in bytes {
+        c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// Frame one JSON document as a journal line: `crc32hex8 SP json LF`.
+/// Public so tests and benches can fabricate journals byte-exactly.
+pub fn frame_line(json: &str) -> String {
+    format!("{:08x} {json}\n", crc32(json.as_bytes()))
+}
+
+/// Unframe one journal line: verify the CRC and return the JSON payload.
+/// `None` for anything torn, truncated, or corrupted.
+fn unframe_line(line: &str) -> Option<&str> {
+    let (crc_hex, json) = line.split_once(' ')?;
+    if crc_hex.len() != 8 {
+        return None;
+    }
+    let crc = u32::from_str_radix(crc_hex, 16).ok()?;
+    (crc == crc32(json.as_bytes())).then_some(json)
+}
+
+/// The journal file for `id`'s segment `segment`.
+fn segment_file_name(id: u64, segment: u32) -> String {
+    format!("job-{id}-s{segment}.ndjson")
+}
+
+/// Parse a `job-<id>-s<seg>.ndjson` file name back to `(id, segment)`.
+fn parse_file_name(name: &str) -> Option<(u64, u32)> {
+    let rest = name.strip_prefix("job-")?.strip_suffix(".ndjson")?;
+    let (id, seg) = rest.split_once("-s")?;
+    Some((id.parse().ok()?, seg.parse().ok()?))
+}
+
+/// A journal directory: the factory for per-job writers and the replay
+/// reader. Cloneable and cheap to share (the degraded flag and fault
+/// plan are `Arc`s).
+#[derive(Debug, Clone)]
+pub struct Journal {
+    dir: PathBuf,
+    fsync: FsyncPolicy,
+    faults: Arc<FaultPlan>,
+    degraded: Arc<AtomicBool>,
+}
+
+/// One job recovered from the journal on startup.
+#[derive(Debug, Clone)]
+pub struct RecoveredJob {
+    /// The job id assigned before the restart (preserved across it).
+    pub id: u64,
+    /// The segment the recovery was read from; a re-run writes
+    /// `segment + 1`.
+    pub segment: u32,
+    /// The resolved submission as journaled (spec, seed, budget,
+    /// normalization, idempotency key).
+    pub submission: JobSubmission,
+    /// The replayable event lines recorded before the crash.
+    pub events: Vec<String>,
+    /// The terminal record, when the job completed before the restart;
+    /// `None` means the job was interrupted and must be re-run.
+    pub finished: Option<FinishedJob>,
+}
+
+/// The terminal record of a recovered finished job.
+#[derive(Debug, Clone)]
+pub struct FinishedJob {
+    /// The outcome's display form (`optimal`, `heuristic`, …).
+    pub outcome: String,
+    /// The final report, byte-for-byte as originally serialized
+    /// (`None` for jobs that failed without one).
+    pub report_json: Option<String>,
+}
+
+/// Everything a startup replay learned, plus counters for observability
+/// (the bench's recovery section reports replay throughput from
+/// `lines_read`).
+#[derive(Debug, Clone, Default)]
+pub struct Replay {
+    /// Recovered jobs in ascending id order (the deterministic
+    /// re-admission order).
+    pub jobs: Vec<RecoveredJob>,
+    /// Total journal lines read (valid or not) across all segments.
+    pub lines_read: usize,
+    /// Lines dropped by CRC/JSON validation (torn tails, corruption).
+    pub dropped_lines: usize,
+    /// Segment files that yielded no usable submission record (empty,
+    /// fully corrupt, or foreign files matching the name pattern).
+    pub corrupt_files: usize,
+}
+
+impl Journal {
+    /// Open (creating if needed) a journal directory with the given
+    /// fsync policy, no fault hooks, and a fresh degraded flag.
+    pub fn open(dir: impl Into<PathBuf>, fsync: FsyncPolicy) -> io::Result<Journal> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(Journal {
+            dir,
+            fsync,
+            faults: Arc::new(FaultPlan::none()),
+            degraded: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// Attach a fault plan (testing; see [`FaultPlan`]).
+    pub fn with_faults(mut self, faults: Arc<FaultPlan>) -> Journal {
+        self.faults = faults;
+        self
+    }
+
+    /// Share an external degraded flag (the server surfaces it via
+    /// `/healthz`).
+    pub fn with_degraded_flag(mut self, flag: Arc<AtomicBool>) -> Journal {
+        self.degraded = flag;
+        self
+    }
+
+    /// The journal directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Whether a write or fsync failure has degraded the journal (all
+    /// writers are no-ops from then on; the server continues in-memory).
+    pub fn degraded(&self) -> bool {
+        self.degraded.load(Ordering::SeqCst)
+    }
+
+    /// Start journalling one job: create its segment file and write the
+    /// submission record. Returns `None` when the journal is degraded or
+    /// the file cannot be created (which degrades it) — the job then
+    /// runs unjournaled, exactly as before durability existed.
+    pub fn begin_job(&self, id: u64, segment: u32, submission_json: &str) -> Option<JournalWriter> {
+        if self.degraded() {
+            return None;
+        }
+        let path = self.dir.join(segment_file_name(id, segment));
+        let file = match OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)
+        {
+            Ok(file) => file,
+            Err(e) => {
+                self.degrade(&format!("create {}: {e}", path.display()));
+                return None;
+            }
+        };
+        let mut writer = JournalWriter {
+            file: Some(file),
+            path,
+            fsync: self.fsync,
+            faults: Arc::clone(&self.faults),
+            degraded: Arc::clone(&self.degraded),
+        };
+        let record =
+            format!("{{\"rec\":\"submit\",\"id\":{id},\"segment\":{segment},\"submission\":{submission_json}}}");
+        writer.append(&record, true);
+        Some(writer)
+    }
+
+    /// Delete every segment of `id` (called when the server evicts a
+    /// finished job past its retention bound, so the on-disk set stays
+    /// as bounded as the in-memory table).
+    pub fn remove_job(&self, id: u64) {
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            if let Some((file_id, _)) = name.to_str().and_then(parse_file_name) {
+                if file_id == id {
+                    let _ = fs::remove_file(entry.path());
+                }
+            }
+        }
+    }
+
+    fn degrade(&self, why: &str) {
+        if !self.degraded.swap(true, Ordering::SeqCst) {
+            eprintln!("rawt: journal degraded ({why}); continuing in-memory");
+        }
+    }
+
+    /// Replay the directory: group segments by job id, pick each job's
+    /// highest segment holding a valid submission record, and read it up
+    /// to the first torn or corrupt line. Never panics on corruption —
+    /// bad lines and unusable files are counted, not fatal. Only a
+    /// directory-level I/O failure (unreadable dir) is an error.
+    pub fn replay(&self) -> io::Result<Replay> {
+        let mut replay = Replay::default();
+        // Best segment per job id: (segment, submission, events, finished).
+        let mut best: std::collections::HashMap<u64, RecoveredJob> =
+            std::collections::HashMap::new();
+        let mut names: Vec<String> = fs::read_dir(&self.dir)?
+            .flatten()
+            .filter_map(|e| e.file_name().to_str().map(str::to_owned))
+            .filter(|n| parse_file_name(n).is_some())
+            .collect();
+        // Deterministic scan order (read_dir order is filesystem-defined).
+        names.sort();
+        for name in names {
+            let content = match fs::read_to_string(self.dir.join(&name)) {
+                Ok(content) => content,
+                Err(_) => {
+                    replay.corrupt_files += 1;
+                    continue;
+                }
+            };
+            match read_segment(&content, &mut replay) {
+                Some(job) => {
+                    let replace = best
+                        .get(&job.id)
+                        .is_none_or(|current| job.segment > current.segment);
+                    if replace {
+                        best.insert(job.id, job);
+                    }
+                }
+                None => replay.corrupt_files += 1,
+            }
+        }
+        replay.jobs = best.into_values().collect();
+        replay.jobs.sort_by_key(|j| j.id);
+        Ok(replay)
+    }
+}
+
+/// Parse one segment's text. `None` when no valid submission record
+/// leads the file (empty, torn-before-submit, or garbage).
+fn read_segment(content: &str, replay: &mut Replay) -> Option<RecoveredJob> {
+    let mut job: Option<RecoveredJob> = None;
+    let mut lines = content.split('\n').filter(|l| !l.is_empty());
+    while let Some(line) = lines.next() {
+        replay.lines_read += 1;
+        // Torn or corrupt line: drop it and everything after it — the
+        // suffix of an append-only log is untrustworthy past the first
+        // bad frame.
+        let doc = match unframe_line(line).and_then(|json| Json::parse(json).ok()) {
+            Some(doc) => doc,
+            None => {
+                replay.dropped_lines += 1 + lines.count();
+                break;
+            }
+        };
+        let json = unframe_line(line).expect("validated above");
+        let rec = doc.get("rec").and_then(Json::as_str);
+        match job.as_mut() {
+            None => {
+                // The first valid line must be the submission record.
+                if rec != Some("submit") {
+                    return None;
+                }
+                let id = doc.get("id").and_then(Json::as_u64)?;
+                let segment = doc.get("segment").and_then(Json::as_u64).unwrap_or(0) as u32;
+                let submission = doc
+                    .get("submission")
+                    .and_then(|s| JobSubmission::from_json(&s.to_string()).ok())?;
+                job = Some(RecoveredJob {
+                    id,
+                    segment,
+                    submission,
+                    events: Vec::new(),
+                    finished: None,
+                });
+            }
+            Some(current) => match rec {
+                Some("done") => {
+                    let outcome = doc
+                        .get("outcome")
+                        .and_then(Json::as_str)
+                        .unwrap_or("failed")
+                        .to_owned();
+                    // Splice the report out of the *raw* record so a
+                    // restarted server serves the exact original bytes
+                    // (re-serializing the parsed tree would reorder keys
+                    // and reformat floats).
+                    let report_json = match doc.get("report") {
+                        Some(r) if !r.is_null() => json
+                            .find(",\"report\":")
+                            .map(|i| json[i + ",\"report\":".len()..json.len() - 1].to_owned()),
+                        _ => None,
+                    };
+                    current.finished = Some(FinishedJob {
+                        outcome,
+                        report_json,
+                    });
+                    // The terminal record is the last one the writer
+                    // emits; anything after it is ignored.
+                    break;
+                }
+                None if doc.get("event").is_some() => {
+                    current.events.push(json.to_owned());
+                }
+                // Unknown record type from a future version: skip it.
+                _ => {}
+            },
+        }
+    }
+    job
+}
+
+/// The append side of one job's journal segment. Owned by the job's
+/// collector thread; every method is infallible by design — an I/O or
+/// fsync failure degrades the whole journal (shared flag) and turns this
+/// writer into a no-op, never an error the job could trip over.
+#[derive(Debug)]
+pub struct JournalWriter {
+    file: Option<File>,
+    path: PathBuf,
+    fsync: FsyncPolicy,
+    faults: Arc<FaultPlan>,
+    degraded: Arc<AtomicBool>,
+}
+
+impl JournalWriter {
+    /// Append one event line (the exact `event_json` NDJSON the server
+    /// streams; no heartbeats).
+    pub fn append_event(&mut self, line: &str) {
+        self.append(line, false);
+    }
+
+    /// Append the terminal record and close the segment. `report_json`
+    /// is spliced in verbatim so replay can serve the original bytes.
+    pub fn finish(&mut self, outcome: &str, report_json: Option<&str>) {
+        let report = report_json.unwrap_or("null");
+        let record = format!(
+            "{{\"rec\":\"done\",\"outcome\":\"{}\",\"report\":{report}}}",
+            crate::json::escape(outcome)
+        );
+        if self.faults.torn_terminal {
+            // Fault hook: crash mid-write — half the framed bytes land,
+            // no fsync, and the writer is dead. Replay must treat the
+            // torn line as absent and re-run the job.
+            if let Some(file) = self.file.take() {
+                let framed = frame_line(&record);
+                let half = &framed.as_bytes()[..framed.len() / 2];
+                let mut file = file;
+                let _ = file.write_all(half);
+                let _ = file.flush();
+            }
+            return;
+        }
+        self.append(&record, true);
+        self.file = None;
+    }
+
+    /// The segment file this writer appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn append(&mut self, json: &str, milestone: bool) {
+        if self.degraded.load(Ordering::SeqCst) {
+            self.file = None;
+        }
+        let Some(file) = self.file.as_mut() else {
+            return;
+        };
+        if let Err(e) = file.write_all(frame_line(json).as_bytes()) {
+            self.fail(&format!("write: {e}"));
+            return;
+        }
+        let should_sync = match self.fsync {
+            FsyncPolicy::Always => true,
+            FsyncPolicy::Milestones => milestone,
+            FsyncPolicy::Never => false,
+        };
+        if should_sync {
+            if self.faults.fsync_error {
+                self.fail("fsync: injected fault");
+                return;
+            }
+            if let Err(e) = file.sync_data() {
+                self.fail(&format!("fsync: {e}"));
+            }
+        }
+    }
+
+    fn fail(&mut self, why: &str) {
+        self.file = None;
+        if !self.degraded.swap(true, Ordering::SeqCst) {
+            eprintln!(
+                "rawt: journal degraded ({why} on {}); continuing in-memory",
+                self.path.display()
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("rawt-journal-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn crc_framing_roundtrips_and_rejects_flips() {
+        let json = r#"{"event":"incumbent","score":7}"#;
+        let framed = frame_line(json);
+        assert_eq!(unframe_line(framed.trim_end()), Some(json));
+        let flipped = framed.trim_end().replace("score\":7", "score\":8");
+        assert_eq!(unframe_line(&flipped), None, "payload flip must fail CRC");
+        assert_eq!(unframe_line("not a journal line"), None);
+        assert_eq!(unframe_line(""), None);
+    }
+
+    #[test]
+    fn writes_then_replays_one_finished_job() {
+        let dir = temp_dir("roundtrip");
+        let journal = Journal::open(&dir, FsyncPolicy::Always).unwrap();
+        let sub = JobSubmission {
+            algo: Some("Borda".into()),
+            idempotency_key: Some("key-1".into()),
+            ..JobSubmission::new("[{A},{B}]")
+        };
+        let mut w = journal.begin_job(7, 0, &sub.to_json()).unwrap();
+        w.append_event(r#"{"event":"started","spec":"Borda","seed":42}"#);
+        w.append_event(r#"{"event":"incumbent","score":3,"gap":null,"elapsed_secs":0.001000}"#);
+        w.finish("heuristic", Some(r#"{"score":3,"elapsed_secs":0.100000}"#));
+        let replay = journal.replay().unwrap();
+        assert_eq!(replay.jobs.len(), 1);
+        assert_eq!(replay.dropped_lines, 0);
+        let job = &replay.jobs[0];
+        assert_eq!((job.id, job.segment), (7, 0));
+        assert_eq!(job.submission, sub);
+        assert_eq!(job.events.len(), 2);
+        let fin = job.finished.as_ref().expect("terminal record");
+        assert_eq!(fin.outcome, "heuristic");
+        // Byte-exact splice, float formatting preserved.
+        assert_eq!(
+            fin.report_json.as_deref(),
+            Some(r#"{"score":3,"elapsed_secs":0.100000}"#)
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_turns_a_finished_job_back_into_an_unfinished_one() {
+        let dir = temp_dir("torn");
+        let faults = Arc::new(FaultPlan::none().with_torn_terminal());
+        let journal = Journal::open(&dir, FsyncPolicy::Never)
+            .unwrap()
+            .with_faults(faults);
+        let sub = JobSubmission::new("[{A},{B}]");
+        let mut w = journal.begin_job(0, 0, &sub.to_json()).unwrap();
+        w.append_event(r#"{"event":"started","spec":"Borda","seed":42}"#);
+        w.finish("heuristic", Some(r#"{"score":3}"#));
+        // A torn write is a crash, not an I/O error: not degraded.
+        assert!(!journal.degraded());
+        let replay = Journal::open(&dir, FsyncPolicy::Never)
+            .unwrap()
+            .replay()
+            .unwrap();
+        assert_eq!(replay.jobs.len(), 1);
+        assert!(replay.jobs[0].finished.is_none(), "torn terminal dropped");
+        assert_eq!(replay.jobs[0].events.len(), 1);
+        assert_eq!(replay.dropped_lines, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fsync_fault_degrades_instead_of_erroring() {
+        let dir = temp_dir("fsync");
+        let faults = Arc::new(FaultPlan::none().with_fsync_error());
+        let journal = Journal::open(&dir, FsyncPolicy::Always)
+            .unwrap()
+            .with_faults(faults);
+        let sub = JobSubmission::new("[{A},{B}]");
+        // The submission record is a milestone: its fsync fails, the
+        // journal degrades, and later begin_job calls return None.
+        let w = journal.begin_job(0, 0, &sub.to_json());
+        assert!(w.is_some(), "the writer itself is created before the sync");
+        assert!(journal.degraded());
+        assert!(journal.begin_job(1, 0, &sub.to_json()).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn highest_valid_segment_wins() {
+        let dir = temp_dir("segments");
+        let journal = Journal::open(&dir, FsyncPolicy::Never).unwrap();
+        let sub = JobSubmission::new("[{A},{B}]");
+        // s0: interrupted (no terminal). s1: the re-run, finished.
+        let mut w0 = journal.begin_job(3, 0, &sub.to_json()).unwrap();
+        w0.append_event(r#"{"event":"started","spec":"Borda","seed":42}"#);
+        drop(w0);
+        let mut w1 = journal.begin_job(3, 1, &sub.to_json()).unwrap();
+        w1.append_event(r#"{"event":"started","spec":"Borda","seed":42}"#);
+        w1.finish("heuristic", Some(r#"{"score":3}"#));
+        let replay = journal.replay().unwrap();
+        assert_eq!(replay.jobs.len(), 1);
+        assert_eq!(replay.jobs[0].segment, 1);
+        assert!(replay.jobs[0].finished.is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn remove_job_deletes_every_segment() {
+        let dir = temp_dir("remove");
+        let journal = Journal::open(&dir, FsyncPolicy::Never).unwrap();
+        let sub = JobSubmission::new("[{A},{B}]");
+        drop(journal.begin_job(5, 0, &sub.to_json()).unwrap());
+        drop(journal.begin_job(5, 1, &sub.to_json()).unwrap());
+        drop(journal.begin_job(6, 0, &sub.to_json()).unwrap());
+        journal.remove_job(5);
+        let replay = journal.replay().unwrap();
+        assert_eq!(replay.jobs.len(), 1);
+        assert_eq!(replay.jobs[0].id, 6);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -60,12 +60,16 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod fault;
 pub mod http;
+pub mod journal;
 pub mod json;
 pub mod proto;
 pub mod server;
 
-pub use client::{Client, ClientError, Submitted};
+pub use client::{Client, ClientError, RetryPolicy, Submitted};
+pub use fault::FaultPlan;
+pub use journal::{FsyncPolicy, Journal};
 pub use json::Json;
 pub use proto::JobSubmission;
 pub use server::{Server, ServerConfig, ShutdownHandle};

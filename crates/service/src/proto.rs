@@ -183,6 +183,12 @@ pub struct JobSubmission {
     pub budget: Option<Duration>,
     /// Normalization policy (default unification, §5.1).
     pub normalize: Normalization,
+    /// Client-supplied idempotency key: two `POST /v1/jobs` carrying the
+    /// same key address the same job — the second returns the first's
+    /// identity instead of creating a duplicate. The key survives in the
+    /// job's journal record, so a retry after a server crash+restart
+    /// still deduplicates (DESIGN.md §12.4).
+    pub idempotency_key: Option<String>,
 }
 
 /// Rejection of a submission body, with an optional "did you mean"-style
@@ -196,7 +202,8 @@ pub struct SubmissionError {
 }
 
 impl SubmissionError {
-    fn new(message: impl Into<String>) -> Self {
+    /// A rejection with no suggestion attached.
+    pub fn new(message: impl Into<String>) -> Self {
         SubmissionError {
             message: message.into(),
             suggestion: None,
@@ -224,6 +231,7 @@ impl JobSubmission {
             seed: 42,
             budget: None,
             normalize: Normalization::Unification,
+            idempotency_key: None,
         }
     }
 
@@ -293,12 +301,28 @@ impl JobSubmission {
                 })?
             }
         };
+        let idempotency_key = match doc.get("idempotency_key") {
+            None => None,
+            Some(v) if v.is_null() => None,
+            Some(v) => {
+                let key = v
+                    .as_str()
+                    .ok_or_else(|| SubmissionError::new("\"idempotency_key\" must be a string"))?;
+                if key.is_empty() || key.len() > 256 {
+                    return Err(SubmissionError::new(
+                        "\"idempotency_key\" must be 1..=256 characters",
+                    ));
+                }
+                Some(key.to_owned())
+            }
+        };
         Ok(JobSubmission {
             dataset,
             algo,
             seed,
             budget,
             normalize,
+            idempotency_key,
         })
     }
 
@@ -311,6 +335,9 @@ impl JobSubmission {
         let _ = write!(out, ",\"seed\":{}", self.seed);
         if let Some(budget) = self.budget {
             let _ = write!(out, ",\"budget_secs\":{}", budget.as_secs_f64());
+        }
+        if let Some(key) = &self.idempotency_key {
+            let _ = write!(out, ",\"idempotency_key\":\"{}\"", escape(key));
         }
         let _ = write!(out, ",\"normalize\":\"{}\"}}", self.normalize);
         out
@@ -329,6 +356,7 @@ mod tests {
             seed: 7,
             budget: Some(Duration::from_millis(1500)),
             normalize: Normalization::Projection,
+            idempotency_key: Some("retry-abc123".to_owned()),
         };
         assert_eq!(JobSubmission::from_json(&sub.to_json()), Ok(sub));
     }
@@ -340,6 +368,7 @@ mod tests {
         assert_eq!(sub.budget, None);
         assert_eq!(sub.normalize, Normalization::Unification);
         assert_eq!(sub.algo, None);
+        assert_eq!(sub.idempotency_key, None);
     }
 
     #[test]
@@ -354,6 +383,8 @@ mod tests {
             (r#"{"dataset":""}"#, "empty"),
             (r#"{"dataset":"[{A}]","normalize":"sideways"}"#, "unknown"),
             (r#"{"dataset":"[{A}]","seed":-1}"#, "non-negative"),
+            (r#"{"dataset":"[{A}]","idempotency_key":""}"#, "1..=256"),
+            (r#"{"dataset":"[{A}]","idempotency_key":7}"#, "string"),
         ] {
             let err = JobSubmission::from_json(body).expect_err(body);
             assert!(

@@ -25,33 +25,46 @@
 //! concurrent clients (the bench's service section measures exactly
 //! that).
 
+use crate::fault::FaultPlan;
 use crate::http::{self, ChunkedWriter, HttpError, Request};
-use crate::proto::{self, JobSubmission};
+use crate::journal::{FsyncPolicy, Journal, JournalWriter};
+use crate::proto::{self, JobSubmission, SubmissionError};
 use rank_core::engine::{
     AdmissionError, AggregationRequest, AlgoSpec, Engine, Event, SchedulerConfig,
 };
 use rank_core::guidance::{recommend, DatasetFeatures, Priority};
 use rank_core::normalize::Normalized;
 use rank_core::parse::parse_dataset_lines;
-use rank_core::Universe;
+use rank_core::{Dataset, Universe};
 use std::collections::HashMap;
 use std::io::BufReader;
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// How the server is shaped.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Concurrent-job cap (the scheduler's worker-pool width).
     pub max_jobs: usize,
     /// Admission-queue bound; beyond it, submissions get 429.
     pub queue_capacity: usize,
     /// Completed jobs retained for status queries before the oldest are
-    /// evicted.
+    /// evicted (their journal segments are deleted with them).
     pub retain_done: usize,
+    /// Durable job journal directory (DESIGN.md §12). `None` keeps the
+    /// pre-durability in-memory behavior; `Some(dir)` journals every job
+    /// and replays the directory on [`Server::bind`] — finished jobs
+    /// become servable again, interrupted jobs are re-admitted and re-run
+    /// to bit-identical reports.
+    pub journal_dir: Option<PathBuf>,
+    /// When the journal fsyncs (only meaningful with `journal_dir`).
+    pub journal_fsync: FsyncPolicy,
+    /// Fault-injection hooks (testing; all off by default).
+    pub faults: Arc<FaultPlan>,
 }
 
 impl Default for ServerConfig {
@@ -60,6 +73,9 @@ impl Default for ServerConfig {
             max_jobs: rank_core::parallel::num_threads().max(2),
             queue_capacity: rank_core::engine::DEFAULT_QUEUE_CAPACITY,
             retain_done: 256,
+            journal_dir: None,
+            journal_fsync: FsyncPolicy::default(),
+            faults: Arc::new(FaultPlan::none()),
         }
     }
 }
@@ -78,6 +94,8 @@ struct JobRecord {
     norm: Normalized,
     cancel: rank_core::engine::CancelToken,
     sink: Arc<rank_core::engine::IncumbentSink>,
+    /// The submission's idempotency key, so eviction can release it.
+    idempotency: Option<String>,
     state: Mutex<JobProgress>,
     advanced: Condvar,
 }
@@ -118,6 +136,11 @@ struct ServerState {
     started: Instant,
     accepted_total: AtomicU64,
     shutting_down: AtomicBool,
+    /// The durable journal, when `--journal` is configured.
+    journal: Option<Journal>,
+    /// Set by the journal on a write/fsync failure: the server keeps
+    /// running in-memory and `/healthz` reports `"degraded"`.
+    degraded: Arc<AtomicBool>,
     config: ServerConfig,
 }
 
@@ -127,6 +150,9 @@ struct JobTable {
     /// Insertion-ordered so eviction drops the oldest finished job.
     order: Vec<u64>,
     records: HashMap<u64, Arc<JobRecord>>,
+    /// Idempotency key → job id (rebuilt from the journal on recovery,
+    /// so a retried submit after a crash still finds its job).
+    keys: HashMap<String, u64>,
 }
 
 /// The aggregation service over one TCP listener.
@@ -157,6 +183,14 @@ impl ShutdownHandle {
 impl Server {
     /// Bind to `addr` (use port 0 for an ephemeral port; read the actual
     /// one back with [`Server::local_addr`]).
+    ///
+    /// With [`ServerConfig::journal_dir`] set, the directory is replayed
+    /// *before* this returns: journaled finished jobs become servable
+    /// again and interrupted jobs are re-admitted through the scheduler's
+    /// recovered class (ascending id order — deterministic), each
+    /// re-recording into a fresh journal segment. The listener is bound
+    /// first, but no connection is accepted until [`Server::serve`], so a
+    /// returned `Server` is fully recovered and ready.
     pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let engine = Engine::with_scheduler(
@@ -166,17 +200,29 @@ impl Server {
                 queue_capacity: config.queue_capacity,
             },
         );
-        Ok(Server {
-            listener,
-            state: Arc::new(ServerState {
-                engine,
-                jobs: Mutex::new(JobTable::default()),
-                started: Instant::now(),
-                accepted_total: AtomicU64::new(0),
-                shutting_down: AtomicBool::new(false),
-                config,
-            }),
-        })
+        let degraded = Arc::new(AtomicBool::new(false));
+        let journal = match &config.journal_dir {
+            None => None,
+            Some(dir) => Some(
+                Journal::open(dir, config.journal_fsync)?
+                    .with_faults(Arc::clone(&config.faults))
+                    .with_degraded_flag(Arc::clone(&degraded)),
+            ),
+        };
+        let state = Arc::new(ServerState {
+            engine,
+            jobs: Mutex::new(JobTable::default()),
+            started: Instant::now(),
+            accepted_total: AtomicU64::new(0),
+            shutting_down: AtomicBool::new(false),
+            journal,
+            degraded,
+            config,
+        });
+        if state.journal.is_some() {
+            recover(&state)?;
+        }
+        Ok(Server { listener, state })
     }
 
     /// The bound address.
@@ -205,6 +251,13 @@ impl Server {
                 Ok(stream) => stream,
                 Err(_) => continue,
             };
+            if self.state.config.faults.should_drop_accept() {
+                // Fault hook: simulate flaky networking by closing the
+                // connection unanswered (drives the client's retry and
+                // reconnect paths in the recovery tests).
+                drop(stream);
+                continue;
+            }
             let state = Arc::clone(&self.state);
             let _ = std::thread::Builder::new()
                 .name("rank-conn".to_owned())
@@ -303,12 +356,20 @@ fn route(stream: &mut TcpStream, request: &Request, state: &Arc<ServerState>) {
 
 fn healthz(stream: &mut TcpStream, state: &Arc<ServerState>) {
     let stats = state.engine.scheduler_stats();
+    let degraded = state.degraded.load(Ordering::SeqCst);
+    let journal = match (&state.journal, degraded) {
+        (None, _) => "off",
+        (Some(_), true) => "degraded",
+        (Some(_), false) => "active",
+    };
     let body = format!(
         concat!(
-            "{{\"status\":\"ok\",\"uptime_secs\":{:.1},\"jobs_accepted\":{},",
-            "\"jobs_queued\":{},\"jobs_running\":{},",
+            "{{\"status\":\"{}\",\"journal\":\"{}\",\"uptime_secs\":{:.1},",
+            "\"jobs_accepted\":{},\"jobs_queued\":{},\"jobs_running\":{},",
             "\"max_jobs\":{},\"queue_capacity\":{}}}"
         ),
+        if degraded { "degraded" } else { "ok" },
+        journal,
         state.started.elapsed().as_secs_f64(),
         state.accepted_total.load(Ordering::Relaxed),
         stats.queued,
@@ -319,7 +380,103 @@ fn healthz(stream: &mut TcpStream, state: &Arc<ServerState>) {
     respond_json(stream, 200, &body);
 }
 
-/// `POST /v1/jobs`: parse, validate, normalize, admit, record.
+/// A submission after parsing and validation: everything needed to build
+/// the engine request and the job record. One code path produces this for
+/// both live `POST /v1/jobs` bodies and journaled submissions replayed on
+/// recovery, so a re-admitted job is prepared exactly like the original.
+struct Prepared {
+    universe: Universe,
+    norm: Normalized,
+    data: Arc<Dataset>,
+    spec: AlgoSpec,
+}
+
+/// Dataset text → raw rankings → normalized dense dataset → resolved
+/// spec. Parse and structural errors are typed ([`SubmissionError`], HTTP
+/// 400 material), never a panic.
+fn prepare_submission(submission: &JobSubmission) -> Result<Prepared, SubmissionError> {
+    let mut universe = Universe::new();
+    let raw = parse_dataset_lines(&submission.dataset, &mut universe)
+        .map_err(|e| SubmissionError::new(format!("dataset: {e}")))?;
+    if raw.is_empty() {
+        return Err(SubmissionError::new("dataset contains no rankings"));
+    }
+    let norm = submission
+        .normalize
+        .apply(&raw)
+        .ok_or_else(|| SubmissionError::new("normalization produced an empty dataset"))?;
+    // One copy of the dense dataset, shared by the request (Arc) and
+    // readable for the n/m/guidance checks below.
+    let data = Arc::new(norm.dataset.clone());
+    let spec = match &submission.algo {
+        Some(name) => AlgoSpec::parse(name).map_err(|e| SubmissionError {
+            message: e.to_string(),
+            suggestion: e.suggestion.clone(),
+        })?,
+        None => {
+            let rec = recommend(&DatasetFeatures::measure(&data), Priority::Balanced);
+            AlgoSpec::parse(rec.algorithm).expect("guidance names are registered")
+        }
+    };
+    if let Some(cap) = spec.max_n() {
+        if data.n() > cap {
+            return Err(SubmissionError::new(format!(
+                "{spec} handles at most n = {cap} elements; this dataset has {}",
+                data.n()
+            )));
+        }
+    }
+    Ok(Prepared {
+        universe,
+        norm,
+        data,
+        spec,
+    })
+}
+
+/// The engine request for a prepared submission — shared by the live
+/// submit path and recovery re-admission, so both run the identical
+/// (spec, seed, budget) and the recovered report is bit-identical to an
+/// uninterrupted run.
+fn build_request(prepared: &Prepared, submission: &JobSubmission) -> AggregationRequest {
+    let mut request = AggregationRequest::new(Arc::clone(&prepared.data), prepared.spec.clone())
+        .with_seed(submission.seed);
+    if let Some(budget) = submission.budget {
+        request = request.with_budget(budget);
+    }
+    request
+}
+
+/// The submission as journaled: the original body with the *resolved*
+/// algorithm spec filled in, so recovery re-runs exactly what ran — even
+/// when guidance picked the algorithm (guidance is deterministic, but
+/// pinning the pick in the record makes the journal self-contained).
+fn journaled_submission_json(submission: &JobSubmission, spec: &AlgoSpec) -> String {
+    let mut resolved = submission.clone();
+    resolved.algo = Some(spec.to_string());
+    resolved.to_json()
+}
+
+/// The `POST /v1/jobs` response body (also returned, with
+/// `"deduplicated":true` and status 200, for an idempotent retry).
+fn submit_body(record: &JobRecord, deduplicated: bool) -> String {
+    format!(
+        concat!(
+            "{{\"id\":{},\"spec\":\"{}\",\"seed\":{},\"n\":{},\"m\":{},",
+            "\"deduplicated\":{},\"events\":\"/v1/jobs/{}/events\",\"status\":\"/v1/jobs/{}\"}}"
+        ),
+        record.id,
+        crate::json::escape(&record.spec.to_string()),
+        record.seed,
+        record.n,
+        record.m,
+        deduplicated,
+        record.id,
+        record.id,
+    )
+}
+
+/// `POST /v1/jobs`: parse, validate, dedupe, admit, journal, record.
 fn submit_job(stream: &mut TcpStream, request: &Request, state: &Arc<ServerState>) {
     if state.shutting_down.load(Ordering::SeqCst) {
         respond_error(stream, 503, "server is draining", None);
@@ -336,60 +493,29 @@ fn submit_job(stream: &mut TcpStream, request: &Request, state: &Arc<ServerState
             return;
         }
     };
-    // Dataset text → raw rankings → normalized dense dataset. Parse and
-    // structural errors are the client's: typed 400s, never a panic.
-    let mut universe = Universe::new();
-    let raw = match parse_dataset_lines(&submission.dataset, &mut universe) {
-        Ok(raw) => raw,
+    // Idempotent retry? Answer with the existing job (recovered ones
+    // included — the key map is rebuilt from the journal on restart)
+    // before spending any parsing or admission work on the body.
+    if let Some(key) = &submission.idempotency_key {
+        let table = state.jobs.lock().expect("job table poisoned");
+        if let Some(record) = table.keys.get(key).and_then(|id| table.records.get(id)) {
+            let body = submit_body(record, true);
+            drop(table);
+            respond_json(stream, 200, &body);
+            return;
+        }
+    }
+    let prepared = match prepare_submission(&submission) {
+        Ok(prepared) => prepared,
         Err(e) => {
-            respond_error(stream, 400, &format!("dataset: {e}"), None);
+            respond_error(stream, 400, &e.message, e.suggestion.as_deref());
             return;
         }
     };
-    if raw.is_empty() {
-        respond_error(stream, 400, "dataset contains no rankings", None);
-        return;
-    }
-    let Some(norm) = submission.normalize.apply(&raw) else {
-        respond_error(stream, 400, "normalization produced an empty dataset", None);
-        return;
-    };
-    // One copy of the dense dataset, shared by the request (Arc) and
-    // readable for the n/m/guidance checks below.
-    let data = std::sync::Arc::new(norm.dataset.clone());
-    let spec = match &submission.algo {
-        Some(name) => match AlgoSpec::parse(name) {
-            Ok(spec) => spec,
-            Err(e) => {
-                respond_error(stream, 400, &e.to_string(), e.suggestion.as_deref());
-                return;
-            }
-        },
-        None => {
-            let rec = recommend(&DatasetFeatures::measure(&data), Priority::Balanced);
-            AlgoSpec::parse(rec.algorithm).expect("guidance names are registered")
-        }
-    };
-    if let Some(cap) = spec.max_n() {
-        if data.n() > cap {
-            respond_error(
-                stream,
-                400,
-                &format!(
-                    "{spec} handles at most n = {cap} elements; this dataset has {}",
-                    data.n()
-                ),
-                None,
-            );
-            return;
-        }
-    }
-    let mut agg_request =
-        AggregationRequest::new(Arc::clone(&data), spec.clone()).with_seed(submission.seed);
-    if let Some(budget) = submission.budget {
-        agg_request = agg_request.with_budget(budget);
-    }
-    let handle = match state.engine.try_submit(agg_request) {
+    let handle = match state
+        .engine
+        .try_submit(build_request(&prepared, &submission))
+    {
         Ok(handle) => handle,
         Err(AdmissionError::QueueFull {
             queued,
@@ -414,58 +540,178 @@ fn submit_job(stream: &mut TcpStream, request: &Request, state: &Arc<ServerState
             return;
         }
     };
-    let record = {
+    let (record, deduplicated) = {
         let mut table = state.jobs.lock().expect("job table poisoned");
-        let id = table.next_id;
-        table.next_id += 1;
-        let record = Arc::new(JobRecord {
-            id,
-            spec,
-            seed: submission.seed,
-            n: data.n(),
-            m: data.m(),
-            normalize: submission.normalize,
-            universe,
-            norm,
-            cancel: handle.cancel_token(),
-            sink: Arc::clone(handle.sink()),
-            state: Mutex::new(JobProgress::default()),
-            advanced: Condvar::new(),
-        });
-        table.order.push(id);
-        table.records.insert(id, Arc::clone(&record));
-        evict_done(&mut table, state.config.retain_done);
-        record
+        // Re-check the key under the insertion lock: a concurrent twin
+        // may have won the race since the pre-parse check. The loser's
+        // admitted handle is cancelled and dropped — its job resolves at
+        // the first checkpoint, unrecorded.
+        if let Some(existing) = submission
+            .idempotency_key
+            .as_ref()
+            .and_then(|key| table.keys.get(key))
+            .and_then(|id| table.records.get(id))
+        {
+            let existing = Arc::clone(existing);
+            drop(table);
+            handle.cancel();
+            drop(handle);
+            (existing, true)
+        } else {
+            let id = table.next_id;
+            table.next_id += 1;
+            let record = Arc::new(JobRecord {
+                id,
+                spec: prepared.spec,
+                seed: submission.seed,
+                n: prepared.data.n(),
+                m: prepared.data.m(),
+                normalize: submission.normalize,
+                universe: prepared.universe,
+                norm: prepared.norm,
+                cancel: handle.cancel_token(),
+                sink: Arc::clone(handle.sink()),
+                idempotency: submission.idempotency_key.clone(),
+                state: Mutex::new(JobProgress::default()),
+                advanced: Condvar::new(),
+            });
+            table.order.push(id);
+            table.records.insert(id, Arc::clone(&record));
+            if let Some(key) = &submission.idempotency_key {
+                table.keys.insert(key.clone(), id);
+            }
+            evict_done(&mut table, state.config.retain_done, state.journal.as_ref());
+            state.accepted_total.fetch_add(1, Ordering::Relaxed);
+            let writer = state.journal.as_ref().and_then(|journal| {
+                journal.begin_job(id, 0, &journaled_submission_json(&submission, &record.spec))
+            });
+            // The collector owns the handle: it drains the event stream
+            // into the replay log (and the journal) and stores the final
+            // report. It is the only consumer of the raw event channel;
+            // HTTP subscribers read the log.
+            {
+                let record = Arc::clone(&record);
+                let _ = std::thread::Builder::new()
+                    .name(format!("rank-collect-{id}"))
+                    .spawn(move || collect(&record, handle, writer));
+            }
+            (record, false)
+        }
     };
-    state.accepted_total.fetch_add(1, Ordering::Relaxed);
-    // The collector owns the handle: it drains the event stream into the
-    // replay log and stores the final report. It is the only consumer of
-    // the raw event channel; HTTP subscribers read the log.
-    {
-        let record = Arc::clone(&record);
-        let _ = std::thread::Builder::new()
-            .name(format!("rank-collect-{}", record.id))
-            .spawn(move || collect(&record, handle));
+    let status = if deduplicated { 200 } else { 202 };
+    respond_json(stream, status, &submit_body(&record, deduplicated));
+}
+
+/// Replay the journal directory into the job table ([`Server::bind`]):
+/// finished jobs become servable records (status, report, and event
+/// replay intact); interrupted jobs are re-admitted through the
+/// scheduler's recovered class in ascending id order, re-recording into
+/// segment `n+1`. Unreadable or corrupt journal *entries* are skipped
+/// (counted by the replay); only a directory-level I/O failure is fatal.
+fn recover(state: &Arc<ServerState>) -> std::io::Result<()> {
+    let journal = state.journal.as_ref().expect("recover without a journal");
+    let replay = journal.replay()?;
+    let mut recovered_done = 0usize;
+    let mut readmitted = 0usize;
+    let mut table = state.jobs.lock().expect("job table poisoned");
+    for job in replay.jobs {
+        // Fresh ids continue above every journaled one.
+        table.next_id = table.next_id.max(job.id + 1);
+        let prepared = match prepare_submission(&job.submission) {
+            Ok(prepared) => prepared,
+            Err(e) => {
+                eprintln!(
+                    "rawt: journal: dropping unrecoverable job {} ({})",
+                    job.id, e.message
+                );
+                continue;
+            }
+        };
+        let record = if let Some(finished) = job.finished {
+            recovered_done += 1;
+            // Servable as-is: replayable events, outcome, and the exact
+            // original report bytes. The live sink is empty (its trace
+            // died with the old process) — the report carries the full
+            // trace, and `best` reads null like any pre-start job.
+            Arc::new(JobRecord {
+                id: job.id,
+                spec: prepared.spec,
+                seed: job.submission.seed,
+                n: prepared.data.n(),
+                m: prepared.data.m(),
+                normalize: job.submission.normalize,
+                universe: prepared.universe,
+                norm: prepared.norm,
+                cancel: rank_core::engine::CancelToken::new(),
+                sink: Arc::new(rank_core::engine::IncumbentSink::new()),
+                idempotency: job.submission.idempotency_key.clone(),
+                state: Mutex::new(JobProgress {
+                    events: job.events,
+                    started: true,
+                    report_json: finished.report_json,
+                    outcome: Some(finished.outcome),
+                    done: true,
+                }),
+                advanced: Condvar::new(),
+            })
+        } else {
+            readmitted += 1;
+            // Interrupted: deterministically re-run from the journaled
+            // (spec, seed, budget). `submit_recovered` places it ahead
+            // of all fresh traffic, FIFO in this (ascending id) order.
+            let handle = state
+                .engine
+                .submit_recovered(build_request(&prepared, &job.submission));
+            let record = Arc::new(JobRecord {
+                id: job.id,
+                spec: prepared.spec,
+                seed: job.submission.seed,
+                n: prepared.data.n(),
+                m: prepared.data.m(),
+                normalize: job.submission.normalize,
+                universe: prepared.universe,
+                norm: prepared.norm,
+                cancel: handle.cancel_token(),
+                sink: Arc::clone(handle.sink()),
+                idempotency: job.submission.idempotency_key.clone(),
+                state: Mutex::new(JobProgress::default()),
+                advanced: Condvar::new(),
+            });
+            state.accepted_total.fetch_add(1, Ordering::Relaxed);
+            let writer = journal.begin_job(
+                job.id,
+                job.segment + 1,
+                &journaled_submission_json(&job.submission, &record.spec),
+            );
+            {
+                let record = Arc::clone(&record);
+                let _ = std::thread::Builder::new()
+                    .name(format!("rank-collect-{}", job.id))
+                    .spawn(move || collect(&record, handle, writer));
+            }
+            record
+        };
+        table.order.push(job.id);
+        if let Some(key) = &record.idempotency {
+            table.keys.insert(key.clone(), job.id);
+        }
+        table.records.insert(job.id, record);
     }
-    let body = format!(
-        concat!(
-            "{{\"id\":{},\"spec\":\"{}\",\"seed\":{},\"n\":{},\"m\":{},",
-            "\"events\":\"/v1/jobs/{}/events\",\"status\":\"/v1/jobs/{}\"}}"
-        ),
-        record.id,
-        crate::json::escape(&record.spec.to_string()),
-        record.seed,
-        record.n,
-        record.m,
-        record.id,
-        record.id,
-    );
-    respond_json(stream, 202, &body);
+    drop(table);
+    if recovered_done + readmitted > 0 || replay.dropped_lines > 0 {
+        eprintln!(
+            "rawt: journal: recovered {recovered_done} finished + {readmitted} interrupted job(s) ({} lines, {} dropped, {} unusable file(s))",
+            replay.lines_read, replay.dropped_lines, replay.corrupt_files
+        );
+    }
+    Ok(())
 }
 
 /// Drop the oldest *finished* records beyond the retention bound (live
 /// jobs are never evicted — their handles and collectors are running).
-fn evict_done(table: &mut JobTable, retain_done: usize) {
+/// An evicted job releases its idempotency key and journal segments, so
+/// the on-disk recovery set stays as bounded as the in-memory table.
+fn evict_done(table: &mut JobTable, retain_done: usize, journal: Option<&Journal>) {
     let done_ids: Vec<u64> = table
         .order
         .iter()
@@ -482,16 +728,31 @@ fn evict_done(table: &mut JobTable, retain_done: usize) {
     }
     let drop_count = done_ids.len() - retain_done;
     for id in &done_ids[..drop_count] {
-        table.records.remove(id);
+        if let Some(record) = table.records.remove(id) {
+            if let Some(key) = &record.idempotency {
+                table.keys.remove(key);
+            }
+            if let Some(journal) = journal {
+                journal.remove_job(*id);
+            }
+        }
         table.order.retain(|o| o != id);
     }
 }
 
-/// Drain one job's event stream into its replay log, then collect and
-/// serialize the final report.
-fn collect(record: &Arc<JobRecord>, handle: rank_core::engine::JobHandle) {
+/// Drain one job's event stream into its replay log (and journal), then
+/// collect and serialize the final report (closing the journal segment
+/// with a terminal record).
+fn collect(
+    record: &Arc<JobRecord>,
+    handle: rank_core::engine::JobHandle,
+    mut writer: Option<JournalWriter>,
+) {
     for event in handle.events() {
         let line = proto::event_json(&event);
+        if let Some(writer) = writer.as_mut() {
+            writer.append_event(&line);
+        }
         let mut progress = record.state.lock().expect("job state poisoned");
         if matches!(event, Event::Started { .. }) {
             progress.started = true;
@@ -505,15 +766,22 @@ fn collect(record: &Arc<JobRecord>, handle: rank_core::engine::JobHandle) {
     let mut progress = record.state.lock().expect("job state poisoned");
     match report {
         Ok(report) => {
-            progress.outcome = Some(report.outcome.to_string());
-            progress.report_json =
-                Some(proto::report_json(&report, &record.norm, &record.universe));
+            let report_json = proto::report_json(&report, &record.norm, &record.universe);
+            let outcome = report.outcome.to_string();
+            if let Some(writer) = writer.as_mut() {
+                writer.finish(&outcome, Some(&report_json));
+            }
+            progress.outcome = Some(outcome);
+            progress.report_json = Some(report_json);
         }
         Err(_) => {
+            let line = "{\"event\":\"failed\",\"error\":\"internal kernel panic\"}".to_owned();
+            if let Some(writer) = writer.as_mut() {
+                writer.append_event(&line);
+                writer.finish("failed", None);
+            }
             progress.outcome = Some("failed".to_owned());
-            progress
-                .events
-                .push("{\"event\":\"failed\",\"error\":\"internal kernel panic\"}".to_owned());
+            progress.events.push(line);
         }
     }
     progress.done = true;

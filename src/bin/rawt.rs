@@ -19,7 +19,11 @@
 //!     including the outcome and the incumbent time-to-score trace.
 //!     --remote submits the job to a `rawt serve` instance instead of
 //!     running locally — same flags, same report, same rendering
-//!     (bit-identical results for a fixed seed).
+//!     (bit-identical results for a fixed seed). Transient failures (a
+//!     busy 429, a draining 503, a dropped connection) are retried with
+//!     backoff, surfaced on stderr; an idempotency key generated per
+//!     invocation guarantees retries never duplicate the job, even
+//!     across a server crash and restart (DESIGN.md §12.4).
 //!
 //! rawt compare FILE [--seed N] [--budget SECS] [--normalize unify|project]
 //!              [--json]
@@ -33,11 +37,16 @@
 //!     --json emits the same registry dump `GET /v1/algorithms` serves.
 //!
 //! rawt serve [--addr HOST:PORT] [--max-jobs N] [--queue N]
+//!            [--journal DIR] [--journal-fsync always|milestones|never]
 //!     Run the aggregation service (see crates/service): anytime jobs
 //!     over HTTP with streamed NDJSON incumbents, budget-aware
 //!     scheduling, and 429 load shedding. SIGINT drains via cooperative
-//!     cancel. --addr defaults to 127.0.0.1:7878 (port 0 picks an
-//!     ephemeral port, printed on startup).
+//!     cancel; a second SIGINT forces an immediate exit. --addr defaults
+//!     to 127.0.0.1:7878 (port 0 picks an ephemeral port, printed on
+//!     startup). --journal makes jobs durable (DESIGN.md §12): every
+//!     submission and event is logged to DIR, and a restart with the
+//!     same DIR re-serves finished jobs and deterministically re-runs
+//!     interrupted ones.
 //!
 //! rawt similarity FILE [--normalize unify|project]
 //!     The dataset's intrinsic similarity s(R) (§6.2.2) and features.
@@ -54,7 +63,9 @@ use rank_aggregation_with_ties::ragen::{MarkovGen, UniformSampler};
 use rank_aggregation_with_ties::rank_core::engine::{paper_panel, registry, Event};
 use rank_aggregation_with_ties::rank_core::normalize::Normalized;
 use rank_aggregation_with_ties::rank_core::parse::{parse_dataset_lines, parse_ranking_labeled};
-use service::client::Client;
+use service::client::{Client, RetryNotice, RetryPolicy};
+use service::fault::FaultPlan;
+use service::journal::FsyncPolicy;
 use service::json::Json;
 use service::proto::{self, JobSubmission};
 use service::server::{Server, ServerConfig};
@@ -66,22 +77,28 @@ fn die(msg: &str) -> ! {
     exit(2);
 }
 
-/// Cooperative Ctrl-C: the handler only flips an atomic; the `--progress`
-/// event loop observes it and cancels the job through its [`JobHandle`],
-/// so the process still exits through the normal best-so-far path.
+/// Cooperative Ctrl-C: the handler only bumps an atomic counter; the
+/// `--progress` event loop observes it and cancels the job through its
+/// [`JobHandle`], so the process still exits through the normal
+/// best-so-far path. `rawt serve` reads the full count: the first press
+/// drains cooperatively, a second one forces an immediate exit.
 mod sigint {
-    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::atomic::{AtomicU32, Ordering};
 
-    static PRESSED: AtomicBool = AtomicBool::new(false);
+    static PRESSES: AtomicU32 = AtomicU32::new(0);
 
     pub fn pressed() -> bool {
-        PRESSED.load(Ordering::SeqCst)
+        count() > 0
+    }
+
+    pub fn count() -> u32 {
+        PRESSES.load(Ordering::SeqCst)
     }
 
     #[cfg(unix)]
     pub fn install() {
         unsafe extern "C" fn on_sigint(_signum: i32) {
-            PRESSED.store(true, Ordering::SeqCst);
+            PRESSES.fetch_add(1, Ordering::SeqCst);
         }
         extern "C" {
             // libc's signal(2); the previous handler return value is not
@@ -110,6 +127,8 @@ struct Flags {
     addr: String,
     max_jobs: usize,
     queue: usize,
+    journal: Option<String>,
+    journal_fsync: FsyncPolicy,
     n: usize,
     m: usize,
     steps: usize,
@@ -128,6 +147,8 @@ fn parse_flags(args: &[String]) -> Flags {
         addr: "127.0.0.1:7878".to_owned(),
         max_jobs: ServerConfig::default().max_jobs,
         queue: ServerConfig::default().queue_capacity,
+        journal: None,
+        journal_fsync: FsyncPolicy::default(),
         n: 10,
         m: 5,
         steps: 1000,
@@ -175,6 +196,10 @@ fn parse_flags(args: &[String]) -> Flags {
                 if f.queue == 0 {
                     die("--queue must be at least 1");
                 }
+            }
+            "--journal" => f.journal = Some(value(&mut i)),
+            "--journal-fsync" => {
+                f.journal_fsync = value(&mut i).parse().unwrap_or_else(|e: String| die(&e))
             }
             "--n" => f.n = value(&mut i).parse().unwrap_or_else(|_| die("bad --n")),
             "--m" => f.m = value(&mut i).parse().unwrap_or_else(|_| die("bad --m")),
@@ -347,6 +372,27 @@ fn run_with_progress(engine: &Engine, request: AggregationRequest) -> ConsensusR
 
 // --------------------------------------------------------- remote client
 
+/// A fresh idempotency key for this CLI invocation: pid + wall-clock
+/// nanos is unique across concurrent and sequential runs on one machine,
+/// which is the scope a client-generated key needs.
+fn invocation_key() -> String {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_nanos());
+    format!("rawt-{}-{nanos:x}", std::process::id())
+}
+
+/// Surface one client retry on stderr ("server busy, retrying in 2s…").
+fn print_retry(notice: &RetryNotice) {
+    eprintln!(
+        "rawt: {}, retrying in {:.1}s (attempt {}/{})",
+        notice.reason,
+        notice.delay.as_secs_f64(),
+        notice.attempt + 1,
+        notice.max_attempts
+    );
+}
+
 /// `aggregate --remote ADDR`: submit the dataset file to a `rawt serve`
 /// instance, optionally stream its incumbents, and render the final
 /// report exactly like the local path (the engine underneath is the same
@@ -361,10 +407,17 @@ fn cmd_aggregate_remote(f: &Flags, path: &str, addr: &str) {
         seed: f.seed,
         budget: f.budget,
         normalize: f.normalize,
+        // One key per invocation: retries of this submission (below, or
+        // by a wrapper re-running the CLI against the same key) can
+        // never duplicate the job, even across a server crash.
+        idempotency_key: Some(invocation_key()),
     };
     let job = client
-        .submit(&submission)
+        .submit_with_retry(&submission, &RetryPolicy::default(), print_retry)
         .unwrap_or_else(|e| die(&format!("submit to {addr}: {e}")));
+    if job.deduplicated {
+        eprintln!("rawt: job {} already submitted — reattaching", job.id);
+    }
     let status = if f.progress {
         stream_remote_progress(&client, job.id);
         client
@@ -479,9 +532,10 @@ fn stream_remote_progress(client: &Client, id: u64) {
             }
         })
     };
-    let events = client
-        .events(id)
-        .unwrap_or_else(|e| die(&format!("streaming job {id}: {e}")));
+    // The reconnecting follower: a dropped connection (or a server
+    // restart — the journal replay re-serves the history) resumes the
+    // stream instead of killing the render.
+    let events = client.follow_events(id, RetryPolicy::default(), print_retry);
     for event in events {
         let event = event.unwrap_or_else(|e| die(&format!("event stream for job {id}: {e}")));
         match event.get("event").and_then(Json::as_str) {
@@ -529,14 +583,23 @@ fn stream_remote_progress(client: &Client, id: u64) {
 }
 
 /// `rawt serve`: run the aggregation service until SIGINT, then drain
-/// via cooperative cancel.
+/// via cooperative cancel; a second SIGINT abandons the drain and exits
+/// immediately (status 130) — the journal makes that safe, a restart
+/// recovers whatever the drain would have finished.
 fn cmd_serve(f: &Flags) {
+    let faults = std::sync::Arc::new(FaultPlan::from_env());
+    if faults.any() {
+        eprintln!("rawt: WARNING: fault injection armed via RAWT_FAULTS — not for production");
+    }
     let config = ServerConfig {
         max_jobs: f.max_jobs,
         queue_capacity: f.queue,
+        journal_dir: f.journal.clone().map(std::path::PathBuf::from),
+        journal_fsync: f.journal_fsync,
+        faults,
         ..ServerConfig::default()
     };
-    let server = Server::bind(f.addr.as_str(), config)
+    let server = Server::bind(f.addr.as_str(), config.clone())
         .unwrap_or_else(|e| die(&format!("cannot bind {}: {e}", f.addr)));
     let addr = server
         .local_addr()
@@ -544,8 +607,12 @@ fn cmd_serve(f: &Flags) {
     let shutdown = server
         .shutdown_handle()
         .unwrap_or_else(|e| die(&format!("no shutdown handle: {e}")));
+    let durability = match &f.journal {
+        Some(dir) => format!(", journal {dir} [{}]", f.journal_fsync),
+        None => String::new(),
+    };
     println!(
-        "rawt: serving on http://{addr} (max-jobs {}, queue {})",
+        "rawt: serving on http://{addr} (max-jobs {}, queue {}{durability})",
         config.max_jobs, config.queue_capacity
     );
     // The startup line is the machine-readable contract for wrappers
@@ -555,16 +622,37 @@ fn cmd_serve(f: &Flags) {
     let _ = std::io::stdout().flush();
     sigint::install();
     let serve_thread = std::thread::spawn(move || server.serve());
+    let mut drain: Option<std::thread::JoinHandle<()>> = None;
     loop {
         std::thread::sleep(Duration::from_millis(100));
-        if sigint::pressed() {
-            eprintln!("rawt: SIGINT — draining (cancelling live jobs)");
-            shutdown.shutdown();
-            break;
+        // The force-exit check runs first, and again before declaring
+        // the drain done: a second Ctrl-C wins even when the cooperative
+        // drain finishes in between (the journal makes the abrupt exit
+        // safe — a restart recovers what the drain would have finished).
+        if sigint::count() >= 2 {
+            eprintln!("rawt: second SIGINT — forcing exit without drain");
+            exit(130);
+        }
+        if sigint::pressed() && drain.is_none() {
+            eprintln!(
+                "rawt: SIGINT — draining (cancelling live jobs); press Ctrl-C again to force exit"
+            );
+            // shutdown() blocks until every live job has cancelled, so
+            // it runs on its own thread to keep this loop listening for
+            // the second Ctrl-C.
+            let shutdown = shutdown.clone();
+            drain = Some(std::thread::spawn(move || shutdown.shutdown()));
         }
         if serve_thread.is_finished() {
+            if sigint::count() >= 2 {
+                eprintln!("rawt: second SIGINT — forcing exit without drain");
+                exit(130);
+            }
             break;
         }
+    }
+    if let Some(drain) = drain {
+        let _ = drain.join();
     }
     match serve_thread.join() {
         Ok(Ok(())) => eprintln!("rawt: drained, bye"),

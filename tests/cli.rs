@@ -359,6 +359,79 @@ fn serve_and_remote_aggregate_render_identically_and_drain_on_sigint() {
 }
 
 #[test]
+fn second_sigint_forces_serve_to_exit_immediately() {
+    use rand::SeedableRng;
+    use std::io::BufRead;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_rawt"))
+        .args(["serve", "--addr", "127.0.0.1:0"])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("server spawns");
+    let mut startup = String::new();
+    std::io::BufReader::new(child.stdout.take().expect("piped stdout"))
+        .read_line(&mut startup)
+        .expect("startup line");
+    let addr = startup
+        .split_whitespace()
+        .find(|w| w.starts_with("http://"))
+        .expect("address in startup line")
+        .to_owned();
+    // Pin the drain open with a genuinely running job: BioConsert polls
+    // its cancel token once per sweep, and a sweep over n = 300 takes
+    // long enough that the cooperative drain is still pending when the
+    // second SIGINT arrives. (An idle server drains instantly — then a
+    // clean exit 0 would be correct, and the test would race it.)
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let data = rank_aggregation_with_ties::ragen::UniformSampler::new(300)
+        .sample_dataset(300, 10, &mut rng);
+    let mut text = String::new();
+    for r in data.rankings() {
+        text.push_str(&r.to_string());
+        text.push('\n');
+    }
+    let client = service::client::Client::new(&addr);
+    let job = client
+        .submit(&service::proto::JobSubmission {
+            algo: Some("BioConsert".into()),
+            ..service::proto::JobSubmission::new(text)
+        })
+        .expect("submit");
+    // The first event proves the kernel is running, not queued.
+    let mut events = client.events(job.id).expect("event stream");
+    events.next().expect("started event").expect("parses");
+    let pid = child.id().to_string();
+    let sigint = || {
+        let sent = Command::new("kill")
+            .args(["-INT", &pid])
+            .status()
+            .expect("kill runs");
+        assert!(sent.success());
+    };
+    // Two pending standard signals coalesce into one delivery, so the
+    // second Ctrl-C only counts once the first has been *handled* —
+    // which the drain announcement on stderr proves.
+    sigint();
+    let mut stderr = std::io::BufReader::new(child.stderr.take().expect("piped stderr"));
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = stderr.read_line(&mut line).expect("read stderr");
+        assert!(n > 0, "server exited before announcing the drain");
+        if line.contains("draining") {
+            break;
+        }
+    }
+    sigint();
+    let status = child.wait().expect("server exits");
+    assert_eq!(
+        status.code(),
+        Some(130),
+        "a second SIGINT must force an immediate exit: {status:?}"
+    );
+}
+
+#[test]
 fn aggregate_reports_outcome_and_exact_proves_optimality() {
     let path = write_paper_example();
     let (stdout, _, ok) = rawt(&["aggregate", path.to_str().unwrap(), "--algo", "Exact"]);

@@ -1,0 +1,481 @@
+//! Crash-safety tests for the durable aggregation service (DESIGN.md
+//! §12): journal replay and corruption tolerance, restart recovery of
+//! finished and interrupted jobs, idempotent resubmission across a
+//! restart, degraded mode under fsync failure, and the retrying client
+//! against injected connection loss.
+//!
+//! A "crash" here is a fabricated journal directory — exactly the bytes
+//! an interrupted `rawt serve --journal` leaves behind — plus fault
+//! hooks ([`FaultPlan`]) for torn writes and dropped connections. The CI
+//! smoke test covers the real-SIGKILL variant of the same story against
+//! the actual binary.
+
+use rank_aggregation_with_ties::prelude::*;
+use rank_aggregation_with_ties::rank_core::parse::parse_dataset_lines;
+use rank_aggregation_with_ties::rank_core::Universe;
+use service::client::{Client, ClientError, RetryNotice, RetryPolicy};
+use service::fault::FaultPlan;
+use service::journal::{frame_line, FsyncPolicy, Journal};
+use service::json::Json;
+use service::proto::JobSubmission;
+use service::server::{Server, ServerConfig, ShutdownHandle};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+const PAPER_EXAMPLE: &str =
+    "# the paper's §2.2 example\n[{A},{D},{B,C}]\n[{A},{B,C},{D}]\n[{D},{A,C},{B}]\n";
+
+/// A fresh scratch directory for one test's journal.
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "rawt-recovery-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Bind an in-process server on an ephemeral port and serve it on a
+/// background thread.
+fn start_server(config: ServerConfig) -> (Client, ShutdownHandle) {
+    let server = Server::bind("127.0.0.1:0", config).expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let shutdown = server.shutdown_handle().expect("shutdown handle");
+    std::thread::spawn(move || server.serve());
+    (Client::new(&addr), shutdown)
+}
+
+fn journaled_config(dir: &Path) -> ServerConfig {
+    ServerConfig {
+        journal_dir: Some(dir.to_path_buf()),
+        ..ServerConfig::default()
+    }
+}
+
+/// A quick retry policy so tests exercising backoff stay fast.
+fn fast_retries() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 6,
+        base_delay: Duration::from_millis(10),
+        max_delay: Duration::from_millis(100),
+        seed: 7,
+    }
+}
+
+/// The reference report for (dataset, spec, seed): an uninterrupted
+/// in-process engine run, the thing recovery must reproduce.
+fn local_reference(spec: AlgoSpec, seed: u64) -> ConsensusReport {
+    let mut universe = Universe::new();
+    let raw = parse_dataset_lines(PAPER_EXAMPLE, &mut universe).expect("parse");
+    let norm = Normalization::Unification.apply(&raw).expect("normalize");
+    Engine::new().run(&AggregationRequest::new(norm.dataset.clone(), spec).with_seed(seed))
+}
+
+// -------------------------------------------------- journal corruption
+
+/// Satellite: every way a journal file can be damaged must replay into
+/// "whatever prefix was intact", never a panic or a hard error.
+#[test]
+fn corrupt_journals_replay_without_panicking() {
+    let submission = JobSubmission {
+        algo: Some("Exact".into()),
+        ..JobSubmission::new(PAPER_EXAMPLE)
+    };
+    let submit_record = frame_line(&format!(
+        "{{\"rec\":\"submit\",\"id\":0,\"segment\":0,\"submission\":{}}}",
+        submission.to_json()
+    ));
+    let event = frame_line(r#"{"event":"started","spec":"Exact","seed":42}"#);
+    // (tag, file contents, submissions recovered, events kept, torn lines)
+    let cases: [(&str, String, usize, usize, usize); 5] = [
+        (
+            "truncated-tail",
+            // The last line lost its tail mid-write(2): bad CRC.
+            format!("{submit_record}{}", &event[..event.len() / 2]),
+            1,
+            0,
+            1,
+        ),
+        (
+            "mid-file-garbage",
+            // A corrupt line invalidates everything after it (the replay
+            // cannot trust later offsets), keeping the prefix.
+            format!("{submit_record}{event}not json at all\n{event}"),
+            1,
+            1,
+            2,
+        ),
+        ("empty-file", String::new(), 0, 0, 0),
+        ("submission-only", submit_record.clone(), 1, 0, 0),
+        (
+            "garbage-before-submission",
+            // No valid submission record: the whole file is unusable
+            // (both lines count as dropped — nothing after a corrupt
+            // line can be trusted).
+            format!("deadbeef nope\n{submit_record}"),
+            0,
+            0,
+            2,
+        ),
+    ];
+    for (tag, contents, want_jobs, want_events, want_dropped) in cases {
+        let dir = scratch_dir(&format!("corrupt-{tag}"));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        std::fs::write(dir.join("job-0-s0.ndjson"), contents).expect("write");
+        let replay = Journal::open(&dir, FsyncPolicy::Never)
+            .expect("open")
+            .replay()
+            .unwrap_or_else(|e| panic!("{tag}: replay must not error: {e}"));
+        assert_eq!(replay.jobs.len(), want_jobs, "{tag}: recovered jobs");
+        if let Some(job) = replay.jobs.first() {
+            assert_eq!(job.events.len(), want_events, "{tag}: surviving events");
+            assert!(job.finished.is_none(), "{tag}: no terminal record survived");
+        }
+        assert_eq!(replay.dropped_lines, want_dropped, "{tag}: dropped lines");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// A server must boot (and serve) on a journal directory containing only
+/// damaged files — recovery degrades to "nothing to recover", not a
+/// refusal to start.
+#[test]
+fn server_boots_on_a_journal_of_garbage() {
+    let dir = scratch_dir("boot-garbage");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    std::fs::write(dir.join("job-0-s0.ndjson"), "").expect("write");
+    std::fs::write(dir.join("job-1-s0.ndjson"), "complete nonsense\n").expect("write");
+    std::fs::write(dir.join("unrelated.txt"), "not a journal file").expect("write");
+    let (client, shutdown) = start_server(journaled_config(&dir));
+    let health = client.healthz().expect("healthz");
+    assert_eq!(health.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(health.get("journal").and_then(Json::as_str), Some("active"));
+    // And it still takes fresh work.
+    let job = client
+        .submit(&JobSubmission {
+            algo: Some("Exact".into()),
+            ..JobSubmission::new(PAPER_EXAMPLE)
+        })
+        .expect("submit");
+    let done = client.wait(job.id).expect("wait");
+    assert_eq!(done.get("state").and_then(Json::as_str), Some("done"));
+    shutdown.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------- restart recovery
+
+/// Tentpole, interrupted half: a journal holding a submission with no
+/// terminal record (what SIGKILL mid-job leaves) is re-admitted on boot
+/// and converges to the same report as an uninterrupted run — ranking,
+/// score, outcome, and incumbent-trace scores all identical.
+#[test]
+fn interrupted_job_recovers_bit_identical_to_uninterrupted_run() {
+    let dir = scratch_dir("readmit");
+    // Fabricate the crash image through the journal API itself: a
+    // submission record, a couple of events, no terminal line.
+    {
+        let journal = Journal::open(&dir, FsyncPolicy::Always).expect("open");
+        let submission = JobSubmission {
+            algo: Some("Exact".into()),
+            seed: 99,
+            idempotency_key: Some("crashed-submit".into()),
+            ..JobSubmission::new(PAPER_EXAMPLE)
+        };
+        let mut writer = journal
+            .begin_job(0, 0, &submission.to_json())
+            .expect("begin");
+        writer.append_event(r#"{"event":"started","spec":"Exact","seed":99}"#);
+        // Dropped without finish(): the crash.
+    }
+    let reference = local_reference(AlgoSpec::Exact, 99);
+    let (client, shutdown) = start_server(journaled_config(&dir));
+    let status = client.wait(0).expect("recovered job must finish");
+    let report = status.get("report").expect("report");
+    assert_eq!(
+        report.get("score").and_then(Json::as_u64),
+        Some(reference.score),
+        "recovered score must match the uninterrupted run"
+    );
+    assert_eq!(
+        report.get("outcome").and_then(Json::as_str),
+        Some(reference.outcome.to_string().as_str())
+    );
+    let trace_scores: Vec<u64> = report
+        .get("trace")
+        .and_then(Json::as_array)
+        .expect("trace")
+        .iter()
+        .filter_map(|t| t.get("score").and_then(Json::as_u64))
+        .collect();
+    let reference_scores: Vec<u64> = reference.trace.iter().map(|t| t.score).collect();
+    assert_eq!(
+        trace_scores, reference_scores,
+        "incumbent trajectory must replay identically"
+    );
+    // The re-run journaled itself into the next segment, terminally.
+    assert!(dir.join("job-0-s1.ndjson").exists(), "re-run segment");
+    // …and an idempotent retry of the original (crashed) POST reattaches
+    // to the recovered job instead of duplicating it.
+    let retry = client
+        .submit(&JobSubmission {
+            algo: Some("Exact".into()),
+            seed: 99,
+            idempotency_key: Some("crashed-submit".into()),
+            ..JobSubmission::new(PAPER_EXAMPLE)
+        })
+        .expect("idempotent resubmit");
+    assert!(retry.deduplicated, "must match the journaled key");
+    assert_eq!(retry.id, 0, "must be the recovered job, not a new one");
+    shutdown.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Tentpole, finished half: a job that completed before the crash is
+/// servable after restart with its report bytes and event replay intact
+/// — no re-execution.
+#[test]
+fn finished_jobs_survive_restart_byte_for_byte() {
+    let dir = scratch_dir("finished");
+    let (client, shutdown) = start_server(journaled_config(&dir));
+    let job = client
+        .submit(&JobSubmission {
+            algo: Some("BioConsert".into()),
+            seed: 7,
+            idempotency_key: Some("finished-once".into()),
+            ..JobSubmission::new(PAPER_EXAMPLE)
+        })
+        .expect("submit");
+    client.wait(job.id).expect("finish");
+    let before_raw = client.status_raw(job.id).expect("status before restart");
+    let before_events: Vec<String> = collect_replay_lines(&client, job.id);
+    shutdown.shutdown();
+
+    let (client, shutdown) = start_server(journaled_config(&dir));
+    let after_raw = client.status_raw(job.id).expect("status after restart");
+    assert_eq!(
+        splice_report(&before_raw),
+        splice_report(&after_raw),
+        "the served report must be the original bytes, not a re-serialization"
+    );
+    let after = client.status(job.id).expect("status");
+    assert_eq!(after.get("state").and_then(Json::as_str), Some("done"));
+    let after_events = collect_replay_lines(&client, job.id);
+    assert_eq!(before_events, after_events, "event replay must survive");
+    // Same idempotency key still deduplicates after the restart.
+    let retry = client
+        .submit(&JobSubmission {
+            algo: Some("BioConsert".into()),
+            seed: 7,
+            idempotency_key: Some("finished-once".into()),
+            ..JobSubmission::new(PAPER_EXAMPLE)
+        })
+        .expect("resubmit");
+    assert!(retry.deduplicated);
+    assert_eq!(retry.id, job.id);
+    // And fresh ids continue above the recovered ones.
+    let fresh = client
+        .submit(&JobSubmission {
+            algo: Some("Exact".into()),
+            ..JobSubmission::new(PAPER_EXAMPLE)
+        })
+        .expect("fresh submit");
+    assert!(
+        fresh.id > job.id,
+        "fresh ids must not collide with recovered ones"
+    );
+    assert!(!fresh.deduplicated);
+    shutdown.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A torn terminal record (crash mid-`write(2)` of the final line) must
+/// demote the job to "interrupted": the CRC framing rejects the tail and
+/// the restart re-runs the job to the same answer.
+#[test]
+fn torn_terminal_record_triggers_rerun_to_the_same_score() {
+    let dir = scratch_dir("torn");
+    let config = ServerConfig {
+        faults: Arc::new(FaultPlan::none().with_torn_terminal()),
+        ..journaled_config(&dir)
+    };
+    let (client, shutdown) = start_server(config);
+    let job = client
+        .submit(&JobSubmission {
+            algo: Some("Exact".into()),
+            seed: 5,
+            ..JobSubmission::new(PAPER_EXAMPLE)
+        })
+        .expect("submit");
+    let finished = client.wait(job.id).expect("finish in memory");
+    let score_before = report_score(&finished);
+    shutdown.shutdown();
+
+    // Restart on the torn journal: the job must come back as interrupted
+    // work and re-run to the identical score.
+    let (client, shutdown) = start_server(journaled_config(&dir));
+    let recovered = client.wait(job.id).expect("re-run after torn terminal");
+    assert_eq!(report_score(&recovered), score_before);
+    shutdown.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ------------------------------------------------------- degraded mode
+
+/// An fsync failure must not take the server down: the journal turns
+/// itself off, `/healthz` flips to "degraded", and jobs keep running
+/// in-memory exactly as an unjournaled server would.
+#[test]
+fn fsync_failure_degrades_to_in_memory_operation() {
+    let dir = scratch_dir("degraded");
+    let config = ServerConfig {
+        journal_fsync: FsyncPolicy::Always,
+        faults: Arc::new(FaultPlan::none().with_fsync_error()),
+        ..journaled_config(&dir)
+    };
+    let (client, shutdown) = start_server(config);
+    let job = client
+        .submit(&JobSubmission {
+            algo: Some("Exact".into()),
+            ..JobSubmission::new(PAPER_EXAMPLE)
+        })
+        .expect("submit survives the journal failure");
+    let done = client.wait(job.id).expect("job still completes");
+    assert_eq!(done.get("state").and_then(Json::as_str), Some("done"));
+    let health = client.healthz().expect("healthz");
+    assert_eq!(
+        health.get("status").and_then(Json::as_str),
+        Some("degraded"),
+        "health must advertise the lost durability"
+    );
+    assert_eq!(
+        health.get("journal").and_then(Json::as_str),
+        Some("degraded")
+    );
+    shutdown.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ------------------------------------------------------ client retries
+
+/// The retrying client against injected connection drops: a submit whose
+/// connection is severed before the response retries (surfacing a
+/// notice) and lands exactly one job thanks to its idempotency key.
+#[test]
+fn dropped_connections_are_retried_without_duplicating_the_job() {
+    let config = ServerConfig {
+        // Drop every 2nd accepted connection unanswered.
+        faults: Arc::new(FaultPlan::none().with_drop_accept(2)),
+        ..ServerConfig::default()
+    };
+    let (client, shutdown) = start_server(config);
+    // Connection #1: burn it on healthz so the submit lands on #2, the
+    // dropped one — making the retry deterministic.
+    client.healthz().expect("healthz on connection 1");
+    let mut notices: Vec<RetryNotice> = Vec::new();
+    let job = client
+        .submit_with_retry(
+            &JobSubmission {
+                algo: Some("Exact".into()),
+                idempotency_key: Some("retry-once".into()),
+                ..JobSubmission::new(PAPER_EXAMPLE)
+            },
+            &fast_retries(),
+            |n| notices.push(n.clone()),
+        )
+        .expect("retry must eventually land");
+    assert!(
+        !notices.is_empty(),
+        "the dropped connection must surface a retry notice"
+    );
+    assert_eq!(notices[0].reason, "server unreachable");
+    assert!(!job.deduplicated, "first landing is a fresh job");
+    // The reconnecting follower delivers the stream exactly once even
+    // though every other connection dies.
+    let kinds: Vec<String> = client
+        .follow_events(job.id, fast_retries(), |_| {})
+        .map(|e| {
+            e.expect("followed event")
+                .get("event")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_owned()
+        })
+        .filter(|k| k != "heartbeat")
+        .collect();
+    assert_eq!(
+        kinds.iter().filter(|k| k.as_str() == "started").count(),
+        1,
+        "no duplicated replay lines across reconnects: {kinds:?}"
+    );
+    assert_eq!(kinds.last().map(String::as_str), Some("finished"));
+    // A later retry of the same key deduplicates.
+    let again = client
+        .submit_with_retry(
+            &JobSubmission {
+                algo: Some("Exact".into()),
+                idempotency_key: Some("retry-once".into()),
+                ..JobSubmission::new(PAPER_EXAMPLE)
+            },
+            &fast_retries(),
+            |_| {},
+        )
+        .expect("idempotent retry");
+    assert!(again.deduplicated);
+    assert_eq!(again.id, job.id);
+    shutdown.shutdown();
+}
+
+/// A server that is down stays down: retries against nothing exhaust the
+/// policy and return the transport error instead of hanging.
+#[test]
+fn retries_exhaust_cleanly_when_no_server_answers() {
+    // Bind-then-drop guarantees a port nothing listens on.
+    let port = {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("probe bind");
+        listener.local_addr().expect("probe addr").port()
+    };
+    let client = Client::new(&format!("127.0.0.1:{port}"));
+    let policy = RetryPolicy {
+        max_attempts: 3,
+        base_delay: Duration::from_millis(5),
+        max_delay: Duration::from_millis(20),
+        seed: 1,
+    };
+    let mut notices = 0;
+    let err = client
+        .submit_with_retry(&JobSubmission::new(PAPER_EXAMPLE), &policy, |_| {
+            notices += 1
+        })
+        .expect_err("nothing is listening");
+    assert!(matches!(err, ClientError::Transport(_)), "got {err}");
+    assert_eq!(notices, 2, "max_attempts 3 = two retries after the first");
+}
+
+// ------------------------------------------------------------- helpers
+
+/// All non-heartbeat lines of a *finished* job's event replay, as text.
+fn collect_replay_lines(client: &Client, id: u64) -> Vec<String> {
+    client
+        .events(id)
+        .expect("event stream")
+        .map(|e| e.expect("event").to_string())
+        .filter(|line| !line.contains("\"heartbeat\""))
+        .collect()
+}
+
+/// The raw `"report":{…}` slice of a status document (byte-exact).
+fn splice_report(raw: &str) -> &str {
+    let i = raw.rfind("\"report\":").expect("status carries a report");
+    &raw[i..raw.len() - 1]
+}
+
+fn report_score(status: &Json) -> u64 {
+    status
+        .get("report")
+        .and_then(|r| r.get("score"))
+        .and_then(Json::as_u64)
+        .expect("report score")
+}
