@@ -30,7 +30,14 @@
 //!   directory of finished jobs, measuring raw replay throughput
 //!   (framed-and-checksummed lines per second) and restart-to-ready time
 //!   — the full `Server::bind` on that directory, i.e. how long a crashed
-//!   server's jobs stay unavailable after the process is back.
+//!   server's jobs stay unavailable after the process is back;
+//! * an **incremental** section (DESIGN.md §13): per size, one `O(n²)`
+//!   delta patch vs the `O(m·n²)` cold matrix rebuild an edit would
+//!   otherwise force (with the bit-identity check inline); per Chanas
+//!   instance, a warm-started re-solve after one edit vs a cold solve of
+//!   the same edited dataset (the hint descent converges sooner); and the
+//!   wire-level win of HTTP keep-alive — the same status read hammered
+//!   over one pooled connection vs a fresh TCP dial per request.
 //!
 //! The header records the host's available parallelism and a timestamp,
 //! so committed BENCH files stay interpretable (PR 1's single-core
@@ -40,7 +47,7 @@
 //! PRs can track the trajectory:
 //!
 //! ```text
-//! cargo run --release -p bench --bin perf_trajectory -- BENCH_6.json
+//! cargo run --release -p bench --bin perf_trajectory -- BENCH_7.json
 //! ```
 
 use ragen::UniformSampler;
@@ -50,6 +57,7 @@ use rank_core::algorithms::bioconsert::BioConsert;
 use rank_core::algorithms::exact::ExactAlgorithm;
 use rank_core::algorithms::{AlgoContext, ConsensusAlgorithm};
 use rank_core::engine::{paper_panel, AggregationRequest, AlgoSpec, Engine, Event};
+use rank_core::session::DatasetSession;
 use rank_core::{CostMatrix, Dataset};
 use service::client::Client;
 use service::journal::{FsyncPolicy, Journal};
@@ -478,10 +486,187 @@ fn measure_recovery() -> RecoveryReport {
     }
 }
 
+/// Status reads per arm of the keep-alive comparison — enough that the
+/// per-request cost dominates loop overhead, few enough to stay instant.
+const KEEPALIVE_REQUESTS: usize = 200;
+
+/// The warm-vs-cold instance family. BnB is the solver where a warm
+/// bound has the most to prune: its cold start is a greedy permutation
+/// (not the near-optimal BioConsert primer the Exact solver always
+/// runs), so the previous optimum arriving as the initial incumbent
+/// The warm-vs-cold instance family. Chanas is the solver where the
+/// hint pays most visibly in wall clock: cold it descends from a
+/// random input ranking (many full adjacent-swap passes at `O(n²)`
+/// score lookups each); warm it descends from the previous consensus,
+/// which after a one-ranking edit is already at or next to a local
+/// optimum, so the descent terminates almost immediately. n = 200
+/// (the kernel section's largest size) makes each saved pass count.
+const WARM_SEEDS: [u64; 3] = [2, 3, 4];
+const WARM_N: usize = 200;
+const WARM_M: usize = 20;
+
+/// One size's patch-vs-rebuild numbers: the `O(n²)` in-place delta patch
+/// a live session applies per edit vs the `O(m·n²)` cold rebuild.
+struct PatchRow {
+    n: usize,
+    rebuild_s: f64,
+    patch_s: f64,
+    identical: bool,
+}
+
+/// One instance's warm-vs-cold numbers: after an edit, the warm-started
+/// Chanas re-solve (descending from the previous consensus) vs a cold
+/// Chanas solve of the identical edited dataset.
+struct WarmRow {
+    seed: u64,
+    warm_score: u64,
+    cold_score: u64,
+    cold_s: f64,
+    warm_s: f64,
+}
+
+struct KeepAliveReport {
+    requests: usize,
+    keep_alive_per_request_s: f64,
+    fresh_per_request_s: f64,
+}
+
+struct IncrementalReport {
+    patch: Vec<PatchRow>,
+    warm: Vec<WarmRow>,
+    keep_alive: KeepAliveReport,
+}
+
+/// The incremental section (DESIGN.md §13): what does a dataset edit cost
+/// with delta patching vs without, what does the recorded consensus buy
+/// the next exact solve, and what does connection reuse buy the wire.
+fn measure_incremental() -> IncrementalReport {
+    // Patch vs rebuild, on the same datasets the kernel section measures.
+    // The patched arm times one add+remove pair in place (restoring the
+    // matrix, so reps don't drift) and halves it: the steady-state cost
+    // of one edit. The rebuild arm is what every edit would cost without
+    // the session: a full `CostMatrix::build` of the edited dataset.
+    let sampler = UniformSampler::new(*NS.iter().max().expect("non-empty"));
+    let patch = NS
+        .iter()
+        .map(|&n| {
+            let mut rng = StdRng::seed_from_u64(42 + n as u64);
+            let data = sampler.sample_dataset(n, M, &mut rng);
+            let extra = sampler.sample_dataset(n, 1, &mut rng).ranking(0).clone();
+            let mut extended = data.rankings().to_vec();
+            extended.push(extra.clone());
+            let extended = Dataset::new(extended).expect("extended dataset");
+            let reps = if n >= 200 { 3 } else { 5 };
+
+            let rebuild_s = time_median(reps, || {
+                std::hint::black_box(CostMatrix::build(&extended));
+            });
+            let mut live = CostMatrix::build(&data);
+            let patch_s = time_median(reps, || {
+                live.patch_add(&extra);
+                live.patch_remove(&extra);
+            }) / 2.0;
+            live.patch_add(&extra);
+            let identical = live == CostMatrix::build(&extended);
+            PatchRow {
+                n,
+                rebuild_s,
+                patch_s,
+                identical,
+            }
+        })
+        .collect();
+
+    // Warm vs cold, end to end: what one edit → re-solve costs a live
+    // session (delta-patched matrix handed to the engine + the previous
+    // consensus as the descent start) vs what the same edited dataset
+    // costs a cold caller (engine-side `O(m·n²)` matrix build + random
+    // start). Each rep runs on a *fresh* engine so the cold arm pays the
+    // build it would really pay — a shared cache would launder it away.
+    // The warm arm's repeated resolves re-record the (stable) consensus,
+    // so every rep measures the steady re-solve state a session sits in.
+    let warm_sampler = UniformSampler::new(WARM_N);
+    let spec = AlgoSpec::Chanas;
+    let warm = WARM_SEEDS
+        .iter()
+        .map(|&seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let data = warm_sampler.sample_dataset(WARM_N, WARM_M, &mut rng);
+            let extra = warm_sampler
+                .sample_dataset(WARM_N, 1, &mut rng)
+                .ranking(0)
+                .clone();
+            let mut session = DatasetSession::new(data);
+            session.resolve(&Engine::new(), spec.clone(), 7, None);
+            session.add_ranking(extra).expect("adds are always accepted");
+
+            let warm = session.resolve(&Engine::new(), spec.clone(), 7, None);
+            let warm_s = time_median(5, || {
+                std::hint::black_box(session.resolve(&Engine::new(), spec.clone(), 7, None));
+            });
+
+            let cold_request =
+                AggregationRequest::new(session.dataset(), spec.clone()).with_seed(7);
+            let cold = Engine::new().run(&cold_request);
+            let cold_s = time_median(5, || {
+                std::hint::black_box(Engine::new().run(&cold_request));
+            });
+
+            WarmRow {
+                seed,
+                warm_score: warm.score,
+                cold_score: cold.score,
+                cold_s,
+                warm_s,
+            }
+        })
+        .collect();
+
+    // Keep-alive vs fresh dial: the same finished-job status read,
+    // [`KEEPALIVE_REQUESTS`] times over one pooled connection, then the
+    // same again with a new client (new TCP connection) per request.
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default()).expect("bind ephemeral");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let shutdown = server.shutdown_handle().expect("shutdown handle");
+    std::thread::spawn(move || server.serve());
+    let client = Client::new(&addr);
+    let job = client
+        .submit(&JobSubmission {
+            algo: Some("BioConsert".to_owned()),
+            ..JobSubmission::new("[{A},{D},{B,C}]\n[{A},{B,C},{D}]\n[{D},{A,C},{B}]\n")
+        })
+        .expect("submit");
+    client.wait(job.id).expect("job finishes");
+
+    let t = Instant::now();
+    for _ in 0..KEEPALIVE_REQUESTS {
+        std::hint::black_box(client.status(job.id).expect("pooled status read"));
+    }
+    let keep_alive_per_request_s = t.elapsed().as_secs_f64() / KEEPALIVE_REQUESTS as f64;
+
+    let t = Instant::now();
+    for _ in 0..KEEPALIVE_REQUESTS {
+        let fresh = Client::new(&addr);
+        std::hint::black_box(fresh.status(job.id).expect("fresh-dial status read"));
+    }
+    let fresh_per_request_s = t.elapsed().as_secs_f64() / KEEPALIVE_REQUESTS as f64;
+    shutdown.shutdown();
+
+    IncrementalReport {
+        patch,
+        warm,
+        keep_alive: KeepAliveReport {
+            requests: KEEPALIVE_REQUESTS,
+            keep_alive_per_request_s,
+            fresh_per_request_s,
+        },
+    }
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_6.json".to_owned());
+        .unwrap_or_else(|| "BENCH_7.json".to_owned());
     let threads = rank_core::parallel::num_threads();
     let host_parallelism = std::thread::available_parallelism().map_or(0, |n| n.get());
     let timestamp_unix_secs = std::time::SystemTime::now()
@@ -570,11 +755,40 @@ fn main() {
         recovery.restart_to_ready_median_s * 1e3,
     );
 
+    // Incremental section: delta patches, warm re-solves, keep-alive.
+    let incremental = measure_incremental();
+    for p in &incremental.patch {
+        eprintln!(
+            "incremental: n={:<4} patch {:.3}ms vs rebuild {:.3}ms ({:.1}x, identical={})",
+            p.n,
+            p.patch_s * 1e3,
+            p.rebuild_s * 1e3,
+            p.rebuild_s / p.patch_s,
+            p.identical,
+        );
+    }
+    let warm_total: f64 = incremental.warm.iter().map(|w| w.warm_s).sum();
+    let cold_total: f64 = incremental.warm.iter().map(|w| w.cold_s).sum();
+    eprintln!(
+        "incremental: warm Chanas re-solve {:.2}ms vs cold {:.2}ms over {} edited instances ({:.2}x)",
+        warm_total * 1e3,
+        cold_total * 1e3,
+        incremental.warm.len(),
+        cold_total / warm_total,
+    );
+    eprintln!(
+        "incremental: status read {:.0}µs keep-alive vs {:.0}µs fresh dial ({:.2}x over {} requests)",
+        incremental.keep_alive.keep_alive_per_request_s * 1e6,
+        incremental.keep_alive.fresh_per_request_s * 1e6,
+        incremental.keep_alive.fresh_per_request_s / incremental.keep_alive.keep_alive_per_request_s,
+        incremental.keep_alive.requests,
+    );
+
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(
         json,
-        "  \"bench\": \"parallel consensus kernel (PR 1) + engine batch front door (PR 2) + anytime incumbent traces (PR 3) + network service latency (PR 4) + parallel exact proof search with certified gaps (PR 5) + durable journal recovery (PR 6)\","
+        "  \"bench\": \"parallel consensus kernel (PR 1) + engine batch front door (PR 2) + anytime incumbent traces (PR 3) + network service latency (PR 4) + parallel exact proof search with certified gaps (PR 5) + durable journal recovery (PR 6) + incremental sessions: delta patches, warm re-solves, keep-alive (PR 7)\","
     );
     let _ = writeln!(json, "  \"m\": {M},");
     let _ = writeln!(json, "  \"worker_threads\": {threads},");
@@ -625,6 +839,61 @@ fn main() {
         "    \"restart_to_ready_median_secs\": {:.6}",
         recovery.restart_to_ready_median_s
     );
+    json.push_str("  },\n");
+    json.push_str("  \"incremental\": {\n");
+    json.push_str("    \"patch_vs_rebuild\": [\n");
+    for (i, p) in incremental.patch.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "      {{\"n\": {}, \"m\": {M}, \"patch_secs\": {:.9}, \"rebuild_secs\": {:.9}, \"speedup\": {:.2}, \"bit_identical\": {}}}{}",
+            p.n,
+            p.patch_s,
+            p.rebuild_s,
+            p.rebuild_s / p.patch_s,
+            p.identical,
+            if i + 1 < incremental.patch.len() { "," } else { "" }
+        );
+    }
+    json.push_str("    ],\n");
+    json.push_str("    \"warm_vs_cold_chanas\": [\n");
+    for (i, w) in incremental.warm.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "      {{\"seed\": {}, \"n\": {WARM_N}, \"m\": {}, \"warm_score\": {}, \"cold_score\": {}, \"warm_secs\": {:.6}, \"cold_secs\": {:.6}, \"speedup\": {:.2}}}{}",
+            w.seed,
+            WARM_M + 1,
+            w.warm_score,
+            w.cold_score,
+            w.warm_s,
+            w.cold_s,
+            w.cold_s / w.warm_s,
+            if i + 1 < incremental.warm.len() { "," } else { "" }
+        );
+    }
+    json.push_str("    ],\n");
+    json.push_str("    \"keep_alive\": {\n");
+    let _ = writeln!(
+        json,
+        "      \"requests\": {},",
+        incremental.keep_alive.requests
+    );
+    let _ = writeln!(
+        json,
+        "      \"keep_alive_per_request_secs\": {:.9},",
+        incremental.keep_alive.keep_alive_per_request_s
+    );
+    let _ = writeln!(
+        json,
+        "      \"fresh_dial_per_request_secs\": {:.9},",
+        incremental.keep_alive.fresh_per_request_s
+    );
+    let _ = writeln!(
+        json,
+        "      \"speedup\": {:.2}",
+        incremental.keep_alive.fresh_per_request_s
+            / incremental.keep_alive.keep_alive_per_request_s
+    );
+    json.push_str("    }\n");
     json.push_str("  },\n");
     json.push_str("  \"exact\": {\n");
     let _ = writeln!(json, "    \"n\": {EXACT_N},");

@@ -273,7 +273,23 @@ impl ConsensusAlgorithm for BioConsert {
         } else {
             data.rankings()
         };
-        let starts: Vec<&Ranking> = inputs.iter().chain(self.extra_starts.iter()).collect();
+        // A warm-start hint (the previous consensus of an edited dataset,
+        // DESIGN.md §13) is one more start. Appended last and selected by
+        // first-minimum, it only wins on strict improvement — so a warm
+        // run is never worse than the cold run at equal budget, and
+        // without a hint the behavior is bit-identical to before. Hints
+        // over a different universe are ignored (the exact solver's block
+        // decomposition re-runs BioConsert on restricted sub-datasets
+        // with the whole-dataset context).
+        let warm = ctx
+            .warm_start()
+            .filter(|w| data.is_complete_ranking(&w.ranking))
+            .map(|w| w.ranking.clone());
+        let starts: Vec<&Ranking> = inputs
+            .iter()
+            .chain(self.extra_starts.iter())
+            .chain(warm.iter())
+            .collect();
         self.best_start(&starts, &pairs, ctx)
             .expect("at least one start")
     }

@@ -178,8 +178,23 @@ impl BranchAndBound {
     pub fn solve(&self, data: &Dataset, ctx: &mut AlgoContext) -> (Ranking, u64, bool) {
         let n = data.n();
         let pairs = ctx.cost_matrix(data);
-        let incumbent = greedy_permutation(data, &pairs);
-        let incumbent_score = perm_score(&incumbent, &pairs);
+        let mut incumbent = greedy_permutation(data, &pairs);
+        let mut incumbent_score = perm_score(&incumbent, &pairs);
+        // Warm-started re-solve (DESIGN.md §13): the previous consensus,
+        // flattened to a permutation, replaces the greedy incumbent when
+        // strictly better — a tight initial bound prunes most of the
+        // search after a small dataset edit. Without a hint the behavior
+        // is bit-identical to before.
+        if let Some(w) = ctx.warm_start() {
+            if data.is_complete_ranking(&w.ranking) {
+                let perm: Vec<Element> = w.ranking.elements().collect();
+                let s = perm_score(&perm, &pairs);
+                if s < incumbent_score {
+                    incumbent = perm;
+                    incumbent_score = s;
+                }
+            }
+        }
         if ctx.has_sink() {
             ctx.offer_incumbent(
                 &Ranking::permutation(&incumbent).expect("permutation"),

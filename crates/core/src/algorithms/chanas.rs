@@ -97,7 +97,19 @@ fn random_start(data: &Dataset, rng: &mut rand::rngs::StdRng) -> Vec<Element> {
 
 fn chanas_core(data: &Dataset, ctx: &mut AlgoContext, both: bool) -> Ranking {
     let pairs = ctx.cost_matrix(data);
-    let mut cur = random_start(data, &mut ctx.rng);
+    // Warm-started re-solves descend from the previous consensus
+    // (flattened to a permutation in rank order, ids ascending within a
+    // bucket) instead of a random input — the descent is monotone, so the
+    // result never scores worse than the flattened hint. Hints over a
+    // different universe are ignored.
+    let warm: Option<Vec<Element>> = ctx
+        .warm_start()
+        .filter(|w| data.is_complete_ranking(&w.ranking))
+        .map(|w| w.ranking.elements().collect());
+    let mut cur = match warm {
+        Some(p) => p,
+        None => random_start(data, &mut ctx.rng),
+    };
     sort_to_local_opt(&mut cur, &pairs, both);
     let mut best_score = perm_score(&cur, &pairs);
     if ctx.has_sink() {

@@ -262,6 +262,105 @@ impl Node {
         }
         c
     }
+
+    /// Reversible in-place child move — what the subtree DFS uses instead
+    /// of cloning four `O(n)` vectors per expanded node
+    /// ([`Node::place_new`]/[`Node::place_join`] remain for the frontier
+    /// split, whose nodes genuinely persist). The per-element values the
+    /// move clobbers are pushed onto `saved`; [`Node::undo`] restores them
+    /// and must be called with the returned tag in strict LIFO order.
+    /// State after `apply(e, join, ..)` is element-wise identical to
+    /// `place_new(e, ..)` / `place_join(e, ..)` (only `assign` slots of
+    /// unplaced elements, which are never read, may differ).
+    fn apply(
+        &mut self,
+        e: Element,
+        join: bool,
+        pairs: &PairTable,
+        saved: &mut Vec<(u64, u64)>,
+    ) -> Applied {
+        let n = pairs.n();
+        let tag = Applied {
+            e,
+            join,
+            prev_max_last: self.max_last,
+            saved_from: saved.len(),
+        };
+        if join {
+            debug_assert!(self.max_last != u32::MAX && e.0 > self.max_last);
+            self.g += self.cost_join[e.index()];
+            self.assign[e.index()] = self.next_bucket - 1;
+        } else {
+            self.g += self.cost_new[e.index()];
+            self.assign[e.index()] = self.next_bucket;
+            self.next_bucket += 1;
+        }
+        self.placed |= 1 << e.index();
+        self.max_last = e.0;
+        for id in 0..n {
+            if self.is_placed(id) {
+                continue;
+            }
+            let x = Element(id as u32);
+            let cb_ex = pairs.cost_before(e, x) as u64;
+            let ct = pairs.cost_tied(x, e) as u64;
+            saved.push((self.cost_join[id], self.forced[id]));
+            if join {
+                self.cost_new[id] += cb_ex;
+                self.cost_join[id] += ct;
+                self.forced[id] += ct.min(cb_ex);
+            } else {
+                let old_new = self.cost_new[id];
+                self.cost_join[id] = old_new + ct;
+                self.cost_new[id] = old_new + cb_ex;
+                self.forced[id] = old_new + ct.min(cb_ex);
+            }
+            self.rem -= pairs.min_pair_cost(e, x) as u64;
+        }
+        tag
+    }
+
+    /// Exact inverse of [`Node::apply`]. `cost_new` reverses by
+    /// subtraction; `cost_join`/`forced` (overwritten, not incremented, on
+    /// a new-bucket move) restore from `saved`. The moved element's own
+    /// `cost_new`/`cost_join` slots were skipped by `apply`'s loop (it was
+    /// already placed), so the `g` delta reads back unchanged.
+    fn undo(&mut self, tag: Applied, pairs: &PairTable, saved: &mut Vec<(u64, u64)>) {
+        let n = pairs.n();
+        let e = tag.e;
+        let mut k = tag.saved_from;
+        for id in 0..n {
+            if self.is_placed(id) {
+                continue;
+            }
+            let x = Element(id as u32);
+            let cb_ex = pairs.cost_before(e, x) as u64;
+            let (old_join, old_forced) = saved[k];
+            k += 1;
+            self.cost_new[id] -= cb_ex;
+            self.cost_join[id] = old_join;
+            self.forced[id] = old_forced;
+            self.rem += pairs.min_pair_cost(e, x) as u64;
+        }
+        debug_assert_eq!(k, saved.len(), "undo must run in LIFO order");
+        saved.truncate(tag.saved_from);
+        self.placed &= !(1 << e.index());
+        self.max_last = tag.prev_max_last;
+        if tag.join {
+            self.g -= self.cost_join[e.index()];
+        } else {
+            self.next_bucket -= 1;
+            self.g -= self.cost_new[e.index()];
+        }
+    }
+}
+
+/// Undo record for one [`Node::apply`] move.
+struct Applied {
+    e: Element,
+    join: bool,
+    prev_max_last: u32,
+    saved_from: usize,
 }
 
 /// The canonical child order of a node: `(immediate delta, element id,
@@ -348,10 +447,12 @@ struct SubtreeSearch<'a> {
     nodes: u64,
     stride: u64,
     stop: bool,
+    /// Clobbered-value stack for the undo-based expansion ([`Node::apply`]).
+    saved: Vec<(u64, u64)>,
 }
 
 impl SubtreeSearch<'_> {
-    fn dfs(&mut self, node: &Node, ctx: &AlgoContext) {
+    fn dfs(&mut self, node: &mut Node, ctx: &AlgoContext) {
         self.nodes += 1;
         if self.nodes.is_multiple_of(self.stride)
             && (self.aborted.load(Ordering::Relaxed) || ctx.checkpoint().is_stop())
@@ -382,17 +483,20 @@ impl SubtreeSearch<'_> {
             return;
         }
         let global_bound = self.global.load(Ordering::Relaxed);
+        // Undo-based expansion: each child move is applied to the node in
+        // place and exactly reversed after the recursion returns — the
+        // child order, the bound values, and therefore the exploration
+        // (and the returned optimum among ties) are bit-identical to the
+        // former clone-per-child expansion; only the four vector
+        // allocations per node are gone.
         for (_, id, join) in ordered_children(node, self.n) {
             let e = Element(id);
-            let child = if join {
-                node.place_join(e, self.pairs)
-            } else {
-                node.place_new(e, self.pairs)
-            };
-            let lb = child.lower_bound(self.n);
+            let tag = node.apply(e, join, self.pairs, &mut self.saved);
+            let lb = node.lower_bound(self.n);
             if lb < self.local_best && lb <= global_bound {
-                self.dfs(&child, ctx);
+                self.dfs(node, ctx);
             }
+            node.undo(tag, self.pairs, &mut self.saved);
             if self.stop {
                 return;
             }
@@ -539,12 +643,29 @@ impl ExactAlgorithm {
         // Sequential multi-start: the incumbent is a small fraction of the
         // solve, and pinning it keeps the search's own parallelism the only
         // thread-count-dependent part.
-        let incumbent = bioconsert::BioConsert {
+        let mut incumbent = bioconsert::BioConsert {
             force_sequential: true,
             ..bioconsert::BioConsert::default()
         }
         .run(data, ctx);
-        let incumbent_score = pairs.score(&incumbent);
+        let mut incumbent_score = pairs.score(&incumbent);
+        // Warm-started re-solve (DESIGN.md §13): a prior consensus that
+        // still beats the fresh BioConsert start becomes the initial
+        // bound, with its ranking kept as the witness — after a small
+        // dataset edit it usually sits at or near the new optimum, so the
+        // proof search mostly prunes. The hint is rescored here (a caller
+        // score is never trusted as a bound) and skipped for decomposed
+        // sub-instances, whose remapped element spaces make a
+        // whole-dataset hint incomplete.
+        if let Some(w) = ctx.warm_start() {
+            if data.is_complete_ranking(&w.ranking) {
+                let s = pairs.score(&w.ranking);
+                if s < incumbent_score {
+                    incumbent_score = s;
+                    incumbent = w.ranking.clone();
+                }
+            }
+        }
         let incumbent_assign: Vec<u32> = (0..n)
             .map(|id| incumbent.bucket_of(Element(id as u32)).expect("complete") as u32)
             .collect();
@@ -613,8 +734,12 @@ impl ExactAlgorithm {
                 nodes: 0,
                 stride: self.deadline_stride,
                 stop: false,
+                saved: Vec::new(),
             };
-            search.dfs(subtree, shared_ctx);
+            // One clone per subtree root (the frontier slice is shared);
+            // every node below it expands via apply/undo on this copy.
+            let mut root = subtree.clone();
+            search.dfs(&mut root, shared_ctx);
             if !search.stop {
                 // Fully explored: this subtree's leaves can no longer pull
                 // the optimum below the shared bound — tighten the

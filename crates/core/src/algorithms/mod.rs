@@ -79,6 +79,37 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+/// A previous consensus seeding a re-solve over an edited dataset
+/// (DESIGN.md §13).
+///
+/// Carried by [`AlgoContext`] (set through
+/// [`crate::engine::AggregationRequest::with_warm_start`], propagated to
+/// every worker). Consumers and their guarantees:
+///
+/// * **BioConsert** treats the hint as one extra start — warm results are
+///   never worse than cold at equal budget (the hint start only wins on
+///   strict improvement);
+/// * **Chanas / ChanasBoth** seed their descent from the tie-flattened
+///   hint instead of a random input — results never score worse than the
+///   flattened hint;
+/// * **Exact / BnB** take `min(hint score, their own heuristic
+///   incumbent)` as the initial upper bound, keeping whichever ranking
+///   achieves it as the incumbent witness — a tight prior bound prunes
+///   most of the search after a small edit;
+/// * **BestOf** and the other wrappers inherit the hint through worker
+///   contexts.
+///
+/// The hint must be a complete ranking of the run's dataset and `score`
+/// must be its generalized Kemeny score against that dataset — the engine
+/// validates both before attaching.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WarmStart {
+    /// The prior consensus ranking.
+    pub ranking: Ranking,
+    /// Its generalized Kemeny score against the current dataset.
+    pub score: u64,
+}
+
 /// Outcome flags shared by a context and all its workers — but, unlike
 /// the pre-engine `SharedCtx`, *not* by sibling requests: the engine gives
 /// every request its own flags while sharing only the [`MatrixCache`], so
@@ -217,6 +248,31 @@ impl MatrixCache {
         matrix
     }
 
+    /// Prime the cache with an already-built matrix for `data` (e.g. a
+    /// [`crate::session::DatasetSession`]'s delta-patched one), so the
+    /// next [`MatrixCache::get`] is a hit instead of an `O(m·n²)` build.
+    ///
+    /// `matrix` must equal `CostMatrix::build(data)` bit for bit — a
+    /// mismatched matrix would silently corrupt every consumer keyed to
+    /// this dataset. The session's patches are property-tested to that
+    /// contract, and debug builds re-verify it here.
+    pub fn insert(&self, data: &Dataset, matrix: Arc<CostMatrix>) {
+        debug_assert_eq!(
+            *matrix,
+            CostMatrix::build(data),
+            "primed cost matrix must be bit-identical to a cold rebuild"
+        );
+        let key = MatrixKey::of(data);
+        let mut cache = self.matrices.lock().expect("matrix cache poisoned");
+        if cache.iter().any(|(k, _)| *k == key) {
+            return;
+        }
+        if cache.len() >= MATRIX_CACHE_CAP {
+            cache.remove(0);
+        }
+        cache.push((key, matrix));
+    }
+
     /// How many `O(m·n²)` builds this cache has actually performed.
     pub fn builds(&self) -> usize {
         self.builds.load(Ordering::Relaxed)
@@ -263,6 +319,8 @@ pub struct AlgoContext {
     sink: Option<Arc<IncumbentSink>>,
     /// Cooperative cancellation flag shared with the job's handle.
     cancel: CancelToken,
+    /// Previous-consensus hint for warm-started re-solves, if any.
+    warm: Option<Arc<WarmStart>>,
 }
 
 impl AlgoContext {
@@ -284,6 +342,7 @@ impl AlgoContext {
             cache,
             sink: None,
             cancel: CancelToken::new(),
+            warm: None,
         }
     }
 
@@ -314,6 +373,7 @@ impl AlgoContext {
             cache: Arc::clone(&self.cache),
             sink: self.sink.clone(),
             cancel: self.cancel.clone(),
+            warm: self.warm.clone(),
         }
     }
 
@@ -420,6 +480,22 @@ impl AlgoContext {
     /// Restore a sink previously taken with [`Self::take_sink`].
     pub fn set_sink(&mut self, sink: Option<Arc<IncumbentSink>>) {
         self.sink = sink;
+    }
+
+    /// Attach a warm-start hint (a previous consensus over the run's
+    /// dataset). Workers derived *afterwards* share it; the engine
+    /// attaches one per warm-started request after validating it against
+    /// the dataset.
+    pub fn set_warm_start(&mut self, warm: Arc<WarmStart>) {
+        self.warm = Some(warm);
+    }
+
+    /// The warm-start hint, if one is attached. Algorithms consult this
+    /// to seed their search (see [`WarmStart`] for the per-consumer
+    /// contract); observing it never weakens a result.
+    #[inline]
+    pub fn warm_start(&self) -> Option<&WarmStart> {
+        self.warm.as_deref()
     }
 
     /// The cancellation token [`Self::checkpoint`] observes. Clone it and

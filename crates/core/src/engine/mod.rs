@@ -362,7 +362,26 @@ impl Engine {
         let mut ctx = base.worker(hash_name(&request.spec.paper_name()));
         ctx.attach_sink(Arc::clone(sink));
         ctx.set_cancel_token(cancel);
+        // A caller-supplied matrix (a session's delta-patched one) primes
+        // the cache, so the `cost_matrix` call below — and every kernel's
+        // — hits instead of paying the `O(m·n²)` rebuild.
+        if let Some(prebuilt) = &request.cost_matrix {
+            cache.insert(&request.dataset, Arc::clone(prebuilt));
+        }
         let matrix = ctx.cost_matrix(&request.dataset);
+        // Warm-start hint: validated against the dataset and rescored
+        // against this run's matrix (a stale caller-supplied score could
+        // otherwise let an exact solver prune below the true optimum).
+        // An incomplete hint is dropped — a cold run is always correct.
+        if let Some(warm) = &request.warm_start {
+            if request.dataset.is_complete_ranking(&warm.ranking) {
+                let score = matrix.score(&warm.ranking);
+                ctx.set_warm_start(Arc::new(crate::algorithms::WarmStart {
+                    ranking: warm.ranking.clone(),
+                    score,
+                }));
+            }
+        }
         let algo = request.spec.build(request.policy);
         if let Some(budget) = request.budget {
             ctx.deadline = Some(Instant::now() + budget);

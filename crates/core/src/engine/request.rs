@@ -7,8 +7,10 @@
 //! dataset) and the `rawt compare` front door both have.
 
 use super::spec::{AlgoSpec, ExecPolicy};
+use crate::algorithms::WarmStart;
 use crate::dataset::Dataset;
 use crate::normalize::{projection, unification, Normalized};
+use crate::pairs::CostMatrix;
 use crate::ranking::Ranking;
 use std::fmt;
 use std::str::FromStr;
@@ -80,6 +82,18 @@ pub struct AggregationRequest {
     pub budget: Option<Duration>,
     /// Whether the algorithm may parallelize internally.
     pub policy: ExecPolicy,
+    /// A previous consensus seeding this re-solve, if any (see
+    /// [`WarmStart`] for the per-algorithm contract). The engine validates
+    /// it against the dataset before attaching; an invalid hint is
+    /// silently dropped rather than poisoning the run.
+    pub warm_start: Option<WarmStart>,
+    /// An already-built cost matrix for `dataset`, if the caller holds
+    /// one — a [`crate::session::DatasetSession`] maintains it by `O(n²)`
+    /// delta patches, so a re-solve must not pay the engine's `O(m·n²)`
+    /// rebuild. Primes the engine's fingerprint-keyed cache; it MUST
+    /// equal `CostMatrix::build(&dataset)` bit for bit (debug-asserted,
+    /// and property-tested for the session's patches).
+    pub cost_matrix: Option<Arc<CostMatrix>>,
 }
 
 impl AggregationRequest {
@@ -92,6 +106,8 @@ impl AggregationRequest {
             seed: 42,
             budget: None,
             policy: ExecPolicy::default(),
+            warm_start: None,
+            cost_matrix: None,
         }
     }
 
@@ -110,6 +126,21 @@ impl AggregationRequest {
     /// Set the parallelism policy.
     pub fn with_policy(mut self, policy: ExecPolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Seed the run from a previous consensus (a
+    /// [`crate::session::DatasetSession`] supplies one per re-solve).
+    pub fn with_warm_start(mut self, warm: WarmStart) -> Self {
+        self.warm_start = Some(warm);
+        self
+    }
+
+    /// Hand the engine an already-built cost matrix for the dataset
+    /// instead of letting it rebuild one (see
+    /// [`AggregationRequest::cost_matrix`] for the equality contract).
+    pub fn with_cost_matrix(mut self, matrix: Arc<CostMatrix>) -> Self {
+        self.cost_matrix = Some(matrix);
         self
     }
 
@@ -210,6 +241,8 @@ impl BatchBuilder {
                 seed: self.seed,
                 budget: self.budget,
                 policy: self.policy,
+                warm_start: None,
+                cost_matrix: None,
             })
             .collect()
     }

@@ -70,6 +70,7 @@ pub mod parallel;
 pub mod parse;
 pub mod ranking;
 pub mod score;
+pub mod session;
 pub mod similarity;
 
 pub use dataset::{Dataset, DatasetError};

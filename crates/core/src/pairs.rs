@@ -238,6 +238,121 @@ impl CostMatrix {
         acc
     }
 
+    /// Fold one additional input ranking into the matrix **in place**, in
+    /// `O(n²)` — the delta patch a live
+    /// [`session`](crate::session) applies instead of the `O(m·n²)`
+    /// rebuild.
+    ///
+    /// `r` must be a complete ranking over this matrix's elements `0..n`
+    /// (unify it first; see [`crate::session::DatasetSession`]). Every
+    /// off-diagonal cost cell holds `m − count`, so adding a ranking is a
+    /// uniform `+1` minus that ranking's own pair indicator:
+    ///
+    /// ```text
+    /// cost_before'(a, b) = cost_before(a, b) + 1 − [r puts a before b]
+    /// cost_tied'(a, b)   = cost_tied(a, b)   + 1 − [r ties a and b]
+    /// ```
+    ///
+    /// The result is bit-identical to rebuilding from the extended dataset
+    /// (property-tested in `tests/session_properties.rs`).
+    pub fn patch_add(&mut self, r: &Ranking) {
+        let n = self.n;
+        let pos = r.positions();
+        assert_eq!(pos.len(), n, "patched ranking must be complete over 0..n");
+        debug_assert!(pos.iter().all(|&p| p != u32::MAX));
+        self.m += 1;
+        for a in 0..n {
+            let pa = pos[a];
+            let row = &mut self.cells[2 * a * n..2 * (a + 1) * n];
+            for (b, &pb) in pos.iter().enumerate() {
+                if b == a {
+                    continue;
+                }
+                row[2 * b] += u32::from(pa >= pb);
+                row[2 * b + 1] += u32::from(pa != pb);
+            }
+        }
+    }
+
+    /// Remove one input ranking from the matrix **in place**, in `O(n²)` —
+    /// the exact inverse of [`Self::patch_add`].
+    ///
+    /// `r` must be (structurally equal to) a ranking the matrix currently
+    /// accounts for; subtracting a ranking that was never added produces a
+    /// matrix that corresponds to no dataset. With the uniform `−1` applied
+    /// first, no cell can underflow for a genuinely present ranking.
+    pub fn patch_remove(&mut self, r: &Ranking) {
+        let n = self.n;
+        let pos = r.positions();
+        assert_eq!(pos.len(), n, "patched ranking must be complete over 0..n");
+        assert!(self.m >= 1, "matrix has no rankings left to remove");
+        debug_assert!(pos.iter().all(|&p| p != u32::MAX));
+        self.m -= 1;
+        for a in 0..n {
+            let pa = pos[a];
+            let row = &mut self.cells[2 * a * n..2 * (a + 1) * n];
+            for (b, &pb) in pos.iter().enumerate() {
+                if b == a {
+                    continue;
+                }
+                row[2 * b] -= u32::from(pa >= pb);
+                row[2 * b + 1] -= u32::from(pa != pb);
+            }
+        }
+    }
+
+    /// Extend the element universe from `n` to `n_new` **in place** under
+    /// unification semantics (§5.1): every existing input ranking is
+    /// treated as if the new elements `n..n_new` were appended to it as one
+    /// final tied bucket.
+    ///
+    /// The old `n × n` block is preserved verbatim (appending a trailing
+    /// bucket never reorders existing pairs) and re-laid out for the new
+    /// row stride; the new cells follow analytically from the appended
+    /// bucket, with `m` the current ranking count:
+    ///
+    /// * old `a`, new `b`: every input puts `a` before `b` —
+    ///   `cost_before(a,b) = 0`, `cost_tied(a,b) = m`,
+    ///   `cost_before(b,a) = m`;
+    /// * new `a`, new `b`: every input ties them — `cost_tied = 0`,
+    ///   `cost_before = m` in both directions.
+    ///
+    /// `O(n_new²)` total; a no-op when `n_new == n`.
+    pub fn grow(&mut self, n_new: usize) {
+        assert!(n_new >= self.n, "the element universe can only grow");
+        if n_new == self.n {
+            return;
+        }
+        let n_old = self.n;
+        let m = self.m;
+        let mut cells = vec![0u32; 2 * n_new * n_new];
+        for a in 0..n_old {
+            let old = &self.cells[2 * a * n_old..2 * (a + 1) * n_old];
+            let row = &mut cells[2 * a * n_new..2 * (a + 1) * n_new];
+            row[..2 * n_old].copy_from_slice(old);
+            for b in n_old..n_new {
+                row[2 * b] = 0;
+                row[2 * b + 1] = m;
+            }
+        }
+        for a in n_old..n_new {
+            let row = &mut cells[2 * a * n_new..2 * (a + 1) * n_new];
+            for b in 0..n_old {
+                row[2 * b] = m;
+                row[2 * b + 1] = m;
+            }
+            for b in n_old..n_new {
+                if b == a {
+                    continue;
+                }
+                row[2 * b] = m;
+                row[2 * b + 1] = 0;
+            }
+        }
+        self.n = n_new;
+        self.cells = cells;
+    }
+
     /// Generalized Kemeny score of `r` against the dataset this matrix was
     /// built from, in `O(n²)` independent of `m`.
     pub fn score(&self, r: &Ranking) -> u64 {
@@ -399,5 +514,64 @@ mod tests {
     fn bytes_reports_the_packed_footprint() {
         let t = CostMatrix::build(&paper_dataset());
         assert_eq!(t.bytes(), 2 * 4 * 4 * 4); // 2 u32 per cell, n = 4
+    }
+
+    #[test]
+    fn patch_add_matches_rebuild() {
+        let data = paper_dataset();
+        let mut t = CostMatrix::build(&data);
+        let extra = parse_ranking("[{1},{0,3},{2}]").unwrap();
+        t.patch_add(&extra);
+        let mut rankings = data.rankings().to_vec();
+        rankings.push(extra);
+        let rebuilt = CostMatrix::build(&Dataset::new(rankings).unwrap());
+        assert_eq!(t, rebuilt);
+    }
+
+    #[test]
+    fn patch_remove_inverts_patch_add() {
+        let data = paper_dataset();
+        let cold = CostMatrix::build(&data);
+        let mut t = cold.clone();
+        let extra = parse_ranking("[{3,2},{1},{0}]").unwrap();
+        t.patch_add(&extra);
+        assert_ne!(t, cold);
+        t.patch_remove(&extra);
+        assert_eq!(t, cold);
+    }
+
+    #[test]
+    fn patch_remove_existing_input_matches_rebuild() {
+        let data = paper_dataset();
+        let mut t = CostMatrix::build(&data);
+        t.patch_remove(data.ranking(1));
+        let rankings = vec![data.ranking(0).clone(), data.ranking(2).clone()];
+        let rebuilt = CostMatrix::build(&Dataset::new(rankings).unwrap());
+        assert_eq!(t, rebuilt);
+    }
+
+    #[test]
+    fn grow_matches_unified_rebuild() {
+        let data = paper_dataset();
+        let mut t = CostMatrix::build(&data);
+        t.grow(6);
+        assert_eq!(t.n(), 6);
+        // Cold equivalent: append {4,5} as a tied last bucket to every
+        // input and rebuild.
+        let rankings: Vec<Ranking> = data
+            .rankings()
+            .iter()
+            .map(|r| {
+                let mut buckets: Vec<Vec<Element>> = r.buckets().map(|b| b.to_vec()).collect();
+                buckets.push(vec![Element(4), Element(5)]);
+                Ranking::from_buckets(buckets).unwrap()
+            })
+            .collect();
+        let rebuilt = CostMatrix::build(&Dataset::new(rankings).unwrap());
+        assert_eq!(t, rebuilt);
+        // Growing to the current size is a no-op.
+        let before = t.clone();
+        t.grow(6);
+        assert_eq!(t, before);
     }
 }

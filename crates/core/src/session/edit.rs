@@ -1,0 +1,68 @@
+//! Edits and errors of a live dataset session.
+
+use crate::ranking::Ranking;
+use std::fmt;
+
+/// One mutation of a [`DatasetSession`](super::DatasetSession)'s input
+/// rankings — the unit the service's `PATCH /v1/datasets/{id}` ops and
+/// `rawt session`'s command lines both translate into.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Edit {
+    /// Append a new input ranking (growing the element universe when the
+    /// ranking mentions unseen elements).
+    Add(Ranking),
+    /// Remove the input ranking at this index.
+    Remove(usize),
+    /// Replace the input ranking at this index.
+    Replace(usize, Ranking),
+}
+
+impl fmt::Display for Edit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Edit::Add(r) => write!(f, "add {r}"),
+            Edit::Remove(i) => write!(f, "remove {i}"),
+            Edit::Replace(i, r) => write!(f, "replace {i} {r}"),
+        }
+    }
+}
+
+/// Why a session edit was refused. Refused edits leave the session
+/// untouched — the version is not bumped and the matrix is not patched.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionError {
+    /// The referenced input ranking does not exist.
+    IndexOutOfRange {
+        /// The requested index.
+        index: usize,
+        /// Current number of input rankings.
+        m: usize,
+    },
+    /// Removing the last input ranking would empty the dataset (which the
+    /// aggregation engine cannot represent).
+    LastRanking,
+    /// An added or replacement ranking ranks no elements.
+    EmptyRanking,
+    /// A consensus offered to [`super::DatasetSession::record_consensus`]
+    /// does not rank exactly the session's current elements.
+    IncompleteConsensus,
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::IndexOutOfRange { index, m } => {
+                write!(f, "ranking index {index} out of range (dataset has {m})")
+            }
+            SessionError::LastRanking => {
+                write!(f, "cannot remove the last ranking of a dataset")
+            }
+            SessionError::EmptyRanking => write!(f, "a ranking must rank at least one element"),
+            SessionError::IncompleteConsensus => {
+                write!(f, "consensus does not cover the session's elements")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}

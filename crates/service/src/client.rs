@@ -1,11 +1,14 @@
 //! A minimal blocking client for the aggregation service — what
 //! `rawt aggregate --remote` and the service tests speak.
 //!
-//! One TCP connection per exchange (the server's `Connection: close`
-//! contract): submit, then open a second connection to stream events,
-//! then a third for the final status. The client never interprets
-//! reports beyond parsing them as [`Json`]; rendering stays with the
-//! caller so the CLI can reuse its local formatting.
+//! Sized exchanges (submit, status, PATCH, …) reuse one pooled
+//! keep-alive connection: the first exchange dials, later ones ride the
+//! same socket, and a stale pooled connection (server restarted, idle
+//! timeout) is transparently redialed once. Streaming endpoints
+//! (`…/events`) still open their own `Connection: close` socket — a
+//! chunked stream is its connection's last response. The client never
+//! interprets reports beyond parsing them as [`Json`]; rendering stays
+//! with the caller so the CLI can reuse its local formatting.
 //!
 //! # Retries (DESIGN.md §12.4)
 //!
@@ -29,7 +32,9 @@ use crate::http::{self, ClientResponse, HttpError, NdjsonLines};
 use crate::json::Json;
 use crate::proto::JobSubmission;
 use std::fmt;
+use std::io::BufReader;
 use std::net::TcpStream;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// A client-side failure.
@@ -209,10 +214,15 @@ pub struct Submitted {
     pub deduplicated: bool,
 }
 
-/// A blocking client bound to one server address.
+/// A blocking client bound to one server address, holding one pooled
+/// keep-alive connection for sized exchanges (clones share the pool).
 #[derive(Debug, Clone)]
 pub struct Client {
     addr: String,
+    /// The idle kept-alive connection, if any. One slot is enough: the
+    /// client is blocking, so a single caller never needs two sockets at
+    /// once, and concurrent clones simply dial when the slot is taken.
+    pool: Arc<Mutex<Option<BufReader<TcpStream>>>>,
 }
 
 impl Client {
@@ -224,44 +234,99 @@ impl Client {
             .trim_start_matches("http://")
             .trim_end_matches('/')
             .to_owned();
-        Client { addr }
+        Client {
+            addr,
+            pool: Arc::new(Mutex::new(None)),
+        }
+    }
+
+    /// The normalized `host:port` this client talks to. Useful for
+    /// constructing a second client (with its own connection pool) to
+    /// the same server.
+    pub fn addr(&self) -> &str {
+        &self.addr
     }
 
     fn connect(&self) -> Result<TcpStream, ClientError> {
         let stream = TcpStream::connect(&self.addr)?;
         stream.set_read_timeout(Some(Duration::from_secs(600)))?;
+        // Requests are small; on a reused keep-alive connection Nagle
+        // would trade each one for a delayed-ACK round trip.
+        stream.set_nodelay(true)?;
         Ok(stream)
     }
 
-    fn exchange(
+    /// One sized exchange over the pooled connection. A failure on a
+    /// *reused* socket (the server restarted, closed an idle connection,
+    /// or shed it) is retried once on a fresh dial before surfacing —
+    /// a stale pooled connection must never look like a dead server.
+    fn exchange_keep_alive(
         &self,
         method: &str,
         path: &str,
         body: Option<&str>,
     ) -> Result<ClientResponse, ClientError> {
+        let pooled = self.pool.lock().expect("client pool poisoned").take();
+        let had_pooled = pooled.is_some();
+        let attempt = |reader: Option<BufReader<TcpStream>>| -> Result<ClientResponse, ClientError> {
+            let mut reader = match reader {
+                Some(reader) => reader,
+                None => BufReader::new(self.connect()?),
+            };
+            http::write_request(
+                reader.get_mut(),
+                method,
+                path,
+                &self.addr,
+                body.map(|b| ("application/json", b.as_bytes())),
+                true,
+            )?;
+            Ok(ClientResponse::read_from(reader)?)
+        };
+        match attempt(pooled) {
+            Ok(response) => Ok(response),
+            Err(ClientError::Transport(_)) if had_pooled => attempt(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// One streaming exchange on its own `Connection: close` socket (a
+    /// chunked response consumes the connection, so pooling it is
+    /// pointless).
+    fn exchange_streaming(&self, path: &str) -> Result<ClientResponse, ClientError> {
         let mut stream = self.connect()?;
-        http::write_request(
-            &mut stream,
-            method,
-            path,
-            &self.addr,
-            body.map(|b| ("application/json", b.as_bytes())),
-        )?;
+        http::write_request(&mut stream, "GET", path, &self.addr, None, false)?;
         Ok(ClientResponse::read(stream)?)
     }
 
     /// One non-streaming exchange, JSON in / JSON out; non-2xx statuses
-    /// become [`ClientError::Status`].
+    /// become [`ClientError::Status`]. The connection goes back to the
+    /// pool when the server kept it alive.
     fn json_exchange(
         &self,
         method: &str,
         path: &str,
         body: Option<&str>,
     ) -> Result<Json, ClientError> {
-        let response = self.exchange(method, path, body)?;
+        let text = self.text_exchange(method, path, body)?;
+        Json::parse(&text).map_err(|e| ClientError::Malformed(e.to_string()))
+    }
+
+    /// The raw-text core of [`Client::json_exchange`] (also used where
+    /// the exact response bytes matter).
+    fn text_exchange(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<String, ClientError> {
+        let response = self.exchange_keep_alive(method, path, body)?;
         let status = response.status;
         let retry_after_secs = response.header("retry-after").and_then(|v| v.parse().ok());
-        let text = response.body_string()?;
+        let (text, reusable) = response.into_body_and_reader()?;
+        if let Some(reader) = reusable {
+            *self.pool.lock().expect("client pool poisoned") = Some(reader);
+        }
         if !(200..300).contains(&status) {
             return Err(ClientError::Status {
                 status,
@@ -269,7 +334,7 @@ impl Client {
                 retry_after_secs,
             });
         }
-        Json::parse(&text).map_err(|e| ClientError::Malformed(e.to_string()))
+        Ok(text)
     }
 
     /// `POST /v1/jobs`.
@@ -339,7 +404,7 @@ impl Client {
     /// `GET /v1/jobs/{id}/events`: the streamed NDJSON lines, parsed,
     /// in emission order, live until the job finishes.
     pub fn events(&self, id: u64) -> Result<EventStream, ClientError> {
-        let response = self.exchange("GET", &format!("/v1/jobs/{id}/events"), None)?;
+        let response = self.exchange_streaming(&format!("/v1/jobs/{id}/events"))?;
         if response.status != 200 {
             let status = response.status;
             let body = response.body_string()?;
@@ -365,22 +430,39 @@ impl Client {
     /// `--json` splices the report out of it byte-for-byte, so local and
     /// remote output run through one serializer).
     pub fn status_raw(&self, id: u64) -> Result<String, ClientError> {
-        let response = self.exchange("GET", &format!("/v1/jobs/{id}"), None)?;
-        let status = response.status;
-        let text = response.body_string()?;
-        if !(200..300).contains(&status) {
-            return Err(ClientError::Status {
-                status,
-                body: text,
-                retry_after_secs: None,
-            });
-        }
-        Ok(text)
+        self.text_exchange("GET", &format!("/v1/jobs/{id}"), None)
     }
 
     /// `DELETE /v1/jobs/{id}`: request cooperative cancellation.
     pub fn cancel(&self, id: u64) -> Result<Json, ClientError> {
         self.json_exchange("DELETE", &format!("/v1/jobs/{id}"), None)
+    }
+
+    /// `PUT /v1/datasets/{id}`: create a live dataset from its text form
+    /// (one `[{A},{B,C}]` ranking per line). Returns the server's
+    /// `{"id", "version", "n", "m"}` document.
+    pub fn create_dataset(&self, id: &str, dataset: &str) -> Result<Json, ClientError> {
+        let body = format!("{{\"dataset\":\"{}\"}}", crate::json::escape(dataset));
+        self.json_exchange("PUT", &format!("/v1/datasets/{id}"), Some(&body))
+    }
+
+    /// `PATCH /v1/datasets/{id}` with a pre-serialized `{"ops":[…]}`
+    /// body. Each op is one of `{"op":"add","ranking":"[{A},{B}]"}`,
+    /// `{"op":"remove","index":N}`, `{"op":"replace","index":N,
+    /// "ranking":"…"}`; ops apply in order and each success bumps the
+    /// dataset version.
+    pub fn patch_dataset(&self, id: &str, ops_body: &str) -> Result<Json, ClientError> {
+        self.json_exchange("PATCH", &format!("/v1/datasets/{id}"), Some(ops_body))
+    }
+
+    /// `GET /v1/datasets/{id}`: current version, shape, and text form.
+    pub fn get_dataset(&self, id: &str) -> Result<Json, ClientError> {
+        self.json_exchange("GET", &format!("/v1/datasets/{id}"), None)
+    }
+
+    /// `DELETE /v1/datasets/{id}`.
+    pub fn delete_dataset(&self, id: &str) -> Result<Json, ClientError> {
+        self.json_exchange("DELETE", &format!("/v1/datasets/{id}"), None)
     }
 
     /// `GET /v1/algorithms`.

@@ -4,10 +4,12 @@
 //! No crates.io access means no hyper/axum (the `crates/shims` offline
 //! discipline); the service speaks just enough HTTP/1.1 for its own
 //! protocol, strictly: `GET`/`POST`/`DELETE`, `Content-Length` bodies
-//! with a hard size cap, `Connection: close` semantics (one exchange per
-//! connection), and chunked responses for event streams. Anything outside
-//! that — oversized bodies, truncated requests, unknown methods — maps to
-//! a typed [`HttpError`] the server turns into a 4xx, never a panic.
+//! with a hard size cap, persistent connections for sized exchanges
+//! (HTTP/1.1 keep-alive; `Connection: close` on request), and chunked
+//! responses for event streams (always close — a stream is the
+//! connection's last exchange). Anything outside that — oversized bodies,
+//! truncated requests, unknown methods — maps to a typed [`HttpError`]
+//! the server turns into a 4xx, never a panic.
 
 use std::fmt;
 use std::io::{self, BufRead, BufReader, Read, Write};
@@ -71,6 +73,15 @@ impl Request {
             .iter()
             .find(|(k, _)| k == name)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client allows the connection to be reused after this
+    /// exchange (HTTP/1.1 default keep-alive; an explicit
+    /// `Connection: close` opts out).
+    pub fn keep_alive(&self) -> bool {
+        !self
+            .header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
     }
 }
 
@@ -174,16 +185,20 @@ fn reason(status: u16) -> &'static str {
 }
 
 /// Write one complete (non-streamed) response and flush. `extra_headers`
-/// are emitted verbatim (e.g. `("Retry-After", "2")`).
+/// are emitted verbatim (e.g. `("Retry-After", "2")`). `keep_alive`
+/// chooses the `Connection` header — the server passes the client's own
+/// preference through, so an agreed-on connection serves many exchanges.
 pub fn write_response(
     stream: &mut TcpStream,
     status: u16,
     content_type: &str,
     extra_headers: &[(&str, String)],
     body: &[u8],
+    keep_alive: bool,
 ) -> io::Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
     let mut head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n",
         reason(status),
         body.len()
     );
@@ -194,8 +209,11 @@ pub fn write_response(
         head.push_str("\r\n");
     }
     head.push_str("\r\n");
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body)?;
+    // One write for head + body: a sized response must never straddle a
+    // Nagle boundary on a keep-alive connection.
+    let mut frame = head.into_bytes();
+    frame.extend_from_slice(body);
+    stream.write_all(&frame)?;
     stream.flush()
 }
 
@@ -234,14 +252,21 @@ impl<'a> ChunkedWriter<'a> {
 
 /// Client side: write one request (used by the CLI's `--remote` path and
 /// the tests). `body` is sent with a `Content-Length`; `None` sends none.
+/// `keep_alive` asks the server to hold the connection open for the next
+/// exchange (the pooled client sends it for every sized exchange;
+/// streaming requests send `close`, since a chunked stream is always the
+/// connection's last response).
 pub fn write_request(
     stream: &mut TcpStream,
     method: &str,
     path: &str,
     host: &str,
     body: Option<(&str, &[u8])>,
+    keep_alive: bool,
 ) -> io::Result<()> {
-    let mut head = format!("{method} {path} HTTP/1.1\r\nHost: {host}\r\nConnection: close\r\n");
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    let mut head =
+        format!("{method} {path} HTTP/1.1\r\nHost: {host}\r\nConnection: {connection}\r\n");
     if let Some((content_type, payload)) = body {
         head.push_str(&format!(
             "Content-Type: {content_type}\r\nContent-Length: {}\r\n",
@@ -271,7 +296,14 @@ pub struct ClientResponse {
 impl ClientResponse {
     /// Read the status line and headers from `stream`.
     pub fn read(stream: TcpStream) -> Result<Self, HttpError> {
-        let mut reader = BufReader::new(stream);
+        Self::read_from(BufReader::new(stream))
+    }
+
+    /// [`ClientResponse::read`] over an already-buffered connection — the
+    /// entry point for a pooled keep-alive connection, whose reader must
+    /// survive across exchanges (a fresh `BufReader` would drop any bytes
+    /// the old one had buffered past the previous body).
+    pub fn read_from(mut reader: BufReader<TcpStream>) -> Result<Self, HttpError> {
         let mut line = String::new();
         if reader.read_line(&mut line)? == 0 {
             // The server closed without answering (crash, drop-accept
@@ -332,8 +364,21 @@ impl ClientResponse {
     }
 
     /// Read the entire body as text (sized, chunked, or read-to-end).
-    pub fn body_string(mut self) -> Result<String, HttpError> {
+    pub fn body_string(self) -> Result<String, HttpError> {
+        Ok(self.into_body_and_reader()?.0)
+    }
+
+    /// Read the entire body as text and return the connection's reader
+    /// when it is reusable: the body was sized (`Content-Length`) and the
+    /// server did not answer `Connection: close`. `None` means the
+    /// connection is spent (chunked or read-to-end bodies consume it; a
+    /// `close` response will be shut by the server). This is what the
+    /// pooled client uses to put a keep-alive connection back.
+    pub fn into_body_and_reader(
+        mut self,
+    ) -> Result<(String, Option<BufReader<TcpStream>>), HttpError> {
         let mut bytes = Vec::new();
+        let mut reusable = false;
         if self.chunked {
             while let Some(chunk) = read_chunk(&mut self.reader)? {
                 bytes.extend_from_slice(&chunk);
@@ -341,10 +386,16 @@ impl ClientResponse {
         } else if let Some(n) = self.content_length {
             bytes.resize(n, 0);
             self.reader.read_exact(&mut bytes)?;
+            reusable = !self
+                .headers
+                .iter()
+                .any(|(k, v)| k == "connection" && v.eq_ignore_ascii_case("close"));
         } else {
             self.reader.read_to_end(&mut bytes)?;
         }
-        String::from_utf8(bytes).map_err(|_| HttpError::Malformed("body is not UTF-8".into()))
+        let text = String::from_utf8(bytes)
+            .map_err(|_| HttpError::Malformed("body is not UTF-8".into()))?;
+        Ok((text, reusable.then_some(self.reader)))
     }
 
     /// Iterate the NDJSON lines of a chunked body as they arrive. Ends on

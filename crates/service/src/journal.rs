@@ -142,10 +142,25 @@ fn segment_file_name(id: u64, segment: u32) -> String {
 }
 
 /// Parse a `job-<id>-s<seg>.ndjson` file name back to `(id, segment)`.
+/// The strict `job-` prefix keeps the `dataset-…` family invisible here
+/// (and vice versa) — the two replays never read each other's files.
 fn parse_file_name(name: &str) -> Option<(u64, u32)> {
     let rest = name.strip_prefix("job-")?.strip_suffix(".ndjson")?;
     let (id, seg) = rest.split_once("-s")?;
     Some((id.parse().ok()?, seg.parse().ok()?))
+}
+
+/// The journal file for a live dataset (DESIGN.md §13.5). One file per
+/// dataset, not segmented: recovery rewrites it consolidated (the
+/// current text at the current version), so it stays bounded by the
+/// dataset size plus the edits since the last restart.
+fn dataset_file_name(id: &str) -> String {
+    format!("dataset-{id}.ndjson")
+}
+
+/// Parse a `dataset-<id>.ndjson` file name back to the dataset id.
+fn parse_dataset_file_name(name: &str) -> Option<&str> {
+    name.strip_prefix("dataset-")?.strip_suffix(".ndjson")
 }
 
 /// A journal directory: the factory for per-job writers and the replay
@@ -185,6 +200,21 @@ pub struct FinishedJob {
     /// The final report, byte-for-byte as originally serialized
     /// (`None` for jobs that failed without one).
     pub report_json: Option<String>,
+}
+
+/// One live dataset recovered from its journal file on startup.
+#[derive(Debug, Clone)]
+pub struct RecoveredDataset {
+    /// The dataset id (the `{id}` of `PUT /v1/datasets/{id}`).
+    pub id: String,
+    /// The dataset text as of the creation record.
+    pub dataset: String,
+    /// The creation record's version (1 for a fresh PUT; the
+    /// consolidated version after a recovery rewrite).
+    pub version: u64,
+    /// Valid edit records after the creation record, in order:
+    /// `(version_after_edit, op_json)`.
+    pub edits: Vec<(u64, String)>,
 }
 
 /// Everything a startup replay learned, plus counters for observability
@@ -274,6 +304,75 @@ impl Journal {
             format!("{{\"rec\":\"submit\",\"id\":{id},\"segment\":{segment},\"submission\":{submission_json}}}");
         writer.append(&record, true);
         Some(writer)
+    }
+
+    /// Start journalling one live dataset: create (truncating) its
+    /// `dataset-{id}.ndjson` file and write the creation record — the
+    /// full dataset text at `version` — as a milestone. Called both on
+    /// `PUT /v1/datasets/{id}` (version 1) and on recovery, where it
+    /// consolidates the replayed text + edits back into one record so
+    /// the file does not grow across restarts. `None` degrades exactly
+    /// like [`Journal::begin_job`].
+    pub fn begin_dataset(&self, id: &str, dataset: &str, version: u64) -> Option<JournalWriter> {
+        if self.degraded() {
+            return None;
+        }
+        let path = self.dir.join(dataset_file_name(id));
+        let file = match OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)
+        {
+            Ok(file) => file,
+            Err(e) => {
+                self.degrade(&format!("create {}: {e}", path.display()));
+                return None;
+            }
+        };
+        let mut writer = JournalWriter {
+            file: Some(file),
+            path,
+            fsync: self.fsync,
+            faults: Arc::clone(&self.faults),
+            degraded: Arc::clone(&self.degraded),
+        };
+        let record = format!(
+            "{{\"rec\":\"ds-create\",\"id\":\"{}\",\"version\":{version},\"dataset\":\"{}\"}}",
+            crate::json::escape(id),
+            crate::json::escape(dataset)
+        );
+        writer.append(&record, true);
+        Some(writer)
+    }
+
+    /// Delete a live dataset's journal file (`DELETE /v1/datasets/{id}`).
+    pub fn remove_dataset(&self, id: &str) {
+        let _ = fs::remove_file(self.dir.join(dataset_file_name(id)));
+    }
+
+    /// Replay the `dataset-…` family: each file yields the created text,
+    /// its base version, and the valid edit records after it (ascending
+    /// id order). Torn tails truncate a file's edit suffix, never poison
+    /// it — the dataset recovers at the last durably recorded version.
+    pub fn replay_datasets(&self) -> io::Result<Vec<RecoveredDataset>> {
+        let mut names: Vec<String> = fs::read_dir(&self.dir)?
+            .flatten()
+            .filter_map(|e| e.file_name().to_str().map(str::to_owned))
+            .filter(|n| parse_dataset_file_name(n).is_some())
+            .collect();
+        names.sort();
+        let mut recovered = Vec::new();
+        for name in names {
+            let Ok(content) = fs::read_to_string(self.dir.join(&name)) else {
+                continue;
+            };
+            let id = parse_dataset_file_name(&name).expect("filtered above");
+            if let Some(ds) = read_dataset_file(id, &content) {
+                recovered.push(ds);
+            }
+        }
+        Ok(recovered)
     }
 
     /// Delete every segment of `id` (called when the server evicts a
@@ -416,6 +515,45 @@ fn read_segment(content: &str, replay: &mut Replay) -> Option<RecoveredJob> {
     job
 }
 
+/// Parse one `dataset-…` file. `None` when no valid `ds-create` record
+/// (for this id) leads the file.
+fn read_dataset_file(id: &str, content: &str) -> Option<RecoveredDataset> {
+    let mut ds: Option<RecoveredDataset> = None;
+    for line in content.split('\n').filter(|l| !l.is_empty()) {
+        // Same torn-tail rule as job segments: stop at the first bad
+        // frame — everything after it is untrustworthy.
+        let Some(doc) = unframe_line(line).and_then(|json| Json::parse(json).ok()) else {
+            break;
+        };
+        let rec = doc.get("rec").and_then(Json::as_str);
+        match ds.as_mut() {
+            None => {
+                if rec != Some("ds-create") || doc.get("id").and_then(Json::as_str) != Some(id) {
+                    return None;
+                }
+                ds = Some(RecoveredDataset {
+                    id: id.to_owned(),
+                    dataset: doc.get("dataset").and_then(Json::as_str)?.to_owned(),
+                    version: doc.get("version").and_then(Json::as_u64).unwrap_or(1),
+                    edits: Vec::new(),
+                });
+            }
+            Some(current) => {
+                if rec == Some("ds-edit") {
+                    if let (Some(version), Some(op)) = (
+                        doc.get("version").and_then(Json::as_u64),
+                        doc.get("op").map(|op| op.to_string()),
+                    ) {
+                        current.edits.push((version, op));
+                    }
+                }
+                // Unknown record type from a future version: skip it.
+            }
+        }
+    }
+    ds
+}
+
 /// The append side of one job's journal segment. Owned by the job's
 /// collector thread; every method is infallible by design — an I/O or
 /// fsync failure degrades the whole journal (shared flag) and turns this
@@ -434,6 +572,16 @@ impl JournalWriter {
     /// streams; no heartbeats).
     pub fn append_event(&mut self, line: &str) {
         self.append(line, false);
+    }
+
+    /// Append one dataset edit record (milestone — an accepted edit must
+    /// survive a crash, or the dataset silently reverts on restart).
+    /// `op_json` is the applied op exactly as submitted, e.g.
+    /// `{"op":"add","ranking":"[{A},{B}]"}`; `version` is the dataset
+    /// version *after* the edit.
+    pub fn append_dataset_edit(&mut self, op_json: &str, version: u64) {
+        let record = format!("{{\"rec\":\"ds-edit\",\"version\":{version},\"op\":{op_json}}}");
+        self.append(&record, true);
     }
 
     /// Append the terminal record and close the segment. `report_json`
@@ -613,6 +761,58 @@ mod tests {
         assert_eq!(replay.jobs.len(), 1);
         assert_eq!(replay.jobs[0].segment, 1);
         assert!(replay.jobs[0].finished.is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dataset_family_roundtrips_and_is_invisible_to_job_replay() {
+        let dir = temp_dir("datasets");
+        let journal = Journal::open(&dir, FsyncPolicy::Never).unwrap();
+        let mut w = journal.begin_dataset("live-1", "[{A},{B}]\n[{B},{A}]", 1).unwrap();
+        w.append_dataset_edit(r#"{"op":"add","ranking":"[{B},{A}]"}"#, 2);
+        w.append_dataset_edit(r#"{"op":"remove","index":0}"#, 3);
+        drop(w);
+        // Job replay must not see dataset files (and vice versa).
+        assert!(journal.replay().unwrap().jobs.is_empty());
+        let recovered = journal.replay_datasets().unwrap();
+        assert_eq!(recovered.len(), 1);
+        let ds = &recovered[0];
+        assert_eq!(ds.id, "live-1");
+        assert_eq!(ds.dataset, "[{A},{B}]\n[{B},{A}]");
+        assert_eq!(ds.version, 1);
+        assert_eq!(
+            ds.edits,
+            vec![
+                (2, r#"{"op":"add","ranking":"[{B},{A}]"}"#.to_owned()),
+                (3, r#"{"op":"remove","index":0}"#.to_owned()),
+            ]
+        );
+        // Consolidation: a recovery rewrite truncates back to one record.
+        drop(journal.begin_dataset("live-1", "[{B},{A}]", 3).unwrap());
+        let recovered = journal.replay_datasets().unwrap();
+        assert_eq!(recovered[0].version, 3);
+        assert_eq!(recovered[0].dataset, "[{B},{A}]");
+        assert!(recovered[0].edits.is_empty());
+        journal.remove_dataset("live-1");
+        assert!(journal.replay_datasets().unwrap().is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_dataset_edit_recovers_at_the_previous_version() {
+        let dir = temp_dir("ds-torn");
+        let journal = Journal::open(&dir, FsyncPolicy::Never).unwrap();
+        let mut w = journal.begin_dataset("d", "[{A},{B}]", 1).unwrap();
+        w.append_dataset_edit(r#"{"op":"add","ranking":"[{B},{A}]"}"#, 2);
+        drop(w);
+        // Tear the last line in half, as a crash mid-append would.
+        let path = dir.join("dataset-d.ndjson");
+        let content = fs::read_to_string(&path).unwrap();
+        let keep = content.len() - 10;
+        fs::write(&path, &content[..keep]).unwrap();
+        let recovered = journal.replay_datasets().unwrap();
+        assert_eq!(recovered.len(), 1);
+        assert!(recovered[0].edits.is_empty(), "torn edit dropped");
         let _ = fs::remove_dir_all(&dir);
     }
 

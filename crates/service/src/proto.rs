@@ -165,6 +165,18 @@ pub fn error_json(message: &str, suggestion: Option<&str>) -> String {
     )
 }
 
+/// Whether `id` is a legal live-dataset name: 1–64 characters from
+/// `[A-Za-z0-9_-]`. The alphabet is deliberately filename-safe — each
+/// dataset journals to `dataset-{id}.ndjson`, so the id must never be
+/// able to traverse paths or collide with the `job-…` family.
+pub fn valid_dataset_id(id: &str) -> bool {
+    !id.is_empty()
+        && id.len() <= 64
+        && id
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
+}
+
 /// A validated `POST /v1/jobs` body.
 ///
 /// The dataset travels as the repo's text format (one `[{A},{B,C}]`
@@ -173,8 +185,17 @@ pub fn error_json(message: &str, suggestion: Option<&str>) -> String {
 /// read-and-post.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JobSubmission {
-    /// Dataset text (see above).
+    /// Dataset text (see above). Empty when [`JobSubmission::dataset_id`]
+    /// names a live dataset instead.
     pub dataset: String,
+    /// Name of a live dataset (`PUT /v1/datasets/{id}`) to aggregate
+    /// instead of inline text. Mutually exclusive with `dataset`.
+    pub dataset_id: Option<String>,
+    /// Live mode (DESIGN.md §13.4): after finishing, the job re-solves
+    /// whenever its dataset is edited, warm-started from its own previous
+    /// consensus, re-emitting version-tagged events until cancelled.
+    /// Requires `dataset_id`.
+    pub follow: bool,
     /// Algorithm spec string; `None` lets the server's §7.4 guidance pick.
     pub algo: Option<String>,
     /// RNG seed (default 42, matching the CLI).
@@ -227,11 +248,22 @@ impl JobSubmission {
     pub fn new(dataset: impl Into<String>) -> Self {
         JobSubmission {
             dataset: dataset.into(),
+            dataset_id: None,
+            follow: false,
             algo: None,
             seed: 42,
             budget: None,
             normalize: Normalization::Unification,
             idempotency_key: None,
+        }
+    }
+
+    /// A submission addressing a live dataset by id instead of carrying
+    /// inline text (CLI defaults otherwise, like [`JobSubmission::new`]).
+    pub fn for_dataset(id: impl Into<String>) -> Self {
+        JobSubmission {
+            dataset_id: Some(id.into()),
+            ..JobSubmission::new("")
         }
     }
 
@@ -246,14 +278,54 @@ impl JobSubmission {
         if !matches!(doc, Json::Obj(_)) {
             return Err(SubmissionError::new("request body must be a JSON object"));
         }
-        let dataset = doc
-            .get("dataset")
-            .ok_or_else(|| SubmissionError::new("missing required field \"dataset\""))?
-            .as_str()
-            .ok_or_else(|| SubmissionError::new("\"dataset\" must be a string"))?
-            .to_owned();
-        if dataset.trim().is_empty() {
-            return Err(SubmissionError::new("\"dataset\" is empty"));
+        let dataset_id = match doc.get("dataset_id") {
+            None => None,
+            Some(v) if v.is_null() => None,
+            Some(v) => {
+                let id = v
+                    .as_str()
+                    .ok_or_else(|| SubmissionError::new("\"dataset_id\" must be a string"))?;
+                if !valid_dataset_id(id) {
+                    return Err(SubmissionError::new(format!(
+                        "\"dataset_id\" {id:?} is invalid (1-64 characters from [A-Za-z0-9_-])"
+                    )));
+                }
+                Some(id.to_owned())
+            }
+        };
+        let dataset = match (doc.get("dataset").filter(|v| !v.is_null()), &dataset_id) {
+            (Some(_), Some(_)) => {
+                return Err(SubmissionError::new(
+                    "provide either \"dataset\" or \"dataset_id\", not both",
+                ));
+            }
+            (None, Some(_)) => String::new(),
+            (None, None) => {
+                return Err(SubmissionError::new(
+                    "missing required field \"dataset\" (or \"dataset_id\")",
+                ));
+            }
+            (Some(v), None) => {
+                let text = v
+                    .as_str()
+                    .ok_or_else(|| SubmissionError::new("\"dataset\" must be a string"))?;
+                if text.trim().is_empty() {
+                    return Err(SubmissionError::new("\"dataset\" is empty"));
+                }
+                text.to_owned()
+            }
+        };
+        let follow = match doc.get("follow") {
+            None => false,
+            Some(v) if v.is_null() => false,
+            Some(v) => v
+                .as_bool()
+                .ok_or_else(|| SubmissionError::new("\"follow\" must be a boolean"))?,
+        };
+        if follow && dataset_id.is_none() {
+            return Err(SubmissionError::new(
+                "\"follow\":true requires \"dataset_id\" (only live datasets can be followed)",
+            ));
         }
         let algo = match doc.get("algo") {
             None => None,
@@ -318,6 +390,8 @@ impl JobSubmission {
         };
         Ok(JobSubmission {
             dataset,
+            dataset_id,
+            follow,
             algo,
             seed,
             budget,
@@ -328,7 +402,13 @@ impl JobSubmission {
 
     /// Serialize for `POST /v1/jobs` (the client side).
     pub fn to_json(&self) -> String {
-        let mut out = format!("{{\"dataset\":\"{}\"", escape(&self.dataset));
+        let mut out = match &self.dataset_id {
+            Some(id) => format!("{{\"dataset_id\":\"{}\"", escape(id)),
+            None => format!("{{\"dataset\":\"{}\"", escape(&self.dataset)),
+        };
+        if self.follow {
+            out.push_str(",\"follow\":true");
+        }
         if let Some(algo) = &self.algo {
             let _ = write!(out, ",\"algo\":\"{}\"", escape(algo));
         }
@@ -393,6 +473,36 @@ mod tests {
                 err.message
             );
         }
+    }
+
+    #[test]
+    fn dataset_id_submissions_roundtrip_and_validate() {
+        let sub = JobSubmission {
+            follow: true,
+            seed: 9,
+            ..JobSubmission::for_dataset("live-1")
+        };
+        assert_eq!(JobSubmission::from_json(&sub.to_json()), Ok(sub));
+
+        for (body, needle) in [
+            (r#"{"dataset_id":"a b"}"#, "invalid"),
+            (r#"{"dataset_id":"../x"}"#, "invalid"),
+            (r#"{"dataset_id":""}"#, "invalid"),
+            (r#"{"dataset_id":7}"#, "string"),
+            (r#"{"dataset":"[{A}]","dataset_id":"d"}"#, "not both"),
+            (r#"{"dataset":"[{A}]","follow":true}"#, "dataset_id"),
+            (r#"{"dataset_id":"d","follow":"yes"}"#, "boolean"),
+            (r#"{}"#, "dataset"),
+        ] {
+            let err = JobSubmission::from_json(body).expect_err(body);
+            assert!(
+                err.message.contains(needle),
+                "{body}: {} should mention {needle:?}",
+                err.message
+            );
+        }
+        assert!(valid_dataset_id("ok_Name-42"));
+        assert!(!valid_dataset_id(&"x".repeat(65)));
     }
 
     #[test]

@@ -1,13 +1,18 @@
-//! The HTTP server: anytime aggregation jobs over the wire.
+//! The HTTP server: anytime aggregation jobs over the wire, plus live
+//! dataset sessions (DESIGN.md §13).
 //!
-//! Endpoint surface (DESIGN.md §10.1):
+//! Endpoint surface (DESIGN.md §10.1, §13.4):
 //!
 //! | Method   | Path                   | Meaning                                        |
 //! |----------|------------------------|------------------------------------------------|
-//! | `POST`   | `/v1/jobs`             | submit a job (dataset + spec + seed + budget)  |
+//! | `POST`   | `/v1/jobs`             | submit a job (dataset or dataset_id + spec)    |
 //! | `GET`    | `/v1/jobs/{id}/events` | stream NDJSON lifecycle events (chunked)       |
 //! | `GET`    | `/v1/jobs/{id}`        | job status + best-so-far report incl. trace    |
-//! | `DELETE` | `/v1/jobs/{id}`        | cooperative cancel                             |
+//! | `DELETE` | `/v1/jobs/{id}`        | cooperative cancel (ends a live job's follow)  |
+//! | `PUT`    | `/v1/datasets/{id}`    | create a live dataset (create-only, 409 dupes) |
+//! | `PATCH`  | `/v1/datasets/{id}`    | apply add/remove/replace ops, one version each |
+//! | `GET`    | `/v1/datasets/{id}`    | current text + version + n + m                 |
+//! | `DELETE` | `/v1/datasets/{id}`    | drop the dataset (live jobs on it finish)      |
 //! | `GET`    | `/v1/algorithms`       | the algorithm registry                         |
 //! | `GET`    | `/healthz`             | liveness + scheduler stats                     |
 //!
@@ -18,24 +23,35 @@
 //! [`JobHandle`](rank_core::engine::JobHandle)'s event
 //! stream into a replayable per-job log (so `GET …/events` works for
 //! late and repeated subscribers, streaming live past the replay point)
-//! and stores the final report. Connection handling is
-//! thread-per-connection with `Connection: close` semantics — the
-//! protocol is one exchange per connection, which keeps the server free
-//! of any read-multiplexing machinery while still serving streams of
-//! concurrent clients (the bench's service section measures exactly
-//! that).
+//! and stores the final report.
+//!
+//! A job submitted with `"dataset_id"` aggregates the live dataset's
+//! current snapshot, warm-started from the dataset's last recorded
+//! consensus; its own consensus is recorded back as the next warm hint.
+//! With `"follow": true` the job never finishes on its own: every dataset
+//! version bump re-solves (warm-started), re-emitting incumbents tagged
+//! `"dataset_version"`, until the job is cancelled or the dataset
+//! deleted.
+//!
+//! Connection handling is thread-per-connection with HTTP/1.1
+//! keep-alive: sized exchanges loop on one connection (a 30 s read
+//! timeout bounds idle ones); event streams are their connection's last
+//! response (`Connection: close`).
 
 use crate::fault::FaultPlan;
 use crate::http::{self, ChunkedWriter, HttpError, Request};
-use crate::journal::{FsyncPolicy, Journal, JournalWriter};
+use crate::journal::{FsyncPolicy, Journal, JournalWriter, RecoveredDataset};
+use crate::json::Json;
 use crate::proto::{self, JobSubmission, SubmissionError};
 use rank_core::engine::{
-    AdmissionError, AggregationRequest, AlgoSpec, Engine, Event, SchedulerConfig,
+    AdmissionError, AggregationRequest, AlgoSpec, CancelToken, Engine, Event, IncumbentSink,
+    SchedulerConfig,
 };
 use rank_core::guidance::{recommend, DatasetFeatures, Priority};
 use rank_core::normalize::Normalized;
-use rank_core::parse::parse_dataset_lines;
-use rank_core::{Dataset, Universe};
+use rank_core::parse::{parse_dataset_lines, parse_ranking_labeled};
+use rank_core::session::DatasetSession;
+use rank_core::{CostMatrix, Dataset, Element, Universe};
 use std::collections::HashMap;
 use std::io::BufReader;
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
@@ -87,17 +103,79 @@ struct JobRecord {
     id: u64,
     spec: AlgoSpec,
     seed: u64,
-    n: usize,
-    m: usize,
     normalize: rank_core::engine::Normalization,
-    universe: Universe,
-    norm: Normalized,
-    cancel: rank_core::engine::CancelToken,
-    sink: Arc<rank_core::engine::IncumbentSink>,
     /// The submission's idempotency key, so eviction can release it.
     idempotency: Option<String>,
+    /// The live dataset this job aggregates, when submitted by
+    /// `dataset_id` — the collector records the consensus back into it
+    /// as the next warm hint.
+    dataset: Option<Arc<LiveDataset>>,
+    /// Set for `"follow": true` jobs: flipping it ends the follow loop
+    /// after the in-flight round (DELETE flips it and pokes the
+    /// dataset's condvar).
+    follow_stop: Option<AtomicBool>,
+    /// The parts that change per follow round (for ordinary jobs they
+    /// are written once at submission): dataset shape, denormalization
+    /// context, and the current round's sink + cancel token.
+    live: Mutex<LiveRefs>,
     state: Mutex<JobProgress>,
     advanced: Condvar,
+}
+
+/// The round-scoped half of a [`JobRecord`] (see its `live` field).
+struct LiveRefs {
+    n: usize,
+    m: usize,
+    universe: Universe,
+    norm: Normalized,
+    sink: Arc<IncumbentSink>,
+    cancel: CancelToken,
+}
+
+/// One live dataset (`PUT /v1/datasets/{id}`): a [`DatasetSession`]
+/// (delta-patched matrix, version counter, warm hint) plus the label
+/// universe it was parsed against and its journal writer. `changed` is
+/// notified on every edit and on deletion — follow loops sleep on it.
+struct LiveDataset {
+    id: String,
+    state: Mutex<DatasetState>,
+    changed: Condvar,
+}
+
+struct DatasetState {
+    universe: Universe,
+    session: DatasetSession,
+    writer: Option<JournalWriter>,
+    /// Set by `DELETE /v1/datasets/{id}`: the dataset is gone from the
+    /// table; follow loops still holding an `Arc` see this and finish.
+    deleted: bool,
+}
+
+impl LiveDataset {
+    fn lock(&self) -> std::sync::MutexGuard<'_, DatasetState> {
+        self.state.lock().expect("dataset state poisoned")
+    }
+}
+
+/// The input rankings rendered back to the repo's dataset text format,
+/// one `[{A},{B,C}]` line per ranking.
+fn dataset_text(session: &DatasetSession, universe: &Universe) -> String {
+    let lines: Vec<String> = session
+        .rankings()
+        .iter()
+        .map(|r| r.display_with(universe))
+        .collect();
+    lines.join("\n")
+}
+
+/// The identity [`Normalized`] for a dataset-id job: live sessions keep
+/// their rankings dense and unified, so dense id `i` *is* universe
+/// element `i` — no remapping ever happens.
+fn identity_norm(data: &Dataset) -> Normalized {
+    Normalized {
+        dataset: data.clone(),
+        mapping: (0..data.n() as u32).map(Element).collect(),
+    }
 }
 
 #[derive(Default)]
@@ -128,11 +206,18 @@ impl JobRecord {
     fn queue_state(&self) -> &'static str {
         state_name(&self.state.lock().expect("job state poisoned"))
     }
+
+    fn live(&self) -> std::sync::MutexGuard<'_, LiveRefs> {
+        self.live.lock().expect("job live refs poisoned")
+    }
 }
 
 struct ServerState {
     engine: Engine,
     jobs: Mutex<JobTable>,
+    /// Live datasets by id (`PUT /v1/datasets/{id}` creates, `DELETE`
+    /// removes).
+    datasets: Mutex<HashMap<String, Arc<LiveDataset>>>,
     started: Instant,
     accepted_total: AtomicU64,
     shutting_down: AtomicBool,
@@ -212,6 +297,7 @@ impl Server {
         let state = Arc::new(ServerState {
             engine,
             jobs: Mutex::new(JobTable::default()),
+            datasets: Mutex::new(HashMap::new()),
             started: Instant::now(),
             accepted_total: AtomicU64::new(0),
             shutting_down: AtomicBool::new(false),
@@ -272,43 +358,96 @@ impl Server {
     }
 }
 
+/// What a handled request means for the connection: loop for another
+/// request, or close (event streams end their connection by design).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Served {
+    KeepAlive,
+    Close,
+}
+
 fn handle_connection(mut stream: TcpStream, state: &Arc<ServerState>) {
-    // A stuck or silent client may hold the socket, but not forever.
+    // A stuck or silent client may hold the socket, but not forever —
+    // the same timeout also bounds how long an idle keep-alive
+    // connection occupies its thread.
     let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    // Responses and streamed events are small writes on a long-lived
+    // socket: without TCP_NODELAY, Nagle holds the second write of a
+    // response until the client's delayed ACK (~40 ms per keep-alive
+    // round trip on loopback).
+    let _ = stream.set_nodelay(true);
     let mut reader = match stream.try_clone() {
         Ok(clone) => BufReader::new(clone),
         Err(_) => return,
     };
-    let request = match http::read_request(&mut reader) {
-        Ok(request) => request,
-        Err(HttpError::BodyTooLarge(_)) => {
-            respond_error(&mut stream, 413, "request body too large", None);
-            return;
+    loop {
+        let request = match http::read_request(&mut reader) {
+            Ok(request) => request,
+            Err(HttpError::BodyTooLarge(_)) => {
+                respond_error(&mut stream, 413, "request body too large", None, false);
+                return;
+            }
+            Err(HttpError::Malformed(message)) => {
+                // Framing is no longer trustworthy: answer and close.
+                respond_error(&mut stream, 400, &message, None, false);
+                return;
+            }
+            // A clean EOF between requests is how keep-alive ends.
+            Err(HttpError::Io(_)) => return,
+        };
+        let keep = request.keep_alive();
+        match route(&mut stream, &request, state, keep) {
+            Served::KeepAlive if keep => continue,
+            _ => return,
         }
-        Err(HttpError::Malformed(message)) => {
-            respond_error(&mut stream, 400, &message, None);
-            return;
-        }
-        Err(HttpError::Io(_)) => return,
-    };
-    route(&mut stream, &request, state);
+    }
 }
 
-fn respond_error(stream: &mut TcpStream, status: u16, message: &str, suggestion: Option<&str>) {
+fn respond_error(
+    stream: &mut TcpStream,
+    status: u16,
+    message: &str,
+    suggestion: Option<&str>,
+    keep: bool,
+) -> Served {
     let body = proto::error_json(message, suggestion);
-    let _ = http::write_response(stream, status, "application/json", &[], body.as_bytes());
+    let _ = http::write_response(stream, status, "application/json", &[], body.as_bytes(), keep);
+    Served::KeepAlive
 }
 
-fn respond_json(stream: &mut TcpStream, status: u16, body: &str) {
-    let _ = http::write_response(stream, status, "application/json", &[], body.as_bytes());
+fn respond_json(stream: &mut TcpStream, status: u16, body: &str, keep: bool) -> Served {
+    let _ = http::write_response(stream, status, "application/json", &[], body.as_bytes(), keep);
+    Served::KeepAlive
 }
 
-fn route(stream: &mut TcpStream, request: &Request, state: &Arc<ServerState>) {
+fn route(stream: &mut TcpStream, request: &Request, state: &Arc<ServerState>, keep: bool) -> Served {
     let path = request.path.trim_end_matches('/');
     match (request.method.as_str(), path) {
-        ("GET", "/healthz") => healthz(stream, state),
-        ("GET", "/v1/algorithms") => respond_json(stream, 200, &proto::registry_json()),
-        ("POST", "/v1/jobs") => submit_job(stream, request, state),
+        ("GET", "/healthz") => healthz(stream, state, keep),
+        ("GET", "/v1/algorithms") => respond_json(stream, 200, &proto::registry_json(), keep),
+        ("POST", "/v1/jobs") => submit_job(stream, request, state, keep),
+        (_, "/healthz" | "/v1/algorithms" | "/v1/jobs") => {
+            respond_error(stream, 405, "unsupported method for this path", None, keep)
+        }
+        (method, path) if path.starts_with("/v1/datasets/") => {
+            let id = &path["/v1/datasets/".len()..];
+            if !proto::valid_dataset_id(id) {
+                return respond_error(
+                    stream,
+                    400,
+                    &format!("bad dataset id {id:?} (1-64 characters from [A-Za-z0-9_-])"),
+                    None,
+                    keep,
+                );
+            }
+            match method {
+                "PUT" => create_dataset(stream, request, state, id, keep),
+                "PATCH" => edit_dataset(stream, request, state, id, keep),
+                "GET" => get_dataset(stream, state, id, keep),
+                "DELETE" => delete_dataset(stream, state, id, keep),
+                _ => respond_error(stream, 405, "unsupported method for this path", None, keep),
+            }
+        }
         (method, path) if path.starts_with("/v1/jobs/") => {
             let rest = &path["/v1/jobs/".len()..];
             let (id_text, tail) = match rest.split_once('/') {
@@ -316,8 +455,7 @@ fn route(stream: &mut TcpStream, request: &Request, state: &Arc<ServerState>) {
                 Some((id, tail)) => (id, Some(tail)),
             };
             let Ok(id) = id_text.parse::<u64>() else {
-                respond_error(stream, 400, &format!("bad job id {id_text:?}"), None);
-                return;
+                return respond_error(stream, 400, &format!("bad job id {id_text:?}"), None, keep);
             };
             let record = state
                 .jobs
@@ -327,13 +465,18 @@ fn route(stream: &mut TcpStream, request: &Request, state: &Arc<ServerState>) {
                 .get(&id)
                 .cloned();
             let Some(record) = record else {
-                respond_error(stream, 404, &format!("no such job {id}"), None);
-                return;
+                return respond_error(stream, 404, &format!("no such job {id}"), None, keep);
             };
             match (method, tail) {
-                ("GET", None) => job_status(stream, &record),
+                ("GET", None) => job_status(stream, &record, keep),
                 ("DELETE", None) => {
-                    record.cancel.cancel();
+                    record.live().cancel.cancel();
+                    if let Some(stop) = &record.follow_stop {
+                        stop.store(true, Ordering::SeqCst);
+                        if let Some(dataset) = &record.dataset {
+                            dataset.changed.notify_all();
+                        }
+                    }
                     respond_json(
                         stream,
                         202,
@@ -341,20 +484,23 @@ fn route(stream: &mut TcpStream, request: &Request, state: &Arc<ServerState>) {
                             "{{\"id\":{id},\"cancelling\":true,\"state\":\"{}\"}}",
                             record.queue_state()
                         ),
-                    );
+                        keep,
+                    )
                 }
                 ("GET", Some("events")) => stream_events(stream, &record),
-                _ => respond_error(stream, 405, "unsupported method for this path", None),
+                _ => respond_error(stream, 405, "unsupported method for this path", None, keep),
             }
         }
-        ("POST", _) | ("GET", _) | ("DELETE", _) => {
-            respond_error(stream, 404, &format!("no such endpoint {path:?}"), None)
+        ("POST", _) | ("GET", _) | ("DELETE", _) | ("PUT", _) | ("PATCH", _) => {
+            respond_error(stream, 404, &format!("no such endpoint {path:?}"), None, keep)
         }
-        (method, _) => respond_error(stream, 405, &format!("unsupported method {method}"), None),
+        (method, _) => {
+            respond_error(stream, 405, &format!("unsupported method {method}"), None, keep)
+        }
     }
 }
 
-fn healthz(stream: &mut TcpStream, state: &Arc<ServerState>) {
+fn healthz(stream: &mut TcpStream, state: &Arc<ServerState>, keep: bool) -> Served {
     let stats = state.engine.scheduler_stats();
     let degraded = state.degraded.load(Ordering::SeqCst);
     let journal = match (&state.journal, degraded) {
@@ -362,11 +508,12 @@ fn healthz(stream: &mut TcpStream, state: &Arc<ServerState>) {
         (Some(_), true) => "degraded",
         (Some(_), false) => "active",
     };
+    let datasets = state.datasets.lock().expect("dataset table poisoned").len();
     let body = format!(
         concat!(
             "{{\"status\":\"{}\",\"journal\":\"{}\",\"uptime_secs\":{:.1},",
             "\"jobs_accepted\":{},\"jobs_queued\":{},\"jobs_running\":{},",
-            "\"max_jobs\":{},\"queue_capacity\":{}}}"
+            "\"datasets\":{},\"max_jobs\":{},\"queue_capacity\":{}}}"
         ),
         if degraded { "degraded" } else { "ok" },
         journal,
@@ -374,10 +521,351 @@ fn healthz(stream: &mut TcpStream, state: &Arc<ServerState>) {
         state.accepted_total.load(Ordering::Relaxed),
         stats.queued,
         stats.running,
+        datasets,
         stats.max_concurrent,
         stats.queue_capacity,
     );
-    respond_json(stream, 200, &body);
+    respond_json(stream, 200, &body, keep)
+}
+
+/// One structurally parsed `PATCH /v1/datasets/{id}` op, label text still
+/// unresolved (labels are parsed against the dataset's universe under its
+/// lock, at apply time).
+enum DatasetOp {
+    Add { ranking: String },
+    Remove { index: usize },
+    Replace { index: usize, ranking: String },
+}
+
+impl DatasetOp {
+    /// The canonical JSON of the op — what the journal records, and what
+    /// recovery feeds back through [`DatasetOp::parse`].
+    fn to_json(&self) -> String {
+        match self {
+            DatasetOp::Add { ranking } => {
+                format!(
+                    "{{\"op\":\"add\",\"ranking\":\"{}\"}}",
+                    crate::json::escape(ranking)
+                )
+            }
+            DatasetOp::Remove { index } => format!("{{\"op\":\"remove\",\"index\":{index}}}"),
+            DatasetOp::Replace { index, ranking } => format!(
+                "{{\"op\":\"replace\",\"index\":{index},\"ranking\":\"{}\"}}",
+                crate::json::escape(ranking)
+            ),
+        }
+    }
+
+    /// Parse one op object. Structural errors only; ranking text is
+    /// validated at apply time.
+    fn parse(doc: &Json) -> Result<DatasetOp, String> {
+        let kind = doc
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or("each op needs an \"op\" field (add|remove|replace)")?;
+        let index = || {
+            doc.get("index")
+                .and_then(Json::as_u64)
+                .map(|i| i as usize)
+                .ok_or_else(|| format!("op {kind:?} needs a non-negative \"index\""))
+        };
+        let ranking = || {
+            doc.get("ranking")
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("op {kind:?} needs a \"ranking\" string"))
+        };
+        match kind {
+            "add" => Ok(DatasetOp::Add { ranking: ranking()? }),
+            "remove" => Ok(DatasetOp::Remove { index: index()? }),
+            "replace" => Ok(DatasetOp::Replace {
+                index: index()?,
+                ranking: ranking()?,
+            }),
+            other => Err(format!("unknown op {other:?} (use add|remove|replace)")),
+        }
+    }
+}
+
+/// Apply one op to a dataset: parse any ranking text against a *clone*
+/// of the universe, patch the session, and only then commit the clone —
+/// a refused op must not leak half-interned labels. Returns the new
+/// version.
+fn apply_op(
+    universe: &mut Universe,
+    session: &mut DatasetSession,
+    op: &DatasetOp,
+) -> Result<u64, String> {
+    let parse = |text: &str, universe: &mut Universe| {
+        parse_ranking_labeled(text, universe).map_err(|e| format!("ranking: {e}"))
+    };
+    match op {
+        DatasetOp::Add { ranking } => {
+            let mut scratch = universe.clone();
+            let r = parse(ranking, &mut scratch)?;
+            let version = session.add_ranking(r).map_err(|e| e.to_string())?;
+            *universe = scratch;
+            Ok(version)
+        }
+        DatasetOp::Remove { index } => session.remove_ranking(*index).map_err(|e| e.to_string()),
+        DatasetOp::Replace { index, ranking } => {
+            let mut scratch = universe.clone();
+            let r = parse(ranking, &mut scratch)?;
+            let version = session
+                .replace_ranking(*index, r)
+                .map_err(|e| e.to_string())?;
+            *universe = scratch;
+            Ok(version)
+        }
+    }
+}
+
+/// Rebuild a live dataset from its journal file: the consolidated text,
+/// then each durably recorded edit, landing at the journaled version.
+fn rebuild_dataset(ds: &RecoveredDataset) -> Result<(Universe, DatasetSession), String> {
+    let (mut universe, mut session) = build_session(&ds.dataset)?;
+    session.restore_version(ds.version);
+    for (version, op_json) in &ds.edits {
+        let doc = Json::parse(op_json).map_err(|e| format!("edit record: {e}"))?;
+        let op = DatasetOp::parse(&doc)?;
+        apply_op(&mut universe, &mut session, &op)?;
+        session.restore_version(*version);
+    }
+    Ok((universe, session))
+}
+
+/// Shared body of the PUT and recovery paths: dataset text → universe +
+/// unified session. Mirrors `prepare_submission`'s unification semantics,
+/// so a live dataset and a one-shot `"dataset"` job see identical inputs.
+fn build_session(text: &str) -> Result<(Universe, DatasetSession), String> {
+    let mut universe = Universe::new();
+    let raw = parse_dataset_lines(text, &mut universe).map_err(|e| format!("dataset: {e}"))?;
+    if raw.is_empty() {
+        return Err("dataset contains no rankings".to_owned());
+    }
+    let norm = rank_core::normalize::unification(&raw)
+        .expect("non-empty raw rankings always unify");
+    Ok((universe, DatasetSession::new(norm.dataset)))
+}
+
+/// `PUT /v1/datasets/{id}`: create-only (409 on an existing id). Body:
+/// `{"dataset":"<text>"}`.
+fn create_dataset(
+    stream: &mut TcpStream,
+    request: &Request,
+    state: &Arc<ServerState>,
+    id: &str,
+    keep: bool,
+) -> Served {
+    let Ok(body) = std::str::from_utf8(&request.body) else {
+        return respond_error(stream, 400, "request body is not UTF-8", None, keep);
+    };
+    let text = match Json::parse(body)
+        .ok()
+        .as_ref()
+        .and_then(|doc| doc.get("dataset"))
+        .and_then(Json::as_str)
+    {
+        Some(text) if !text.trim().is_empty() => text.to_owned(),
+        _ => {
+            return respond_error(
+                stream,
+                400,
+                "body must be {\"dataset\":\"<one ranking per line>\"}",
+                None,
+                keep,
+            );
+        }
+    };
+    let (universe, session) = match build_session(&text) {
+        Ok(built) => built,
+        Err(message) => return respond_error(stream, 400, &message, None, keep),
+    };
+    let (n, m) = (session.n(), session.m());
+    {
+        let mut datasets = state.datasets.lock().expect("dataset table poisoned");
+        if datasets.contains_key(id) {
+            return respond_error(
+                stream,
+                409,
+                &format!("dataset {id:?} already exists (PATCH it, or DELETE first)"),
+                None,
+                keep,
+            );
+        }
+        let writer = state
+            .journal
+            .as_ref()
+            .and_then(|journal| journal.begin_dataset(id, &dataset_text(&session, &universe), 1));
+        datasets.insert(
+            id.to_owned(),
+            Arc::new(LiveDataset {
+                id: id.to_owned(),
+                state: Mutex::new(DatasetState {
+                    universe,
+                    session,
+                    writer,
+                    deleted: false,
+                }),
+                changed: Condvar::new(),
+            }),
+        );
+    }
+    respond_json(
+        stream,
+        201,
+        &format!(
+            "{{\"id\":\"{}\",\"version\":1,\"n\":{n},\"m\":{m}}}",
+            crate::json::escape(id)
+        ),
+        keep,
+    )
+}
+
+/// `PATCH /v1/datasets/{id}`: apply `{"ops":[…]}` in order, one version
+/// bump (and one journal record) per successful op. A failing op stops
+/// the sequence with a 409 that reports both the applied count and the
+/// version reached — ops before it stay applied (each is an independent,
+/// durably journaled edit).
+fn edit_dataset(
+    stream: &mut TcpStream,
+    request: &Request,
+    state: &Arc<ServerState>,
+    id: &str,
+    keep: bool,
+) -> Served {
+    let Ok(body) = std::str::from_utf8(&request.body) else {
+        return respond_error(stream, 400, "request body is not UTF-8", None, keep);
+    };
+    let ops: Vec<DatasetOp> = {
+        let parsed = Json::parse(body).ok();
+        let list = parsed
+            .as_ref()
+            .and_then(|doc| doc.get("ops"))
+            .and_then(Json::as_array);
+        let Some(list) = list else {
+            return respond_error(
+                stream,
+                400,
+                "body must be {\"ops\":[{\"op\":\"add\",\"ranking\":\"…\"},…]}",
+                None,
+                keep,
+            );
+        };
+        if list.is_empty() {
+            return respond_error(stream, 400, "\"ops\" is empty", None, keep);
+        }
+        match list.iter().map(DatasetOp::parse).collect() {
+            Ok(ops) => ops,
+            Err(message) => return respond_error(stream, 400, &message, None, keep),
+        }
+    };
+    let dataset = state
+        .datasets
+        .lock()
+        .expect("dataset table poisoned")
+        .get(id)
+        .cloned();
+    let Some(dataset) = dataset else {
+        return respond_error(stream, 404, &format!("no such dataset {id:?}"), None, keep);
+    };
+    let mut applied = 0usize;
+    let mut failure: Option<String> = None;
+    let (version, n, m) = {
+        let mut guard = dataset.lock();
+        let ds = &mut *guard;
+        for op in &ops {
+            match apply_op(&mut ds.universe, &mut ds.session, op) {
+                Ok(version) => {
+                    applied += 1;
+                    if let Some(writer) = ds.writer.as_mut() {
+                        writer.append_dataset_edit(&op.to_json(), version);
+                    }
+                }
+                Err(message) => {
+                    failure = Some(format!("op {applied}: {message}"));
+                    break;
+                }
+            }
+        }
+        (ds.session.version(), ds.session.n(), ds.session.m())
+    };
+    if applied > 0 {
+        // Edits landed: wake every follow loop sleeping on this dataset.
+        dataset.changed.notify_all();
+    }
+    match failure {
+        None => respond_json(
+            stream,
+            200,
+            &format!(
+                "{{\"id\":\"{}\",\"version\":{version},\"n\":{n},\"m\":{m},\"applied\":{applied}}}",
+                crate::json::escape(id)
+            ),
+            keep,
+        ),
+        Some(message) => respond_json(
+            stream,
+            409,
+            &format!(
+                "{{\"error\":\"{}\",\"version\":{version},\"applied\":{applied}}}",
+                crate::json::escape(&message)
+            ),
+            keep,
+        ),
+    }
+}
+
+/// `GET /v1/datasets/{id}`: the current text, version, and shape.
+fn get_dataset(stream: &mut TcpStream, state: &Arc<ServerState>, id: &str, keep: bool) -> Served {
+    let dataset = state
+        .datasets
+        .lock()
+        .expect("dataset table poisoned")
+        .get(id)
+        .cloned();
+    let Some(dataset) = dataset else {
+        return respond_error(stream, 404, &format!("no such dataset {id:?}"), None, keep);
+    };
+    let ds = dataset.lock();
+    let body = format!(
+        "{{\"id\":\"{}\",\"version\":{},\"n\":{},\"m\":{},\"dataset\":\"{}\"}}",
+        crate::json::escape(id),
+        ds.session.version(),
+        ds.session.n(),
+        ds.session.m(),
+        crate::json::escape(&dataset_text(&ds.session, &ds.universe)),
+    );
+    drop(ds);
+    respond_json(stream, 200, &body, keep)
+}
+
+/// `DELETE /v1/datasets/{id}`: drop the dataset and its journal file.
+/// Follow jobs on it observe `deleted` and finish as cancelled.
+fn delete_dataset(stream: &mut TcpStream, state: &Arc<ServerState>, id: &str, keep: bool) -> Served {
+    let removed = state
+        .datasets
+        .lock()
+        .expect("dataset table poisoned")
+        .remove(id);
+    let Some(dataset) = removed else {
+        return respond_error(stream, 404, &format!("no such dataset {id:?}"), None, keep);
+    };
+    {
+        let mut ds = dataset.lock();
+        ds.deleted = true;
+        ds.writer = None;
+    }
+    dataset.changed.notify_all();
+    if let Some(journal) = &state.journal {
+        journal.remove_dataset(id);
+    }
+    respond_json(
+        stream,
+        200,
+        &format!("{{\"id\":\"{}\",\"deleted\":true}}", crate::json::escape(id)),
+        keep,
+    )
 }
 
 /// A submission after parsing and validation: everything needed to build
@@ -389,6 +877,46 @@ struct Prepared {
     norm: Normalized,
     data: Arc<Dataset>,
     spec: AlgoSpec,
+}
+
+/// A prepared submission plus its live-dataset context (absent for
+/// inline-dataset jobs): the warm-start hint and version snapshotted at
+/// preparation, and the dataset handle for consensus record-back.
+struct PreparedJob {
+    prepared: Prepared,
+    warm: Option<rank_core::algorithms::WarmStart>,
+    /// The dataset version the snapshot was taken at (0 for inline jobs;
+    /// live versions start at 1).
+    version: u64,
+    dataset: Option<Arc<LiveDataset>>,
+    /// The session's delta-patched cost matrix, snapshotted with the
+    /// dataset — attached to the request so the engine skips its own
+    /// `O(m·n²)` rebuild (absent for inline jobs).
+    matrix: Option<Arc<CostMatrix>>,
+}
+
+/// Resolve the algorithm spec (explicit, or §7.4 guidance) and check its
+/// size cap against the dataset.
+fn resolve_spec(submission: &JobSubmission, data: &Dataset) -> Result<AlgoSpec, SubmissionError> {
+    let spec = match &submission.algo {
+        Some(name) => AlgoSpec::parse(name).map_err(|e| SubmissionError {
+            message: e.to_string(),
+            suggestion: e.suggestion.clone(),
+        })?,
+        None => {
+            let rec = recommend(&DatasetFeatures::measure(data), Priority::Balanced);
+            AlgoSpec::parse(rec.algorithm).expect("guidance names are registered")
+        }
+    };
+    if let Some(cap) = spec.max_n() {
+        if data.n() > cap {
+            return Err(SubmissionError::new(format!(
+                "{spec} handles at most n = {cap} elements; this dataset has {}",
+                data.n()
+            )));
+        }
+    }
+    Ok(spec)
 }
 
 /// Dataset text → raw rankings → normalized dense dataset → resolved
@@ -408,24 +936,7 @@ fn prepare_submission(submission: &JobSubmission) -> Result<Prepared, Submission
     // One copy of the dense dataset, shared by the request (Arc) and
     // readable for the n/m/guidance checks below.
     let data = Arc::new(norm.dataset.clone());
-    let spec = match &submission.algo {
-        Some(name) => AlgoSpec::parse(name).map_err(|e| SubmissionError {
-            message: e.to_string(),
-            suggestion: e.suggestion.clone(),
-        })?,
-        None => {
-            let rec = recommend(&DatasetFeatures::measure(&data), Priority::Balanced);
-            AlgoSpec::parse(rec.algorithm).expect("guidance names are registered")
-        }
-    };
-    if let Some(cap) = spec.max_n() {
-        if data.n() > cap {
-            return Err(SubmissionError::new(format!(
-                "{spec} handles at most n = {cap} elements; this dataset has {}",
-                data.n()
-            )));
-        }
-    }
+    let spec = resolve_spec(submission, &data)?;
     Ok(Prepared {
         universe,
         norm,
@@ -434,15 +945,85 @@ fn prepare_submission(submission: &JobSubmission) -> Result<Prepared, Submission
     })
 }
 
+/// Prepare a `"dataset_id"` job: snapshot the live dataset (frozen copy,
+/// universe, warm hint, version) under its lock, then resolve the spec
+/// against the snapshot. The error carries the HTTP status (404 for a
+/// missing dataset, 400 otherwise).
+fn prepare_dataset_job(
+    state: &Arc<ServerState>,
+    submission: &JobSubmission,
+) -> Result<PreparedJob, (u16, SubmissionError)> {
+    let id = submission.dataset_id.as_deref().expect("caller checked");
+    let dataset = state
+        .datasets
+        .lock()
+        .expect("dataset table poisoned")
+        .get(id)
+        .cloned()
+        .ok_or_else(|| (404, SubmissionError::new(format!("no such dataset {id:?}"))))?;
+    let (data, universe, warm, version, matrix) = {
+        let ds = dataset.lock();
+        (
+            Arc::new(ds.session.dataset()),
+            ds.universe.clone(),
+            ds.session.warm_start(),
+            ds.session.version(),
+            Arc::new(ds.session.matrix().clone()),
+        )
+    };
+    let spec = resolve_spec(submission, &data).map_err(|e| (400, e))?;
+    let norm = identity_norm(&data);
+    Ok(PreparedJob {
+        prepared: Prepared {
+            universe,
+            norm,
+            data,
+            spec,
+        },
+        warm,
+        version,
+        dataset: Some(dataset),
+        matrix: Some(matrix),
+    })
+}
+
+/// One preparation entry point for both job kinds — the live submit path
+/// and recovery re-admission go through it, so both run identically.
+fn prepare_any(
+    state: &Arc<ServerState>,
+    submission: &JobSubmission,
+) -> Result<PreparedJob, (u16, SubmissionError)> {
+    if submission.dataset_id.is_some() {
+        prepare_dataset_job(state, submission)
+    } else {
+        prepare_submission(submission)
+            .map(|prepared| PreparedJob {
+                prepared,
+                warm: None,
+                version: 0,
+                dataset: None,
+                matrix: None,
+            })
+            .map_err(|e| (400, e))
+    }
+}
+
 /// The engine request for a prepared submission — shared by the live
 /// submit path and recovery re-admission, so both run the identical
 /// (spec, seed, budget) and the recovered report is bit-identical to an
-/// uninterrupted run.
-fn build_request(prepared: &Prepared, submission: &JobSubmission) -> AggregationRequest {
-    let mut request = AggregationRequest::new(Arc::clone(&prepared.data), prepared.spec.clone())
-        .with_seed(submission.seed);
+/// uninterrupted run. Dataset jobs additionally carry the warm hint.
+fn build_request(pj: &PreparedJob, submission: &JobSubmission) -> AggregationRequest {
+    let mut request =
+        AggregationRequest::new(Arc::clone(&pj.prepared.data), pj.prepared.spec.clone())
+            .with_seed(submission.seed);
     if let Some(budget) = submission.budget {
         request = request.with_budget(budget);
+    }
+    if let Some(warm) = pj.warm.clone() {
+        request = request.with_warm_start(warm);
+    }
+    if let Some(matrix) = &pj.matrix {
+        request = request.with_cost_matrix(Arc::clone(matrix));
     }
     request
 }
@@ -460,6 +1041,10 @@ fn journaled_submission_json(submission: &JobSubmission, spec: &AlgoSpec) -> Str
 /// The `POST /v1/jobs` response body (also returned, with
 /// `"deduplicated":true` and status 200, for an idempotent retry).
 fn submit_body(record: &JobRecord, deduplicated: bool) -> String {
+    let (n, m) = {
+        let live = record.live();
+        (live.n, live.m)
+    };
     format!(
         concat!(
             "{{\"id\":{},\"spec\":\"{}\",\"seed\":{},\"n\":{},\"m\":{},",
@@ -468,29 +1053,132 @@ fn submit_body(record: &JobRecord, deduplicated: bool) -> String {
         record.id,
         crate::json::escape(&record.spec.to_string()),
         record.seed,
-        record.n,
-        record.m,
+        n,
+        m,
         deduplicated,
         record.id,
         record.id,
     )
 }
 
+/// Build the [`JobRecord`] for a prepared job, consuming the preparation
+/// (universe and denormalization context move into the record's live
+/// half). Shared by submit and both recovery paths so the record shape
+/// can never drift between them.
+fn make_record(
+    id: u64,
+    submission: &JobSubmission,
+    pj: PreparedJob,
+    sink: Arc<IncumbentSink>,
+    cancel: CancelToken,
+    progress: JobProgress,
+) -> JobRecord {
+    JobRecord {
+        id,
+        spec: pj.prepared.spec,
+        seed: submission.seed,
+        normalize: submission.normalize,
+        idempotency: submission.idempotency_key.clone(),
+        dataset: pj.dataset,
+        follow_stop: submission.follow.then(|| AtomicBool::new(false)),
+        live: Mutex::new(LiveRefs {
+            n: pj.prepared.data.n(),
+            m: pj.prepared.data.m(),
+            universe: pj.prepared.universe,
+            norm: pj.prepared.norm,
+            sink,
+            cancel,
+        }),
+        state: Mutex::new(progress),
+        advanced: Condvar::new(),
+    }
+}
+
+/// Spawn the owning thread for an admitted job: the follow loop for
+/// `"follow": true` jobs, the one-shot collector otherwise. Either way
+/// the thread is the only consumer of the raw engine event channel; HTTP
+/// subscribers read the record's replay log.
+fn spawn_owner(
+    state: &Arc<ServerState>,
+    record: &Arc<JobRecord>,
+    handle: rank_core::engine::JobHandle,
+    writer: Option<JournalWriter>,
+    follow: FollowSpawn,
+) {
+    let record = Arc::clone(record);
+    let id = record.id;
+    match follow {
+        FollowSpawn::Follow {
+            dataset,
+            spec,
+            seed,
+            budget,
+            version,
+        } => {
+            let state = Arc::clone(state);
+            let _ = std::thread::Builder::new()
+                .name(format!("rank-follow-{id}"))
+                .spawn(move || {
+                    follow_loop(
+                        &state, &record, &dataset, &spec, seed, budget, handle, version, writer,
+                    );
+                });
+        }
+        FollowSpawn::Collect => {
+            let _ = std::thread::Builder::new()
+                .name(format!("rank-collect-{id}"))
+                .spawn(move || collect(&record, handle, writer));
+        }
+    }
+}
+
+/// How [`spawn_owner`] should run an admitted job.
+enum FollowSpawn {
+    Collect,
+    Follow {
+        dataset: Arc<LiveDataset>,
+        spec: AlgoSpec,
+        seed: u64,
+        budget: Option<Duration>,
+        version: u64,
+    },
+}
+
+impl FollowSpawn {
+    /// The spawn mode for a submission: follow jobs carry everything the
+    /// loop needs to re-admit later rounds.
+    fn for_submission(submission: &JobSubmission, pj: &PreparedJob) -> FollowSpawn {
+        if submission.follow {
+            FollowSpawn::Follow {
+                dataset: Arc::clone(pj.dataset.as_ref().expect("proto: follow requires dataset")),
+                spec: pj.prepared.spec.clone(),
+                seed: submission.seed,
+                budget: submission.budget,
+                version: pj.version,
+            }
+        } else {
+            FollowSpawn::Collect
+        }
+    }
+}
+
 /// `POST /v1/jobs`: parse, validate, dedupe, admit, journal, record.
-fn submit_job(stream: &mut TcpStream, request: &Request, state: &Arc<ServerState>) {
+fn submit_job(
+    stream: &mut TcpStream,
+    request: &Request,
+    state: &Arc<ServerState>,
+    keep: bool,
+) -> Served {
     if state.shutting_down.load(Ordering::SeqCst) {
-        respond_error(stream, 503, "server is draining", None);
-        return;
+        return respond_error(stream, 503, "server is draining", None, keep);
     }
     let Ok(body) = std::str::from_utf8(&request.body) else {
-        respond_error(stream, 400, "request body is not UTF-8", None);
-        return;
+        return respond_error(stream, 400, "request body is not UTF-8", None, keep);
     };
     let submission = match JobSubmission::from_json(body) {
         Ok(submission) => submission,
         Err(e) => {
-            respond_error(stream, 400, &e.message, e.suggestion.as_deref());
-            return;
+            return respond_error(stream, 400, &e.message, e.suggestion.as_deref(), keep);
         }
     };
     // Idempotent retry? Answer with the existing job (recovered ones
@@ -501,21 +1189,16 @@ fn submit_job(stream: &mut TcpStream, request: &Request, state: &Arc<ServerState
         if let Some(record) = table.keys.get(key).and_then(|id| table.records.get(id)) {
             let body = submit_body(record, true);
             drop(table);
-            respond_json(stream, 200, &body);
-            return;
+            return respond_json(stream, 200, &body, keep);
         }
     }
-    let prepared = match prepare_submission(&submission) {
-        Ok(prepared) => prepared,
-        Err(e) => {
-            respond_error(stream, 400, &e.message, e.suggestion.as_deref());
-            return;
+    let pj = match prepare_any(state, &submission) {
+        Ok(pj) => pj,
+        Err((status, e)) => {
+            return respond_error(stream, status, &e.message, e.suggestion.as_deref(), keep);
         }
     };
-    let handle = match state
-        .engine
-        .try_submit(build_request(&prepared, &submission))
-    {
+    let handle = match state.engine.try_submit(build_request(&pj, &submission)) {
         Ok(handle) => handle,
         Err(AdmissionError::QueueFull {
             queued,
@@ -532,12 +1215,12 @@ fn submit_job(stream: &mut TcpStream, request: &Request, state: &Arc<ServerState
                 "application/json",
                 &[("Retry-After", secs.to_string())],
                 body.as_bytes(),
+                keep,
             );
-            return;
+            return Served::KeepAlive;
         }
         Err(AdmissionError::ShuttingDown) => {
-            respond_error(stream, 503, "server is draining", None);
-            return;
+            return respond_error(stream, 503, "server is draining", None, keep);
         }
     };
     let (record, deduplicated) = {
@@ -560,21 +1243,16 @@ fn submit_job(stream: &mut TcpStream, request: &Request, state: &Arc<ServerState
         } else {
             let id = table.next_id;
             table.next_id += 1;
-            let record = Arc::new(JobRecord {
+            let journaled = journaled_submission_json(&submission, &pj.prepared.spec);
+            let follow = FollowSpawn::for_submission(&submission, &pj);
+            let record = Arc::new(make_record(
                 id,
-                spec: prepared.spec,
-                seed: submission.seed,
-                n: prepared.data.n(),
-                m: prepared.data.m(),
-                normalize: submission.normalize,
-                universe: prepared.universe,
-                norm: prepared.norm,
-                cancel: handle.cancel_token(),
-                sink: Arc::clone(handle.sink()),
-                idempotency: submission.idempotency_key.clone(),
-                state: Mutex::new(JobProgress::default()),
-                advanced: Condvar::new(),
-            });
+                &submission,
+                pj,
+                Arc::clone(handle.sink()),
+                handle.cancel_token(),
+                JobProgress::default(),
+            ));
             table.order.push(id);
             table.records.insert(id, Arc::clone(&record));
             if let Some(key) = &submission.idempotency_key {
@@ -582,24 +1260,233 @@ fn submit_job(stream: &mut TcpStream, request: &Request, state: &Arc<ServerState
             }
             evict_done(&mut table, state.config.retain_done, state.journal.as_ref());
             state.accepted_total.fetch_add(1, Ordering::Relaxed);
-            let writer = state.journal.as_ref().and_then(|journal| {
-                journal.begin_job(id, 0, &journaled_submission_json(&submission, &record.spec))
-            });
-            // The collector owns the handle: it drains the event stream
-            // into the replay log (and the journal) and stores the final
-            // report. It is the only consumer of the raw event channel;
-            // HTTP subscribers read the log.
-            {
-                let record = Arc::clone(&record);
-                let _ = std::thread::Builder::new()
-                    .name(format!("rank-collect-{id}"))
-                    .spawn(move || collect(&record, handle, writer));
-            }
+            let writer = state
+                .journal
+                .as_ref()
+                .and_then(|journal| journal.begin_job(id, 0, &journaled));
+            spawn_owner(state, &record, handle, writer, follow);
             (record, false)
         }
     };
     let status = if deduplicated { 200 } else { 202 };
-    respond_json(stream, status, &submit_body(&record, deduplicated));
+    respond_json(stream, status, &submit_body(&record, deduplicated), keep)
+}
+
+/// Splice a `"dataset_version"` field into a serialized event object, so
+/// every line a follow job emits names the dataset version its round
+/// solved. Non-object lines pass through untouched.
+fn tag_version(line: &str, version: u64) -> String {
+    match line.rfind('}') {
+        Some(i) => format!("{},\"dataset_version\":{version}}}", &line[..i]),
+        None => line.to_owned(),
+    }
+}
+
+/// The owning loop of a `"follow": true` job: run one consensus round,
+/// record it back into the dataset session as the next warm hint, then
+/// sleep on the dataset's condvar until its version moves and re-admit a
+/// fresh round warm-started from the last consensus.
+///
+/// Stream shape: per-round events are version-tagged; each round ends
+/// with a `{"event":"resolved",...}` line instead of `finished` (clients
+/// treat `finished` as end-of-stream, and a follow job survives its
+/// rounds). The single real `finished` line — outcome `cancelled` — is
+/// emitted when the follow ends: job DELETE, dataset DELETE, or server
+/// shutdown.
+#[allow(clippy::too_many_arguments)]
+fn follow_loop(
+    state: &Arc<ServerState>,
+    record: &Arc<JobRecord>,
+    dataset: &Arc<LiveDataset>,
+    spec: &AlgoSpec,
+    seed: u64,
+    budget: Option<Duration>,
+    mut handle: rank_core::engine::JobHandle,
+    mut version: u64,
+    mut writer: Option<JournalWriter>,
+) {
+    let stopped = || {
+        record
+            .follow_stop
+            .as_ref()
+            .is_some_and(|stop| stop.load(Ordering::SeqCst))
+            || state.shutting_down.load(Ordering::SeqCst)
+    };
+    let push_event = |line: String, writer: &mut Option<JournalWriter>, started: bool| {
+        if let Some(writer) = writer.as_mut() {
+            writer.append_event(&line);
+        }
+        let mut progress = record.state.lock().expect("job state poisoned");
+        if started {
+            progress.started = true;
+        }
+        progress.events.push(line);
+        drop(progress);
+        record.advanced.notify_all();
+    };
+    loop {
+        // Drain this round's events, version-tagged. The engine's
+        // per-round `finished` is suppressed — subscribers would read it
+        // as end-of-stream — and replaced by `resolved` below.
+        for event in handle.events() {
+            if matches!(event, Event::Finished { .. }) {
+                continue;
+            }
+            let started = matches!(event, Event::Started { .. });
+            push_event(tag_version(&proto::event_json(&event), version), &mut writer, started);
+        }
+        match catch_unwind(AssertUnwindSafe(|| handle.wait())) {
+            Ok(report) => {
+                // Feed the consensus back: it becomes the warm hint for
+                // this loop's next round *and* for any other job on the
+                // dataset. Refused only if the session's universe moved
+                // past the snapshot mid-round — then it is simply stale.
+                {
+                    let mut ds = dataset.lock();
+                    if !ds.deleted {
+                        let _ = ds.session.record_consensus(report.ranking.clone());
+                    }
+                }
+                let report_json = {
+                    let live = record.live();
+                    proto::report_json(&report, &live.norm, &live.universe)
+                };
+                let outcome = report.outcome.to_string();
+                let resolved = tag_version(
+                    &format!(
+                        "{{\"event\":\"resolved\",\"outcome\":\"{}\",\"score\":{}}}",
+                        crate::json::escape(&outcome),
+                        report.score
+                    ),
+                    version,
+                );
+                if let Some(writer) = writer.as_mut() {
+                    writer.append_event(&resolved);
+                }
+                let mut progress = record.state.lock().expect("job state poisoned");
+                progress.started = true;
+                progress.events.push(resolved);
+                progress.outcome = Some(outcome);
+                progress.report_json = Some(report_json);
+                drop(progress);
+                record.advanced.notify_all();
+            }
+            Err(_) => {
+                let line = "{\"event\":\"failed\",\"error\":\"internal kernel panic\"}".to_owned();
+                if let Some(writer) = writer.as_mut() {
+                    writer.append_event(&line);
+                    writer.finish("failed", None);
+                }
+                let mut progress = record.state.lock().expect("job state poisoned");
+                progress.events.push(line);
+                progress.outcome = Some("failed".to_owned());
+                progress.done = true;
+                drop(progress);
+                record.advanced.notify_all();
+                return;
+            }
+        }
+        // Sleep until the dataset's version moves (or the follow ends).
+        let next = 'wait: loop {
+            if stopped() {
+                break 'wait None;
+            }
+            let ds = dataset.lock();
+            if ds.deleted {
+                break 'wait None;
+            }
+            if ds.session.version() != version {
+                break 'wait Some((
+                    ds.session.version(),
+                    Arc::new(ds.session.dataset()),
+                    ds.universe.clone(),
+                    ds.session.warm_start(),
+                    Arc::new(ds.session.matrix().clone()),
+                ));
+            }
+            // Timed wait so job-DELETE and shutdown (which poke the
+            // condvar best-effort) are noticed within a bounded delay
+            // even if a notification is missed.
+            drop(
+                dataset
+                    .changed
+                    .wait_timeout(ds, Duration::from_millis(250))
+                    .expect("dataset state poisoned"),
+            );
+        };
+        let Some((new_version, data, universe, warm, matrix)) = next else {
+            break;
+        };
+        if let Some(cap) = spec.max_n() {
+            if data.n() > cap {
+                let line = format!(
+                    "{{\"event\":\"failed\",\"error\":\"dataset {} grew to n = {} past the n = {cap} cap for {spec}\"}}",
+                    crate::json::escape(&dataset.id),
+                    data.n()
+                );
+                push_event(line, &mut writer, false);
+                break;
+            }
+        }
+        // Re-admit as regular traffic; a full queue backs this loop off
+        // rather than erroring the job.
+        let new_handle = 'admit: loop {
+            if stopped() {
+                break 'admit None;
+            }
+            let mut request =
+                AggregationRequest::new(Arc::clone(&data), spec.clone()).with_seed(seed);
+            if let Some(budget) = budget {
+                request = request.with_budget(budget);
+            }
+            if let Some(warm) = warm.clone() {
+                request = request.with_warm_start(warm);
+            }
+            // The session's delta-patched matrix rides along: a follow
+            // round never pays the engine-side rebuild either.
+            request = request.with_cost_matrix(Arc::clone(&matrix));
+            match state.engine.try_submit(request) {
+                Ok(handle) => break 'admit Some(handle),
+                Err(AdmissionError::QueueFull { retry_after, .. }) => {
+                    std::thread::sleep(retry_after.min(Duration::from_millis(250)));
+                }
+                Err(AdmissionError::ShuttingDown) => break 'admit None,
+            }
+        };
+        let Some(new_handle) = new_handle else {
+            break;
+        };
+        version = new_version;
+        {
+            let mut live = record.live();
+            live.n = data.n();
+            live.m = data.m();
+            live.norm = identity_norm(&data);
+            live.universe = universe;
+            live.sink = Arc::clone(new_handle.sink());
+            live.cancel = new_handle.cancel_token();
+        }
+        handle = new_handle;
+    }
+    // The follow ended. The terminal outcome is always `cancelled` —
+    // a follow job never completes on its own; something stopped it.
+    let line = "{\"event\":\"finished\",\"outcome\":\"cancelled\"}".to_owned();
+    let report_json = record
+        .state
+        .lock()
+        .expect("job state poisoned")
+        .report_json
+        .clone();
+    if let Some(writer) = writer.as_mut() {
+        writer.append_event(&line);
+        writer.finish("cancelled", report_json.as_deref());
+    }
+    let mut progress = record.state.lock().expect("job state poisoned");
+    progress.events.push(line);
+    progress.outcome = Some("cancelled".to_owned());
+    progress.done = true;
+    drop(progress);
+    record.advanced.notify_all();
 }
 
 /// Replay the journal directory into the job table ([`Server::bind`]):
@@ -610,6 +1497,47 @@ fn submit_job(stream: &mut TcpStream, request: &Request, state: &Arc<ServerState
 /// (counted by the replay); only a directory-level I/O failure is fatal.
 fn recover(state: &Arc<ServerState>) -> std::io::Result<()> {
     let journal = state.journal.as_ref().expect("recover without a journal");
+    // Datasets first: jobs journaled by `dataset_id` resolve against the
+    // recovered table. Each recovered dataset's journal is consolidated —
+    // rewritten as a single create at the current version — so the edit
+    // log cannot grow without bound across restarts. Warm hints are
+    // in-memory only: the first post-restart round on a dataset runs
+    // cold, at the recovered version.
+    let mut recovered_datasets = 0usize;
+    for ds in journal.replay_datasets()? {
+        match rebuild_dataset(&ds) {
+            Ok((universe, session)) => {
+                let writer = journal.begin_dataset(
+                    &ds.id,
+                    &dataset_text(&session, &universe),
+                    session.version(),
+                );
+                let live = Arc::new(LiveDataset {
+                    id: ds.id.clone(),
+                    state: Mutex::new(DatasetState {
+                        universe,
+                        session,
+                        writer,
+                        deleted: false,
+                    }),
+                    changed: Condvar::new(),
+                });
+                state
+                    .datasets
+                    .lock()
+                    .expect("dataset table poisoned")
+                    .insert(ds.id.clone(), live);
+                recovered_datasets += 1;
+            }
+            Err(message) => {
+                eprintln!(
+                    "rawt: journal: dropping unrecoverable dataset {:?} ({message})",
+                    ds.id
+                );
+                journal.remove_dataset(&ds.id);
+            }
+        }
+    }
     let replay = journal.replay()?;
     let mut recovered_done = 0usize;
     let mut readmitted = 0usize;
@@ -617,9 +1545,9 @@ fn recover(state: &Arc<ServerState>) -> std::io::Result<()> {
     for job in replay.jobs {
         // Fresh ids continue above every journaled one.
         table.next_id = table.next_id.max(job.id + 1);
-        let prepared = match prepare_submission(&job.submission) {
-            Ok(prepared) => prepared,
-            Err(e) => {
+        let pj = match prepare_any(state, &job.submission) {
+            Ok(pj) => pj,
+            Err((_, e)) => {
                 eprintln!(
                     "rawt: journal: dropping unrecoverable job {} ({})",
                     job.id, e.message
@@ -633,62 +1561,43 @@ fn recover(state: &Arc<ServerState>) -> std::io::Result<()> {
             // original report bytes. The live sink is empty (its trace
             // died with the old process) — the report carries the full
             // trace, and `best` reads null like any pre-start job.
-            Arc::new(JobRecord {
-                id: job.id,
-                spec: prepared.spec,
-                seed: job.submission.seed,
-                n: prepared.data.n(),
-                m: prepared.data.m(),
-                normalize: job.submission.normalize,
-                universe: prepared.universe,
-                norm: prepared.norm,
-                cancel: rank_core::engine::CancelToken::new(),
-                sink: Arc::new(rank_core::engine::IncumbentSink::new()),
-                idempotency: job.submission.idempotency_key.clone(),
-                state: Mutex::new(JobProgress {
+            Arc::new(make_record(
+                job.id,
+                &job.submission,
+                pj,
+                Arc::new(rank_core::engine::IncumbentSink::new()),
+                rank_core::engine::CancelToken::new(),
+                JobProgress {
                     events: job.events,
                     started: true,
                     report_json: finished.report_json,
                     outcome: Some(finished.outcome),
                     done: true,
-                }),
-                advanced: Condvar::new(),
-            })
+                },
+            ))
         } else {
             readmitted += 1;
             // Interrupted: deterministically re-run from the journaled
             // (spec, seed, budget). `submit_recovered` places it ahead
             // of all fresh traffic, FIFO in this (ascending id) order.
+            // A follow job resumes following from the dataset's
+            // recovered version.
             let handle = state
                 .engine
-                .submit_recovered(build_request(&prepared, &job.submission));
-            let record = Arc::new(JobRecord {
-                id: job.id,
-                spec: prepared.spec,
-                seed: job.submission.seed,
-                n: prepared.data.n(),
-                m: prepared.data.m(),
-                normalize: job.submission.normalize,
-                universe: prepared.universe,
-                norm: prepared.norm,
-                cancel: handle.cancel_token(),
-                sink: Arc::clone(handle.sink()),
-                idempotency: job.submission.idempotency_key.clone(),
-                state: Mutex::new(JobProgress::default()),
-                advanced: Condvar::new(),
-            });
-            state.accepted_total.fetch_add(1, Ordering::Relaxed);
-            let writer = journal.begin_job(
+                .submit_recovered(build_request(&pj, &job.submission));
+            let journaled = journaled_submission_json(&job.submission, &pj.prepared.spec);
+            let follow = FollowSpawn::for_submission(&job.submission, &pj);
+            let record = Arc::new(make_record(
                 job.id,
-                job.segment + 1,
-                &journaled_submission_json(&job.submission, &record.spec),
-            );
-            {
-                let record = Arc::clone(&record);
-                let _ = std::thread::Builder::new()
-                    .name(format!("rank-collect-{}", job.id))
-                    .spawn(move || collect(&record, handle, writer));
-            }
+                &job.submission,
+                pj,
+                Arc::clone(handle.sink()),
+                handle.cancel_token(),
+                JobProgress::default(),
+            ));
+            state.accepted_total.fetch_add(1, Ordering::Relaxed);
+            let writer = journal.begin_job(job.id, job.segment + 1, &journaled);
+            spawn_owner(state, &record, handle, writer, follow);
             record
         };
         table.order.push(job.id);
@@ -698,9 +1607,9 @@ fn recover(state: &Arc<ServerState>) -> std::io::Result<()> {
         table.records.insert(job.id, record);
     }
     drop(table);
-    if recovered_done + readmitted > 0 || replay.dropped_lines > 0 {
+    if recovered_datasets + recovered_done + readmitted > 0 || replay.dropped_lines > 0 {
         eprintln!(
-            "rawt: journal: recovered {recovered_done} finished + {readmitted} interrupted job(s) ({} lines, {} dropped, {} unusable file(s))",
+            "rawt: journal: recovered {recovered_datasets} dataset(s) + {recovered_done} finished + {readmitted} interrupted job(s) ({} lines, {} dropped, {} unusable file(s))",
             replay.lines_read, replay.dropped_lines, replay.corrupt_files
         );
     }
@@ -763,16 +1672,29 @@ fn collect(
     }
     // The stream has ended; the report is ready (or the kernel panicked).
     let report = catch_unwind(AssertUnwindSafe(|| handle.wait()));
-    let mut progress = record.state.lock().expect("job state poisoned");
     match report {
         Ok(report) => {
-            let report_json = proto::report_json(&report, &record.norm, &record.universe);
+            // A dataset-id job records its consensus back into the live
+            // session: the next solve on this dataset warm-starts from
+            // it. (Refused harmlessly if the dataset grew mid-run.)
+            if let Some(dataset) = &record.dataset {
+                let mut ds = dataset.lock();
+                if !ds.deleted {
+                    let _ = ds.session.record_consensus(report.ranking.clone());
+                }
+            }
+            let report_json = {
+                let live = record.live();
+                proto::report_json(&report, &live.norm, &live.universe)
+            };
             let outcome = report.outcome.to_string();
             if let Some(writer) = writer.as_mut() {
                 writer.finish(&outcome, Some(&report_json));
             }
+            let mut progress = record.state.lock().expect("job state poisoned");
             progress.outcome = Some(outcome);
             progress.report_json = Some(report_json);
+            progress.done = true;
         }
         Err(_) => {
             let line = "{\"event\":\"failed\",\"error\":\"internal kernel panic\"}".to_owned();
@@ -780,31 +1702,31 @@ fn collect(
                 writer.append_event(&line);
                 writer.finish("failed", None);
             }
+            let mut progress = record.state.lock().expect("job state poisoned");
             progress.outcome = Some("failed".to_owned());
             progress.events.push(line);
+            progress.done = true;
         }
     }
-    progress.done = true;
-    drop(progress);
     record.advanced.notify_all();
 }
 
 /// `GET /v1/jobs/{id}`: status + best-so-far (trace from the sink, full
 /// report once done).
-fn job_status(stream: &mut TcpStream, record: &Arc<JobRecord>) {
-    let trace: Vec<String> = record
-        .sink
-        .trace()
-        .iter()
-        .map(proto::trace_point_json)
-        .collect();
-    let best = match record.sink.best_so_far() {
+fn job_status(stream: &mut TcpStream, record: &Arc<JobRecord>, keep: bool) -> Served {
+    // Snapshot the round-scoped refs as one consistent set (a follow
+    // round swap replaces sink and denormalization context together).
+    let live = record.live();
+    let trace: Vec<String> = live.sink.trace().iter().map(proto::trace_point_json).collect();
+    let best = match live.sink.best_so_far() {
         None => "null".to_owned(),
         Some((score, ranking)) => format!(
             "{{\"score\":{score},\"ranking\":{}}}",
-            proto::ranking_json(&record.norm.denormalize(&ranking), &record.universe)
+            proto::ranking_json(&live.norm.denormalize(&ranking), &live.universe)
         ),
     };
+    let (n, m) = (live.n, live.m);
+    drop(live);
     let progress = record.state.lock().expect("job state poisoned");
     let state_name = state_name(&progress);
     let report = progress
@@ -825,8 +1747,8 @@ fn job_status(stream: &mut TcpStream, record: &Arc<JobRecord>) {
         record.id,
         crate::json::escape(&record.spec.to_string()),
         record.seed,
-        record.n,
-        record.m,
+        n,
+        m,
         record.normalize,
         state = state_name,
         outcome = outcome,
@@ -834,7 +1756,7 @@ fn job_status(stream: &mut TcpStream, record: &Arc<JobRecord>) {
         trace = trace.join(","),
         report = report,
     );
-    respond_json(stream, 200, &body);
+    respond_json(stream, 200, &body, keep)
 }
 
 /// Seconds of event silence before an `…/events` stream emits a
@@ -846,10 +1768,10 @@ const HEARTBEAT_SECS: u32 = 15;
 /// live until the job is done — chunked NDJSON, one event per line.
 /// Quiet stretches are bridged with `{"event":"heartbeat"}` lines
 /// (streamed only, never recorded in the replay log).
-fn stream_events(stream: &mut TcpStream, record: &Arc<JobRecord>) {
+fn stream_events(stream: &mut TcpStream, record: &Arc<JobRecord>) -> Served {
     let mut writer = match ChunkedWriter::begin(stream, "application/x-ndjson") {
         Ok(writer) => writer,
-        Err(_) => return,
+        Err(_) => return Served::Close,
     };
     let mut cursor = 0usize;
     loop {
@@ -873,13 +1795,13 @@ fn stream_events(stream: &mut TcpStream, record: &Arc<JobRecord>) {
             // a keepalive so the subscriber's read timeout does not
             // mistake the silence for a dead server.
             if writer.write_line("{\"event\":\"heartbeat\"}").is_err() {
-                return;
+                return Served::Close;
             }
             continue;
         }
         for line in &batch {
             if writer.write_line(line).is_err() {
-                return; // subscriber went away; the job keeps running
+                return Served::Close; // subscriber went away; the job keeps running
             }
         }
         cursor += batch.len();
@@ -887,7 +1809,7 @@ fn stream_events(stream: &mut TcpStream, record: &Arc<JobRecord>) {
             // Nothing is appended after `done` is set (the collector's
             // final line lands before it), so the batch was complete.
             let _ = writer.finish();
-            return;
+            return Served::Close;
         }
     }
 }

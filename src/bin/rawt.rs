@@ -48,6 +48,25 @@
 //!     same DIR re-serves finished jobs and deterministically re-runs
 //!     interrupted ones.
 //!
+//! rawt session FILE [--algo SPEC] [--seed N] [--budget SECS]
+//!              [--remote ADDR] [--id ID]
+//!     An interactive live-dataset session (DESIGN.md §13): load FILE,
+//!     then read edit/solve commands from stdin, one per line:
+//!         add [{A},{B,C}]      append a ranking (new labels grow the
+//!                              universe everywhere)
+//!         remove N             drop the N-th ranking (0-based)
+//!         replace N [{B},{A}]  swap the N-th ranking
+//!         show                 current version, shape and rankings
+//!         solve                aggregate the current dataset; each
+//!                              solve after the first warm-starts from
+//!                              the previous consensus
+//!         quit                 end the session (EOF works too)
+//!     Edits delta-patch the session's cost matrix in O(n²) instead of
+//!     rebuilding it. --remote drives the same loop against a `rawt
+//!     serve` instance over PUT/PATCH `/v1/datasets/{id}`; --id names
+//!     the server-side dataset (it persists after quit; without --id a
+//!     fresh one is created and deleted on quit).
+//!
 //! rawt similarity FILE [--normalize unify|project]
 //!     The dataset's intrinsic similarity s(R) (§6.2.2) and features.
 //!
@@ -129,6 +148,7 @@ struct Flags {
     queue: usize,
     journal: Option<String>,
     journal_fsync: FsyncPolicy,
+    id: Option<String>,
     n: usize,
     m: usize,
     steps: usize,
@@ -149,6 +169,7 @@ fn parse_flags(args: &[String]) -> Flags {
         queue: ServerConfig::default().queue_capacity,
         journal: None,
         journal_fsync: FsyncPolicy::default(),
+        id: None,
         n: 10,
         m: 5,
         steps: 1000,
@@ -198,6 +219,7 @@ fn parse_flags(args: &[String]) -> Flags {
                 }
             }
             "--journal" => f.journal = Some(value(&mut i)),
+            "--id" => f.id = Some(value(&mut i)),
             "--journal-fsync" => {
                 f.journal_fsync = value(&mut i).parse().unwrap_or_else(|e: String| die(&e))
             }
@@ -411,6 +433,8 @@ fn cmd_aggregate_remote(f: &Flags, path: &str, addr: &str) {
         // by a wrapper re-running the CLI against the same key) can
         // never duplicate the job, even across a server crash.
         idempotency_key: Some(invocation_key()),
+        dataset_id: None,
+        follow: false,
     };
     let job = client
         .submit_with_retry(&submission, &RetryPolicy::default(), print_retry)
@@ -766,6 +790,290 @@ fn cmd_list(f: &Flags) {
     println!("wraps any randomized base, e.g. BestOf(KwikSort,20) = KwikSortMin.");
 }
 
+// ------------------------------------------------------------- sessions
+
+/// One parsed `rawt session` REPL line.
+enum SessionCmd {
+    Add(String),
+    Remove(usize),
+    Replace(usize, String),
+    Show,
+    Solve,
+    Quit,
+}
+
+/// Parse one session command line; `Err` is the message to print.
+fn parse_session_cmd(line: &str) -> Result<SessionCmd, String> {
+    let line = line.trim();
+    let (verb, rest) = match line.split_once(char::is_whitespace) {
+        Some((verb, rest)) => (verb, rest.trim()),
+        None => (line, ""),
+    };
+    match (verb, rest) {
+        ("add", r) if !r.is_empty() => Ok(SessionCmd::Add(r.to_owned())),
+        ("remove", r) => r
+            .parse()
+            .map(SessionCmd::Remove)
+            .map_err(|_| "usage: remove N".to_owned()),
+        ("replace", r) => match r.split_once(char::is_whitespace) {
+            Some((index, ranking)) => index
+                .parse()
+                .map(|i| SessionCmd::Replace(i, ranking.trim().to_owned()))
+                .map_err(|_| "usage: replace N [{A},{B}]".to_owned()),
+            None => Err("usage: replace N [{A},{B}]".to_owned()),
+        },
+        ("show", "") => Ok(SessionCmd::Show),
+        ("solve", "") => Ok(SessionCmd::Solve),
+        ("quit" | "exit", "") => Ok(SessionCmd::Quit),
+        _ => Err(format!(
+            "unknown command {line:?} (add/remove/replace/show/solve/quit)"
+        )),
+    }
+}
+
+/// `rawt session`: the interactive edit/re-solve loop over a
+/// [`DatasetSession`] — delta-patched matrix, warm-started solves
+/// (locally in-process, or against a server's live dataset with
+/// `--remote`).
+fn cmd_session(f: &Flags) {
+    let path = f
+        .positional
+        .first()
+        .unwrap_or_else(|| die("session needs a FILE"));
+    let body =
+        std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+    match &f.remote {
+        Some(addr) => cmd_session_remote(f, &body, addr),
+        None => cmd_session_local(f, &body),
+    }
+}
+
+fn cmd_session_local(f: &Flags, body: &str) {
+    use rank_aggregation_with_ties::rank_core::normalize::unification;
+    use rank_aggregation_with_ties::rank_core::session::DatasetSession;
+    let mut universe = Universe::new();
+    let raw = parse_dataset_lines(body, &mut universe)
+        .unwrap_or_else(|e| die(&format!("parse error: {e}")));
+    if raw.is_empty() {
+        die("the file contains no rankings");
+    }
+    // Unification over appearance-ordered interning is the identity
+    // mapping, so the session's dense element i *is* universe label i —
+    // the same invariant the server's live datasets rely on.
+    let norm = unification(&raw).unwrap_or_else(|| die("normalization produced an empty dataset"));
+    let mut session = DatasetSession::new(norm.dataset);
+    let engine = Engine::new();
+    println!(
+        "session: v{} n = {} m = {} (commands: add/remove/replace/show/solve/quit)",
+        session.version(),
+        session.n(),
+        session.m()
+    );
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        use std::io::BufRead as _;
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break; // EOF ends the session like `quit`
+        }
+        if line.trim().is_empty() || line.trim_start().starts_with('#') {
+            continue;
+        }
+        let cmd = match parse_session_cmd(&line) {
+            Ok(cmd) => cmd,
+            Err(message) => {
+                eprintln!("rawt: {message}");
+                continue;
+            }
+        };
+        // Edits parse their ranking against a scratch copy of the
+        // universe, committed only when the session accepts the edit —
+        // a refused edit must not leak freshly interned labels.
+        let mut scratch = universe.clone();
+        let result = match cmd {
+            SessionCmd::Quit => break,
+            SessionCmd::Show => {
+                println!(
+                    "v{} n = {} m = {}",
+                    session.version(),
+                    session.n(),
+                    session.m()
+                );
+                for (i, r) in session.rankings().iter().enumerate() {
+                    println!("  [{i}] {}", r.display_with(&universe));
+                }
+                continue;
+            }
+            SessionCmd::Solve => {
+                let spec = match &f.algo {
+                    Some(name) => parse_spec(name),
+                    None => {
+                        let features = DatasetFeatures::measure(&session.dataset());
+                        let rec = recommend(&features, Priority::Balanced);
+                        AlgoSpec::parse(rec.algorithm).expect("guidance names are registered")
+                    }
+                };
+                if let Some(cap) = spec.max_n() {
+                    if session.n() > cap {
+                        eprintln!(
+                            "rawt: {spec} handles at most n = {cap}; the session has {}",
+                            session.n()
+                        );
+                        continue;
+                    }
+                }
+                let report = session.resolve(&engine, spec, f.seed, f.budget);
+                println!(
+                    "v{} K = {}  {}  ({} in {:.1?})",
+                    session.version(),
+                    report.score,
+                    report.ranking.display_with(&universe),
+                    report.outcome,
+                    report.elapsed
+                );
+                continue;
+            }
+            SessionCmd::Add(text) => parse_ranking_labeled(&text, &mut scratch)
+                .map_err(|e| e.to_string())
+                .and_then(|r| session.add_ranking(r).map_err(|e| e.to_string())),
+            SessionCmd::Remove(index) => {
+                session.remove_ranking(index).map_err(|e| e.to_string())
+            }
+            SessionCmd::Replace(index, text) => parse_ranking_labeled(&text, &mut scratch)
+                .map_err(|e| e.to_string())
+                .and_then(|r| session.replace_ranking(index, r).map_err(|e| e.to_string())),
+        };
+        match result {
+            Ok(version) => {
+                universe = scratch;
+                println!("v{version} n = {} m = {}", session.n(), session.m());
+            }
+            Err(message) => eprintln!("rawt: {message}"),
+        }
+    }
+}
+
+fn cmd_session_remote(f: &Flags, body: &str, addr: &str) {
+    let client = Client::new(addr);
+    let (id, ephemeral) = match &f.id {
+        Some(id) => (id.clone(), false),
+        None => (invocation_key(), true),
+    };
+    let created = client
+        .create_dataset(&id, body)
+        .unwrap_or_else(|e| die(&format!("PUT dataset {id:?} on {addr}: {e}")));
+    let shape = |doc: &Json| {
+        (
+            doc.get("version").and_then(Json::as_u64).unwrap_or(0),
+            doc.get("n").and_then(Json::as_u64).unwrap_or(0),
+            doc.get("m").and_then(Json::as_u64).unwrap_or(0),
+        )
+    };
+    let (version, n, m) = shape(&created);
+    let display = addr.strip_prefix("http://").unwrap_or(addr);
+    println!("session: dataset {id} v{version} n = {n} m = {m} on http://{display}");
+    let one_op = |op: &str| {
+        client
+            .patch_dataset(&id, &format!("{{\"ops\":[{op}]}}"))
+            .map_err(|e| e.to_string())
+    };
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        use std::io::BufRead as _;
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        if line.trim().is_empty() || line.trim_start().starts_with('#') {
+            continue;
+        }
+        let cmd = match parse_session_cmd(&line) {
+            Ok(cmd) => cmd,
+            Err(message) => {
+                eprintln!("rawt: {message}");
+                continue;
+            }
+        };
+        let result = match cmd {
+            SessionCmd::Quit => break,
+            SessionCmd::Show => {
+                match client.get_dataset(&id) {
+                    Ok(doc) => {
+                        let (version, n, m) = shape(&doc);
+                        println!("v{version} n = {n} m = {m}");
+                        if let Some(text) = doc.get("dataset").and_then(Json::as_str) {
+                            for (i, r) in text.lines().enumerate() {
+                                println!("  [{i}] {r}");
+                            }
+                        }
+                    }
+                    Err(e) => eprintln!("rawt: GET dataset: {e}"),
+                }
+                continue;
+            }
+            SessionCmd::Solve => {
+                let submission = JobSubmission {
+                    algo: f.algo.clone(),
+                    seed: f.seed,
+                    budget: f.budget,
+                    idempotency_key: Some(invocation_key()),
+                    ..JobSubmission::for_dataset(&id)
+                };
+                let job = match client.submit(&submission) {
+                    Ok(job) => job,
+                    Err(e) => {
+                        eprintln!("rawt: submit: {e}");
+                        continue;
+                    }
+                };
+                match client.wait(job.id) {
+                    Ok(done) => {
+                        let report = done.get("report").cloned().unwrap_or(Json::Null);
+                        let score = report.get("score").and_then(Json::as_u64).unwrap_or(0);
+                        let outcome = report
+                            .get("outcome")
+                            .and_then(Json::as_str)
+                            .unwrap_or("?")
+                            .to_owned();
+                        println!(
+                            "job {} K = {score}  {}  ({outcome})",
+                            job.id,
+                            render_label_ranking(report.get("ranking"))
+                        );
+                    }
+                    Err(e) => eprintln!("rawt: waiting on job {}: {e}", job.id),
+                }
+                continue;
+            }
+            SessionCmd::Add(text) => one_op(&format!(
+                "{{\"op\":\"add\",\"ranking\":\"{}\"}}",
+                service::json::escape(&text)
+            )),
+            SessionCmd::Remove(index) => {
+                one_op(&format!("{{\"op\":\"remove\",\"index\":{index}}}"))
+            }
+            SessionCmd::Replace(index, text) => one_op(&format!(
+                "{{\"op\":\"replace\",\"index\":{index},\"ranking\":\"{}\"}}",
+                service::json::escape(&text)
+            )),
+        };
+        match result {
+            Ok(doc) => {
+                let (version, n, m) = shape(&doc);
+                println!("v{version} n = {n} m = {m}");
+            }
+            Err(message) => eprintln!("rawt: {message}"),
+        }
+    }
+    if ephemeral {
+        // This invocation created the dataset; clean it up on the way out
+        // (with --id the dataset is a named, persistent resource).
+        let _ = client.delete_dataset(&id);
+    }
+}
+
 fn cmd_similarity(f: &Flags) {
     let path = f
         .positional
@@ -830,7 +1138,7 @@ fn cmd_generate(f: &Flags) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
-        die("usage: rawt <aggregate|compare|list|serve|similarity|distance|generate> …");
+        die("usage: rawt <aggregate|compare|list|serve|session|similarity|distance|generate> …");
     };
     let flags = parse_flags(rest);
     match cmd.as_str() {
@@ -838,6 +1146,7 @@ fn main() {
         "compare" => cmd_compare(&flags),
         "list" => cmd_list(&flags),
         "serve" => cmd_serve(&flags),
+        "session" => cmd_session(&flags),
         "similarity" => cmd_similarity(&flags),
         "distance" => cmd_distance(&flags),
         "generate" => cmd_generate(&flags),

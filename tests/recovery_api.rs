@@ -370,10 +370,13 @@ fn dropped_connections_are_retried_without_duplicating_the_job() {
         faults: Arc::new(FaultPlan::none().with_drop_accept(2)),
         ..ServerConfig::default()
     };
-    let (client, shutdown) = start_server(config);
+    let (warmup, shutdown) = start_server(config);
     // Connection #1: burn it on healthz so the submit lands on #2, the
-    // dropped one — making the retry deterministic.
-    client.healthz().expect("healthz on connection 1");
+    // dropped one — making the retry deterministic. The submit must come
+    // from a second client: the first one pools its healthz connection
+    // and would reuse it, never touching the fault.
+    warmup.healthz().expect("healthz on connection 1");
+    let client = Client::new(warmup.addr());
     let mut notices: Vec<RetryNotice> = Vec::new();
     let job = client
         .submit_with_retry(

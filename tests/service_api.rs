@@ -57,6 +57,7 @@ fn raw_post(addr: &str, path: &str, body: &str) -> (u16, String) {
         path,
         addr,
         Some(("application/json", body.as_bytes())),
+        false,
     )
     .expect("send");
     let response = ClientResponse::read(stream).expect("response head");
@@ -507,7 +508,7 @@ fn unknown_jobs_paths_and_methods_get_clean_errors() {
     assert_eq!(status, 404);
     // An unsupported method on a real path.
     let mut stream = TcpStream::connect(&addr).expect("connect");
-    write_request(&mut stream, "PUT", "/v1/jobs", &addr, None).expect("send");
+    write_request(&mut stream, "PUT", "/v1/jobs", &addr, None, false).expect("send");
     let response = ClientResponse::read(stream).expect("head");
     assert_eq!(response.status, 405);
     shutdown.shutdown();
