@@ -37,7 +37,15 @@
 //!   instance, a warm-started re-solve after one edit vs a cold solve of
 //!   the same edited dataset (the hint descent converges sooner); and the
 //!   wire-level win of HTTP keep-alive — the same status read hammered
-//!   over one pooled connection vs a fresh TCP dial per request.
+//!   over one pooled connection vs a fresh TCP dial per request;
+//! * a **load** section (DESIGN.md §14): an open-loop generator — jobs
+//!   fire on a fixed arrival clock, never waiting for completions, the
+//!   way real traffic does — swept over arrival rates against a
+//!   router-fronted fleet of 1 vs [`LOAD_FLEET`] workers, recording
+//!   p50/p99 submit-to-finished latency and the shed rate; plus the
+//!   batching claim at the fleet level: one panel as a single
+//!   `POST /v1/batches` (one cost-matrix build) vs the same panel as
+//!   scattered individual submissions (one build per worker hit).
 //!
 //! The header records the host's available parallelism and a timestamp,
 //! so committed BENCH files stay interpretable (PR 1's single-core
@@ -47,7 +55,7 @@
 //! PRs can track the trajectory:
 //!
 //! ```text
-//! cargo run --release -p bench --bin perf_trajectory -- BENCH_7.json
+//! cargo run --release -p bench --bin perf_trajectory -- BENCH_8.json
 //! ```
 
 use ragen::UniformSampler;
@@ -62,8 +70,9 @@ use rank_core::{CostMatrix, Dataset};
 use service::client::Client;
 use service::journal::{FsyncPolicy, Journal};
 use service::json::Json;
-use service::proto::JobSubmission;
-use service::server::{Server, ServerConfig};
+use service::proto::{BatchSubmission, JobSubmission};
+use service::router::{Router, RouterConfig};
+use service::server::{Server, ServerConfig, ShutdownHandle};
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
@@ -405,6 +414,218 @@ fn measure_service(data: &Dataset) -> ServiceReport {
     }
 }
 
+/// Jobs per load cell: enough completions that p99 means something,
+/// few enough that the whole sweep stays in bench-runtime territory.
+const LOAD_JOBS: usize = 40;
+/// Open-loop arrival rates (jobs/second). The top rate is meant to push
+/// a single worker past its service rate so queueing — and, when the
+/// admission queue fills, shedding — shows up in the numbers.
+const LOAD_RATES_PER_SEC: [f64; 2] = [25.0, 100.0];
+/// The multi-worker arm's fleet size (the single-worker arm is 1).
+const LOAD_FLEET: usize = 3;
+
+/// One (fleet size, arrival rate) cell of the open-loop sweep.
+struct LoadCell {
+    workers: usize,
+    rate_per_sec: f64,
+    offered: usize,
+    completed: usize,
+    shed: usize,
+    p50_s: f64,
+    p99_s: f64,
+}
+
+struct LoadReport {
+    cells: Vec<LoadCell>,
+    /// Matrix builds for one panel as a single batch on a 1-worker fleet.
+    batch_builds: u64,
+    /// Matrix builds for the same panel as scattered individual jobs
+    /// across a [`LOAD_FLEET`]-worker fleet.
+    sequential_builds: u64,
+}
+
+fn start_fleet(n: usize) -> (Vec<String>, Vec<ShutdownHandle>) {
+    (0..n)
+        .map(|_| {
+            let server = Server::bind("127.0.0.1:0", ServerConfig::default()).expect("bind worker");
+            let addr = server.local_addr().expect("worker addr").to_string();
+            let shutdown = server.shutdown_handle().expect("worker shutdown");
+            std::thread::spawn(move || server.serve());
+            (addr, shutdown)
+        })
+        .unzip()
+}
+
+fn start_fronted_fleet(
+    n: usize,
+) -> (
+    Client,
+    service::router::RouterShutdown,
+    Vec<String>,
+    Vec<ShutdownHandle>,
+) {
+    let (addrs, downs) = start_fleet(n);
+    let router = Router::bind(
+        "127.0.0.1:0",
+        RouterConfig {
+            workers: addrs.clone(),
+            token: None,
+        },
+    )
+    .expect("bind router");
+    let client = Client::new(&router.local_addr().expect("router addr").to_string());
+    let shutdown = router.shutdown_handle().expect("router shutdown");
+    std::thread::spawn(move || router.serve());
+    (client, shutdown, addrs, downs)
+}
+
+fn fleet_builds(addrs: &[String]) -> u64 {
+    addrs
+        .iter()
+        .map(|addr| {
+            Client::new(addr)
+                .healthz()
+                .expect("worker healthz")
+                .get("matrix_builds")
+                .and_then(Json::as_u64)
+                .expect("matrix_builds in healthz")
+        })
+        .sum()
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+/// One open-loop cell: fire [`LOAD_JOBS`] submissions at a fixed arrival
+/// clock against a router-fronted fleet of `workers`, each arrival a
+/// fresh client thread (a new caller, not a recycled connection) whose
+/// dataset carries a distinct comment line so fingerprints scatter over
+/// the fleet. A 429/503 at submit is a shed arrival — the open loop
+/// does not retry; it measures what the fleet dropped.
+fn measure_load_cell(workers: usize, rate: f64, text: &str) -> LoadCell {
+    let (router_client, down_router, _addrs, downs) = start_fronted_fleet(workers);
+    let addr = router_client.addr().to_owned();
+    let (tx, rx) = std::sync::mpsc::channel::<Option<f64>>();
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for i in 0..LOAD_JOBS {
+            let due = Duration::from_secs_f64(i as f64 / rate);
+            let now = start.elapsed();
+            if due > now {
+                std::thread::sleep(due - now);
+            }
+            let tx = tx.clone();
+            let addr = addr.clone();
+            let text = format!("# arrival {i}\n{text}");
+            scope.spawn(move || {
+                let client = Client::new(&addr);
+                let t = Instant::now();
+                let submission = JobSubmission {
+                    algo: Some("BioConsert".to_owned()),
+                    seed: 1000 + i as u64,
+                    ..JobSubmission::new(text)
+                };
+                let outcome = client
+                    .submit(&submission)
+                    .and_then(|job| client.wait(job.id))
+                    .ok()
+                    .map(|_| t.elapsed().as_secs_f64());
+                let _ = tx.send(outcome);
+            });
+        }
+    });
+    drop(tx);
+    let mut latencies = Vec::new();
+    let mut shed = 0usize;
+    for outcome in rx {
+        match outcome {
+            Some(s) => latencies.push(s),
+            None => shed += 1,
+        }
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let cell = LoadCell {
+        workers,
+        rate_per_sec: rate,
+        offered: LOAD_JOBS,
+        completed: latencies.len(),
+        shed,
+        p50_s: percentile(&latencies, 0.50),
+        p99_s: percentile(&latencies, 0.99),
+    };
+    down_router.shutdown();
+    for down in downs {
+        down.shutdown();
+    }
+    cell
+}
+
+/// The load section: the arrival-rate sweep for 1 vs [`LOAD_FLEET`]
+/// workers, then the fleet-level batching claim — the same heuristic
+/// panel once as a single batch (one matrix build on its worker) and
+/// once as scattered individual submissions (every worker that gets a
+/// shard pays its own build; the healthz counters sum the difference).
+fn measure_load(text: &str) -> LoadReport {
+    let mut cells = Vec::new();
+    for workers in [1, LOAD_FLEET] {
+        for rate in LOAD_RATES_PER_SEC {
+            cells.push(measure_load_cell(workers, rate, text));
+        }
+    }
+
+    let panel: Vec<String> = ["BioConsert", "Borda", "KwikSort", "Chanas"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+
+    // Batched arm: one worker, one POST /v1/batches, one build.
+    let (client, down_router, addrs, downs) = start_fronted_fleet(1);
+    let before = fleet_builds(&addrs);
+    let batch = client
+        .submit_batch(&BatchSubmission {
+            seed: 7,
+            ..BatchSubmission::new(text, panel.clone())
+        })
+        .expect("submit batch");
+    client.wait_batch(batch.id).expect("wait batch");
+    let batch_builds = fleet_builds(&addrs) - before;
+    down_router.shutdown();
+    for down in downs {
+        down.shutdown();
+    }
+
+    // Scattered arm: the same specs as independent submissions whose
+    // comment lines scatter them over the fleet by fingerprint.
+    let (client, down_router, addrs, downs) = start_fronted_fleet(LOAD_FLEET);
+    let before = fleet_builds(&addrs);
+    for (i, spec) in panel.iter().enumerate() {
+        let job = client
+            .submit(&JobSubmission {
+                algo: Some(spec.clone()),
+                seed: 7,
+                ..JobSubmission::new(format!("# client {i}\n{text}"))
+            })
+            .expect("submit scattered job");
+        client.wait(job.id).expect("wait scattered job");
+    }
+    let sequential_builds = fleet_builds(&addrs) - before;
+    down_router.shutdown();
+    for down in downs {
+        down.shutdown();
+    }
+
+    LoadReport {
+        cells,
+        batch_builds,
+        sequential_builds,
+    }
+}
+
 /// The recovery section's journal shape: enough finished jobs with long
 /// event replays that the replay scan dominates setup noise.
 const RECOVERY_JOBS: u64 = 64;
@@ -598,7 +819,9 @@ fn measure_incremental() -> IncrementalReport {
                 .clone();
             let mut session = DatasetSession::new(data);
             session.resolve(&Engine::new(), spec.clone(), 7, None);
-            session.add_ranking(extra).expect("adds are always accepted");
+            session
+                .add_ranking(extra)
+                .expect("adds are always accepted");
 
             let warm = session.resolve(&Engine::new(), spec.clone(), 7, None);
             let warm_s = time_median(5, || {
@@ -666,7 +889,7 @@ fn measure_incremental() -> IncrementalReport {
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_7.json".to_owned());
+        .unwrap_or_else(|| "BENCH_8.json".to_owned());
     let threads = rank_core::parallel::num_threads();
     let host_parallelism = std::thread::available_parallelism().map_or(0, |n| n.get());
     let timestamp_unix_secs = std::time::SystemTime::now()
@@ -726,6 +949,32 @@ fn main() {
         service.first_incumbent_max_s * 1e3,
         service.finished_median_s * 1e3,
         service.finished_max_s * 1e3,
+    );
+
+    // Load section: the open-loop sweep against 1 vs LOAD_FLEET workers
+    // behind the router, plus the fleet-level batching claim.
+    let mut service_text = String::new();
+    for r in service_data.rankings() {
+        service_text.push_str(&r.to_string());
+        service_text.push('\n');
+    }
+    let load = measure_load(&service_text);
+    for cell in &load.cells {
+        eprintln!(
+            "load: {} worker{} @ {:>5.0}/s: {}/{} completed ({} shed), finished p50 {:.1}ms p99 {:.1}ms",
+            cell.workers,
+            if cell.workers == 1 { " " } else { "s" },
+            cell.rate_per_sec,
+            cell.completed,
+            cell.offered,
+            cell.shed,
+            cell.p50_s * 1e3,
+            cell.p99_s * 1e3,
+        );
+    }
+    eprintln!(
+        "load: panel builds — batched {} vs scattered-sequential {} (fleet of {})",
+        load.batch_builds, load.sequential_builds, LOAD_FLEET,
     );
 
     // Exact section: the parallel proof search and the certified-gap
@@ -788,7 +1037,7 @@ fn main() {
     json.push_str("{\n");
     let _ = writeln!(
         json,
-        "  \"bench\": \"parallel consensus kernel (PR 1) + engine batch front door (PR 2) + anytime incumbent traces (PR 3) + network service latency (PR 4) + parallel exact proof search with certified gaps (PR 5) + durable journal recovery (PR 6) + incremental sessions: delta patches, warm re-solves, keep-alive (PR 7)\","
+        "  \"bench\": \"parallel consensus kernel (PR 1) + engine batch front door (PR 2) + anytime incumbent traces (PR 3) + network service latency (PR 4) + parallel exact proof search with certified gaps (PR 5) + durable journal recovery (PR 6) + incremental sessions: delta patches, warm re-solves, keep-alive (PR 7) + sharded fleet under open-loop load (PR 8)\","
     );
     let _ = writeln!(json, "  \"m\": {M},");
     let _ = writeln!(json, "  \"worker_threads\": {threads},");
@@ -818,6 +1067,46 @@ fn main() {
         "    \"submit_to_finished_max_secs\": {:.6}",
         service.finished_max_s
     );
+    json.push_str("  },\n");
+    json.push_str("  \"load\": {\n");
+    let _ = writeln!(json, "    \"n\": {},", NS[0]);
+    let _ = writeln!(json, "    \"jobs_per_cell\": {LOAD_JOBS},");
+    json.push_str("    \"cells\": [\n");
+    for (i, cell) in load.cells.iter().enumerate() {
+        let p50 = if cell.p50_s.is_nan() {
+            "null".to_owned()
+        } else {
+            format!("{:.6}", cell.p50_s)
+        };
+        let p99 = if cell.p99_s.is_nan() {
+            "null".to_owned()
+        } else {
+            format!("{:.6}", cell.p99_s)
+        };
+        let _ = writeln!(
+            json,
+            "      {{\"workers\": {}, \"arrival_rate_per_sec\": {:.0}, \"offered\": {}, \"completed\": {}, \"shed\": {}, \"shed_rate\": {:.4}, \"finished_p50_secs\": {p50}, \"finished_p99_secs\": {p99}}}{}",
+            cell.workers,
+            cell.rate_per_sec,
+            cell.offered,
+            cell.completed,
+            cell.shed,
+            cell.shed as f64 / cell.offered as f64,
+            if i + 1 < load.cells.len() { "," } else { "" }
+        );
+    }
+    json.push_str("    ],\n");
+    let _ = writeln!(
+        json,
+        "    \"panel_batch_matrix_builds\": {},",
+        load.batch_builds
+    );
+    let _ = writeln!(
+        json,
+        "    \"panel_sequential_matrix_builds\": {},",
+        load.sequential_builds
+    );
+    let _ = writeln!(json, "    \"sequential_fleet\": {LOAD_FLEET}");
     json.push_str("  },\n");
     json.push_str("  \"recovery\": {\n");
     let _ = writeln!(json, "    \"jobs\": {},", recovery.jobs);

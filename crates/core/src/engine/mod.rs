@@ -308,6 +308,20 @@ impl Engine {
         self.scheduler().try_submit(request)
     }
 
+    /// [`Engine::try_submit`] for a whole panel: the batch is admitted as
+    /// one unit — either every request fits in the admission queue
+    /// together or the whole batch is shed with
+    /// [`AdmissionError::QueueFull`] — and returns one [`JobHandle`] per
+    /// request, in request order. Requests sharing a dataset (the normal
+    /// batch shape, [`BatchBuilder`]) share a single `O(m·n²)` cost-matrix
+    /// build through the engine cache, exactly as [`Engine::run_batch`].
+    pub fn try_submit_batch(
+        &self,
+        requests: Vec<AggregationRequest>,
+    ) -> Result<Vec<JobHandle>, AdmissionError> {
+        self.scheduler().try_submit_batch(requests)
+    }
+
     /// [`Engine::submit`] into the scheduler's **recovered** class: the
     /// job runs before every fresh submission, FIFO among recovered jobs
     /// regardless of declared budgets. This is the restart-recovery path —

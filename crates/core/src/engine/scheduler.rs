@@ -227,8 +227,68 @@ impl Scheduler {
         self.admit(request, false).map_err(|(_, e)| e)
     }
 
+    /// Admit a whole batch as one unit: either every request fits in the
+    /// queue together, or none is admitted (a partially admitted panel
+    /// would leave the caller holding half a batch with no way to retry
+    /// the rest under the same admission decision). One handle per
+    /// request, in request order.
+    pub fn try_submit_batch(
+        &self,
+        requests: Vec<AggregationRequest>,
+    ) -> Result<Vec<JobHandle>, AdmissionError> {
+        // Build every job's channel/sink/token set before taking the lock,
+        // mirroring `admit`.
+        let prepared: Vec<_> = requests
+            .into_iter()
+            .map(|request| {
+                let (event_tx, events) = mpsc::channel();
+                let (report_tx, report_rx) = mpsc::channel();
+                let sink = Arc::new(IncumbentSink::with_sender(event_tx));
+                let cancel = CancelToken::new();
+                let done = Arc::new(AtomicBool::new(false));
+                (request, sink, cancel, done, events, report_rx, report_tx)
+            })
+            .collect();
+        let mut state = self.shared.state.lock().expect("scheduler state poisoned");
+        if state.shutdown {
+            return Err(AdmissionError::ShuttingDown);
+        }
+        if state.queue.len() + prepared.len() > self.shared.config.queue_capacity {
+            return Err(AdmissionError::QueueFull {
+                queued: state.queue.len(),
+                capacity: self.shared.config.queue_capacity,
+                retry_after: retry_hint(&state),
+            });
+        }
+        let handles = prepared
+            .into_iter()
+            .map(
+                |(request, sink, cancel, done, events, report_rx, report_tx)| {
+                    let seq = state.next_seq;
+                    state.next_seq += 1;
+                    state.queue.push(QueuedJob {
+                        request,
+                        sink: Arc::clone(&sink),
+                        cancel: cancel.clone(),
+                        report_tx,
+                        done: Arc::clone(&done),
+                        seq,
+                        recovered: false,
+                    });
+                    JobHandle::new(sink, cancel, events, report_rx, done)
+                },
+            )
+            .collect();
+        drop(state);
+        self.shared.work_ready.notify_all();
+        Ok(handles)
+    }
+
     /// [`Scheduler::try_submit`], returning the request on rejection so
     /// the blocking path can retry it.
+    // The large Err is the point: rejection hands the request back so
+    // `submit` can retry it without a clone on the admission fast path.
+    #[allow(clippy::result_large_err)]
     fn admit(
         &self,
         request: AggregationRequest,
@@ -613,6 +673,54 @@ mod tests {
         for h in [recovered_a, recovered_b, fresh] {
             assert_eq!(h.wait().score, 5);
         }
+    }
+
+    #[test]
+    fn batch_admission_is_all_or_nothing() {
+        let s = sched(1, 3);
+        let blocker = s
+            .try_submit(AggregationRequest::new(
+                tiny_dataset(),
+                AlgoSpec::BestOf {
+                    base: Box::new(AlgoSpec::KwikSort),
+                    runs: 200_000,
+                },
+            ))
+            .expect("admitted");
+        while s.stats().running == 0 {
+            std::thread::yield_now();
+        }
+        // Two slots occupied by a pair-batch: fits (2 ≤ 3).
+        let pair = s
+            .try_submit_batch(vec![
+                AggregationRequest::new(tiny_dataset(), AlgoSpec::Exact),
+                AggregationRequest::new(tiny_dataset(), AlgoSpec::Exact),
+            ])
+            .expect("batch of two fits");
+        assert_eq!(pair.len(), 2);
+        // A second pair would need 4 total slots: the *whole* batch is
+        // shed, leaving the queue exactly as it was.
+        let shed = s.try_submit_batch(vec![
+            AggregationRequest::new(tiny_dataset(), AlgoSpec::Exact),
+            AggregationRequest::new(tiny_dataset(), AlgoSpec::Borda),
+        ]);
+        match shed {
+            Err(AdmissionError::QueueFull {
+                queued, capacity, ..
+            }) => assert_eq!((queued, capacity), (2, 3)),
+            other => panic!("expected QueueFull, got {:?}", other.map(|h| h.len())),
+        }
+        assert_eq!(s.stats().queued, 2, "shed batch admitted nothing");
+        // A single job still fits in the remaining slot.
+        let single = s
+            .try_submit(AggregationRequest::new(tiny_dataset(), AlgoSpec::Exact))
+            .expect("one slot left");
+        blocker.cancel();
+        let _ = blocker.wait();
+        for h in pair {
+            assert_eq!(h.wait().score, 5);
+        }
+        assert_eq!(single.wait().score, 5);
     }
 
     #[test]

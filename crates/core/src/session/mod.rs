@@ -351,9 +351,15 @@ mod tests {
     fn add_remove_replace_stay_cold_identical() {
         let mut s = paper_session();
         assert_eq!(s.version(), 1);
-        assert_eq!(s.add_ranking(parse_ranking("[{1},{0,3},{2}]").unwrap()), Ok(2));
+        assert_eq!(
+            s.add_ranking(parse_ranking("[{1},{0,3},{2}]").unwrap()),
+            Ok(2)
+        );
         assert_matrix_cold(&s);
-        assert_eq!(s.replace_ranking(0, parse_ranking("[{2,3},{0},{1}]").unwrap()), Ok(3));
+        assert_eq!(
+            s.replace_ranking(0, parse_ranking("[{2,3},{0},{1}]").unwrap()),
+            Ok(3)
+        );
         assert_matrix_cold(&s);
         assert_eq!(s.remove_ranking(2), Ok(4));
         assert_matrix_cold(&s);
@@ -393,9 +399,8 @@ mod tests {
         );
         assert_eq!(s.version(), before.version());
         assert_eq!(s.matrix(), before.matrix());
-        let mut one = DatasetSession::new(
-            Dataset::new(vec![parse_ranking("[{0},{1}]").unwrap()]).unwrap(),
-        );
+        let mut one =
+            DatasetSession::new(Dataset::new(vec![parse_ranking("[{0},{1}]").unwrap()]).unwrap());
         assert_eq!(one.remove_ranking(0), Err(SessionError::LastRanking));
     }
 

@@ -30,12 +30,19 @@
 
 use crate::http::{self, ClientResponse, HttpError, NdjsonLines};
 use crate::json::Json;
-use crate::proto::JobSubmission;
+use crate::proto::{BatchSubmission, JobSubmission};
 use std::fmt;
 use std::io::BufReader;
 use std::net::TcpStream;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
+
+/// Idle keep-alive connections a client retains. Small on purpose: a
+/// blocking caller uses one socket at a time, so the pool only matters
+/// when clones share the client across threads (the load harness, the
+/// router's per-worker clients) — four sockets absorb that burstiness
+/// without hoarding server-side connection threads.
+const POOL_CAP: usize = 4;
 
 /// A client-side failure.
 #[derive(Debug)]
@@ -214,15 +221,45 @@ pub struct Submitted {
     pub deduplicated: bool,
 }
 
-/// A blocking client bound to one server address, holding one pooled
-/// keep-alive connection for sized exchanges (clones share the pool).
+/// One sub-job of a submitted batch: which spec it runs and the job id
+/// it is addressable under (`/v1/jobs/{id}` works on sub-jobs too).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchJob {
+    /// The algorithm spec this sub-job runs.
+    pub spec: String,
+    /// The sub-job's id in the ordinary job table.
+    pub id: u64,
+}
+
+/// A submitted batch's identity, as returned by `POST /v1/batches`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmittedBatch {
+    /// The batch id; batch status/events endpoints key on it.
+    pub id: u64,
+    /// Elements after normalization (shared by every sub-job).
+    pub n: usize,
+    /// Rankings after normalization.
+    pub m: usize,
+    /// One entry per requested spec, in request order.
+    pub jobs: Vec<BatchJob>,
+    /// `true` when the idempotency key matched an existing batch.
+    pub deduplicated: bool,
+}
+
+/// A blocking client bound to one server address, holding a small
+/// bounded pool of keep-alive connections for sized exchanges (clones
+/// share the pool, so concurrent threads each check out their own
+/// socket instead of serializing on one).
 #[derive(Debug, Clone)]
 pub struct Client {
     addr: String,
-    /// The idle kept-alive connection, if any. One slot is enough: the
-    /// client is blocking, so a single caller never needs two sockets at
-    /// once, and concurrent clones simply dial when the slot is taken.
-    pool: Arc<Mutex<Option<BufReader<TcpStream>>>>,
+    /// Bearer token sent as `Authorization: Bearer <token>` on every
+    /// request when the server was started with `--token`.
+    token: Option<Arc<str>>,
+    /// Idle kept-alive connections, at most [`POOL_CAP`]. Checkout pops
+    /// one (dialing fresh when empty); checkin pushes it back unless the
+    /// pool is full, in which case the socket is simply dropped.
+    pool: Arc<Mutex<Vec<BufReader<TcpStream>>>>,
 }
 
 impl Client {
@@ -236,7 +273,39 @@ impl Client {
             .to_owned();
         Client {
             addr,
-            pool: Arc::new(Mutex::new(None)),
+            token: None,
+            pool: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// [`Client::new`], but every request carries
+    /// `Authorization: Bearer <token>` — for servers and routers started
+    /// with `--token`.
+    pub fn with_token(addr: &str, token: &str) -> Self {
+        let mut client = Client::new(addr);
+        client.token = Some(Arc::from(token));
+        client
+    }
+
+    /// Check an idle pooled connection out, if any.
+    fn checkout(&self) -> Option<BufReader<TcpStream>> {
+        self.pool.lock().expect("client pool poisoned").pop()
+    }
+
+    /// Return a still-alive connection to the pool; drop it silently when
+    /// the pool is already at capacity.
+    fn checkin(&self, reader: BufReader<TcpStream>) {
+        let mut pool = self.pool.lock().expect("client pool poisoned");
+        if pool.len() < POOL_CAP {
+            pool.push(reader);
+        }
+    }
+
+    /// The `Authorization` header to attach, when a token is configured.
+    fn auth_headers(&self) -> Vec<(&'static str, String)> {
+        match &self.token {
+            Some(token) => vec![("Authorization", format!("Bearer {token}"))],
+            None => Vec::new(),
         }
     }
 
@@ -256,7 +325,7 @@ impl Client {
         Ok(stream)
     }
 
-    /// One sized exchange over the pooled connection. A failure on a
+    /// One sized exchange over a pooled connection. A failure on a
     /// *reused* socket (the server restarted, closed an idle connection,
     /// or shed it) is retried once on a fresh dial before surfacing —
     /// a stale pooled connection must never look like a dead server.
@@ -266,23 +335,26 @@ impl Client {
         path: &str,
         body: Option<&str>,
     ) -> Result<ClientResponse, ClientError> {
-        let pooled = self.pool.lock().expect("client pool poisoned").take();
+        let pooled = self.checkout();
         let had_pooled = pooled.is_some();
-        let attempt = |reader: Option<BufReader<TcpStream>>| -> Result<ClientResponse, ClientError> {
-            let mut reader = match reader {
-                Some(reader) => reader,
-                None => BufReader::new(self.connect()?),
+        let headers = self.auth_headers();
+        let attempt =
+            |reader: Option<BufReader<TcpStream>>| -> Result<ClientResponse, ClientError> {
+                let mut reader = match reader {
+                    Some(reader) => reader,
+                    None => BufReader::new(self.connect()?),
+                };
+                http::write_request_with_headers(
+                    reader.get_mut(),
+                    method,
+                    path,
+                    &self.addr,
+                    &headers,
+                    body.map(|b| ("application/json", b.as_bytes())),
+                    true,
+                )?;
+                Ok(ClientResponse::read_from(reader)?)
             };
-            http::write_request(
-                reader.get_mut(),
-                method,
-                path,
-                &self.addr,
-                body.map(|b| ("application/json", b.as_bytes())),
-                true,
-            )?;
-            Ok(ClientResponse::read_from(reader)?)
-        };
         match attempt(pooled) {
             Ok(response) => Ok(response),
             Err(ClientError::Transport(_)) if had_pooled => attempt(None),
@@ -295,7 +367,15 @@ impl Client {
     /// pointless).
     fn exchange_streaming(&self, path: &str) -> Result<ClientResponse, ClientError> {
         let mut stream = self.connect()?;
-        http::write_request(&mut stream, "GET", path, &self.addr, None, false)?;
+        http::write_request_with_headers(
+            &mut stream,
+            "GET",
+            path,
+            &self.addr,
+            &self.auth_headers(),
+            None,
+            false,
+        )?;
         Ok(ClientResponse::read(stream)?)
     }
 
@@ -325,7 +405,7 @@ impl Client {
         let retry_after_secs = response.header("retry-after").and_then(|v| v.parse().ok());
         let (text, reusable) = response.into_body_and_reader()?;
         if let Some(reader) = reusable {
-            *self.pool.lock().expect("client pool poisoned") = Some(reader);
+            self.checkin(reader);
         }
         if !(200..300).contains(&status) {
             return Err(ClientError::Status {
@@ -398,6 +478,88 @@ impl Client {
                     std::thread::sleep(delay);
                 }
             }
+        }
+    }
+
+    /// `POST /v1/batches`: one dataset, a panel of specs, admitted
+    /// all-or-nothing and sharing one cost-matrix build.
+    pub fn submit_batch(
+        &self,
+        submission: &BatchSubmission,
+    ) -> Result<SubmittedBatch, ClientError> {
+        let doc = self.json_exchange("POST", "/v1/batches", Some(&submission.to_json()))?;
+        let field = |key: &str| {
+            doc.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| ClientError::Malformed(format!("missing {key:?} in {doc}")))
+        };
+        let jobs =
+            doc.get("jobs")
+                .and_then(Json::as_array)
+                .ok_or_else(|| ClientError::Malformed(format!("missing \"jobs\" in {doc}")))?
+                .iter()
+                .map(|job| {
+                    let spec = job
+                        .get("spec")
+                        .and_then(Json::as_str)
+                        .unwrap_or_default()
+                        .to_owned();
+                    let id = job.get("id").and_then(Json::as_u64).ok_or_else(|| {
+                        ClientError::Malformed(format!("missing job id in {doc}"))
+                    })?;
+                    Ok(BatchJob { spec, id })
+                })
+                .collect::<Result<Vec<_>, ClientError>>()?;
+        Ok(SubmittedBatch {
+            id: field("id")?,
+            n: field("n")? as usize,
+            m: field("m")? as usize,
+            jobs,
+            deduplicated: doc
+                .get("deduplicated")
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
+        })
+    }
+
+    /// `GET /v1/batches/{id}`: the batch status document — per-spec
+    /// state and reports, plus the aggregate `state`.
+    pub fn batch_status(&self, id: u64) -> Result<Json, ClientError> {
+        self.json_exchange("GET", &format!("/v1/batches/{id}"), None)
+    }
+
+    /// `GET /v1/batches/{id}/events`: the merged NDJSON stream over all
+    /// sub-jobs, each line tagged with its `"spec"` and `"job"` id.
+    pub fn batch_events(&self, id: u64) -> Result<EventStream, ClientError> {
+        let response = self.exchange_streaming(&format!("/v1/batches/{id}/events"))?;
+        if response.status != 200 {
+            let status = response.status;
+            let body = response.body_string()?;
+            return Err(ClientError::Status {
+                status,
+                body,
+                retry_after_secs: None,
+            });
+        }
+        Ok(EventStream {
+            lines: response.lines(),
+        })
+    }
+
+    /// Block until every sub-job of the batch is done and return the
+    /// batch status document (streams the merged events to completion,
+    /// then fetches the final status).
+    pub fn wait_batch(&self, id: u64) -> Result<Json, ClientError> {
+        for event in self.batch_events(id)? {
+            let _ = event?;
+        }
+        let status = self.batch_status(id)?;
+        if status.get("state").and_then(Json::as_str) == Some("done") {
+            Ok(status)
+        } else {
+            Err(ClientError::Malformed(format!(
+                "batch event stream ended but batch {id} is not done: {status}"
+            )))
         }
     }
 

@@ -174,6 +174,7 @@ fn reason(status: u16) -> &'static str {
         200 => "OK",
         202 => "Accepted",
         400 => "Bad Request",
+        401 => "Unauthorized",
         404 => "Not Found",
         405 => "Method Not Allowed",
         413 => "Payload Too Large",
@@ -264,9 +265,30 @@ pub fn write_request(
     body: Option<(&str, &[u8])>,
     keep_alive: bool,
 ) -> io::Result<()> {
+    write_request_with_headers(stream, method, path, host, &[], body, keep_alive)
+}
+
+/// [`write_request`] with extra request headers emitted verbatim — the
+/// authenticated client sends `("Authorization", "Bearer …")` here, and
+/// the router forwards a worker-bound request's credentials the same way.
+pub fn write_request_with_headers(
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    host: &str,
+    extra_headers: &[(&str, String)],
+    body: Option<(&str, &[u8])>,
+    keep_alive: bool,
+) -> io::Result<()> {
     let connection = if keep_alive { "keep-alive" } else { "close" };
     let mut head =
         format!("{method} {path} HTTP/1.1\r\nHost: {host}\r\nConnection: {connection}\r\n");
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
     if let Some((content_type, payload)) = body {
         head.push_str(&format!(
             "Content-Type: {content_type}\r\nContent-Length: {}\r\n",

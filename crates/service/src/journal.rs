@@ -522,9 +522,10 @@ fn read_dataset_file(id: &str, content: &str) -> Option<RecoveredDataset> {
     for line in content.split('\n').filter(|l| !l.is_empty()) {
         // Same torn-tail rule as job segments: stop at the first bad
         // frame — everything after it is untrustworthy.
-        let Some(doc) = unframe_line(line).and_then(|json| Json::parse(json).ok()) else {
+        let Some(json) = unframe_line(line) else {
             break;
         };
+        let Ok(doc) = Json::parse(json) else { break };
         let rec = doc.get("rec").and_then(Json::as_str);
         match ds.as_mut() {
             None => {
@@ -539,12 +540,11 @@ fn read_dataset_file(id: &str, content: &str) -> Option<RecoveredDataset> {
                 });
             }
             Some(current) => {
-                if rec == Some("ds-edit") {
-                    if let (Some(version), Some(op)) = (
-                        doc.get("version").and_then(Json::as_u64),
-                        doc.get("op").map(|op| op.to_string()),
-                    ) {
-                        current.edits.push((version, op));
+                if rec == Some("ds-edit") && doc.get("op").is_some() {
+                    if let (Some(version), Some(op)) =
+                        (doc.get("version").and_then(Json::as_u64), raw_edit_op(json))
+                    {
+                        current.edits.push((version, op.to_owned()));
                     }
                 }
                 // Unknown record type from a future version: skip it.
@@ -552,6 +552,18 @@ fn read_dataset_file(id: &str, content: &str) -> Option<RecoveredDataset> {
         }
     }
     ds
+}
+
+/// The verbatim `"op"` payload of a `ds-edit` record, sliced out of the
+/// raw line instead of re-serialized from the parsed document — parsing
+/// would reorder object keys, and replay must hand back the exact bytes
+/// the client journaled. Relies on the fixed record layout
+/// [`JournalWriter::append_dataset_edit`] writes: the first `"op":` is
+/// the record's own key and the record's closing brace is the last byte.
+fn raw_edit_op(json: &str) -> Option<&str> {
+    let start = json.find("\"op\":")? + "\"op\":".len();
+    let end = json.len().checked_sub(1)?;
+    json.get(start..end)
 }
 
 /// The append side of one job's journal segment. Owned by the job's
@@ -768,7 +780,9 @@ mod tests {
     fn dataset_family_roundtrips_and_is_invisible_to_job_replay() {
         let dir = temp_dir("datasets");
         let journal = Journal::open(&dir, FsyncPolicy::Never).unwrap();
-        let mut w = journal.begin_dataset("live-1", "[{A},{B}]\n[{B},{A}]", 1).unwrap();
+        let mut w = journal
+            .begin_dataset("live-1", "[{A},{B}]\n[{B},{A}]", 1)
+            .unwrap();
         w.append_dataset_edit(r#"{"op":"add","ranking":"[{B},{A}]"}"#, 2);
         w.append_dataset_edit(r#"{"op":"remove","index":0}"#, 3);
         drop(w);

@@ -65,11 +65,13 @@ pub mod http;
 pub mod journal;
 pub mod json;
 pub mod proto;
+pub mod router;
 pub mod server;
 
-pub use client::{Client, ClientError, RetryPolicy, Submitted};
+pub use client::{Client, ClientError, RetryPolicy, Submitted, SubmittedBatch};
 pub use fault::FaultPlan;
 pub use journal::{FsyncPolicy, Journal};
 pub use json::Json;
-pub use proto::JobSubmission;
+pub use proto::{BatchSubmission, JobSubmission};
+pub use router::{Router, RouterConfig, RouterShutdown};
 pub use server::{Server, ServerConfig, ShutdownHandle};

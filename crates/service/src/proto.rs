@@ -424,6 +424,183 @@ impl JobSubmission {
     }
 }
 
+/// Upper bound on the specs a single `POST /v1/batches` may carry. A
+/// panel bigger than this should be split by the caller; the cap keeps
+/// one batch from monopolizing the admission queue (default capacity
+/// 128), since batches are admitted all-or-nothing.
+pub const MAX_BATCH_SPECS: usize = 32;
+
+/// A validated `POST /v1/batches` body: one dataset, a panel of specs.
+///
+/// The whole panel is admitted through the scheduler as one unit (all
+/// sub-jobs or none) and every sub-job shares the dataset's single
+/// `O(m·n²)` cost-matrix build through the engine cache — the service
+/// counterpart of [`rank_core::engine::Engine::run_batch`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchSubmission {
+    /// Dataset text, same wire format as [`JobSubmission::dataset`].
+    pub dataset: String,
+    /// Algorithm spec strings, one sub-job each (1..=[`MAX_BATCH_SPECS`]).
+    pub specs: Vec<String>,
+    /// RNG seed shared by the panel (per-run streams are decorrelated by
+    /// spec name, as in the in-process engine).
+    pub seed: u64,
+    /// Wall-clock budget applied to each sub-job.
+    pub budget: Option<Duration>,
+    /// Normalization policy (default unification, §5.1).
+    pub normalize: Normalization,
+    /// Idempotency key for the batch as a whole, same contract as
+    /// [`JobSubmission::idempotency_key`].
+    pub idempotency_key: Option<String>,
+}
+
+impl BatchSubmission {
+    /// A batch with the CLI defaults (seed 42, no budget, unification).
+    pub fn new(dataset: impl Into<String>, specs: Vec<String>) -> Self {
+        BatchSubmission {
+            dataset: dataset.into(),
+            specs,
+            seed: 42,
+            budget: None,
+            normalize: Normalization::Unification,
+            idempotency_key: None,
+        }
+    }
+
+    /// Parse and validate a `POST /v1/batches` body; same rejection
+    /// discipline as [`JobSubmission::from_json`].
+    pub fn from_json(body: &str) -> Result<BatchSubmission, SubmissionError> {
+        let doc =
+            Json::parse(body).map_err(|e| SubmissionError::new(format!("request body: {e}")))?;
+        if !matches!(doc, Json::Obj(_)) {
+            return Err(SubmissionError::new("request body must be a JSON object"));
+        }
+        let dataset = match doc.get("dataset").filter(|v| !v.is_null()) {
+            None => {
+                return Err(SubmissionError::new(
+                    "missing required field \"dataset\" (batches carry inline text)",
+                ));
+            }
+            Some(v) => {
+                let text = v
+                    .as_str()
+                    .ok_or_else(|| SubmissionError::new("\"dataset\" must be a string"))?;
+                if text.trim().is_empty() {
+                    return Err(SubmissionError::new("\"dataset\" is empty"));
+                }
+                text.to_owned()
+            }
+        };
+        let specs = match doc.get("specs").filter(|v| !v.is_null()) {
+            None => {
+                return Err(SubmissionError::new(
+                    "missing required field \"specs\" (a non-empty array of algorithm names)",
+                ));
+            }
+            Some(v) => {
+                let items = v
+                    .as_array()
+                    .ok_or_else(|| SubmissionError::new("\"specs\" must be an array"))?;
+                if items.is_empty() {
+                    return Err(SubmissionError::new("\"specs\" is empty"));
+                }
+                if items.len() > MAX_BATCH_SPECS {
+                    return Err(SubmissionError::new(format!(
+                        "\"specs\" holds {} entries; a batch carries at most {MAX_BATCH_SPECS}",
+                        items.len()
+                    )));
+                }
+                items
+                    .iter()
+                    .map(|item| {
+                        item.as_str().map(str::to_owned).ok_or_else(|| {
+                            SubmissionError::new("\"specs\" entries must be strings")
+                        })
+                    })
+                    .collect::<Result<Vec<String>, SubmissionError>>()?
+            }
+        };
+        let seed = match doc.get("seed") {
+            None => 42,
+            Some(v) => v
+                .as_u64()
+                .ok_or_else(|| SubmissionError::new("\"seed\" must be a non-negative integer"))?,
+        };
+        let budget = match doc.get("budget_secs") {
+            None => None,
+            Some(v) if v.is_null() => None,
+            Some(v) => {
+                let secs = v
+                    .as_f64()
+                    .ok_or_else(|| SubmissionError::new("\"budget_secs\" must be a number"))?;
+                if !(secs.is_finite() && secs > 0.0) {
+                    return Err(SubmissionError::new(format!(
+                        "\"budget_secs\" must be positive, got {secs}"
+                    )));
+                }
+                Some(Duration::try_from_secs_f64(secs).map_err(|_| {
+                    SubmissionError::new(format!("\"budget_secs\" {secs} is out of range"))
+                })?)
+            }
+        };
+        let normalize = match doc.get("normalize") {
+            None => Normalization::Unification,
+            Some(v) => {
+                let text = v
+                    .as_str()
+                    .ok_or_else(|| SubmissionError::new("\"normalize\" must be a string"))?;
+                text.parse().map_err(|e: String| SubmissionError {
+                    message: e,
+                    suggestion: None,
+                })?
+            }
+        };
+        let idempotency_key = match doc.get("idempotency_key") {
+            None => None,
+            Some(v) if v.is_null() => None,
+            Some(v) => {
+                let key = v
+                    .as_str()
+                    .ok_or_else(|| SubmissionError::new("\"idempotency_key\" must be a string"))?;
+                if key.is_empty() || key.len() > 256 {
+                    return Err(SubmissionError::new(
+                        "\"idempotency_key\" must be 1..=256 characters",
+                    ));
+                }
+                Some(key.to_owned())
+            }
+        };
+        Ok(BatchSubmission {
+            dataset,
+            specs,
+            seed,
+            budget,
+            normalize,
+            idempotency_key,
+        })
+    }
+
+    /// Serialize for `POST /v1/batches` (the client side).
+    pub fn to_json(&self) -> String {
+        let mut out = format!("{{\"dataset\":\"{}\"", escape(&self.dataset));
+        let specs: Vec<String> = self
+            .specs
+            .iter()
+            .map(|s| format!("\"{}\"", escape(s)))
+            .collect();
+        let _ = write!(out, ",\"specs\":[{}]", specs.join(","));
+        let _ = write!(out, ",\"seed\":{}", self.seed);
+        if let Some(budget) = self.budget {
+            let _ = write!(out, ",\"budget_secs\":{}", budget.as_secs_f64());
+        }
+        if let Some(key) = &self.idempotency_key {
+            let _ = write!(out, ",\"idempotency_key\":\"{}\"", escape(key));
+        }
+        let _ = write!(out, ",\"normalize\":\"{}\"}}", self.normalize);
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -431,12 +608,12 @@ mod tests {
     #[test]
     fn submission_roundtrips() {
         let sub = JobSubmission {
-            dataset: "[{A},{B,C}]\n[{B},{A,C}]".to_owned(),
             algo: Some("BestOf(KwikSort,20)".to_owned()),
             seed: 7,
             budget: Some(Duration::from_millis(1500)),
             normalize: Normalization::Projection,
             idempotency_key: Some("retry-abc123".to_owned()),
+            ..JobSubmission::new("[{A},{B,C}]\n[{B},{A,C}]")
         };
         assert_eq!(JobSubmission::from_json(&sub.to_json()), Ok(sub));
     }
@@ -503,6 +680,45 @@ mod tests {
         }
         assert!(valid_dataset_id("ok_Name-42"));
         assert!(!valid_dataset_id(&"x".repeat(65)));
+    }
+
+    #[test]
+    fn batch_submission_roundtrips_and_validates() {
+        let sub = BatchSubmission {
+            seed: 11,
+            budget: Some(Duration::from_millis(2500)),
+            normalize: Normalization::Projection,
+            idempotency_key: Some("panel-1".to_owned()),
+            ..BatchSubmission::new(
+                "[{A},{B,C}]\n[{B},{A,C}]",
+                vec!["Exact".to_owned(), "BioConsert".to_owned()],
+            )
+        };
+        assert_eq!(BatchSubmission::from_json(&sub.to_json()), Ok(sub));
+
+        let too_many = format!(
+            r#"{{"dataset":"[{{A}}]","specs":[{}]}}"#,
+            vec![r#""Borda""#; MAX_BATCH_SPECS + 1].join(",")
+        );
+        for (body, needle) in [
+            (r#"{"specs":["Borda"]}"#, "dataset"),
+            (r#"{"dataset":"[{A}]"}"#, "specs"),
+            (r#"{"dataset":"[{A}]","specs":[]}"#, "empty"),
+            (r#"{"dataset":"[{A}]","specs":"Borda"}"#, "array"),
+            (r#"{"dataset":"[{A}]","specs":[7]}"#, "strings"),
+            (
+                r#"{"dataset":"[{A}]","specs":["B"],"budget_secs":0}"#,
+                "positive",
+            ),
+            (too_many.as_str(), "at most"),
+        ] {
+            let err = BatchSubmission::from_json(body).expect_err(body);
+            assert!(
+                err.message.contains(needle),
+                "{body}: {} should mention {needle:?}",
+                err.message
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,1075 @@
+//! Fingerprint-routing front tier: one address, many workers
+//! (DESIGN.md §14.2).
+//!
+//! A [`Router`] listens like a [`Server`](crate::server::Server) but owns
+//! no engine: every request is forwarded to one of a fixed set of worker
+//! servers, chosen by **rendezvous (highest-random-weight) hashing** of
+//! the request's dataset fingerprint — the dataset id for live sessions,
+//! a content hash for inline text. Stickiness is the point: a dataset
+//! session PATCHed through the router keeps landing on the worker whose
+//! `MatrixCache` holds its delta-patched cost matrix, and every spec of
+//! a batch rides one worker's single matrix build.
+//!
+//! The router stays transparent on the wire. Responses keep the worker's
+//! exact bytes except for job/batch ids, which are spliced to
+//! router-side ids so ids from different workers cannot collide (the
+//! worker-side numbers, and the `/v1/jobs/{id}`-style URLs built from
+//! them, are rewritten in place; report payloads pass through
+//! byte-identically). Event streams are re-chunked line by line,
+//! heartbeats included.
+//!
+//! Failure model: a worker that cannot be dialed is skipped — new
+//! submissions fall through to the next worker in rendezvous order
+//! (idempotency keys make a retried submission safe wherever it lands),
+//! while requests about state the dead worker held (its in-flight jobs,
+//! its dataset sessions) answer **503 + `Retry-After`**, because that
+//! state is not portable. `GET /healthz` aggregates every worker's
+//! health and reports `ok` / `degraded` / `down`.
+
+use crate::http::{self, ChunkedWriter, ClientResponse, HttpError, Request};
+use crate::json::{escape, Json};
+use crate::proto;
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// How the router asks clients to wait when the worker holding their
+/// state is unreachable: long enough for a supervisor restart, short
+/// enough that an interactive retry loop stays snappy.
+const UNREACHABLE_RETRY_AFTER_SECS: u64 = 2;
+
+/// Configuration for [`Router::bind`].
+#[derive(Debug, Clone, Default)]
+pub struct RouterConfig {
+    /// Worker addresses (`host:port`, `http://` prefix tolerated). Order
+    /// matters only as a tie-break; routing is by rendezvous hash.
+    pub workers: Vec<String>,
+    /// Bearer token: required from clients (except `GET /healthz`) and
+    /// forwarded to workers on every proxied request. Never journaled —
+    /// the router keeps no journal at all.
+    pub token: Option<String>,
+}
+
+/// Where one router-side job id points.
+#[derive(Debug, Clone, Copy)]
+struct RoutedJob {
+    worker: usize,
+    worker_id: u64,
+}
+
+/// Where one router-side batch id points, with its sub-job id pairs
+/// (`(worker_id, router_id)`, in spec order).
+#[derive(Debug, Clone)]
+struct RoutedBatch {
+    worker: usize,
+    worker_id: u64,
+    jobs: Vec<(u64, u64)>,
+}
+
+/// Job-id translation table. The reverse index keeps ids stable when an
+/// idempotent resubmission deduplicates on the worker: the router hands
+/// back the router id it already assigned instead of minting a fresh one.
+#[derive(Default)]
+struct JobRoutes {
+    by_router: HashMap<u64, RoutedJob>,
+    by_worker: HashMap<(usize, u64), u64>,
+}
+
+/// Batch-id translation table, same shape as [`JobRoutes`].
+#[derive(Default)]
+struct BatchRoutes {
+    by_router: HashMap<u64, RoutedBatch>,
+    by_worker: HashMap<(usize, u64), u64>,
+}
+
+struct RouterState {
+    workers: Vec<String>,
+    token: Option<String>,
+    shutting_down: AtomicBool,
+    /// Router-side ids; jobs and batches share the counter so a router
+    /// id is unambiguous in logs.
+    next_id: AtomicU64,
+    jobs: Mutex<JobRoutes>,
+    batches: Mutex<BatchRoutes>,
+    /// Dataset id → the worker index holding that live session.
+    datasets: Mutex<HashMap<String, usize>>,
+}
+
+impl RouterState {
+    fn auth_headers(&self) -> Vec<(&'static str, String)> {
+        match &self.token {
+            Some(token) => vec![("Authorization", format!("Bearer {token}"))],
+            None => Vec::new(),
+        }
+    }
+
+    fn fresh_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::SeqCst)
+    }
+}
+
+/// The front tier itself; [`Router::serve`] blocks accepting clients.
+pub struct Router {
+    listener: TcpListener,
+    state: Arc<RouterState>,
+}
+
+/// Stops a running [`Router`] (clone-free analogue of
+/// [`ShutdownHandle`](crate::server::ShutdownHandle); workers are not
+/// touched — they are someone else's processes).
+pub struct RouterShutdown {
+    state: Arc<RouterState>,
+    addr: std::net::SocketAddr,
+}
+
+impl RouterShutdown {
+    /// Stop accepting and make [`Router::serve`] return.
+    pub fn shutdown(&self) {
+        self.state.shutting_down.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+impl Router {
+    /// Bind the router to `addr`. Fails fast on an empty worker list —
+    /// a router with nowhere to route is a misconfiguration, not a
+    /// degraded state.
+    pub fn bind(addr: impl ToSocketAddrs, config: RouterConfig) -> std::io::Result<Router> {
+        if config.workers.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "router needs at least one worker address",
+            ));
+        }
+        let listener = TcpListener::bind(addr)?;
+        let workers = config
+            .workers
+            .iter()
+            .map(|w| {
+                w.trim()
+                    .trim_start_matches("http://")
+                    .trim_end_matches('/')
+                    .to_owned()
+            })
+            .collect();
+        Ok(Router {
+            listener,
+            state: Arc::new(RouterState {
+                workers,
+                token: config.token,
+                shutting_down: AtomicBool::new(false),
+                next_id: AtomicU64::new(1),
+                jobs: Mutex::new(JobRoutes::default()),
+                batches: Mutex::new(BatchRoutes::default()),
+                datasets: Mutex::new(HashMap::new()),
+            }),
+        })
+    }
+
+    /// The bound address (port resolved when binding to `:0`).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that can stop this router from another thread.
+    pub fn shutdown_handle(&self) -> std::io::Result<RouterShutdown> {
+        Ok(RouterShutdown {
+            state: Arc::clone(&self.state),
+            addr: self.local_addr()?,
+        })
+    }
+
+    /// Accept loop: thread per connection, keep-alive inside, exactly
+    /// like the worker server's.
+    pub fn serve(self) -> std::io::Result<()> {
+        for connection in self.listener.incoming() {
+            if self.state.shutting_down.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = connection else { continue };
+            let state = Arc::clone(&self.state);
+            let _ = std::thread::Builder::new()
+                .name("rank-route".to_owned())
+                .spawn(move || {
+                    let _ = catch_unwind(AssertUnwindSafe(|| handle_connection(stream, &state)));
+                });
+        }
+        Ok(())
+    }
+}
+
+/// FNV-1a over `bytes` — the same dependency-free hash the engine uses
+/// for dataset fingerprints, applied to routing keys.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Worker indices in rendezvous (highest-random-weight) order for `key`:
+/// every worker's weight is `hash(worker ‖ key)` and the list is sorted
+/// by descending weight. The property that makes this the right sticky
+/// router: removing a worker never changes the relative order of the
+/// others, so only the keys that mapped to the lost worker move.
+pub fn rendezvous_order(workers: &[String], key: &str) -> Vec<usize> {
+    let mut scored: Vec<(u64, usize)> = workers
+        .iter()
+        .enumerate()
+        .map(|(index, worker)| {
+            let mut bytes = Vec::with_capacity(worker.len() + key.len() + 1);
+            bytes.extend_from_slice(worker.as_bytes());
+            bytes.push(0);
+            bytes.extend_from_slice(key.as_bytes());
+            (fnv1a64(&bytes), index)
+        })
+        .collect();
+    scored.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    scored.into_iter().map(|(_, index)| index).collect()
+}
+
+/// The routing key for a job/batch submission body: live sessions key on
+/// their dataset id (stickiness to the patched matrix), inline datasets
+/// on a content hash of their text (all specs over one dataset land on
+/// one worker and share its matrix build).
+fn routing_key(body: &[u8]) -> String {
+    if let Ok(doc) = std::str::from_utf8(body)
+        .map_err(|_| ())
+        .and_then(|text| Json::parse(text).map_err(|_| ()))
+    {
+        if let Some(id) = doc.get("dataset_id").and_then(Json::as_str) {
+            return format!("ds:{id}");
+        }
+        if let Some(text) = doc.get("dataset").and_then(Json::as_str) {
+            return format!("tx:{:016x}", fnv1a64(text.as_bytes()));
+        }
+    }
+    format!("tx:{:016x}", fnv1a64(body))
+}
+
+/// Dial a worker. Short-ish read timeout is deliberate: the router only
+/// does sized exchanges and line-buffered streams, and a worker that
+/// stops answering should surface as unreachable, not hang the client.
+fn dial(addr: &str) -> std::io::Result<TcpStream> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(600)))?;
+    stream.set_nodelay(true)?;
+    Ok(stream)
+}
+
+/// One sized exchange with a worker on a fresh `Connection: close`
+/// socket. Returns `(status, retry_after, body)`.
+fn forward_sized(
+    state: &RouterState,
+    worker: usize,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+) -> Result<(u16, Option<String>, String), HttpError> {
+    let addr = &state.workers[worker];
+    let mut stream = dial(addr)?;
+    http::write_request_with_headers(
+        &mut stream,
+        method,
+        path,
+        addr,
+        &state.auth_headers(),
+        body.map(|b| ("application/json", b)),
+        false,
+    )?;
+    let response = ClientResponse::read(stream)?;
+    let status = response.status;
+    let retry_after = response.header("retry-after").map(str::to_owned);
+    let text = response.body_string()?;
+    Ok((status, retry_after, text))
+}
+
+/// Open a streaming exchange with a worker (the caller consumes lines).
+fn forward_streaming(
+    state: &RouterState,
+    worker: usize,
+    path: &str,
+) -> Result<ClientResponse, HttpError> {
+    let addr = &state.workers[worker];
+    let mut stream = dial(addr)?;
+    http::write_request_with_headers(
+        &mut stream,
+        "GET",
+        path,
+        addr,
+        &state.auth_headers(),
+        None,
+        false,
+    )?;
+    ClientResponse::read(stream)
+}
+
+/// Splice worker-side ids to router-side ids in a response body. The
+/// scanner rewrites digits directly after the tokens `"id":`, `"job":`,
+/// `/v1/jobs/` and `/v1/batches/` — the only places numeric ids appear
+/// in the protocol — and leaves every other byte untouched, so report
+/// payloads stay byte-identical to the worker's serialization. `map`
+/// returns the replacement for `(token, worker_value)`, or `None` to
+/// keep the original.
+fn splice_ids(body: &str, mut map: impl FnMut(&str, u64) -> Option<u64>) -> String {
+    const TOKENS: [&str; 4] = ["\"id\":", "\"job\":", "/v1/jobs/", "/v1/batches/"];
+    let bytes = body.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    'scan: while i < bytes.len() {
+        for token in TOKENS {
+            if bytes[i..].starts_with(token.as_bytes()) {
+                let start = i + token.len();
+                let mut end = start;
+                while end < bytes.len() && bytes[end].is_ascii_digit() {
+                    end += 1;
+                }
+                if end > start {
+                    if let Some(new) = body[start..end]
+                        .parse::<u64>()
+                        .ok()
+                        .and_then(|value| map(token, value))
+                    {
+                        out.extend_from_slice(token.as_bytes());
+                        out.extend_from_slice(new.to_string().as_bytes());
+                        i = end;
+                        continue 'scan;
+                    }
+                }
+            }
+        }
+        out.push(bytes[i]);
+        i += 1;
+    }
+    String::from_utf8(out).expect("splice only replaces ascii digits")
+}
+
+fn respond_error(
+    stream: &mut TcpStream,
+    status: u16,
+    message: &str,
+    retry_after: Option<u64>,
+    keep: bool,
+) {
+    let body = proto::error_json(message, None);
+    let headers: Vec<(&str, String)> = retry_after
+        .map(|secs| vec![("Retry-After", secs.to_string())])
+        .unwrap_or_default();
+    let _ = http::write_response(
+        stream,
+        status,
+        "application/json",
+        &headers,
+        body.as_bytes(),
+        keep,
+    );
+}
+
+/// Pass a worker's sized response through, preserving its status and
+/// `Retry-After` hint.
+fn respond_passthrough(
+    stream: &mut TcpStream,
+    status: u16,
+    retry_after: Option<String>,
+    body: &str,
+    keep: bool,
+) {
+    let headers: Vec<(&str, String)> = retry_after
+        .map(|secs| vec![("Retry-After", secs)])
+        .unwrap_or_default();
+    let _ = http::write_response(
+        stream,
+        status,
+        "application/json",
+        &headers,
+        body.as_bytes(),
+        keep,
+    );
+}
+
+fn unreachable_worker(stream: &mut TcpStream, state: &RouterState, worker: usize, keep: bool) {
+    respond_error(
+        stream,
+        503,
+        &format!(
+            "worker {} is unreachable; its state is not portable — retry shortly",
+            state.workers[worker]
+        ),
+        Some(UNREACHABLE_RETRY_AFTER_SECS),
+        keep,
+    );
+}
+
+fn handle_connection(mut stream: TcpStream, state: &Arc<RouterState>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let _ = stream.set_nodelay(true);
+    let mut reader = match stream.try_clone() {
+        Ok(clone) => BufReader::new(clone),
+        Err(_) => return,
+    };
+    loop {
+        let request = match http::read_request(&mut reader) {
+            Ok(request) => request,
+            Err(HttpError::BodyTooLarge(_)) => {
+                respond_error(&mut stream, 413, "request body too large", None, false);
+                return;
+            }
+            Err(HttpError::Malformed(message)) => {
+                respond_error(&mut stream, 400, &message, None, false);
+                return;
+            }
+            Err(HttpError::Io(_)) => return,
+        };
+        let keep = request.keep_alive();
+        route(&mut stream, &request, state, keep);
+        if !keep {
+            return;
+        }
+    }
+}
+
+/// Same bearer rule as the worker: `GET /healthz` stays open for probes,
+/// everything else needs the token when one is configured.
+fn authorized(request: &Request, state: &RouterState, path: &str) -> bool {
+    let Some(token) = &state.token else {
+        return true;
+    };
+    if path == "/healthz" {
+        return true;
+    }
+    request
+        .header("authorization")
+        .and_then(|v| v.strip_prefix("Bearer "))
+        .is_some_and(|presented| presented.trim() == token)
+}
+
+fn route(stream: &mut TcpStream, request: &Request, state: &Arc<RouterState>, keep: bool) {
+    let path = request.path.trim_end_matches('/');
+    if !authorized(request, state, path) {
+        respond_error(
+            stream,
+            401,
+            "missing or invalid bearer token (send Authorization: Bearer <token>)",
+            None,
+            keep,
+        );
+        return;
+    }
+    match (request.method.as_str(), path) {
+        ("GET", "/healthz") => healthz(stream, state, keep),
+        ("GET", "/v1/algorithms") => forward_any(stream, state, "GET", "/v1/algorithms", keep),
+        ("POST", "/v1/jobs") => submit_job(stream, request, state, keep),
+        ("POST", "/v1/batches") => submit_batch(stream, request, state, keep),
+        (_, p) if p.starts_with("/v1/jobs/") => {
+            job_route(stream, request, state, &p["/v1/jobs/".len()..], keep)
+        }
+        (_, p) if p.starts_with("/v1/batches/") => {
+            batch_route(stream, request, state, &p["/v1/batches/".len()..], keep)
+        }
+        (_, p) if p.starts_with("/v1/datasets/") => {
+            dataset_route(stream, request, state, &p["/v1/datasets/".len()..], keep)
+        }
+        _ => respond_error(stream, 404, &format!("no route for {path:?}"), None, keep),
+    }
+}
+
+/// Aggregate `/healthz` across every worker. Always 200 — the router
+/// itself is alive; the `status` field carries the fleet's condition.
+fn healthz(stream: &mut TcpStream, state: &Arc<RouterState>, keep: bool) {
+    let mut alive = 0usize;
+    let entries: Vec<String> = state
+        .workers
+        .iter()
+        .enumerate()
+        .map(
+            |(index, addr)| match forward_sized(state, index, "GET", "/healthz", None) {
+                Ok((200, _, body)) => {
+                    alive += 1;
+                    format!(
+                        "{{\"addr\":\"{}\",\"alive\":true,\"health\":{body}}}",
+                        escape(addr)
+                    )
+                }
+                _ => format!(
+                    "{{\"addr\":\"{}\",\"alive\":false,\"health\":null}}",
+                    escape(addr)
+                ),
+            },
+        )
+        .collect();
+    let status = if alive == state.workers.len() {
+        "ok"
+    } else if alive > 0 {
+        "degraded"
+    } else {
+        "down"
+    };
+    let body = format!(
+        "{{\"status\":\"{status}\",\"role\":\"router\",\"alive\":{alive},\"total\":{},\"workers\":[{}]}}",
+        state.workers.len(),
+        entries.join(","),
+    );
+    let _ = http::write_response(stream, 200, "application/json", &[], body.as_bytes(), keep);
+}
+
+/// Forward a read-only request to the first reachable worker (used for
+/// `/v1/algorithms`, which is identical on every worker).
+fn forward_any(
+    stream: &mut TcpStream,
+    state: &Arc<RouterState>,
+    method: &str,
+    path: &str,
+    keep: bool,
+) {
+    for index in 0..state.workers.len() {
+        if let Ok((status, retry_after, body)) = forward_sized(state, index, method, path, None) {
+            respond_passthrough(stream, status, retry_after, &body, keep);
+            return;
+        }
+    }
+    respond_error(
+        stream,
+        503,
+        "no reachable worker",
+        Some(UNREACHABLE_RETRY_AFTER_SECS),
+        keep,
+    );
+}
+
+/// The worker order a submission should try: sticky to the session
+/// worker when the body names a live dataset the router has seen,
+/// rendezvous order with dead-worker fall-through otherwise.
+fn submission_targets(state: &RouterState, body: &[u8]) -> (Vec<usize>, bool) {
+    let key = routing_key(body);
+    if let Some(id) = key.strip_prefix("ds:") {
+        if let Some(&worker) = state
+            .datasets
+            .lock()
+            .expect("dataset routes poisoned")
+            .get(id)
+        {
+            // Session state lives on exactly one worker; no fallback.
+            return (vec![worker], true);
+        }
+    }
+    (rendezvous_order(&state.workers, &key), false)
+}
+
+fn submit_job(stream: &mut TcpStream, request: &Request, state: &Arc<RouterState>, keep: bool) {
+    let (targets, sticky) = submission_targets(state, &request.body);
+    for &worker in &targets {
+        let (status, retry_after, body) =
+            match forward_sized(state, worker, "POST", "/v1/jobs", Some(&request.body)) {
+                Ok(answer) => answer,
+                Err(_) if !sticky => continue,
+                Err(_) => {
+                    unreachable_worker(stream, state, worker, keep);
+                    return;
+                }
+            };
+        if !(200..300).contains(&status) {
+            respond_passthrough(stream, status, retry_after, &body, keep);
+            return;
+        }
+        let Some(worker_id) = Json::parse(&body)
+            .ok()
+            .and_then(|doc| doc.get("id").and_then(Json::as_u64))
+        else {
+            respond_error(
+                stream,
+                502,
+                "worker returned an unparseable job id",
+                None,
+                keep,
+            );
+            return;
+        };
+        let router_id = {
+            let mut jobs = state.jobs.lock().expect("job routes poisoned");
+            match jobs.by_worker.get(&(worker, worker_id)) {
+                Some(&existing) => existing,
+                None => {
+                    let fresh = state.fresh_id();
+                    jobs.by_worker.insert((worker, worker_id), fresh);
+                    jobs.by_router
+                        .insert(fresh, RoutedJob { worker, worker_id });
+                    fresh
+                }
+            }
+        };
+        let rewritten = splice_ids(&body, |token, value| {
+            (token != "/v1/batches/" && value == worker_id).then_some(router_id)
+        });
+        respond_passthrough(stream, status, retry_after, &rewritten, keep);
+        return;
+    }
+    respond_error(
+        stream,
+        503,
+        "no reachable worker for this submission",
+        Some(UNREACHABLE_RETRY_AFTER_SECS),
+        keep,
+    );
+}
+
+fn submit_batch(stream: &mut TcpStream, request: &Request, state: &Arc<RouterState>, keep: bool) {
+    let (targets, sticky) = submission_targets(state, &request.body);
+    for &worker in &targets {
+        let (status, retry_after, body) =
+            match forward_sized(state, worker, "POST", "/v1/batches", Some(&request.body)) {
+                Ok(answer) => answer,
+                Err(_) if !sticky => continue,
+                Err(_) => {
+                    unreachable_worker(stream, state, worker, keep);
+                    return;
+                }
+            };
+        if !(200..300).contains(&status) {
+            respond_passthrough(stream, status, retry_after, &body, keep);
+            return;
+        }
+        let parsed = Json::parse(&body).ok();
+        let batch_wid = parsed
+            .as_ref()
+            .and_then(|doc| doc.get("id").and_then(Json::as_u64));
+        let sub_wids: Option<Vec<u64>> = parsed.as_ref().and_then(|doc| {
+            doc.get("jobs").and_then(Json::as_array).map(|jobs| {
+                jobs.iter()
+                    .filter_map(|job| job.get("id").and_then(Json::as_u64))
+                    .collect()
+            })
+        });
+        let (Some(batch_wid), Some(sub_wids)) = (batch_wid, sub_wids) else {
+            respond_error(
+                stream,
+                502,
+                "worker returned an unparseable batch",
+                None,
+                keep,
+            );
+            return;
+        };
+        // Register (or re-find, for an idempotent dedup) the batch and
+        // every sub-job; sub-jobs go in the job table too, so
+        // `/v1/jobs/{id}` works on them through the router.
+        let (batch_rid, job_pairs) = {
+            let mut batches = state.batches.lock().expect("batch routes poisoned");
+            match batches.by_worker.get(&(worker, batch_wid)) {
+                Some(&existing) => {
+                    let pairs = batches.by_router[&existing].jobs.clone();
+                    (existing, pairs)
+                }
+                None => {
+                    let mut jobs = state.jobs.lock().expect("job routes poisoned");
+                    let pairs: Vec<(u64, u64)> = sub_wids
+                        .iter()
+                        .map(|&wid| {
+                            let rid = state.fresh_id();
+                            jobs.by_worker.insert((worker, wid), rid);
+                            jobs.by_router.insert(
+                                rid,
+                                RoutedJob {
+                                    worker,
+                                    worker_id: wid,
+                                },
+                            );
+                            (wid, rid)
+                        })
+                        .collect();
+                    let rid = state.fresh_id();
+                    batches.by_worker.insert((worker, batch_wid), rid);
+                    batches.by_router.insert(
+                        rid,
+                        RoutedBatch {
+                            worker,
+                            worker_id: batch_wid,
+                            jobs: pairs.clone(),
+                        },
+                    );
+                    (rid, pairs)
+                }
+            }
+        };
+        let job_map: HashMap<u64, u64> = job_pairs.iter().copied().collect();
+        let mut first_id = true;
+        let rewritten = splice_ids(&body, |token, value| match token {
+            "/v1/batches/" => (value == batch_wid).then_some(batch_rid),
+            "\"id\":" if first_id => {
+                first_id = false;
+                (value == batch_wid).then_some(batch_rid)
+            }
+            _ => job_map.get(&value).copied(),
+        });
+        respond_passthrough(stream, status, retry_after, &rewritten, keep);
+        return;
+    }
+    respond_error(
+        stream,
+        503,
+        "no reachable worker for this submission",
+        Some(UNREACHABLE_RETRY_AFTER_SECS),
+        keep,
+    );
+}
+
+/// `/v1/jobs/{id}` and `/v1/jobs/{id}/events` through the id map.
+fn job_route(
+    stream: &mut TcpStream,
+    request: &Request,
+    state: &Arc<RouterState>,
+    rest: &str,
+    keep: bool,
+) {
+    let (id_part, tail) = match rest.split_once('/') {
+        Some((id, tail)) => (id, Some(tail)),
+        None => (rest, None),
+    };
+    let Ok(router_id) = id_part.parse::<u64>() else {
+        respond_error(stream, 400, "job id must be an integer", None, keep);
+        return;
+    };
+    let Some(routed) = state
+        .jobs
+        .lock()
+        .expect("job routes poisoned")
+        .by_router
+        .get(&router_id)
+        .copied()
+    else {
+        respond_error(stream, 404, &format!("no job {router_id}"), None, keep);
+        return;
+    };
+    let worker_path = match (request.method.as_str(), tail) {
+        ("GET", None) | ("DELETE", None) => format!("/v1/jobs/{}", routed.worker_id),
+        ("GET", Some("events")) => {
+            proxy_stream(
+                stream,
+                state,
+                routed.worker,
+                &format!("/v1/jobs/{}/events", routed.worker_id),
+                // Plain job event lines carry no ids; pass them raw.
+                |line| line.to_owned(),
+            );
+            return;
+        }
+        _ => {
+            respond_error(
+                stream,
+                405,
+                "method not allowed on this job route",
+                None,
+                keep,
+            );
+            return;
+        }
+    };
+    match forward_sized(state, routed.worker, &request.method, &worker_path, None) {
+        Ok((status, retry_after, body)) => {
+            let rewritten = splice_ids(&body, |token, value| {
+                (token != "/v1/batches/" && value == routed.worker_id).then_some(router_id)
+            });
+            respond_passthrough(stream, status, retry_after, &rewritten, keep);
+        }
+        Err(_) => unreachable_worker(stream, state, routed.worker, keep),
+    }
+}
+
+/// `/v1/batches/{id}` and `/v1/batches/{id}/events` through the id map.
+fn batch_route(
+    stream: &mut TcpStream,
+    request: &Request,
+    state: &Arc<RouterState>,
+    rest: &str,
+    keep: bool,
+) {
+    let (id_part, tail) = match rest.split_once('/') {
+        Some((id, tail)) => (id, Some(tail)),
+        None => (rest, None),
+    };
+    let Ok(router_id) = id_part.parse::<u64>() else {
+        respond_error(stream, 400, "batch id must be an integer", None, keep);
+        return;
+    };
+    let Some(routed) = state
+        .batches
+        .lock()
+        .expect("batch routes poisoned")
+        .by_router
+        .get(&router_id)
+        .cloned()
+    else {
+        respond_error(stream, 404, &format!("no batch {router_id}"), None, keep);
+        return;
+    };
+    let job_map: HashMap<u64, u64> = routed.jobs.iter().copied().collect();
+    match (request.method.as_str(), tail) {
+        ("GET", None) => {
+            match forward_sized(
+                state,
+                routed.worker,
+                "GET",
+                &format!("/v1/batches/{}", routed.worker_id),
+                None,
+            ) {
+                Ok((status, retry_after, body)) => {
+                    let mut first_id = true;
+                    let rewritten = splice_ids(&body, |token, value| match token {
+                        "/v1/batches/" => (value == routed.worker_id).then_some(router_id),
+                        "\"id\":" if first_id => {
+                            first_id = false;
+                            (value == routed.worker_id).then_some(router_id)
+                        }
+                        _ => job_map.get(&value).copied(),
+                    });
+                    respond_passthrough(stream, status, retry_after, &rewritten, keep);
+                }
+                Err(_) => unreachable_worker(stream, state, routed.worker, keep),
+            }
+        }
+        ("GET", Some("events")) => {
+            proxy_stream(
+                stream,
+                state,
+                routed.worker,
+                &format!("/v1/batches/{}/events", routed.worker_id),
+                // Merged batch lines are tagged `"job":<worker id>` —
+                // splice those to router ids; everything else passes raw.
+                move |line| {
+                    splice_ids(line, |token, value| {
+                        (token == "\"job\":")
+                            .then(|| job_map.get(&value).copied())
+                            .flatten()
+                    })
+                },
+            );
+        }
+        _ => respond_error(
+            stream,
+            405,
+            "method not allowed on this batch route",
+            None,
+            keep,
+        ),
+    }
+}
+
+/// Proxy a worker's NDJSON stream line by line through a fresh chunked
+/// response, mapping each line through `rewrite` (heartbeats included —
+/// they pass through, keeping the client's liveness view honest). A
+/// stream is its connection's last response on both sides.
+fn proxy_stream(
+    stream: &mut TcpStream,
+    state: &Arc<RouterState>,
+    worker: usize,
+    path: &str,
+    rewrite: impl Fn(&str) -> String,
+) {
+    let response = match forward_streaming(state, worker, path) {
+        Ok(response) => response,
+        Err(_) => {
+            unreachable_worker(stream, state, worker, false);
+            return;
+        }
+    };
+    if response.status != 200 {
+        let status = response.status;
+        let body = response.body_string().unwrap_or_default();
+        respond_passthrough(stream, status, None, &body, false);
+        return;
+    }
+    let Ok(mut writer) = ChunkedWriter::begin(stream, "application/x-ndjson") else {
+        return;
+    };
+    for line in response.lines() {
+        let Ok(line) = line else { break };
+        if writer.write_line(&rewrite(&line)).is_err() {
+            return;
+        }
+    }
+    let _ = writer.finish();
+}
+
+/// `/v1/datasets/{id}`: transparent proxy with sticky placement. The
+/// first request that creates the session pins its worker; every later
+/// request follows the pin (the patched matrix is there and nowhere
+/// else). A dead pinned worker means 503 until it returns.
+fn dataset_route(
+    stream: &mut TcpStream,
+    request: &Request,
+    state: &Arc<RouterState>,
+    id: &str,
+    keep: bool,
+) {
+    if !proto::valid_dataset_id(id) {
+        respond_error(
+            stream,
+            400,
+            "dataset id must be 1-64 chars of [A-Za-z0-9_-]",
+            None,
+            keep,
+        );
+        return;
+    }
+    let pinned = state
+        .datasets
+        .lock()
+        .expect("dataset routes poisoned")
+        .get(id)
+        .copied();
+    let targets = match pinned {
+        Some(worker) => vec![worker],
+        None => rendezvous_order(&state.workers, &format!("ds:{id}")),
+    };
+    let path = format!("/v1/datasets/{id}");
+    let body = (!request.body.is_empty()).then_some(request.body.as_slice());
+    for &worker in &targets {
+        let (status, retry_after, text) =
+            match forward_sized(state, worker, &request.method, &path, body) {
+                Ok(answer) => answer,
+                Err(_) if pinned.is_none() => continue,
+                Err(_) => {
+                    unreachable_worker(stream, state, worker, keep);
+                    return;
+                }
+            };
+        if (200..300).contains(&status) {
+            let mut datasets = state.datasets.lock().expect("dataset routes poisoned");
+            if request.method == "DELETE" {
+                datasets.remove(id);
+            } else {
+                datasets.insert(id.to_owned(), worker);
+            }
+        }
+        respond_passthrough(stream, status, retry_after, &text, keep);
+        return;
+    }
+    respond_error(
+        stream,
+        503,
+        "no reachable worker for this dataset",
+        Some(UNREACHABLE_RETRY_AFTER_SECS),
+        keep,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workers(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("10.0.0.{i}:8080")).collect()
+    }
+
+    #[test]
+    fn rendezvous_is_deterministic_and_covers_all_workers() {
+        let pool = workers(4);
+        for key in ["ds:alpha", "tx:0011223344556677", "ds:beta"] {
+            let a = rendezvous_order(&pool, key);
+            let b = rendezvous_order(&pool, key);
+            assert_eq!(a, b, "order must be deterministic for {key}");
+            let mut sorted = a.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3], "order must be a permutation");
+        }
+        // Different keys should not all pile onto one worker.
+        let firsts: std::collections::HashSet<usize> = (0..64)
+            .map(|i| rendezvous_order(&pool, &format!("ds:set-{i}"))[0])
+            .collect();
+        assert!(firsts.len() > 1, "64 keys routed to a single worker");
+    }
+
+    #[test]
+    fn rendezvous_is_stable_when_a_worker_leaves() {
+        // The HRW property the sticky router depends on: dropping one
+        // worker only moves the keys that mapped to it; every other
+        // key's first choice is unchanged.
+        let pool = workers(4);
+        for dropped in 0..pool.len() {
+            let remaining: Vec<String> = pool
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != dropped)
+                .map(|(_, w)| w.clone())
+                .collect();
+            for i in 0..128 {
+                let key = format!("ds:stability-{i}");
+                let full_first = rendezvous_order(&pool, &key)[0];
+                if full_first == dropped {
+                    continue;
+                }
+                let reduced_first = &remaining[rendezvous_order(&remaining, &key)[0]];
+                assert_eq!(
+                    reduced_first, &pool[full_first],
+                    "key {key} moved although its worker survived"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn splice_rewrites_ids_and_urls_only() {
+        let body = concat!(
+            "{\"id\":7,\"seed\":7,\"score\":7,",
+            "\"events\":\"/v1/jobs/7/events\",\"status\":\"/v1/jobs/7\"}"
+        );
+        let out = splice_ids(body, |token, value| {
+            (token != "/v1/batches/" && value == 7).then_some(41)
+        });
+        assert_eq!(
+            out,
+            concat!(
+                "{\"id\":41,\"seed\":7,\"score\":7,",
+                "\"events\":\"/v1/jobs/41/events\",\"status\":\"/v1/jobs/41\"}"
+            ),
+            "seed and score must survive; id and URLs must move"
+        );
+    }
+
+    #[test]
+    fn splice_distinguishes_batch_and_job_ids() {
+        // Worker batch id 1 collides numerically with worker job id 1 —
+        // the first-"id" rule plus URL tokens keeps them apart.
+        let body = concat!(
+            "{\"id\":1,\"jobs\":[{\"spec\":\"Borda\",\"id\":1,\"status\":\"/v1/jobs/1\"},",
+            "{\"spec\":\"Exact\",\"id\":2,\"status\":\"/v1/jobs/2\"}],",
+            "\"status\":\"/v1/batches/1\"}"
+        );
+        let job_map: HashMap<u64, u64> = [(1, 10), (2, 11)].into_iter().collect();
+        let mut first_id = true;
+        let out = splice_ids(body, |token, value| match token {
+            "/v1/batches/" => (value == 1).then_some(50),
+            "\"id\":" if first_id => {
+                first_id = false;
+                (value == 1).then_some(50)
+            }
+            _ => job_map.get(&value).copied(),
+        });
+        assert_eq!(
+            out,
+            concat!(
+                "{\"id\":50,\"jobs\":[{\"spec\":\"Borda\",\"id\":10,\"status\":\"/v1/jobs/10\"},",
+                "{\"spec\":\"Exact\",\"id\":11,\"status\":\"/v1/jobs/11\"}],",
+                "\"status\":\"/v1/batches/50\"}"
+            )
+        );
+    }
+
+    #[test]
+    fn routing_key_prefers_session_id_over_text() {
+        let with_session = br#"{"dataset":"[{A},{B}]","dataset_id":"live1"}"#;
+        assert_eq!(routing_key(with_session), "ds:live1");
+        let inline = br#"{"dataset":"[{A},{B}]"}"#;
+        let same_inline = br#"{"dataset":"[{A},{B}]","seed":99}"#;
+        assert_eq!(
+            routing_key(inline),
+            routing_key(same_inline),
+            "inline routing must key on dataset content, not the rest of the body"
+        );
+    }
+}

@@ -42,7 +42,7 @@ use crate::fault::FaultPlan;
 use crate::http::{self, ChunkedWriter, HttpError, Request};
 use crate::journal::{FsyncPolicy, Journal, JournalWriter, RecoveredDataset};
 use crate::json::Json;
-use crate::proto::{self, JobSubmission, SubmissionError};
+use crate::proto::{self, BatchSubmission, JobSubmission, SubmissionError};
 use rank_core::engine::{
     AdmissionError, AggregationRequest, AlgoSpec, CancelToken, Engine, Event, IncumbentSink,
     SchedulerConfig,
@@ -81,6 +81,11 @@ pub struct ServerConfig {
     pub journal_fsync: FsyncPolicy,
     /// Fault-injection hooks (testing; all off by default).
     pub faults: Arc<FaultPlan>,
+    /// Bearer token every request except `GET /healthz` must present
+    /// (`Authorization: Bearer <token>`); `None` serves unauthenticated.
+    /// The token lives only in this config — it is never journaled, so a
+    /// journal directory can be shipped around without leaking it.
+    pub token: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -92,6 +97,7 @@ impl Default for ServerConfig {
             journal_dir: None,
             journal_fsync: FsyncPolicy::default(),
             faults: Arc::new(FaultPlan::none()),
+            token: None,
         }
     }
 }
@@ -212,9 +218,29 @@ impl JobRecord {
     }
 }
 
+/// One accepted `POST /v1/batches`: the panel's sub-jobs in spec order.
+/// The batch holds its own `Arc`s to the records, so batch status and the
+/// merged event stream keep working even after `retain_done` eviction
+/// drops a sub-job from the job table.
+struct BatchRecord {
+    id: u64,
+    idempotency: Option<String>,
+    seed: u64,
+    jobs: Vec<Arc<JobRecord>>,
+}
+
+#[derive(Default)]
+struct BatchTable {
+    next_id: u64,
+    records: HashMap<u64, Arc<BatchRecord>>,
+    /// Batch idempotency key → batch id (separate key space from jobs).
+    keys: HashMap<String, u64>,
+}
+
 struct ServerState {
     engine: Engine,
     jobs: Mutex<JobTable>,
+    batches: Mutex<BatchTable>,
     /// Live datasets by id (`PUT /v1/datasets/{id}` creates, `DELETE`
     /// removes).
     datasets: Mutex<HashMap<String, Arc<LiveDataset>>>,
@@ -297,6 +323,7 @@ impl Server {
         let state = Arc::new(ServerState {
             engine,
             jobs: Mutex::new(JobTable::default()),
+            batches: Mutex::new(BatchTable::default()),
             datasets: Mutex::new(HashMap::new()),
             started: Instant::now(),
             accepted_total: AtomicU64::new(0),
@@ -411,23 +438,100 @@ fn respond_error(
     keep: bool,
 ) -> Served {
     let body = proto::error_json(message, suggestion);
-    let _ = http::write_response(stream, status, "application/json", &[], body.as_bytes(), keep);
+    let _ = http::write_response(
+        stream,
+        status,
+        "application/json",
+        &[],
+        body.as_bytes(),
+        keep,
+    );
     Served::KeepAlive
 }
 
 fn respond_json(stream: &mut TcpStream, status: u16, body: &str, keep: bool) -> Served {
-    let _ = http::write_response(stream, status, "application/json", &[], body.as_bytes(), keep);
+    let _ = http::write_response(
+        stream,
+        status,
+        "application/json",
+        &[],
+        body.as_bytes(),
+        keep,
+    );
     Served::KeepAlive
 }
 
-fn route(stream: &mut TcpStream, request: &Request, state: &Arc<ServerState>, keep: bool) -> Served {
+/// Whether `request` presents the configured bearer token. `GET /healthz`
+/// is exempt so load balancers and the router's liveness probes work
+/// without credentials; everything else on an authenticated server gets
+/// 401 on a missing or mismatched token.
+fn authorized(request: &Request, state: &ServerState, path: &str) -> bool {
+    let Some(token) = &state.config.token else {
+        return true;
+    };
+    if path == "/healthz" {
+        return true;
+    }
+    request
+        .header("authorization")
+        .and_then(|v| v.strip_prefix("Bearer "))
+        .is_some_and(|presented| presented.trim() == token)
+}
+
+fn route(
+    stream: &mut TcpStream,
+    request: &Request,
+    state: &Arc<ServerState>,
+    keep: bool,
+) -> Served {
     let path = request.path.trim_end_matches('/');
+    if !authorized(request, state, path) {
+        return respond_error(
+            stream,
+            401,
+            "missing or invalid bearer token (send Authorization: Bearer <token>)",
+            None,
+            keep,
+        );
+    }
     match (request.method.as_str(), path) {
         ("GET", "/healthz") => healthz(stream, state, keep),
         ("GET", "/v1/algorithms") => respond_json(stream, 200, &proto::registry_json(), keep),
         ("POST", "/v1/jobs") => submit_job(stream, request, state, keep),
-        (_, "/healthz" | "/v1/algorithms" | "/v1/jobs") => {
+        ("POST", "/v1/batches") => submit_batch(stream, request, state, keep),
+        (_, "/healthz" | "/v1/algorithms" | "/v1/jobs" | "/v1/batches") => {
             respond_error(stream, 405, "unsupported method for this path", None, keep)
+        }
+        (method, path) if path.starts_with("/v1/batches/") => {
+            let rest = &path["/v1/batches/".len()..];
+            let (id_text, tail) = match rest.split_once('/') {
+                None => (rest, None),
+                Some((id, tail)) => (id, Some(tail)),
+            };
+            let Ok(id) = id_text.parse::<u64>() else {
+                return respond_error(
+                    stream,
+                    400,
+                    &format!("bad batch id {id_text:?}"),
+                    None,
+                    keep,
+                );
+            };
+            let batch = state
+                .batches
+                .lock()
+                .expect("batch table poisoned")
+                .records
+                .get(&id)
+                .cloned();
+            let Some(batch) = batch else {
+                return respond_error(stream, 404, &format!("no such batch {id}"), None, keep);
+            };
+            match (method, tail) {
+                ("GET", None) => batch_status(stream, &batch, keep),
+                ("GET", Some("events")) => stream_batch_events(stream, &batch),
+                _ => respond_error(stream, 405, "unsupported method for this path", None, keep),
+            }
         }
         (method, path) if path.starts_with("/v1/datasets/") => {
             let id = &path["/v1/datasets/".len()..];
@@ -491,12 +595,20 @@ fn route(stream: &mut TcpStream, request: &Request, state: &Arc<ServerState>, ke
                 _ => respond_error(stream, 405, "unsupported method for this path", None, keep),
             }
         }
-        ("POST", _) | ("GET", _) | ("DELETE", _) | ("PUT", _) | ("PATCH", _) => {
-            respond_error(stream, 404, &format!("no such endpoint {path:?}"), None, keep)
-        }
-        (method, _) => {
-            respond_error(stream, 405, &format!("unsupported method {method}"), None, keep)
-        }
+        ("POST", _) | ("GET", _) | ("DELETE", _) | ("PUT", _) | ("PATCH", _) => respond_error(
+            stream,
+            404,
+            &format!("no such endpoint {path:?}"),
+            None,
+            keep,
+        ),
+        (method, _) => respond_error(
+            stream,
+            405,
+            &format!("unsupported method {method}"),
+            None,
+            keep,
+        ),
     }
 }
 
@@ -513,7 +625,7 @@ fn healthz(stream: &mut TcpStream, state: &Arc<ServerState>, keep: bool) -> Serv
         concat!(
             "{{\"status\":\"{}\",\"journal\":\"{}\",\"uptime_secs\":{:.1},",
             "\"jobs_accepted\":{},\"jobs_queued\":{},\"jobs_running\":{},",
-            "\"datasets\":{},\"max_jobs\":{},\"queue_capacity\":{}}}"
+            "\"datasets\":{},\"matrix_builds\":{},\"max_jobs\":{},\"queue_capacity\":{}}}"
         ),
         if degraded { "degraded" } else { "ok" },
         journal,
@@ -522,6 +634,7 @@ fn healthz(stream: &mut TcpStream, state: &Arc<ServerState>, keep: bool) -> Serv
         stats.queued,
         stats.running,
         datasets,
+        state.engine.cache().builds(),
         stats.max_concurrent,
         stats.queue_capacity,
     );
@@ -576,7 +689,9 @@ impl DatasetOp {
                 .ok_or_else(|| format!("op {kind:?} needs a \"ranking\" string"))
         };
         match kind {
-            "add" => Ok(DatasetOp::Add { ranking: ranking()? }),
+            "add" => Ok(DatasetOp::Add {
+                ranking: ranking()?,
+            }),
             "remove" => Ok(DatasetOp::Remove { index: index()? }),
             "replace" => Ok(DatasetOp::Replace {
                 index: index()?,
@@ -643,8 +758,8 @@ fn build_session(text: &str) -> Result<(Universe, DatasetSession), String> {
     if raw.is_empty() {
         return Err("dataset contains no rankings".to_owned());
     }
-    let norm = rank_core::normalize::unification(&raw)
-        .expect("non-empty raw rankings always unify");
+    let norm =
+        rank_core::normalize::unification(&raw).expect("non-empty raw rankings always unify");
     Ok((universe, DatasetSession::new(norm.dataset)))
 }
 
@@ -842,7 +957,12 @@ fn get_dataset(stream: &mut TcpStream, state: &Arc<ServerState>, id: &str, keep:
 
 /// `DELETE /v1/datasets/{id}`: drop the dataset and its journal file.
 /// Follow jobs on it observe `deleted` and finish as cancelled.
-fn delete_dataset(stream: &mut TcpStream, state: &Arc<ServerState>, id: &str, keep: bool) -> Served {
+fn delete_dataset(
+    stream: &mut TcpStream,
+    state: &Arc<ServerState>,
+    id: &str,
+    keep: bool,
+) -> Served {
     let removed = state
         .datasets
         .lock()
@@ -863,7 +983,10 @@ fn delete_dataset(stream: &mut TcpStream, state: &Arc<ServerState>, id: &str, ke
     respond_json(
         stream,
         200,
-        &format!("{{\"id\":\"{}\",\"deleted\":true}}", crate::json::escape(id)),
+        &format!(
+            "{{\"id\":\"{}\",\"deleted\":true}}",
+            crate::json::escape(id)
+        ),
         keep,
     )
 }
@@ -1272,6 +1395,319 @@ fn submit_job(
     respond_json(stream, status, &submit_body(&record, deduplicated), keep)
 }
 
+/// The `POST /v1/batches` response body (also the idempotent-retry body,
+/// with `"deduplicated":true`): batch identity plus one entry per sub-job
+/// with its individual endpoints, in panel order.
+fn batch_body(batch: &BatchRecord, deduplicated: bool) -> String {
+    let (n, m) = {
+        let live = batch.jobs[0].live();
+        (live.n, live.m)
+    };
+    let jobs: Vec<String> = batch
+        .jobs
+        .iter()
+        .map(|job| {
+            format!(
+                "{{\"spec\":\"{}\",\"id\":{},\"events\":\"/v1/jobs/{}/events\",\"status\":\"/v1/jobs/{}\"}}",
+                crate::json::escape(&job.spec.to_string()),
+                job.id,
+                job.id,
+                job.id,
+            )
+        })
+        .collect();
+    format!(
+        concat!(
+            "{{\"id\":{},\"seed\":{},\"n\":{n},\"m\":{m},\"deduplicated\":{},",
+            "\"jobs\":[{}],\"events\":\"/v1/batches/{}/events\",\"status\":\"/v1/batches/{}\"}}"
+        ),
+        batch.id,
+        batch.seed,
+        deduplicated,
+        jobs.join(","),
+        batch.id,
+        batch.id,
+        n = n,
+        m = m,
+    )
+}
+
+/// `POST /v1/batches`: one dataset, a panel of specs, admitted through
+/// the scheduler as a single all-or-nothing unit. Every sub-job shares
+/// the dataset's one `O(m·n²)` cost-matrix build through the engine
+/// cache (the requests share one `Arc<Dataset>`, so they hit the same
+/// cache entry; the cache holds its lock across the build, so concurrent
+/// sub-jobs wait for the first build instead of repeating it).
+///
+/// Batches are not journaled: a batch is a convenience fan-out over the
+/// panel, and its sub-jobs are cheap to resubmit as a unit — the
+/// idempotency key makes that retry safe (DESIGN.md §14.1).
+fn submit_batch(
+    stream: &mut TcpStream,
+    request: &Request,
+    state: &Arc<ServerState>,
+    keep: bool,
+) -> Served {
+    if state.shutting_down.load(Ordering::SeqCst) {
+        return respond_error(stream, 503, "server is draining", None, keep);
+    }
+    let Ok(body) = std::str::from_utf8(&request.body) else {
+        return respond_error(stream, 400, "request body is not UTF-8", None, keep);
+    };
+    let submission = match BatchSubmission::from_json(body) {
+        Ok(submission) => submission,
+        Err(e) => {
+            return respond_error(stream, 400, &e.message, e.suggestion.as_deref(), keep);
+        }
+    };
+    if let Some(key) = &submission.idempotency_key {
+        let table = state.batches.lock().expect("batch table poisoned");
+        if let Some(batch) = table.keys.get(key).and_then(|id| table.records.get(id)) {
+            let body = batch_body(batch, true);
+            drop(table);
+            return respond_json(stream, 200, &body, keep);
+        }
+    }
+    // Parse + normalize the dataset once, resolve every spec against it.
+    let job_submission = |spec: &str| JobSubmission {
+        algo: Some(spec.to_owned()),
+        seed: submission.seed,
+        budget: submission.budget,
+        normalize: submission.normalize,
+        ..JobSubmission::new(submission.dataset.clone())
+    };
+    let mut prepared = Vec::with_capacity(submission.specs.len());
+    for spec in &submission.specs {
+        match prepare_submission(&job_submission(spec)) {
+            Ok(pj) => prepared.push(pj),
+            Err(e) => {
+                let message = format!("spec {spec:?}: {}", e.message);
+                return respond_error(stream, 400, &message, e.suggestion.as_deref(), keep);
+            }
+        }
+    }
+    // One dense dataset for the whole panel: the first preparation's Arc
+    // is shared by every request, so the engine cache sees one
+    // fingerprint and pays one matrix build.
+    let data = Arc::clone(&prepared[0].data);
+    let requests: Vec<AggregationRequest> = prepared
+        .iter()
+        .map(|p| {
+            let mut request = AggregationRequest::new(Arc::clone(&data), p.spec.clone())
+                .with_seed(submission.seed);
+            if let Some(budget) = submission.budget {
+                request = request.with_budget(budget);
+            }
+            request
+        })
+        .collect();
+    let handles = match state.engine.try_submit_batch(requests) {
+        Ok(handles) => handles,
+        Err(AdmissionError::QueueFull {
+            queued,
+            capacity,
+            retry_after,
+        }) => {
+            let secs = retry_after.as_secs().max(1);
+            let body = format!(
+                "{{\"error\":\"admission queue full ({queued}/{capacity}); batch of {} needs room for all\",\"retry_after_secs\":{secs}}}",
+                submission.specs.len()
+            );
+            let _ = http::write_response(
+                stream,
+                429,
+                "application/json",
+                &[("Retry-After", secs.to_string())],
+                body.as_bytes(),
+                keep,
+            );
+            return Served::KeepAlive;
+        }
+        Err(AdmissionError::ShuttingDown) => {
+            return respond_error(stream, 503, "server is draining", None, keep);
+        }
+    };
+    let (batch, deduplicated) = {
+        let mut batches = state.batches.lock().expect("batch table poisoned");
+        // Same race re-check as jobs: a concurrent twin with our key may
+        // have landed since the pre-parse check; the loser cancels its
+        // whole admitted panel.
+        if let Some(existing) = submission
+            .idempotency_key
+            .as_ref()
+            .and_then(|key| batches.keys.get(key))
+            .and_then(|id| batches.records.get(id))
+        {
+            let existing = Arc::clone(existing);
+            drop(batches);
+            for handle in handles {
+                handle.cancel();
+            }
+            (existing, true)
+        } else {
+            let mut jobs = Vec::with_capacity(handles.len());
+            {
+                let mut table = state.jobs.lock().expect("job table poisoned");
+                for (prep, handle) in prepared.into_iter().zip(handles) {
+                    let id = table.next_id;
+                    table.next_id += 1;
+                    let spec = prep.spec.clone();
+                    let record = Arc::new(make_record(
+                        id,
+                        &job_submission(&spec.to_string()),
+                        PreparedJob {
+                            prepared: prep,
+                            warm: None,
+                            version: 0,
+                            dataset: None,
+                            matrix: None,
+                        },
+                        Arc::clone(handle.sink()),
+                        handle.cancel_token(),
+                        JobProgress::default(),
+                    ));
+                    table.order.push(id);
+                    table.records.insert(id, Arc::clone(&record));
+                    state.accepted_total.fetch_add(1, Ordering::Relaxed);
+                    spawn_owner(state, &record, handle, None, FollowSpawn::Collect);
+                    jobs.push(record);
+                }
+                evict_done(&mut table, state.config.retain_done, state.journal.as_ref());
+            }
+            let id = batches.next_id;
+            batches.next_id += 1;
+            let batch = Arc::new(BatchRecord {
+                id,
+                idempotency: submission.idempotency_key.clone(),
+                seed: submission.seed,
+                jobs,
+            });
+            batches.records.insert(id, Arc::clone(&batch));
+            if let Some(key) = &batch.idempotency {
+                batches.keys.insert(key.clone(), id);
+            }
+            (batch, false)
+        }
+    };
+    let status = if deduplicated { 200 } else { 202 };
+    respond_json(stream, status, &batch_body(&batch, deduplicated), keep)
+}
+
+/// `GET /v1/batches/{id}`: the panel's aggregate state plus each
+/// sub-job's state, outcome, and (once done) full report — one call reads
+/// the whole panel back.
+fn batch_status(stream: &mut TcpStream, batch: &Arc<BatchRecord>, keep: bool) -> Served {
+    let mut all_done = true;
+    let mut any_started = false;
+    let jobs: Vec<String> = batch
+        .jobs
+        .iter()
+        .map(|job| {
+            let progress = job.state.lock().expect("job state poisoned");
+            let state_name = state_name(&progress);
+            all_done &= progress.done;
+            any_started |= progress.started || progress.done;
+            let outcome = progress
+                .outcome
+                .clone()
+                .map_or("null".to_owned(), |o| format!("\"{o}\""));
+            let report = progress
+                .report_json
+                .clone()
+                .unwrap_or_else(|| "null".to_owned());
+            drop(progress);
+            format!(
+                "{{\"spec\":\"{}\",\"id\":{},\"state\":\"{state_name}\",\"outcome\":{outcome},\"report\":{report}}}",
+                crate::json::escape(&job.spec.to_string()),
+                job.id,
+            )
+        })
+        .collect();
+    let state_name = if all_done {
+        "done"
+    } else if any_started {
+        "running"
+    } else {
+        "queued"
+    };
+    let body = format!(
+        "{{\"id\":{},\"seed\":{},\"state\":\"{state_name}\",\"jobs\":[{}]}}",
+        batch.id,
+        batch.seed,
+        jobs.join(","),
+    );
+    respond_json(stream, 200, &body, keep)
+}
+
+/// Splice `"spec"` and `"job"` fields into a serialized event object, so
+/// each line of a batch's merged stream names the sub-job it came from.
+fn tag_spec(line: &str, spec: &str, job_id: u64) -> String {
+    match line.rfind('}') {
+        Some(i) => format!(
+            "{},\"spec\":\"{}\",\"job\":{job_id}}}",
+            &line[..i],
+            crate::json::escape(spec)
+        ),
+        None => line.to_owned(),
+    }
+}
+
+/// `GET /v1/batches/{id}/events`: the panel's event logs merged into one
+/// chunked NDJSON stream, every line tagged `"spec"`/`"job"`. Within one
+/// sub-job, lines keep their emission order; across sub-jobs the merge is
+/// arrival-ordered (the panel runs concurrently). Ends when every sub-job
+/// is done; quiet stretches are bridged with heartbeats like the per-job
+/// stream.
+fn stream_batch_events(stream: &mut TcpStream, batch: &Arc<BatchRecord>) -> Served {
+    let mut writer = match ChunkedWriter::begin(stream, "application/x-ndjson") {
+        Ok(writer) => writer,
+        Err(_) => return Served::Close,
+    };
+    let specs: Vec<String> = batch.jobs.iter().map(|j| j.spec.to_string()).collect();
+    let mut cursors = vec![0usize; batch.jobs.len()];
+    let mut quiet = Duration::ZERO;
+    loop {
+        let mut wrote = false;
+        let mut all_done = true;
+        for (i, job) in batch.jobs.iter().enumerate() {
+            let (batch_lines, done) = {
+                let progress = job.state.lock().expect("job state poisoned");
+                (progress.events[cursors[i]..].to_vec(), progress.done)
+            };
+            all_done &= done;
+            for line in &batch_lines {
+                if writer
+                    .write_line(&tag_spec(line, &specs[i], job.id))
+                    .is_err()
+                {
+                    return Served::Close; // subscriber went away; jobs keep running
+                }
+            }
+            cursors[i] += batch_lines.len();
+            wrote |= !batch_lines.is_empty();
+        }
+        if all_done {
+            let _ = writer.finish();
+            return Served::Close;
+        }
+        if wrote {
+            quiet = Duration::ZERO;
+        } else {
+            // Poll-merge: each sub-job has its own condvar, so the merged
+            // stream polls at a coarse interval instead of waiting on one.
+            let step = Duration::from_millis(25);
+            std::thread::sleep(step);
+            quiet += step;
+            if quiet >= Duration::from_secs(HEARTBEAT_SECS as u64) {
+                if writer.write_line("{\"event\":\"heartbeat\"}").is_err() {
+                    return Served::Close;
+                }
+                quiet = Duration::ZERO;
+            }
+        }
+    }
+}
+
 /// Splice a `"dataset_version"` field into a serialized event object, so
 /// every line a follow job emits names the dataset version its round
 /// solved. Non-object lines pass through untouched.
@@ -1333,7 +1769,11 @@ fn follow_loop(
                 continue;
             }
             let started = matches!(event, Event::Started { .. });
-            push_event(tag_version(&proto::event_json(&event), version), &mut writer, started);
+            push_event(
+                tag_version(&proto::event_json(&event), version),
+                &mut writer,
+                started,
+            );
         }
         match catch_unwind(AssertUnwindSafe(|| handle.wait())) {
             Ok(report) => {
@@ -1717,7 +2157,12 @@ fn job_status(stream: &mut TcpStream, record: &Arc<JobRecord>, keep: bool) -> Se
     // Snapshot the round-scoped refs as one consistent set (a follow
     // round swap replaces sink and denormalization context together).
     let live = record.live();
-    let trace: Vec<String> = live.sink.trace().iter().map(proto::trace_point_json).collect();
+    let trace: Vec<String> = live
+        .sink
+        .trace()
+        .iter()
+        .map(proto::trace_point_json)
+        .collect();
     let best = match live.sink.best_so_far() {
         None => "null".to_owned(),
         Some((score, ranking)) => format!(

@@ -38,6 +38,7 @@
 //!
 //! rawt serve [--addr HOST:PORT] [--max-jobs N] [--queue N]
 //!            [--journal DIR] [--journal-fsync always|milestones|never]
+//!            [--token TOKEN]
 //!     Run the aggregation service (see crates/service): anytime jobs
 //!     over HTTP with streamed NDJSON incumbents, budget-aware
 //!     scheduling, and 429 load shedding. SIGINT drains via cooperative
@@ -46,7 +47,20 @@
 //!     startup). --journal makes jobs durable (DESIGN.md §12): every
 //!     submission and event is logged to DIR, and a restart with the
 //!     same DIR re-serves finished jobs and deterministically re-runs
-//!     interrupted ones.
+//!     interrupted ones. --token requires `Authorization: Bearer TOKEN`
+//!     on every request except `GET /healthz`; the token is held in
+//!     memory only and never journaled.
+//!
+//! rawt route --workers ADDR,ADDR,… [--addr HOST:PORT] [--token TOKEN]
+//!     Run the sharded front tier (DESIGN.md §14.2): one address fanning
+//!     out to many `rawt serve` workers. Jobs, batches and dataset
+//!     sessions are routed by rendezvous hashing of their dataset
+//!     fingerprint, so a session's follow-up requests stay on the worker
+//!     holding its delta-patched matrix and a batch rides one worker's
+//!     single matrix build. /healthz aggregates worker health; a dead
+//!     worker is skipped for new submissions and answers 503 +
+//!     Retry-After for state it holds. --token both authenticates
+//!     clients and is forwarded to the workers.
 //!
 //! rawt session FILE [--algo SPEC] [--seed N] [--budget SECS]
 //!              [--remote ADDR] [--id ID]
@@ -87,6 +101,7 @@ use service::fault::FaultPlan;
 use service::journal::FsyncPolicy;
 use service::json::Json;
 use service::proto::{self, JobSubmission};
+use service::router::{Router, RouterConfig};
 use service::server::{Server, ServerConfig};
 use std::process::exit;
 use std::time::Duration;
@@ -148,6 +163,8 @@ struct Flags {
     queue: usize,
     journal: Option<String>,
     journal_fsync: FsyncPolicy,
+    token: Option<String>,
+    workers: Option<String>,
     id: Option<String>,
     n: usize,
     m: usize,
@@ -169,6 +186,8 @@ fn parse_flags(args: &[String]) -> Flags {
         queue: ServerConfig::default().queue_capacity,
         journal: None,
         journal_fsync: FsyncPolicy::default(),
+        token: None,
+        workers: None,
         id: None,
         n: 10,
         m: 5,
@@ -219,6 +238,8 @@ fn parse_flags(args: &[String]) -> Flags {
                 }
             }
             "--journal" => f.journal = Some(value(&mut i)),
+            "--token" => f.token = Some(value(&mut i)),
+            "--workers" => f.workers = Some(value(&mut i)),
             "--id" => f.id = Some(value(&mut i)),
             "--journal-fsync" => {
                 f.journal_fsync = value(&mut i).parse().unwrap_or_else(|e: String| die(&e))
@@ -404,6 +425,14 @@ fn invocation_key() -> String {
     format!("rawt-{}-{nanos:x}", std::process::id())
 }
 
+/// A client for `addr`, authenticated when `--token` was given.
+fn make_client(f: &Flags, addr: &str) -> Client {
+    match &f.token {
+        Some(token) => Client::with_token(addr, token),
+        None => Client::new(addr),
+    }
+}
+
 /// Surface one client retry on stderr ("server busy, retrying in 2s…").
 fn print_retry(notice: &RetryNotice) {
     eprintln!(
@@ -422,7 +451,7 @@ fn print_retry(notice: &RetryNotice) {
 fn cmd_aggregate_remote(f: &Flags, path: &str, addr: &str) {
     let body =
         std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
-    let client = Client::new(addr);
+    let client = make_client(f, addr);
     let submission = JobSubmission {
         dataset: body,
         algo: f.algo.clone(),
@@ -620,6 +649,7 @@ fn cmd_serve(f: &Flags) {
         queue_capacity: f.queue,
         journal_dir: f.journal.clone().map(std::path::PathBuf::from),
         journal_fsync: f.journal_fsync,
+        token: f.token.clone(),
         faults,
         ..ServerConfig::default()
     };
@@ -682,6 +712,61 @@ fn cmd_serve(f: &Flags) {
         Ok(Ok(())) => eprintln!("rawt: drained, bye"),
         Ok(Err(e)) => die(&format!("serve loop failed: {e}")),
         Err(_) => die("serve loop panicked"),
+    }
+}
+
+/// `rawt route`: run the rendezvous-hashing front tier until SIGINT.
+/// The router holds no job state worth draining — stopping the accept
+/// loop is the whole shutdown.
+fn cmd_route(f: &Flags) {
+    let workers: Vec<String> = f
+        .workers
+        .as_deref()
+        .unwrap_or_else(|| die("route needs --workers ADDR,ADDR,…"))
+        .split(',')
+        .map(str::trim)
+        .filter(|w| !w.is_empty())
+        .map(str::to_owned)
+        .collect();
+    let config = RouterConfig {
+        workers: workers.clone(),
+        token: f.token.clone(),
+    };
+    let router = Router::bind(f.addr.as_str(), config)
+        .unwrap_or_else(|e| die(&format!("cannot bind {}: {e}", f.addr)));
+    let addr = router
+        .local_addr()
+        .unwrap_or_else(|e| die(&format!("no local address: {e}")));
+    let shutdown = router
+        .shutdown_handle()
+        .unwrap_or_else(|e| die(&format!("no shutdown handle: {e}")));
+    println!(
+        "rawt: routing on http://{addr} -> {} worker{} [{}]",
+        workers.len(),
+        if workers.len() == 1 { "" } else { "s" },
+        workers.join(", ")
+    );
+    // Same machine-readable startup contract as `rawt serve`: the
+    // `http://` line carries the ephemeral port for wrappers and CI.
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    sigint::install();
+    let serve_thread = std::thread::spawn(move || router.serve());
+    loop {
+        std::thread::sleep(Duration::from_millis(100));
+        if sigint::pressed() {
+            eprintln!("rawt: SIGINT — stopping the router (workers keep running)");
+            shutdown.shutdown();
+            break;
+        }
+        if serve_thread.is_finished() {
+            break;
+        }
+    }
+    match serve_thread.join() {
+        Ok(Ok(())) => eprintln!("rawt: router stopped, bye"),
+        Ok(Err(e)) => die(&format!("route loop failed: {e}")),
+        Err(_) => die("route loop panicked"),
     }
 }
 
@@ -832,7 +917,8 @@ fn parse_session_cmd(line: &str) -> Result<SessionCmd, String> {
 }
 
 /// `rawt session`: the interactive edit/re-solve loop over a
-/// [`DatasetSession`] — delta-patched matrix, warm-started solves
+/// [`DatasetSession`](rank_aggregation_with_ties::rank_core::session::DatasetSession)
+/// — delta-patched matrix, warm-started solves
 /// (locally in-process, or against a server's live dataset with
 /// `--remote`).
 fn cmd_session(f: &Flags) {
@@ -937,9 +1023,7 @@ fn cmd_session_local(f: &Flags, body: &str) {
             SessionCmd::Add(text) => parse_ranking_labeled(&text, &mut scratch)
                 .map_err(|e| e.to_string())
                 .and_then(|r| session.add_ranking(r).map_err(|e| e.to_string())),
-            SessionCmd::Remove(index) => {
-                session.remove_ranking(index).map_err(|e| e.to_string())
-            }
+            SessionCmd::Remove(index) => session.remove_ranking(index).map_err(|e| e.to_string()),
             SessionCmd::Replace(index, text) => parse_ranking_labeled(&text, &mut scratch)
                 .map_err(|e| e.to_string())
                 .and_then(|r| session.replace_ranking(index, r).map_err(|e| e.to_string())),
@@ -955,7 +1039,7 @@ fn cmd_session_local(f: &Flags, body: &str) {
 }
 
 fn cmd_session_remote(f: &Flags, body: &str, addr: &str) {
-    let client = Client::new(addr);
+    let client = make_client(f, addr);
     let (id, ephemeral) = match &f.id {
         Some(id) => (id.clone(), false),
         None => (invocation_key(), true),
@@ -1138,7 +1222,7 @@ fn cmd_generate(f: &Flags) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
-        die("usage: rawt <aggregate|compare|list|serve|session|similarity|distance|generate> …");
+        die("usage: rawt <aggregate|compare|list|serve|route|session|similarity|distance|generate> …");
     };
     let flags = parse_flags(rest);
     match cmd.as_str() {
@@ -1146,6 +1230,7 @@ fn main() {
         "compare" => cmd_compare(&flags),
         "list" => cmd_list(&flags),
         "serve" => cmd_serve(&flags),
+        "route" => cmd_route(&flags),
         "session" => cmd_session(&flags),
         "similarity" => cmd_similarity(&flags),
         "distance" => cmd_distance(&flags),

@@ -194,7 +194,9 @@ fn dataset_jobs_solve_the_live_session_and_record_consensus_back() {
 #[test]
 fn follow_jobs_resolve_again_after_a_patch_with_version_tags() {
     let (client, shutdown) = start_server(ServerConfig::default());
-    client.create_dataset("watched", PAPER_EXAMPLE).expect("PUT");
+    client
+        .create_dataset("watched", PAPER_EXAMPLE)
+        .expect("PUT");
     let job = client
         .submit(&JobSubmission {
             algo: Some("BioConsert".into()),
@@ -327,7 +329,9 @@ fn deleting_a_dataset_ends_its_follow_jobs() {
 fn datasets_recover_across_restart_with_consolidated_journals() {
     let dir = scratch_dir("ds-recover");
     let (client, shutdown) = start_server(journaled_config(&dir));
-    client.create_dataset("durable", PAPER_EXAMPLE).expect("PUT");
+    client
+        .create_dataset("durable", PAPER_EXAMPLE)
+        .expect("PUT");
     client
         .patch_dataset(
             "durable",

@@ -1,0 +1,382 @@
+//! End-to-end tests of the fingerprint-routing front tier (DESIGN.md
+//! §14.2): a batch submitted through the router matches the in-process
+//! [`Engine::run_batch`], dataset sessions stay sticky to one worker
+//! across PATCHes, inline submissions fail over around a dead worker,
+//! sticky state on a dead worker answers 503 + `Retry-After`, a fleet
+//! with no reachable worker answers 503, idempotent resubmission through
+//! the router reuses router-side ids, and the bearer token guards the
+//! router exactly as it guards a worker.
+
+use rank_aggregation_with_ties::prelude::*;
+use rank_aggregation_with_ties::rank_core::parse::parse_dataset_lines;
+use rank_aggregation_with_ties::rank_core::Universe;
+use service::client::{Client, ClientError};
+use service::json::Json;
+use service::proto::{BatchSubmission, JobSubmission};
+use service::router::{Router, RouterConfig, RouterShutdown};
+use service::server::{Server, ServerConfig, ShutdownHandle};
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+const PAPER_EXAMPLE: &str =
+    "# the paper's §2.2 example\n[{A},{D},{B,C}]\n[{A},{B,C},{D}]\n[{D},{A,C},{B}]\n";
+
+const PANEL: [&str; 4] = ["BioConsert", "Exact", "Borda", "KwikSort"];
+
+fn start_worker(config: ServerConfig) -> (String, ShutdownHandle) {
+    let server = Server::bind("127.0.0.1:0", config).expect("bind worker");
+    let addr = server.local_addr().expect("worker addr").to_string();
+    let shutdown = server.shutdown_handle().expect("worker shutdown handle");
+    std::thread::spawn(move || server.serve());
+    (addr, shutdown)
+}
+
+fn start_router(workers: Vec<String>, token: Option<String>) -> (Client, RouterShutdown, String) {
+    let router = Router::bind("127.0.0.1:0", RouterConfig { workers, token }).expect("bind router");
+    let addr = router.local_addr().expect("router addr").to_string();
+    let shutdown = router.shutdown_handle().expect("router shutdown handle");
+    std::thread::spawn(move || router.serve());
+    (Client::new(&addr), shutdown, addr)
+}
+
+/// An address that was briefly bound and is now guaranteed dead —
+/// connecting to it gets an immediate refusal, the same signal the
+/// router sees from a SIGKILLed worker process.
+fn dead_addr() -> String {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind throwaway");
+    listener.local_addr().expect("throwaway addr").to_string()
+}
+
+/// Shut a worker down and wait until its port actually refuses
+/// connections (the accept loop may drain one last wake-up connect).
+fn kill_worker(addr: &str, shutdown: &ShutdownHandle) {
+    shutdown.shutdown();
+    for _ in 0..200 {
+        if TcpStream::connect(addr).is_err() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!("worker {addr} still accepting after shutdown");
+}
+
+fn panel_submission() -> BatchSubmission {
+    BatchSubmission {
+        seed: 7,
+        ..BatchSubmission::new(PAPER_EXAMPLE, PANEL.iter().map(|s| s.to_string()).collect())
+    }
+}
+
+/// The acceptance bar: the router is transparent — a batch through it
+/// matches a local [`Engine::run_batch`] spec for spec (same field set
+/// as the direct-to-worker parity test in `tests/batch_api.rs`), and
+/// the router-minted sub-job ids resolve through `GET /v1/jobs/{id}`.
+#[test]
+fn batch_through_router_matches_local_run_batch() {
+    let (worker_a, down_a) = start_worker(ServerConfig::default());
+    let (worker_b, down_b) = start_worker(ServerConfig::default());
+    let (client, down_router, _) = start_router(vec![worker_a, worker_b], None);
+
+    let mut universe = Universe::new();
+    let raw = parse_dataset_lines(PAPER_EXAMPLE, &mut universe).expect("parse");
+    let norm = Normalization::Unification.apply(&raw).expect("normalize");
+    let requests: Vec<AggregationRequest> = PANEL
+        .iter()
+        .map(|spec| {
+            AggregationRequest::new(norm.dataset.clone(), AlgoSpec::parse(spec).expect("spec"))
+                .with_seed(7)
+        })
+        .collect();
+    let local = Engine::new().run_batch(&requests);
+
+    let batch = client
+        .submit_batch(&panel_submission())
+        .expect("submit via router");
+    assert_eq!(batch.jobs.len(), PANEL.len());
+    let status = client.wait_batch(batch.id).expect("wait via router");
+    let jobs = status.get("jobs").and_then(Json::as_array).expect("jobs");
+    assert_eq!(jobs.len(), PANEL.len());
+
+    for ((job, local_report), spec) in jobs.iter().zip(&local).zip(PANEL) {
+        assert_eq!(
+            job.get("spec").and_then(Json::as_str),
+            Some(local_report.spec.to_string().as_str()),
+            "{spec}: sub-jobs must come back in request order"
+        );
+        let report = job.get("report").expect("report present");
+        assert!(!report.is_null(), "{spec}: report must be final");
+        assert_eq!(
+            report.get("score").and_then(Json::as_u64),
+            Some(local_report.score),
+            "{spec}: scores must match through the router"
+        );
+        assert_eq!(
+            report.get("outcome").and_then(Json::as_str),
+            Some(local_report.outcome.to_string().as_str()),
+            "{spec}: outcomes must match through the router"
+        );
+        let remote_ranking = report.get("ranking").expect("ranking").to_string();
+        let local_ranking =
+            service::proto::ranking_json(&norm.denormalize(&local_report.ranking), &universe);
+        assert_eq!(
+            Json::parse(&remote_ranking).expect("remote ranking"),
+            Json::parse(&local_ranking).expect("local ranking"),
+            "{spec}: rankings must match through the router"
+        );
+    }
+
+    // Router-minted sub-job ids are real job ids on the router.
+    for sub in &batch.jobs {
+        let doc = client.status(sub.id).expect("sub-job status via router");
+        assert_eq!(
+            doc.get("spec").and_then(Json::as_str),
+            Some(sub.spec.as_str()),
+            "sub-job {} must resolve through /v1/jobs/",
+            sub.id
+        );
+    }
+    down_router.shutdown();
+    down_a.shutdown();
+    down_b.shutdown();
+}
+
+/// The sticky-session acceptance criterion: a dataset created through
+/// the router is PATCHed through the router repeatedly and every request
+/// lands on the same worker — versions increment (a second worker would
+/// 404 the session), jobs by `dataset_id` run against the patched state,
+/// and exactly one worker's healthz holds the session.
+#[test]
+fn dataset_session_sticks_to_one_worker() {
+    let fleet: Vec<(String, ShutdownHandle)> = (0..3)
+        .map(|_| start_worker(ServerConfig::default()))
+        .collect();
+    let addrs: Vec<String> = fleet.iter().map(|(addr, _)| addr.clone()).collect();
+    let (client, down_router, _) = start_router(addrs.clone(), None);
+
+    let created = client
+        .create_dataset("live", PAPER_EXAMPLE)
+        .expect("PUT via router");
+    assert_eq!(created.get("version").and_then(Json::as_u64), Some(1));
+    for expected_version in 2..=4u64 {
+        let patched = client
+            .patch_dataset(
+                "live",
+                "{\"ops\":[{\"op\":\"add\",\"ranking\":\"[{A},{B},{C},{D}]\"}]}",
+            )
+            .expect("PATCH via router");
+        assert_eq!(
+            patched.get("version").and_then(Json::as_u64),
+            Some(expected_version),
+            "every PATCH must land on the worker holding the session"
+        );
+    }
+    let job = client
+        .submit(&JobSubmission {
+            algo: Some("Exact".into()),
+            ..JobSubmission::for_dataset("live")
+        })
+        .expect("job on the session via router");
+    let done = client.wait(job.id).expect("wait via router");
+    assert!(
+        done.get("report").is_some_and(|r| !r.is_null()),
+        "session job must finish"
+    );
+
+    let holders: Vec<&String> = addrs
+        .iter()
+        .filter(|addr| {
+            Client::new(addr)
+                .healthz()
+                .expect("direct worker healthz")
+                .get("datasets")
+                .and_then(Json::as_u64)
+                == Some(1)
+        })
+        .collect();
+    assert_eq!(holders.len(), 1, "exactly one worker holds the session");
+
+    down_router.shutdown();
+    for (_, down) in fleet {
+        down.shutdown();
+    }
+}
+
+/// Killing the worker that holds a session: the router refuses to fail
+/// over (the patched matrix is not portable) and answers 503 with a
+/// `Retry-After`, for both the session route and jobs naming it.
+#[test]
+fn sticky_session_on_dead_worker_gets_503_with_retry_after() {
+    let (worker_a, down_a) = start_worker(ServerConfig::default());
+    let (worker_b, down_b) = start_worker(ServerConfig::default());
+    let (client, down_router, _) = start_router(vec![worker_a.clone(), worker_b.clone()], None);
+
+    client
+        .create_dataset("doomed", PAPER_EXAMPLE)
+        .expect("PUT via router");
+    let a_holds = Client::new(&worker_a)
+        .healthz()
+        .expect("worker healthz")
+        .get("datasets")
+        .and_then(Json::as_u64)
+        == Some(1);
+    if a_holds {
+        kill_worker(&worker_a, &down_a);
+    } else {
+        kill_worker(&worker_b, &down_b);
+    }
+
+    match client.patch_dataset("doomed", "{\"ops\":[{\"op\":\"remove\",\"index\":0}]}") {
+        Err(ClientError::Status {
+            status: 503,
+            retry_after_secs,
+            ..
+        }) => {
+            assert_eq!(retry_after_secs, Some(2), "503 must carry Retry-After");
+        }
+        other => panic!("PATCH to a dead session worker must 503, got {other:?}"),
+    }
+    match client.submit(&JobSubmission::for_dataset("doomed")) {
+        Err(ClientError::Status {
+            status: 503,
+            retry_after_secs,
+            ..
+        }) => {
+            assert!(retry_after_secs.is_some());
+        }
+        other => panic!("job on a dead session worker must 503, got {other:?}"),
+    }
+
+    // The fleet is degraded, not down — healthz says so.
+    let health = client.healthz().expect("router healthz");
+    assert_eq!(
+        health.get("status").and_then(Json::as_str),
+        Some("degraded")
+    );
+    assert_eq!(health.get("alive").and_then(Json::as_u64), Some(1));
+
+    down_router.shutdown();
+    if a_holds {
+        down_b.shutdown();
+    } else {
+        down_a.shutdown();
+    }
+}
+
+/// A dead worker mid-fleet: inline submissions (no session pin) slide
+/// past it through the rendezvous order, finish on the survivor, and a
+/// keyed resubmission through the router stays safe — same answer, no
+/// duplicate work.
+#[test]
+fn inline_jobs_fail_over_when_a_worker_dies() {
+    let (worker_a, down_a) = start_worker(ServerConfig::default());
+    let (worker_b, down_b) = start_worker(ServerConfig::default());
+    let (client, down_router, _) = start_router(vec![worker_a.clone(), worker_b], None);
+    kill_worker(&worker_a, &down_a);
+
+    // Varied comment lines vary the routing fingerprint, so some of
+    // these keys prefer the dead worker; every one must still land.
+    for i in 0..6 {
+        let submission = JobSubmission {
+            algo: Some("Exact".into()),
+            idempotency_key: Some(format!("failover-{i}")),
+            ..JobSubmission::new(format!("# variant {i}\n{PAPER_EXAMPLE}"))
+        };
+        let first = client
+            .submit(&submission)
+            .expect("submit around dead worker");
+        let done = client.wait(first.id).expect("wait via router");
+        assert_eq!(
+            done.get("report")
+                .and_then(|r| r.get("score"))
+                .and_then(Json::as_u64),
+            Some(5),
+            "job {i} must finish on the survivor with the §2.2 optimum"
+        );
+        // Retrying the same submission through the router reattaches to
+        // the finished job instead of re-running it.
+        let second = client.submit(&submission).expect("idempotent resubmit");
+        assert!(
+            second.deduplicated,
+            "resubmit with the same key must deduplicate"
+        );
+        assert_eq!(
+            second.id, first.id,
+            "router id must be stable across the retry"
+        );
+    }
+    down_router.shutdown();
+    down_b.shutdown();
+}
+
+/// Every worker down: submissions answer 503 with `Retry-After`, and the
+/// router's healthz stays reachable reporting `"down"` (the router
+/// itself is alive — that is the point of the aggregate probe).
+#[test]
+fn all_workers_down_is_503_and_healthz_reports_it() {
+    let (client, down_router, _) = start_router(vec![dead_addr(), dead_addr()], None);
+
+    match client.submit(&JobSubmission::new(PAPER_EXAMPLE)) {
+        Err(ClientError::Status {
+            status: 503,
+            retry_after_secs,
+            ..
+        }) => {
+            assert!(retry_after_secs.is_some(), "503 must carry Retry-After");
+        }
+        other => panic!("submit with no workers must 503, got {other:?}"),
+    }
+    match client.submit_batch(&panel_submission()) {
+        Err(ClientError::Status { status: 503, .. }) => {}
+        other => panic!("batch with no workers must 503, got {other:?}"),
+    }
+
+    let health = client.healthz().expect("router healthz stays up");
+    assert_eq!(health.get("status").and_then(Json::as_str), Some("down"));
+    assert_eq!(health.get("alive").and_then(Json::as_u64), Some(0));
+    assert_eq!(health.get("total").and_then(Json::as_u64), Some(2));
+    down_router.shutdown();
+}
+
+/// The bearer token guards the router exactly as it guards a worker:
+/// `GET /healthz` stays open for probes, everything else 401s without
+/// the token, and an authenticated client works end to end — the router
+/// forwarding the token to token-guarded workers.
+#[test]
+fn router_token_guards_everything_but_healthz() {
+    let token_config = || ServerConfig {
+        token: Some("fleet-secret".into()),
+        ..ServerConfig::default()
+    };
+    let (worker_a, down_a) = start_worker(token_config());
+    let (worker_b, down_b) = start_worker(token_config());
+    let (bare, down_router, router_addr) =
+        start_router(vec![worker_a, worker_b], Some("fleet-secret".into()));
+
+    let health = bare.healthz().expect("healthz stays open");
+    assert_eq!(health.get("status").and_then(Json::as_str), Some("ok"));
+    assert!(
+        matches!(
+            bare.submit(&JobSubmission::new(PAPER_EXAMPLE)),
+            Err(ClientError::Status { status: 401, .. })
+        ),
+        "missing token must 401 at the router"
+    );
+
+    let authed = Client::with_token(&router_addr, "fleet-secret");
+    let job = authed
+        .submit(&JobSubmission {
+            algo: Some("Exact".into()),
+            ..JobSubmission::new(PAPER_EXAMPLE)
+        })
+        .expect("authenticated submit via router");
+    let done = authed.wait(job.id).expect("authenticated wait via router");
+    assert_eq!(
+        done.get("report")
+            .and_then(|r| r.get("score"))
+            .and_then(Json::as_u64),
+        Some(5)
+    );
+    down_router.shutdown();
+    down_a.shutdown();
+    down_b.shutdown();
+}
