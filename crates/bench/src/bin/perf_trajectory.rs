@@ -45,7 +45,13 @@
 //!   p50/p99 submit-to-finished latency and the shed rate; plus the
 //!   batching claim at the fleet level: one panel as a single
 //!   `POST /v1/batches` (one cost-matrix build) vs the same panel as
-//!   scattered individual submissions (one build per worker hit).
+//!   scattered individual submissions (one build per worker hit);
+//! * a **telemetry** section (DESIGN.md §15): per-op microcosts of the
+//!   registry primitives (counter inc, histogram record, mutex-guarded
+//!   handle resolve), the overhead fraction of a fully instrumented
+//!   panel run (op count read off the run's own registry × microcost ÷
+//!   wall time; budgeted ≤ 2%), and the cross-check that the registry's
+//!   time-to-first-incumbent buckets agree with the PR 3 trace data.
 //!
 //! The header records the host's available parallelism and a timestamp,
 //! so committed BENCH files stay interpretable (PR 1's single-core
@@ -55,7 +61,7 @@
 //! PRs can track the trajectory:
 //!
 //! ```text
-//! cargo run --release -p bench --bin perf_trajectory -- BENCH_8.json
+//! cargo run --release -p bench --bin perf_trajectory -- BENCH_9.json
 //! ```
 
 use ragen::UniformSampler;
@@ -886,10 +892,150 @@ fn measure_incremental() -> IncrementalReport {
     }
 }
 
+/// One algorithm's cross-check between the registry's
+/// time-to-first-incumbent histogram and the trace value the same run
+/// reported (the PR 3 anytime data): the single observation must land
+/// in the log₂ bucket whose bound covers it within the 2× spacing.
+struct TtiRow {
+    name: String,
+    trace_s: f64,
+    bucket_bound_s: f64,
+    consistent: bool,
+}
+
+struct TelemetryReport {
+    counter_inc_s: f64,
+    histogram_record_s: f64,
+    resolve_s: f64,
+    panel_n: usize,
+    panel_wall_s: f64,
+    counter_ops: u64,
+    histogram_ops: u64,
+    overhead_fraction: f64,
+    tti: Vec<TtiRow>,
+}
+
+/// Telemetry section (DESIGN.md §15): per-op microcosts of the registry
+/// primitives, an instrumented panel run whose own registry counts how
+/// many observations it made (microcost × op count ÷ wall time = the
+/// overhead fraction, budgeted ≤ 2%), and the per-algorithm check that
+/// the registry's time-to-first-incumbent buckets agree with the trace.
+fn measure_telemetry(n: usize, data: &Dataset) -> TelemetryReport {
+    use rank_core::telemetry::{parse_exposition, MetricKind, MetricsRegistry};
+
+    // Per-op microcosts, measured on a private registry. Handle ops are
+    // relaxed atomics; `resolve` is the mutex-guarded find-or-create
+    // path label-dynamic call sites pay per call.
+    let registry = MetricsRegistry::new();
+    let counter = registry.counter("bench_ops_total", "bench", &[]);
+    const OPS: u64 = 1_000_000;
+    let counter_inc_s = time_median(5, || {
+        for _ in 0..OPS {
+            counter.inc();
+        }
+    }) / OPS as f64;
+    let histogram = registry.histogram("bench_latency_seconds", "bench", &[]);
+    let histogram_record_s = time_median(5, || {
+        for i in 0..OPS {
+            histogram.record_micros(i & 0xffff);
+        }
+    }) / OPS as f64;
+    const RESOLVES: u64 = 100_000;
+    let resolve_s = time_median(5, || {
+        for _ in 0..RESOLVES {
+            std::hint::black_box(registry.counter(
+                "bench_resolved_total",
+                "bench",
+                &[("algo", "BioConsert")],
+            ));
+        }
+    }) / RESOLVES as f64;
+
+    // The instrumented panel run: the same engine batch the sizes
+    // section times, on a fresh engine whose registry then tells us
+    // exactly how many observations the run made.
+    let specs: Vec<AlgoSpec> = paper_panel(20)
+        .into_iter()
+        .filter(|s| s.max_n().is_none_or(|cap| n <= cap))
+        .collect();
+    let requests = AggregationRequest::batch(data.clone())
+        .specs(specs)
+        .seed(5)
+        .build();
+    let engine = Engine::new();
+    let wall_start = Instant::now();
+    let reports = engine.run_batch(&requests);
+    let panel_wall_s = wall_start.elapsed().as_secs_f64();
+
+    let families = parse_exposition(&engine.metrics().render_prometheus());
+    let mut counter_ops = 0u64;
+    let mut histogram_ops = 0u64;
+    for family in &families {
+        match family.kind {
+            MetricKind::Counter => {
+                counter_ops += family.samples.iter().map(|s| s.value as u64).sum::<u64>()
+            }
+            MetricKind::Histogram => {
+                histogram_ops += family
+                    .samples
+                    .iter()
+                    .filter(|s| s.name.ends_with("_count"))
+                    .map(|s| s.value as u64)
+                    .sum::<u64>()
+            }
+            // Gauges are counted as moves below: the scheduler swings
+            // queue-depth and running twice per job.
+            MetricKind::Gauge | MetricKind::Untyped => {}
+        }
+    }
+    let gauge_ops = 4 * reports.len() as u64;
+    // Label-dynamic sites re-resolve handles; bound that by one resolve
+    // per observation (the engine's worst case, not its average).
+    let resolve_ops = counter_ops + histogram_ops;
+    let overhead_s = (counter_ops + gauge_ops) as f64 * counter_inc_s
+        + histogram_ops as f64 * histogram_record_s
+        + resolve_ops as f64 * resolve_s;
+    let overhead_fraction = overhead_s / panel_wall_s;
+
+    // Cross-check: each algorithm's registry bucket vs its own trace.
+    // `record` truncates to whole microseconds, hence the ±1 µs slack.
+    let tti: Vec<TtiRow> = reports
+        .iter()
+        .filter_map(|r| {
+            let trace_s = r.time_to_first_incumbent()?.as_secs_f64();
+            let name = r.algorithm();
+            let snap = engine
+                .metrics()
+                .histogram_snapshot("rawt_time_to_first_incumbent_seconds", &[("algo", &name)])?;
+            let bucket_bound_s = snap.quantile_secs(0.5)?;
+            let consistent = trace_s <= bucket_bound_s + 1e-6
+                && bucket_bound_s <= 2.0 * trace_s.max(1e-6) + 1e-6;
+            Some(TtiRow {
+                name,
+                trace_s,
+                bucket_bound_s,
+                consistent,
+            })
+        })
+        .collect();
+
+    TelemetryReport {
+        counter_inc_s,
+        histogram_record_s,
+        resolve_s,
+        panel_n: n,
+        panel_wall_s,
+        counter_ops,
+        histogram_ops,
+        overhead_fraction,
+        tti,
+    }
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_8.json".to_owned());
+        .unwrap_or_else(|| "BENCH_9.json".to_owned());
     let threads = rank_core::parallel::num_threads();
     let host_parallelism = std::thread::available_parallelism().map_or(0, |n| n.get());
     let timestamp_unix_secs = std::time::SystemTime::now()
@@ -1004,6 +1150,26 @@ fn main() {
         recovery.restart_to_ready_median_s * 1e3,
     );
 
+    // Telemetry section: registry per-op costs, the instrumented-panel
+    // overhead fraction, and the registry-vs-trace TTI cross-check, on
+    // the largest size (overhead is measured where solves are longest).
+    let telemetry_n = *NS.iter().max().expect("non-empty");
+    let mut rng = StdRng::seed_from_u64(42 + telemetry_n as u64);
+    let telemetry_data = sampler.sample_dataset(telemetry_n, M, &mut rng);
+    let telemetry = measure_telemetry(telemetry_n, &telemetry_data);
+    eprintln!(
+        "telemetry: counter {:.1}ns, histogram {:.1}ns, resolve {:.0}ns; panel n={} made {} counter + {} histogram obs in {:.1}ms — overhead {:.4}% (bound 2%), tti consistent={}",
+        telemetry.counter_inc_s * 1e9,
+        telemetry.histogram_record_s * 1e9,
+        telemetry.resolve_s * 1e9,
+        telemetry.panel_n,
+        telemetry.counter_ops,
+        telemetry.histogram_ops,
+        telemetry.panel_wall_s * 1e3,
+        telemetry.overhead_fraction * 1e2,
+        telemetry.tti.iter().all(|t| t.consistent),
+    );
+
     // Incremental section: delta patches, warm re-solves, keep-alive.
     let incremental = measure_incremental();
     for p in &incremental.patch {
@@ -1037,7 +1203,7 @@ fn main() {
     json.push_str("{\n");
     let _ = writeln!(
         json,
-        "  \"bench\": \"parallel consensus kernel (PR 1) + engine batch front door (PR 2) + anytime incumbent traces (PR 3) + network service latency (PR 4) + parallel exact proof search with certified gaps (PR 5) + durable journal recovery (PR 6) + incremental sessions: delta patches, warm re-solves, keep-alive (PR 7) + sharded fleet under open-loop load (PR 8)\","
+        "  \"bench\": \"parallel consensus kernel (PR 1) + engine batch front door (PR 2) + anytime incumbent traces (PR 3) + network service latency (PR 4) + parallel exact proof search with certified gaps (PR 5) + durable journal recovery (PR 6) + incremental sessions: delta patches, warm re-solves, keep-alive (PR 7) + sharded fleet under open-loop load (PR 8) + telemetry registry overhead and phase tracing (PR 9)\","
     );
     let _ = writeln!(json, "  \"m\": {M},");
     let _ = writeln!(json, "  \"worker_threads\": {threads},");
@@ -1107,6 +1273,54 @@ fn main() {
         load.sequential_builds
     );
     let _ = writeln!(json, "    \"sequential_fleet\": {LOAD_FLEET}");
+    json.push_str("  },\n");
+    json.push_str("  \"telemetry\": {\n");
+    let _ = writeln!(
+        json,
+        "    \"counter_inc_nanos\": {:.2},",
+        telemetry.counter_inc_s * 1e9
+    );
+    let _ = writeln!(
+        json,
+        "    \"histogram_record_nanos\": {:.2},",
+        telemetry.histogram_record_s * 1e9
+    );
+    let _ = writeln!(
+        json,
+        "    \"registry_resolve_nanos\": {:.2},",
+        telemetry.resolve_s * 1e9
+    );
+    let _ = writeln!(json, "    \"panel_n\": {},", telemetry.panel_n);
+    let _ = writeln!(
+        json,
+        "    \"panel_wall_secs\": {:.6},",
+        telemetry.panel_wall_s
+    );
+    let _ = writeln!(json, "    \"counter_ops\": {},", telemetry.counter_ops);
+    let _ = writeln!(json, "    \"histogram_ops\": {},", telemetry.histogram_ops);
+    let _ = writeln!(
+        json,
+        "    \"estimated_overhead_fraction\": {:.8},",
+        telemetry.overhead_fraction
+    );
+    let _ = writeln!(
+        json,
+        "    \"within_2pct_budget\": {},",
+        telemetry.overhead_fraction <= 0.02
+    );
+    json.push_str("    \"time_to_first_incumbent\": [\n");
+    for (i, t) in telemetry.tti.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "      {{\"algorithm\": \"{}\", \"trace_secs\": {:.6}, \"registry_bucket_bound_secs\": {:.6}, \"consistent\": {}}}{}",
+            t.name,
+            t.trace_s,
+            t.bucket_bound_s,
+            t.consistent,
+            if i + 1 < telemetry.tti.len() { "," } else { "" }
+        );
+    }
+    json.push_str("    ]\n");
     json.push_str("  },\n");
     json.push_str("  \"recovery\": {\n");
     let _ = writeln!(json, "    \"jobs\": {},", recovery.jobs);

@@ -75,7 +75,7 @@ use crate::parallel;
 use crate::ranking::Ranking;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -125,6 +125,11 @@ struct OutcomeFlags {
     /// request — the run stopped because the caller asked, not because
     /// time ran out.
     cancelled: AtomicBool,
+    /// How many [`AlgoContext::checkpoint`] polls this run performed,
+    /// summed across workers — the denominator of the per-checkpoint
+    /// overhead argument (DESIGN.md §15): one relaxed add per poll, cheap
+    /// enough to leave on unconditionally.
+    checkpoints: AtomicU64,
 }
 
 /// What an algorithm should do after a [`AlgoContext::checkpoint`].
@@ -234,10 +239,18 @@ impl MatrixCache {
     /// concurrent requests ask for the same dataset, exactly one pays the
     /// `O(m·n²)` build and the rest block briefly and then share it.
     pub fn get(&self, data: &Dataset) -> Arc<CostMatrix> {
+        self.get_with_flag(data).0
+    }
+
+    /// [`Self::get`], also reporting whether this call performed the
+    /// `O(m·n²)` build (`true`) or found the matrix cached (`false`) —
+    /// what the engine's telemetry uses to split matrix-build time from
+    /// cache hits per job.
+    pub fn get_with_flag(&self, data: &Dataset) -> (Arc<CostMatrix>, bool) {
         let key = MatrixKey::of(data);
         let mut cache = self.matrices.lock().expect("matrix cache poisoned");
         if let Some((_, matrix)) = cache.iter().find(|(k, _)| *k == key) {
-            return Arc::clone(matrix);
+            return (Arc::clone(matrix), false);
         }
         let matrix = Arc::new(CostMatrix::build(data));
         self.builds.fetch_add(1, Ordering::Relaxed);
@@ -245,7 +258,7 @@ impl MatrixCache {
             cache.remove(0);
         }
         cache.push((key, Arc::clone(&matrix)));
-        matrix
+        (matrix, true)
     }
 
     /// Prime the cache with an already-built matrix for `data` (e.g. a
@@ -401,6 +414,7 @@ impl AlgoContext {
     /// [`crate::engine::Outcome::Cancelled`], not `TimedOut`).
     #[inline]
     pub fn checkpoint(&self) -> Control {
+        self.flags.checkpoints.fetch_add(1, Ordering::Relaxed);
         if self.cancel.is_cancelled() {
             self.flags.cancelled.store(true, Ordering::Relaxed);
             return Control::Stop;
@@ -557,11 +571,19 @@ impl AlgoContext {
         self.flags.proved_optimal.store(proved, Ordering::Relaxed);
     }
 
+    /// How many [`Self::checkpoint`] polls this run has performed so far,
+    /// across all its workers.
+    #[inline]
+    pub fn checkpoints(&self) -> u64 {
+        self.flags.checkpoints.load(Ordering::Relaxed)
+    }
+
     /// Clear the per-run outcome flags (harnesses reuse contexts).
     pub fn reset_flags(&self) {
         self.flags.timed_out.store(false, Ordering::Relaxed);
         self.flags.proved_optimal.store(false, Ordering::Relaxed);
         self.flags.cancelled.store(false, Ordering::Relaxed);
+        self.flags.checkpoints.store(0, Ordering::Relaxed);
     }
 }
 

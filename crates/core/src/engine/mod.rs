@@ -60,6 +60,7 @@ use crate::algorithms::{AlgoContext, MatrixCache};
 use crate::parallel;
 use crate::ranking::Ranking;
 use crate::score;
+use crate::telemetry::MetricsRegistry;
 use scheduler::Scheduler;
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
@@ -99,6 +100,43 @@ impl std::fmt::Display for Outcome {
             Outcome::TimedOut => write!(f, "timed out"),
             Outcome::Cancelled => write!(f, "cancelled"),
         }
+    }
+}
+
+/// Where one job's wall-clock actually went, phase by phase — the
+/// per-job counterpart of the engine's aggregate histograms (DESIGN.md
+/// §15). Carried on every [`ConsensusReport`] and serialized into
+/// `report_json`, so the breakdown survives the wire, the journal, and
+/// `rawt aggregate --json` unchanged.
+///
+/// By construction [`PhaseBreakdown::solve`] equals
+/// [`ConsensusReport::elapsed`] (both time exactly the kernel's `run`),
+/// and the other phases are *additional* wall-clock around it — the sum
+/// of all phases is the job's true end-to-end time, of which `elapsed`
+/// is the solve share.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhaseBreakdown {
+    /// Time spent queued in the scheduler before a worker picked the job
+    /// up (zero for inline [`Engine::run`] calls).
+    pub queue_wait: Duration,
+    /// Time to obtain the cost matrix: the `O(m·n²)` build, or the cache
+    /// probe when [`PhaseBreakdown::matrix_cached`] is `true`.
+    pub matrix_build: Duration,
+    /// Whether the matrix came out of the shared [`MatrixCache`] instead
+    /// of being built for this job.
+    pub matrix_cached: bool,
+    /// The kernel run itself — identical to [`ConsensusReport::elapsed`].
+    pub solve: Duration,
+    /// Time to serialize the report for the wire/journal. Zero on a
+    /// freshly computed in-process report; measured and filled in by the
+    /// shared serializer when the report is rendered to JSON.
+    pub serialize: Duration,
+}
+
+impl PhaseBreakdown {
+    /// End-to-end wall-clock: the sum of every phase.
+    pub fn total(&self) -> Duration {
+        self.queue_wait + self.matrix_build + self.solve + self.serialize
     }
 }
 
@@ -143,6 +181,9 @@ pub struct ConsensusReport {
     /// execution the *timings* may vary run to run even though
     /// ranking/score/outcome stay bit-identical for a fixed seed.
     pub trace: Vec<TracePoint>,
+    /// Where this job's wall-clock went (queue wait, matrix build,
+    /// solve, serialization) — see [`PhaseBreakdown`].
+    pub phases: PhaseBreakdown,
 }
 
 impl ConsensusReport {
@@ -201,6 +242,10 @@ pub struct Engine {
     /// the first submission so engines that only ever `run` pay nothing.
     sched_config: SchedulerConfig,
     sched: OnceLock<Scheduler>,
+    /// The engine's telemetry registry (per-engine, not process-global:
+    /// a restarted in-process server starts from zero instead of
+    /// double-counting across generations).
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl Engine {
@@ -235,13 +280,27 @@ impl Engine {
             workers: workers.max(1),
             sched_config: config.normalized(),
             sched: OnceLock::new(),
+            metrics: Arc::new(MetricsRegistry::new()),
         }
     }
 
     /// The scheduler, created on first use.
     fn scheduler(&self) -> &Scheduler {
-        self.sched
-            .get_or_init(|| Scheduler::new(self.sched_config, Arc::clone(&self.cache)))
+        self.sched.get_or_init(|| {
+            Scheduler::new(
+                self.sched_config,
+                Arc::clone(&self.cache),
+                Arc::clone(&self.metrics),
+            )
+        })
+    }
+
+    /// The engine's telemetry registry: every kernel, scheduler and cache
+    /// observation this engine makes lands here. The service layers hang
+    /// their own families (HTTP, journal, session) off the same registry
+    /// so one `/metrics` render covers every tier.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
     }
 
     /// Queue/running counts and the scheduler's bounds, for observability
@@ -268,6 +327,20 @@ impl Engine {
     pub fn shutdown_drain(&self) {
         if let Some(sched) = self.sched.get() {
             sched.shutdown_drain();
+            // The final telemetry flush: the drain's last act is saying
+            // what it did, so an operator's terminal shows the tally even
+            // when nobody scrapes /metrics again before exit.
+            eprintln!(
+                "rawt: telemetry: drained — {} jobs finished, {} cancelled at shutdown ({} queued, {} running)",
+                self.metrics.counter_total("rawt_jobs_finished_total"),
+                self.metrics.counter_total("rawt_jobs_drain_cancelled_total"),
+                self.metrics
+                    .counter_value("rawt_jobs_drain_cancelled_total", &[("stage", "queued")])
+                    .unwrap_or(0),
+                self.metrics
+                    .counter_value("rawt_jobs_drain_cancelled_total", &[("stage", "running")])
+                    .unwrap_or(0),
+            );
         }
     }
 
@@ -356,18 +429,40 @@ impl Engine {
     /// the full incumbent [`ConsensusReport::trace`].
     pub fn run(&self, request: &AggregationRequest) -> ConsensusReport {
         let sink = Arc::new(IncumbentSink::new());
-        Engine::execute(request, &self.cache, &sink, CancelToken::new())
+        Engine::execute(
+            request,
+            &self.cache,
+            &self.metrics,
+            &sink,
+            CancelToken::new(),
+            Duration::ZERO,
+        )
     }
 
     /// The synchronous core every job runs: build context + matrix, run
     /// the kernel, reconcile the result with the incumbent sink, emit
-    /// lifecycle events, produce the report.
+    /// lifecycle events, produce the report (with its [`PhaseBreakdown`])
+    /// and record the run into `metrics`. `queue_wait` is how long the
+    /// job sat in the scheduler's queue (zero for inline runs); it lands
+    /// in the phase breakdown — the scheduler records the queue-wait
+    /// histogram itself, at the point of measurement.
     pub(crate) fn execute(
         request: &AggregationRequest,
         cache: &Arc<MatrixCache>,
+        metrics: &MetricsRegistry,
         sink: &Arc<IncumbentSink>,
         cancel: CancelToken,
+        queue_wait: Duration,
     ) -> ConsensusReport {
+        let algo_name = request.spec.paper_name();
+        let algo_label: &[(&str, &str)] = &[("algo", &algo_name)];
+        metrics
+            .counter(
+                "rawt_jobs_started_total",
+                "Jobs whose execution began, by algorithm.",
+                algo_label,
+            )
+            .inc();
         sink.emit(Event::Started {
             spec: request.spec.clone(),
             seed: request.seed,
@@ -382,7 +477,33 @@ impl Engine {
         if let Some(prebuilt) = &request.cost_matrix {
             cache.insert(&request.dataset, Arc::clone(prebuilt));
         }
-        let matrix = ctx.cost_matrix(&request.dataset);
+        let matrix_start = Instant::now();
+        let (matrix, built) = cache.get_with_flag(&request.dataset);
+        let matrix_build = matrix_start.elapsed();
+        if built {
+            metrics
+                .counter(
+                    "rawt_matrix_builds_total",
+                    "O(m*n^2) cost-matrix builds actually performed.",
+                    &[],
+                )
+                .inc();
+            metrics
+                .histogram(
+                    "rawt_matrix_build_seconds",
+                    "Cost-matrix build latency (cache misses only).",
+                    &[],
+                )
+                .record(matrix_build);
+        } else {
+            metrics
+                .counter(
+                    "rawt_matrix_cache_hits_total",
+                    "Jobs that found their cost matrix already cached.",
+                    &[],
+                )
+                .inc();
+        }
         // Warm-start hint: validated against the dataset and rescored
         // against this run's matrix (a stale caller-supplied score could
         // otherwise let an exact solver prune below the true optimum).
@@ -457,7 +578,68 @@ impl Engine {
             outcome,
             seed: request.seed,
             trace: sink.trace(),
+            phases: PhaseBreakdown {
+                queue_wait,
+                matrix_build,
+                matrix_cached: !built,
+                solve: elapsed,
+                serialize: Duration::ZERO,
+            },
         };
+        let outcome_label = match outcome {
+            Outcome::Optimal => "optimal",
+            Outcome::Heuristic => "heuristic",
+            Outcome::TimedOut => "timed_out",
+            Outcome::Cancelled => "cancelled",
+        };
+        metrics
+            .counter(
+                "rawt_jobs_finished_total",
+                "Jobs finished, by algorithm and outcome.",
+                &[("algo", &algo_name), ("outcome", outcome_label)],
+            )
+            .inc();
+        metrics
+            .histogram(
+                "rawt_solve_seconds",
+                "Kernel solve latency, by algorithm (equals report elapsed).",
+                algo_label,
+            )
+            .record(elapsed);
+        if let Some(t) = report.time_to_first_incumbent() {
+            metrics
+                .histogram(
+                    "rawt_time_to_first_incumbent_seconds",
+                    "Time to the first published incumbent, by algorithm.",
+                    algo_label,
+                )
+                .record(t);
+        }
+        if let Some(t) = report.time_to_final_incumbent() {
+            metrics
+                .histogram(
+                    "rawt_time_to_final_incumbent_seconds",
+                    "Time to the final (best) incumbent, by algorithm.",
+                    algo_label,
+                )
+                .record(t);
+        }
+        if outcome == Outcome::Optimal {
+            metrics
+                .histogram(
+                    "rawt_time_to_certified_seconds",
+                    "Solve time of runs that ended provably optimal, by algorithm.",
+                    algo_label,
+                )
+                .record(elapsed);
+        }
+        metrics
+            .counter(
+                "rawt_checkpoints_total",
+                "Cooperative checkpoint polls performed by kernels, by algorithm.",
+                algo_label,
+            )
+            .add(ctx.checkpoints());
         sink.emit(Event::Finished(outcome));
         sink.close();
         report

@@ -41,13 +41,14 @@ use super::request::AggregationRequest;
 use super::Engine;
 use crate::algorithms::MatrixCache;
 use crate::engine::ConsensusReport;
+use crate::telemetry::{Gauge, MetricsRegistry};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Default bound on the admission queue (waiting jobs, not running ones).
 pub const DEFAULT_QUEUE_CAPACITY: usize = 128;
@@ -141,6 +142,8 @@ struct QueuedJob {
     /// Re-admitted from a journal after a restart: runs ahead of every
     /// fresh submission, FIFO within the recovered class.
     recovered: bool,
+    /// When the job entered the queue — the queue-wait phase starts here.
+    enqueued: Instant,
 }
 
 impl QueuedJob {
@@ -174,6 +177,50 @@ struct Shared {
     /// Blocking submitters wait here for queue space.
     space_ready: Condvar,
     config: SchedulerConfig,
+    /// The owning engine's telemetry registry (threaded into every
+    /// executed job).
+    metrics: Arc<MetricsRegistry>,
+    /// Pre-resolved `rawt_queue_depth` gauge: admission and dequeue are
+    /// on the hot path, so the handle is resolved once, not per job.
+    queued_gauge: Arc<Gauge>,
+    /// Pre-resolved `rawt_jobs_running` gauge.
+    running_gauge: Arc<Gauge>,
+}
+
+impl Shared {
+    fn class_of(recovered: bool) -> &'static str {
+        if recovered {
+            "recovered"
+        } else {
+            "fresh"
+        }
+    }
+
+    /// Record `n` admissions of one class: the per-class counter plus the
+    /// queue-depth gauge.
+    fn count_admitted(&self, recovered: bool, n: u64) {
+        self.metrics
+            .counter(
+                "rawt_jobs_admitted_total",
+                "Jobs admitted into the scheduler queue, by admission class.",
+                &[("class", Shared::class_of(recovered))],
+            )
+            .add(n);
+        self.queued_gauge.add(n as i64);
+    }
+
+    /// Record `n` submissions shed with `QueueFull` (only the shedding
+    /// entry points count — the blocking `submit` loop retries instead of
+    /// shedding, and recovered re-admission never sheds).
+    fn count_shed(&self, n: u64) {
+        self.metrics
+            .counter(
+                "rawt_jobs_shed_total",
+                "Submissions refused with QueueFull, by admission class.",
+                &[("class", "fresh")],
+            )
+            .add(n);
+    }
 }
 
 /// The budget-aware scheduler behind [`Engine::submit`]. See the module
@@ -198,13 +245,26 @@ impl Scheduler {
     /// A scheduler executing jobs against `cache`, its worker pool spawned
     /// eagerly (the engine constructs the scheduler lazily, on the first
     /// submission, so engines that only ever `run` never pay for it).
-    pub fn new(config: SchedulerConfig, cache: Arc<MatrixCache>) -> Self {
+    pub fn new(
+        config: SchedulerConfig,
+        cache: Arc<MatrixCache>,
+        metrics: Arc<MetricsRegistry>,
+    ) -> Self {
         let config = config.normalized();
+        let queued_gauge = metrics.gauge(
+            "rawt_queue_depth",
+            "Jobs admitted but not yet running.",
+            &[],
+        );
+        let running_gauge = metrics.gauge("rawt_jobs_running", "Jobs currently executing.", &[]);
         let shared = Arc::new(Shared {
             state: Mutex::new(State::default()),
             work_ready: Condvar::new(),
             space_ready: Condvar::new(),
             config,
+            metrics,
+            queued_gauge,
+            running_gauge,
         });
         let workers = (0..config.max_concurrent)
             .map(|i| {
@@ -224,7 +284,12 @@ impl Scheduler {
 
     /// Admit `request` if the queue has room; otherwise shed it.
     pub fn try_submit(&self, request: AggregationRequest) -> Result<JobHandle, AdmissionError> {
-        self.admit(request, false).map_err(|(_, e)| e)
+        self.admit(request, false).map_err(|(_, e)| {
+            if matches!(e, AdmissionError::QueueFull { .. }) {
+                self.shared.count_shed(1);
+            }
+            e
+        })
     }
 
     /// Admit a whole batch as one unit: either every request fits in the
@@ -254,13 +319,16 @@ impl Scheduler {
             return Err(AdmissionError::ShuttingDown);
         }
         if state.queue.len() + prepared.len() > self.shared.config.queue_capacity {
-            return Err(AdmissionError::QueueFull {
+            let err = AdmissionError::QueueFull {
                 queued: state.queue.len(),
                 capacity: self.shared.config.queue_capacity,
                 retry_after: retry_hint(&state),
-            });
+            };
+            drop(state);
+            self.shared.count_shed(prepared.len() as u64);
+            return Err(err);
         }
-        let handles = prepared
+        let handles: Vec<JobHandle> = prepared
             .into_iter()
             .map(
                 |(request, sink, cancel, done, events, report_rx, report_tx)| {
@@ -274,12 +342,14 @@ impl Scheduler {
                         done: Arc::clone(&done),
                         seq,
                         recovered: false,
+                        enqueued: Instant::now(),
                     });
                     JobHandle::new(sink, cancel, events, report_rx, done)
                 },
             )
             .collect();
         drop(state);
+        self.shared.count_admitted(false, handles.len() as u64);
         self.shared.work_ready.notify_all();
         Ok(handles)
     }
@@ -321,8 +391,10 @@ impl Scheduler {
             done: Arc::clone(&done),
             seq,
             recovered,
+            enqueued: Instant::now(),
         });
         drop(state);
+        self.shared.count_admitted(recovered, 1);
         self.shared.work_ready.notify_one();
         Ok(JobHandle::new(sink, cancel, events, report_rx, done))
     }
@@ -402,7 +474,7 @@ impl Scheduler {
     /// (cancelled queued jobs still execute — each stops at its first
     /// checkpoint — so every outstanding [`JobHandle`] resolves).
     pub fn shutdown_drain(&self) {
-        {
+        let (queued, running) = {
             let mut state = self.shared.state.lock().expect("scheduler state poisoned");
             state.shutdown = true;
             for job in &state.queue {
@@ -411,7 +483,25 @@ impl Scheduler {
             for (_, _, token) in &state.running {
                 token.cancel();
             }
-        }
+            (state.queue.len() as u64, state.running.len() as u64)
+        };
+        let drain_help = "Jobs cooperatively cancelled by shutdown_drain, by stage.";
+        self.shared
+            .metrics
+            .counter(
+                "rawt_jobs_drain_cancelled_total",
+                drain_help,
+                &[("stage", "queued")],
+            )
+            .add(queued);
+        self.shared
+            .metrics
+            .counter(
+                "rawt_jobs_drain_cancelled_total",
+                drain_help,
+                &[("stage", "running")],
+            )
+            .add(running);
         self.shared.work_ready.notify_all();
         self.shared.space_ready.notify_all();
         let workers = std::mem::take(&mut *self.workers.lock().expect("worker list poisoned"));
@@ -450,6 +540,11 @@ fn retry_hint(state: &State) -> Duration {
 }
 
 fn worker_loop(shared: &Shared, cache: &Arc<MatrixCache>) {
+    let queue_wait_hist = shared.metrics.histogram(
+        "rawt_queue_wait_seconds",
+        "Time jobs spent in the admission queue before a worker picked them up.",
+        &[],
+    );
     loop {
         let job = {
             let mut state = shared.state.lock().expect("scheduler state poisoned");
@@ -472,9 +567,20 @@ fn worker_loop(shared: &Shared, cache: &Arc<MatrixCache>) {
                 .push((job.seq, job.request.budget, job.cancel.clone()));
             job
         };
+        shared.queued_gauge.dec();
+        shared.running_gauge.inc();
+        let queue_wait = job.enqueued.elapsed();
+        queue_wait_hist.record(queue_wait);
         shared.space_ready.notify_one();
         let result = catch_unwind(AssertUnwindSafe(|| {
-            Engine::execute(&job.request, cache, &job.sink, job.cancel.clone())
+            Engine::execute(
+                &job.request,
+                cache,
+                &shared.metrics,
+                &job.sink,
+                job.cancel.clone(),
+                queue_wait,
+            )
         }));
         if result.is_err() {
             // A panicking kernel never reached `close`; end the event
@@ -484,6 +590,7 @@ fn worker_loop(shared: &Shared, cache: &Arc<MatrixCache>) {
         // The receiver may be gone (handle dropped) — that is fine.
         let _ = job.report_tx.send(result);
         job.done.store(true, Ordering::Release);
+        shared.running_gauge.dec();
         let mut state = shared.state.lock().expect("scheduler state poisoned");
         state.running.retain(|(seq, _, _)| *seq != job.seq);
     }
@@ -524,6 +631,7 @@ mod tests {
                 queue_capacity,
             },
             Arc::new(MatrixCache::new()),
+            Arc::new(MetricsRegistry::new()),
         )
     }
 

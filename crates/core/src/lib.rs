@@ -72,6 +72,7 @@ pub mod ranking;
 pub mod score;
 pub mod session;
 pub mod similarity;
+pub mod telemetry;
 
 pub use dataset::{Dataset, DatasetError};
 pub use element::{Element, Universe};

@@ -1,0 +1,955 @@
+//! Fleet-wide telemetry: counters, gauges, log₂ histograms and span
+//! timers behind a [`MetricsRegistry`], plus the Prometheus text
+//! exposition renderer/parser shared by `GET /metrics`, the router's
+//! fleet scrape and `rawt top` (DESIGN.md §15).
+//!
+//! The subsystem is dependency-free by the workspace's offline rule and
+//! lock-cheap by construction: every *observation* (a counter bump, a
+//! histogram record, a span drop) is a handful of relaxed atomic adds on
+//! a pre-resolved handle — the registry mutex is taken only to *resolve*
+//! a handle (once per job or per endpoint, never per checkpoint) and to
+//! render a scrape.
+//!
+//! Histograms are fixed-shape log₂ histograms over microseconds: bucket
+//! `i` counts observations `v ≤ 2^i µs`, the last bucket is `+Inf`.
+//! A fixed shape makes snapshots mergeable by plain element-wise
+//! addition (merge is associative and commutative, see
+//! `tests/telemetry_api.rs`), which is what lets the router add worker
+//! histograms together and lets quantiles be estimated after the fact.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Number of histogram buckets: finite upper bounds `2^0 .. 2^38` µs
+/// (≈ 76 hours) plus a `+Inf` overflow bucket.
+pub const HISTOGRAM_BUCKETS: usize = 40;
+
+/// A monotonically increasing counter (relaxed atomic).
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A fresh zero counter (outside a registry; mostly for tests).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous value that can move both ways (relaxed atomic).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A fresh zero gauge.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the value.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `n` (may be negative).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtract one.
+    #[inline]
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// The bucket index for an observation of `v` microseconds: the smallest
+/// `i` with `v ≤ 2^i`, clamped to the overflow bucket.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v <= 1 {
+        0
+    } else {
+        ((64 - (v - 1).leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// The finite upper bound of bucket `i` in seconds (`2^i` µs); the last
+/// bucket has no finite bound.
+pub fn bucket_bound_secs(i: usize) -> Option<f64> {
+    (i < HISTOGRAM_BUCKETS - 1).then(|| (1u64 << i) as f64 / 1e6)
+}
+
+/// A fixed-shape log₂ histogram over microsecond observations.
+///
+/// Recording is three relaxed atomic adds; there is no lock anywhere on
+/// the observation path.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum_micros: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_micros: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// A fresh empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one observation of `micros` microseconds.
+    #[inline]
+    pub fn record_micros(&self, micros: u64) {
+        self.buckets[bucket_index(micros)].fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one observation of a [`Duration`].
+    #[inline]
+    pub fn record(&self, d: Duration) {
+        self.record_micros(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A consistent-enough copy for rendering and merging (relaxed reads;
+    /// a scrape racing a record may be off by the in-flight observation,
+    /// which Prometheus semantics permit).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            sum_micros: self.sum_micros.load(Ordering::Relaxed),
+            count: self.count.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Time a region: the returned guard records the elapsed time into
+    /// this histogram when dropped.
+    pub fn span(self: &Arc<Self>) -> Span {
+        Span {
+            start: Instant::now(),
+            histogram: Arc::clone(self),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`]: plain numbers, mergeable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket (non-cumulative) observation counts.
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Sum of all observations, microseconds.
+    pub sum_micros: u64,
+    /// Total observation count.
+    pub count: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            sum_micros: 0,
+            count: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Element-wise merge (associative and commutative: fixed shape means
+    /// merging is plain addition).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.sum_micros += other.sum_micros;
+        self.count += other.count;
+    }
+
+    /// The `q`-quantile (`0 ≤ q ≤ 1`) in seconds, estimated as the upper
+    /// bound of the bucket holding the target rank — a ≤ 2× relative
+    /// overestimate by the log₂ spacing. `None` when empty.
+    pub fn quantile_secs(&self, q: f64) -> Option<f64> {
+        quantile_from_buckets(
+            (0..HISTOGRAM_BUCKETS).map(|i| {
+                (
+                    bucket_bound_secs(i).unwrap_or(f64::INFINITY),
+                    self.buckets[..=i].iter().sum::<u64>() as f64,
+                )
+            }),
+            q,
+        )
+    }
+}
+
+/// The `q`-quantile from `(upper_bound, cumulative_count)` pairs in
+/// ascending bound order — the shape `_bucket{le=…}` samples arrive in,
+/// so `rawt top` can reuse this on parsed scrapes. `None` when empty.
+pub fn quantile_from_buckets(
+    cumulative: impl IntoIterator<Item = (f64, f64)>,
+    q: f64,
+) -> Option<f64> {
+    let pairs: Vec<(f64, f64)> = cumulative.into_iter().collect();
+    let total = pairs.last().map_or(0.0, |&(_, c)| c);
+    if total <= 0.0 {
+        return None;
+    }
+    let target = (q.clamp(0.0, 1.0) * total).ceil().max(1.0);
+    let mut answer = f64::INFINITY;
+    for &(bound, cum) in &pairs {
+        if cum >= target {
+            answer = bound;
+            break;
+        }
+    }
+    // An observation in the +Inf bucket has no finite bound; report the
+    // largest finite one so dashboards stay plottable.
+    if answer.is_infinite() {
+        answer = pairs
+            .iter()
+            .rev()
+            .find(|(b, _)| b.is_finite())
+            .map_or(0.0, |&(b, _)| b);
+    }
+    Some(answer)
+}
+
+/// A drop-timed region: created by [`Histogram::span`], records the
+/// elapsed wall time into the histogram on drop.
+#[derive(Debug)]
+pub struct Span {
+    start: Instant,
+    histogram: Arc<Histogram>,
+}
+
+impl Span {
+    /// Elapsed time so far (the drop records this same clock).
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.histogram.record(self.start.elapsed());
+    }
+}
+
+/// What a registered metric family is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically increasing.
+    Counter,
+    /// Instantaneous, both ways.
+    Gauge,
+    /// Log₂ histogram.
+    Histogram,
+    /// Parsed from an exposition with no `# TYPE` line.
+    Untyped,
+}
+
+impl MetricKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+            MetricKind::Untyped => "untyped",
+        }
+    }
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+struct FamilySlot {
+    help: String,
+    kind: MetricKind,
+    // Keyed by the sorted label set, so `{algo="a",outcome="b"}` and
+    // `{outcome="b",algo="a"}` resolve to the same series.
+    series: BTreeMap<Vec<(String, String)>, Metric>,
+}
+
+/// The process- or engine-scoped home of every metric family.
+///
+/// Handle resolution (`counter` / `gauge` / `histogram`) takes the
+/// registry mutex; the returned `Arc` handles are then observation-path
+/// objects that never lock. Resolve once per job or per endpoint, not
+/// per event.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    families: Mutex<BTreeMap<String, FamilySlot>>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry").finish_non_exhaustive()
+    }
+}
+
+fn label_key(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    let mut key: Vec<(String, String)> = labels
+        .iter()
+        .map(|&(k, v)| (k.to_owned(), v.to_owned()))
+        .collect();
+    key.sort();
+    key
+}
+
+impl MetricsRegistry {
+    /// A fresh empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn resolve<T, F: FnOnce() -> Metric, G: Fn(&Metric) -> Option<T>>(
+        &self,
+        name: &str,
+        help: &str,
+        kind: MetricKind,
+        labels: &[(&str, &str)],
+        make: F,
+        cast: G,
+    ) -> T {
+        let mut families = self.families.lock().expect("metrics registry poisoned");
+        let slot = families
+            .entry(name.to_owned())
+            .or_insert_with(|| FamilySlot {
+                help: help.to_owned(),
+                kind,
+                series: BTreeMap::new(),
+            });
+        assert!(
+            slot.kind == kind,
+            "metric {name} registered as {} and as {}",
+            slot.kind.as_str(),
+            kind.as_str()
+        );
+        let metric = slot.series.entry(label_key(labels)).or_insert_with(make);
+        cast(metric).expect("kind checked above")
+    }
+
+    /// The counter `name{labels}`, created (with `help`) on first use.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        self.resolve(
+            name,
+            help,
+            MetricKind::Counter,
+            labels,
+            || Metric::Counter(Arc::new(Counter::new())),
+            |m| match m {
+                Metric::Counter(c) => Some(Arc::clone(c)),
+                _ => None,
+            },
+        )
+    }
+
+    /// The gauge `name{labels}`, created (with `help`) on first use.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        self.resolve(
+            name,
+            help,
+            MetricKind::Gauge,
+            labels,
+            || Metric::Gauge(Arc::new(Gauge::new())),
+            |m| match m {
+                Metric::Gauge(g) => Some(Arc::clone(g)),
+                _ => None,
+            },
+        )
+    }
+
+    /// The histogram `name{labels}`, created (with `help`) on first use.
+    pub fn histogram(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        self.resolve(
+            name,
+            help,
+            MetricKind::Histogram,
+            labels,
+            || Metric::Histogram(Arc::new(Histogram::new())),
+            |m| match m {
+                Metric::Histogram(h) => Some(Arc::clone(h)),
+                _ => None,
+            },
+        )
+    }
+
+    /// The current value of counter `name{labels}`, or `None` if that
+    /// series was never touched (reads do not create series).
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        let families = self.families.lock().expect("metrics registry poisoned");
+        match families.get(name)?.series.get(&label_key(labels))? {
+            Metric::Counter(c) => Some(c.get()),
+            _ => None,
+        }
+    }
+
+    /// The sum of every series of counter family `name` (all label sets).
+    pub fn counter_total(&self, name: &str) -> u64 {
+        let families = self.families.lock().expect("metrics registry poisoned");
+        families.get(name).map_or(0, |slot| {
+            slot.series
+                .values()
+                .map(|m| match m {
+                    Metric::Counter(c) => c.get(),
+                    _ => 0,
+                })
+                .sum()
+        })
+    }
+
+    /// The current value of gauge `name{labels}`, if it exists.
+    pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<i64> {
+        let families = self.families.lock().expect("metrics registry poisoned");
+        match families.get(name)?.series.get(&label_key(labels))? {
+            Metric::Gauge(g) => Some(g.get()),
+            _ => None,
+        }
+    }
+
+    /// Snapshot of histogram `name{labels}`, if it exists.
+    pub fn histogram_snapshot(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+    ) -> Option<HistogramSnapshot> {
+        let families = self.families.lock().expect("metrics registry poisoned");
+        match families.get(name)?.series.get(&label_key(labels))? {
+            Metric::Histogram(h) => Some(h.snapshot()),
+            _ => None,
+        }
+    }
+
+    /// Render every family in Prometheus text exposition format
+    /// (`# HELP` / `# TYPE` headers, `_bucket`/`_sum`/`_count` expansion
+    /// for histograms, families in sorted-name order).
+    pub fn render_prometheus(&self) -> String {
+        let families = self.families.lock().expect("metrics registry poisoned");
+        let mut parsed: Vec<Family> = Vec::new();
+        for (name, slot) in families.iter() {
+            let mut family = Family {
+                name: name.clone(),
+                help: slot.help.clone(),
+                kind: slot.kind,
+                samples: Vec::new(),
+            };
+            for (labels, metric) in &slot.series {
+                let labels: Vec<(String, String)> = labels.clone();
+                match metric {
+                    Metric::Counter(c) => family.samples.push(Sample {
+                        name: name.clone(),
+                        labels,
+                        value: c.get() as f64,
+                    }),
+                    Metric::Gauge(g) => family.samples.push(Sample {
+                        name: name.clone(),
+                        labels,
+                        value: g.get() as f64,
+                    }),
+                    Metric::Histogram(h) => {
+                        push_histogram_samples(&mut family.samples, name, &labels, &h.snapshot())
+                    }
+                }
+            }
+            parsed.push(family);
+        }
+        render_families(&parsed)
+    }
+}
+
+/// Expand a histogram snapshot into its `_bucket`/`_sum`/`_count`
+/// exposition samples (cumulative buckets, bounds in seconds).
+fn push_histogram_samples(
+    out: &mut Vec<Sample>,
+    name: &str,
+    labels: &[(String, String)],
+    snap: &HistogramSnapshot,
+) {
+    let mut cumulative = 0u64;
+    for (i, &n) in snap.buckets.iter().enumerate() {
+        cumulative += n;
+        let le = bucket_bound_secs(i).map_or("+Inf".to_owned(), format_f64);
+        let mut bucket_labels = labels.to_vec();
+        bucket_labels.push(("le".to_owned(), le));
+        out.push(Sample {
+            name: format!("{name}_bucket"),
+            labels: bucket_labels,
+            value: cumulative as f64,
+        });
+    }
+    out.push(Sample {
+        name: format!("{name}_sum"),
+        labels: labels.to_vec(),
+        value: snap.sum_micros as f64 / 1e6,
+    });
+    out.push(Sample {
+        name: format!("{name}_count"),
+        labels: labels.to_vec(),
+        value: snap.count as f64,
+    });
+}
+
+/// Render a float the exposition way: integral values without a point,
+/// everything else via the shortest roundtrip `{}` form.
+fn format_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+// ------------------------------------------------------- text exposition
+
+/// One metric family of an exposition: metadata plus its samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Family {
+    /// Family (base) name, without `_bucket`/`_sum`/`_count` suffixes.
+    pub name: String,
+    /// `# HELP` text (may be empty when parsed from a bare exposition).
+    pub help: String,
+    /// `# TYPE` of the family.
+    pub kind: MetricKind,
+    /// The samples, in exposition order.
+    pub samples: Vec<Sample>,
+}
+
+/// One exposition sample line: `name{labels} value`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Full sample name (histogram samples keep their suffix).
+    pub name: String,
+    /// Label pairs in line order.
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+impl Sample {
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn escape_label_value(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('\n', "\\n")
+        .replace('"', "\\\"")
+}
+
+fn unescape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    let mut chars = v.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some(other) => out.push(other),
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Render families back to exposition text — the inverse of
+/// [`parse_exposition`], also used by the router to emit one merged
+/// fleet scrape with a single `# TYPE` header per family.
+pub fn render_families(families: &[Family]) -> String {
+    let mut out = String::new();
+    for family in families {
+        if !family.help.is_empty() {
+            let _ = writeln!(out, "# HELP {} {}", family.name, family.help);
+        }
+        if family.kind != MetricKind::Untyped {
+            let _ = writeln!(out, "# TYPE {} {}", family.name, family.kind.as_str());
+        }
+        for sample in &family.samples {
+            out.push_str(&sample.name);
+            if !sample.labels.is_empty() {
+                out.push('{');
+                for (i, (k, v)) in sample.labels.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{k}=\"{}\"", escape_label_value(v));
+                }
+                out.push('}');
+            }
+            let _ = writeln!(out, " {}", format_f64(sample.value));
+        }
+    }
+    out
+}
+
+/// The family a sample line belongs to: its own name, unless it is a
+/// histogram expansion suffix of a declared histogram family.
+fn family_of<'a>(name: &'a str, histograms: &BTreeMap<String, usize>) -> &'a str {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            if histograms.contains_key(base) {
+                return base;
+            }
+        }
+    }
+    name
+}
+
+/// Parse Prometheus text exposition into families. Tolerant by design
+/// (it is pointed at our own output and at worker scrapes): unknown
+/// comment lines are skipped, malformed sample lines are dropped.
+pub fn parse_exposition(text: &str) -> Vec<Family> {
+    let mut families: Vec<Family> = Vec::new();
+    let mut index: BTreeMap<String, usize> = BTreeMap::new();
+    let mut histograms: BTreeMap<String, usize> = BTreeMap::new();
+    let slot =
+        |families: &mut Vec<Family>, index: &mut BTreeMap<String, usize>, name: &str| -> usize {
+            *index.entry(name.to_owned()).or_insert_with(|| {
+                families.push(Family {
+                    name: name.to_owned(),
+                    help: String::new(),
+                    kind: MetricKind::Untyped,
+                    samples: Vec::new(),
+                });
+                families.len() - 1
+            })
+        };
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            if let Some((name, help)) = rest.split_once(' ') {
+                let i = slot(&mut families, &mut index, name);
+                families[i].help = help.to_owned();
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            if let Some((name, kind)) = rest.split_once(' ') {
+                let i = slot(&mut families, &mut index, name);
+                families[i].kind = match kind.trim() {
+                    "counter" => MetricKind::Counter,
+                    "gauge" => MetricKind::Gauge,
+                    "histogram" => {
+                        histograms.insert(name.to_owned(), i);
+                        MetricKind::Histogram
+                    }
+                    _ => MetricKind::Untyped,
+                };
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let Some(sample) = parse_sample_line(line) else {
+            continue;
+        };
+        let base = family_of(&sample.name, &histograms).to_owned();
+        let i = slot(&mut families, &mut index, &base);
+        families[i].samples.push(sample);
+    }
+    families
+}
+
+/// Parse one `name{k="v",…} value` line.
+fn parse_sample_line(line: &str) -> Option<Sample> {
+    if let Some(brace) = line.find('{') {
+        let close = line.rfind('}')?;
+        Some(Sample {
+            name: line[..brace].trim().to_owned(),
+            labels: parse_labels(&line[brace + 1..close])?,
+            value: line[close + 1..].split_whitespace().next()?.parse().ok()?,
+        })
+    } else {
+        let mut parts = line.split_whitespace();
+        Some(Sample {
+            name: parts.next()?.to_owned(),
+            labels: Vec::new(),
+            value: parts.next()?.parse().ok()?,
+        })
+    }
+}
+
+fn parse_labels(text: &str) -> Option<Vec<(String, String)>> {
+    let mut labels = Vec::new();
+    let mut rest = text.trim();
+    while !rest.is_empty() {
+        let eq = rest.find('=')?;
+        let key = rest[..eq].trim().to_owned();
+        let after = rest[eq + 1..].trim_start();
+        let after = after.strip_prefix('"')?;
+        // Find the closing quote, skipping escaped ones.
+        let mut end = None;
+        let mut escaped = false;
+        for (i, c) in after.char_indices() {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                end = Some(i);
+                break;
+            }
+        }
+        let end = end?;
+        labels.push((key, unescape_label_value(&after[..end])));
+        rest = after[end + 1..]
+            .trim_start()
+            .trim_start_matches(',')
+            .trim_start();
+    }
+    Some(labels)
+}
+
+/// Merge expositions into one family list: same-name families pool their
+/// samples under the first part's metadata. The router uses this to fold
+/// worker scrapes (already re-labelled with `worker="addr"`) in with its
+/// own registry so one scrape sees the fleet.
+pub fn merge_families(parts: Vec<Vec<Family>>) -> Vec<Family> {
+    let mut merged: Vec<Family> = Vec::new();
+    let mut index: BTreeMap<String, usize> = BTreeMap::new();
+    for part in parts {
+        for family in part {
+            match index.get(&family.name) {
+                Some(&i) => {
+                    merged[i].samples.extend(family.samples);
+                    if merged[i].kind == MetricKind::Untyped {
+                        merged[i].kind = family.kind;
+                    }
+                    if merged[i].help.is_empty() {
+                        merged[i].help = family.help;
+                    }
+                }
+                None => {
+                    index.insert(family.name.clone(), merged.len());
+                    merged.push(family);
+                }
+            }
+        }
+    }
+    merged
+}
+
+/// Add a label to every sample of every family — the router's
+/// re-namespacing step, tagging each worker's scrape with
+/// `worker="addr"` before the fleet merge.
+pub fn add_label(families: &mut [Family], key: &str, value: &str) {
+    for family in families {
+        for sample in &mut family.samples {
+            sample.labels.push((key.to_owned(), value.to_owned()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_smallest_covering_power_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(5), 3);
+        assert_eq!(bucket_index(1 << 20), 20);
+        assert_eq!(bucket_index((1 << 20) + 1), 21);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_records_and_snapshots() {
+        let h = Histogram::new();
+        h.record_micros(1);
+        h.record_micros(3);
+        h.record_micros(1000);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 3);
+        assert_eq!(snap.sum_micros, 1004);
+        assert_eq!(snap.buckets[0], 1);
+        assert_eq!(snap.buckets[2], 1);
+        assert_eq!(snap.buckets[10], 1);
+    }
+
+    #[test]
+    fn span_records_on_drop() {
+        let h = Arc::new(Histogram::new());
+        {
+            let _span = h.span();
+        }
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn quantiles_come_from_bucket_bounds() {
+        let h = Histogram::new();
+        for _ in 0..99 {
+            h.record_micros(100); // bucket le = 128 µs
+        }
+        h.record_micros(1_000_000); // bucket le = 2^20 µs
+        let snap = h.snapshot();
+        assert_eq!(snap.quantile_secs(0.5), Some(128.0 / 1e6));
+        assert_eq!(snap.quantile_secs(1.0), Some((1u64 << 20) as f64 / 1e6));
+        assert_eq!(HistogramSnapshot::default().quantile_secs(0.5), None);
+    }
+
+    #[test]
+    fn registry_resolves_series_by_sorted_labels() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x_total", "help", &[("a", "1"), ("b", "2")]);
+        let b = reg.counter("x_total", "help", &[("b", "2"), ("a", "1")]);
+        a.inc();
+        b.add(2);
+        assert_eq!(
+            reg.counter_value("x_total", &[("a", "1"), ("b", "2")]),
+            Some(3)
+        );
+        assert_eq!(reg.counter_total("x_total"), 3);
+    }
+
+    #[test]
+    fn exposition_roundtrips_through_the_parser() {
+        let reg = MetricsRegistry::new();
+        reg.counter(
+            "rawt_jobs_finished_total",
+            "Finished jobs.",
+            &[("algo", "BioConsert")],
+        )
+        .add(7);
+        reg.gauge("rawt_queue_depth", "Queue depth.", &[]).set(3);
+        let h = reg.histogram(
+            "rawt_solve_seconds",
+            "Solve latency.",
+            &[("algo", "KwikSort")],
+        );
+        h.record(Duration::from_millis(5));
+        h.record(Duration::from_millis(80));
+        let text = reg.render_prometheus();
+        let families = parse_exposition(&text);
+        assert_eq!(
+            render_families(&families),
+            text,
+            "parse→render is the identity"
+        );
+        let jobs = families
+            .iter()
+            .find(|f| f.name == "rawt_jobs_finished_total")
+            .expect("family present");
+        assert_eq!(jobs.kind, MetricKind::Counter);
+        assert_eq!(jobs.samples[0].value, 7.0);
+        assert_eq!(jobs.samples[0].label("algo"), Some("BioConsert"));
+        let solve = families
+            .iter()
+            .find(|f| f.name == "rawt_solve_seconds")
+            .expect("histogram family");
+        assert_eq!(solve.kind, MetricKind::Histogram);
+        let count = solve
+            .samples
+            .iter()
+            .find(|s| s.name == "rawt_solve_seconds_count")
+            .expect("_count sample");
+        assert_eq!(count.value, 2.0);
+        let inf = solve
+            .samples
+            .iter()
+            .find(|s| s.name == "rawt_solve_seconds_bucket" && s.label("le") == Some("+Inf"))
+            .expect("+Inf bucket");
+        assert_eq!(inf.value, 2.0);
+    }
+
+    #[test]
+    fn label_values_escape_and_unescape() {
+        let reg = MetricsRegistry::new();
+        reg.counter("x_total", "h", &[("path", "a\"b\\c\nd")]).inc();
+        let families = parse_exposition(&reg.render_prometheus());
+        assert_eq!(families[0].samples[0].label("path"), Some("a\"b\\c\nd"));
+    }
+
+    #[test]
+    fn merge_pools_samples_and_add_label_renames() {
+        let reg_a = MetricsRegistry::new();
+        reg_a.counter("jobs_total", "Jobs.", &[]).add(2);
+        let reg_b = MetricsRegistry::new();
+        reg_b.counter("jobs_total", "Jobs.", &[]).add(3);
+        let mut a = parse_exposition(&reg_a.render_prometheus());
+        let mut b = parse_exposition(&reg_b.render_prometheus());
+        add_label(&mut a, "worker", "w0");
+        add_label(&mut b, "worker", "w1");
+        let merged = merge_families(vec![a, b]);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].samples.len(), 2);
+        let text = render_families(&merged);
+        assert_eq!(text.matches("# TYPE jobs_total counter").count(), 1);
+        let parsed = parse_exposition(&text);
+        let by_worker: Vec<_> = parsed[0]
+            .samples
+            .iter()
+            .map(|s| (s.label("worker").unwrap().to_owned(), s.value))
+            .collect();
+        assert_eq!(
+            by_worker,
+            vec![("w0".to_owned(), 2.0), ("w1".to_owned(), 3.0)]
+        );
+    }
+}

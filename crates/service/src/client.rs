@@ -637,6 +637,12 @@ impl Client {
         self.json_exchange("GET", "/healthz", None)
     }
 
+    /// `GET /metrics`: the raw Prometheus text exposition (parse it with
+    /// [`rank_core::telemetry::parse_exposition`]).
+    pub fn metrics_text(&self) -> Result<String, ClientError> {
+        self.text_exchange("GET", "/metrics", None)
+    }
+
     /// [`Client::events`] that survives dropped connections: on transport
     /// loss — or a stream that ends before a terminal event, which is
     /// what a crashing server looks like — the iterator reconnects under

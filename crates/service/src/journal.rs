@@ -35,11 +35,51 @@
 use crate::fault::FaultPlan;
 use crate::json::Json;
 use crate::proto::JobSubmission;
+use rank_core::telemetry::{Counter, Histogram, MetricsRegistry};
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
+
+/// Resolved journal telemetry handles: resolved once when the registry
+/// is attached, so the append path pays only relaxed atomic ops, never
+/// a registry lock.
+#[derive(Debug)]
+struct JournalMetrics {
+    append_seconds: Arc<Histogram>,
+    fsync_seconds: Arc<Histogram>,
+    replay_seconds: Arc<Histogram>,
+    degraded_total: Arc<Counter>,
+}
+
+impl JournalMetrics {
+    fn resolve(registry: &MetricsRegistry) -> JournalMetrics {
+        JournalMetrics {
+            append_seconds: registry.histogram(
+                "rawt_journal_append_seconds",
+                "Wall time writing one framed journal record.",
+                &[],
+            ),
+            fsync_seconds: registry.histogram(
+                "rawt_journal_fsync_seconds",
+                "Wall time of journal fdatasync calls.",
+                &[],
+            ),
+            replay_seconds: registry.histogram(
+                "rawt_journal_replay_seconds",
+                "Wall time of startup journal replays.",
+                &[],
+            ),
+            degraded_total: registry.counter(
+                "rawt_journal_degraded_total",
+                "Times the journal degraded to in-memory after a write or fsync failure.",
+                &[],
+            ),
+        }
+    }
+}
 
 /// When the journal calls fsync.
 ///
@@ -172,6 +212,7 @@ pub struct Journal {
     fsync: FsyncPolicy,
     faults: Arc<FaultPlan>,
     degraded: Arc<AtomicBool>,
+    metrics: Option<Arc<JournalMetrics>>,
 }
 
 /// One job recovered from the journal on startup.
@@ -245,12 +286,20 @@ impl Journal {
             fsync,
             faults: Arc::new(FaultPlan::none()),
             degraded: Arc::new(AtomicBool::new(false)),
+            metrics: None,
         })
     }
 
     /// Attach a fault plan (testing; see [`FaultPlan`]).
     pub fn with_faults(mut self, faults: Arc<FaultPlan>) -> Journal {
         self.faults = faults;
+        self
+    }
+
+    /// Attach a metrics registry: append/fsync/replay latencies and the
+    /// degraded-transition counter land in it (DESIGN.md §15).
+    pub fn with_metrics(mut self, registry: &MetricsRegistry) -> Journal {
+        self.metrics = Some(Arc::new(JournalMetrics::resolve(registry)));
         self
     }
 
@@ -299,6 +348,7 @@ impl Journal {
             fsync: self.fsync,
             faults: Arc::clone(&self.faults),
             degraded: Arc::clone(&self.degraded),
+            metrics: self.metrics.clone(),
         };
         let record =
             format!("{{\"rec\":\"submit\",\"id\":{id},\"segment\":{segment},\"submission\":{submission_json}}}");
@@ -336,6 +386,7 @@ impl Journal {
             fsync: self.fsync,
             faults: Arc::clone(&self.faults),
             degraded: Arc::clone(&self.degraded),
+            metrics: self.metrics.clone(),
         };
         let record = format!(
             "{{\"rec\":\"ds-create\",\"id\":\"{}\",\"version\":{version},\"dataset\":\"{}\"}}",
@@ -394,6 +445,9 @@ impl Journal {
 
     fn degrade(&self, why: &str) {
         if !self.degraded.swap(true, Ordering::SeqCst) {
+            if let Some(metrics) = &self.metrics {
+                metrics.degraded_total.inc();
+            }
             eprintln!("rawt: journal degraded ({why}); continuing in-memory");
         }
     }
@@ -404,6 +458,7 @@ impl Journal {
     /// bad lines and unusable files are counted, not fatal. Only a
     /// directory-level I/O failure (unreadable dir) is an error.
     pub fn replay(&self) -> io::Result<Replay> {
+        let replay_start = Instant::now();
         let mut replay = Replay::default();
         // Best segment per job id: (segment, submission, events, finished).
         let mut best: std::collections::HashMap<u64, RecoveredJob> =
@@ -437,6 +492,9 @@ impl Journal {
         }
         replay.jobs = best.into_values().collect();
         replay.jobs.sort_by_key(|j| j.id);
+        if let Some(metrics) = &self.metrics {
+            metrics.replay_seconds.record(replay_start.elapsed());
+        }
         Ok(replay)
     }
 }
@@ -577,6 +635,7 @@ pub struct JournalWriter {
     fsync: FsyncPolicy,
     faults: Arc<FaultPlan>,
     degraded: Arc<AtomicBool>,
+    metrics: Option<Arc<JournalMetrics>>,
 }
 
 impl JournalWriter {
@@ -633,9 +692,13 @@ impl JournalWriter {
         let Some(file) = self.file.as_mut() else {
             return;
         };
+        let write_start = Instant::now();
         if let Err(e) = file.write_all(frame_line(json).as_bytes()) {
             self.fail(&format!("write: {e}"));
             return;
+        }
+        if let Some(metrics) = &self.metrics {
+            metrics.append_seconds.record(write_start.elapsed());
         }
         let should_sync = match self.fsync {
             FsyncPolicy::Always => true,
@@ -647,8 +710,13 @@ impl JournalWriter {
                 self.fail("fsync: injected fault");
                 return;
             }
+            let sync_start = Instant::now();
             if let Err(e) = file.sync_data() {
                 self.fail(&format!("fsync: {e}"));
+                return;
+            }
+            if let Some(metrics) = &self.metrics {
+                metrics.fsync_seconds.record(sync_start.elapsed());
             }
         }
     }
@@ -656,6 +724,9 @@ impl JournalWriter {
     fn fail(&mut self, why: &str) {
         self.file = None;
         if !self.degraded.swap(true, Ordering::SeqCst) {
+            if let Some(metrics) = &self.metrics {
+                metrics.degraded_total.inc();
+            }
             eprintln!(
                 "rawt: journal degraded ({why} on {}); continuing in-memory",
                 self.path.display()

@@ -84,21 +84,30 @@ pub fn trace_point_json(p: &TracePoint) -> String {
     )
 }
 
-/// One [`ConsensusReport`] as a JSON object (outcome + incumbent trace
-/// included), with the ranking denormalized back to input labels. This is
-/// the exact shape `rawt aggregate --json` has emitted since the anytime
-/// PR; the server's job reports reuse it verbatim.
+/// One [`ConsensusReport`] as a JSON object (outcome + incumbent trace +
+/// phase breakdown included), with the ranking denormalized back to
+/// input labels. This is the exact shape `rawt aggregate --json` has
+/// emitted since the anytime PR; the server's job reports reuse it
+/// verbatim.
+///
+/// The `phases` object is serialized *last* so its `serialize_secs` can
+/// be the measured wall-clock of serializing everything before it — the
+/// report struct itself carries zero there (serialization hasn't
+/// happened yet when the engine builds the report). The journal splices
+/// these bytes verbatim on replay, so journaled and re-served reports
+/// keep their phase breakdown with no re-measurement.
 pub fn report_json(report: &ConsensusReport, norm: &Normalized, universe: &Universe) -> String {
+    let serialize_start = std::time::Instant::now();
     let gap = report.gap.map_or("null".to_owned(), |g| format!("{g:.6}"));
     let lower_bound = report
         .lower_bound
         .map_or("null".to_owned(), |lb| lb.to_string());
     let trace: Vec<String> = report.trace.iter().map(trace_point_json).collect();
-    format!(
+    let mut out = format!(
         concat!(
             "{{\"algorithm\":\"{}\",\"spec\":\"{}\",\"seed\":{},",
             "\"score\":{},\"gap\":{},\"lower_bound\":{},\"outcome\":\"{}\",",
-            "\"elapsed_secs\":{:.6},\"ranking\":{},\"trace\":[{}]}}"
+            "\"elapsed_secs\":{:.6},\"ranking\":{},\"trace\":[{}],"
         ),
         escape(&report.algorithm()),
         escape(&report.spec.to_string()),
@@ -110,7 +119,26 @@ pub fn report_json(report: &ConsensusReport, norm: &Normalized, universe: &Unive
         report.elapsed.as_secs_f64(),
         ranking_json(&norm.denormalize(&report.ranking), universe),
         trace.join(",")
-    )
+    );
+    let phases = &report.phases;
+    let serialize = if phases.serialize.is_zero() {
+        serialize_start.elapsed()
+    } else {
+        phases.serialize
+    };
+    let _ = write!(
+        out,
+        concat!(
+            "\"phases\":{{\"queue_wait_secs\":{:.6},\"matrix_build_secs\":{:.6},",
+            "\"matrix_cached\":{},\"solve_secs\":{:.6},\"serialize_secs\":{:.6}}}}}"
+        ),
+        phases.queue_wait.as_secs_f64(),
+        phases.matrix_build.as_secs_f64(),
+        phases.matrix_cached,
+        phases.solve.as_secs_f64(),
+        serialize.as_secs_f64()
+    );
+    out
 }
 
 /// One anytime [`Event`] as an NDJSON line (no trailing newline — the

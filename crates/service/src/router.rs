@@ -29,13 +29,16 @@
 use crate::http::{self, ChunkedWriter, ClientResponse, HttpError, Request};
 use crate::json::{escape, Json};
 use crate::proto;
+use rank_core::telemetry::{
+    add_label, merge_families, parse_exposition, render_families, MetricsRegistry,
+};
 use std::collections::HashMap;
 use std::io::BufReader;
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How the router asks clients to wait when the worker holding their
 /// state is unreachable: long enough for a supervisor restart, short
@@ -97,6 +100,10 @@ struct RouterState {
     batches: Mutex<BatchRoutes>,
     /// Dataset id → the worker index holding that live session.
     datasets: Mutex<HashMap<String, usize>>,
+    /// The router's own telemetry (the router owns no engine, so it owns
+    /// its own registry): per-worker proxied-request latencies, failover
+    /// fall-throughs, and unreachable-worker 503s.
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl RouterState {
@@ -109,6 +116,30 @@ impl RouterState {
 
     fn fresh_id(&self) -> u64 {
         self.next_id.fetch_add(1, Ordering::SeqCst)
+    }
+
+    /// One submission fell through a dead worker to the next rendezvous
+    /// choice.
+    fn count_failover(&self, worker: usize) {
+        self.metrics
+            .counter(
+                "rawt_router_failovers_total",
+                "Submissions that fell through an unreachable worker to the next.",
+                &[("worker", &self.workers[worker])],
+            )
+            .inc();
+    }
+
+    /// One request answered 503 because the worker holding its state is
+    /// down.
+    fn count_unreachable(&self, worker: usize) {
+        self.metrics
+            .counter(
+                "rawt_router_unreachable_total",
+                "Requests answered 503 because their worker was unreachable.",
+                &[("worker", &self.workers[worker])],
+            )
+            .inc();
     }
 }
 
@@ -166,6 +197,7 @@ impl Router {
                 jobs: Mutex::new(JobRoutes::default()),
                 batches: Mutex::new(BatchRoutes::default()),
                 datasets: Mutex::new(HashMap::new()),
+                metrics: Arc::new(MetricsRegistry::new()),
             }),
         })
     }
@@ -273,6 +305,7 @@ fn forward_sized(
     body: Option<&[u8]>,
 ) -> Result<(u16, Option<String>, String), HttpError> {
     let addr = &state.workers[worker];
+    let proxy_start = Instant::now();
     let mut stream = dial(addr)?;
     http::write_request_with_headers(
         &mut stream,
@@ -287,6 +320,14 @@ fn forward_sized(
     let status = response.status;
     let retry_after = response.header("retry-after").map(str::to_owned);
     let text = response.body_string()?;
+    state
+        .metrics
+        .histogram(
+            "rawt_router_proxy_seconds",
+            "Full sized-exchange latency of one proxied worker request.",
+            &[("worker", addr)],
+        )
+        .record(proxy_start.elapsed());
     Ok((status, retry_after, text))
 }
 
@@ -394,6 +435,7 @@ fn respond_passthrough(
 }
 
 fn unreachable_worker(stream: &mut TcpStream, state: &RouterState, worker: usize, keep: bool) {
+    state.count_unreachable(worker);
     respond_error(
         stream,
         503,
@@ -434,13 +476,14 @@ fn handle_connection(mut stream: TcpStream, state: &Arc<RouterState>) {
     }
 }
 
-/// Same bearer rule as the worker: `GET /healthz` stays open for probes,
-/// everything else needs the token when one is configured.
+/// Same bearer rule as the worker: `GET /healthz` and `GET /metrics`
+/// stay open for probes and scrapers, everything else needs the token
+/// when one is configured.
 fn authorized(request: &Request, state: &RouterState, path: &str) -> bool {
     let Some(token) = &state.token else {
         return true;
     };
-    if path == "/healthz" {
+    if path == "/healthz" || path == "/metrics" {
         return true;
     }
     request
@@ -463,6 +506,7 @@ fn route(stream: &mut TcpStream, request: &Request, state: &Arc<RouterState>, ke
     }
     match (request.method.as_str(), path) {
         ("GET", "/healthz") => healthz(stream, state, keep),
+        ("GET", "/metrics") => metrics_exposition(stream, state, keep),
         ("GET", "/v1/algorithms") => forward_any(stream, state, "GET", "/v1/algorithms", keep),
         ("POST", "/v1/jobs") => submit_job(stream, request, state, keep),
         ("POST", "/v1/batches") => submit_batch(stream, request, state, keep),
@@ -518,6 +562,33 @@ fn healthz(stream: &mut TcpStream, state: &Arc<RouterState>, keep: bool) {
     let _ = http::write_response(stream, 200, "application/json", &[], body.as_bytes(), keep);
 }
 
+/// `GET /metrics`: one scrape sees the fleet. The router renders its own
+/// registry, then scrapes every reachable worker's `/metrics`, tags each
+/// worker's samples with a `worker="addr"` label, and merges everything
+/// into a single exposition — families that exist on several workers
+/// keep one `# TYPE` header and per-worker series. A dead worker is
+/// simply absent from the scrape (its unreachability already shows in
+/// `rawt_router_unreachable_total`).
+fn metrics_exposition(stream: &mut TcpStream, state: &Arc<RouterState>, keep: bool) {
+    let mut parts = vec![parse_exposition(&state.metrics.render_prometheus())];
+    for (index, addr) in state.workers.iter().enumerate() {
+        if let Ok((200, _, body)) = forward_sized(state, index, "GET", "/metrics", None) {
+            let mut families = parse_exposition(&body);
+            add_label(&mut families, "worker", addr);
+            parts.push(families);
+        }
+    }
+    let body = render_families(&merge_families(parts));
+    let _ = http::write_response(
+        stream,
+        200,
+        "text/plain; version=0.0.4",
+        &[],
+        body.as_bytes(),
+        keep,
+    );
+}
+
 /// Forward a read-only request to the first reachable worker (used for
 /// `/v1/algorithms`, which is identical on every worker).
 fn forward_any(
@@ -532,6 +603,7 @@ fn forward_any(
             respond_passthrough(stream, status, retry_after, &body, keep);
             return;
         }
+        state.count_failover(index);
     }
     respond_error(
         stream,
@@ -567,7 +639,10 @@ fn submit_job(stream: &mut TcpStream, request: &Request, state: &Arc<RouterState
         let (status, retry_after, body) =
             match forward_sized(state, worker, "POST", "/v1/jobs", Some(&request.body)) {
                 Ok(answer) => answer,
-                Err(_) if !sticky => continue,
+                Err(_) if !sticky => {
+                    state.count_failover(worker);
+                    continue;
+                }
                 Err(_) => {
                     unreachable_worker(stream, state, worker, keep);
                     return;
@@ -624,7 +699,10 @@ fn submit_batch(stream: &mut TcpStream, request: &Request, state: &Arc<RouterSta
         let (status, retry_after, body) =
             match forward_sized(state, worker, "POST", "/v1/batches", Some(&request.body)) {
                 Ok(answer) => answer,
-                Err(_) if !sticky => continue,
+                Err(_) if !sticky => {
+                    state.count_failover(worker);
+                    continue;
+                }
                 Err(_) => {
                     unreachable_worker(stream, state, worker, keep);
                     return;
@@ -932,7 +1010,10 @@ fn dataset_route(
         let (status, retry_after, text) =
             match forward_sized(state, worker, &request.method, &path, body) {
                 Ok(answer) => answer,
-                Err(_) if pinned.is_none() => continue,
+                Err(_) if pinned.is_none() => {
+                    state.count_failover(worker);
+                    continue;
+                }
                 Err(_) => {
                     unreachable_worker(stream, state, worker, keep);
                     return;

@@ -51,13 +51,14 @@ use rank_core::guidance::{recommend, DatasetFeatures, Priority};
 use rank_core::normalize::Normalized;
 use rank_core::parse::{parse_dataset_lines, parse_ranking_labeled};
 use rank_core::session::DatasetSession;
+use rank_core::telemetry::{Counter, Gauge, Histogram, MetricsRegistry};
 use rank_core::{CostMatrix, Dataset, Element, Universe};
 use std::collections::HashMap;
 use std::io::BufReader;
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -86,6 +87,11 @@ pub struct ServerConfig {
     /// The token lives only in this config — it is never journaled, so a
     /// journal directory can be shipped around without leaking it.
     pub token: Option<String>,
+    /// Seconds of event silence before an NDJSON `…/events` stream emits
+    /// a `{"event":"heartbeat"}` keepalive line, so quiet long-running
+    /// jobs stay distinguishable from dead connections under client read
+    /// timeouts. Tests and demos lower it to avoid wall-clock waits.
+    pub heartbeat_secs: u32,
 }
 
 impl Default for ServerConfig {
@@ -98,7 +104,68 @@ impl Default for ServerConfig {
             journal_fsync: FsyncPolicy::default(),
             faults: Arc::new(FaultPlan::none()),
             token: None,
+            heartbeat_secs: 15,
         }
+    }
+}
+
+/// Server-tier metric handles, resolved once at [`Server::bind`] against
+/// the engine's registry (DESIGN.md §15) — request paths pay relaxed
+/// atomic ops, not a registry lock.
+struct ServerMetrics {
+    /// Jobs accepted into the table: fresh submits, batch sub-jobs, and
+    /// journal re-admissions (`/healthz` reads this back as
+    /// `jobs_accepted`, so healthz and /metrics cannot drift).
+    jobs_accepted: Arc<Counter>,
+    /// Live NDJSON event-stream subscribers (per-job + batch streams).
+    stream_subscribers: Arc<Gauge>,
+    /// Delta-patch latency of one accepted dataset edit op.
+    session_patch_seconds: Arc<Histogram>,
+    /// Full session rebuild latency (dataset PUT and journal recovery).
+    session_rebuild_seconds: Arc<Histogram>,
+}
+
+impl ServerMetrics {
+    fn resolve(registry: &MetricsRegistry) -> ServerMetrics {
+        ServerMetrics {
+            jobs_accepted: registry.counter(
+                "rawt_jobs_accepted_total",
+                "Jobs accepted into the job table (submits, batch sub-jobs, recoveries).",
+                &[],
+            ),
+            stream_subscribers: registry.gauge(
+                "rawt_stream_subscribers",
+                "Currently connected NDJSON event-stream subscribers.",
+                &[],
+            ),
+            session_patch_seconds: registry.histogram(
+                "rawt_session_patch_seconds",
+                "Delta-patch latency of one accepted live-dataset edit op.",
+                &[],
+            ),
+            session_rebuild_seconds: registry.histogram(
+                "rawt_session_rebuild_seconds",
+                "Full dataset-session rebuild latency (PUT and recovery).",
+                &[],
+            ),
+        }
+    }
+}
+
+/// While alive, holds one unit on a gauge; dropping releases it on every
+/// return path (stream handlers have several).
+struct GaugeGuard(Arc<Gauge>);
+
+impl GaugeGuard {
+    fn enter(gauge: &Arc<Gauge>) -> GaugeGuard {
+        gauge.inc();
+        GaugeGuard(Arc::clone(gauge))
+    }
+}
+
+impl Drop for GaugeGuard {
+    fn drop(&mut self) {
+        self.0.dec();
     }
 }
 
@@ -245,7 +312,7 @@ struct ServerState {
     /// removes).
     datasets: Mutex<HashMap<String, Arc<LiveDataset>>>,
     started: Instant,
-    accepted_total: AtomicU64,
+    metrics: ServerMetrics,
     shutting_down: AtomicBool,
     /// The durable journal, when `--journal` is configured.
     journal: Option<Journal>,
@@ -317,16 +384,18 @@ impl Server {
             Some(dir) => Some(
                 Journal::open(dir, config.journal_fsync)?
                     .with_faults(Arc::clone(&config.faults))
-                    .with_degraded_flag(Arc::clone(&degraded)),
+                    .with_degraded_flag(Arc::clone(&degraded))
+                    .with_metrics(engine.metrics()),
             ),
         };
+        let metrics = ServerMetrics::resolve(engine.metrics());
         let state = Arc::new(ServerState {
             engine,
             jobs: Mutex::new(JobTable::default()),
             batches: Mutex::new(BatchTable::default()),
             datasets: Mutex::new(HashMap::new()),
             started: Instant::now(),
-            accepted_total: AtomicU64::new(0),
+            metrics,
             shutting_down: AtomicBool::new(false),
             journal,
             degraded,
@@ -341,6 +410,13 @@ impl Server {
     /// The bound address.
     pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
         self.listener.local_addr()
+    }
+
+    /// The engine's metrics registry — the same one `GET /metrics`
+    /// renders, shared so a host process (the CLI's signal paths) can
+    /// report telemetry after the server moves into its serve thread.
+    pub fn metrics(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(self.state.engine.metrics())
     }
 
     /// A handle that can stop [`Server::serve`] from another thread (or a
@@ -423,11 +499,69 @@ fn handle_connection(mut stream: TcpStream, state: &Arc<ServerState>) {
             Err(HttpError::Io(_)) => return,
         };
         let keep = request.keep_alive();
-        match route(&mut stream, &request, state, keep) {
+        let endpoint = endpoint_label(&request.method, request.path.trim_end_matches('/'));
+        let handle_start = Instant::now();
+        let served = route(&mut stream, &request, state, keep);
+        observe_request(state, endpoint, handle_start.elapsed());
+        match served {
             Served::KeepAlive if keep => continue,
             _ => return,
         }
     }
+}
+
+/// The stable per-endpoint label for the HTTP request metrics — path
+/// parameters collapse (`/v1/jobs/17` and `/v1/jobs/99` are both
+/// `job_status`) so the label set stays bounded.
+fn endpoint_label(method: &str, path: &str) -> &'static str {
+    match (method, path) {
+        ("GET", "/healthz") => "healthz",
+        ("GET", "/metrics") => "metrics",
+        ("GET", "/v1/algorithms") => "algorithms",
+        ("POST", "/v1/jobs") => "job_submit",
+        ("POST", "/v1/batches") => "batch_submit",
+        (method, path) if path.starts_with("/v1/batches/") => match (method, path) {
+            ("GET", p) if p.ends_with("/events") => "batch_events",
+            ("GET", _) => "batch_status",
+            _ => "other",
+        },
+        (method, path) if path.starts_with("/v1/datasets/") => match method {
+            "PUT" => "dataset_create",
+            "PATCH" => "dataset_edit",
+            "GET" => "dataset_get",
+            "DELETE" => "dataset_delete",
+            _ => "other",
+        },
+        (method, path) if path.starts_with("/v1/jobs/") => match (method, path) {
+            ("GET", p) if p.ends_with("/events") => "job_events",
+            ("GET", _) => "job_status",
+            ("DELETE", _) => "job_cancel",
+            _ => "other",
+        },
+        _ => "other",
+    }
+}
+
+/// Count one handled request and its wall time under its endpoint label.
+/// Event streams record at stream end, so their latency is the stream's
+/// lifetime — that is what the connection actually occupied.
+fn observe_request(state: &ServerState, endpoint: &str, elapsed: Duration) {
+    let registry = state.engine.metrics();
+    let labels = [("endpoint", endpoint)];
+    registry
+        .counter(
+            "rawt_http_requests_total",
+            "HTTP requests handled, by endpoint.",
+            &labels,
+        )
+        .inc();
+    registry
+        .histogram(
+            "rawt_http_request_seconds",
+            "HTTP request handling latency, by endpoint.",
+            &labels,
+        )
+        .record(elapsed);
 }
 
 fn respond_error(
@@ -462,14 +596,14 @@ fn respond_json(stream: &mut TcpStream, status: u16, body: &str, keep: bool) -> 
 }
 
 /// Whether `request` presents the configured bearer token. `GET /healthz`
-/// is exempt so load balancers and the router's liveness probes work
-/// without credentials; everything else on an authenticated server gets
-/// 401 on a missing or mismatched token.
+/// and `GET /metrics` are exempt so load balancers, the router's liveness
+/// probes, and metric scrapers work without credentials; everything else
+/// on an authenticated server gets 401 on a missing or mismatched token.
 fn authorized(request: &Request, state: &ServerState, path: &str) -> bool {
     let Some(token) = &state.config.token else {
         return true;
     };
-    if path == "/healthz" {
+    if path == "/healthz" || path == "/metrics" {
         return true;
     }
     request
@@ -496,10 +630,11 @@ fn route(
     }
     match (request.method.as_str(), path) {
         ("GET", "/healthz") => healthz(stream, state, keep),
+        ("GET", "/metrics") => metrics_exposition(stream, state, keep),
         ("GET", "/v1/algorithms") => respond_json(stream, 200, &proto::registry_json(), keep),
         ("POST", "/v1/jobs") => submit_job(stream, request, state, keep),
         ("POST", "/v1/batches") => submit_batch(stream, request, state, keep),
-        (_, "/healthz" | "/v1/algorithms" | "/v1/jobs" | "/v1/batches") => {
+        (_, "/healthz" | "/metrics" | "/v1/algorithms" | "/v1/jobs" | "/v1/batches") => {
             respond_error(stream, 405, "unsupported method for this path", None, keep)
         }
         (method, path) if path.starts_with("/v1/batches/") => {
@@ -529,7 +664,7 @@ fn route(
             };
             match (method, tail) {
                 ("GET", None) => batch_status(stream, &batch, keep),
-                ("GET", Some("events")) => stream_batch_events(stream, &batch),
+                ("GET", Some("events")) => stream_batch_events(stream, state, &batch),
                 _ => respond_error(stream, 405, "unsupported method for this path", None, keep),
             }
         }
@@ -591,7 +726,7 @@ fn route(
                         keep,
                     )
                 }
-                ("GET", Some("events")) => stream_events(stream, &record),
+                ("GET", Some("events")) => stream_events(stream, state, &record),
                 _ => respond_error(stream, 405, "unsupported method for this path", None, keep),
             }
         }
@@ -621,6 +756,9 @@ fn healthz(stream: &mut TcpStream, state: &Arc<ServerState>, keep: bool) -> Serv
         (Some(_), false) => "active",
     };
     let datasets = state.datasets.lock().expect("dataset table poisoned").len();
+    // Every count is read back from the telemetry registry — /healthz
+    // and /metrics are two views of one source and cannot drift.
+    let registry = state.engine.metrics();
     let body = format!(
         concat!(
             "{{\"status\":\"{}\",\"journal\":\"{}\",\"uptime_secs\":{:.1},",
@@ -630,15 +768,30 @@ fn healthz(stream: &mut TcpStream, state: &Arc<ServerState>, keep: bool) -> Serv
         if degraded { "degraded" } else { "ok" },
         journal,
         state.started.elapsed().as_secs_f64(),
-        state.accepted_total.load(Ordering::Relaxed),
-        stats.queued,
-        stats.running,
+        registry.counter_total("rawt_jobs_accepted_total"),
+        registry.gauge_value("rawt_queue_depth", &[]).unwrap_or(0),
+        registry.gauge_value("rawt_jobs_running", &[]).unwrap_or(0),
         datasets,
-        state.engine.cache().builds(),
+        registry.counter_total("rawt_matrix_builds_total"),
         stats.max_concurrent,
         stats.queue_capacity,
     );
     respond_json(stream, 200, &body, keep)
+}
+
+/// `GET /metrics`: the engine registry — every tier hangs its families
+/// off it — rendered in Prometheus text exposition format.
+fn metrics_exposition(stream: &mut TcpStream, state: &Arc<ServerState>, keep: bool) -> Served {
+    let body = state.engine.metrics().render_prometheus();
+    let _ = http::write_response(
+        stream,
+        200,
+        "text/plain; version=0.0.4",
+        &[],
+        body.as_bytes(),
+        keep,
+    );
+    Served::KeepAlive
 }
 
 /// One structurally parsed `PATCH /v1/datasets/{id}` op, label text still
@@ -792,10 +945,15 @@ fn create_dataset(
             );
         }
     };
+    let rebuild_start = Instant::now();
     let (universe, session) = match build_session(&text) {
         Ok(built) => built,
         Err(message) => return respond_error(stream, 400, &message, None, keep),
     };
+    state
+        .metrics
+        .session_rebuild_seconds
+        .record(rebuild_start.elapsed());
     let (n, m) = (session.n(), session.m());
     {
         let mut datasets = state.datasets.lock().expect("dataset table poisoned");
@@ -890,7 +1048,13 @@ fn edit_dataset(
         let mut guard = dataset.lock();
         let ds = &mut *guard;
         for op in &ops {
-            match apply_op(&mut ds.universe, &mut ds.session, op) {
+            let patch_start = Instant::now();
+            let applied_op = apply_op(&mut ds.universe, &mut ds.session, op);
+            state
+                .metrics
+                .session_patch_seconds
+                .record(patch_start.elapsed());
+            match applied_op {
                 Ok(version) => {
                     applied += 1;
                     if let Some(writer) = ds.writer.as_mut() {
@@ -1382,7 +1546,7 @@ fn submit_job(
                 table.keys.insert(key.clone(), id);
             }
             evict_done(&mut table, state.config.retain_done, state.journal.as_ref());
-            state.accepted_total.fetch_add(1, Ordering::Relaxed);
+            state.metrics.jobs_accepted.inc();
             let writer = state
                 .journal
                 .as_ref()
@@ -1568,7 +1732,7 @@ fn submit_batch(
                     ));
                     table.order.push(id);
                     table.records.insert(id, Arc::clone(&record));
-                    state.accepted_total.fetch_add(1, Ordering::Relaxed);
+                    state.metrics.jobs_accepted.inc();
                     spawn_owner(state, &record, handle, None, FollowSpawn::Collect);
                     jobs.push(record);
                 }
@@ -1658,11 +1822,16 @@ fn tag_spec(line: &str, spec: &str, job_id: u64) -> String {
 /// arrival-ordered (the panel runs concurrently). Ends when every sub-job
 /// is done; quiet stretches are bridged with heartbeats like the per-job
 /// stream.
-fn stream_batch_events(stream: &mut TcpStream, batch: &Arc<BatchRecord>) -> Served {
+fn stream_batch_events(
+    stream: &mut TcpStream,
+    state: &Arc<ServerState>,
+    batch: &Arc<BatchRecord>,
+) -> Served {
     let mut writer = match ChunkedWriter::begin(stream, "application/x-ndjson") {
         Ok(writer) => writer,
         Err(_) => return Served::Close,
     };
+    let _subscriber = GaugeGuard::enter(&state.metrics.stream_subscribers);
     let specs: Vec<String> = batch.jobs.iter().map(|j| j.spec.to_string()).collect();
     let mut cursors = vec![0usize; batch.jobs.len()];
     let mut quiet = Duration::ZERO;
@@ -1698,7 +1867,7 @@ fn stream_batch_events(stream: &mut TcpStream, batch: &Arc<BatchRecord>) -> Serv
             let step = Duration::from_millis(25);
             std::thread::sleep(step);
             quiet += step;
-            if quiet >= Duration::from_secs(HEARTBEAT_SECS as u64) {
+            if quiet >= Duration::from_secs(state.config.heartbeat_secs as u64) {
                 if writer.write_line("{\"event\":\"heartbeat\"}").is_err() {
                     return Served::Close;
                 }
@@ -1945,7 +2114,13 @@ fn recover(state: &Arc<ServerState>) -> std::io::Result<()> {
     // cold, at the recovered version.
     let mut recovered_datasets = 0usize;
     for ds in journal.replay_datasets()? {
-        match rebuild_dataset(&ds) {
+        let rebuild_start = Instant::now();
+        let rebuilt = rebuild_dataset(&ds);
+        state
+            .metrics
+            .session_rebuild_seconds
+            .record(rebuild_start.elapsed());
+        match rebuilt {
             Ok((universe, session)) => {
                 let writer = journal.begin_dataset(
                     &ds.id,
@@ -2035,7 +2210,7 @@ fn recover(state: &Arc<ServerState>) -> std::io::Result<()> {
                 handle.cancel_token(),
                 JobProgress::default(),
             ));
-            state.accepted_total.fetch_add(1, Ordering::Relaxed);
+            state.metrics.jobs_accepted.inc();
             let writer = journal.begin_job(job.id, job.segment + 1, &journaled);
             spawn_owner(state, &record, handle, writer, follow);
             record
@@ -2204,26 +2379,28 @@ fn job_status(stream: &mut TcpStream, record: &Arc<JobRecord>, keep: bool) -> Se
     respond_json(stream, 200, &body, keep)
 }
 
-/// Seconds of event silence before an `…/events` stream emits a
-/// keepalive line, so quiet long-running jobs stay distinguishable from
-/// dead connections under client read timeouts.
-const HEARTBEAT_SECS: u32 = 15;
-
 /// `GET /v1/jobs/{id}/events`: replay the log from the start, then follow
 /// live until the job is done — chunked NDJSON, one event per line.
 /// Quiet stretches are bridged with `{"event":"heartbeat"}` lines
-/// (streamed only, never recorded in the replay log).
-fn stream_events(stream: &mut TcpStream, record: &Arc<JobRecord>) -> Served {
+/// (streamed only, never recorded in the replay log) every
+/// [`ServerConfig::heartbeat_secs`] seconds of silence.
+fn stream_events(
+    stream: &mut TcpStream,
+    state: &Arc<ServerState>,
+    record: &Arc<JobRecord>,
+) -> Served {
     let mut writer = match ChunkedWriter::begin(stream, "application/x-ndjson") {
         Ok(writer) => writer,
         Err(_) => return Served::Close,
     };
+    let _subscriber = GaugeGuard::enter(&state.metrics.stream_subscribers);
+    let heartbeat_secs = state.config.heartbeat_secs;
     let mut cursor = 0usize;
     loop {
         let (batch, done) = {
             let mut progress = record.state.lock().expect("job state poisoned");
             let mut quiet = 0u32;
-            while progress.events.len() == cursor && !progress.done && quiet < HEARTBEAT_SECS {
+            while progress.events.len() == cursor && !progress.done && quiet < heartbeat_secs {
                 let (next, timeout) = record
                     .advanced
                     .wait_timeout(progress, Duration::from_secs(1))

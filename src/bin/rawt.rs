@@ -38,7 +38,7 @@
 //!
 //! rawt serve [--addr HOST:PORT] [--max-jobs N] [--queue N]
 //!            [--journal DIR] [--journal-fsync always|milestones|never]
-//!            [--token TOKEN]
+//!            [--token TOKEN] [--heartbeat SECS]
 //!     Run the aggregation service (see crates/service): anytime jobs
 //!     over HTTP with streamed NDJSON incumbents, budget-aware
 //!     scheduling, and 429 load shedding. SIGINT drains via cooperative
@@ -48,8 +48,11 @@
 //!     submission and event is logged to DIR, and a restart with the
 //!     same DIR re-serves finished jobs and deterministically re-runs
 //!     interrupted ones. --token requires `Authorization: Bearer TOKEN`
-//!     on every request except `GET /healthz`; the token is held in
-//!     memory only and never journaled.
+//!     on every request except `GET /healthz` and `GET /metrics`; the
+//!     token is held in memory only and never journaled. --heartbeat
+//!     sets the event-stream keepalive cadence (default 15s). `GET
+//!     /metrics` exposes the full telemetry registry (DESIGN.md §15) in
+//!     Prometheus text format.
 //!
 //! rawt route --workers ADDR,ADDR,… [--addr HOST:PORT] [--token TOKEN]
 //!     Run the sharded front tier (DESIGN.md §14.2): one address fanning
@@ -60,7 +63,17 @@
 //!     single matrix build. /healthz aggregates worker health; a dead
 //!     worker is skipped for new submissions and answers 503 +
 //!     Retry-After for state it holds. --token both authenticates
-//!     clients and is forwarded to the workers.
+//!     clients and is forwarded to the workers. `GET /metrics` scrapes
+//!     every worker, tags each series with a `worker="ADDR"` label and
+//!     merges them with the router's own metrics, so one scrape sees
+//!     the whole fleet.
+//!
+//! rawt top ADDR [--interval SECS] [--once] [--token TOKEN]
+//!     Terminal dashboard over `/metrics` + `/healthz`: live queue
+//!     depth and running jobs, per-algorithm p50/p99 solve latency,
+//!     shed rate, and (against a router) per-worker health. Repaints
+//!     every --interval seconds (default 2); --once prints a single
+//!     frame and exits, for scripts.
 //!
 //! rawt session FILE [--algo SPEC] [--seed N] [--budget SECS]
 //!              [--remote ADDR] [--id ID]
@@ -96,6 +109,7 @@ use rank_aggregation_with_ties::ragen::{MarkovGen, UniformSampler};
 use rank_aggregation_with_ties::rank_core::engine::{paper_panel, registry, Event};
 use rank_aggregation_with_ties::rank_core::normalize::Normalized;
 use rank_aggregation_with_ties::rank_core::parse::{parse_dataset_lines, parse_ranking_labeled};
+use rank_aggregation_with_ties::rank_core::telemetry;
 use service::client::{Client, RetryNotice, RetryPolicy};
 use service::fault::FaultPlan;
 use service::journal::FsyncPolicy;
@@ -169,6 +183,9 @@ struct Flags {
     n: usize,
     m: usize,
     steps: usize,
+    heartbeat: u32,
+    interval: f64,
+    once: bool,
 }
 
 fn parse_flags(args: &[String]) -> Flags {
@@ -192,6 +209,9 @@ fn parse_flags(args: &[String]) -> Flags {
         n: 10,
         m: 5,
         steps: 1000,
+        heartbeat: ServerConfig::default().heartbeat_secs,
+        interval: 2.0,
+        once: false,
     };
     let mut i = 0;
     let value = |i: &mut usize| -> String {
@@ -244,6 +264,23 @@ fn parse_flags(args: &[String]) -> Flags {
             "--journal-fsync" => {
                 f.journal_fsync = value(&mut i).parse().unwrap_or_else(|e: String| die(&e))
             }
+            "--heartbeat" => {
+                f.heartbeat = value(&mut i)
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --heartbeat"));
+                if f.heartbeat == 0 {
+                    die("--heartbeat must be at least 1 second");
+                }
+            }
+            "--interval" => {
+                f.interval = value(&mut i)
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --interval"));
+                if f.interval <= 0.0 || !f.interval.is_finite() {
+                    die("--interval must be positive seconds");
+                }
+            }
+            "--once" => f.once = true,
             "--n" => f.n = value(&mut i).parse().unwrap_or_else(|_| die("bad --n")),
             "--m" => f.m = value(&mut i).parse().unwrap_or_else(|_| die("bad --m")),
             "--steps" => f.steps = value(&mut i).parse().unwrap_or_else(|_| die("bad --steps")),
@@ -651,10 +688,12 @@ fn cmd_serve(f: &Flags) {
         journal_fsync: f.journal_fsync,
         token: f.token.clone(),
         faults,
+        heartbeat_secs: f.heartbeat,
         ..ServerConfig::default()
     };
     let server = Server::bind(f.addr.as_str(), config.clone())
         .unwrap_or_else(|e| die(&format!("cannot bind {}: {e}", f.addr)));
+    let metrics = server.metrics();
     let addr = server
         .local_addr()
         .unwrap_or_else(|e| die(&format!("no local address: {e}")));
@@ -677,6 +716,20 @@ fn cmd_serve(f: &Flags) {
     sigint::install();
     let serve_thread = std::thread::spawn(move || server.serve());
     let mut drain: Option<std::thread::JoinHandle<()>> = None;
+    // The abrupt exit still accounts for itself: one final telemetry
+    // line says what the process abandoned (the journal makes the
+    // abandonment safe — a restart recovers it).
+    let force_exit = |why: &str| -> ! {
+        eprintln!(
+            "rawt: telemetry: {why} — {} accepted, {} finished, {} queued, {} running at exit",
+            metrics.counter_total("rawt_jobs_accepted_total"),
+            metrics.counter_total("rawt_jobs_finished_total"),
+            metrics.gauge_value("rawt_queue_depth", &[]).unwrap_or(0),
+            metrics.gauge_value("rawt_jobs_running", &[]).unwrap_or(0),
+        );
+        eprintln!("rawt: second SIGINT — forcing exit without drain");
+        exit(130);
+    };
     loop {
         std::thread::sleep(Duration::from_millis(100));
         // The force-exit check runs first, and again before declaring
@@ -684,8 +737,7 @@ fn cmd_serve(f: &Flags) {
         // drain finishes in between (the journal makes the abrupt exit
         // safe — a restart recovers what the drain would have finished).
         if sigint::count() >= 2 {
-            eprintln!("rawt: second SIGINT — forcing exit without drain");
-            exit(130);
+            force_exit("forced exit mid-drain");
         }
         if sigint::pressed() && drain.is_none() {
             eprintln!(
@@ -699,8 +751,7 @@ fn cmd_serve(f: &Flags) {
         }
         if serve_thread.is_finished() {
             if sigint::count() >= 2 {
-                eprintln!("rawt: second SIGINT — forcing exit without drain");
-                exit(130);
+                force_exit("forced exit after serve loop ended");
             }
             break;
         }
@@ -767,6 +818,155 @@ fn cmd_route(f: &Flags) {
         Ok(Ok(())) => eprintln!("rawt: router stopped, bye"),
         Ok(Err(e)) => die(&format!("route loop failed: {e}")),
         Err(_) => die("route loop panicked"),
+    }
+}
+
+/// One per-algorithm latency row for the `rawt top` dashboard: algorithm
+/// label, completed-solve count, and p50/p99 solve latency in seconds.
+/// Router scrapes carry a `worker` label on every series; rows aggregate
+/// across workers by summing the per-`le` cumulative bucket counts
+/// (log₂ histograms share one fixed grid, so the sums stay cumulative).
+fn solve_latency_rows(families: &[telemetry::Family]) -> Vec<(String, u64, f64, f64)> {
+    use std::collections::BTreeMap;
+    let Some(family) = families.iter().find(|f| f.name == "rawt_solve_seconds") else {
+        return Vec::new();
+    };
+    let mut by_algo: BTreeMap<String, (BTreeMap<String, f64>, u64)> = BTreeMap::new();
+    for sample in &family.samples {
+        let algo = sample.label("algo").unwrap_or("?").to_owned();
+        let entry = by_algo.entry(algo).or_default();
+        if sample.name.ends_with("_bucket") {
+            let le = sample.label("le").unwrap_or("+Inf").to_owned();
+            *entry.0.entry(le).or_default() += sample.value;
+        } else if sample.name.ends_with("_count") {
+            entry.1 += sample.value as u64;
+        }
+    }
+    by_algo
+        .into_iter()
+        .map(|(algo, (buckets, count))| {
+            let mut pairs: Vec<(f64, f64)> = buckets
+                .into_iter()
+                .map(|(le, cumulative)| {
+                    let bound = if le == "+Inf" {
+                        f64::INFINITY
+                    } else {
+                        le.parse().unwrap_or(f64::INFINITY)
+                    };
+                    (bound, cumulative)
+                })
+                .collect();
+            pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let p50 = telemetry::quantile_from_buckets(pairs.clone(), 0.5).unwrap_or(0.0);
+            let p99 = telemetry::quantile_from_buckets(pairs, 0.99).unwrap_or(0.0);
+            (algo, count, p50, p99)
+        })
+        .collect()
+}
+
+/// Sum every series of a counter/gauge family (collapsing `algo`,
+/// `class`, `worker`, … labels into one fleet-wide number).
+fn family_total(families: &[telemetry::Family], name: &str) -> f64 {
+    families
+        .iter()
+        .filter(|f| f.name == name)
+        .flat_map(|f| &f.samples)
+        .filter(|s| s.name == name)
+        .map(|s| s.value)
+        .sum()
+}
+
+/// `rawt top ADDR`: a terminal dashboard over `/metrics` + `/healthz`,
+/// repainted every `--interval` seconds (`--once` prints one frame, for
+/// scripts and tests). Works against a worker and against a router —
+/// the router's exposition is the whole fleet, worker-labelled.
+fn cmd_top(f: &Flags) {
+    let addr = f
+        .positional
+        .first()
+        .unwrap_or_else(|| die("top needs an ADDR (a rawt serve or rawt route address)"));
+    let client = match &f.token {
+        Some(token) => Client::with_token(addr, token),
+        None => Client::new(addr),
+    };
+    sigint::install();
+    loop {
+        let exposition = client
+            .metrics_text()
+            .unwrap_or_else(|e| die(&format!("cannot scrape {addr}/metrics: {e}")));
+        let families = telemetry::parse_exposition(&exposition);
+        let health = client.healthz().ok();
+        if !f.once {
+            // ANSI clear + home: repaint in place like top(1).
+            print!("\x1b[2J\x1b[H");
+        }
+        let status = health
+            .as_ref()
+            .and_then(|h| h.get("status").and_then(Json::as_str).map(str::to_owned))
+            .unwrap_or_else(|| "unknown".to_owned());
+        println!("rawt top — {addr} [{status}]");
+        let queued = family_total(&families, "rawt_queue_depth") as i64;
+        let running = family_total(&families, "rawt_jobs_running") as i64;
+        let accepted = family_total(&families, "rawt_jobs_accepted_total") as u64;
+        let finished = family_total(&families, "rawt_jobs_finished_total") as u64;
+        let shed = family_total(&families, "rawt_jobs_shed_total") as u64;
+        let subscribers = family_total(&families, "rawt_stream_subscribers") as i64;
+        let shed_rate = if accepted + shed > 0 {
+            100.0 * shed as f64 / (accepted + shed) as f64
+        } else {
+            0.0
+        };
+        println!(
+            "jobs: {queued} queued, {running} running, {finished}/{accepted} finished, \
+             {shed} shed ({shed_rate:.1}%), {subscribers} stream subscriber(s)"
+        );
+        let rows = solve_latency_rows(&families);
+        if rows.is_empty() {
+            println!("solve latency: no completed jobs yet");
+        } else {
+            println!(
+                "{:<28} {:>8} {:>10} {:>10}",
+                "algorithm", "solves", "p50", "p99"
+            );
+            for (algo, count, p50, p99) in rows {
+                println!(
+                    "{algo:<28} {count:>8} {:>9.1}ms {:>9.1}ms",
+                    p50 * 1e3,
+                    p99 * 1e3
+                );
+            }
+        }
+        // A router's /healthz lists per-worker health; a worker's has no
+        // "workers" array and this section simply disappears.
+        if let Some(workers) = health
+            .as_ref()
+            .and_then(|h| h.get("workers").and_then(Json::as_array))
+        {
+            println!("workers:");
+            for worker in workers {
+                let w_addr = worker.get("addr").and_then(Json::as_str).unwrap_or("?");
+                let alive = worker.get("alive").and_then(Json::as_bool).unwrap_or(false);
+                let w_status = worker
+                    .get("health")
+                    .and_then(|h| h.get("status"))
+                    .and_then(Json::as_str)
+                    .unwrap_or(if alive { "ok" } else { "down" });
+                println!("  {w_addr:<24} {}", if alive { w_status } else { "DOWN" });
+            }
+        }
+        if f.once || sigint::pressed() {
+            return;
+        }
+        // Sleep in 100 ms steps so Ctrl-C lands promptly mid-interval.
+        let mut remaining = Duration::from_secs_f64(f.interval);
+        while !remaining.is_zero() && !sigint::pressed() {
+            let step = remaining.min(Duration::from_millis(100));
+            std::thread::sleep(step);
+            remaining -= step;
+        }
+        if sigint::pressed() {
+            return;
+        }
     }
 }
 
@@ -1222,7 +1422,7 @@ fn cmd_generate(f: &Flags) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
-        die("usage: rawt <aggregate|compare|list|serve|route|session|similarity|distance|generate> …");
+        die("usage: rawt <aggregate|compare|list|serve|route|top|session|similarity|distance|generate> …");
     };
     let flags = parse_flags(rest);
     match cmd.as_str() {
@@ -1231,6 +1431,7 @@ fn main() {
         "list" => cmd_list(&flags),
         "serve" => cmd_serve(&flags),
         "route" => cmd_route(&flags),
+        "top" => cmd_top(&flags),
         "session" => cmd_session(&flags),
         "similarity" => cmd_similarity(&flags),
         "distance" => cmd_distance(&flags),
