@@ -51,7 +51,14 @@
 //!   handle resolve), the overhead fraction of a fully instrumented
 //!   panel run (op count read off the run's own registry × microcost ÷
 //!   wall time; budgeted ≤ 2%), and the cross-check that the registry's
-//!   time-to-first-incumbent buckets agree with the PR 3 trace data.
+//!   time-to-first-incumbent buckets agree with the PR 3 trace data;
+//! * a **large-n** section (DESIGN.md §16): the positional panel on the
+//!   matrix-free kernel lane at `n ∈ {1000, 5000, 20000}` — wall time,
+//!   peak RSS (`VmHWM`), and the matrix-build counter (pinned 0) — with
+//!   the dense lane alongside at n = 1000 for a same-host comparison of
+//!   both lanes' time and memory on identical data. Passing a section
+//!   name after the output path (only `large_n`) runs that section
+//!   alone — CI's wall-clock-capped smoke job uses it.
 //!
 //! The header records the host's available parallelism and a timestamp,
 //! so committed BENCH files stay interpretable (PR 1's single-core
@@ -61,7 +68,7 @@
 //! PRs can track the trajectory:
 //!
 //! ```text
-//! cargo run --release -p bench --bin perf_trajectory -- BENCH_9.json
+//! cargo run --release -p bench --bin perf_trajectory -- BENCH_10.json
 //! ```
 
 use ragen::UniformSampler;
@@ -70,7 +77,9 @@ use rand::SeedableRng;
 use rank_core::algorithms::bioconsert::BioConsert;
 use rank_core::algorithms::exact::ExactAlgorithm;
 use rank_core::algorithms::{AlgoContext, ConsensusAlgorithm};
-use rank_core::engine::{paper_panel, AggregationRequest, AlgoSpec, Engine, Event};
+use rank_core::engine::{
+    paper_panel, AggregationRequest, AlgoSpec, Engine, Event, ExecPolicy, KernelLane, LanePolicy,
+};
 use rank_core::session::DatasetSession;
 use rank_core::{CostMatrix, Dataset};
 use service::client::Client;
@@ -1032,15 +1041,207 @@ fn measure_telemetry(n: usize, data: &Dataset) -> TelemetryReport {
     }
 }
 
+/// The large-n lane comparison (DESIGN.md §16): sizes where the dense
+/// `8n²` cost matrix goes from comfortable (8 MB) through heavy (200 MB)
+/// to out of the question (3.2 GB).
+const LARGE_NS: [usize; 3] = [1000, 5000, 20_000];
+/// Few voters: at these sizes the `O(m·n²)` dense build — not the
+/// kernels — is the wall under measurement, and m only scales it.
+const LARGE_M: usize = 8;
+
+/// A deterministic large dataset: affine permutations of `0..n` (odd
+/// steps, coprime with any even n) with adjacent images tied into
+/// buckets of two. The exact-uniform sampler's bignum tables are
+/// needlessly expensive at n = 20 000; lane timing only needs realistic
+/// shape (full support, ties everywhere), not uniformity.
+fn large_dataset(n: usize, m: usize) -> Dataset {
+    let steps = [3u64, 7, 11, 13, 17, 19, 23, 29];
+    let rankings: Vec<_> = (0..m)
+        .map(|k| {
+            let step = steps[k % steps.len()];
+            let idx: Vec<u32> = (0..n as u64)
+                .map(|e| (((e * step + k as u64) % n as u64) / 2) as u32)
+                .collect();
+            rank_core::Ranking::from_bucket_indices(&idx).expect("compact buckets")
+        })
+        .collect();
+    Dataset::new(rankings).expect("dense dataset")
+}
+
+/// Peak resident set of this process so far (`VmHWM`), in bytes; 0 where
+/// `/proc` is unavailable. Monotonic — callers must read the small-
+/// footprint arm before the large one.
+fn peak_rss_bytes() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|kb| kb.parse::<u64>().ok())
+        })
+        .map_or(0, |kb| kb * 1024)
+}
+
+/// One (size, lane, algorithm) cell of the large-n section.
+struct LargeRow {
+    n: usize,
+    lane: &'static str,
+    algorithm: String,
+    wall_s: f64,
+    score: u64,
+    /// The engine's matrix-build counter after the run — must stay 0 on
+    /// the matrix-free lane (the whole point of it).
+    matrix_builds: usize,
+    /// Analytic resident footprint of the lane's cost provider: 8n²
+    /// dense, 0 matrix-free.
+    provider_bytes: usize,
+    /// Process-wide peak RSS when the row finished (see
+    /// [`peak_rss_bytes`] for the monotonicity caveat).
+    peak_rss_bytes: u64,
+}
+
+/// The large-n section: the matrix-free panel at every size, plus the
+/// dense lane at n = 1000 for a same-host before/after (wall time and
+/// peak memory of both lanes on identical data). Above 1000 the dense
+/// lane is deliberately not run: 200 MB–3.2 GB of matrix is what the
+/// lane exists to avoid. MC4 joins only at n = 1000 — its adjacency
+/// graph is itself up-to-quadratic, so "matrix-free MC4" buys the build
+/// skip, not a memory guarantee.
+fn measure_large_n() -> Vec<LargeRow> {
+    let mut rows = Vec::new();
+    for &n in &LARGE_NS {
+        let data = std::sync::Arc::new(large_dataset(n, LARGE_M));
+        let mut specs = vec![AlgoSpec::Borda, AlgoSpec::Copeland, AlgoSpec::MedRank(0.5)];
+        if n <= 1000 {
+            specs.push(AlgoSpec::Mc4);
+        }
+        // Matrix-free first: VmHWM is a high-water mark, so this lane's
+        // peak must be read before the dense build inflates it.
+        let lanes: &[(LanePolicy, &str)] = if n <= 1000 {
+            &[
+                (LanePolicy::MatrixFree, "matrix_free"),
+                (LanePolicy::Dense, "dense"),
+            ]
+        } else {
+            &[(LanePolicy::MatrixFree, "matrix_free")]
+        };
+        for &(policy, lane_name) in lanes {
+            let engine = Engine::new();
+            for spec in &specs {
+                let request = AggregationRequest::new(std::sync::Arc::clone(&data), spec.clone())
+                    .with_seed(7)
+                    .with_policy(ExecPolicy::default().with_lane(policy));
+                let t = Instant::now();
+                let report = engine.run(&request);
+                let wall_s = t.elapsed().as_secs_f64();
+                assert_eq!(report.lane.as_str(), lane_name, "lane resolution drifted");
+                rows.push(LargeRow {
+                    n,
+                    lane: lane_name,
+                    algorithm: report.algorithm(),
+                    wall_s,
+                    score: report.score,
+                    matrix_builds: engine.cache().builds(),
+                    provider_bytes: if report.lane == KernelLane::Dense {
+                        8 * n * n
+                    } else {
+                        0
+                    },
+                    peak_rss_bytes: peak_rss_bytes(),
+                });
+            }
+            if lane_name == "matrix_free" {
+                assert_eq!(
+                    engine.cache().builds(),
+                    0,
+                    "matrix-free panel at n={n} must never build a cost matrix"
+                );
+            }
+        }
+    }
+    rows
+}
+
+/// The `"large_n"` JSON object, shared by the full run and the
+/// section-only run (`perf_trajectory OUT.json large_n`).
+fn large_n_json(rows: &[LargeRow]) -> String {
+    let mut json = String::new();
+    json.push_str("  \"large_n\": {\n");
+    let _ = writeln!(json, "    \"m\": {LARGE_M},");
+    let _ = writeln!(
+        json,
+        "    \"dense_budget_bytes\": {},",
+        rank_core::engine::DENSE_LANE_BUDGET_BYTES
+    );
+    json.push_str("    \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "      {{\"n\": {}, \"lane\": \"{}\", \"algorithm\": \"{}\", \"wall_secs\": {:.6}, \"score\": {}, \"matrix_builds\": {}, \"provider_bytes\": {}, \"peak_rss_bytes\": {}}}{}",
+            r.n,
+            r.lane,
+            r.algorithm,
+            r.wall_s,
+            r.score,
+            r.matrix_builds,
+            r.provider_bytes,
+            r.peak_rss_bytes,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("    ]\n");
+    json.push_str("  }");
+    json
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_9.json".to_owned());
+        .unwrap_or_else(|| "BENCH_10.json".to_owned());
+    let section = std::env::args().nth(2);
     let threads = rank_core::parallel::num_threads();
     let host_parallelism = std::thread::available_parallelism().map_or(0, |n| n.get());
     let timestamp_unix_secs = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map_or(0, |d| d.as_secs());
+
+    // Section-only mode (`perf_trajectory OUT.json large_n`): run just
+    // the named section and emit a header + that section. CI's
+    // large-n-smoke job uses it to fit a wall-clock cap.
+    if let Some(section) = section {
+        assert_eq!(
+            section, "large_n",
+            "unknown section {section:?} (only \"large_n\" can run alone)"
+        );
+        let large = measure_large_n();
+        for r in &large {
+            eprintln!(
+                "large_n: n={:<6} {:<11} {:<16} {:.3}s (builds={}, peak {:.0} MB)",
+                r.n,
+                r.lane,
+                r.algorithm,
+                r.wall_s,
+                r.matrix_builds,
+                r.peak_rss_bytes as f64 / 1e6,
+            );
+        }
+        let mut json = String::new();
+        json.push_str("{\n");
+        let _ = writeln!(
+            json,
+            "  \"bench\": \"matrix-free large-n kernel lane (PR 10), section-only run\","
+        );
+        let _ = writeln!(json, "  \"worker_threads\": {threads},");
+        let _ = writeln!(json, "  \"host_parallelism\": {host_parallelism},");
+        let _ = writeln!(json, "  \"timestamp_unix_secs\": {timestamp_unix_secs},");
+        json.push_str(&large_n_json(&large));
+        json.push_str("\n}\n");
+        std::fs::write(&out_path, &json).expect("write bench report");
+        println!("wrote {out_path}");
+        return;
+    }
+
     let sampler = UniformSampler::new(*NS.iter().max().expect("non-empty"));
 
     let mut reports = Vec::new();
@@ -1080,6 +1281,21 @@ fn main() {
             r.batch_identical,
         );
         reports.push(r);
+    }
+
+    // Large-n section: both kernel lanes at n = 1000, matrix-free alone
+    // where the dense matrix stops fitting the budget (DESIGN.md §16).
+    let large = measure_large_n();
+    for r in &large {
+        eprintln!(
+            "large_n: n={:<6} {:<11} {:<16} {:.3}s (builds={}, peak {:.0} MB)",
+            r.n,
+            r.lane,
+            r.algorithm,
+            r.wall_s,
+            r.matrix_builds,
+            r.peak_rss_bytes as f64 / 1e6,
+        );
     }
 
     // Service section: submit-to-first-incumbent over the wire, under
@@ -1203,12 +1419,14 @@ fn main() {
     json.push_str("{\n");
     let _ = writeln!(
         json,
-        "  \"bench\": \"parallel consensus kernel (PR 1) + engine batch front door (PR 2) + anytime incumbent traces (PR 3) + network service latency (PR 4) + parallel exact proof search with certified gaps (PR 5) + durable journal recovery (PR 6) + incremental sessions: delta patches, warm re-solves, keep-alive (PR 7) + sharded fleet under open-loop load (PR 8) + telemetry registry overhead and phase tracing (PR 9)\","
+        "  \"bench\": \"parallel consensus kernel (PR 1) + engine batch front door (PR 2) + anytime incumbent traces (PR 3) + network service latency (PR 4) + parallel exact proof search with certified gaps (PR 5) + durable journal recovery (PR 6) + incremental sessions: delta patches, warm re-solves, keep-alive (PR 7) + sharded fleet under open-loop load (PR 8) + telemetry registry overhead and phase tracing (PR 9) + matrix-free large-n kernel lane (PR 10)\","
     );
     let _ = writeln!(json, "  \"m\": {M},");
     let _ = writeln!(json, "  \"worker_threads\": {threads},");
     let _ = writeln!(json, "  \"host_parallelism\": {host_parallelism},");
     let _ = writeln!(json, "  \"timestamp_unix_secs\": {timestamp_unix_secs},");
+    json.push_str(&large_n_json(&large));
+    json.push_str(",\n");
     json.push_str("  \"service\": {\n");
     let _ = writeln!(json, "    \"n\": {},", NS[0]);
     let _ = writeln!(json, "    \"concurrent_clients\": {},", service.clients);

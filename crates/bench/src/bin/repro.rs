@@ -141,7 +141,7 @@ fn banner(title: &str) {
 fn sequential_panel(min_runs: usize) -> Vec<Box<dyn ConsensusAlgorithm>> {
     paper_panel(min_runs)
         .iter()
-        .map(|s| s.build(ExecPolicy::Sequential))
+        .map(|s| s.build(ExecPolicy::sequential()))
         .collect()
 }
 
@@ -352,7 +352,7 @@ fn fig2(opts: &Opts) {
         AlgoSpec::RepeatChoice,
     ]
     .iter()
-    .map(|s| s.build(ExecPolicy::Sequential))
+    .map(|s| s.build(ExecPolicy::sequential()))
     .collect();
     let exact_timing_cap = scale.n_exact_cap.min(20);
     let ailon_timing_cap = 25;
@@ -369,7 +369,7 @@ fn fig2(opts: &Opts) {
         let mut cells = vec![n.to_string()];
         // ExactSolution first (as the paper's legend lists it).
         if n <= exact_timing_cap {
-            let exact = AlgoSpec::Exact.build(ExecPolicy::Sequential);
+            let exact = AlgoSpec::Exact.build(ExecPolicy::sequential());
             let r = time_algorithm(
                 exact.as_ref(),
                 &data,
@@ -606,7 +606,7 @@ fn fig6(opts: &Opts) {
     // single-threaded. The "Min" variants are included here as in the
     // paper's Figure 6.
     let mut algos = sequential_panel(scale.min_runs);
-    algos.push(AlgoSpec::Exact.build(ExecPolicy::Sequential));
+    algos.push(AlgoSpec::Exact.build(ExecPolicy::sequential()));
     let mut times: std::collections::BTreeMap<String, Vec<f64>> = Default::default();
     for (i, data) in timing_sets.iter().enumerate() {
         for algo in &algos {
@@ -654,7 +654,7 @@ fn sim_time(opts: &Opts) {
     let mut rng = StdRng::seed_from_u64(72);
     let reps = scale.datasets_per_cell.clamp(1, 3);
     let mut algos = sequential_panel(scale.min_runs);
-    algos.push(AlgoSpec::Exact.build(ExecPolicy::Sequential));
+    algos.push(AlgoSpec::Exact.build(ExecPolicy::sequential()));
 
     let measure = |t_steps: usize, rng: &mut StdRng| -> std::collections::BTreeMap<String, f64> {
         let mut acc: std::collections::BTreeMap<String, Vec<f64>> = Default::default();

@@ -14,25 +14,20 @@
 
 use super::{ranking_from_scores, AlgoContext, ConsensusAlgorithm};
 use crate::dataset::Dataset;
+use crate::positional::PositionalStats;
 use crate::ranking::Ranking;
 
 /// The BordaCount positional algorithm. Runs in `O(nm + n log n)`.
+///
+/// Matrix-free by construction: the score vector is one of the `O(m·n)`
+/// [`PositionalStats`] accumulators, so the kernel runs identically on
+/// either lane and never touches a [`crate::CostMatrix`].
 #[derive(Debug, Clone, Copy, Default)]
 pub struct BordaCount;
 
 /// Sum over rankings of (1 + number of elements strictly before `e`).
 pub(crate) fn borda_scores(data: &Dataset) -> Vec<u64> {
-    let mut scores = vec![0u64; data.n()];
-    for r in data.rankings() {
-        let mut before = 0u64;
-        for bucket in r.buckets() {
-            for &e in bucket {
-                scores[e.index()] += before + 1;
-            }
-            before += bucket.len() as u64;
-        }
-    }
-    scores
+    PositionalStats::compute(data).borda_scores().to_vec()
 }
 
 impl ConsensusAlgorithm for BordaCount {

@@ -15,9 +15,14 @@
 use super::{ranking_from_scores, AlgoContext, ConsensusAlgorithm};
 use crate::dataset::Dataset;
 use crate::element::Element;
+use crate::positional::PositionalStats;
 use crate::ranking::Ranking;
 
 /// The paper's positional CopelandMethod.
+///
+/// Matrix-free by construction: the score vector is one of the `O(m·n)`
+/// [`PositionalStats`] accumulators, so the kernel runs identically on
+/// either lane and never touches a [`crate::CostMatrix`].
 #[derive(Debug, Clone, Copy, Default)]
 pub struct CopelandMethod;
 
@@ -34,17 +39,7 @@ impl ConsensusAlgorithm for CopelandMethod {
         // One-shot kernel: the checkpoint records a pre-expired deadline
         // or pending cancel so the report's outcome is honest.
         let _ = ctx.checkpoint();
-        let mut scores = vec![0u64; data.n()];
-        for r in data.rankings() {
-            let mut after = r.n_elements() as u64;
-            for bucket in r.buckets() {
-                after -= bucket.len() as u64;
-                for &e in bucket {
-                    scores[e.index()] += after;
-                }
-            }
-        }
-        ranking_from_scores(&scores, false)
+        ranking_from_scores(PositionalStats::compute(data).copeland_scores(), false)
     }
 }
 

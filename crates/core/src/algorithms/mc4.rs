@@ -15,7 +15,36 @@
 use super::{AlgoContext, ConsensusAlgorithm};
 use crate::dataset::Dataset;
 use crate::element::Element;
+use crate::engine::KernelLane;
+use crate::positional::{CostProvider, PositionalCosts};
 use crate::ranking::Ranking;
+
+/// Majority adjacency from provider cost rows: `better_than[a]` lists the
+/// elements a strict majority of inputs prefers over `a`.
+///
+/// From row `a`, `before(b, a) = cost_before(a,b) + cost_tied(a,b) − m`
+/// (the complement identity `before + after + tied = m` rearranged), so
+/// one row suffices per element — the same integers the dense
+/// `2·before(b,a) > m` test reads, on either lane.
+fn majority_adjacency(provider: &dyn CostProvider) -> Vec<Vec<u32>> {
+    let n = provider.n();
+    let m = provider.m();
+    let mut better_than: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut buf = vec![0u32; 2 * n];
+    for a in 0..n {
+        let row = provider.row_into(Element(a as u32), &mut buf);
+        for b in 0..n {
+            if b == a {
+                continue;
+            }
+            let before_b_over_a = row[2 * b] + row[2 * b + 1] - m;
+            if 2 * before_b_over_a > m {
+                better_than[a].push(b as u32);
+            }
+        }
+    }
+    better_than
+}
 
 /// MC4 with configurable teleport and convergence parameters.
 #[derive(Debug, Clone, Copy)]
@@ -55,18 +84,16 @@ impl ConsensusAlgorithm for Mc4 {
         if n == 1 {
             return data.ranking(0).clone();
         }
-        let pairs = ctx.cost_matrix(data);
-        let m = pairs.m();
-
-        // adjacency[a] = elements a strict majority prefers over a.
-        let mut better_than: Vec<Vec<u32>> = vec![Vec::new(); n];
-        for a in 0..n {
-            for b in 0..n {
-                if a != b && 2 * pairs.before(Element(b as u32), Element(a as u32)) > m {
-                    better_than[a].push(b as u32);
-                }
+        // One adjacency construction for both lanes: the dense lane reads
+        // resident matrix rows, the matrix-free lane recomputes each row
+        // in O(m·n) and never materializes the matrix.
+        let better_than = match ctx.lane() {
+            KernelLane::Dense => {
+                let pairs = ctx.cost_matrix(data);
+                majority_adjacency(&*pairs)
             }
-        }
+            KernelLane::MatrixFree => majority_adjacency(&PositionalCosts::new(data)),
+        };
 
         let uniform = 1.0 / n as f64;
         let mut pi = vec![uniform; n];

@@ -69,7 +69,7 @@ pub mod repeat_choice;
 use crate::dataset::Dataset;
 use crate::element::Element;
 use crate::engine::job::{CancelToken, IncumbentSink};
-use crate::engine::{AlgoSpec, ExecPolicy};
+use crate::engine::{AlgoSpec, ExecPolicy, KernelLane};
 use crate::pairs::CostMatrix;
 use crate::parallel;
 use crate::ranking::Ranking;
@@ -334,6 +334,9 @@ pub struct AlgoContext {
     cancel: CancelToken,
     /// Previous-consensus hint for warm-started re-solves, if any.
     warm: Option<Arc<WarmStart>>,
+    /// The pairwise-cost lane this run resolved to (set by the engine;
+    /// defaults to dense for bare contexts).
+    lane: KernelLane,
 }
 
 impl AlgoContext {
@@ -356,6 +359,7 @@ impl AlgoContext {
             sink: None,
             cancel: CancelToken::new(),
             warm: None,
+            lane: KernelLane::default(),
         }
     }
 
@@ -387,6 +391,7 @@ impl AlgoContext {
             sink: self.sink.clone(),
             cancel: self.cancel.clone(),
             warm: self.warm.clone(),
+            lane: self.lane,
         }
     }
 
@@ -510,6 +515,21 @@ impl AlgoContext {
     #[inline]
     pub fn warm_start(&self) -> Option<&WarmStart> {
         self.warm.as_deref()
+    }
+
+    /// Pin the pairwise-cost lane for this run (the engine sets the
+    /// resolved [`KernelLane`] before invoking the kernel; workers
+    /// inherit it).
+    pub fn set_lane(&mut self, lane: KernelLane) {
+        self.lane = lane;
+    }
+
+    /// The pairwise-cost lane this run resolved to. Lane-aware kernels
+    /// (MC4) consult it to pick their [`crate::positional::CostProvider`];
+    /// bare contexts default to [`KernelLane::Dense`].
+    #[inline]
+    pub fn lane(&self) -> KernelLane {
+        self.lane
     }
 
     /// The cancellation token [`Self::checkpoint`] observes. Clone it and
@@ -712,7 +732,7 @@ pub(crate) fn ranking_from_scores<T: Ord + Copy>(scores: &[T], ascending: bool) 
 /// repeat count (the paper used "a large number of runs"; the harness
 /// default is 20).
 pub fn paper_algorithms(min_runs: usize) -> Vec<Box<dyn ConsensusAlgorithm>> {
-    build_panel(crate::engine::paper_panel(min_runs), ExecPolicy::Parallel)
+    build_panel(crate::engine::paper_panel(min_runs), ExecPolicy::parallel())
 }
 
 /// [`paper_algorithms`] with every multi-start member pinned to its
@@ -726,7 +746,10 @@ pub fn paper_algorithms(min_runs: usize) -> Vec<Box<dyn ConsensusAlgorithm>> {
 /// [`CostMatrix::build_with_threads`]`(data, 1)` if a future experiment
 /// crosses it and needs strictly single-threaded seconds.
 pub fn paper_algorithms_sequential(min_runs: usize) -> Vec<Box<dyn ConsensusAlgorithm>> {
-    build_panel(crate::engine::paper_panel(min_runs), ExecPolicy::Sequential)
+    build_panel(
+        crate::engine::paper_panel(min_runs),
+        ExecPolicy::sequential(),
+    )
 }
 
 /// Instantiate every spec of a panel under one execution policy.
@@ -737,12 +760,12 @@ fn build_panel(specs: Vec<AlgoSpec>, policy: ExecPolicy) -> Vec<Box<dyn Consensu
 /// The exact solver (reported as "ExactAlgorithm"/"ExactSolution" in the
 /// paper's figures).
 pub fn exact_algorithm() -> Box<dyn ConsensusAlgorithm> {
-    AlgoSpec::Exact.build(ExecPolicy::Parallel)
+    AlgoSpec::Exact.build(ExecPolicy::parallel())
 }
 
 /// Non-bold Table 1 rows, implemented as extensions (see DESIGN.md §7).
 pub fn extended_algorithms() -> Vec<Box<dyn ConsensusAlgorithm>> {
-    build_panel(crate::engine::extended_panel(), ExecPolicy::Parallel)
+    build_panel(crate::engine::extended_panel(), ExecPolicy::parallel())
 }
 
 #[cfg(test)]

@@ -53,7 +53,8 @@ pub use request::{AggregationRequest, BatchBuilder, Normalization};
 pub use scheduler::{AdmissionError, SchedulerConfig, SchedulerStats, DEFAULT_QUEUE_CAPACITY};
 pub use spec::{
     extended_panel, full_panel, paper_panel, registry, suggest, AlgoEntry, AlgoSpec, ExecPolicy,
-    SpecErrorKind, SpecParseError, DEFAULT_MIN_RUNS,
+    KernelLane, LanePolicy, SpecErrorKind, SpecParseError, Threading, DEFAULT_MIN_RUNS,
+    DENSE_LANE_BUDGET_BYTES,
 };
 
 use crate::algorithms::{AlgoContext, MatrixCache};
@@ -149,6 +150,10 @@ pub struct ConsensusReport {
     pub ranking: Ranking,
     /// Generalized Kemeny score of `ranking` against the request dataset.
     pub score: u64,
+    /// The pairwise-cost lane the run actually executed on (provenance:
+    /// the *resolved* [`LanePolicy`], not the requested one — an explicit
+    /// matrix-free request on an unsupported spec runs and reports dense).
+    pub lane: KernelLane,
     /// Gap to the batch's reference score (proven optimum when one exists
     /// in the batch, otherwise the best score any batch member achieved —
     /// the paper's m-gap, §6.2.3). `None` for a lone [`Engine::run`] with
@@ -471,46 +476,75 @@ impl Engine {
         let mut ctx = base.worker(hash_name(&request.spec.paper_name()));
         ctx.attach_sink(Arc::clone(sink));
         ctx.set_cancel_token(cancel);
+        // Resolve the pairwise-cost lane (DESIGN.md §16): a caller-supplied
+        // matrix pins dense, otherwise policy × spec × size decide. The
+        // resolved lane is the report's provenance, not the requested one.
+        let lane = request.policy.lane.resolve(
+            &request.spec,
+            request.dataset.n(),
+            request.cost_matrix.is_some(),
+        );
+        ctx.set_lane(lane);
+        metrics
+            .counter(
+                "rawt_kernel_lane_total",
+                "Jobs executed, by resolved pairwise-cost lane.",
+                &[("lane", lane.as_str())],
+            )
+            .inc();
         // A caller-supplied matrix (a session's delta-patched one) primes
         // the cache, so the `cost_matrix` call below — and every kernel's
         // — hits instead of paying the `O(m·n²)` rebuild.
         if let Some(prebuilt) = &request.cost_matrix {
             cache.insert(&request.dataset, Arc::clone(prebuilt));
         }
+        // The matrix-free lane never touches the cache: no build, no probe,
+        // `matrix_build` ≈ 0 and the builds counter stays untouched.
         let matrix_start = Instant::now();
-        let (matrix, built) = cache.get_with_flag(&request.dataset);
+        let (matrix, built) = match lane {
+            KernelLane::Dense => {
+                let (matrix, built) = cache.get_with_flag(&request.dataset);
+                (Some(matrix), built)
+            }
+            KernelLane::MatrixFree => (None, false),
+        };
         let matrix_build = matrix_start.elapsed();
-        if built {
-            metrics
-                .counter(
-                    "rawt_matrix_builds_total",
-                    "O(m*n^2) cost-matrix builds actually performed.",
-                    &[],
-                )
-                .inc();
-            metrics
-                .histogram(
-                    "rawt_matrix_build_seconds",
-                    "Cost-matrix build latency (cache misses only).",
-                    &[],
-                )
-                .record(matrix_build);
-        } else {
-            metrics
-                .counter(
-                    "rawt_matrix_cache_hits_total",
-                    "Jobs that found their cost matrix already cached.",
-                    &[],
-                )
-                .inc();
+        if matrix.is_some() {
+            if built {
+                metrics
+                    .counter(
+                        "rawt_matrix_builds_total",
+                        "O(m*n^2) cost-matrix builds actually performed.",
+                        &[],
+                    )
+                    .inc();
+                metrics
+                    .histogram(
+                        "rawt_matrix_build_seconds",
+                        "Cost-matrix build latency (cache misses only).",
+                        &[],
+                    )
+                    .record(matrix_build);
+            } else {
+                metrics
+                    .counter(
+                        "rawt_matrix_cache_hits_total",
+                        "Jobs that found their cost matrix already cached.",
+                        &[],
+                    )
+                    .inc();
+            }
         }
         // Warm-start hint: validated against the dataset and rescored
-        // against this run's matrix (a stale caller-supplied score could
+        // against this run's substrate (a stale caller-supplied score could
         // otherwise let an exact solver prune below the true optimum).
         // An incomplete hint is dropped — a cold run is always correct.
         if let Some(warm) = &request.warm_start {
             if request.dataset.is_complete_ranking(&warm.ranking) {
-                let score = matrix.score(&warm.ranking);
+                let score = match &matrix {
+                    Some(matrix) => matrix.score(&warm.ranking),
+                    None => score::kemeny_score(&warm.ranking, &request.dataset),
+                };
                 ctx.set_warm_start(Arc::new(crate::algorithms::WarmStart {
                     ranking: warm.ranking.clone(),
                     score,
@@ -525,7 +559,12 @@ impl Engine {
         let ranking = algo.run(&request.dataset, &mut ctx);
         let elapsed = start.elapsed();
         debug_assert!(request.dataset.is_complete_ranking(&ranking));
-        let score = matrix.score(&ranking);
+        // Both scorers compute the same exact integer (property-tested);
+        // the matrix-free path is O(m·n log n) instead of resident-O(n²).
+        let score = match &matrix {
+            Some(matrix) => matrix.score(&ranking),
+            None => score::kemeny_score(&ranking, &request.dataset),
+        };
         // Publish the final result too, so one-shot algorithms (Borda,
         // MEDRank, …) still yield a one-point trace and every trace ends
         // at the reported score.
@@ -568,6 +607,7 @@ impl Engine {
             spec: request.spec.clone(),
             ranking,
             score,
+            lane,
             gap: if outcome == Outcome::Optimal {
                 Some(0.0)
             } else {
@@ -581,7 +621,9 @@ impl Engine {
             phases: PhaseBreakdown {
                 queue_wait,
                 matrix_build,
-                matrix_cached: !built,
+                // Matrix-free runs have no matrix to cache: report false,
+                // not "hit" (there was neither a build nor a probe).
+                matrix_cached: matrix.is_some() && !built,
                 solve: elapsed,
                 serialize: Duration::ZERO,
             },

@@ -6,7 +6,7 @@
 //! request batch — the shape the paper's §6 harness (one panel per
 //! dataset) and the `rawt compare` front door both have.
 
-use super::spec::{AlgoSpec, ExecPolicy};
+use super::spec::{AlgoSpec, ExecPolicy, KernelLane, LanePolicy};
 use crate::algorithms::WarmStart;
 use crate::dataset::Dataset;
 use crate::normalize::{projection, unification, Normalized};
@@ -127,6 +127,22 @@ impl AggregationRequest {
     pub fn with_policy(mut self, policy: ExecPolicy) -> Self {
         self.policy = policy;
         self
+    }
+
+    /// Set only the pairwise-cost lane of the policy (threading is kept).
+    pub fn with_lane(mut self, lane: LanePolicy) -> Self {
+        self.policy = self.policy.with_lane(lane);
+        self
+    }
+
+    /// The [`KernelLane`] the engine will resolve this request to —
+    /// exposed so callers (and tests) can predict lane selection without
+    /// running: a supplied [`AggregationRequest::cost_matrix`] pins dense,
+    /// otherwise [`LanePolicy::resolve`] decides from spec and size.
+    pub fn resolved_lane(&self) -> KernelLane {
+        self.policy
+            .lane
+            .resolve(&self.spec, self.dataset.n(), self.cost_matrix.is_some())
     }
 
     /// Seed the run from a previous consensus (a

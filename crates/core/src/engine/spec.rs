@@ -26,7 +26,7 @@ use std::str::FromStr;
 /// preset or alias does not specify one (the harness default).
 pub const DEFAULT_MIN_RUNS: usize = 20;
 
-/// How a built algorithm may use the machine.
+/// How a built algorithm may use the machine's threads.
 ///
 /// `Parallel` lets multi-start members (BioConsert, [`AlgoSpec::BestOf`])
 /// fan repeats out to worker threads; `Sequential` pins them to one
@@ -34,12 +34,129 @@ pub const DEFAULT_MIN_RUNS: usize = 20;
 /// PR-1 determinism contract), so `Sequential` exists for timing
 /// experiments and reproducibility tests, not for different results.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum ExecPolicy {
+pub enum Threading {
     /// Multi-start members may use the parallel worker substrate.
     #[default]
     Parallel,
     /// Pin every member to the sequential path (host-independent seconds).
     Sequential,
+}
+
+/// Which pairwise-cost substrate the engine should run a request on.
+///
+/// `Auto` materializes the dense [`crate::CostMatrix`] while its 8n² bytes
+/// fit [`DENSE_LANE_BUDGET_BYTES`] and switches to the matrix-free
+/// positional lane beyond that — but only for specs that support it
+/// ([`AlgoSpec::supports_matrix_free`]); the rest always run dense. The
+/// explicit variants override the budget in either direction (a
+/// `MatrixFree` request on an unsupported spec still falls back to dense,
+/// and the report's `lane` field records what actually ran).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LanePolicy {
+    /// Dense while 8n² fits the budget, matrix-free beyond (default).
+    #[default]
+    Auto,
+    /// Always materialize the dense cost matrix.
+    Dense,
+    /// Skip the matrix wherever the spec's kernel allows it.
+    MatrixFree,
+}
+
+/// The pairwise-cost substrate a request actually ran on — resolved from
+/// [`LanePolicy`] by the engine and recorded in
+/// [`super::ConsensusReport::lane`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelLane {
+    /// The dense 8n²-byte [`crate::CostMatrix`] was materialized.
+    #[default]
+    Dense,
+    /// The O(m·n) positional lane ran; no matrix was built.
+    MatrixFree,
+}
+
+impl KernelLane {
+    /// Stable lower-snake label (`"dense"` / `"matrix_free"`) used by
+    /// `report_json` and the `rawt_kernel_lane_total{lane}` counter.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            KernelLane::Dense => "dense",
+            KernelLane::MatrixFree => "matrix_free",
+        }
+    }
+}
+
+impl fmt::Display for KernelLane {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Memory budget (bytes) for the dense lane under [`LanePolicy::Auto`]:
+/// when the packed cost matrix would exceed this (8n² > budget, i.e.
+/// n > 5792), supported specs switch to the matrix-free lane. 256 MiB
+/// keeps every workload the paper measured (n ≤ 250) — and everything up
+/// into the low thousands — on the bit-for-bit battle-tested dense path.
+pub const DENSE_LANE_BUDGET_BYTES: usize = 256 << 20;
+
+impl LanePolicy {
+    /// Resolve the policy against a concrete spec and problem size.
+    /// `pinned_dense` forces the dense lane regardless of policy (set when
+    /// the request carries a pre-built cost matrix).
+    pub fn resolve(self, spec: &AlgoSpec, n: usize, pinned_dense: bool) -> KernelLane {
+        if pinned_dense || !spec.supports_matrix_free() {
+            return KernelLane::Dense;
+        }
+        match self {
+            LanePolicy::Dense => KernelLane::Dense,
+            LanePolicy::MatrixFree => KernelLane::MatrixFree,
+            LanePolicy::Auto => {
+                // 8n² bytes of packed matrix; saturate so absurd n can't wrap.
+                let dense_bytes = n.saturating_mul(n).saturating_mul(8);
+                if dense_bytes > DENSE_LANE_BUDGET_BYTES {
+                    KernelLane::MatrixFree
+                } else {
+                    KernelLane::Dense
+                }
+            }
+        }
+    }
+}
+
+/// How a built algorithm may use the machine: threading substrate plus
+/// pairwise-cost lane.
+///
+/// The former `Parallel`/`Sequential` enum grew a second axis in PR 10;
+/// `ExecPolicy::parallel()` / `ExecPolicy::sequential()` reproduce the old
+/// variants (with the default `Auto` lane), and `with_lane` sets the lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecPolicy {
+    /// Thread-use policy for multi-start members.
+    pub threading: Threading,
+    /// Pairwise-cost substrate selection.
+    pub lane: LanePolicy,
+}
+
+impl ExecPolicy {
+    /// The default policy: parallel threading, `Auto` lane.
+    pub fn parallel() -> Self {
+        ExecPolicy {
+            threading: Threading::Parallel,
+            lane: LanePolicy::Auto,
+        }
+    }
+
+    /// Sequential threading (host-independent seconds), `Auto` lane.
+    pub fn sequential() -> Self {
+        ExecPolicy {
+            threading: Threading::Sequential,
+            lane: LanePolicy::Auto,
+        }
+    }
+
+    /// This policy with the lane replaced.
+    pub fn with_lane(self, lane: LanePolicy) -> Self {
+        ExecPolicy { lane, ..self }
+    }
 }
 
 /// A typed, parse/display round-trippable algorithm specification.
@@ -521,9 +638,23 @@ impl AlgoSpec {
         }
     }
 
+    /// Whether this spec's kernel can run on the matrix-free lane: its
+    /// consensus is a function of O(m·n) positional statistics (Borda,
+    /// Copeland, MedRank) or of on-demand cost rows (MC4), so it never
+    /// needs the dense matrix resident. Everything else — local searches
+    /// scoring O(n²) candidate moves, the exact solver's bound sweeps,
+    /// `BestOf` rescoring repeats — re-reads pairwise costs too often for
+    /// recomputation to win, and stays dense (DESIGN.md §16).
+    pub fn supports_matrix_free(&self) -> bool {
+        matches!(
+            self,
+            AlgoSpec::Borda | AlgoSpec::Copeland | AlgoSpec::MedRank(_) | AlgoSpec::Mc4
+        )
+    }
+
     /// Instantiate the algorithm kernel this spec names.
     pub fn build(&self, policy: ExecPolicy) -> Box<dyn ConsensusAlgorithm> {
-        let sequential = policy == ExecPolicy::Sequential;
+        let sequential = policy.threading == Threading::Sequential;
         match self {
             AlgoSpec::Ailon => Box::new(ailon::AilonThreeHalves::default()),
             AlgoSpec::BioConsert => Box::new(bioconsert::BioConsert {

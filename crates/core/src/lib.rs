@@ -68,6 +68,7 @@ pub mod normalize;
 pub mod pairs;
 pub mod parallel;
 pub mod parse;
+pub mod positional;
 pub mod ranking;
 pub mod score;
 pub mod session;

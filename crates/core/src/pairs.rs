@@ -80,6 +80,13 @@ pub struct CostMatrix {
 /// The seed's name for the pairwise information; same type, same API.
 pub type PairTable = CostMatrix;
 
+/// Unroll width of the chunked row scans ([`CostMatrix::score`],
+/// [`CostMatrix::lower_bound`]): 8 independent u64 accumulators fed by
+/// branchless integer selects — the shape LLVM auto-vectorizes to SIMD
+/// lanes. Integer arithmetic is order-independent, so any width produces
+/// the same bits as the scalar loop.
+pub const LANES: usize = 8;
+
 /// Cost of putting the row element strictly **after** pair-partner `b`,
 /// derived from row-local entries (`2m − cost_before − cost_tied`).
 ///
@@ -223,7 +230,38 @@ impl CostMatrix {
 
     /// Sum of [`Self::min_pair_cost`] over all pairs: a lower bound on the
     /// generalized Kemeny score of *any* consensus.
+    ///
+    /// The upper-triangle row scan is chunked [`LANES`] wide (branchless
+    /// min-select, independent accumulators) so the compiler can
+    /// vectorize it; [`Self::lower_bound_scalar`] is the scalar twin it is
+    /// pinned bit-identical to.
     pub fn lower_bound(&self) -> u64 {
+        let m2 = 2 * self.m;
+        let mut lanes = [0u64; LANES];
+        let mut tail = 0u64;
+        for a in 0..self.n {
+            let row = self.row(Element(a as u32));
+            let lo = a + 1;
+            let mut chunks = row[2 * lo..2 * self.n].chunks_exact(2 * LANES);
+            for chunk in &mut chunks {
+                for (l, pair) in chunk.chunks_exact(2).enumerate() {
+                    let (cb, ct) = (pair[0], pair[1]);
+                    let ca = m2 - cb - ct;
+                    lanes[l] += cb.min(ct).min(ca) as u64;
+                }
+            }
+            for pair in chunks.remainder().chunks_exact(2) {
+                let (cb, ct) = (pair[0], pair[1]);
+                let ca = m2 - cb - ct;
+                tail += cb.min(ct).min(ca) as u64;
+            }
+        }
+        lanes.iter().sum::<u64>() + tail
+    }
+
+    /// Reference scalar implementation of [`Self::lower_bound`] — the
+    /// conformance suite asserts the chunked scan equals this exactly.
+    pub fn lower_bound_scalar(&self) -> u64 {
         let m2 = 2 * self.m;
         let mut acc = 0u64;
         for a in 0..self.n {
@@ -355,7 +393,56 @@ impl CostMatrix {
 
     /// Generalized Kemeny score of `r` against the dataset this matrix was
     /// built from, in `O(n²)` independent of `m`.
+    ///
+    /// The inner row scan is chunked [`LANES`] wide with a branchless
+    /// three-way cost select (`lt·cb + eq·ct + gt·ca`) and independent
+    /// accumulators so the compiler can vectorize it. Pure integer
+    /// arithmetic in any order — bit-identical to the branchy
+    /// [`Self::score_scalar`] twin, which the conformance suite pins.
     pub fn score(&self, r: &Ranking) -> u64 {
+        debug_assert_eq!(r.n_elements(), self.n);
+        let pos = r.positions();
+        let m2 = 2 * self.m;
+        let mut lanes = [0u64; LANES];
+        let mut tail = 0u64;
+        for a in 0..self.n {
+            let pa = pos[a];
+            let row = self.row(Element(a as u32));
+            let lo = a + 1;
+            let b_pos = &pos[lo..self.n];
+            let mut chunks = b_pos.chunks_exact(LANES);
+            for (ci, chunk) in (&mut chunks).enumerate() {
+                let base = lo + ci * LANES;
+                for (l, &pb) in chunk.iter().enumerate() {
+                    let b = base + l;
+                    let cb = row[2 * b];
+                    let ct = row[2 * b + 1];
+                    let ca = m2 - cb - ct;
+                    let lt = u32::from(pa < pb);
+                    let eq = u32::from(pa == pb);
+                    let gt = 1 - lt - eq;
+                    lanes[l] += (lt * cb + eq * ct + gt * ca) as u64;
+                }
+            }
+            let base = lo + (b_pos.len() / LANES) * LANES;
+            for (off, &pb) in chunks.remainder().iter().enumerate() {
+                let b = base + off;
+                let cb = row[2 * b];
+                let ct = row[2 * b + 1];
+                let ca = m2 - cb - ct;
+                let lt = u32::from(pa < pb);
+                let eq = u32::from(pa == pb);
+                let gt = 1 - lt - eq;
+                tail += (lt * cb + eq * ct + gt * ca) as u64;
+            }
+        }
+        lanes.iter().sum::<u64>() + tail
+    }
+
+    /// Reference scalar implementation of [`Self::score`] (the pre-PR-10
+    /// branchy loop) — the conformance suite asserts the chunked scan
+    /// equals this exactly on every input.
+    pub fn score_scalar(&self, r: &Ranking) -> u64 {
         debug_assert_eq!(r.n_elements(), self.n);
         let pos = r.positions();
         let m2 = 2 * self.m;

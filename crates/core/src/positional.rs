@@ -1,0 +1,236 @@
+//! Matrix-free pairwise-cost access and O(m·n) positional statistics —
+//! the large-n lane (DESIGN.md §16).
+//!
+//! The dense [`CostMatrix`] is 8n² bytes resident and `O(m·n²)` to build;
+//! past a few thousand elements that wall dominates every kernel's own
+//! cost. The positional algorithms (Borda, Copeland, MedRank) never needed
+//! the matrix at all — their consensus is a function of per-element
+//! positional accumulators computable in one `O(m·n)` pass (the average-
+//! rank view of a Lehmer-code factorization: each element's coordinate is
+//! independent of the others, cf. *Efficient Rank Aggregation via Lehmer
+//! Codes*). MC4 needs pairwise information but only one row at a time,
+//! which [`PositionalCosts`] recomputes on demand in `O(m·n)` per row.
+//!
+//! [`CostProvider`] is the abstraction both lanes implement:
+//!
+//! * [`CostMatrix`] returns its resident row — zero copies, `O(1)`;
+//! * [`PositionalCosts`] fills a caller-owned scratch buffer — zero
+//!   resident quadratic state, `O(m·n)` per row.
+//!
+//! Both produce **bit-identical** rows (the differential conformance suite
+//! in `tests/kernel_lane_conformance.rs` pins this), so a kernel written
+//! against the trait cannot diverge between lanes.
+
+use crate::dataset::Dataset;
+use crate::element::Element;
+use crate::pairs::CostMatrix;
+
+/// Uniform access to the pairwise disagreement costs of a dataset,
+/// independent of whether a dense [`CostMatrix`] is resident.
+///
+/// The unit of access is the interleaved cost row of element `a`:
+/// `[cost_before(a,0), cost_tied(a,0), cost_before(a,1), …]`, length `2n`,
+/// diagonal cells zero — exactly [`CostMatrix::row`]'s layout, so
+/// [`crate::pairs::row_cost_after`] derives the third decision's cost from
+/// a provider row too.
+pub trait CostProvider {
+    /// Number of elements.
+    fn n(&self) -> usize;
+
+    /// Number of input rankings.
+    fn m(&self) -> u32;
+
+    /// The interleaved cost row of `a`, using `buf` (length ≥ `2n`) as
+    /// scratch if the provider has no resident storage. The returned slice
+    /// has length exactly `2n` and is only valid until the next call.
+    fn row_into<'a>(&'a self, a: Element, buf: &'a mut [u32]) -> &'a [u32];
+
+    /// Resident heap footprint of the provider in bytes (excludes the
+    /// dataset itself and caller scratch).
+    fn bytes(&self) -> usize;
+}
+
+impl CostProvider for CostMatrix {
+    fn n(&self) -> usize {
+        self.n()
+    }
+
+    fn m(&self) -> u32 {
+        self.m()
+    }
+
+    fn row_into<'a>(&'a self, a: Element, _buf: &'a mut [u32]) -> &'a [u32] {
+        self.row(a)
+    }
+
+    fn bytes(&self) -> usize {
+        self.bytes()
+    }
+}
+
+/// The matrix-free cost provider: recomputes any cost row from the input
+/// rankings in `O(m·n)`, holding no quadratic state.
+#[derive(Debug, Clone, Copy)]
+pub struct PositionalCosts<'d> {
+    data: &'d Dataset,
+}
+
+impl<'d> PositionalCosts<'d> {
+    /// Wrap a dataset. No precomputation — rows are derived on demand.
+    pub fn new(data: &'d Dataset) -> Self {
+        PositionalCosts { data }
+    }
+}
+
+impl CostProvider for PositionalCosts<'_> {
+    fn n(&self) -> usize {
+        self.data.n()
+    }
+
+    fn m(&self) -> u32 {
+        self.data.m() as u32
+    }
+
+    /// Count row `a`'s pair votes across the rankings, then convert counts
+    /// to costs (`cost = m − count`) exactly as the dense build does —
+    /// same comparisons on the same position vectors, so the row is
+    /// bit-identical to [`CostMatrix::row`].
+    fn row_into<'a>(&'a self, a: Element, buf: &'a mut [u32]) -> &'a [u32] {
+        let n = self.data.n();
+        let m = self.m();
+        let row = &mut buf[..2 * n];
+        row.fill(0);
+        for r in self.data.rankings() {
+            let pos = r.positions();
+            let pa = pos[a.index()];
+            for (b, &pb) in pos.iter().enumerate() {
+                if b == a.index() {
+                    continue;
+                }
+                if pa < pb {
+                    row[2 * b] += 1; // a strictly before b
+                } else if pa == pb {
+                    row[2 * b + 1] += 1; // tied
+                }
+            }
+        }
+        for b in 0..n {
+            if b == a.index() {
+                continue;
+            }
+            row[2 * b] = m - row[2 * b];
+            row[2 * b + 1] = m - row[2 * b + 1];
+        }
+        row
+    }
+
+    fn bytes(&self) -> usize {
+        0
+    }
+}
+
+/// Per-element positional accumulators gathered in one `O(m·n)` pass —
+/// everything the positional consensus family needs, with no pairwise
+/// state at all.
+///
+/// * `borda[e]` — sum over rankings of (1 + #elements strictly before
+///   `e`), the §4.1.3 tie-adapted Borda score (ascending is better);
+/// * `copeland[e]` — sum over rankings of #elements strictly after `e`,
+///   the paper's positional Copeland score (descending is better).
+#[derive(Debug, Clone)]
+pub struct PositionalStats {
+    borda: Vec<u64>,
+    copeland: Vec<u64>,
+    m: u32,
+}
+
+impl PositionalStats {
+    /// Accumulate both score vectors in a single pass over the rankings.
+    pub fn compute(data: &Dataset) -> Self {
+        let n = data.n();
+        let mut borda = vec![0u64; n];
+        let mut copeland = vec![0u64; n];
+        for r in data.rankings() {
+            let mut before = 0u64;
+            let mut after = r.n_elements() as u64;
+            for bucket in r.buckets() {
+                after -= bucket.len() as u64;
+                for &e in bucket {
+                    borda[e.index()] += before + 1;
+                    copeland[e.index()] += after;
+                }
+                before += bucket.len() as u64;
+            }
+        }
+        PositionalStats {
+            borda,
+            copeland,
+            m: data.m() as u32,
+        }
+    }
+
+    /// Tie-adapted Borda scores (sum of positions; ascending is better).
+    pub fn borda_scores(&self) -> &[u64] {
+        &self.borda
+    }
+
+    /// Positional Copeland scores (sum of strictly-after counts;
+    /// descending is better).
+    pub fn copeland_scores(&self) -> &[u64] {
+        &self.copeland
+    }
+
+    /// Average position of `e` over the inputs — the average-rank
+    /// (Lehmer-marginal) statistic; Borda's ranking is exactly the sort by
+    /// this value.
+    pub fn mean_position(&self, e: Element) -> f64 {
+        self.borda[e.index()] as f64 / f64::from(self.m.max(1))
+    }
+
+    /// Number of input rankings the statistics were accumulated over.
+    pub fn m(&self) -> u32 {
+        self.m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_ranking;
+
+    fn paper_dataset() -> Dataset {
+        Dataset::new(vec![
+            parse_ranking("[{0},{3},{1,2}]").unwrap(),
+            parse_ranking("[{0},{1,2},{3}]").unwrap(),
+            parse_ranking("[{3},{0,2},{1}]").unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn provider_rows_match_the_dense_matrix() {
+        let data = paper_dataset();
+        let dense = CostMatrix::build(&data);
+        let free = PositionalCosts::new(&data);
+        let mut buf = vec![0u32; 2 * data.n()];
+        for a in 0..data.n() {
+            let e = Element(a as u32);
+            assert_eq!(free.row_into(e, &mut buf), dense.row(e), "row {a}");
+        }
+        assert_eq!(free.n(), dense.n());
+        assert_eq!(free.m(), CostProvider::m(&dense));
+        assert_eq!(free.bytes(), 0);
+        assert!(CostProvider::bytes(&dense) > 0);
+    }
+
+    #[test]
+    fn stats_match_the_direct_definitions() {
+        let data = paper_dataset();
+        let stats = PositionalStats::compute(&data);
+        // Element 0: positions 1, 1, 2 → borda 4; after-counts 3, 3, 1 → 7.
+        assert_eq!(stats.borda_scores()[0], 4);
+        assert_eq!(stats.copeland_scores()[0], 7);
+        assert!((stats.mean_position(Element(0)) - 4.0 / 3.0).abs() < 1e-12);
+        assert_eq!(stats.m(), 3);
+    }
+}

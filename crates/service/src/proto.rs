@@ -107,6 +107,7 @@ pub fn report_json(report: &ConsensusReport, norm: &Normalized, universe: &Unive
         concat!(
             "{{\"algorithm\":\"{}\",\"spec\":\"{}\",\"seed\":{},",
             "\"score\":{},\"gap\":{},\"lower_bound\":{},\"outcome\":\"{}\",",
+            "\"lane\":\"{}\",",
             "\"elapsed_secs\":{:.6},\"ranking\":{},\"trace\":[{}],"
         ),
         escape(&report.algorithm()),
@@ -116,6 +117,7 @@ pub fn report_json(report: &ConsensusReport, norm: &Normalized, universe: &Unive
         gap,
         lower_bound,
         report.outcome,
+        report.lane.as_str(),
         report.elapsed.as_secs_f64(),
         ranking_json(&norm.denormalize(&report.ranking), universe),
         trace.join(",")

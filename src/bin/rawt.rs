@@ -7,7 +7,7 @@
 //! ```text
 //! rawt aggregate FILE [--algo SPEC] [--seed N] [--budget SECS]
 //!                     [--normalize unify|project] [--progress] [--json]
-//!                     [--remote ADDR]
+//!                     [--lane auto|dense|matrix-free] [--remote ADDR]
 //!     Aggregate a dataset file (one `[{A},{B,C}]` ranking per line,
 //!     `#` comments allowed). Rankings over different elements are
 //!     normalized first (default: unification, §5.1). Without --algo the
@@ -24,6 +24,11 @@
 //!     backoff, surfaced on stderr; an idempotency key generated per
 //!     invocation guarantees retries never duplicate the job, even
 //!     across a server crash and restart (DESIGN.md §12.4).
+//!     --lane picks the pairwise-cost substrate (DESIGN.md §16): auto
+//!     (default) goes matrix-free once the dense matrix would exceed its
+//!     memory budget, dense/matrix-free force a side; unsupported specs
+//!     always run dense, and the report's "lane" field records what ran.
+//!     Local runs only.
 //!
 //! rawt compare FILE [--seed N] [--budget SECS] [--normalize unify|project]
 //!              [--json]
@@ -169,6 +174,7 @@ struct Flags {
     seed: u64,
     budget: Option<Duration>,
     normalize: Normalization,
+    lane: Option<LanePolicy>,
     json: bool,
     progress: bool,
     remote: Option<String>,
@@ -195,6 +201,7 @@ fn parse_flags(args: &[String]) -> Flags {
         seed: 42,
         budget: None,
         normalize: Normalization::Unification,
+        lane: None,
         json: false,
         progress: false,
         remote: None,
@@ -238,6 +245,16 @@ fn parse_flags(args: &[String]) -> Flags {
             }
             "--normalize" => {
                 f.normalize = value(&mut i).parse().unwrap_or_else(|e: String| die(&e))
+            }
+            "--lane" => {
+                f.lane = Some(match value(&mut i).to_ascii_lowercase().as_str() {
+                    "auto" => LanePolicy::Auto,
+                    "dense" => LanePolicy::Dense,
+                    "matrix-free" | "matrixfree" | "matrix_free" => LanePolicy::MatrixFree,
+                    other => die(&format!(
+                        "bad --lane {other:?} (use auto|dense|matrix-free)"
+                    )),
+                })
             }
             "--json" => f.json = true,
             "--progress" => f.progress = true,
@@ -328,6 +345,9 @@ fn cmd_aggregate(f: &Flags) {
         .first()
         .unwrap_or_else(|| die("aggregate needs a FILE"));
     if let Some(addr) = &f.remote {
+        if f.lane.is_some() {
+            die("--lane applies to local runs only (the wire protocol carries no lane)");
+        }
         cmd_aggregate_remote(f, path, addr);
         return;
     }
@@ -351,6 +371,9 @@ fn cmd_aggregate(f: &Flags) {
     let mut request = AggregationRequest::new(data.clone(), spec).with_seed(f.seed);
     if let Some(budget) = f.budget {
         request = request.with_budget(budget);
+    }
+    if let Some(lane) = f.lane {
+        request = request.with_lane(lane);
     }
     let engine = Engine::new();
     let report = if f.progress {
@@ -380,6 +403,7 @@ fn cmd_aggregate(f: &Flags) {
         norm.denormalize(&report.ranking).display_with(&universe)
     );
     println!("K score:    {}", report.score);
+    println!("lane:       {}", report.lane);
     println!("outcome:    {} in {:.1?}", report.outcome, report.elapsed);
 }
 
@@ -565,6 +589,12 @@ fn cmd_aggregate_remote(f: &Flags, path: &str, addr: &str) {
         render_label_ranking(report.get("ranking"))
     );
     println!("K score:    {}", num("score") as u64);
+    // Older servers predate the lane field; default to the only lane
+    // they had rather than dying on a missing key.
+    println!(
+        "lane:       {}",
+        report.get("lane").and_then(Json::as_str).unwrap_or("dense")
+    );
     println!(
         "outcome:    {} in {:.1?}",
         text("outcome"),

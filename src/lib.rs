@@ -121,7 +121,8 @@ pub mod prelude {
     pub use rank_core::engine::{
         extended_panel, full_panel, paper_panel, AggregationRequest, AlgoSpec, BatchBuilder,
         CancelToken, ConsensusReport, Engine, Event, ExecPolicy, IncumbentSink, JobHandle,
-        Normalization, Outcome, SpecErrorKind, SpecParseError, TracePoint,
+        KernelLane, LanePolicy, Normalization, Outcome, SpecErrorKind, SpecParseError, Threading,
+        TracePoint,
     };
     pub use rank_core::guidance::{recommend, DatasetFeatures, Priority};
     pub use rank_core::normalize::{projection, top_k, unification};

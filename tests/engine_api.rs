@@ -350,6 +350,90 @@ fn batch_builder_normalizes_raw_rankings() {
     assert!(BatchBuilder::normalized(&raw, Normalization::Projection).is_none());
 }
 
+// ---------------------------------------------------------------- lanes
+
+fn big_identity_dataset(n: usize) -> Dataset {
+    let forward: Vec<u32> = (0..n as u32).collect();
+    let reverse: Vec<u32> = (0..n as u32).rev().collect();
+    Dataset::new(vec![
+        Ranking::from_bucket_indices(&forward).unwrap(),
+        Ranking::from_bucket_indices(&reverse).unwrap(),
+    ])
+    .unwrap()
+}
+
+#[test]
+fn auto_lane_flips_to_matrix_free_above_the_dense_budget() {
+    // Auto stays dense at small n — the one-build batch contract above
+    // depends on it — and flips once the dense matrix (8n² bytes) would
+    // exceed DENSE_LANE_BUDGET_BYTES (256 MiB ⇒ n > 5792).
+    let small = AggregationRequest::new(wider_dataset(), AlgoSpec::Borda);
+    assert_eq!(small.resolved_lane(), KernelLane::Dense);
+
+    let big = big_identity_dataset(6000); // 8·6000² = 288 MB > budget
+    let request = AggregationRequest::new(big.clone(), AlgoSpec::Borda).with_seed(1);
+    assert_eq!(request.resolved_lane(), KernelLane::MatrixFree);
+    let engine = Engine::new();
+    let report = engine.run(&request);
+    assert_eq!(report.lane, KernelLane::MatrixFree);
+    assert_eq!(
+        engine.cache().builds(),
+        0,
+        "auto-selected matrix-free run must not build the dense matrix"
+    );
+    // Unsupported specs resolve dense under Auto regardless of size (the
+    // request is only resolved here, not run — that build is 288 MB).
+    let bio = AggregationRequest::new(big, AlgoSpec::BioConsert);
+    assert_eq!(bio.resolved_lane(), KernelLane::Dense);
+}
+
+#[test]
+fn explicit_lane_override_beats_auto_selection() {
+    // MatrixFree forced at tiny n, where Auto would stay dense…
+    let request =
+        AggregationRequest::new(wider_dataset(), AlgoSpec::Mc4).with_lane(LanePolicy::MatrixFree);
+    assert_eq!(request.resolved_lane(), KernelLane::MatrixFree);
+    let engine = Engine::new();
+    let report = engine.run(&request);
+    assert_eq!(report.lane, KernelLane::MatrixFree);
+    assert_eq!(engine.cache().builds(), 0);
+    // …and Dense forced above the budget wins too (resolution only).
+    let forced = AggregationRequest::new(big_identity_dataset(6000), AlgoSpec::Borda)
+        .with_lane(LanePolicy::Dense);
+    assert_eq!(forced.resolved_lane(), KernelLane::Dense);
+    // A caller-supplied cost matrix pins the dense lane outright: the
+    // matrix is already paid for, so MatrixFree would only discard it.
+    let data = wider_dataset();
+    let pinned = AggregationRequest::new(data.clone(), AlgoSpec::Borda)
+        .with_cost_matrix(std::sync::Arc::new(PairTable::build(&data)))
+        .with_lane(LanePolicy::MatrixFree);
+    assert_eq!(pinned.resolved_lane(), KernelLane::Dense);
+}
+
+#[test]
+fn lane_provenance_round_trips_through_report_json() {
+    use rank_aggregation_with_ties::rank_core::parse::parse_ranking_labeled;
+    use rank_aggregation_with_ties::service::proto::report_json;
+    let mut universe = Universe::new();
+    let raw: Vec<Ranking> = ["[{A},{B},{C}]", "[{B},{A},{C}]", "[{C},{A,B}]"]
+        .iter()
+        .map(|t| parse_ranking_labeled(t, &mut universe).unwrap())
+        .collect();
+    let norm = Normalization::Unification.apply(&raw).unwrap();
+    let engine = Engine::new();
+    for (lane, token) in [
+        (LanePolicy::MatrixFree, "\"lane\":\"matrix_free\""),
+        (LanePolicy::Dense, "\"lane\":\"dense\""),
+        (LanePolicy::Auto, "\"lane\":\"dense\""), // tiny n: Auto is dense
+    ] {
+        let request =
+            AggregationRequest::new(norm.dataset.clone(), AlgoSpec::Borda).with_lane(lane);
+        let report = engine.run(&request);
+        let json = report_json(&report, &norm, &universe);
+        assert!(json.contains(token), "lane {lane:?} missing from {json}");
+    }
+}
+
 // ------------------------------------------- batch/loop equivalence (prop)
 
 proptest! {

@@ -174,7 +174,7 @@ proptest! {
         let seq = engine.run(
             &AggregationRequest::new(data, AlgoSpec::Exact)
                 .with_seed(seed)
-                .with_policy(ExecPolicy::Sequential),
+                .with_policy(ExecPolicy::sequential()),
         );
         prop_assert_eq!(&par.ranking, &seq.ranking);
         prop_assert_eq!(par.score, seq.score);

@@ -94,6 +94,43 @@ proptest! {
     }
 
     #[test]
+    fn lanes_share_the_tie_cost_convention_on_fully_tied_inputs(
+        (n, m, cand) in (2usize..=12, 2usize..=5).prop_flat_map(|(n, m)| {
+            (Just(n), Just(m), ranking_strategy(n))
+        })
+    ) {
+        // 100%-ties dataset: every input is one bucket, so every pairwise
+        // decision costs `m` when the candidate orders it strictly and 0
+        // when it ties it. Both scoring paths — the dense matrix row scan
+        // and the matrix-free distance sum — must agree on that
+        // convention exactly (score = m · #strict pairs of the candidate).
+        let tied = Ranking::from_bucket_indices(&vec![0u32; n]).expect("one bucket");
+        let data = Dataset::new(vec![tied; m]).expect("dense");
+        let strict_pairs: u64 = {
+            let sizes: Vec<u64> = (0..cand.n_buckets())
+                .map(|b| cand.bucket(b).len() as u64)
+                .collect();
+            let total = n as u64 * (n as u64 - 1) / 2;
+            total - sizes.iter().map(|s| s * (s - 1) / 2).sum::<u64>()
+        };
+        let expected = m as u64 * strict_pairs;
+        let pairs = PairTable::build(&data);
+        prop_assert_eq!(pairs.score(&cand), expected);
+        prop_assert_eq!(kemeny_score(&cand, &data), expected);
+        // The engine's two lanes inherit the same convention end to end.
+        let dense = Engine::new().run(
+            &AggregationRequest::new(data.clone(), AlgoSpec::Borda)
+                .with_lane(LanePolicy::Dense),
+        );
+        let free = Engine::new().run(
+            &AggregationRequest::new(data, AlgoSpec::Borda)
+                .with_lane(LanePolicy::MatrixFree),
+        );
+        prop_assert_eq!(dense.score, free.score);
+        prop_assert_eq!(dense.score, 0, "all-tied consensus is free");
+    }
+
+    #[test]
     fn gap_is_scale_free(score in 1u64..10_000, k in 1u64..5) {
         // gap(k·s, k·ref) == gap(s, ref).
         let reference = 100u64;
